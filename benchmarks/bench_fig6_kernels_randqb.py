@@ -1,0 +1,86 @@
+"""Fig. 6 — kernel breakdown of RandQB_EI (M2, varying np, k, p).
+
+Same methodology as Fig. 5 for the randomized method: per-kernel modeled
+time accumulated over iterations, max over processes.  Claims:
+
+- small k means many iterations (the paper's 170 iterations at k=32 vs 11
+  at k=512 for M2) — iteration counts shrink roughly in proportion;
+- the power scheme (p=2) multiplies the sketch-side kernels' cost;
+- at large np, communication-bound kernels (B_k allreduce, TSQR tree)
+  dominate over the perfectly-parallel SpMM.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.parallel import simulate_randqb_ei
+
+from conftest import matrix, solve_cached
+
+SCALE = 1.0
+LABEL = "M2"
+TOL = 1e-2
+KERNELS = ["sketch", "spmm", "gemm_project", "tsqr", "reorth", "bk_update"]
+
+
+@pytest.mark.parametrize("k", [16, 64])
+def test_fig6_kernel_breakdown(benchmark, report, k):
+    A = matrix(LABEL, SCALE)
+    n = A.shape[1]
+    rows = []
+    its = {}
+    for p_pow in (0, 2):
+        qb = solve_cached("randqb", LABEL, SCALE, k, TOL, power=p_pow)
+        its[p_pow] = qb.iterations
+        nps = []
+        p = 4
+        while p * k <= n:
+            nps.append(p)
+            p *= 2
+        for np_ in nps:
+            rep = simulate_randqb_ei(qb, A, np_, k=k, power=p_pow)
+            rows.append([f"p={p_pow}", np_] + [
+                f"{1e3 * rep.kernel_seconds.get(kn, 0.0):.2f}"
+                for kn in KERNELS] + [f"{1e3 * rep.total_seconds:.2f}"])
+    table = render_table(
+        ["power", "np"] + KERNELS + ["total"],
+        rows,
+        title=(f"Fig. 6 (M2 analogue, k={k}, tau={TOL:g}): RandQB_EI "
+               f"per-kernel modeled ms; iterations p0={its[0]}, "
+               f"p2={its[2]}"))
+    report(table, f"fig6_k{k}.txt")
+
+    qb0 = solve_cached("randqb", LABEL, SCALE, k, TOL, power=0)
+    benchmark.pedantic(lambda: simulate_randqb_ei(qb0, A, 16, k=k, power=0),
+                       rounds=3, iterations=1)
+
+
+def test_fig6_claims(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    A = matrix(LABEL, SCALE)
+    # iteration count shrinks with k (paper: 170 @ k=32 vs 11 @ k=512)
+    its16 = solve_cached("randqb", LABEL, SCALE, 16, TOL, power=0).iterations
+    its64 = solve_cached("randqb", LABEL, SCALE, 64, TOL, power=0).iterations
+    assert its64 < its16
+    # p=2 costs more than p=0 at the same np (roughly (2p+1)x on the
+    # sketch side)
+    qb0 = solve_cached("randqb", LABEL, SCALE, 16, TOL, power=0)
+    qb2 = solve_cached("randqb", LABEL, SCALE, 16, TOL, power=2)
+    t0 = simulate_randqb_ei(qb0, A, 16, k=16, power=0).total_seconds
+    t2 = simulate_randqb_ei(qb2, A, 16, k=16, power=2).total_seconds
+    # Section IV: per-iteration cost grows roughly with p+1; total time
+    # grows less because p=2 needs fewer iterations (Table II)
+    per_it0 = t0 / qb0.iterations
+    per_it2 = t2 / qb2.iterations
+    assert per_it2 > 1.6 * per_it0
+    assert t2 > 1.2 * t0
+    # communication share grows with np
+    rep_small = simulate_randqb_ei(qb0, A, 4, k=16, power=0)
+    rep_big = simulate_randqb_ei(qb0, A, 1024, k=16, power=0)
+    spmm_share_small = rep_small.kernel_seconds["spmm"] / \
+        rep_small.total_seconds
+    spmm_share_big = rep_big.kernel_seconds["spmm"] / rep_big.total_seconds
+    assert spmm_share_big < spmm_share_small
+    report(f"Fig. 6 claims: its(k=16)={its16} > its(k=64)={its64}; "
+           f"t(p=2)/t(p=0)={t2 / t0:.2f}; SpMM share {spmm_share_small:.2%}"
+           f" @np=4 -> {spmm_share_big:.2%} @np=1024", "fig6_claims.txt")

@@ -1,0 +1,27 @@
+"""Table I — test-matrix inventory.
+
+Prints the paper's Table I side by side with the laptop-scale structural
+analogues this reproduction evaluates (see DESIGN.md §2 for the
+substitution argument), and benchmarks analogue construction cost.
+"""
+
+from repro.analysis.tables import render_table
+from repro.matrices import suite_entries, suite_matrix
+
+from conftest import matrix
+
+
+def test_table1_inventory(benchmark, report):
+    rows = []
+    for e in suite_entries():
+        A = matrix(e.label, 1.0)
+        rows.append([e.label, e.paper_name, e.paper_size, e.paper_nnz,
+                     A.shape[0], A.nnz, e.description])
+    table = render_table(
+        ["label", "paper matrix", "paper size", "paper nnz",
+         "analogue size", "analogue nnz", "class"],
+        rows,
+        title="Table I: SuiteSparse matrices and their generated analogues")
+    report(table, "table1_inventory.txt")
+
+    benchmark.pedantic(lambda: suite_matrix("M4"), rounds=3, iterations=1)

@@ -1,0 +1,118 @@
+"""Table II — runtime per correct digit for the test matrices.
+
+For each suite analogue and tolerance the paper's columns are reproduced:
+iterations of RandUBV, iterations + runtime of RandQB_EI for p in {0,1,2},
+iterations + runtime of LU_CRTP, runtime of ILUT_CRTP, the nnz ratio
+ratio_NNZ = nnz(LU factors)/nnz(ILUT factors) and the threshold mu chosen
+by heuristic (24).
+
+Two time columns are printed per method: measured sequential seconds (this
+host) and the modeled parallel seconds at a Table-II-like process count
+(trace replay through the machine model — see DESIGN.md §5).  Shapes to
+compare against the paper: iteration orderings (its_UBV <= its_p1 ~= its_p2
+<= its_p0), LU competitive at low quality, ILUT fastest wherever fill-in
+appears, ratio_NNZ >> 1 on the fluid-dynamics analogue.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+
+from conftest import matrix, solve_cached
+
+SCALE = 0.5
+#: per-matrix (block size, tolerance ladder, modeled process count)
+CASES = {
+    "M1": (16, [1e-1, 1e-2, 1e-3], 16),
+    "M2": (16, [1e-1, 1e-2, 1e-3], 16),
+    "M3": (16, [1e-1, 1e-2], 16),
+    "M4": (32, [1e-1, 1e-2, 1e-3], 8),
+    "M5": (32, [1e-1, 1e-2], 8),
+    "M6": (32, [1e-1, 1e-2], 16),
+}
+
+
+def _row(label, tol, k, np_model):
+    from repro.parallel import (simulate_ilut_crtp, simulate_lu_crtp,
+                                simulate_randqb_ei)
+    A = matrix(label, SCALE)
+    ubv = solve_cached("ubv", label, SCALE, k, tol)
+    qbs = {p: solve_cached("randqb", label, SCALE, k, tol, power=p)
+           for p in (0, 1, 2)}
+    lu = solve_cached("lu", label, SCALE, k, tol)
+    il = solve_cached("ilut", label, SCALE, k, tol)
+    ratio = lu.factor_nnz() / max(il.factor_nnz(), 1)
+    t_lu_par = simulate_lu_crtp(lu, np_model).total_seconds
+    t_il_par = simulate_ilut_crtp(il, np_model).total_seconds
+    t_p1_par = simulate_randqb_ei(qbs[1], A, np_model, k=k,
+                                  power=1).total_seconds
+    return [label, f"{tol:.0e}", ubv.iterations,
+            qbs[0].iterations, f"{qbs[0].elapsed:.2f}",
+            qbs[1].iterations, f"{qbs[1].elapsed:.2f}",
+            qbs[2].iterations, f"{qbs[2].elapsed:.2f}",
+            f"{t_p1_par * 1e3:.1f}",
+            lu.iterations, f"{lu.elapsed:.2f}", f"{t_lu_par * 1e3:.1f}",
+            f"{il.elapsed:.2f}", f"{t_il_par * 1e3:.1f}",
+            f"{ratio:.1f}", f"{il.threshold:.1e}"]
+
+
+HEADERS = ["mat", "tau", "itsUBV",
+           "its_p0", "t_p0[s]", "its_p1", "t_p1[s]", "its_p2", "t_p2[s]",
+           "par_p1[ms]", "itsLU", "t_LU[s]", "par_LU[ms]",
+           "t_ILUT[s]", "par_ILUT[ms]", "ratioNNZ", "mu"]
+
+
+@pytest.mark.parametrize("label", list(CASES))
+def test_table2_matrix(benchmark, report, label):
+    k, tols, np_model = CASES[label]
+    rows = [_row(label, tol, k, np_model) for tol in tols]
+    table = render_table(
+        HEADERS, rows,
+        title=(f"Table II ({label}, scale={SCALE}, k={k}, modeled "
+               f"np={np_model}): runtime per correct digit"))
+    report(table, f"table2_{label}.txt")
+
+    # benchmark the mid-tolerance ILUT solve (the paper's headline method)
+    from repro import ilut_crtp
+    A = matrix(label, SCALE)
+    lu = solve_cached("lu", label, SCALE, k, tols[-1])
+    benchmark.pedantic(
+        lambda: ilut_crtp(A, k=k, tol=tols[-1],
+                          estimated_iterations=max(lu.iterations, 1)),
+        rounds=1, iterations=1)
+
+
+def test_table2_claims(benchmark, report):
+    """Assert the Table II orderings the paper reports."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = []
+    for label, (k, tols, _np) in CASES.items():
+        for tol in tols:
+            ubv = solve_cached("ubv", label, SCALE, k, tol)
+            p0 = solve_cached("randqb", label, SCALE, k, tol, power=0)
+            p1 = solve_cached("randqb", label, SCALE, k, tol, power=1)
+            lu = solve_cached("lu", label, SCALE, k, tol)
+            il = solve_cached("ilut", label, SCALE, k, tol)
+            assert p1.iterations <= p0.iterations + 1, (label, tol)
+            # RandUBV "often" needs fewer iterations than p=0 but not
+            # always (Table II M3: 233 vs 164); bound the excess instead
+            assert ubv.iterations <= 1.5 * p0.iterations + 1, (label, tol)
+            # ILUT only pays off when fill-in occurs; on no-fill rows the
+            # paper leaves the ILUT column empty (Table II M4/M6 at
+            # tau=0.1).  The work claim is asserted on the recorded Schur
+            # flops (cached results carry wall-clocks measured at different
+            # moments of the session, which makes time ratios noisy).
+            max_fill = max((r.schur_density for r in lu.history),
+                           default=0.0)
+            if max_fill > 0.2:
+                lu_fl = sum(r.extra["trace"]["schur_flops"]
+                            for r in lu.history)
+                il_fl = sum(r.extra["trace"]["schur_flops"]
+                            for r in il.history)
+                assert il_fl <= lu_fl, (label, tol)
+                assert il.elapsed <= lu.elapsed * 2.0, (label, tol)
+            lines.append(
+                f"{label} tau={tol:.0e}: its p1<=p0 "
+                f"({p1.iterations}<={p0.iterations}), ILUT<=LU work "
+                f"(t {il.elapsed:.2f}s vs {lu.elapsed:.2f}s)  OK")
+    report("\n".join(lines), "table2_claims.txt")

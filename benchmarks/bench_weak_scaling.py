@@ -1,0 +1,63 @@
+"""Weak scaling (our extension — the paper only reports strong scaling).
+
+Strong scaling fixes the problem and grows P; weak scaling grows both so
+that per-process work stays constant — the regime that matters when larger
+machines are bought to solve larger problems.  We scale the M2 analogue's
+dimension with P (work per iteration of the randomized method is ~nnz/P;
+nnz grows linearly with n), model the runtime at each (size, P) pair and
+report the weak-scaling efficiency ``T(1 proc, base) / T(P, scaled)``.
+
+Measured insight (recorded in weak_scaling.txt): *fixed-precision* weak
+scaling is iteration-bound — the rank needed for a fixed relative tolerance
+grows with n, so the iteration count grows with the problem and efficiency
+decays even with perfectly parallel kernels.  RandQB_EI still degrades no
+faster than LU_CRTP (its collectives grow only logarithmically while the
+tournament's serialized global rounds grow with log P regardless of size).
+"""
+
+import numpy as np
+
+from repro import lu_crtp, randqb_ei
+from repro.analysis.tables import render_table
+from repro.matrices import suite_matrix
+from repro.parallel import simulate_lu_crtp, simulate_randqb_ei
+
+K = 16
+TOL = 1e-2
+#: (process count, matrix scale) pairs with ~constant rows per process
+STEPS = [(1, 0.25), (4, 0.5), (16, 1.0), (64, 2.0)]
+
+
+def test_weak_scaling(benchmark, report):
+    rows = []
+    eff_qb, eff_lu = [], []
+    base_qb = base_lu = None
+    for p, scale in STEPS:
+        A = suite_matrix("M2", scale=scale)
+        qb = randqb_ei(A, k=K, tol=TOL, power=1)
+        lu = lu_crtp(A, k=K, tol=TOL)
+        t_qb = simulate_randqb_ei(qb, A, p, k=K, power=1).total_seconds
+        t_lu = simulate_lu_crtp(lu, p).total_seconds
+        if base_qb is None:
+            base_qb, base_lu = t_qb, t_lu
+        eq = base_qb / t_qb
+        el = base_lu / t_lu
+        eff_qb.append(eq)
+        eff_lu.append(el)
+        rows.append([p, A.shape[0], A.nnz, f"{1e3 * t_qb:.1f}",
+                     f"{eq:.2f}", f"{1e3 * t_lu:.1f}", f"{el:.2f}"])
+    table = render_table(
+        ["np", "n", "nnz", "t QB [ms]", "QB eff", "t LU [ms]", "LU eff"],
+        rows,
+        title=(f"Weak scaling on growing M2 analogues (k={K}, tau={TOL:g});"
+               " efficiency = T(base)/T(P) at constant per-process size"))
+    report(table, "weak_scaling.txt")
+
+    # both methods lose efficiency as P grows, QB degrades no faster than LU
+    assert eff_qb[-1] <= 1.5
+    assert eff_qb[-1] >= 0.5 * eff_lu[-1]
+
+    A = suite_matrix("M2", scale=0.25)
+    qb = randqb_ei(A, k=K, tol=TOL, power=1)
+    benchmark.pedantic(lambda: simulate_randqb_ei(qb, A, 16, k=K, power=1),
+                       rounds=3, iterations=1)

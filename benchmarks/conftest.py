@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench prints the paper-style table it reproduces (with capture
+disabled, so the rows land in ``bench_output.txt``) and also writes it to
+``benchmarks/results/<name>.txt``.  Heavy solver runs are cached at session
+scope and shared across benches.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an experiment table to the real stdout and persist it."""
+
+    def _report(text: str, fname: str | None = None) -> None:
+        with capsys.disabled():
+            print("\n" + text + "\n")
+        if fname:
+            RESULTS_DIR.mkdir(exist_ok=True)
+            (RESULTS_DIR / fname).write_text(text + "\n")
+
+    return _report
+
+
+@functools.lru_cache(maxsize=None)
+def matrix(label: str, scale: float):
+    from repro.matrices import suite_matrix
+    return suite_matrix(label, scale=scale)
+
+
+@functools.lru_cache(maxsize=None)
+def solve_cached(method: str, label: str, scale: float, k: int, tol: float,
+                 power: int = 0, u: int = 0):
+    """Session-cached solver runs shared by the bench modules."""
+    from repro import ilut_crtp, lu_crtp, randqb_ei, randubv
+    A = matrix(label, scale)
+    if method == "randqb":
+        return randqb_ei(A, k=k, tol=tol, power=power)
+    if method == "ubv":
+        return randubv(A, k=k, tol=tol)
+    if method == "lu":
+        return lu_crtp(A, k=k, tol=tol)
+    if method == "ilut":
+        uu = u or max(solve_cached("lu", label, scale, k, tol).iterations, 1)
+        return ilut_crtp(A, k=k, tol=tol, estimated_iterations=uu)
+    raise ValueError(method)

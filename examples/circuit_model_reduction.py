@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Circuit-simulation model reduction (the M4/rajat23 regime).
+
+Circuit conductance matrices have a few dominant directions (supply rails,
+common nets).  This example compresses one at a ladder of tolerances and
+shows the paper's M4 phenomenon: at tau=0.1 a *single* block of tournament
+pivots already meets the target, and the deterministic factors stay sparse
+because hub-dominated circuits produce almost no Schur-complement fill.
+
+The compressed representation is then used for fast repeated matrix-vector
+products — the downstream operation circuit pre-analysis cares about.
+
+Run:  python examples/circuit_model_reduction.py
+"""
+
+import numpy as np
+
+from repro import lu_crtp, randqb_ei
+from repro.analysis.tables import render_table
+from repro.matrices import circuit_network
+
+
+def main():
+    n = 1200
+    A = circuit_network(n, avg_degree=4.0, hubs=n // 16, hub_scale=300.0,
+                        seed=4)
+    print(f"Circuit matrix: {n}x{n}, nnz={A.nnz} "
+          f"({A.nnz / n:.1f} per row)\n")
+
+    rows = []
+    for tol in (1e-1, 1e-2, 1e-3):
+        qb = randqb_ei(A, k=32, tol=tol, power=1)
+        lu = lu_crtp(A, k=32, tol=tol)
+        max_fill = max((r.schur_density for r in lu.history), default=0.0)
+        rows.append([f"{tol:.0e}", qb.rank, qb.iterations,
+                     f"{qb.elapsed:.2f}s", lu.rank, lu.iterations,
+                     f"{lu.elapsed:.2f}s", lu.factor_nnz(),
+                     f"{max_fill:.4f}"])
+    print(render_table(
+        ["tau", "QB rank", "QB its", "QB time", "LU rank", "LU its",
+         "LU time", "LU factor nnz", "max Schur density"],
+        rows, title="Compression ladder (RandQB_EI p=1 vs LU_CRTP, k=32)"))
+
+    # the one-iteration regime: at tau=0.1 the tournament's first k columns
+    # capture ~99% of the Frobenius mass
+    lu1 = lu_crtp(A, k=32, tol=1e-1)
+    print(f"\nAt tau=0.1 LU_CRTP needed {lu1.iterations} iteration(s) — "
+          "the dominant hub directions carry almost all the mass.")
+
+    # downstream: repeated applications of the compressed operator
+    qb = randqb_ei(A, k=32, tol=1e-2, power=1)
+    rng = np.random.default_rng(7)
+    X = rng.standard_normal((n, 50))
+    Y_exact = A @ X
+    Y_approx = qb.apply(X)
+    rel = np.linalg.norm(Y_exact - Y_approx) / np.linalg.norm(Y_exact)
+    dense_flops = 2 * n * n * 50
+    lowrank_flops = 2 * (n + n) * qb.rank * 50
+    print(f"\n50 matvecs through the rank-{qb.rank} model: "
+          f"relative error {rel:.1e}, "
+          f"{dense_flops / lowrank_flops:.1f}x fewer flops than dense.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Fill-in and thresholding: why ILUT_CRTP exists (the M2/raefsky3 regime).
+
+A matrix with scattered sparsity and heavy-tailed values makes LU_CRTP's
+Schur complements fill in — every iteration gets slower and the truncated
+factors bloat.  This example traces the fill-in progression (Fig. 1 right),
+then shows ILUT_CRTP's thresholding collapsing both the runtime and the
+factor storage at no accuracy loss, and demonstrates the threshold-control
+safety net (bound (22)) on a deliberately absurd threshold.
+
+Run:  python examples/fillin_and_thresholding.py
+"""
+
+from repro import ilut_crtp, lu_crtp
+from repro.analysis.tables import render_table
+from repro.matrices import suite_matrix
+
+
+def main():
+    A = suite_matrix("M2", scale=0.6)  # raefsky3 analogue
+    tol = 1e-2
+    k = 16
+    print(f"Fluid-dynamics analogue: {A.shape[0]}x{A.shape[1]}, "
+          f"nnz={A.nnz}\n")
+
+    lu = lu_crtp(A, k=k, tol=tol)
+    il = ilut_crtp(A, k=k, tol=tol,
+                   estimated_iterations=max(lu.iterations, 1))
+
+    # Fig. 1 (right): density of the active matrix after each iteration
+    rows = []
+    for rec_lu, rec_il in zip(lu.history, il.history):
+        rows.append([rec_lu.iteration,
+                     f"{rec_lu.schur_density:.4f}",
+                     f"{rec_il.schur_density:.4f}",
+                     rec_il.dropped_nnz])
+    print(render_table(
+        ["iter", "LU_CRTP density", "ILUT density", "entries dropped"],
+        rows, title="Schur-complement fill-in per iteration"))
+
+    ratio = lu.factor_nnz() / il.factor_nnz()
+    speedup = lu.elapsed / max(il.elapsed, 1e-12)
+    print(f"\nLU_CRTP:   rank {lu.rank}, {lu.elapsed:.2f}s, "
+          f"factor nnz {lu.factor_nnz()}")
+    print(f"ILUT_CRTP: rank {il.rank}, {il.elapsed:.2f}s, "
+          f"factor nnz {il.factor_nnz()}")
+    print(f"ratio_NNZ = {ratio:.1f}, speedup = {speedup:.1f}x, "
+          f"mu = {il.threshold:.2e}")
+    print(f"true errors: LU {lu.error(A):.2e}, ILUT {il.error(A):.2e} "
+          f"(both under tau={tol:g})")
+
+    # the safety net: an absurd threshold trips the phi control and the
+    # algorithm falls back to exact Schur complements instead of failing
+    safe = ilut_crtp(A, k=k, tol=tol, mu=1e9)
+    print(f"\nWith mu=1e9 the control (22) triggered: "
+          f"{safe.control_triggered}; still converged: {safe.converged} "
+          f"(error {safe.error(A):.2e})")
+
+
+if __name__ == "__main__":
+    main()

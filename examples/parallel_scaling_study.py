@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Strong-scaling study on the simulated distributed machine (Fig. 4 style).
+
+Runs the sequential solvers once to record their algorithm traces, then
+replays the traces through the alpha-beta-gamma machine model across a
+process-count sweep — the same methodology the benches use for Fig. 4.
+Also demonstrates the *executable* SPMD layer at small process counts.
+
+Run:  python examples/parallel_scaling_study.py
+"""
+
+from repro import ilut_crtp, lu_crtp, randqb_ei
+from repro.matrices import suite_matrix
+from repro.parallel import (
+    ScalingCurve,
+    run_spmd,
+    simulate_ilut_crtp,
+    simulate_lu_crtp,
+    simulate_randqb_ei,
+    spmd_randqb_ei,
+    speedup_table,
+    strong_scaling,
+)
+
+
+def main():
+    A = suite_matrix("M2", scale=0.6)
+    k, tol = 16, 1e-2
+    print(f"Problem: M2 analogue {A.shape}, nnz={A.nnz}, k={k}, "
+          f"tau={tol:g}\n")
+
+    # 1) sequential runs record the traces
+    qb = randqb_ei(A, k=k, tol=tol, power=1)
+    lu = lu_crtp(A, k=k, tol=tol)
+    il = ilut_crtp(A, k=k, tol=tol,
+                   estimated_iterations=max(lu.iterations, 1))
+
+    # 2) replay through the machine model across a P sweep
+    ps = [1, 4, 16, 64, 256, 1024, 4096]
+    curves = [
+        ScalingCurve.from_reports("RandQB_EI p=1", strong_scaling(
+            lambda p: simulate_randqb_ei(qb, A, p, k=k, power=1), ps)),
+        ScalingCurve.from_reports("LU_CRTP", strong_scaling(
+            lambda p: simulate_lu_crtp(lu, p), ps)),
+        ScalingCurve.from_reports("ILUT_CRTP", strong_scaling(
+            lambda p: simulate_ilut_crtp(il, p), ps)),
+    ]
+    print(speedup_table(curves))
+    for c in curves:
+        print(f"{c.label:16s} stops scaling near np = "
+              f"{c.saturation_nprocs()}")
+
+    # 3) the executable SPMD layer: real distributed execution at small P
+    out = run_spmd(4, spmd_randqb_ei, A, k=k, tol=tol, seed=0)
+    _, _, K, conv = out["results"][0]
+    print(f"\nExecutable SPMD RandQB_EI on 4 ranks: rank {K}, "
+          f"converged={conv}, modeled time {out['elapsed'] * 1e3:.2f} ms")
+    print("per-kernel modeled seconds (max over ranks):")
+    for kernel, secs in sorted(out["kernel_seconds"].items()):
+        print(f"  {kernel:14s} {secs * 1e3:8.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: fixed-precision low-rank approximation of a sparse matrix.
+
+Builds a sparse test matrix, runs the four fixed-precision methods of the
+paper with the same uniform termination criterion, and compares achieved
+rank, runtime, factor storage and exact error.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ilut_crtp, lu_crtp, randqb_ei, randubv
+from repro.analysis.tables import render_table
+from repro.matrices import random_graded
+
+
+def main():
+    # a 500x500 sparse matrix with exponentially decaying singular values
+    # and heavy-tailed entry magnitudes (a "fluid dynamics"-like problem)
+    A = random_graded(500, 500, nnz_per_row=12, decay_rate=8.0,
+                      value_spread=1.5, two_sided=True, seed=0)
+    tol = 1e-2
+    k = 16
+    print(f"Input: {A.shape[0]}x{A.shape[1]} sparse, nnz={A.nnz}, "
+          f"target relative error tau={tol:g}\n")
+
+    results = {}
+    results["RandQB_EI (p=1)"] = randqb_ei(A, k=k, tol=tol, power=1)
+    results["RandUBV"] = randubv(A, k=k, tol=tol)
+    lu = lu_crtp(A, k=k, tol=tol)
+    results["LU_CRTP"] = lu
+    results["ILUT_CRTP"] = ilut_crtp(
+        A, k=k, tol=tol, estimated_iterations=max(lu.iterations, 1))
+
+    rows = []
+    for name, r in results.items():
+        rows.append([name, r.rank, r.iterations, f"{r.elapsed:.3f}s",
+                     r.factor_nnz(), f"{r.error(A):.2e}",
+                     "yes" if r.converged else "NO"])
+    print(render_table(
+        ["method", "rank K", "iters", "time", "factor nnz", "true error",
+         "converged"],
+        rows, title="Fixed-precision solvers at tau=1e-2"))
+
+    # the deterministic factors are sparse; the randomized ones are dense
+    print("\nKey takeaway: all methods reach the same accuracy; the LU-based"
+          "\nfactors are sparse (and ILUT_CRTP's are the sparsest), while"
+          "\nthe randomized factors are dense but produced at steadier cost.")
+
+    # downstream use: apply the approximation to a vector without forming it
+    import numpy as np
+    x = np.random.default_rng(1).standard_normal(A.shape[1])
+    qb = results["RandQB_EI (p=1)"]
+    y = qb.apply(x)  # Q @ (B @ x): O((m+n)K) instead of O(m n)
+    print(f"\napply() check: ||A x - QB x|| / ||A x|| = "
+          f"{np.linalg.norm(A @ x - y) / np.linalg.norm(A @ x):.2e}")
+
+
+if __name__ == "__main__":
+    main()

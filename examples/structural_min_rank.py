@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Minimum-rank analysis of a structural (FEM) problem — Figs. 2-3 style.
+
+Structural stiffness matrices decay slowly, so high approximation quality
+requires large rank (the paper's M1/M5 long-tail regime).  This example
+computes, per tolerance:
+
+- the exact minimum rank required (from the full spectrum — Eckart-Young),
+- the cheap RandQB_EI-based approximation of that minimum rank, and
+- the rank each fixed-precision solver actually uses,
+
+quantifying each method's rank overshoot.
+
+Run:  python examples/structural_min_rank.py
+"""
+
+from repro import lu_crtp, randqb_ei
+from repro.analysis.minrank import approx_minimum_rank_curve, minimum_rank_curve
+from repro.analysis.tables import render_table
+from repro.matrices import grid_stiffness
+
+
+def main():
+    A = grid_stiffness(22, 22, coeff_jitter=0.8, seed=2)
+    n = A.shape[0]
+    print(f"Structural stiffness: {n}x{n}, nnz={A.nnz}\n")
+
+    tols = [3e-1, 1e-1, 3e-2, 1e-2]
+    exact = minimum_rank_curve(A, tols)
+    approx = approx_minimum_rank_curve(A, tols, k=16, power=2)
+
+    rows = []
+    for tol in tols:
+        qb = randqb_ei(A, k=16, tol=tol, power=1)
+        lu = lu_crtp(A, k=16, tol=tol)
+        rows.append([f"{tol:.0e}", exact[tol],
+                     f"{100 * exact[tol] / n:.0f}%", approx[tol],
+                     qb.rank, lu.rank])
+    print(render_table(
+        ["tau", "min rank (TSVD)", "% of n", "min rank (RandQB est.)",
+         "RandQB_EI rank", "LU_CRTP rank"],
+        rows,
+        title="Minimum rank required vs rank used (slow-decay problem)"))
+
+    print("\nReading: the TSVD column is the Eckart-Young optimum; the "
+          "RandQB estimate\ntracks it cheaply (Fig. 2's asterisks vs "
+          "circles); the solvers overshoot by\nup to one block size since "
+          "rank grows in steps of k.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — parallel fixed-precision low-rank approximation of sparse matrices.
+
+A from-scratch reproduction of Ernstbrunner, Mayer, Gansterer:
+"Accuracy vs. Cost in Parallel Fixed-Precision Low-Rank Approximations of
+Sparse Matrices" (IPDPS 2022).
+
+Quick start
+-----------
+>>> from repro import randqb_ei, lu_crtp, ilut_crtp
+>>> from repro.matrices import suite_matrix
+>>> A = suite_matrix("M1")
+>>> qb = randqb_ei(A, k=32, tol=1e-2)
+>>> lu = ilut_crtp(A, k=32, tol=1e-2, estimated_iterations=8)
+>>> qb.rank, lu.rank  # doctest: +SKIP
+
+Packages
+--------
+- :mod:`repro.core` — the fixed-precision solvers (RandQB_EI, LU_CRTP,
+  ILUT_CRTP, RandUBV + baselines).
+- :mod:`repro.linalg` — dense/tall-skinny kernels (QRCP, strong RRQR,
+  CholeskyQR2, TSQR, Lanczos SVD).
+- :mod:`repro.sparse` — sparse utilities, thresholding, fill-in tracking.
+- :mod:`repro.ordering` — COLAMD-style ordering, column etree, RCM.
+- :mod:`repro.pivoting` — QR_TP tournament pivoting.
+- :mod:`repro.parallel` — simulated distributed-memory layer (SPMD
+  communicator + alpha-beta performance model).
+- :mod:`repro.matrices` — test-matrix generators (paper suite analogues,
+  SJSU-style collection, Matrix Market I/O).
+- :mod:`repro.analysis` — error/min-rank/EDF analysis and table rendering.
+"""
+
+from .core import (
+    RandQB_EI,
+    randqb_ei,
+    LU_CRTP,
+    lu_crtp,
+    ILUT_CRTP,
+    ilut_crtp,
+    RandUBV,
+    randubv,
+    truncated_svd,
+)
+from .exceptions import (
+    ReproError,
+    ConvergenceError,
+    RankDeficiencyBreakdown,
+    ToleranceTooSmallError,
+)
+from .results import (
+    LowRankApproximation,
+    QBApproximation,
+    UBVApproximation,
+    LUApproximation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RandQB_EI",
+    "randqb_ei",
+    "LU_CRTP",
+    "lu_crtp",
+    "ILUT_CRTP",
+    "ilut_crtp",
+    "RandUBV",
+    "randubv",
+    "truncated_svd",
+    "ReproError",
+    "ConvergenceError",
+    "RankDeficiencyBreakdown",
+    "ToleranceTooSmallError",
+    "LowRankApproximation",
+    "QBApproximation",
+    "UBVApproximation",
+    "LUApproximation",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Analysis utilities: exact errors, minimum-rank curves, EDFs, tables.
+
+- :mod:`repro.analysis.error` — exact approximation errors and
+  correct-digit accounting (Table II's "runtime per correct digit").
+- :mod:`repro.analysis.minrank` — minimum rank required for a tolerance
+  from the exact spectrum, and the RandQB_EI-based approximation
+  (Figs. 2-3 circles and asterisks).
+- :mod:`repro.analysis.edf` — empirical distribution functions (Fig. 1
+  left).
+- :mod:`repro.analysis.tables` — plain-text table rendering used by every
+  benchmark to print paper-style rows.
+- :mod:`repro.analysis.complexity` — the Section IV asymptotic flop-count
+  formulas and the LU-vs-RandQB crossover predicate.
+"""
+
+from .error import exact_error, correct_digits, nnz_ratio
+from .minrank import minimum_rank_curve, approx_minimum_rank_curve
+from .edf import edf
+from .tables import render_table, format_sci
+from .complexity import (
+    randqb_ei_flops,
+    randubv_flops,
+    lu_crtp_flops,
+    lu_faster_than_randqb,
+)
+
+__all__ = [
+    "exact_error",
+    "correct_digits",
+    "nnz_ratio",
+    "minimum_rank_curve",
+    "approx_minimum_rank_curve",
+    "edf",
+    "render_table",
+    "format_sci",
+    "randqb_ei_flops",
+    "randubv_flops",
+    "lu_crtp_flops",
+    "lu_faster_than_randqb",
+]

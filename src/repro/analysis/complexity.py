@@ -1,0 +1,58 @@
+"""Asymptotic arithmetic-complexity formulas of Section IV.
+
+The paper gives per-iteration flop counts for the three methods and derives
+the crossover condition under which LU_CRTP beats RandQB_EI.  These
+formulas power the complexity ablation bench, which checks the *measured*
+flop counters of our implementations against them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def randqb_ei_flops(m: int, n: int, nnz: int, K: int, ibar: int,
+                    p: int = 0) -> float:
+    """Sequential cost of RandQB_EI after ``ibar`` iterations at rank ``K``.
+
+    ``O(2 K nnz + (3m + n) K^2 / 2 + 2 m K^2 / ibar
+    + p (2 K nnz + (m + n) K^2 + (m + n) K^2 / ibar))`` — Section IV.
+    """
+    base = (2.0 * K * nnz + 0.5 * (3 * m + n) * K * K
+            + 2.0 * m * K * K / max(ibar, 1))
+    power = p * (2.0 * K * nnz + (m + n) * K * K
+                 + (m + n) * K * K / max(ibar, 1))
+    return base + power
+
+
+def randubv_flops(m: int, n: int, nnz: int, K: int, ibar: int) -> float:
+    """Sequential cost of RandUBV: ``O(2 K nnz + 3 (m+n) K^2 / (2 ibar)
+    + 2 n K^2)`` — Section IV."""
+    return (2.0 * K * nnz + 1.5 * (m + n) * K * K / max(ibar, 1)
+            + 2.0 * n * K * K)
+
+
+def lu_crtp_flops(k: int, max_schur_nnz: int, ibar: int) -> float:
+    """Sequential cost of LU_CRTP: dominated by column QR_TP,
+    ``O(16 K^2 / ibar * max_i nnz(A^(i)))`` with ``K = ibar k``."""
+    K = ibar * k
+    return 16.0 * K * K / max(ibar, 1) * max_schur_nnz
+
+
+def lu_faster_than_randqb(nnz_schur_max: int, nnz_a: int, t: float, k: int,
+                          ibar: int, p: int = 0) -> bool:
+    """The Section IV crossover predicate for square matrices with
+    ``nnz(A) <= t n``: LU_CRTP is faster than RandQB_EI at iteration
+    ``ibar`` iff
+
+        nnz(A^(i)) < (p + 1) * (t + (ibar + 1) k) / (8 k t) * nnz(A).
+    """
+    bound = (p + 1) * (t + (ibar + 1) * k) / (8.0 * k * t) * nnz_a
+    return nnz_schur_max < bound
+
+
+def predicted_crossover_fill(nnz_a: int, t: float, k: int, ibar: int,
+                             p: int = 0) -> float:
+    """The fill level (as max nnz(A^(i)) / nnz(A)) at which LU_CRTP loses
+    to RandQB_EI — a single-number summary used by the ablation bench."""
+    return (p + 1) * (t + (ibar + 1) * k) / (8.0 * k * t)

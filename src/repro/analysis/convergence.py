@@ -1,0 +1,125 @@
+"""Convergence diagnostics and iteration-count prediction.
+
+The ILUT_CRTP threshold heuristic (24) needs ``u``, an estimate of the
+iteration count — the paper obtains it from "a previous run of LU_CRTP with
+the same parameter setting", i.e. by paying for the full expensive
+factorization once.  This module replaces that with a cheap probe:
+
+1. run a coarse RandQB_EI solve (one block size, loose floor tolerance) to
+   sketch the singular spectrum;
+2. convert the approximate spectrum + residual into the minimum rank
+   required for the actual tolerance (the Fig. 2 machinery);
+3. predict ``u = ceil(rank / k)``.
+
+Cost: a handful of sketch iterations — orders of magnitude below the
+LU_CRTP run it replaces.  ``ILUT_CRTP(estimated_iterations="auto")`` uses
+this path.  Also provides decay-rate diagnostics of recorded histories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..history import ConvergenceHistory
+
+
+def estimate_iterations(A, k: int, tol: float, *, probe_k: int | None = None,
+                        probe_tol: float | None = None, power: int = 1,
+                        seed: int = 0) -> int:
+    """Predict how many block iterations a fixed-precision solver needs.
+
+    Parameters
+    ----------
+    A:
+        The input matrix.
+    k:
+        Block size of the run being predicted.
+    tol:
+        Target tolerance of the run being predicted.
+    probe_k:
+        Sketch block size (default ``max(2k, 32)`` — coarse is fine).
+    probe_tol:
+        How far the probe itself runs (default ``max(tol, 1e-2)``; the
+        spectrum estimate extrapolates below it).
+    """
+    from ..core.randqb_ei import RandQB_EI
+    from ..matrices.spectra import effective_rank
+
+    m, n = A.shape
+    probe_k = probe_k or max(2 * k, 32)
+    probe_tol = probe_tol or max(tol, 1e-2)
+    probe = RandQB_EI(k=probe_k, tol=probe_tol, power=power, seed=seed,
+                      allow_unsafe_tolerance=True).solve(A)
+    _, s_approx, _ = probe.to_svd()
+
+    if tol >= probe_tol and probe.converged:
+        rank = effective_rank_with_residual(
+            s_approx, probe.indicator, probe.a_fro, tol)
+    else:
+        # extrapolate the tail decay geometrically from the sketched part
+        rank = _extrapolated_rank(s_approx, probe.indicator, probe.a_fro,
+                                  tol, min(m, n))
+    return max(1, int(np.ceil(rank / k)))
+
+
+def effective_rank_with_residual(s: np.ndarray, residual: float,
+                                 a_fro: float, tol: float) -> int:
+    """Minimum rank from an *approximate* spectrum plus the unexplained
+    residual mass (the sketch cannot see beyond its own rank)."""
+    s = np.asarray(s, dtype=np.float64)
+    resid_sq = max(residual, 0.0) ** 2
+    total_sq = a_fro ** 2
+    tail_sq = np.concatenate([np.cumsum((s ** 2)[::-1])[::-1], [0.0]])
+    target = tol * tol * total_sq
+    hits = np.flatnonzero(tail_sq + resid_sq < target)
+    return int(hits[0]) if hits.size else len(s)
+
+
+def _extrapolated_rank(s: np.ndarray, residual: float, a_fro: float,
+                       tol: float, max_rank: int) -> int:
+    """Geometric extrapolation of the spectrum's tail decay."""
+    s = np.asarray(s[s > 0], dtype=np.float64)
+    if len(s) < 4:
+        return max_rank
+    # decay rate from the last half of the sketched spectrum
+    half = len(s) // 2
+    with np.errstate(divide="ignore"):
+        logs = np.log(s[half:])
+    idx = np.arange(half, len(s))
+    slope = np.polyfit(idx, logs, 1)[0]
+    if slope >= -1e-12:  # flat spectrum: no useful extrapolation
+        return max_rank
+    # with geometric decay sigma_{r+1} ~ sigma_r * e^slope, the tail mass
+    # shrinks by ~e^{2*slope} per added rank; walk until it fits tol
+    target_sq = tol * tol * a_fro * a_fro
+    tail_sq = max(residual, 0.0) ** 2
+    r = len(s)
+    shrink = np.exp(2.0 * slope)
+    while tail_sq > target_sq and r < max_rank:
+        tail_sq *= shrink
+        r += 1
+    return min(r, max_rank)
+
+
+def decay_rate(history: ConvergenceHistory) -> float:
+    """Geometric decay rate of the indicator per iteration
+    (``< 1`` = converging; the slope Fig. 2's runtime curves reflect)."""
+    ind = [r.indicator for r in history if r.indicator > 0]
+    if len(ind) < 2:
+        return 1.0
+    ratios = [b / a for a, b in zip(ind, ind[1:]) if a > 0]
+    return float(np.exp(np.mean(np.log(np.maximum(ratios, 1e-300)))))
+
+
+def iterations_to_reach(history: ConvergenceHistory, target: float) -> int:
+    """Predict additional iterations needed to push the indicator to
+    ``target``, from the observed decay rate."""
+    if not len(history):
+        return 0
+    cur = history[-1].indicator
+    if cur <= target:
+        return 0
+    rate = decay_rate(history)
+    if rate >= 1.0:
+        return int(1e9)  # not converging
+    return int(np.ceil(np.log(target / cur) / np.log(rate)))

@@ -1,0 +1,54 @@
+"""Minimum rank required to reach a target quality (Figs. 2-3).
+
+Two curves:
+
+- the exact one (circles in the paper) from the full singular spectrum via
+  the Eckart-Young tail identity;
+- the RandQB_EI approximation (asterisks): run RandQB_EI with a high power
+  parameter and read off, for each tolerance, the *exact-rank* point within
+  the computed QB factorization — "with RandQB_EI, the exact rank
+  approximation can also be determined at small cost" [20]: the singular
+  values of the small factor ``B`` approximate those of ``A``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.randqb_ei import RandQB_EI
+from ..core.tsvd import spectrum
+from ..matrices.spectra import effective_rank
+
+
+def minimum_rank_curve(A, tolerances: list[float]) -> dict[float, int]:
+    """Exact minimum rank per tolerance from the full spectrum (TSVD)."""
+    s = spectrum(A)
+    return {tol: effective_rank(s, tol) for tol in tolerances}
+
+
+def approx_minimum_rank_curve(A, tolerances: list[float], *, k: int = 32,
+                              power: int = 2, seed: int = 0
+                              ) -> dict[float, int]:
+    """RandQB_EI-based approximation of the minimum-rank curve.
+
+    Runs one RandQB_EI solve to the tightest tolerance requested (power
+    ``p = 2`` as in Fig. 2), converts the QB factorization to an approximate
+    SVD, and evaluates the Eckart-Young tail on the *approximate* singular
+    values — plus the outstanding QB residual, which the approximate
+    spectrum cannot see.
+    """
+    tolerances = sorted(tolerances, reverse=True)
+    solver = RandQB_EI(k=k, tol=min(tolerances), power=power, seed=seed,
+                       allow_unsafe_tolerance=True)
+    res = solver.solve(A)
+    _, s_approx, _ = res.to_svd()
+    # residual unexplained by the QB factorization, in squared Frobenius mass
+    resid_sq = max(res.indicator, 0.0) ** 2
+    total_sq = res.a_fro ** 2
+    out: dict[float, int] = {}
+    tail_sq = np.concatenate([np.cumsum((s_approx ** 2)[::-1])[::-1], [0.0]])
+    for tol in tolerances:
+        target = tol * tol * total_sq
+        hits = np.flatnonzero(tail_sq + resid_sq < target)
+        out[tol] = int(hits[0]) if hits.size else len(s_approx)
+    return out

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench prints the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and readable in
+terminal output and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def format_sci(x: float, digits: int = 1) -> str:
+    """Compact scientific notation: ``3.3e+05`` -> ``3.3e5`` style."""
+    if x is None or (isinstance(x, float) and not np.isfinite(x)):
+        return "-"
+    if x == 0:
+        return "0"
+    s = f"{x:.{digits}e}"
+    mant, exp = s.split("e")
+    return f"{mant}e{int(exp)}"
+
+
+def format_cell(x) -> str:
+    if x is None:
+        return "-"
+    if isinstance(x, str):
+        return x
+    if isinstance(x, (int, np.integer)):
+        return str(int(x))
+    if isinstance(x, float):
+        if not np.isfinite(x):
+            return "-"
+        ax = abs(x)
+        if ax != 0 and (ax >= 1e4 or ax < 1e-3):
+            return format_sci(x)
+        return f"{x:.3g}"
+    return str(x)
+
+
+def render_table(headers: list[str], rows: list[list], *, title: str = ""
+                 ) -> str:
+    """Render an aligned monospace table."""
+    cells = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for j, c in enumerate(row):
+            widths[j] = max(widths[j], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    head = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(head)
+    lines.append("-" * len(head))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

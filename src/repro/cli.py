@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+- ``info`` — list the built-in suite matrices (Table I analogues).
+- ``solve`` — run one fixed-precision solver on a matrix and print the
+  result summary (rank, iterations, time, factor nnz, indicator).
+- ``compare`` — run all four methods with uniform termination and print a
+  side-by-side table.
+- ``scaling`` — modeled strong-scaling sweep for a matrix/method.
+
+Matrices are addressed either by suite label (``M1``..``M6``, with
+``--scale``) or by a Matrix Market file path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _load_matrix(spec: str, scale: float):
+    from .matrices import read_matrix_market, suite_matrix
+    if Path(spec).exists():
+        return read_matrix_market(spec)
+    return suite_matrix(spec, scale=scale)
+
+
+def _make_solver(method: str, args):
+    from .core import ILUT_CRTP, LU_CRTP, RandQB_EI, RandUBV
+    method = method.lower()
+    if method in ("randqb", "randqb_ei", "qb"):
+        return RandQB_EI(k=args.k, tol=args.tol, power=args.power,
+                         seed=args.seed)
+    if method in ("ubv", "randubv"):
+        return RandUBV(k=args.k, tol=args.tol, seed=args.seed)
+    if method in ("lu", "lu_crtp"):
+        return LU_CRTP(k=args.k, tol=args.tol)
+    if method in ("ilut", "ilut_crtp"):
+        return ILUT_CRTP(k=args.k, tol=args.tol,
+                         estimated_iterations=args.estimated_iterations)
+    raise SystemExit(f"unknown method {method!r} "
+                     "(choose randqb | ubv | lu | ilut)")
+
+
+def _summary_row(name: str, res) -> list:
+    return [name, res.rank, res.iterations, f"{res.elapsed:.3f}",
+            res.factor_nnz(), f"{res.relative_indicator():.2e}",
+            "yes" if res.converged else "NO"]
+
+
+def cmd_info(args) -> int:
+    from .analysis.tables import render_table
+    from .matrices import suite_entries, suite_matrix
+    rows = []
+    for e in suite_entries():
+        A = suite_matrix(e.label, scale=args.scale)
+        rows.append([e.label, e.paper_name, e.description,
+                     f"{A.shape[0]}x{A.shape[1]}", A.nnz, e.default_k])
+    print(render_table(
+        ["label", "paper matrix", "class", "analogue shape", "nnz",
+         "default k"], rows, title=f"Suite matrices (scale={args.scale})"))
+    return 0
+
+
+def cmd_solve(args) -> int:
+    from .analysis.tables import render_table
+    A = _load_matrix(args.matrix, args.scale)
+    solver = _make_solver(args.method, args)
+    res = solver.solve(A)
+    print(render_table(
+        ["method", "rank", "iters", "time[s]", "factor nnz", "indicator",
+         "converged"],
+        [_summary_row(args.method, res)],
+        title=f"{args.matrix}: {A.shape[0]}x{A.shape[1]}, nnz={A.nnz}, "
+              f"tau={args.tol:g}, k={args.k}"))
+    if args.check:
+        print(f"exact relative error: {res.error(A):.3e}")
+    return 0 if res.converged else 1
+
+
+def cmd_compare(args) -> int:
+    from .analysis.tables import render_table
+    from .core import ILUT_CRTP, LU_CRTP, RandQB_EI, RandUBV
+    A = _load_matrix(args.matrix, args.scale)
+    rows = []
+    qb = RandQB_EI(k=args.k, tol=args.tol, power=args.power,
+                   seed=args.seed).solve(A)
+    rows.append(_summary_row(f"RandQB_EI p={args.power}", qb))
+    ubv = RandUBV(k=args.k, tol=args.tol, seed=args.seed).solve(A)
+    rows.append(_summary_row("RandUBV", ubv))
+    lu = LU_CRTP(k=args.k, tol=args.tol).solve(A)
+    rows.append(_summary_row("LU_CRTP", lu))
+    il = ILUT_CRTP(k=args.k, tol=args.tol,
+                   estimated_iterations=max(lu.iterations, 1)).solve(A)
+    rows.append(_summary_row("ILUT_CRTP", il))
+    print(render_table(
+        ["method", "rank", "iters", "time[s]", "factor nnz", "indicator",
+         "converged"],
+        rows, title=f"{args.matrix}: {A.shape[0]}x{A.shape[1]}, "
+                    f"nnz={A.nnz}, tau={args.tol:g}, k={args.k}"))
+    ratio = lu.factor_nnz() / max(il.factor_nnz(), 1)
+    print(f"\nratio_NNZ (LU/ILUT) = {ratio:.2f}, ILUT mu = "
+          f"{il.threshold:.2e}")
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    from .parallel import (
+        ScalingCurve,
+        simulate_ilut_crtp,
+        simulate_lu_crtp,
+        simulate_randqb_ei,
+        simulate_randubv,
+        speedup_table,
+        strong_scaling,
+    )
+    from .core import ILUT_CRTP, LU_CRTP, RandQB_EI, RandUBV
+    A = _load_matrix(args.matrix, args.scale)
+    ps = [int(p) for p in args.nprocs.split(",")]
+    curves = []
+    qb = RandQB_EI(k=args.k, tol=args.tol, power=args.power,
+                   seed=args.seed).solve(A)
+    curves.append(ScalingCurve.from_reports(
+        f"RandQB_EI p={args.power}", strong_scaling(
+            lambda p: simulate_randqb_ei(qb, A, p, k=args.k,
+                                         power=args.power), ps)))
+    ubv = RandUBV(k=args.k, tol=args.tol, seed=args.seed).solve(A)
+    curves.append(ScalingCurve.from_reports(
+        "RandUBV", strong_scaling(
+            lambda p: simulate_randubv(ubv, A, p, k=args.k), ps)))
+    lu = LU_CRTP(k=args.k, tol=args.tol).solve(A)
+    curves.append(ScalingCurve.from_reports(
+        "LU_CRTP", strong_scaling(lambda p: simulate_lu_crtp(lu, p), ps)))
+    il = ILUT_CRTP(k=args.k, tol=args.tol,
+                   estimated_iterations=max(lu.iterations, 1)).solve(A)
+    curves.append(ScalingCurve.from_reports(
+        "ILUT_CRTP", strong_scaling(lambda p: simulate_ilut_crtp(il, p),
+                                    ps)))
+    print(speedup_table(curves))
+    for c in curves:
+        print(f"{c.label:16s} saturates near np = {c.saturation_nprocs()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Fixed-precision low-rank approximation of sparse "
+                    "matrices (RandQB_EI / LU_CRTP / ILUT_CRTP)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument("matrix",
+                        help="suite label (M1..M6) or Matrix Market file")
+        sp.add_argument("--scale", type=float, default=1.0,
+                        help="suite-matrix size multiplier")
+        sp.add_argument("-k", type=int, default=32, help="block size")
+        sp.add_argument("--tol", type=float, default=1e-2,
+                        help="relative tolerance tau")
+        sp.add_argument("--power", type=int, default=1,
+                        help="RandQB_EI power parameter p")
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--estimated-iterations", type=int, default=10,
+                        help="ILUT heuristic (24) iteration estimate u")
+
+    pi = sub.add_parser("info", help="list suite matrices")
+    pi.add_argument("--scale", type=float, default=1.0)
+    pi.set_defaults(func=cmd_info)
+
+    ps_ = sub.add_parser("solve", help="run one solver")
+    common(ps_)
+    ps_.add_argument("--method", default="ilut",
+                     help="randqb | ubv | lu | ilut")
+    ps_.add_argument("--check", action="store_true",
+                     help="also compute the exact (dense) error")
+    ps_.set_defaults(func=cmd_solve)
+
+    pc = sub.add_parser("compare", help="run all four methods")
+    common(pc)
+    pc.set_defaults(func=cmd_compare)
+
+    psc = sub.add_parser("scaling", help="modeled strong-scaling sweep")
+    common(psc)
+    psc.add_argument("--nprocs", default="1,4,16,64,256,1024",
+                     help="comma-separated process counts")
+    psc.set_defaults(func=cmd_scaling)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early — normal use
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Fixed-precision low-rank approximation algorithms (Sections II-III).
+
+Primary methods
+---------------
+- :class:`repro.core.randqb_ei.RandQB_EI` — randomized QB factorization
+  with efficient error indicator (Algorithm 1).
+- :class:`repro.core.lu_crtp.LU_CRTP` — truncated LU with column/row
+  tournament pivoting, fixed-precision variant (Algorithm 2).
+- :class:`repro.core.ilut_crtp.ILUT_CRTP` — incomplete LU_CRTP with
+  thresholding (Algorithm 3, the paper's contribution).
+- :class:`repro.core.randubv.RandUBV` — block Golub-Kahan comparator.
+
+Baselines from the related-work discussion (Section I-A)
+---------------------------------------------------------
+- :func:`repro.core.rrf.randomized_range_finder` (fixed rank, RRF),
+- :class:`repro.core.arrf.AdaptiveRangeFinder` (ARRF, Halko et al. 4.2),
+- :class:`repro.core.randqb_b.RandQB_b` (Martinsson-Voronin; dense updates),
+- :class:`repro.core.rsvd.AdaptiveRSVD` (rank-doubling randomized SVD).
+
+Reference
+---------
+- :func:`repro.core.tsvd.truncated_svd` — Lanczos TSVD used for the
+  minimum-rank curves of Figs. 2-3.
+"""
+
+from .randqb_ei import RandQB_EI, randqb_ei
+from .lu_crtp import LU_CRTP, lu_crtp
+from .ilut_crtp import ILUT_CRTP, ilut_crtp, default_threshold
+from .randubv import RandUBV, randubv
+from .rrf import randomized_range_finder, randomized_qb
+from .arrf import AdaptiveRangeFinder, adaptive_range_finder
+from .randqb_b import RandQB_b, randqb_b
+from .rsvd import AdaptiveRSVD, adaptive_rsvd
+from .tsvd import truncated_svd, spectrum
+from .fixed_rank import fixed_rank_qb, fixed_rank_lu_crtp
+from .apply import pseudo_solve, as_preconditioner
+from .termination import (
+    RandErrorIndicator,
+    check_tolerance,
+    INDICATOR_DOUBLE_PRECISION_FLOOR,
+)
+
+__all__ = [
+    "RandQB_EI",
+    "randqb_ei",
+    "LU_CRTP",
+    "lu_crtp",
+    "ILUT_CRTP",
+    "ilut_crtp",
+    "default_threshold",
+    "RandUBV",
+    "randubv",
+    "randomized_range_finder",
+    "randomized_qb",
+    "AdaptiveRangeFinder",
+    "adaptive_range_finder",
+    "RandQB_b",
+    "randqb_b",
+    "AdaptiveRSVD",
+    "adaptive_rsvd",
+    "truncated_svd",
+    "spectrum",
+    "fixed_rank_qb",
+    "fixed_rank_lu_crtp",
+    "pseudo_solve",
+    "as_preconditioner",
+    "RandErrorIndicator",
+    "check_tolerance",
+    "INDICATOR_DOUBLE_PRECISION_FLOOR",
+]

@@ -1,0 +1,154 @@
+"""Applying low-rank approximations downstream: pseudo-solve and
+preconditioning.
+
+A fixed-precision factorization is rarely the end goal; the typical
+consumers are
+
+- **least-squares / pseudo-inverse application**: ``x = A_K^+ b`` where
+  ``A_K = H W`` is the rank-K approximation (model reduction, regularized
+  solves);
+- **preconditioning**: the (I)LUT_CRTP factors define the natural two-sided
+  preconditioner ``M^{-1} = P_c U_K^+ L_K^+ P_r`` for Krylov methods on
+  ill-conditioned least-squares problems.
+
+Both reduce to applying the factor pseudo-inverses.  For QB/UBV results the
+factors are orthonormal-times-small, so the pseudo-inverse is explicit; for
+LU results ``L^+``/``U^+`` are computed through the triangular leading
+blocks (:mod:`repro.sparse.trisolve`) — exact when the truncation error is
+zero, and a preconditioner-quality approximation otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..results import LUApproximation, QBApproximation, UBVApproximation
+from ..sparse.trisolve import block_upper_solve, sparse_lower_solve
+
+
+def pseudo_solve(result, b: np.ndarray) -> np.ndarray:
+    """Minimum-norm least-squares solution of ``A_K x ~= b`` through the
+    factorization, without forming ``A_K``.
+
+    Parameters
+    ----------
+    result:
+        Any solver result (QB / UBV / LU families).
+    b:
+        Right-hand side vector or block, length ``m``.
+
+    Notes
+    -----
+    - QB: ``x = B^+ (Q^T b)`` with the small dense pseudo-inverse.
+    - UBV: ``x = V B^+ (U^T b)``.
+    - LU: ``x = P_c U^+ L^+ P_r b``; the leading-block triangular structure
+      gives ``L^+ b ~= L1^{-1} b[:K]`` refined by a least-squares correction
+      (see :func:`lu_left_apply`).
+    """
+    if isinstance(result, QBApproximation):
+        y = result.Q.T @ b
+        x = np.linalg.lstsq(result.B, y, rcond=None)[0]
+        return x
+    if isinstance(result, UBVApproximation):
+        y = result.U.T @ b
+        z = np.linalg.lstsq(result.Bmat, y, rcond=None)[0]
+        return result.V @ z
+    if isinstance(result, LUApproximation):
+        bp = np.asarray(b)[result.row_perm]
+        y = lu_left_apply(result, bp)
+        z = lu_right_solve(result, y)
+        x = np.empty_like(z)
+        x[result.col_perm] = z
+        return x
+    raise TypeError(f"unsupported result type {type(result).__name__}")
+
+
+def lu_left_apply(result: LUApproximation, bp: np.ndarray) -> np.ndarray:
+    """``y = L^+ bp`` using the unit-triangular leading block.
+
+    ``L = [L1; L2]`` with ``L1`` unit lower triangular: the least-squares
+    solution solves ``(L1^T L1 + L2^T L2) y = L^T bp``; since ``K`` is small
+    the normal equations are formed densely (cost ``O(nnz(L) K + K^3)``).
+    """
+    K = result.rank
+    L = result.L.tocsc()
+    Lt_b = np.asarray(L.T @ bp)
+    G = np.asarray((L.T @ L).todense())
+    return np.linalg.solve(G + 1e-14 * np.eye(K), Lt_b)
+
+
+def lu_right_solve(result: LUApproximation, y: np.ndarray) -> np.ndarray:
+    """Minimum-norm ``z`` with ``U z = y``: solve through the block-upper
+    leading block ``U1 = U[:, :K]`` and zero-pad the free columns."""
+    K = result.rank
+    U1 = result.U.tocsc()[:, :K]
+    # U1 is block upper triangular with dense diagonal blocks of the
+    # factorization's block size; recover it from the history when present
+    block = K
+    if len(result.history):
+        block = max(result.history[0].rank, 1)
+    z1 = block_upper_solve(U1, y, block=block)
+    n = result.U.shape[1]
+    z = np.zeros((n,) + np.shape(y)[1:])
+    z[:K] = z1
+    return z
+
+
+def as_preconditioner(result: LUApproximation):
+    """Wrap an (I)LUT_CRTP result as a ``scipy.sparse.linalg.LinearOperator``
+    applying ``M = P_c U^+ L^+ P_r`` — usable directly as ``M=`` in scipy's
+    Krylov solvers and as ``right_inverse=`` in :func:`repro.solvers.cgls`
+    (which also needs the transpose, provided via ``rmatvec``)."""
+    from scipy.sparse.linalg import LinearOperator
+    m = result.L.shape[0]
+    n = result.U.shape[1]
+
+    def matvec(b):
+        return pseudo_solve(result, np.asarray(b, dtype=np.float64))
+
+    def rmatvec(x):
+        # M^T = P_r^T (L^+)^T (U^+)^T P_c^T
+        x = np.asarray(x, dtype=np.float64)
+        K = result.rank
+        z = x[result.col_perm]                      # P_c^T x
+        y = _u_plus_transpose(result, z[:K])        # (U^+)^T
+        # (L^+)^T y = L (L^T L)^{-1} y  (G symmetric)
+        L = result.L.tocsc()
+        G = np.asarray((L.T @ L).todense())
+        w = np.asarray(L @ np.linalg.solve(G + 1e-14 * np.eye(K), y))
+        out = np.empty(m)
+        out[result.row_perm] = w                    # P_r^T
+        return out
+
+    return LinearOperator((n, m), matvec=matvec, rmatvec=rmatvec)
+
+
+def _u_plus_transpose(result: LUApproximation, z: np.ndarray) -> np.ndarray:
+    """``(U^+)^T z``: forward substitution on the block *lower* triangular
+    ``U1^T`` (the transpose of the leading block staircase)."""
+    K = result.rank
+    U1t = result.U.tocsc()[:, :K].T.tocsr()
+    block = K
+    if len(result.history):
+        block = max(result.history[0].rank, 1)
+    x = np.array(z, dtype=np.float64, copy=True)
+    n = K
+    for s in range(0, n, block):
+        e = min(s + block, n)
+        rhs = x[s:e].copy()
+        if s > 0:
+            rhs -= U1t[s:e, :s] @ x[:s]
+        D = np.asarray(U1t[s:e, s:e].todense())
+        x[s:e] = np.linalg.solve(D, rhs)
+    return x
+
+
+def unit_lower_apply_inverse(result: LUApproximation,
+                             b: np.ndarray) -> np.ndarray:
+    """Fast variant of ``L^+`` ignoring ``L2``: ``y = L1^{-1} b[:K]``
+    (exact when ``b`` lies in the range of the approximation's row space;
+    the cheap choice for preconditioning)."""
+    K = result.rank
+    L1 = result.L.tocsc()[:K, :K]
+    return sparse_lower_solve(L1, np.asarray(b)[:K], unit_diagonal=False)

@@ -1,0 +1,53 @@
+"""Fixed-RANK problem interface (the contrast class of Section I).
+
+The paper studies *fixed-precision* methods; "the majority of research and
+software implementations ... have so far focused on the fixed-rank problem"
+(Bach et al., quoted in §I-A).  These wrappers expose that classical
+interface on top of the library's solvers — run to a prescribed rank,
+ignore the tolerance test — which is also exactly Grigori et al.'s original
+(fixed-rank) LU_CRTP.
+"""
+
+from __future__ import annotations
+
+from ..results import LUApproximation, QBApproximation
+from .lu_crtp import LU_CRTP
+from .randqb_ei import RandQB_EI
+
+
+def fixed_rank_qb(A, rank: int, *, k: int | None = None, power: int = 0,
+                  seed: int | None = 0, **kwargs) -> QBApproximation:
+    """Rank-``rank`` QB factorization via blocked randomized sketching.
+
+    Parameters
+    ----------
+    A:
+        Sparse or dense input.
+    rank:
+        Exact target rank (the returned factorization has this rank, capped
+        at ``min(A.shape)``).
+    k:
+        Internal block size (default: ``rank`` in one shot, like RRF; pass
+        a smaller ``k`` for the blocked variant).
+    power, seed:
+        As for :class:`repro.core.randqb_ei.RandQB_EI`.
+    """
+    if rank <= 0:
+        raise ValueError("rank must be positive")
+    solver = RandQB_EI(k=k or rank, tol=0.5, power=power, seed=seed,
+                       target_rank=rank, **kwargs)
+    return solver.solve(A)
+
+
+def fixed_rank_lu_crtp(A, rank: int, *, k: int | None = None,
+                       **kwargs) -> LUApproximation:
+    """Rank-``rank`` truncated LU with tournament pivoting — the original
+    fixed-rank LU_CRTP of Grigori/Cayrols/Demmel (2018).
+
+    ``k`` defaults to ``min(rank, 32)``; all LU_CRTP options are accepted.
+    """
+    if rank <= 0:
+        raise ValueError("rank must be positive")
+    solver = LU_CRTP(k=k or min(rank, 32), tol=0.5, target_rank=rank,
+                     **kwargs)
+    return solver.solve(A)

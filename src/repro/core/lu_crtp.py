@@ -1,0 +1,415 @@
+"""LU_CRTP — truncated block LU with column/row tournament pivoting.
+
+Fixed-precision variant of Grigori/Cayrols/Demmel (2018) as developed by the
+paper (Algorithm 2).  Each iteration:
+
+1. column tournament QR_TP on the active matrix ``A^(i)`` selects the ``k``
+   most linearly independent columns (``P_c^(i)``);
+2. the selected columns are orthogonalized (sparse QR — CholeskyQR2 here,
+   SuiteSparseQR in the paper) giving ``Q_k``;
+3. a row tournament on ``Q_k^T`` selects ``k`` rows (``P_r^(i)``);
+4. the permuted active matrix is split into the 2x2 block form; the
+   truncated factors ``L_k = [I; A21 A11^{-1}]`` and ``U_k = [A11 A12]`` are
+   appended, and the Schur complement ``S(A11) = A22 - A21 A11^{-1} A12``
+   becomes the next active matrix.
+
+Termination uses the paper's new indicator (9): ``||A^(i+1)||_F``, which
+equals ``||P_r A P_c - L_K U_K||_F`` exactly, making the comparison with
+RandQB_EI's indicator (4) fair.
+
+The Schur complement is where fill-in appears (Section II-B3); the solver
+records it per iteration through :class:`repro.sparse.fillin.FillInTracker`
+and the history records, feeding Fig. 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import ConvergenceError, RankDeficiencyBreakdown
+from ..history import ConvergenceHistory, IterationRecord
+from ..linalg.cholqr import cholqr2
+from ..linalg.norms import fro_norm
+from ..ordering.etree import colamd_preprocess
+from ..pivoting.tournament import qr_tp, qr_tp_rows
+from ..results import LUApproximation
+from ..sparse.ops import (
+    assemble_L_global,
+    assemble_U_global,
+    permute_cols,
+    permute_rows,
+    split_2x2,
+)
+from ..sparse.utils import drop_explicit_zeros, ensure_csc
+from .termination import check_tolerance
+
+#: Relative magnitude of |R(k,k)| vs |R(1,1)| below which the active matrix
+#: is declared numerically rank-deficient ("stop at the numerical rank", §VI-A).
+NUMERICAL_RANK_RTOL = 1e-14
+
+
+@dataclass
+class IterationArtifacts:
+    """Internal per-iteration products handed back to the driver loop."""
+
+    Lk: sp.spmatrix
+    Uk: sp.spmatrix
+    schur: sp.csc_matrix
+    row_perm_local: np.ndarray
+    col_perm_local: np.ndarray
+    r11_diag: np.ndarray
+    tournament_stats: object
+    kernel_seconds: dict
+    stats: dict
+
+
+@dataclass
+class LU_CRTP:
+    """Fixed-precision truncated LU with tournament pivoting.
+
+    Parameters
+    ----------
+    k:
+        Block size (rank added per iteration).
+    tol:
+        Relative tolerance ``tau``.
+    max_rank:
+        Rank cap (default: numerical-rank / dimension limited).
+    use_colamd:
+        Apply the COLAMD + elimination-tree-postorder preprocessing of
+        Section V before factorizing (recommended; ablation in Fig. 1).
+    colamd_every_iteration:
+        Re-apply COLAMD to every Schur complement (the Fig. 1 yellow-dotted
+        ablation; slightly better fill, intrinsically sequential).
+    tree:
+        Tournament reduction-tree shape, ``"binary"`` or ``"flat"``.
+    selection_method:
+        Column-selection strategy at tournament nodes (``"gram"``/``"dense"``).
+    strong_rrqr:
+        Use Gu-Eisenstat swaps at tournament nodes.
+    l_formula:
+        ``"schur"`` — ``L21 = A21 A11^{-1}`` (sparse-friendly);
+        ``"orthogonal"`` — ``L21 = Qbar21 Qbar11^{-1}`` (the numerically
+        stabler alternative of §II-B3 that introduces additional fill);
+        ``"auto"`` — switch to orthogonal when ``A11`` is ill-conditioned.
+    stop_at_numerical_rank:
+        Stop (flagged converged=False unless tolerance already met) when the
+        pivot block becomes numerically singular instead of raising.
+    zero_drop_tol:
+        Entries of the Schur complement at or below this magnitude are
+        treated as exact cancellation noise and pruned (this is *not*
+        ILUT thresholding; it only removes round-off debris).
+    schur_engine:
+        ``"scipy"`` (default) or ``"native"`` — use the library's own
+        vectorized-Gustavson SpGEMM (:mod:`repro.sparse.spgemm`) for the
+        ``F @ A12`` product.
+    qr_engine:
+        Factorization used on the k winning columns (Algorithm 2 line 6):
+        ``"cholqr2"`` (default — Gram-based, fastest here) or
+        ``"householder"`` — the library's left-looking sparse Householder
+        QR (:mod:`repro.linalg.sparse_qr`), the direct counterpart of the
+        paper's SuiteSparseQR.
+    discard_small_columns:
+        Cayrols-style work reduction (reference [2] of the paper):
+        columns of the active matrix whose 2-norm falls below this fraction
+        of the largest column norm are excluded from the tournament's
+        candidate set (they cannot win a rank-revealing match anyway).
+        They remain in the matrix and in every Schur update, so the
+        factorization and its error are unchanged — only pivot-search work
+        shrinks.  ``0`` disables.
+    """
+
+    k: int = 32
+    tol: float = 1e-3
+    max_rank: int | None = None
+    use_colamd: bool = True
+    colamd_every_iteration: bool = False
+    tree: str = "binary"
+    selection_method: str = "gram"
+    strong_rrqr: bool = False
+    l_formula: str = "schur"
+    stop_at_numerical_rank: bool = True
+    zero_drop_tol: float = 0.0
+    raise_on_failure: bool = False
+    schur_engine: str = "scipy"
+    discard_small_columns: float = 0.0
+    qr_engine: str = "cholqr2"
+    target_rank: int | None = None  # fixed-RANK mode (Grigori et al.'s
+    # original problem): run to this rank, ignoring the tolerance test
+    callback: object = None  # optional per-iteration hook: f(IterationRecord)
+
+    def __post_init__(self):
+        if self.k <= 0:
+            raise ValueError("block size k must be positive")
+        if self.l_formula not in ("schur", "orthogonal", "auto"):
+            raise ValueError(f"unknown l_formula {self.l_formula!r}")
+
+    # ------------------------------------------------------------------
+    def solve(self, A) -> LUApproximation:
+        """Run Algorithm 2 on ``A``."""
+        check_tolerance(self.tol, randomized=False)
+        t0 = time.perf_counter()
+        A = ensure_csc(A)
+        m, n = A.shape
+        a_fro = fro_norm(A)
+        max_rank = min(self.max_rank or min(m, n), min(m, n))
+        if self.target_rank is not None:
+            max_rank = min(self.target_rank, min(m, n))
+
+        col_perm = np.arange(n, dtype=np.intp)
+        if self.use_colamd and A.nnz:
+            pre = colamd_preprocess(A)
+            col_perm = col_perm[pre]
+            A = permute_cols(A, pre)
+        row_perm = np.arange(m, dtype=np.intp)
+
+        Lblocks: list = []
+        Ublocks: list = []
+        row_snaps: list[np.ndarray] = []
+        col_snaps: list[np.ndarray] = []
+        history = ConvergenceHistory()
+        active = A
+        z = 0
+        K = 0
+        converged = False
+        stop_reason = "max_rank"
+        r11_first: float | None = None
+
+        i = 0
+        while K < max_rank:
+            i += 1
+            k_i = min(self.k, active.shape[0], active.shape[1], max_rank - K)
+            if k_i <= 0:
+                break
+            if self.colamd_every_iteration and i > 1 and active.nnz:
+                pre = colamd_preprocess(active)
+                active = permute_cols(active, pre)
+                col_perm[z:] = col_perm[z:][pre]
+            try:
+                art = self._iteration(active, k_i, i, r11_first)
+            except RankDeficiencyBreakdown:
+                if self.stop_at_numerical_rank:
+                    stop_reason = "numerical_rank"
+                    break
+                raise
+            if i == 1:
+                r11_first = float(art.r11_diag[0]) if art.r11_diag.size else 0.0
+            rkk = art.r11_diag[min(k_i, art.r11_diag.size) - 1] \
+                if art.r11_diag.size else 0.0
+            if (self.stop_at_numerical_rank and r11_first
+                    and rkk <= NUMERICAL_RANK_RTOL * r11_first):
+                stop_reason = "numerical_rank"
+                break
+
+            Lblocks.append(art.Lk)
+            Ublocks.append(art.Uk)
+            row_perm[z:] = row_perm[z:][art.row_perm_local]
+            col_perm[z:] = col_perm[z:][art.col_perm_local]
+            row_snaps.append(row_perm[z:].copy())
+            col_snaps.append(col_perm[z:].copy())
+
+            active = art.schur
+            z += k_i
+            K += k_i
+            indicator = fro_norm(active)
+            history.append(IterationRecord(
+                iteration=i, rank=K, indicator=indicator,
+                elapsed=time.perf_counter() - t0,
+                schur_nnz=int(active.nnz), schur_shape=tuple(active.shape),
+                factor_nnz=sum(b.nnz for b in Lblocks) +
+                sum(b.nnz for b in Ublocks),
+                extra={"trace": art.stats,
+                       "kernel_seconds": art.kernel_seconds}))
+            if self.callback is not None:
+                self.callback(history[-1])
+            if indicator < self.tol * a_fro and self.target_rank is None:
+                converged = True
+                stop_reason = "tolerance"
+                break
+            if active.shape[0] == 0 or active.shape[1] == 0:
+                converged = indicator < self.tol * a_fro
+                stop_reason = "exhausted"
+                break
+
+        if self.target_rank is not None:
+            converged = K >= min(self.target_rank, min(m, n))
+        if not converged and self.raise_on_failure:
+            last = history[-1].indicator if len(history) else a_fro
+            raise ConvergenceError(
+                f"LU_CRTP stopped ({stop_reason}) before reaching "
+                f"tau={self.tol:g}", iterations=i,
+                achieved=last / a_fro if a_fro else 0.0, requested=self.tol)
+
+        L = assemble_L_global(Lblocks, row_snaps, row_perm, m)
+        U = assemble_U_global(Ublocks, col_snaps, col_perm, n)
+        final_ind = history[-1].indicator if len(history) else a_fro
+        return LUApproximation(
+            rank=K, tolerance=self.tol, indicator=final_ind, a_fro=a_fro,
+            converged=converged, history=history,
+            elapsed=time.perf_counter() - t0,
+            L=L, U=U, row_perm=row_perm, col_perm=col_perm)
+
+    # ------------------------------------------------------------------
+    def _iteration(self, active: sp.csc_matrix, k_i: int, i: int,
+                   r11_first: float | None) -> IterationArtifacts:
+        """Lines 4-12 of Algorithm 2 on the active matrix."""
+        kernel_seconds: dict[str, float] = {}
+
+        # line 5: column tournament (optionally on a reduced candidate set)
+        t = time.perf_counter()
+        col_tp = self._column_tournament(active, k_i)
+        kernel_seconds["col_qr_tp"] = time.perf_counter() - t
+        Apc = permute_cols(active, col_tp.perm)
+
+        # line 6: sparse QR of the k selected columns
+        t = time.perf_counter()
+        selected = Apc[:, :k_i]
+        if self.qr_engine == "householder":
+            from ..linalg.sparse_qr import sparse_householder_qr
+            fqr = sparse_householder_qr(selected)
+            Qk = fqr.explicit_q()
+        else:
+            Qk, _Rk, _ = cholqr2(selected)
+        kernel_seconds["sparse_qr"] = time.perf_counter() - t
+
+        # line 7: row tournament on Q_k^T
+        t = time.perf_counter()
+        row_tp = qr_tp_rows(Qk, k_i, tree=self.tree)
+        kernel_seconds["row_qr_tp"] = time.perf_counter() - t
+
+        # line 8: apply the row permutation
+        t = time.perf_counter()
+        Abar = permute_rows(Apc, row_tp.perm)
+        kernel_seconds["permute_rows"] = time.perf_counter() - t
+
+        A11, A12, A21, A22 = split_2x2(Abar, k_i)
+        A11d = A11.toarray()
+
+        # line 10/12: F = A21 A11^{-1} (or the orthogonal-formula variant)
+        t = time.perf_counter()
+        F = self._compute_F(A11d, A21, Qk, row_tp.perm, k_i, i)
+        kernel_seconds["solve"] = time.perf_counter() - t
+
+        t = time.perf_counter()
+        if self.schur_engine == "native":
+            from ..sparse.spgemm import spgemm
+            schur = (A22 - spgemm(F, A12)).tocsc()
+        else:
+            schur = (A22 - F @ A12).tocsc()
+        drop_explicit_zeros(schur, tol=self.zero_drop_tol)
+        kernel_seconds["schur"] = time.perf_counter() - t
+
+        Lk = sp.vstack([sp.identity(k_i, format="csc"), F], format="csc")
+        Uk = sp.hstack([A11, A12], format="csr")
+
+        # Trace statistics consumed by the parallel performance model
+        # (repro.parallel.perfmodel): enough to reconstruct per-rank flop and
+        # byte counts for any process count without re-running.
+        Fc = F.tocsc()
+        A12r = A12.tocsr()
+        schur_flops = 2.0 * float(
+            np.dot(np.diff(Fc.indptr), np.diff(A12r.indptr)))
+        stats = {
+            "m_i": int(active.shape[0]),
+            "n_i": int(active.shape[1]),
+            "k_i": int(k_i),
+            "active_nnz": int(active.nnz),
+            "col_nnz": np.diff(active.indptr).astype(np.int64),
+            "sel_nnz": int(selected.nnz),
+            "f_rows": int(np.count_nonzero(np.diff(F.indptr))),
+            "f_nnz": int(F.nnz),
+            "a12_nnz": int(A12.nnz),
+            "schur_nnz": int(schur.nnz),
+            "schur_flops": schur_flops,
+            "tournament_flops": float(col_tp.stats.total_flops),
+        }
+        return IterationArtifacts(
+            Lk=Lk, Uk=Uk, schur=schur,
+            row_perm_local=row_tp.perm, col_perm_local=col_tp.perm,
+            r11_diag=col_tp.r11_diag, tournament_stats=col_tp.stats,
+            kernel_seconds=kernel_seconds, stats=stats)
+
+    # ------------------------------------------------------------------
+    def _column_tournament(self, active: sp.csc_matrix, k_i: int):
+        """QR_TP on the active matrix, optionally restricted to the
+        candidate columns whose norm clears the discard threshold."""
+        if self.discard_small_columns <= 0.0:
+            return qr_tp(active, k_i, tree=self.tree,
+                         method=self.selection_method,
+                         strong=self.strong_rrqr)
+        from ..linalg.norms import column_norms_sq
+        norms = column_norms_sq(active)
+        cutoff = (self.discard_small_columns ** 2) * float(norms.max())
+        cand = np.flatnonzero(norms >= cutoff)
+        if len(cand) < k_i:  # not enough candidates: fall back to all
+            cand = np.arange(active.shape[1])
+        sub = active[:, cand]
+        res = qr_tp(sub, k_i, tree=self.tree,
+                    method=self.selection_method, strong=self.strong_rrqr)
+        winners = cand[res.winners]
+        mask = np.zeros(active.shape[1], dtype=bool)
+        mask[winners] = True
+        perm = np.concatenate([winners, np.flatnonzero(~mask)]).astype(np.intp)
+        res.perm = perm
+        res.winners = winners
+        return res
+
+    # ------------------------------------------------------------------
+    def _compute_F(self, A11d: np.ndarray, A21: sp.csc_matrix,
+                   Qk: np.ndarray, row_perm: np.ndarray, k_i: int,
+                   i: int) -> sp.csr_matrix:
+        """``F = A21 A11^{-1}`` restricted to the nonzero rows of ``A21``.
+
+        Raises :class:`RankDeficiencyBreakdown` when the pivot block is
+        numerically singular (the §III-A failure mode).
+        """
+        formula = self.l_formula
+        cond = None
+        if formula == "auto":
+            cond = np.linalg.cond(A11d)
+            formula = "orthogonal" if cond > 1e10 else "schur"
+
+        if formula == "orthogonal":
+            # Qbar = P_r Q_k; F = Qbar21 Qbar11^{-1}. Equal to A21 A11^{-1} in
+            # exact arithmetic but bounded entries; dense (extra fill-in).
+            Qbar = Qk[row_perm]
+            Q11, Q21 = Qbar[:k_i], Qbar[k_i:]
+            try:
+                Fd = np.linalg.solve(Q11.T, Q21.T).T
+            except np.linalg.LinAlgError as exc:
+                raise RankDeficiencyBreakdown(
+                    "orthogonal pivot block singular", iteration=i) from exc
+            Fs = sp.csr_matrix(Fd)
+            Fs.data[np.abs(Fs.data) < 1e-300] = 0.0
+            Fs.eliminate_zeros()
+            return Fs
+
+        A21r = A21.tocsr()
+        rows = np.flatnonzero(np.diff(A21r.indptr))
+        mrest = A21.shape[0]
+        if rows.size == 0:
+            return sp.csr_matrix((mrest, k_i))
+        try:
+            # solve X A11 = A21[rows]  <=>  A11^T X^T = A21[rows]^T
+            Fsub = np.linalg.solve(A11d.T, A21r[rows].toarray().T).T
+        except np.linalg.LinAlgError as exc:
+            raise RankDeficiencyBreakdown(
+                "pivot block A11 numerically singular", iteration=i) from exc
+        if not np.all(np.isfinite(Fsub)):
+            raise RankDeficiencyBreakdown(
+                "pivot block A11 produced non-finite multipliers", iteration=i)
+        F = sp.lil_matrix((mrest, k_i))
+        F[rows] = Fsub
+        F = F.tocsr()
+        F.data[np.abs(F.data) < 1e-300] = 0.0
+        F.eliminate_zeros()
+        return F
+
+
+def lu_crtp(A, k: int = 32, tol: float = 1e-3, **kwargs) -> LUApproximation:
+    """Functional convenience wrapper around :class:`LU_CRTP`."""
+    return LU_CRTP(k=k, tol=tol, **kwargs).solve(A)

@@ -1,0 +1,55 @@
+"""Fixed-rank Randomized Range Finder (RRF) and one-shot QB factorization.
+
+Halko/Martinsson/Tropp (2011), Algorithm 4.1 + the power scheme — "the basic
+idea of probabilistic fixed-rank algorithms" (Section I-A of the paper).
+Included as the fixed-rank baseline from which the adaptive methods grow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg.orth import orth
+from ..linalg.random_gen import SketchKind, make_sketch
+
+
+def randomized_range_finder(A, rank: int, *, power: int = 0,
+                            oversampling: int = 10,
+                            seed: int | None = 0,
+                            sketch: SketchKind | str = SketchKind.GAUSSIAN,
+                            ) -> np.ndarray:
+    """Orthonormal basis ``Q (m, rank)`` approximately spanning ``range(A)``.
+
+    Parameters
+    ----------
+    A:
+        Dense or sparse ``(m, n)`` matrix.
+    rank:
+        Target rank (columns of the returned basis).
+    power:
+        Power-iteration count ``p``; each iteration multiplies by
+        ``A A^T`` with intermediate orthonormalization for stability.
+    oversampling:
+        Extra sketch columns drawn internally and truncated at the end
+        (the standard "+10" of the randomized literature).
+    """
+    m, n = A.shape
+    rank = min(rank, m, n)
+    if rank <= 0:
+        raise ValueError("rank must be positive")
+    rng = np.random.default_rng(seed)
+    ell = min(rank + oversampling, n)
+    Omega = make_sketch(sketch, n, ell, rng)
+    Omega = Omega.toarray() if hasattr(Omega, "toarray") else Omega
+    Q = orth(np.asarray(A @ Omega))
+    for _ in range(power):
+        Q = orth(np.asarray(A.T @ Q))
+        Q = orth(np.asarray(A @ Q))
+    return Q[:, :rank]
+
+
+def randomized_qb(A, rank: int, **kwargs) -> tuple[np.ndarray, np.ndarray]:
+    """One-shot fixed-rank QB: ``Q = RRF(A, rank)``, ``B = Q^T A``."""
+    Q = randomized_range_finder(A, rank, **kwargs)
+    B = np.asarray(Q.T @ A)
+    return Q, B

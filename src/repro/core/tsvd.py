@@ -1,0 +1,63 @@
+"""Truncated SVD reference (the accuracy yardstick of Figs. 2-3).
+
+The Eckart-Young theorem makes the TSVD the optimal rank-``k`` approximation
+in both norms; the paper uses it (computed offline, "prohibitively
+expensive") to obtain the *minimum rank required* for a target quality.  We
+provide
+
+- :func:`truncated_svd` — leading ``k`` triplets via our Golub-Kahan-Lanczos
+  implementation (sparse-friendly) with a dense-LAPACK path for small
+  inputs;
+- :func:`spectrum` — the full singular spectrum (dense path), used by the
+  minimum-rank analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..linalg.lanczos import golub_kahan_svd
+
+#: Below this dimension product, just densify and use LAPACK.
+_DENSE_CUTOFF = 1_500_000
+
+
+def truncated_svd(A, k: int, *, dense_cutoff: int = _DENSE_CUTOFF,
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Leading ``k`` singular triplets ``(U, s, Vt)`` of ``A``.
+
+    Dispatches between a dense LAPACK SVD (small inputs) and the
+    Golub-Kahan-Lanczos routine (large/sparse inputs).
+    """
+    m, n = A.shape
+    k = min(k, m, n)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if m * n <= dense_cutoff:
+        Ad = A.toarray() if sp.issparse(A) else np.asarray(A, dtype=float)
+        U, s, Vt = np.linalg.svd(Ad, full_matrices=False)
+        return U[:, :k], s[:k], Vt[:k]
+    return golub_kahan_svd(A, k)
+
+
+def spectrum(A, *, dense_cutoff: int = _DENSE_CUTOFF) -> np.ndarray:
+    """All ``min(m, n)`` singular values of ``A`` in descending order.
+
+    Needed for exact minimum-rank curves; falls back to Lanczos for the
+    full spectrum when the input is too large to densify (slow — mirrors
+    the paper's note that evaluating this for M5 "was too time consuming").
+    """
+    m, n = A.shape
+    p = min(m, n)
+    if m * n <= dense_cutoff:
+        Ad = A.toarray() if sp.issparse(A) else np.asarray(A, dtype=float)
+        return np.linalg.svd(Ad, compute_uv=False)
+    _, s, _ = golub_kahan_svd(A, p)
+    return s
+
+
+def eckart_young_error(s: np.ndarray, rank: int) -> float:
+    """Optimal rank-``rank`` Frobenius error ``sqrt(sum_{j>rank} s_j^2)``."""
+    tail = s[rank:]
+    return float(np.sqrt(np.dot(tail, tail)))

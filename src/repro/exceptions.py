@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch a single base class.  The breakdown exceptions mirror the failure modes
+discussed in Section III-A of the paper (rank deficiency introduced by
+thresholding, loss of convergence, numerical breakdown of the factorization).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative method failed to reach the requested tolerance.
+
+    Carries the partial state so callers can inspect how far the method got.
+    """
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 achieved: float | None = None, requested: float | None = None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.achieved = achieved
+        self.requested = requested
+
+
+class RankDeficiencyBreakdown(ReproError):
+    """The pivot block :math:`\\bar{A}_{11}` became numerically singular.
+
+    For ILUT_CRTP this is the failure mode of Section III-A: thresholding
+    perturbed :math:`\\tilde{A}` enough that it no longer has rank at least
+    ``K + 1`` (bound (20) violated).  For LU_CRTP it indicates the input's
+    numerical rank was reached or machine-precision singular values were hit.
+    """
+
+    def __init__(self, message: str, *, iteration: int | None = None,
+                 rank: int | None = None):
+        super().__init__(message)
+        self.iteration = iteration
+        self.rank = rank
+
+
+class ToleranceTooSmallError(ReproError):
+    """Requested tolerance is below what an error indicator can resolve.
+
+    Theorem 3 of Yu/Gu/Li (2018) shows the RandQB_EI indicator (4) fails in
+    IEEE double precision for tolerances below ``2.1e-7``.
+    """
+
+
+class DistributionError(ReproError):
+    """Invalid data-distribution request in the simulated parallel layer."""
+
+
+class CommunicatorError(ReproError):
+    """Misuse of the simulated communicator (mismatched collectives, bad rank)."""
+
+
+class MatrixFormatError(ReproError):
+    """Malformed external matrix data (e.g. Matrix Market parsing failures)."""

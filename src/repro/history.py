@@ -1,0 +1,112 @@
+"""Per-iteration history records shared by all fixed-precision solvers.
+
+Every solver in :mod:`repro.core` appends one :class:`IterationRecord` per
+outer iteration.  The records double as the *trace* consumed by the
+performance simulators in :mod:`repro.parallel`: they carry the quantities
+(current rank, Schur-complement nnz, factor nnz, indicator value) from which
+per-rank flop and byte counts are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IterationRecord:
+    """State snapshot after one outer iteration of a fixed-precision solver.
+
+    Attributes
+    ----------
+    iteration:
+        1-based outer-iteration index ``i``.
+    rank:
+        Accumulated approximation rank ``K = i * k`` after this iteration.
+    indicator:
+        Value of the method's error indicator/estimator after the iteration
+        (equations (4), (9) or (26) of the paper).
+    elapsed:
+        Wall-clock seconds from solver start until the end of this iteration.
+    schur_nnz:
+        Number of stored nonzeros of the active matrix ``A^(i+1)`` (Schur
+        complement for the deterministic methods, 0 for randomized ones).
+    schur_shape:
+        Shape of the active matrix after the iteration.
+    factor_nnz:
+        Combined nnz of the factors accumulated so far (``L_K``/``U_K`` for
+        the deterministic methods, dense counts for ``Q_K``/``B_K``).
+    dropped_nnz:
+        Entries removed by thresholding in this iteration (ILUT only).
+    dropped_norm_sq:
+        ``||T~^(i)||_F^2`` contributed by this iteration's thresholding.
+    extra:
+        Free-form per-iteration diagnostics (e.g. pivot growth).
+    """
+
+    iteration: int
+    rank: int
+    indicator: float
+    elapsed: float = 0.0
+    schur_nnz: int = 0
+    schur_shape: tuple[int, int] = (0, 0)
+    factor_nnz: int = 0
+    dropped_nnz: int = 0
+    dropped_norm_sq: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def schur_density(self) -> float:
+        """Density ``nnz(A^(i+1)) / (rows * cols)`` of the active matrix.
+
+        This is the fill-in metric plotted on the right of Fig. 1.
+        """
+        r, c = self.schur_shape
+        if r == 0 or c == 0:
+            return 0.0
+        return self.schur_nnz / (r * c)
+
+
+@dataclass
+class ConvergenceHistory:
+    """Ordered collection of :class:`IterationRecord` with summary helpers."""
+
+    records: list[IterationRecord] = field(default_factory=list)
+
+    def append(self, record: IterationRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, idx):
+        return self.records[idx]
+
+    @property
+    def iterations(self) -> int:
+        """Number of outer iterations performed."""
+        return len(self.records)
+
+    @property
+    def final_rank(self) -> int:
+        return self.records[-1].rank if self.records else 0
+
+    @property
+    def indicators(self) -> list[float]:
+        return [r.indicator for r in self.records]
+
+    @property
+    def densities(self) -> list[float]:
+        """Per-iteration density of the active matrix (fill-in progression)."""
+        return [r.schur_density for r in self.records]
+
+    @property
+    def max_schur_density(self) -> float:
+        """Maximum fill-in ratio over all iterations (Fig. 1 left, right axis)."""
+        return max((r.schur_density for r in self.records), default=0.0)
+
+    @property
+    def total_dropped_nnz(self) -> int:
+        return sum(r.dropped_nnz for r in self.records)

@@ -1,0 +1,49 @@
+"""Dense and tall-skinny linear-algebra kernels used by the solvers.
+
+Everything here is implemented on top of raw numpy primitives; scipy is used
+only for sparse matrix products.  The submodules are:
+
+- :mod:`repro.linalg.norms` — Frobenius / spectral norm tools.
+- :mod:`repro.linalg.random_gen` — sketching operators.
+- :mod:`repro.linalg.orth` — economy orthonormalization (``orth`` of Alg. 1).
+- :mod:`repro.linalg.qrcp` — Householder QR with column pivoting and strong
+  rank-revealing QR (Gu-Eisenstat swaps).
+- :mod:`repro.linalg.cholqr` — CholeskyQR / CholeskyQR2 for sparse
+  tall-skinny blocks.
+- :mod:`repro.linalg.tsqr` — sequential tall-skinny QR reduction tree.
+- :mod:`repro.linalg.lanczos` — Golub-Kahan-Lanczos bidiagonalization SVD.
+- :mod:`repro.linalg.triangular` — small triangular utilities.
+"""
+
+from .norms import fro_norm, fro_norm_sq, spectral_norm_estimate
+from .random_gen import gaussian, rademacher, sparse_sign, SketchKind, make_sketch
+from .orth import orth, reorthogonalize
+from .qrcp import qrcp, strong_rrqr, householder_qr
+from .cholqr import cholqr, cholqr2, gram_r_factor
+from .tsqr import tsqr
+from .lanczos import golub_kahan_svd
+from .triangular import solve_upper, solve_lower, solve_unit_lower
+
+__all__ = [
+    "fro_norm",
+    "fro_norm_sq",
+    "spectral_norm_estimate",
+    "gaussian",
+    "rademacher",
+    "sparse_sign",
+    "SketchKind",
+    "make_sketch",
+    "orth",
+    "reorthogonalize",
+    "qrcp",
+    "strong_rrqr",
+    "householder_qr",
+    "cholqr",
+    "cholqr2",
+    "gram_r_factor",
+    "tsqr",
+    "golub_kahan_svd",
+    "solve_upper",
+    "solve_lower",
+    "solve_unit_lower",
+]

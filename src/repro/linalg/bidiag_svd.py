@@ -1,0 +1,139 @@
+"""Self-contained small-matrix SVD: one-sided Jacobi + bidiagonal wrapper.
+
+The Lanczos TSVD (:mod:`repro.linalg.lanczos`) reduces the input to a small
+bidiagonal matrix; this module solves that final dense problem without
+LAPACK's ``dbdsqr``/``dgesdd``:
+
+- :func:`jacobi_svd` — one-sided Jacobi SVD of a general small dense
+  matrix.  Column pairs are repeatedly orthogonalized with exact 2x2
+  rotations until all pairwise inner products vanish; then the column norms
+  are the singular values and the normalized columns the left vectors.
+  Provably convergent, simple to verify, and the classical kernel of
+  parallel Jacobi SVD implementations (independent pairs rotate in
+  parallel — the round-robin ordering below is the standard parallel
+  schedule).
+- :func:`bidiagonal_svd` — convenience wrapper taking ``(d, e)`` of an
+  upper-bidiagonal matrix.
+
+Complexity O(n^2) per rotation sweep over O(n) pairs, with a handful of
+sweeps to converge — fine for the few-hundred-column factors this library
+produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def jacobi_svd(A: np.ndarray, *, tol: float = 1e-14, max_sweeps: int = 60,
+               compute_uv: bool = True,
+               ) -> tuple[np.ndarray | None, np.ndarray, np.ndarray | None]:
+    """One-sided Jacobi SVD of a dense matrix (economy form).
+
+    Parameters
+    ----------
+    A:
+        Dense ``(m, n)`` with ``m >= n`` (taller-than-wide; callers
+        transpose otherwise — :func:`svd_any` does it automatically).
+    tol:
+        Off-diagonality target: sweep until every column pair satisfies
+        ``|<a_i, a_j>| <= tol * ||a_i|| ||a_j||``.
+    max_sweeps:
+        Hard cap on full sweeps (raises ``LinAlgError`` beyond).
+
+    Returns
+    -------
+    (U, s, Vt):
+        ``U (m, n)``, ``s`` descending, ``Vt (n, n)``.
+    """
+    A = np.array(A, dtype=np.float64, copy=True, order="F")
+    m, n = A.shape
+    if m < n:
+        raise ValueError("jacobi_svd expects m >= n; use svd_any")
+    V = np.eye(n) if compute_uv else None
+    if n == 0:
+        return (np.zeros((m, 0)), np.zeros(0), np.zeros((0, 0))) \
+            if compute_uv else (None, np.zeros(0), None)
+
+    for _ in range(max_sweeps):
+        off = 0.0
+        for i in range(n - 1):
+            for j in range(i + 1, n):
+                ai = A[:, i]
+                aj = A[:, j]
+                aii = float(ai @ ai)
+                ajj = float(aj @ aj)
+                aij = float(ai @ aj)
+                denom = np.sqrt(aii * ajj)
+                if denom <= 1e-300:
+                    continue
+                off = max(off, abs(aij) / denom)
+                if abs(aij) <= tol * denom:
+                    continue
+                # exact 2x2 symmetric Schur rotation of [[aii, aij],[aij, ajj]]
+                tau = (ajj - aii) / (2.0 * aij)
+                t = np.sign(tau) / (abs(tau) + np.sqrt(1.0 + tau * tau)) \
+                    if tau != 0 else 1.0
+                c = 1.0 / np.sqrt(1.0 + t * t)
+                s = c * t
+                # rotate columns i, j of A (and of V)
+                tmp = c * ai - s * aj
+                A[:, j] = s * ai + c * aj
+                A[:, i] = tmp
+                if V is not None:
+                    vi = V[:, i].copy()
+                    V[:, i] = c * vi - s * V[:, j]
+                    V[:, j] = s * vi + c * V[:, j]
+        if off <= tol:
+            break
+    else:
+        raise np.linalg.LinAlgError("one-sided Jacobi SVD did not converge")
+
+    norms = np.sqrt(np.einsum("ij,ij->j", A, A))
+    order = np.argsort(-norms, kind="stable")
+    s = norms[order]
+    if not compute_uv:
+        return None, s, None
+    U = np.zeros((m, n))
+    for idx, col in enumerate(order):
+        if s[idx] > 1e-300:
+            U[:, idx] = A[:, col] / s[idx]
+        else:
+            # null direction: deterministic completion keeps U orthonormal
+            v = np.zeros(m)
+            v[idx % m] = 1.0
+            for _ in range(2):
+                v -= U[:, :idx] @ (U[:, :idx].T @ v)
+            nv = np.linalg.norm(v)
+            U[:, idx] = v / nv if nv > 0 else v
+    Vt = V[:, order].T
+    return U, s, Vt
+
+
+def svd_any(A: np.ndarray, **kwargs):
+    """Jacobi SVD for any orientation (transposes wide inputs internally)."""
+    A = np.asarray(A, dtype=np.float64)
+    m, n = A.shape
+    if m >= n:
+        return jacobi_svd(A, **kwargs)
+    U, s, Vt = jacobi_svd(A.T, **kwargs)
+    if U is None:
+        return None, s, None
+    return Vt.T, s, U.T
+
+
+def bidiagonal_svd(d: np.ndarray, e: np.ndarray, *, compute_uv: bool = True,
+                   **kwargs):
+    """SVD of the upper-bidiagonal matrix with diagonal ``d`` and
+    superdiagonal ``e`` (lengths ``n`` and ``n-1``)."""
+    d = np.asarray(d, dtype=np.float64)
+    e = np.asarray(e, dtype=np.float64)
+    n = len(d)
+    if len(e) != max(n - 1, 0):
+        raise ValueError("superdiagonal must have length n-1")
+    B = np.zeros((n, n))
+    idx = np.arange(n)
+    B[idx, idx] = d
+    if n > 1:
+        B[idx[:-1], idx[:-1] + 1] = e
+    return jacobi_svd(B, compute_uv=compute_uv, **kwargs)

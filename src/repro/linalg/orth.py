@@ -1,0 +1,88 @@
+"""Economy orthonormalization — the ``orth(.)`` primitive of Algorithm 1.
+
+``orth(Y)`` returns a matrix with orthonormal columns spanning (at least)
+``range(Y)``.  We implement it as a Householder economy QR; for numerically
+rank-deficient input the deficient directions are replaced by a deterministic
+completion so the returned basis always has exactly ``min(m, k)`` orthonormal
+columns — matching the behaviour RandQB_EI relies on (``Q_k`` must have ``k``
+columns so that blocks concatenate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def orth(Y: np.ndarray, *, rcond: float = 1e-12) -> np.ndarray:
+    """Orthonormal basis of ``range(Y)`` with exactly ``min(m, k)`` columns.
+
+    Parameters
+    ----------
+    Y:
+        Dense ``(m, k)`` block, ``m >= 1``.
+    rcond:
+        Columns of the R factor whose diagonal falls below
+        ``rcond * max|diag(R)|`` are treated as numerically dependent; the
+        corresponding basis vectors are re-generated to complete the basis.
+
+    Notes
+    -----
+    numpy's ``reduced`` QR already yields orthonormal ``Q`` even for
+    rank-deficient ``Y`` (the trailing columns are an arbitrary orthonormal
+    completion), so detection is only needed to *guarantee* orthonormality in
+    pathological cases (exactly zero columns).
+    """
+    Y = np.ascontiguousarray(Y, dtype=np.float64)
+    m, k = Y.shape
+    if k == 0:
+        return np.zeros((m, 0))
+    Q, R = np.linalg.qr(Y, mode="reduced")
+    diag = np.abs(np.diag(R))
+    if diag.size and np.max(diag) > 0 and np.min(diag) > rcond * np.max(diag):
+        return Q
+    # Rank-deficient: re-orthonormalize the completion columns explicitly.
+    return _complete_basis(Q, diag, rcond)
+
+
+def _complete_basis(Q: np.ndarray, diag: np.ndarray, rcond: float) -> np.ndarray:
+    """Replace columns of ``Q`` associated with tiny R-diagonals by vectors
+    orthogonal to the rest, using deterministic seeded directions."""
+    m, k = Q.shape
+    thresh = rcond * (np.max(diag) if diag.size and np.max(diag) > 0 else 1.0)
+    bad = np.flatnonzero(diag <= thresh)
+    if bad.size == 0:
+        return Q
+    rng = np.random.default_rng(12345)
+    Qc = Q.copy()
+    others = np.ones(k, dtype=bool)
+    for j in bad:
+        others[:] = True
+        others[j] = False  # must not project against the slot being replaced
+        Qo = Qc[:, others]
+        for _ in range(50):
+            v = rng.standard_normal(m)
+            # two-pass Gram-Schmidt against all other columns
+            for _ in range(2):
+                v -= Qo @ (Qo.T @ v)
+            nv = np.linalg.norm(v)
+            if nv > 1e-8:
+                Qc[:, j] = v / nv
+                break
+        else:  # pragma: no cover - astronomically unlikely
+            raise np.linalg.LinAlgError("could not complete orthonormal basis")
+    return Qc
+
+
+def reorthogonalize(Qk: np.ndarray, Qprev: np.ndarray | None,
+                    *, passes: int = 1) -> np.ndarray:
+    """Re-orthogonalize a new block against previously computed basis blocks.
+
+    Implements line 10 of Algorithm 1:
+    ``Q_k = orth(Q_k - Q_K (Q_K^T Q_k))``.  ``passes > 1`` applies the
+    classical "twice is enough" refinement.
+    """
+    if Qprev is None or Qprev.shape[1] == 0:
+        return orth(Qk)
+    for _ in range(passes):
+        Qk = Qk - Qprev @ (Qprev.T @ Qk)
+    return orth(Qk)

@@ -1,0 +1,174 @@
+"""Left-looking sparse Householder QR for tall-skinny sparse blocks.
+
+The paper's implementation QRs the ``k`` tournament-winning columns with
+SuiteSparseQR; this module is the from-scratch counterpart.  Reflectors are
+stored *sparsely* (each Householder vector only carries its support — the
+fill pattern of the factorization), which is the property that
+distinguishes a sparse QR from CholeskyQR: the factor ``Q`` is available
+implicitly as a product of sparse reflectors, and applying ``Q``/``Q^T``
+costs ``O(nnz(V))`` instead of ``O(m k)``.
+
+Algorithm: left-looking column-by-column — column ``j`` is scattered into a
+dense work vector, the ``j-1`` previous (sparse) reflectors are applied,
+the new reflector is computed on the trailing part and stored compressed.
+Complexity ``O(sum_j nnz(V[:, :j]) + m)`` — for the ``m x k`` blocks this
+library produces (k <= a few hundred), well within budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..sparse.utils import ensure_csc
+
+
+@dataclass
+class SparseQR:
+    """Implicit sparse QR factorization ``B = Q R``.
+
+    Attributes
+    ----------
+    m, c:
+        Shape of the factored block.
+    V:
+        Sparse ``(m, p)`` matrix of Householder vectors (unit leading
+        entries), ``p = min(m, c)``.
+    betas:
+        Reflector scalars, length ``p``.
+    R:
+        Dense upper-triangular ``(p, c)``.
+    """
+
+    m: int
+    c: int
+    V: sp.csc_matrix
+    betas: np.ndarray
+    R: np.ndarray
+
+    @property
+    def reflector_nnz(self) -> int:
+        """Stored entries of the reflectors — the QR fill-in measure."""
+        return int(self.V.nnz)
+
+    def apply_qt(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``Q^T x`` by applying reflectors first-to-last."""
+        y = np.array(x, dtype=np.float64, copy=True)
+        single = y.ndim == 1
+        if single:
+            y = y[:, None]
+        Vc = self.V
+        for j in range(len(self.betas)):
+            beta = self.betas[j]
+            if beta == 0.0:
+                continue
+            lo, hi = Vc.indptr[j], Vc.indptr[j + 1]
+            rows = Vc.indices[lo:hi]
+            vals = Vc.data[lo:hi]
+            w = beta * (vals @ y[rows])
+            y[rows] -= np.outer(vals, w)
+        return y[:, 0] if single else y
+
+    def apply_q(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``Q x`` by applying reflectors last-to-first."""
+        y = np.array(x, dtype=np.float64, copy=True)
+        single = y.ndim == 1
+        if single:
+            y = y[:, None]
+        Vc = self.V
+        for j in range(len(self.betas) - 1, -1, -1):
+            beta = self.betas[j]
+            if beta == 0.0:
+                continue
+            lo, hi = Vc.indptr[j], Vc.indptr[j + 1]
+            rows = Vc.indices[lo:hi]
+            vals = Vc.data[lo:hi]
+            w = beta * (vals @ y[rows])
+            y[rows] -= np.outer(vals, w)
+        return y[:, 0] if single else y
+
+    def explicit_q(self) -> np.ndarray:
+        """Materialize the economy ``Q (m, p)`` (apply Q to [I; 0])."""
+        p = len(self.betas)
+        E = np.zeros((self.m, p))
+        E[np.arange(p), np.arange(p)] = 1.0
+        return self.apply_q(E)
+
+
+def sparse_householder_qr(B, *, drop_tol: float = 0.0) -> SparseQR:
+    """Factor a sparse tall block ``B (m, c)`` into an implicit sparse QR.
+
+    Parameters
+    ----------
+    B:
+        Sparse (or dense, coerced) block with ``m >= 1``.
+    drop_tol:
+        Reflector entries below this magnitude are dropped after each
+        column (an *incomplete* sparse QR — 0 keeps it exact).
+    """
+    B = ensure_csc(B)
+    m, c = B.shape
+    p = min(m, c)
+    R = np.zeros((p, c))
+    betas = np.zeros(p)
+    v_rows: list[np.ndarray] = []
+    v_vals: list[np.ndarray] = []
+    work = np.zeros(m)
+
+    Bc = B.tocsc()
+    for j in range(c):
+        # scatter column j into the dense work vector
+        work[:] = 0.0
+        lo, hi = Bc.indptr[j], Bc.indptr[j + 1]
+        work[Bc.indices[lo:hi]] = Bc.data[lo:hi]
+        # left-looking: apply previous reflectors
+        for i in range(min(j, p)):
+            beta = betas[i]
+            if beta == 0.0:
+                continue
+            rows, vals = v_rows[i], v_vals[i]
+            w = beta * (vals @ work[rows])
+            work[rows] -= vals * w
+        if j >= p:
+            R[:, j] = work[:p]
+            continue
+        R[:j, j] = work[:j]
+        # Householder on the trailing part
+        x = work[j:]
+        sigma = float(x[1:] @ x[1:])
+        x0 = float(x[0])
+        if sigma == 0.0:
+            betas[j] = 2.0 if x0 < 0 else 0.0
+            R[j, j] = abs(x0) if x0 != 0 else 0.0
+            v_rows.append(np.array([j], dtype=np.intp))
+            v_vals.append(np.array([1.0]))
+            continue
+        mu = np.sqrt(x0 * x0 + sigma)
+        v0 = x0 - mu if x0 <= 0 else -sigma / (x0 + mu)
+        beta = 2.0 * v0 * v0 / (sigma + v0 * v0)
+        # sparse reflector: support = nonzeros of x (plus the pivot)
+        sup = np.flatnonzero(x)
+        if sup.size == 0 or sup[0] != 0:
+            sup = np.concatenate([[0], sup])
+        vv = x[sup] / v0
+        vv[0] = 1.0
+        if drop_tol > 0.0:
+            keep = (np.abs(vv) >= drop_tol) | (sup == 0)
+            sup, vv = sup[keep], vv[keep]
+        betas[j] = beta
+        v_rows.append((sup + j).astype(np.intp))
+        v_vals.append(vv)
+        # diagonal entry from an explicit reflector application (robust to
+        # the sign convention of the v0 branch above)
+        w = beta * float(vv @ x[sup])
+        R[j, j] = x0 - vv[0] * w
+
+    indptr = np.zeros(p + 1, dtype=np.intp)
+    for j in range(p):
+        indptr[j + 1] = indptr[j] + len(v_rows[j])
+    indices = np.concatenate(v_rows) if v_rows else np.zeros(0, dtype=np.intp)
+    data = np.concatenate(v_vals) if v_vals else np.zeros(0)
+    V = sp.csc_matrix((data, indices, indptr), shape=(m, p))
+    return SparseQR(m=m, c=c, V=V, betas=betas, R=R)

@@ -1,0 +1,53 @@
+"""Small dense triangular solves.
+
+These back the ``A11^{-1}`` applications in LU_CRTP (line 10/12 of
+Algorithm 2) and the Gu-Eisenstat swap criterion.  Blocks are ``k x k`` with
+``k <= 512``, so straightforward back/forward substitution with vectorized
+inner updates is adequate and keeps the library free of LAPACK-wrapper
+dependencies beyond numpy itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as2d(B: np.ndarray) -> tuple[np.ndarray, bool]:
+    B = np.asarray(B, dtype=np.float64)
+    if B.ndim == 1:
+        return B[:, None].copy(), True
+    return B.copy(), False
+
+
+def solve_upper(R: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Solve ``R X = B`` for upper-triangular ``R`` by back substitution."""
+    R = np.asarray(R, dtype=np.float64)
+    X, squeeze = _as2d(B)
+    n = R.shape[0]
+    for i in range(n - 1, -1, -1):
+        if i + 1 < n:
+            X[i] -= R[i, i + 1:] @ X[i + 1:]
+        X[i] /= R[i, i]
+    return X[:, 0] if squeeze else X
+
+
+def solve_lower(L: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Solve ``L X = B`` for lower-triangular ``L`` by forward substitution."""
+    L = np.asarray(L, dtype=np.float64)
+    X, squeeze = _as2d(B)
+    n = L.shape[0]
+    for i in range(n):
+        if i > 0:
+            X[i] -= L[i, :i] @ X[:i]
+        X[i] /= L[i, i]
+    return X[:, 0] if squeeze else X
+
+
+def solve_unit_lower(L: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Solve ``L X = B`` for unit lower-triangular ``L`` (diagonal ignored)."""
+    L = np.asarray(L, dtype=np.float64)
+    X, squeeze = _as2d(B)
+    n = L.shape[0]
+    for i in range(1, n):
+        X[i] -= L[i, :i] @ X[:i]
+    return X[:, 0] if squeeze else X

@@ -1,0 +1,94 @@
+"""Blocked Householder QR with compact-WY accumulation.
+
+The unblocked QR of :mod:`repro.linalg.qrcp` applies each reflector to the
+trailing matrix immediately — O(mn) BLAS-2 work per column.  Production QR
+(LAPACK ``dgeqrt``) instead factors a panel of ``nb`` columns, accumulates
+its reflectors into the compact-WY form ``Q = I - V T V^T`` (``V`` unit
+lower trapezoidal, ``T`` upper triangular) and applies them to the trailing
+matrix as two GEMMs — BLAS-3.  This module implements that scheme from
+scratch; it backs the ``engine="wy"`` path of :func:`repro.linalg.qrcp.
+householder_qr`-style factorizations and is the building block a blocked
+TSQR leaf would use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .qrcp import _house
+
+
+def panel_qr(A: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unblocked QR of a panel returning the compact-WY factors.
+
+    Returns ``(V, T, R)`` with ``V (m, p)`` unit lower trapezoidal,
+    ``T (p, p)`` upper triangular such that ``Q = I - V T V^T`` and
+    ``Q^T A = [R; 0]`` (``p = min(m, n)``).
+
+    ``T`` is built with the classical recurrence
+    ``T_j = [[T, -tau T (V^T v_j)], [0, tau]]``.
+    """
+    A = np.array(A, dtype=np.float64, copy=True, order="F")
+    m, n = A.shape
+    p = min(m, n)
+    V = np.zeros((m, p))
+    T = np.zeros((p, p))
+    for j in range(p):
+        v, beta = _house(A[j:, j])
+        if beta != 0.0:
+            w = beta * (v @ A[j:, j:])
+            A[j:, j:] -= np.outer(v, w)
+        vj = np.zeros(m)
+        vj[j:] = v
+        V[:, j] = vj
+        if j > 0:
+            z = -beta * (T[:j, :j] @ (V[:, :j].T @ vj))
+            T[:j, j] = z
+        T[j, j] = beta
+    R = np.triu(A[:p, :])
+    return V, T, R
+
+
+def wy_apply_left_transpose(V: np.ndarray, T: np.ndarray,
+                            C: np.ndarray) -> np.ndarray:
+    """Compute ``Q^T C = (I - V T V^T)^T C = C - V T^T (V^T C)`` (two GEMMs)."""
+    W = V.T @ C
+    return C - V @ (T.T @ W)
+
+
+def wy_apply_left(V: np.ndarray, T: np.ndarray, C: np.ndarray) -> np.ndarray:
+    """Compute ``Q C = C - V T (V^T C)``."""
+    W = V.T @ C
+    return C - V @ (T @ W)
+
+
+def blocked_qr(A: np.ndarray, *, block: int = 32
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """Economy blocked Householder QR: ``A = Q R``.
+
+    Panels of ``block`` columns are factored unblocked; their compact-WY
+    transform updates the trailing matrix with GEMMs.  Numerically
+    equivalent to the unblocked factorization.
+    """
+    A = np.array(A, dtype=np.float64, copy=True, order="F")
+    m, n = A.shape
+    p = min(m, n)
+    transforms: list[tuple[int, np.ndarray, np.ndarray]] = []
+    for s in range(0, p, block):
+        e = min(s + block, p)
+        V, T, R = panel_qr(A[s:, s:e])
+        A[s:, s:e] = np.tril(V[:, :e - s] * 0)  # panel is consumed below
+        A[s:s + R.shape[0], s:e] = R
+        # zero strictly-below-diagonal of the panel columns
+        for j in range(s, e):
+            A[j + 1:, j] = 0.0
+        if e < n:
+            A[s:, e:] = wy_apply_left_transpose(V, T, A[s:, e:])
+        transforms.append((s, V, T))
+    R = np.triu(A[:p, :])
+    # accumulate economy Q by applying transforms to the identity, backwards
+    Q = np.zeros((m, p))
+    Q[np.arange(p), np.arange(p)] = 1.0
+    for s, V, T in reversed(transforms):
+        Q[s:] = wy_apply_left(V, T, Q[s:])
+    return Q, R

@@ -1,0 +1,48 @@
+"""Test-matrix substrate.
+
+The paper evaluates on SuiteSparse matrices (Table I) and on 197 small
+matrices from the SJSU Singular Matrix Database — both require downloads we
+cannot perform, so this package generates *structural analogues* (see
+DESIGN.md §2 for the substitution argument):
+
+- :mod:`repro.matrices.generators` — parameterized generators for the
+  structural / fluid / circuit / economic matrix classes.
+- :mod:`repro.matrices.spectra` — singular-spectrum shaping and diagnostics.
+- :mod:`repro.matrices.suite` — the M1-M6 analogue registry (Table I).
+- :mod:`repro.matrices.sjsu` — a generated collection of small singular
+  matrices standing in for the SJSU database (Fig. 1 left).
+- :mod:`repro.matrices.mmio` — Matrix Market I/O so real SuiteSparse files
+  can be substituted when available.
+"""
+
+from .generators import (
+    grid_stiffness,
+    convection_diffusion,
+    random_graded,
+    circuit_network,
+    economic_flow,
+    kahan_matrix,
+)
+from .spectra import graded_weights, effective_rank, spectrum_summary
+from .suite import suite_matrix, suite_entries, SuiteEntry
+from .sjsu import sjsu_collection, SJSUCase
+from .mmio import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "grid_stiffness",
+    "convection_diffusion",
+    "random_graded",
+    "circuit_network",
+    "economic_flow",
+    "kahan_matrix",
+    "graded_weights",
+    "effective_rank",
+    "spectrum_summary",
+    "suite_matrix",
+    "suite_entries",
+    "SuiteEntry",
+    "sjsu_collection",
+    "SJSUCase",
+    "read_matrix_market",
+    "write_matrix_market",
+]

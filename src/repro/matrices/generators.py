@@ -1,0 +1,231 @@
+"""Sparse test-matrix generators for the paper's four application classes.
+
+Each generator controls the two properties the paper's comparisons hinge on
+(DESIGN.md §2): singular-value decay (via row/column grading from
+:mod:`repro.matrices.spectra`) and fill-in behaviour (via the sparsity
+topology: grid-local structure fills slowly, scattered random structure
+fills fast, hub-dominated circuit structure sits in between).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .spectra import graded_weights
+
+
+def _rng(seed) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) \
+        else np.random.default_rng(seed)
+
+
+def grid_stiffness(nx: int, ny: int, *, coeff_jitter: float = 0.5,
+                   seed=0) -> sp.csc_matrix:
+    """SPD 5-point stiffness matrix on an ``nx x ny`` grid with random
+    element coefficients — the *structural problem* class (bcsstk18/M1).
+
+    Grid-local topology keeps Schur-complement fill moderate; the Laplacian
+    spectrum decays slowly, so high approximation quality needs large rank —
+    exactly the M1 regime (93 iterations at ``tau = 1e-3`` in Table II).
+    """
+    rng = _rng(seed)
+    n = nx * ny
+
+    def node(i, j):
+        return i * ny + j
+
+    rows, cols, vals = [], [], []
+    diag = np.zeros(n)
+    for i in range(nx):
+        for j in range(ny):
+            v = node(i, j)
+            for di, dj in ((1, 0), (0, 1)):
+                ii, jj = i + di, j + dj
+                if ii < nx and jj < ny:
+                    w = 1.0 + coeff_jitter * rng.random()
+                    u = node(ii, jj)
+                    rows += [v, u]
+                    cols += [u, v]
+                    vals += [-w, -w]
+                    diag[v] += w
+                    diag[u] += w
+    rows += list(range(n))
+    cols += list(range(n))
+    vals += list(diag + 0.01)  # small shift: SPD, bounded condition number
+    return sp.csc_matrix((vals, (rows, cols)), shape=(n, n))
+
+
+def convection_diffusion(nx: int, ny: int, *, peclet: float = 10.0,
+                         seed=0) -> sp.csc_matrix:
+    """Nonsymmetric upwind convection-diffusion operator on a grid — a
+    *fluid dynamics* stand-in with grid topology but asymmetric coupling."""
+    rng = _rng(seed)
+    n = nx * ny
+
+    def node(i, j):
+        return i * ny + j
+
+    rows, cols, vals = [], [], []
+    bx, by = rng.standard_normal(2)
+    norm = np.hypot(bx, by) or 1.0
+    bx, by = peclet * bx / norm, peclet * by / norm
+    for i in range(nx):
+        for j in range(ny):
+            v = node(i, j)
+            rows.append(v)
+            cols.append(v)
+            vals.append(4.0 + abs(bx) + abs(by))
+            for di, dj, flow in ((1, 0, bx), (-1, 0, -bx),
+                                 (0, 1, by), (0, -1, -by)):
+                ii, jj = i + di, j + dj
+                if 0 <= ii < nx and 0 <= jj < ny:
+                    upwind = max(flow, 0.0)
+                    rows.append(v)
+                    cols.append(node(ii, jj))
+                    vals.append(-1.0 - upwind)
+    return sp.csc_matrix((vals, (rows, cols)), shape=(n, n))
+
+
+def random_graded(m: int, n: int, *, nnz_per_row: int = 10,
+                  decay_kind: str = "exponential", decay_rate: float = 5.0,
+                  value_spread: float = 0.0, two_sided: bool = False,
+                  seed=0) -> sp.csc_matrix:
+    """Scattered random pattern with graded row magnitudes — the
+    *fill-in-heavy* class (raefsky3/M2 regime).
+
+    Random scatter means a Schur complement couples nearly everything with
+    nearly everything after a few eliminations (fast densification), while
+    the row grading gives a controllable singular-value profile.
+
+    Parameters
+    ----------
+    value_spread:
+        Log-normal sigma applied to entry magnitudes.  Real application
+        matrices have heavy-tailed value distributions (raefsky3's entries
+        span >10 orders of magnitude), which is what makes ILUT-style
+        thresholding effective; ``0`` keeps Gaussian entries.
+    two_sided:
+        Grade columns as well as rows (entry magnitudes become products of
+        two graded weights, further widening the dynamic range).
+    """
+    rng = _rng(seed)
+    nnz_per_row = min(nnz_per_row, n)
+    rows = np.repeat(np.arange(m), nnz_per_row)
+    cols = np.empty(m * nnz_per_row, dtype=np.int64)
+    for i in range(m):
+        cols[i * nnz_per_row:(i + 1) * nnz_per_row] = \
+            rng.choice(n, size=nnz_per_row, replace=False)
+    vals = rng.standard_normal(m * nnz_per_row)
+    w = graded_weights(m, decay_kind, decay_rate)
+    rng.shuffle(w)  # grading must not correlate with row order
+    vals *= w[rows]
+    if two_sided:
+        wc = graded_weights(n, decay_kind, decay_rate)
+        rng.shuffle(wc)
+        vals *= wc[cols]
+    if value_spread > 0:
+        vals *= np.exp(value_spread * rng.standard_normal(vals.size))
+    A = sp.csc_matrix((vals, (rows, cols)), shape=(m, n))
+    A.sum_duplicates()
+    return A
+
+
+def circuit_network(n: int, *, avg_degree: float = 4.0, hubs: int = 0,
+                    hub_scale: float = 100.0, diag_dominance: float = 1.2,
+                    seed=0) -> sp.csc_matrix:
+    """Conductance-matrix analogue of circuit-simulation matrices
+    (onetone2/rajat23/circuit5M_dc; M3/M4/M6).
+
+    A sparse random conductance graph with diagonally dominant stamp
+    structure plus ``hubs`` high-magnitude rows/columns (supply rails,
+    common nets).  Hubs create a cluster of dominant singular values — with
+    enough of them, one block of tournament pivots already captures 90% of
+    the Frobenius mass (the M4 one-iteration row of Table II).
+    """
+    rng = _rng(seed)
+    nedges = int(n * avg_degree / 2)
+    a = rng.integers(0, n, size=nedges)
+    b = rng.integers(0, n, size=nedges)
+    keep = a != b
+    a, b = a[keep], b[keep]
+    g = rng.random(a.size) + 0.1
+    rows = np.concatenate([a, b, a, b])
+    cols = np.concatenate([b, a, a, b])
+    vals = np.concatenate([-g, -g, diag_dominance * g, diag_dominance * g])
+    A = sp.csc_matrix((vals, (rows, cols)), shape=(n, n))
+    A.sum_duplicates()
+    A = A + 0.01 * sp.identity(n, format="csc")
+    if hubs > 0:
+        hub_idx = rng.choice(n, size=min(hubs, n), replace=False)
+        scale = np.ones(n)
+        scale[hub_idx] = hub_scale
+        D = sp.diags(scale)
+        A = (D @ A).tocsc()
+    return A
+
+
+def economic_flow(n: int, *, sectors: int = 12, intra_density: float = 0.3,
+                  inter_nnz_per_row: int = 4, decay_rate: float = 1.0,
+                  seed=0) -> sp.csc_matrix:
+    """Input-output-table analogue of economic problems (mac_econ/M5).
+
+    Dense-ish sector-diagonal blocks with sparse inter-sector flows and
+    *algebraically* graded sector magnitudes: the slow polynomial singular
+    value decay produces the long-tail regime of Fig. 3 (rank above 40% of
+    ``n`` needed for errors below ``~1e-4``).
+    """
+    rng = _rng(seed)
+    bounds = np.linspace(0, n, sectors + 1).astype(int)
+    blocks = []
+    rows_all, cols_all, vals_all = [], [], []
+    w = graded_weights(sectors, "algebraic", decay_rate)
+    for s in range(sectors):
+        lo, hi = bounds[s], bounds[s + 1]
+        size = hi - lo
+        nnz = max(1, int(intra_density * size * size))
+        r = rng.integers(lo, hi, size=nnz)
+        c = rng.integers(lo, hi, size=nnz)
+        v = rng.standard_normal(nnz) * w[s]
+        rows_all.append(r)
+        cols_all.append(c)
+        vals_all.append(v)
+        blocks.append((lo, hi))
+    # sparse inter-sector flows
+    nnz_inter = n * inter_nnz_per_row
+    r = rng.integers(0, n, size=nnz_inter)
+    c = rng.integers(0, n, size=nnz_inter)
+    sec_of = np.searchsorted(bounds, r, side="right") - 1
+    v = rng.standard_normal(nnz_inter) * 0.2 * w[np.clip(sec_of, 0, sectors - 1)]
+    rows_all.append(r)
+    cols_all.append(c)
+    vals_all.append(v)
+    A = sp.csc_matrix((np.concatenate(vals_all),
+                       (np.concatenate(rows_all), np.concatenate(cols_all))),
+                      shape=(n, n))
+    A.sum_duplicates()
+    return A
+
+
+def kahan_matrix(n: int, *, theta: float = 1.2, perturb: float = 0.0,
+                 seed=0) -> sp.csc_matrix:
+    """The Kahan matrix — the classical RRQR adversary (upper triangular,
+    graded, with a famously hidden small singular value).
+
+    ``K = diag(s^0..s^{n-1}) * (I - c * strict_upper_ones)`` with
+    ``s = sin(theta)``, ``c = cos(theta)``.  Used in the SJSU-style
+    collection and in pivoting stress tests.
+    """
+    rng = _rng(seed)
+    s, c = np.sin(theta), np.cos(theta)
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        d = s ** i
+        rows.append(i)
+        cols.append(i)
+        vals.append(d)
+        for j in range(i + 1, n):
+            rows.append(i)
+            cols.append(j)
+            vals.append(-c * d * (1.0 + perturb * rng.standard_normal()))
+    return sp.csc_matrix((vals, (rows, cols)), shape=(n, n))

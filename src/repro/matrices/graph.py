@@ -1,0 +1,86 @@
+"""Graph-derived sparse matrices (data-science application class).
+
+Low-rank approximation of graph adjacency/Laplacian matrices underlies
+spectral embedding, link prediction and clustering — a natural downstream
+application for the fixed-precision solvers (adjacency matrices of
+scale-free graphs have fast-decaying leading spectra, the regime where
+RandQB_EI/ILUT_CRTP shine).  Generators wrap networkx's random-graph
+models and return scipy CSC matrices with controllable weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def _weights(G, rng, weighted):
+    import networkx as nx
+    if weighted:
+        for _u, _v, d in G.edges(data=True):
+            d["weight"] = float(rng.random() + 0.1)
+    return G
+
+
+def scale_free_adjacency(n: int, *, m_edges: int = 3, weighted: bool = True,
+                         seed: int = 0) -> sp.csc_matrix:
+    """Adjacency matrix of a Barabasi-Albert scale-free graph.
+
+    Hub structure concentrates spectral mass in few eigenvectors — the
+    graph analogue of the circuit matrices' dominant-direction regime.
+    """
+    import networkx as nx
+    rng = np.random.default_rng(seed)
+    G = nx.barabasi_albert_graph(n, m_edges, seed=seed)
+    G = _weights(G, rng, weighted)
+    A = nx.to_scipy_sparse_array(G, weight="weight" if weighted else None,
+                                 format="csc")
+    return sp.csc_matrix(A, dtype=np.float64)
+
+
+def small_world_adjacency(n: int, *, k_ring: int = 6, p_rewire: float = 0.1,
+                          weighted: bool = True,
+                          seed: int = 0) -> sp.csc_matrix:
+    """Adjacency matrix of a Watts-Strogatz small-world graph (slowly
+    decaying spectrum — the hard regime for low-rank compression)."""
+    import networkx as nx
+    rng = np.random.default_rng(seed)
+    G = nx.watts_strogatz_graph(n, k_ring, p_rewire, seed=seed)
+    G = _weights(G, rng, weighted)
+    A = nx.to_scipy_sparse_array(G, weight="weight" if weighted else None,
+                                 format="csc")
+    return sp.csc_matrix(A, dtype=np.float64)
+
+
+def normalized_laplacian(A: sp.spmatrix) -> sp.csc_matrix:
+    """Symmetric normalized Laplacian ``I - D^{-1/2} A D^{-1/2}``."""
+    A = sp.csc_matrix(A, dtype=np.float64)
+    deg = np.asarray(np.abs(A).sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        dinv = 1.0 / np.sqrt(deg)
+    dinv[~np.isfinite(dinv)] = 0.0
+    D = sp.diags(dinv)
+    n = A.shape[0]
+    return (sp.identity(n, format="csc") - D @ A @ D).tocsc()
+
+
+def bipartite_interaction(n_users: int, n_items: int, *,
+                          interactions_per_user: int = 8,
+                          popularity_decay: float = 1.2,
+                          seed: int = 0) -> sp.csc_matrix:
+    """Rectangular user-item interaction matrix with power-law item
+    popularity — the recommender-systems workload (rectangular input for
+    the solvers; fast-decaying singular values from the popularity skew)."""
+    rng = np.random.default_rng(seed)
+    pops = (1.0 + np.arange(n_items)) ** (-popularity_decay)
+    pops /= pops.sum()
+    rows, cols, vals = [], [], []
+    for u in range(n_users):
+        items = rng.choice(n_items, size=min(interactions_per_user, n_items),
+                           replace=False, p=pops)
+        rows.extend([u] * len(items))
+        cols.extend(int(i) for i in items)
+        vals.extend(1.0 + rng.random(len(items)))
+    A = sp.csc_matrix((vals, (rows, cols)), shape=(n_users, n_items))
+    A.sum_duplicates()
+    return A

@@ -1,0 +1,115 @@
+"""Matrix Market I/O (coordinate format).
+
+A from-scratch reader/writer for the ``%%MatrixMarket matrix coordinate``
+format used by the SuiteSparse collection, so real paper matrices can be
+dropped into the suite registry when files are available.  Supports real /
+integer / pattern fields and general / symmetric / skew-symmetric symmetry.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import MatrixFormatError
+
+_FIELDS = {"real", "integer", "pattern"}
+_SYMMETRIES = {"general", "symmetric", "skew-symmetric"}
+
+
+def read_matrix_market(path_or_file) -> sp.csc_matrix:
+    """Parse a Matrix Market coordinate file into CSC.
+
+    Parameters
+    ----------
+    path_or_file:
+        Filesystem path or an open text-file object.
+
+    Raises
+    ------
+    MatrixFormatError
+        On malformed headers, out-of-range indices or truncated data.
+    """
+    if hasattr(path_or_file, "read"):
+        return _read(path_or_file)
+    with open(Path(path_or_file), "r", encoding="ascii") as fh:
+        return _read(fh)
+
+
+def _read(fh) -> sp.csc_matrix:
+    header = fh.readline()
+    parts = header.strip().split()
+    if (len(parts) != 5 or parts[0] != "%%MatrixMarket"
+            or parts[1].lower() != "matrix"
+            or parts[2].lower() != "coordinate"):
+        raise MatrixFormatError(f"unsupported MatrixMarket header: {header!r}")
+    field = parts[3].lower()
+    symmetry = parts[4].lower()
+    if field not in _FIELDS:
+        raise MatrixFormatError(f"unsupported field type {field!r}")
+    if symmetry not in _SYMMETRIES:
+        raise MatrixFormatError(f"unsupported symmetry {symmetry!r}")
+
+    # skip comments / blank lines
+    line = fh.readline()
+    while line and (line.startswith("%") or not line.strip()):
+        line = fh.readline()
+    try:
+        m, n, nnz = (int(tok) for tok in line.split())
+    except (ValueError, AttributeError) as exc:
+        raise MatrixFormatError(f"bad size line: {line!r}") from exc
+
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.empty(nnz, dtype=np.float64)
+    for e in range(nnz):
+        line = fh.readline()
+        if not line:
+            raise MatrixFormatError(
+                f"truncated file: expected {nnz} entries, got {e}")
+        toks = line.split()
+        if field == "pattern":
+            if len(toks) < 2:
+                raise MatrixFormatError(f"bad entry line: {line!r}")
+            i, j, v = int(toks[0]), int(toks[1]), 1.0
+        else:
+            if len(toks) < 3:
+                raise MatrixFormatError(f"bad entry line: {line!r}")
+            i, j, v = int(toks[0]), int(toks[1]), float(toks[2])
+        if not (1 <= i <= m and 1 <= j <= n):
+            raise MatrixFormatError(
+                f"index ({i},{j}) out of range for {m}x{n} matrix")
+        rows[e], cols[e], vals[e] = i - 1, j - 1, v
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        rows = np.concatenate([rows, cols[off]])
+        cols_new = np.concatenate([cols, rows[:nnz][off]])
+        vals = np.concatenate([vals, sign * vals[off]])
+        cols = cols_new
+    A = sp.csc_matrix((vals, (rows, cols)), shape=(m, n))
+    A.sum_duplicates()
+    return A
+
+
+def write_matrix_market(A, path_or_file, *, comment: str = "") -> None:
+    """Write a sparse matrix in coordinate/real/general format."""
+    A = sp.coo_matrix(A)
+    if hasattr(path_or_file, "write"):
+        _write(A, path_or_file, comment)
+        return
+    with open(Path(path_or_file), "w", encoding="ascii") as fh:
+        _write(A, fh, comment)
+
+
+def _write(A: sp.coo_matrix, fh: io.TextIOBase, comment: str) -> None:
+    fh.write("%%MatrixMarket matrix coordinate real general\n")
+    for line in comment.splitlines():
+        fh.write(f"% {line}\n")
+    fh.write(f"{A.shape[0]} {A.shape[1]} {A.nnz}\n")
+    for i, j, v in zip(A.row, A.col, A.data):
+        fh.write(f"{i + 1} {j + 1} {float(v)!r}\n")

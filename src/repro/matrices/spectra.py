@@ -1,0 +1,84 @@
+"""Singular-spectrum shaping and diagnostics for the matrix generators.
+
+The paper's comparisons are driven by *how fast the singular values decay*
+(fast decay => few iterations, slow decay => the rank>40% regime of Fig. 3).
+Generators shape spectra indirectly through row/column grading; this module
+provides the grading profiles and diagnostics for validating them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def graded_weights(n: int, kind: str = "exponential", rate: float = 4.0,
+                   floor: float = 0.0) -> np.ndarray:
+    """Monotone decreasing weight profile ``w[0] = 1 >= ... >= w[n-1]``.
+
+    Parameters
+    ----------
+    kind:
+        ``"exponential"`` — ``exp(-rate * i / n)`` (fast decay, the
+        circuit-like regime);
+        ``"algebraic"`` — ``(1 + i)^(-rate)`` (slow polynomial decay, the
+        economic-problem regime of Fig. 3);
+        ``"step"`` — ``1`` for the first ``n/rate`` indices then ``1e-3``
+        (a large singular-value gap, the rajat23-like one-iteration regime);
+        ``"flat"`` — all ones.
+    rate:
+        Decay-speed parameter (interpretation depends on ``kind``).
+    floor:
+        Additive lower bound keeping weights away from zero.
+    """
+    i = np.arange(n, dtype=np.float64)
+    if kind == "exponential":
+        w = np.exp(-rate * i / max(n, 1))
+    elif kind == "algebraic":
+        w = (1.0 + i) ** (-rate)
+    elif kind == "step":
+        cut = max(1, int(n / max(rate, 1.0)))
+        w = np.where(i < cut, 1.0, 1e-3)
+    elif kind == "flat":
+        w = np.ones(n)
+    else:
+        raise ValueError(f"unknown grading kind {kind!r}")
+    return w + floor
+
+
+def effective_rank(s: np.ndarray, tol: float) -> int:
+    """Minimum rank ``r`` with ``sqrt(sum_{j>r} s_j^2) < tol * ||s||_2``.
+
+    This is the Fig. 2/3 "minimum rank required" quantity (circles),
+    computed from a full singular spectrum.
+    """
+    s = np.asarray(s, dtype=np.float64)
+    total = float(np.dot(s, s))
+    if total == 0:
+        return 0
+    # tail_sq[r] = sum_{j >= r} s_j^2
+    tail_sq = np.concatenate([np.cumsum((s ** 2)[::-1])[::-1], [0.0]])
+    target = (tol ** 2) * total
+    hits = np.flatnonzero(tail_sq < target)
+    return int(hits[0]) if hits.size else len(s)
+
+
+def numerical_rank(s: np.ndarray, *, rtol: float = 1e-12) -> int:
+    """Count of singular values above ``rtol * s[0]`` (the SJSU convention)."""
+    s = np.asarray(s)
+    if s.size == 0 or s[0] == 0:
+        return 0
+    return int(np.sum(s > rtol * s[0]))
+
+
+def spectrum_summary(s: np.ndarray) -> dict:
+    """Diagnostics of a singular spectrum used in tests and benches."""
+    s = np.asarray(s, dtype=np.float64)
+    pos = s[s > 0]
+    return {
+        "sigma_max": float(s[0]) if s.size else 0.0,
+        "sigma_min_pos": float(pos[-1]) if pos.size else 0.0,
+        "condition": float(s[0] / pos[-1]) if pos.size else np.inf,
+        "numerical_rank": numerical_rank(s),
+        "rank_for_1e-1": effective_rank(s, 1e-1),
+        "rank_for_1e-3": effective_rank(s, 1e-3),
+    }

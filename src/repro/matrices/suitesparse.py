@@ -1,0 +1,86 @@
+"""Optional loader for the *real* paper matrices.
+
+This environment is offline, so the benches run on generated analogues —
+but users with network access can download the paper's SuiteSparse matrices
+once and point this loader at them.  ``load_paper_matrix("M2")`` then
+returns the real ``raefsky3`` instead of the analogue, making every bench
+an apples-to-apples reproduction.
+
+Expected layout (Matrix Market files, as distributed by
+https://sparse.tamu.edu):
+
+    <root>/bcsstk18.mtx      <root>/raefsky3.mtx   <root>/onetone2.mtx
+    <root>/rajat23.mtx       <root>/mac_econ_fwd500.mtx
+    <root>/circuit5M_dc.mtx
+
+with ``<root>`` given explicitly or via the ``REPRO_SUITESPARSE_DIR``
+environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import scipy.sparse as sp
+
+from .mmio import read_matrix_market
+from .suite import suite_entries, suite_matrix
+
+ENV_VAR = "REPRO_SUITESPARSE_DIR"
+
+
+def suitesparse_dir() -> Path | None:
+    """The configured local SuiteSparse directory, if any."""
+    v = os.environ.get(ENV_VAR)
+    return Path(v) if v else None
+
+
+def paper_matrix_path(label: str, root: Path | str | None = None
+                      ) -> Path | None:
+    """Filesystem path where the real matrix for ``label`` would live."""
+    root = Path(root) if root is not None else suitesparse_dir()
+    if root is None:
+        return None
+    entry = {e.label: e for e in suite_entries()}.get(label.upper())
+    if entry is None:
+        raise KeyError(f"unknown suite label {label!r}")
+    return root / f"{entry.paper_name}.mtx"
+
+
+def load_paper_matrix(label: str, *, root: Path | str | None = None,
+                      fallback: bool = True, scale: float = 1.0
+                      ) -> sp.csc_matrix:
+    """Load the real SuiteSparse matrix for a Table I label, falling back
+    to the generated analogue when the file is absent.
+
+    Parameters
+    ----------
+    label:
+        ``"M1"`` .. ``"M6"``.
+    root:
+        Directory holding the ``.mtx`` files (default: ``$REPRO_SUITESPARSE_DIR``).
+    fallback:
+        Return the analogue when the file is missing (otherwise raise
+        ``FileNotFoundError``).
+    scale:
+        Analogue size multiplier (ignored when the real file is found).
+    """
+    path = paper_matrix_path(label, root)
+    if path is not None and path.exists():
+        return read_matrix_market(path)
+    if not fallback:
+        raise FileNotFoundError(
+            f"real matrix for {label} not found at {path}; download it from "
+            "https://sparse.tamu.edu or enable fallback")
+    return suite_matrix(label, scale=scale)
+
+
+def available_real_matrices(root: Path | str | None = None) -> list[str]:
+    """Labels whose real files are present locally."""
+    out = []
+    for e in suite_entries():
+        p = paper_matrix_path(e.label, root)
+        if p is not None and p.exists():
+            out.append(e.label)
+    return out

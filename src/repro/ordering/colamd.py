@@ -1,0 +1,119 @@
+"""Column approximate-minimum-degree ordering (COLAMD-style).
+
+COLAMD (Davis/Gilbert/Larimore/Ng, reference [4] of the paper) orders the
+columns of ``A`` so that a QR or LU factorization of the permuted matrix
+produces less fill-in.  It is a minimum-degree algorithm on the graph of
+``A^T A`` that never forms ``A^T A``: the *rows* of ``A`` act as the initial
+elements of a quotient graph whose variables are the columns.
+
+This implementation keeps the essential mechanism — quotient-graph
+elimination with Amestoy-Davis-Duff approximate external degrees and element
+absorption — and omits the engineering refinements of the reference code
+(supercolumn detection, aggressive absorption, dense-row windowing).  It is
+``O(nnz * avg_degree)``-ish in practice, fine for the matrix sizes this
+library targets, and is exercised against fill-in reduction tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..sparse.utils import ensure_csc
+
+
+def colamd(A: sp.spmatrix, *, dense_row_frac: float = 0.5) -> np.ndarray:
+    """Compute a COLAMD-style column permutation of ``A``.
+
+    Parameters
+    ----------
+    A:
+        Sparse ``(m, n)`` matrix (pattern only is used).
+    dense_row_frac:
+        Rows with more than ``dense_row_frac * n`` entries are ignored when
+        building the quotient graph (they would couple almost all columns and
+        only add noise to the degrees); they are standard to drop in COLAMD.
+
+    Returns
+    -------
+    ndarray
+        Permutation vector ``perm`` such that ``A[:, perm]`` should be
+        factorized; low-fill columns come first.
+    """
+    A = ensure_csc(A)
+    m, n = A.shape
+    if n == 0:
+        return np.zeros(0, dtype=np.intp)
+    R = A.tocsr()
+    R.sort_indices()
+
+    # --- quotient graph ----------------------------------------------------
+    # elements: initial elements are the (non-dense, non-empty) rows of A.
+    # element_vars[e] = set of still-uneliminated variables covered by e.
+    # var_elems[v]   = set of live elements adjacent to variable v.
+    # Variables have no direct var-var edges initially (all A^T A edges come
+    # from shared rows), and the elimination process never creates them:
+    # eliminating v only creates a new element.
+    dense_cut = max(16, int(dense_row_frac * n))
+    element_vars: dict[int, set[int]] = {}
+    var_elems: list[set[int]] = [set() for _ in range(n)]
+    for i in range(m):
+        cols = R.indices[R.indptr[i]:R.indptr[i + 1]]
+        if 0 < len(cols) <= dense_cut:
+            element_vars[i] = set(int(c) for c in cols)
+            for c in cols:
+                var_elems[c].add(i)
+    next_element = m
+
+    # --- approximate degree ------------------------------------------------
+    def approx_degree(v: int) -> int:
+        # AMD-style upper bound: sum of external element sizes.  Exact for
+        # variables touching a single element; an over-count when elements
+        # overlap (the "approximate" in AMD/COLAMD).
+        return sum(len(element_vars[e]) - 1 for e in var_elems[v])
+
+    degree = np.array([approx_degree(v) for v in range(n)], dtype=np.int64)
+    # tiebreak on original index keeps the ordering deterministic
+    heap: list[tuple[int, int]] = [(int(degree[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    eliminated = np.zeros(n, dtype=bool)
+    perm: list[int] = []
+
+    while len(perm) < n:
+        d, v = heapq.heappop(heap)
+        if eliminated[v] or d != degree[v]:
+            continue  # stale heap entry
+        eliminated[v] = True
+        perm.append(v)
+
+        if not var_elems[v]:
+            continue
+        # merge all elements adjacent to v into one new element (absorption)
+        new_vars: set[int] = set()
+        for e in var_elems[v]:
+            new_vars |= element_vars[e]
+        new_vars.discard(v)
+        new_vars = {u for u in new_vars if not eliminated[u]}
+        dead = var_elems[v]
+        for e in dead:
+            for u in element_vars[e]:
+                if not eliminated[u]:
+                    var_elems[u].discard(e)
+            element_vars[e] = set()
+        var_elems[v] = set()
+
+        if new_vars:
+            e_new = next_element
+            next_element += 1
+            element_vars[e_new] = new_vars
+            for u in new_vars:
+                var_elems[u].add(e_new)
+            # refresh degrees of affected variables
+            for u in new_vars:
+                nd = approx_degree(u)
+                if nd != degree[u]:
+                    degree[u] = nd
+                    heapq.heappush(heap, (nd, u))
+    return np.array(perm, dtype=np.intp)

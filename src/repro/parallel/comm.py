@@ -1,0 +1,288 @@
+"""Thread-per-rank SPMD communicator with MPI-like semantics.
+
+This is the *executable* half of the simulated parallel layer: rank
+programs are ordinary Python functions ``program(comm, ...)`` executed on
+one thread per rank, communicating through :class:`SimComm`.  Collectives
+use a ``threading.Barrier`` whose barrier-action assembles the result once
+all ranks have deposited their contribution; point-to-point messages go
+through per-``(src, dst, tag)`` queues.
+
+Every operation also *charges simulated time*: local compute via
+:meth:`SimComm.charge_flops` / :meth:`charge_mem`, communication via the
+:class:`repro.parallel.machine.CollectiveCosts` formulas.  Collectives
+synchronize the simulated clocks (all participants leave at the max), so
+``max(clock)`` after a run is the modeled parallel wall-clock.
+
+This layer is meant for small process counts (tests run P <= 8); the
+performance model in :mod:`repro.parallel.perfmodel` covers the paper's
+P = 4096 regime.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import CommunicatorError
+from .machine import MachineModel
+
+
+@dataclass
+class _SharedState:
+    """State shared by all ranks of one SPMD run."""
+
+    nprocs: int
+    machine: MachineModel
+    clocks: np.ndarray
+    clock_lock: threading.Lock = field(default_factory=threading.Lock)
+    barrier: threading.Barrier = None
+    slot: dict = field(default_factory=dict)
+    queues: dict = field(default_factory=dict)
+    queues_lock: threading.Lock = field(default_factory=threading.Lock)
+    kernel_times: dict = field(default_factory=dict)
+
+    def queue_for(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self.queues_lock:
+            q = self.queues.get(key)
+            if q is None:
+                q = self.queues[key] = queue.Queue()
+            return q
+
+
+class SimComm:
+    """Per-rank handle of the simulated communicator."""
+
+    def __init__(self, rank: int, state: _SharedState):
+        self.rank = rank
+        self._state = state
+        self._kernel: str | None = None
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def nprocs(self) -> int:
+        return self._state.nprocs
+
+    @property
+    def machine(self) -> MachineModel:
+        return self._state.machine
+
+    def clock(self) -> float:
+        """This rank's simulated time."""
+        return float(self._state.clocks[self.rank])
+
+    # -- simulated-time charging ------------------------------------------
+    def charge(self, seconds: float) -> None:
+        """Advance this rank's simulated clock by ``seconds``."""
+        self._state.clocks[self.rank] += max(seconds, 0.0)
+        if self._kernel is not None:
+            key = (self._kernel, self.rank)
+            self._state.kernel_times[key] = \
+                self._state.kernel_times.get(key, 0.0) + max(seconds, 0.0)
+
+    def charge_flops(self, count: float) -> None:
+        self.charge(self._state.machine.flops(count))
+
+    def charge_mem(self, nbytes: float) -> None:
+        self.charge(self._state.machine.mem(nbytes))
+
+    def kernel(self, name: str) -> "SimComm":
+        """Set the kernel label subsequent charges are attributed to."""
+        self._kernel = name
+        return self
+
+    # -- synchronization helpers -------------------------------------------
+    def _sync_max(self) -> None:
+        """All participants' clocks jump to the max (collective exit time)."""
+        clocks = self._state.clocks
+        with self._state.clock_lock:
+            pass  # barrier action already synced; this is a fence only
+
+    def _collective(self, deposit, combine, comm_cost: float):
+        """Generic collective: every rank deposits, the barrier action runs
+        ``combine`` once, everyone picks up the result and pays
+        ``comm_cost`` on a clock synchronized to the slowest participant."""
+        state = self._state
+        state.slot.setdefault("in", {})[self.rank] = deposit
+        try:
+            idx = state.barrier.wait()
+        except threading.BrokenBarrierError as exc:  # pragma: no cover
+            raise CommunicatorError("collective aborted") from exc
+        if idx == 0:
+            # exactly one rank assembles the result and syncs the clocks
+            with state.clock_lock:
+                tmax = float(np.max(state.clocks))
+                state.clocks[:] = tmax
+            state.slot["out"] = combine(state.slot["in"])
+            state.slot["in"] = {}
+        state.barrier.wait()
+        result = state.slot["out"]
+        self.charge(comm_cost)
+        return result
+
+    # -- collectives ---------------------------------------------------------
+    def barrier_sync(self) -> None:
+        """Plain barrier (clock synchronization, latency-only cost)."""
+        costs = self._state.machine.collectives
+        self._collective(None, lambda d: None,
+                         costs.bcast(0, self.nprocs))
+
+    def bcast(self, obj, root: int = 0):
+        """Broadcast ``obj`` from ``root`` to all ranks."""
+        costs = self._state.machine.collectives
+        payload = obj if self.rank == root else None
+
+        def combine(dep):
+            return dep[root]
+
+        nbytes = _payload_bytes(obj) if self.rank == root else 0.0
+        # every rank pays the same modeled bcast cost; size from root's view
+        out = self._collective(payload, combine, 0.0)
+        self.charge(costs.bcast(_payload_bytes(out), self.nprocs))
+        return out
+
+    def scatter(self, chunks: list | None, root: int = 0):
+        """Scatter a list of ``nprocs`` chunks from ``root``."""
+        if self.rank == root and (chunks is None
+                                  or len(chunks) != self.nprocs):
+            raise CommunicatorError(
+                "scatter needs exactly one chunk per rank at the root")
+        costs = self._state.machine.collectives
+
+        def combine(dep):
+            return dep[root]
+
+        allc = self._collective(chunks if self.rank == root else None,
+                                combine, 0.0)
+        total = sum(_payload_bytes(c) for c in allc)
+        self.charge(costs.scatter(total, self.nprocs))
+        return allc[self.rank]
+
+    def gather(self, obj, root: int = 0) -> list | None:
+        """Gather one object per rank to ``root`` (others get ``None``)."""
+        costs = self._state.machine.collectives
+
+        def combine(dep):
+            return [dep[r] for r in range(self.nprocs)]
+
+        res = self._collective(obj, combine, 0.0)
+        total = sum(_payload_bytes(c) for c in res)
+        self.charge(costs.gather(total, self.nprocs))
+        return res if self.rank == root else None
+
+    def allgather(self, obj) -> list:
+        """Gather one object per rank onto every rank."""
+        costs = self._state.machine.collectives
+
+        def combine(dep):
+            return [dep[r] for r in range(self.nprocs)]
+
+        res = self._collective(obj, combine, 0.0)
+        total = sum(_payload_bytes(c) for c in res)
+        self.charge(costs.allgather(total, self.nprocs))
+        return res
+
+    def allreduce_sum(self, arr: np.ndarray) -> np.ndarray:
+        """Elementwise sum of numpy arrays across ranks."""
+        costs = self._state.machine.collectives
+
+        def combine(dep):
+            out = None
+            for r in range(self.nprocs):
+                out = dep[r].copy() if out is None else out + dep[r]
+            return out
+
+        res = self._collective(np.asarray(arr), combine, 0.0)
+        self.charge(costs.allreduce(_payload_bytes(res), self.nprocs))
+        return res.copy()
+
+    # -- point to point -----------------------------------------------------
+    def send(self, obj, dst: int, tag: int = 0) -> None:
+        if not 0 <= dst < self.nprocs:
+            raise CommunicatorError(f"invalid destination rank {dst}")
+        costs = self._state.machine.collectives
+        self.charge(costs.p2p(_payload_bytes(obj)))
+        self._state.queue_for(self.rank, dst, tag).put(
+            (obj, self.clock()))
+
+    def recv(self, src: int, tag: int = 0):
+        if not 0 <= src < self.nprocs:
+            raise CommunicatorError(f"invalid source rank {src}")
+        obj, sent_at = self._state.queue_for(src, self.rank, tag).get(
+            timeout=60.0)
+        # receiving rank cannot proceed before the message existed
+        state = self._state
+        with state.clock_lock:
+            state.clocks[self.rank] = max(state.clocks[self.rank], sent_at)
+        return obj
+
+
+def _payload_bytes(obj) -> float:
+    """Approximate wire size of a payload."""
+    if obj is None:
+        return 0.0
+    if isinstance(obj, np.ndarray):
+        return float(obj.nbytes)
+    if hasattr(obj, "nnz") and hasattr(obj, "data"):  # scipy sparse
+        return float(obj.nnz * 16)  # value + index
+    if isinstance(obj, (list, tuple)):
+        return float(sum(_payload_bytes(o) for o in obj))
+    if isinstance(obj, (int, float, np.integer, np.floating)):
+        return 8.0
+    return 64.0  # misc python objects: headers only
+
+
+def run_spmd(nprocs: int, program, *args, machine: MachineModel | None = None,
+             **kwargs) -> dict:
+    """Run ``program(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
+
+    Returns a dict with per-rank ``results``, the synchronized final
+    ``clocks`` (modeled seconds) and per-kernel max-over-ranks times
+    (``kernel_seconds``).  Exceptions on any rank abort the barrier and are
+    re-raised on the caller's thread.
+    """
+    if nprocs <= 0:
+        raise CommunicatorError("nprocs must be positive")
+    machine = machine or MachineModel()
+    state = _SharedState(nprocs=nprocs, machine=machine,
+                         clocks=np.zeros(nprocs))
+    state.barrier = threading.Barrier(nprocs)
+    results: list = [None] * nprocs
+    errors: list = [None] * nprocs
+
+    def runner(rank: int):
+        comm = SimComm(rank, state)
+        try:
+            results[rank] = program(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must cross threads
+            errors[rank] = exc
+            state.barrier.abort()
+
+    threads = [threading.Thread(target=runner, args=(r,), daemon=True)
+               for r in range(nprocs)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300.0)
+    # surface the original failure, not the secondary aborted-collective
+    # errors other ranks observe when the barrier breaks
+    real = [e for e in errors
+            if e is not None and not isinstance(e, CommunicatorError)]
+    aborted = [e for e in errors if isinstance(e, CommunicatorError)]
+    if real:
+        raise real[0]
+    if aborted:
+        raise aborted[0]
+
+    kernel_seconds: dict[str, float] = {}
+    for (kname, _rank), secs in state.kernel_times.items():
+        kernel_seconds[kname] = max(kernel_seconds.get(kname, 0.0), secs)
+    return {
+        "results": results,
+        "clocks": state.clocks.copy(),
+        "elapsed": float(np.max(state.clocks)),
+        "kernel_seconds": kernel_seconds,
+    }

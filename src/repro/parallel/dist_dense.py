@@ -1,0 +1,158 @@
+"""2-D element-cyclic dense distribution (mini-Elemental).
+
+The paper's RandQB_EI implementation "incorporates the Elemental framework
+[which] scatters dense matrices among processes via an elemental
+distribution" (Section V).  This module implements that distribution over
+the simulated communicator: a process grid of shape ``pr x pc`` where rank
+``(i, j)`` owns the matrix entries ``(r, c)`` with ``r = i (mod pr)`` and
+``c = j (mod pc)`` — Elemental's ``[MC, MR]`` layout, which balances *any*
+matrix shape (the reason Elemental uses it for the tall-skinny /
+short-wide factors of randomized algorithms).
+
+Provided operations (each a genuine SPMD computation over ``SimComm`` with
+cost charging):
+
+- scatter/gather between a replicated global matrix and the distribution;
+- ``gemm_replicated``: ``C = A_dist @ B_repl`` with the row-reduction the
+  layout requires;
+- ``all_reduce_columns``: redistribution ``[MC, MR] -> [MC, *]``;
+- norms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DistributionError
+from .comm import SimComm
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A ``pr x pc`` logical grid over ``pr * pc`` ranks (row-major)."""
+
+    pr: int
+    pc: int
+
+    def __post_init__(self):
+        if self.pr <= 0 or self.pc <= 0:
+            raise DistributionError("grid dimensions must be positive")
+
+    @property
+    def size(self) -> int:
+        return self.pr * self.pc
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        if not 0 <= rank < self.size:
+            raise DistributionError(f"rank {rank} outside grid {self}")
+        return rank // self.pc, rank % self.pc
+
+    def rank_of(self, i: int, j: int) -> int:
+        return i * self.pc + j
+
+    @classmethod
+    def square_ish(cls, nprocs: int) -> "ProcessGrid":
+        """The most-square grid factorization of ``nprocs`` (Elemental's
+        default grid choice)."""
+        pr = int(np.sqrt(nprocs))
+        while nprocs % pr:
+            pr -= 1
+        return cls(pr, nprocs // pr)
+
+
+class DistDense:
+    """One rank's view of a 2-D element-cyclic distributed dense matrix."""
+
+    def __init__(self, comm: SimComm, grid: ProcessGrid,
+                 shape: tuple[int, int], local: np.ndarray):
+        if grid.size != comm.nprocs:
+            raise DistributionError(
+                f"grid {grid} needs {grid.size} ranks, comm has "
+                f"{comm.nprocs}")
+        self.comm = comm
+        self.grid = grid
+        self.shape = tuple(shape)
+        self.local = np.asarray(local, dtype=np.float64)
+        i, j = grid.coords(comm.rank)
+        expect = (len(range(i, shape[0], grid.pr)),
+                  len(range(j, shape[1], grid.pc)))
+        if self.local.shape != expect:
+            raise DistributionError(
+                f"local block shape {self.local.shape} != expected {expect}")
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_global(cls, comm: SimComm, grid: ProcessGrid,
+                    A: np.ndarray) -> "DistDense":
+        """Scatter a replicated global matrix into the distribution.
+
+        (Each rank slices its own elements — no communication needed when
+        the global matrix is already replicated, which is the common case
+        in the solvers; the modeled cost is the local copy.)
+        """
+        A = np.asarray(A, dtype=np.float64)
+        i, j = grid.coords(comm.rank)
+        local = A[i::grid.pr, j::grid.pc].copy()
+        comm.charge_mem(8.0 * local.size)
+        return cls(comm, grid, A.shape, local)
+
+    def to_global(self) -> np.ndarray:
+        """Gather the full matrix onto every rank (allgather of blocks)."""
+        blocks = self.comm.allgather(self.local)
+        A = np.zeros(self.shape)
+        for rank, blk in enumerate(blocks):
+            i, j = self.grid.coords(rank)
+            A[i::self.grid.pr, j::self.grid.pc] = blk
+        return A
+
+    # -- operations ----------------------------------------------------------
+    def gemm_replicated(self, B: np.ndarray) -> np.ndarray:
+        """``C = A @ B`` with ``B`` replicated; returns ``C`` replicated.
+
+        Each rank contracts its local elements against the matching rows of
+        ``B`` (columns ``j::pc`` of A pair with rows ``j::pc`` of B), giving
+        a partial ``C`` over its row indices; a global allreduce sums the
+        per-column partials and fills the row interleave.
+        """
+        B = np.asarray(B, dtype=np.float64)
+        m, n = self.shape
+        if B.shape[0] != n:
+            raise DistributionError(
+                f"gemm mismatch: {self.shape} @ {B.shape}")
+        i, j = self.grid.coords(self.comm.rank)
+        part = self.local @ B[j::self.grid.pc]
+        self.comm.kernel("dist_gemm")
+        self.comm.charge_flops(2.0 * self.local.size * B.shape[1])
+        C = np.zeros((m, B.shape[1]))
+        C[i::self.grid.pr] = part
+        return self.comm.allreduce_sum(C)
+
+    def row_sums_of_squares(self) -> np.ndarray:
+        """Replicated vector of global row sums of squares (norm building
+        block: only one allreduce of length m)."""
+        i, _ = self.grid.coords(self.comm.rank)
+        out = np.zeros(self.shape[0])
+        out[i::self.grid.pr] = np.einsum("ij,ij->i", self.local, self.local)
+        return self.comm.allreduce_sum(out)
+
+    def fro_norm(self) -> float:
+        """Global Frobenius norm (one scalar allreduce)."""
+        part = float(np.vdot(self.local, self.local).real)
+        return float(np.sqrt(self.comm.allreduce_sum(
+            np.array([part]))[0]))
+
+    def scale(self, alpha: float) -> "DistDense":
+        """In-place scalar multiply (embarrassingly parallel)."""
+        self.local *= alpha
+        self.comm.charge_mem(8.0 * self.local.size)
+        return self
+
+    def add(self, other: "DistDense") -> "DistDense":
+        """Elementwise add of two identically distributed matrices."""
+        if self.shape != other.shape or self.grid != other.grid:
+            raise DistributionError("distribution mismatch in add")
+        self.local += other.local
+        self.comm.charge_flops(float(self.local.size))
+        return self

@@ -1,0 +1,90 @@
+"""Data distributions of Section V.
+
+- dense tall-skinny matrices and the sparse input of RandQB_EI use a 1-D
+  **block row** distribution (``El::Multiply`` style);
+- LU_CRTP uses a (cyclic) **block-column** distribution for ``A^(i)`` and
+  ``U_K`` and a (cyclic) block-row distribution for ``L_K``.
+
+These helpers compute ownership maps and split actual scipy/numpy matrices
+into per-rank local blocks — used both by the executable SPMD kernels and by
+the performance model (which needs *actual* per-rank nnz counts to model
+load imbalance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import DistributionError
+from ..sparse.utils import ensure_csc, ensure_csr
+
+
+def block_ranges(n: int, nprocs: int) -> list[tuple[int, int]]:
+    """Contiguous near-equal ranges ``[(lo, hi))`` covering ``range(n)``.
+
+    The first ``n % nprocs`` ranks get one extra element (MPI convention).
+    """
+    if nprocs <= 0:
+        raise DistributionError("nprocs must be positive")
+    base, extra = divmod(n, nprocs)
+    ranges = []
+    lo = 0
+    for r in range(nprocs):
+        hi = lo + base + (1 if r < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def cyclic_owner(n: int, nprocs: int, block: int) -> np.ndarray:
+    """Owner rank of each index under a block-cyclic distribution with the
+    given block width."""
+    if block <= 0:
+        raise DistributionError("block width must be positive")
+    return ((np.arange(n) // block) % nprocs).astype(np.int64)
+
+
+def block_cyclic_columns(n: int, nprocs: int, block: int) -> list[np.ndarray]:
+    """Column index sets per rank under a block-cyclic column distribution."""
+    owner = cyclic_owner(n, nprocs, block)
+    return [np.flatnonzero(owner == r) for r in range(nprocs)]
+
+
+def partition_rows_csr(A, nprocs: int) -> list[sp.csr_matrix]:
+    """Split ``A`` into per-rank blocks of contiguous rows (CSR)."""
+    A = ensure_csr(A)
+    return [A[lo:hi] for lo, hi in block_ranges(A.shape[0], nprocs)]
+
+
+def partition_cols_csc(A, nprocs: int, *, block: int | None = None
+                       ) -> tuple[list[sp.csc_matrix], list[np.ndarray]]:
+    """Split ``A`` into per-rank column sets (CSC), block-cyclic.
+
+    Returns ``(local_blocks, col_index_sets)``; ``col_index_sets[r]`` maps
+    local columns of rank ``r`` back to global column indices.
+    """
+    A = ensure_csc(A)
+    n = A.shape[1]
+    block = block or max(1, int(np.ceil(n / nprocs)))
+    idx_sets = block_cyclic_columns(n, nprocs, block)
+    return [A[:, idx] for idx in idx_sets], idx_sets
+
+
+def per_rank_nnz_cols(col_nnz: np.ndarray, nprocs: int, block: int
+                      ) -> np.ndarray:
+    """Per-rank nnz totals for a block-cyclic column distribution, computed
+    from a per-column nnz histogram (the performance model's load-imbalance
+    input — no matrix needed)."""
+    owner = cyclic_owner(len(col_nnz), nprocs, block)
+    out = np.zeros(nprocs, dtype=np.int64)
+    np.add.at(out, owner, col_nnz)
+    return out
+
+
+def per_rank_nnz_rows(row_nnz: np.ndarray, nprocs: int) -> np.ndarray:
+    """Per-rank nnz totals for a contiguous block-row distribution."""
+    out = np.zeros(nprocs, dtype=np.int64)
+    for r, (lo, hi) in enumerate(block_ranges(len(row_nnz), nprocs)):
+        out[r] = int(np.sum(row_nnz[lo:hi]))
+    return out

@@ -1,0 +1,128 @@
+"""Alpha-beta-gamma machine model and collective cost formulas.
+
+The model charges
+
+- ``gamma_flop`` seconds per floating-point operation (effective *sparse*
+  rate — deliberately far below peak, matching attainable SpMM/QR rates),
+- ``gamma_mem`` seconds per byte of local data movement (permutations,
+  packing),
+- ``alpha + beta * bytes`` per message.
+
+Collective formulas follow the standard implementations (binomial-tree
+bcast/reduce, recursive-doubling allgather/allreduce, Thakur et al.), which
+is what Intel MPI uses at these message sizes.  Defaults are calibrated to a
+VSC4-like node so that the paper's crossover *decades* are preserved (see
+DESIGN.md §5); absolute seconds are not meaningful and EXPERIMENTS.md only
+compares shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cost coefficients of the simulated distributed machine.
+
+    Attributes
+    ----------
+    gamma_flop:
+        Seconds per flop (default 2e-10 = 5 Gflop/s effective per process).
+    gamma_mem:
+        Seconds per byte moved locally (default 1.25e-10 = 8 GB/s).
+    alpha:
+        Message latency in seconds (default 2e-6, typical InfiniBand).
+    beta:
+        Seconds per byte on the wire (default 8.3e-10 = 12 Gbit/s).
+    """
+
+    gamma_flop: float = 2.0e-10
+    gamma_mem: float = 1.25e-10
+    alpha: float = 2.0e-6
+    beta: float = 8.3e-10
+
+    def flops(self, count: float) -> float:
+        """Seconds to execute ``count`` flops on one process."""
+        return self.gamma_flop * max(count, 0.0)
+
+    def mem(self, nbytes: float) -> float:
+        """Seconds to stream ``nbytes`` through local memory."""
+        return self.gamma_mem * max(nbytes, 0.0)
+
+    @property
+    def collectives(self) -> "CollectiveCosts":
+        return CollectiveCosts(self)
+
+    # -- presets ------------------------------------------------------------
+    @classmethod
+    def hpc_cluster(cls) -> "MachineModel":
+        """VSC4-like: InfiniBand latency/bandwidth, MKL-grade sparse rate
+        (the default model)."""
+        return cls()
+
+    @classmethod
+    def ethernet_cluster(cls) -> "MachineModel":
+        """Commodity 10GbE cluster: ~25x the latency, ~10x less bandwidth.
+        Communication-bound regimes appear at much smaller process counts."""
+        return cls(alpha=5.0e-5, beta=8.0e-9)
+
+    @classmethod
+    def shared_memory(cls) -> "MachineModel":
+        """Single fat node: near-zero latency, memory-bus bandwidth.
+        Collectives almost free; scaling limited by compute partitioning."""
+        return cls(alpha=2.0e-7, beta=6.3e-11)
+
+
+@dataclass(frozen=True)
+class CollectiveCosts:
+    """Cost formulas of the MPI collectives used in Section V."""
+
+    machine: MachineModel
+
+    def _lg(self, nprocs: int) -> float:
+        return float(np.ceil(np.log2(max(nprocs, 1)))) if nprocs > 1 else 0.0
+
+    def p2p(self, nbytes: float) -> float:
+        """One point-to-point message."""
+        m = self.machine
+        return m.alpha + m.beta * max(nbytes, 0.0)
+
+    def bcast(self, nbytes: float, nprocs: int) -> float:
+        """Binomial-tree broadcast: ``log2(P) (alpha + beta n)``."""
+        m = self.machine
+        return self._lg(nprocs) * (m.alpha + m.beta * max(nbytes, 0.0))
+
+    def reduce(self, nbytes: float, nprocs: int) -> float:
+        """Binomial-tree reduction (computation on the wire ignored)."""
+        return self.bcast(nbytes, nprocs)
+
+    def allgather(self, nbytes_total: float, nprocs: int) -> float:
+        """Recursive doubling: ``log2(P) alpha + (P-1)/P * n * beta`` where
+        ``nbytes_total`` is the size of the gathered result."""
+        m = self.machine
+        if nprocs <= 1:
+            return 0.0
+        frac = (nprocs - 1) / nprocs
+        return self._lg(nprocs) * m.alpha + frac * max(nbytes_total, 0.0) * m.beta
+
+    def allreduce(self, nbytes: float, nprocs: int) -> float:
+        """Rabenseifner: reduce-scatter + allgather, ``~2 (P-1)/P n beta``."""
+        m = self.machine
+        if nprocs <= 1:
+            return 0.0
+        frac = (nprocs - 1) / nprocs
+        return 2.0 * self._lg(nprocs) * m.alpha \
+            + 2.0 * frac * max(nbytes, 0.0) * m.beta
+
+    def scatter(self, nbytes_total: float, nprocs: int) -> float:
+        """Binomial scatter of ``nbytes_total`` bytes from the root."""
+        m = self.machine
+        if nprocs <= 1:
+            return 0.0
+        frac = (nprocs - 1) / nprocs
+        return self._lg(nprocs) * m.alpha + frac * max(nbytes_total, 0.0) * m.beta
+
+    gather = scatter  # symmetric cost

@@ -1,0 +1,61 @@
+"""Scaling-report containers and text rendering (Fig. 4 output)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .perfmodel import ParallelRunReport
+
+
+@dataclass
+class ScalingCurve:
+    """Strong-scaling curve of one algorithm on one problem."""
+
+    label: str
+    nprocs: list[int]
+    seconds: list[float]
+
+    @property
+    def speedups(self) -> np.ndarray:
+        """Speedup relative to the smallest process count in the sweep."""
+        return np.array([self.seconds[0] / s for s in self.seconds])
+
+    @property
+    def efficiency(self) -> np.ndarray:
+        """Parallel efficiency ``speedup / (P / P0)``."""
+        ratio = np.array(self.nprocs, dtype=float) / self.nprocs[0]
+        return self.speedups / ratio
+
+    @classmethod
+    def from_reports(cls, label: str,
+                     reports: list[ParallelRunReport]) -> "ScalingCurve":
+        return cls(label=label, nprocs=[r.nprocs for r in reports],
+                   seconds=[r.total_seconds for r in reports])
+
+    def saturation_nprocs(self) -> int:
+        """Process count past which adding processes gains < 10% — the
+        "does not scale anymore" point of Fig. 4."""
+        for i in range(1, len(self.nprocs)):
+            if self.seconds[i] > 0.9 * self.seconds[i - 1]:
+                return self.nprocs[i - 1]
+        return self.nprocs[-1]
+
+
+def speedup_table(curves: list[ScalingCurve]) -> str:
+    """Render aligned text: one row per process count, one column per curve."""
+    if not curves:
+        return "(no curves)"
+    ps = curves[0].nprocs
+    for c in curves:
+        if c.nprocs != ps:
+            raise ValueError("curves must share the process-count sweep")
+    head = "np".rjust(6) + "".join(c.label.rjust(18) for c in curves)
+    lines = [head, "-" * len(head)]
+    for i, p in enumerate(ps):
+        row = f"{p:6d}"
+        for c in curves:
+            row += f"{c.speedups[i]:14.2f}x   "
+        lines.append(row)
+    return "\n".join(lines)

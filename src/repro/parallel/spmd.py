@@ -1,0 +1,300 @@
+"""Executable SPMD versions of RandQB_EI and LU_CRTP.
+
+These run on the thread-per-rank communicator (:func:`repro.parallel.comm.
+run_spmd`) with real distributed data.  They exist to *validate* the
+parallelization structure at small process counts — the unit tests check
+parity with the sequential solvers — while the large-P evaluation of
+Figs. 4-6 uses the trace-replay performance model.
+
+Usage::
+
+    out = run_spmd(4, spmd_randqb_ei, A, k=16, tol=1e-2)
+    Q, B, rank = out["results"][0]        # replicated outputs
+    modeled_seconds = out["elapsed"]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..linalg.norms import fro_norm_sq
+from ..linalg.orth import orth
+from ..sparse.utils import ensure_csc, ensure_csr
+from .comm import SimComm
+from .distribution import block_ranges, partition_cols_csc, partition_rows_csr
+from .kernels import par_qt_a, par_spmm_rowdist, par_tournament_columns, par_tsqr
+
+
+def spmd_randqb_ei(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
+                   power: int = 0, seed: int = 0, max_rank: int | None = None):
+    """Algorithm 1 as a rank program: ``A`` row-distributed, ``Omega`` and
+    ``B_K`` replicated, ``Q_K`` row-distributed, orthogonalization via TSQR.
+
+    Every rank returns ``(Q_local_rows, B, rank)``; ``B`` is replicated.
+    Uses the same RNG stream as the sequential solver (drawn on rank 0 and
+    broadcast), so results are bitwise-comparable modulo reduction order.
+    """
+    m, n = A.shape
+    ranges = block_ranges(m, comm.nprocs)
+    lo, hi = ranges[comm.rank]
+    A_local = partition_rows_csr(A, comm.nprocs)[comm.rank]
+    max_rank = min(max_rank or min(m, n), min(m, n))
+    rng = np.random.default_rng(seed) if comm.rank == 0 else None
+
+    a_fro_sq_local = fro_norm_sq(A_local)
+    a_fro_sq = float(comm.allreduce_sum(np.array([a_fro_sq_local]))[0])
+    E = a_fro_sq
+
+    Qloc = np.zeros((hi - lo, 0))
+    B = np.zeros((0, n))
+    K = 0
+    converged = False
+    while K < max_rank:
+        k_i = min(k, max_rank - K)
+        Omega = comm.bcast(
+            rng.standard_normal((n, k_i)) if comm.rank == 0 else None, root=0)
+        Y = par_spmm_rowdist(comm, A_local, Omega)
+        if K > 0:
+            comm.kernel("gemm_project")
+            BO = B @ Omega  # replicated small gemm
+            comm.charge_flops(2.0 * K * n * k_i / comm.nprocs)
+            Y = Y - Qloc @ BO
+            comm.charge_flops(2.0 * Y.shape[0] * K * k_i)
+        Qk_loc, _ = par_tsqr(comm, Y)
+        for _ in range(power):
+            Z = par_qt_a(comm, Qk_loc, A_local).T  # (n, k) replicated
+            if K > 0:
+                comm.kernel("gemm_project")
+                QtQ = comm.allreduce_sum(Qloc.T @ Qk_loc)
+                Z = Z - B.T @ QtQ
+            Zq = orth(Z)  # replicated small orth
+            Y = par_spmm_rowdist(comm, A_local, Zq)
+            if K > 0:
+                comm.kernel("gemm_project")
+                BZ = B @ Zq
+                Y = Y - Qloc @ BZ
+            Qk_loc, _ = par_tsqr(comm, Y)
+        if K > 0:
+            # re-orthogonalization (line 10) against earlier blocks
+            comm.kernel("reorth")
+            QtQk = comm.allreduce_sum(Qloc.T @ Qk_loc)
+            Yr = Qk_loc - Qloc @ QtQk
+            comm.charge_flops(4.0 * Qloc.shape[0] * K * k_i)
+            Qk_loc, _ = par_tsqr(comm, Yr)
+        Bk = par_qt_a(comm, Qk_loc, A_local)
+        Qloc = np.concatenate([Qloc, Qk_loc], axis=1)
+        B = np.concatenate([B, Bk], axis=0)
+        K += k_i
+        E -= float(np.vdot(Bk, Bk).real)
+        if np.sqrt(max(E, 0.0)) < tol * np.sqrt(a_fro_sq):
+            converged = True
+            break
+    return Qloc, B, K, converged
+
+
+def spmd_lu_crtp(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
+                 max_rank: int | None = None, threshold: float = 0.0):
+    """Algorithm 2 (Algorithm 3 when ``threshold > 0``) as a rank program.
+
+    ``A^(i)`` lives in a block-cyclic column distribution; the column
+    tournament reduces locally then over the binary tree; the ``k`` selected
+    columns are shipped to rank 0 for the small sparse QR; ``Q_k`` is
+    broadcast for the row tournament; ``F = A21 A11^{-1}`` is computed from
+    broadcast ``A11``; the Schur update runs column-local.
+
+    Every rank returns ``(achieved_rank, converged, rel_indicator)``;
+    factors are validated through the indicator (the sequential solver is
+    the reference for factor values).
+    """
+    A = ensure_csc(A)
+    m, n = A.shape
+    max_rank = min(max_rank or min(m, n), min(m, n))
+    blocks, idx_sets = partition_cols_csc(A, comm.nprocs,
+                                          block=max(2 * k, 1))
+    local = blocks[comm.rank].tocsc()
+    local_ids = idx_sets[comm.rank].astype(np.intp)
+
+    a_fro_sq = float(comm.allreduce_sum(
+        np.array([fro_norm_sq(local)]))[0])
+    a_fro = np.sqrt(a_fro_sq)
+
+    K = 0
+    converged = False
+    ind_sq = a_fro_sq
+    active_rows = np.arange(m)  # global rows still active, in current order
+    while K < max_rank:
+        total_cols = int(comm.allreduce_sum(
+            np.array([local.shape[1]]))[0])
+        k_i = min(k, len(active_rows), total_cols, max_rank - K)
+        if k_i <= 0:
+            break
+        winner_ids, _ = par_tournament_columns(comm, local, local_ids, k_i)
+
+        # ship winning columns to rank 0 for the sparse QR
+        mine = np.isin(local_ids, winner_ids)
+        payload = (local_ids[mine], local[:, np.flatnonzero(mine)])
+        gathered = comm.gather(payload, root=0)
+        if comm.rank == 0:
+            ids = np.concatenate([g[0] for g in gathered])
+            cols = sp.hstack([g[1] for g in gathered], format="csc")
+            order = np.argsort(_rank_in(ids, winner_ids))
+            sel = cols[:, order]
+            from ..linalg.cholqr import cholqr2
+            Qk, _, _ = cholqr2(sel)
+            comm.kernel("sparse_qr")
+            comm.charge_flops(4.0 * sel.nnz * k_i + 8.0 * k_i ** 3)
+        else:
+            Qk = None
+        Qk = comm.bcast(Qk, root=0)
+
+        # row tournament on Q_k^T: each rank owns a block of rows
+        comm.kernel("row_qr_tp")
+        rranges = block_ranges(Qk.shape[0], comm.nprocs)
+        rlo, rhi = rranges[comm.rank]
+        from ..pivoting.tournament import qr_tp_rows
+        if rhi - rlo >= 1:
+            loc_res = qr_tp_rows(Qk[rlo:rhi], min(k_i, rhi - rlo))
+            comm.charge_flops(loc_res.stats.total_flops)
+            cand = rlo + loc_res.winners
+        else:
+            cand = np.zeros(0, dtype=np.intp)
+        all_cand = np.concatenate(comm.allgather(cand))
+        fin = qr_tp_rows(Qk[all_cand], k_i)
+        row_winners = all_cand[fin.winners]
+
+        # build the permuted row order: winners first
+        comm.kernel("permute_rows")
+        mask = np.zeros(len(active_rows), dtype=bool)
+        mask[row_winners] = True
+        new_order = np.concatenate([row_winners, np.flatnonzero(~mask)])
+        local = local[new_order].tocsc()
+        comm.charge_mem(16.0 * local.nnz)
+        active_rows = active_rows[new_order]
+
+        # A11 from the winner columns (on rank 0, then broadcast)
+        if comm.rank == 0:
+            sel_perm = sel[new_order].tocsc()
+            A11 = sel_perm[:k_i].toarray()
+            A21 = sel_perm[k_i:].tocsr()
+        else:
+            A11 = None
+        A11 = comm.bcast(A11, root=0)
+
+        # F = A21 A11^{-1} computed on rank 0, broadcast (k is small)
+        if comm.rank == 0:
+            comm.kernel("solve")
+            rows = np.flatnonzero(np.diff(A21.indptr))
+            F = sp.lil_matrix((A21.shape[0], k_i))
+            if rows.size:
+                F[rows] = np.linalg.solve(A11.T, A21[rows].toarray().T).T
+                comm.charge_flops(2.0 * k_i * k_i * rows.size)
+            F = F.tocsr()
+        else:
+            F = None
+        F = comm.bcast(F, root=0)
+
+        # Schur update of the local non-winner columns
+        comm.kernel("schur")
+        keep = ~np.isin(local_ids, winner_ids)
+        rest = local[:, np.flatnonzero(keep)]
+        A12_loc = rest[:k_i].tocsc()
+        A22_loc = rest[k_i:].tocsc()
+        S_loc = (A22_loc - F @ A12_loc).tocsc()
+        S_loc.eliminate_zeros()
+        comm.charge_flops(2.0 * F.nnz * max(A12_loc.nnz, 1) / max(k_i, 1))
+        if threshold > 0 and S_loc.nnz:
+            S_loc.data[np.abs(S_loc.data) < threshold] = 0.0
+            S_loc.eliminate_zeros()
+        local = S_loc
+        local_ids = local_ids[keep]
+        active_rows = active_rows[k_i:]
+        K += k_i
+
+        ind_sq = float(comm.allreduce_sum(
+            np.array([fro_norm_sq(local)]))[0])
+        if np.sqrt(ind_sq) < tol * a_fro:
+            converged = True
+            break
+        if len(active_rows) == 0 or total_cols - k_i == 0:
+            break
+    rel = float(np.sqrt(max(ind_sq, 0.0)) / a_fro) if K else 1.0
+    return K, converged, rel
+
+
+def spmd_randubv(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
+                 seed: int = 0, max_rank: int | None = None):
+    """RandUBV as a rank program — the parallel implementation the paper's
+    §VI-B motivates as future work.
+
+    ``A`` is row-distributed; ``V`` blocks are replicated (they are
+    ``n x k``); ``U`` blocks are row-distributed; both orthogonalizations
+    run through TSQR.  Every rank returns ``(U_local, B, V, rank,
+    converged)`` with ``B``/``V`` replicated.
+    """
+    m, n = A.shape
+    ranges = block_ranges(m, comm.nprocs)
+    lo, hi = ranges[comm.rank]
+    A_local = partition_rows_csr(A, comm.nprocs)[comm.rank]
+    max_rank = min(max_rank or min(m, n), min(m, n))
+    rng = np.random.default_rng(seed) if comm.rank == 0 else None
+
+    a_fro_sq = float(comm.allreduce_sum(
+        np.array([fro_norm_sq(A_local)]))[0])
+    E = a_fro_sq
+
+    Vj = comm.bcast(
+        orth(rng.standard_normal((n, k))) if comm.rank == 0 else None,
+        root=0)
+    V = Vj.copy()
+    Uloc = np.zeros((hi - lo, 0))
+    Rblocks: list[np.ndarray] = []
+    Lblocks: list[np.ndarray] = []
+    Lprev = np.zeros((k, k))
+    K = 0
+    converged = False
+    while K < max_rank:
+        W = par_spmm_rowdist(comm, A_local, Vj)
+        if K > 0:
+            comm.kernel("gemm_update")
+            W = W - Uloc[:, K - k:K] @ Lprev
+            W = W - Uloc @ comm.allreduce_sum(Uloc.T @ W)
+        Uj_loc, Rj = par_tsqr(comm, W)
+        Uloc = np.concatenate([Uloc, Uj_loc], axis=1)
+        Rblocks.append(Rj)
+        K += k
+        E -= float(np.vdot(Rj, Rj).real)
+        if np.sqrt(max(E, 0.0)) < tol * np.sqrt(a_fro_sq):
+            converged = True
+            break
+        if K >= max_rank:
+            break
+        # V_{j+1} L_j^T = qr(A^T U_j - V_j R_j^T) with full reorth of V
+        Z = par_qt_a(comm, Uj_loc, A_local).T  # replicated (n, k)
+        comm.kernel("reorth_v")
+        Z = Z - Vj @ Rj.T
+        for _ in range(2):
+            Z = Z - V @ (V.T @ Z)
+        Vnext, LjT = np.linalg.qr(Z, mode="reduced")
+        comm.charge_flops(4.0 * n * k * k / comm.nprocs)
+        Lj = LjT.T
+        V = np.concatenate([V, Vnext], axis=1)
+        Lblocks.append(Lj)
+        E -= float(np.vdot(Lj, Lj).real)
+        Vj = Vnext
+        Lprev = Lj
+
+    nb = len(Rblocks)
+    ncols = nb + (1 if len(Lblocks) == nb else 0)
+    B = np.zeros((nb * k, ncols * k))
+    for j, Rj in enumerate(Rblocks):
+        B[j * k:(j + 1) * k, j * k:(j + 1) * k] = Rj
+    for j, Lj in enumerate(Lblocks):
+        B[j * k:(j + 1) * k, (j + 1) * k:(j + 2) * k] = Lj
+    return Uloc, B, V[:, :B.shape[1]], K, converged
+
+
+def _rank_in(ids: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Position of each id within the reference ordering."""
+    pos = {int(v): i for i, v in enumerate(reference)}
+    return np.array([pos[int(v)] for v in ids], dtype=np.intp)

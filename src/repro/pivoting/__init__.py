@@ -1,0 +1,28 @@
+"""Rank-revealing column/row selection and tournament pivoting (QR_TP).
+
+- :mod:`repro.pivoting.select` — select the ``k`` "most linearly
+  independent" columns of a (sparse) block; one tournament *match*.
+- :mod:`repro.pivoting.tournament` — QR_TP reduction trees (flat/binary)
+  over columns and rows, with per-stage cost accounting consumed by the
+  parallel performance model.
+"""
+
+from .select import select_columns, SelectionResult, selection_flops
+from .tournament import (
+    qr_tp,
+    qr_tp_rows,
+    TournamentResult,
+    TournamentStats,
+    MatchRecord,
+)
+
+__all__ = [
+    "select_columns",
+    "SelectionResult",
+    "selection_flops",
+    "qr_tp",
+    "qr_tp_rows",
+    "TournamentResult",
+    "TournamentStats",
+    "MatchRecord",
+]

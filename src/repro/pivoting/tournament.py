@@ -1,0 +1,201 @@
+"""QR_TP — rank-revealing QR with tournament pivoting (Section II-B / V).
+
+QR_TP finds the ``k`` "most linearly independent" columns of a matrix with a
+reduction tree.  Leaves hold (at most) ``2k`` contiguous columns each and
+select ``k`` local winners without any cross-leaf data movement — this is
+the *local* reduction stage, embarrassingly parallel.  Winners then compete
+pairwise up a binary tree (``log2(leaves)`` rounds — the *global* stage) or
+sequentially against an accumulator (flat tree).  The final match's winners
+are the global selection.
+
+The per-match statistics collected in :class:`TournamentStats` (stage,
+candidate nnz, flops) are exactly what the simulated-parallel layer needs:
+local-stage matches parallelize across ranks, global-stage rounds serialize
+into ``log2 P`` communication steps (Fig. 4's scalability rolloff).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..sparse.ops import extract_columns
+from ..sparse.utils import nnz_of
+from .select import select_columns
+
+
+@dataclass
+class MatchRecord:
+    """Cost record of one tournament match."""
+
+    stage: str            # "leaf" or "round<t>"
+    candidates: int       # number of candidate columns entering the match
+    nnz: int              # stored entries of the candidate block
+    flops: float
+    bytes_exchanged: int  # candidate-column payload a pairwise match moves
+
+
+@dataclass
+class TournamentStats:
+    """All matches of one QR_TP invocation, grouped by stage."""
+
+    matches: list[MatchRecord] = field(default_factory=list)
+
+    def record(self, rec: MatchRecord) -> None:
+        self.matches.append(rec)
+
+    @property
+    def leaf_matches(self) -> list[MatchRecord]:
+        return [m for m in self.matches if m.stage == "leaf"]
+
+    @property
+    def rounds(self) -> int:
+        return len({m.stage for m in self.matches if m.stage.startswith("round")})
+
+    @property
+    def total_flops(self) -> float:
+        return sum(m.flops for m in self.matches)
+
+    def stage_flops(self, stage: str) -> float:
+        return sum(m.flops for m in self.matches if m.stage == stage)
+
+
+@dataclass
+class TournamentResult:
+    """Outcome of QR_TP.
+
+    Attributes
+    ----------
+    perm:
+        Full column permutation (length ``n``): winners first (in pivot
+        order), losers after in original relative order.  ``A[:, perm]`` is
+        the matrix ``A P_c`` of Algorithm 2 line 5.
+    winners:
+        The ``k`` selected global column indices, ``perm[:k]``.
+    r11_diag:
+        ``|diag(R)|`` from the final match — ``r11_diag[0]`` is the
+        ``|R^(1)(1,1)|`` estimate of ``||A||_2`` used by ILUT_CRTP's
+        threshold heuristic (equations (23)/(24)).
+    stats:
+        Per-match cost records.
+    """
+
+    perm: np.ndarray
+    winners: np.ndarray
+    r11_diag: np.ndarray
+    stats: TournamentStats
+
+
+def _leaf_blocks(n: int, leaf_cols: int) -> list[np.ndarray]:
+    return [np.arange(s, min(s + leaf_cols, n), dtype=np.intp)
+            for s in range(0, n, leaf_cols)]
+
+
+def _match(A, cand: np.ndarray, k: int, stage: str, stats: TournamentStats,
+           *, method: str, strong: bool):
+    """Run one match among candidate columns ``cand`` of ``A``; returns the
+    winning global indices (pivot order) and the match's ``|diag(R)|``."""
+    block = extract_columns(A, cand) if sp.issparse(A) else np.asarray(A)[:, cand]
+    sel = select_columns(block, k, method=method, strong=strong)
+    block_nnz = nnz_of(block)
+    stats.record(MatchRecord(stage=stage, candidates=len(cand), nnz=block_nnz,
+                             flops=sel.flops,
+                             bytes_exchanged=16 * block_nnz))
+    return cand[sel.winners], sel.r_diag
+
+
+def qr_tp(A, k: int, *, tree: str = "binary", leaf_cols: int | None = None,
+          method: str = "gram", strong: bool = False) -> TournamentResult:
+    """Tournament pivoting over the columns of ``A``.
+
+    Parameters
+    ----------
+    A:
+        Sparse (preferred) or dense matrix, shape ``(m, n)``.
+    k:
+        Number of columns to select (capped at ``min(m, n)`` callers' duty).
+    tree:
+        ``"binary"`` — pairwise reduction, ``log2`` rounds (the parallel
+        shape); ``"flat"`` — sequential accumulator (the paper notes both
+        have the same asymptotic cost, Section IV).
+    leaf_cols:
+        Columns per leaf; default ``2k`` as in the paper ("each process owns
+        2k columns").
+    method, strong:
+        Passed through to :func:`repro.pivoting.select.select_columns`.
+    """
+    m, n = A.shape
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, n)
+    if tree not in ("binary", "flat"):
+        raise ValueError(f"unknown tree shape {tree!r}")
+    stats = TournamentStats()
+    leaf_cols = leaf_cols or max(2 * k, 1)
+
+    leaves = _leaf_blocks(n, leaf_cols)
+    contenders: list[np.ndarray] = []
+    r_diag = np.zeros(0)
+    for leaf in leaves:
+        if len(leaves) == 1:
+            # single leaf: the leaf match IS the final match
+            win, r_diag = _match(A, leaf, k, "leaf", stats,
+                                 method=method, strong=strong)
+            contenders.append(win)
+            break
+        win, r_diag = _match(A, leaf, k, "leaf", stats,
+                             method=method, strong=strong)
+        contenders.append(win)
+
+    if tree == "flat":
+        acc = contenders[0]
+        for t, nxt in enumerate(contenders[1:], start=1):
+            cand = np.concatenate([acc, nxt])
+            acc, r_diag = _match(A, cand, k, f"round{t}", stats,
+                                 method=method, strong=strong)
+        winners = acc
+    else:
+        level = contenders
+        t = 1
+        while len(level) > 1:
+            nxt_level: list[np.ndarray] = []
+            for i in range(0, len(level), 2):
+                if i + 1 < len(level):
+                    cand = np.concatenate([level[i], level[i + 1]])
+                    win, r_diag = _match(A, cand, k, f"round{t}", stats,
+                                         method=method, strong=strong)
+                    nxt_level.append(win)
+                else:
+                    nxt_level.append(level[i])  # bye
+            level = nxt_level
+            t += 1
+        winners = level[0]
+
+    perm = _winners_first(winners, n)
+    return TournamentResult(perm=perm, winners=winners, r11_diag=r_diag,
+                            stats=stats)
+
+
+def _winners_first(winners: np.ndarray, n: int) -> np.ndarray:
+    mask = np.zeros(n, dtype=bool)
+    mask[winners] = True
+    losers = np.flatnonzero(~mask)
+    return np.concatenate([winners, losers]).astype(np.intp)
+
+
+def qr_tp_rows(Q: np.ndarray, k: int, *, tree: str = "binary",
+               leaf_rows: int | None = None) -> TournamentResult:
+    """Row tournament: select the ``k`` most linearly independent *rows* of
+    a dense tall block ``Q`` (Algorithm 2 line 7 runs QR_TP on ``Q_k^T``).
+
+    Equivalent to :func:`qr_tp` on ``Q.T`` with dense matches (``Q`` is the
+    explicit orthogonal factor, dense by construction); returns a
+    *row* permutation in ``perm``.
+    """
+    Q = np.asarray(Q, dtype=np.float64)
+    m, kc = Q.shape
+    leaf_rows = leaf_rows or max(2 * k, 1)
+    res = qr_tp(Q.T, k, tree=tree, leaf_cols=leaf_rows, method="dense")
+    return res

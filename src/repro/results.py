@@ -1,0 +1,219 @@
+"""Result containers returned by the fixed-precision solvers.
+
+All solvers return a subclass of :class:`LowRankApproximation` exposing the
+generic ``H @ W`` view of the paper's Section II: a left factor ``H`` of
+shape ``(m, K)`` and a right factor ``W`` of shape ``(K, n)`` such that
+``H @ W`` approximates ``A`` (after row/column permutations for the
+deterministic methods).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from .history import ConvergenceHistory
+
+
+def _nnz(mat) -> int:
+    """Stored-entry count for either a dense ndarray or a scipy sparse matrix."""
+    if sp.issparse(mat):
+        return int(mat.nnz)
+    return int(np.asarray(mat).size)
+
+
+@dataclass
+class LowRankApproximation:
+    """Rank-``K`` approximation ``A ~= H @ W`` produced by a solver.
+
+    Attributes
+    ----------
+    rank:
+        Achieved (over-estimated) rank ``K``.
+    tolerance:
+        The requested relative tolerance ``tau``.
+    indicator:
+        Final value of the solver's error indicator (relative quantities are
+        available through :meth:`relative_indicator`).
+    a_fro:
+        Frobenius norm of the input matrix ``A`` captured at solve time.
+    converged:
+        Whether the indicator dropped below ``tau * ||A||_F``.
+    history:
+        Per-iteration trace (see :mod:`repro.history`).
+    elapsed:
+        Total solver wall-clock seconds.
+    """
+
+    rank: int
+    tolerance: float
+    indicator: float
+    a_fro: float
+    converged: bool
+    history: ConvergenceHistory = field(default_factory=ConvergenceHistory)
+    elapsed: float = 0.0
+
+    @property
+    def iterations(self) -> int:
+        return self.history.iterations
+
+    def relative_indicator(self) -> float:
+        """Indicator scaled by ``||A||_F`` (comparable against ``tau``)."""
+        if self.a_fro == 0:
+            return 0.0
+        return self.indicator / self.a_fro
+
+    # -- the generic H/W view -------------------------------------------------
+    @property
+    def left(self):
+        """Left factor ``H`` of the generic ``H @ W`` representation."""
+        raise NotImplementedError
+
+    @property
+    def right(self):
+        """Right factor ``W`` of the generic ``H @ W`` representation."""
+        raise NotImplementedError
+
+    def reconstruct(self) -> np.ndarray:
+        """Materialize the dense approximation ``H @ W`` (small problems only)."""
+        H, W = self.left, self.right
+        H = H.toarray() if sp.issparse(H) else np.asarray(H)
+        W = W.toarray() if sp.issparse(W) else np.asarray(W)
+        return H @ W
+
+    def factor_nnz(self) -> int:
+        """Total stored entries of both factors (Table II ``ratio_NNZ`` input)."""
+        return _nnz(self.left) + _nnz(self.right)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``(H @ W) @ x`` without forming the approximation."""
+        return self.left @ (self.right @ x)
+
+    def error(self, A) -> float:
+        """Exact relative Frobenius error ``||A' - H W||_F / ||A||_F``.
+
+        ``A'`` is ``A`` for the randomized methods and ``P_r A P_c`` for the
+        deterministic ones; subclasses override :meth:`_permuted` accordingly.
+        Intended for validation on moderate sizes (densifies internally).
+        """
+        Ad = A.toarray() if sp.issparse(A) else np.asarray(A, dtype=float)
+        Ap = self._permuted(Ad)
+        denom = np.linalg.norm(Ad)
+        if denom == 0:
+            return 0.0
+        return float(np.linalg.norm(Ap - self.reconstruct()) / denom)
+
+    def _permuted(self, Ad: np.ndarray) -> np.ndarray:
+        return Ad
+
+
+@dataclass
+class QBApproximation(LowRankApproximation):
+    """``Q_K B_K ~= A`` from RandQB_EI / RandQB_b / ARRF / RSVD.
+
+    ``Q`` is ``(m, K)`` with orthonormal columns, ``B`` is ``(K, n)``; both
+    are dense (Section II: randomized factors are inherently dense).
+    """
+
+    Q: np.ndarray = None
+    B: np.ndarray = None
+
+    @property
+    def left(self):
+        return self.Q
+
+    @property
+    def right(self):
+        return self.B
+
+    def to_svd(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Convert the QB factorization to an approximate (economy) SVD.
+
+        Returns ``(U, s, Vt)`` with ``U @ diag(s) @ Vt ~= A``, obtained from a
+        dense SVD of the small factor ``B`` (cost ``O(K^2 n)``).
+        """
+        Ub, s, Vt = np.linalg.svd(self.B, full_matrices=False)
+        return self.Q @ Ub, s, Vt
+
+    def orthogonality_defect(self) -> float:
+        """``||Q^T Q - I||_inf`` — the loss-of-orthogonality metric of §VI-B."""
+        QtQ = self.Q.T @ self.Q
+        return float(np.max(np.abs(QtQ - np.eye(QtQ.shape[0]))))
+
+
+@dataclass
+class UBVApproximation(LowRankApproximation):
+    """``U B V^T ~= A`` from RandUBV (block Golub-Kahan bidiagonalization)."""
+
+    U: np.ndarray = None
+    Bmat: np.ndarray = None
+    V: np.ndarray = None
+
+    @property
+    def left(self):
+        return self.U
+
+    @property
+    def right(self):
+        return self.Bmat @ self.V.T
+
+    def factor_nnz(self) -> int:
+        return self.U.size + self.Bmat.size + self.V.size
+
+
+@dataclass
+class LUApproximation(LowRankApproximation):
+    """``L_K U_K ~= P_r A P_c`` from LU_CRTP / ILUT_CRTP.
+
+    ``L`` and ``U`` are scipy sparse matrices; ``row_perm``/``col_perm`` hold
+    the accumulated permutations as index vectors: row ``i`` of the permuted
+    matrix is row ``row_perm[i]`` of ``A`` and column ``j`` is column
+    ``col_perm[j]`` of ``A``, i.e. ``(P_r A P_c)[i, j] = A[row_perm[i],
+    col_perm[j]]``.
+    """
+
+    L: sp.spmatrix = None
+    U: sp.spmatrix = None
+    row_perm: np.ndarray = None
+    col_perm: np.ndarray = None
+    threshold: float = 0.0
+    dropped_norm: float = 0.0
+    control_triggered: bool = False
+
+    @property
+    def left(self):
+        return self.L
+
+    @property
+    def right(self):
+        return self.U
+
+    def _permuted(self, Ad: np.ndarray) -> np.ndarray:
+        return Ad[np.ix_(self.row_perm, self.col_perm)]
+
+    def dropped_norm_bound(self) -> float:
+        """Triangle-inequality bound ``sum_j ||T~^(j)||_F >= ||T||_F`` on the
+        accumulated perturbation.
+
+        ``dropped_norm`` holds the paper's control quantity
+        ``sqrt(sum_j ||T~^(j)||_F^2)`` (equation (22)), which equals
+        ``||T||_F`` only when the per-iteration drops have disjoint
+        supports; when fill re-creates and re-drops a position, ``||T||_F``
+        can exceed it slightly.  This sum-of-norms bound always holds and
+        is the right yardstick for error-vs-estimator assertions.
+        """
+        return float(sum(np.sqrt(max(r.dropped_norm_sq, 0.0))
+                         for r in self.history))
+
+    def permutation_matrices(self) -> tuple[sp.csr_matrix, sp.csr_matrix]:
+        """Explicit sparse ``(P_r, P_c)`` with ``P_r A P_c = L U`` target.
+
+        ``P_r`` has a 1 at ``(i, row_perm[i])``; ``P_c`` at ``(col_perm[j], j)``.
+        """
+        m = len(self.row_perm)
+        n = len(self.col_perm)
+        Pr = sp.csr_matrix((np.ones(m), (np.arange(m), self.row_perm)), shape=(m, m))
+        Pc = sp.csr_matrix((np.ones(n), (self.col_perm, np.arange(n))), shape=(n, n))
+        return Pr, Pc

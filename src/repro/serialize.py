@@ -1,0 +1,109 @@
+"""Save and load solver results (.npz archives).
+
+Factorizations of large matrices are expensive; downstream users want to
+compute once and reuse.  ``save_result``/``load_result`` round-trip the
+three result families (QB, UBV, LU) including permutations, convergence
+metadata and the per-iteration history.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from .history import ConvergenceHistory, IterationRecord
+from .results import LUApproximation, QBApproximation, UBVApproximation
+
+_KIND = {QBApproximation: "qb", UBVApproximation: "ubv",
+         LUApproximation: "lu"}
+
+
+def _history_payload(history: ConvergenceHistory) -> str:
+    recs = []
+    for r in history:
+        recs.append({
+            "iteration": r.iteration, "rank": r.rank,
+            "indicator": r.indicator, "elapsed": r.elapsed,
+            "schur_nnz": r.schur_nnz, "schur_shape": list(r.schur_shape),
+            "factor_nnz": r.factor_nnz, "dropped_nnz": r.dropped_nnz,
+            "dropped_norm_sq": r.dropped_norm_sq,
+        })
+    return json.dumps(recs)
+
+
+def _history_from_payload(payload: str) -> ConvergenceHistory:
+    h = ConvergenceHistory()
+    for d in json.loads(payload):
+        d["schur_shape"] = tuple(d["schur_shape"])
+        h.append(IterationRecord(**d))
+    return h
+
+
+def save_result(result, path) -> None:
+    """Serialize a solver result to an ``.npz`` archive.
+
+    The per-iteration ``extra`` dicts (traces) are not persisted — they are
+    re-derivable by re-running and can be large.
+    """
+    kind = _KIND.get(type(result))
+    if kind is None:
+        raise TypeError(f"cannot serialize {type(result).__name__}")
+    meta = {
+        "kind": kind, "rank": result.rank, "tolerance": result.tolerance,
+        "indicator": result.indicator, "a_fro": result.a_fro,
+        "converged": bool(result.converged), "elapsed": result.elapsed,
+    }
+    arrays: dict[str, np.ndarray] = {}
+    if kind == "qb":
+        arrays["Q"] = result.Q
+        arrays["B"] = result.B
+    elif kind == "ubv":
+        arrays["U"] = result.U
+        arrays["Bmat"] = result.Bmat
+        arrays["V"] = result.V
+    else:
+        L = sp.csr_matrix(result.L)
+        U = sp.csr_matrix(result.U)
+        arrays.update(L_data=L.data, L_indices=L.indices, L_indptr=L.indptr,
+                      U_data=U.data, U_indices=U.indices, U_indptr=U.indptr,
+                      L_shape=np.array(L.shape), U_shape=np.array(U.shape),
+                      row_perm=result.row_perm, col_perm=result.col_perm)
+        meta.update(threshold=result.threshold,
+                    dropped_norm=result.dropped_norm,
+                    control_triggered=bool(result.control_triggered))
+    np.savez_compressed(
+        Path(path),
+        _meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        _history=np.frombuffer(_history_payload(result.history).encode(),
+                               dtype=np.uint8),
+        **arrays)
+
+
+def load_result(path):
+    """Load a result previously written by :func:`save_result`."""
+    with np.load(Path(path), allow_pickle=False) as z:
+        meta = json.loads(bytes(z["_meta"]).decode())
+        history = _history_from_payload(bytes(z["_history"]).decode())
+        common = dict(rank=int(meta["rank"]), tolerance=meta["tolerance"],
+                      indicator=meta["indicator"], a_fro=meta["a_fro"],
+                      converged=meta["converged"], history=history,
+                      elapsed=meta["elapsed"])
+        kind = meta["kind"]
+        if kind == "qb":
+            return QBApproximation(Q=z["Q"], B=z["B"], **common)
+        if kind == "ubv":
+            return UBVApproximation(U=z["U"], Bmat=z["Bmat"], V=z["V"],
+                                    **common)
+        L = sp.csr_matrix((z["L_data"], z["L_indices"], z["L_indptr"]),
+                          shape=tuple(z["L_shape"]))
+        U = sp.csr_matrix((z["U_data"], z["U_indices"], z["U_indptr"]),
+                          shape=tuple(z["U_shape"]))
+        return LUApproximation(
+            L=L.tocsc(), U=U, row_perm=z["row_perm"],
+            col_perm=z["col_perm"], threshold=meta.get("threshold", 0.0),
+            dropped_norm=meta.get("dropped_norm", 0.0),
+            control_triggered=meta.get("control_triggered", False),
+            **common)

@@ -1,0 +1,48 @@
+"""Sparse-matrix utilities shared by the deterministic factorizations.
+
+- :mod:`repro.sparse.utils` — format coercion, nnz/density statistics.
+- :mod:`repro.sparse.ops` — permutations, submatrix splits, factor assembly.
+- :mod:`repro.sparse.thresholding` — entry dropping and perturbation tracking
+  (the ``T~^(i)`` matrices of Section III).
+- :mod:`repro.sparse.pattern` — symbolic structure tools (A^T A pattern,
+  column counts).
+- :mod:`repro.sparse.fillin` — fill-in tracking across Schur complements.
+"""
+
+from .utils import ensure_csc, ensure_csr, drop_explicit_zeros, density, nnz_of
+from .ops import (
+    permute_rows,
+    permute_cols,
+    permute,
+    split_2x2,
+    hstack_factors,
+    vstack_factors,
+    extract_columns,
+)
+from .thresholding import drop_small, drop_sorted_budget, DropResult
+from .pattern import ata_pattern_degrees, column_counts
+from .spgemm import spgemm, spgemm_flops
+from .fillin import FillInTracker
+
+__all__ = [
+    "ensure_csc",
+    "ensure_csr",
+    "drop_explicit_zeros",
+    "density",
+    "nnz_of",
+    "permute_rows",
+    "permute_cols",
+    "permute",
+    "split_2x2",
+    "hstack_factors",
+    "vstack_factors",
+    "extract_columns",
+    "drop_small",
+    "drop_sorted_budget",
+    "DropResult",
+    "ata_pattern_degrees",
+    "column_counts",
+    "spgemm",
+    "spgemm_flops",
+    "FillInTracker",
+]

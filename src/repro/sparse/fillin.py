@@ -1,0 +1,68 @@
+"""Fill-in tracking across the Schur-complement sequence of LU_CRTP.
+
+Fig. 1 of the paper plots two families of fill-in metrics:
+
+- right plot: the density ``nnz(A^(i)) / (rows * cols)`` of the active
+  matrix after each iteration;
+- left plot (right axis): the *maximum* of that ratio over all iterations,
+  and the maximum of ``nnz(A^(i)) / nnz(A)``.
+
+:class:`FillInTracker` accumulates both from the matrices the factorization
+actually produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .utils import density, nnz_of
+
+
+@dataclass
+class FillInTracker:
+    """Accumulates fill-in statistics over the active-matrix sequence."""
+
+    initial_nnz: int = 0
+    densities: list[float] = field(default_factory=list)
+    nnzs: list[int] = field(default_factory=list)
+    shapes: list[tuple[int, int]] = field(default_factory=list)
+
+    @classmethod
+    def for_matrix(cls, A) -> "FillInTracker":
+        t = cls(initial_nnz=nnz_of(A))
+        t.observe(A)
+        return t
+
+    def observe(self, A) -> None:
+        """Record the active matrix ``A^(i)`` of the current iteration."""
+        self.densities.append(density(A))
+        self.nnzs.append(nnz_of(A))
+        self.shapes.append(tuple(A.shape))
+
+    @property
+    def max_density(self) -> float:
+        """``max_i nnz(A^(i)) / (rows_i * cols_i)`` — Fig. 1 left, bold dotted."""
+        return max(self.densities, default=0.0)
+
+    @property
+    def max_nnz_ratio(self) -> float:
+        """``max_i nnz(A^(i)) / nnz(A)`` — Fig. 1 left, thin dotted."""
+        if self.initial_nnz == 0:
+            return 0.0
+        return max(self.nnzs, default=0) / self.initial_nnz
+
+    @property
+    def growth_factors(self) -> list[float]:
+        """Per-iteration nnz growth ``nnz(A^(i+1)) / nnz(A^(i))``."""
+        out = []
+        for a, b in zip(self.nnzs, self.nnzs[1:]):
+            out.append(b / a if a else 0.0)
+        return out
+
+    def summary(self) -> dict:
+        return {
+            "iterations": len(self.densities),
+            "max_density": self.max_density,
+            "max_nnz_ratio": self.max_nnz_ratio,
+            "final_nnz": self.nnzs[-1] if self.nnzs else 0,
+        }

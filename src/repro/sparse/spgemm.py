@@ -1,0 +1,89 @@
+"""Sparse x sparse matrix multiply, from scratch (vectorized Gustavson).
+
+``C = A @ B`` is the kernel behind every Schur-complement update
+(``F @ A12`` in Algorithm 2 line 12).  scipy's C implementation is the
+default engine; this module provides a self-contained numpy implementation
+used as an alternative engine and as the reference for flop accounting:
+
+The classical Gustavson row-by-row formulation is re-expressed as a fully
+vectorized COO expansion: every stored entry ``B[k, j]`` contributes
+``B[k, j] * A[:, k]`` to column ``j`` of ``C``.  Expanding all
+contributions at once yields arrays of exactly ``flops/2`` triples, which a
+single coalescing pass (sort + segmented sum via ``csc_matrix``) reduces to
+``C``.  Cost is ``O(flops)`` with numpy-level constants — no Python-level
+loops over nonzeros.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .utils import ensure_csc
+
+
+def spgemm(A, B, *, return_flops: bool = False):
+    """Multiply two sparse matrices with the vectorized-Gustavson engine.
+
+    Parameters
+    ----------
+    A, B:
+        Sparse (or dense, coerced) matrices with compatible shapes.
+    return_flops:
+        Also return the exact multiply-add count ``2 * sum_k
+        nnz(A[:, k]) * nnz(B[k, :])`` (the quantity the performance model
+        charges for Schur complements).
+
+    Returns
+    -------
+    C (csc_matrix), or ``(C, flops)``.
+    """
+    A = ensure_csc(A)
+    B = ensure_csc(B)
+    m, ka = A.shape
+    kb, n = B.shape
+    if ka != kb:
+        raise ValueError(f"dimension mismatch: {A.shape} @ {B.shape}")
+
+    a_colnnz = np.diff(A.indptr)
+    if A.nnz == 0 or B.nnz == 0:
+        C = sp.csc_matrix((m, n))
+        return (C, 0.0) if return_flops else C
+
+    # COO view of B, column-major order (CSC natural order)
+    b_rows = B.indices                      # the k of each B entry
+    b_cols = np.repeat(np.arange(n), np.diff(B.indptr))
+    b_vals = B.data
+
+    # each B entry expands into nnz(A[:, k]) products
+    lengths = a_colnnz[b_rows]
+    total = int(lengths.sum())
+    flops = 2.0 * total
+    if total == 0:
+        C = sp.csc_matrix((m, n))
+        return (C, flops) if return_flops else C
+
+    # build the index array selecting, for every B entry, the slice
+    # A.indptr[k] : A.indptr[k+1] — the standard repeat/cumsum gather
+    starts = A.indptr[b_rows]
+    offsets = np.arange(total) - np.repeat(
+        np.cumsum(lengths) - lengths, lengths)
+    gather = np.repeat(starts, lengths) + offsets
+
+    rows = A.indices[gather]
+    vals = A.data[gather] * np.repeat(b_vals, lengths)
+    cols = np.repeat(b_cols, lengths)
+
+    C = sp.csc_matrix((vals, (rows, cols)), shape=(m, n))
+    C.sum_duplicates()
+    C.eliminate_zeros()
+    return (C, flops) if return_flops else C
+
+
+def spgemm_flops(A, B) -> float:
+    """Exact multiply-add count of ``A @ B`` without performing it."""
+    A = ensure_csc(A)
+    Bc = ensure_csc(B)
+    a_colnnz = np.diff(A.indptr)
+    b_rownnz = np.bincount(Bc.indices, minlength=A.shape[1])
+    return float(2.0 * np.dot(a_colnnz, b_rownnz))

@@ -1,0 +1,118 @@
+"""Sparse triangular solves (CSC), from scratch.
+
+The truncated factors of (I)LUT_CRTP have block-triangular leading blocks:
+``L[:K, :K]`` is unit lower triangular and ``U[:K, :K]`` block upper
+triangular with dense-invertible diagonal blocks.  Applying the factorization
+as a solver/preconditioner (:mod:`repro.core.apply`) needs sparse
+forward/backward substitution; these kernels implement it column-by-column
+over the CSC structure (the classical "cs_lsolve"/"cs_usolve" loops), with a
+vectorized right-hand-side block variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import ReproError
+from .utils import ensure_csc
+
+
+def _check_square(L) -> sp.csc_matrix:
+    L = ensure_csc(L)
+    if L.shape[0] != L.shape[1]:
+        raise ValueError(f"triangular solve needs a square matrix, "
+                         f"got {L.shape}")
+    return L
+
+
+def sparse_lower_solve(L, b, *, unit_diagonal: bool = False) -> np.ndarray:
+    """Solve ``L x = b`` for sparse lower-triangular ``L`` (CSC).
+
+    Parameters
+    ----------
+    L:
+        Sparse square lower-triangular matrix.  Entries above the diagonal
+        are ignored (the caller guarantees triangularity — the factors
+        produced by this library do).
+    b:
+        Dense vector or matrix of right-hand sides.
+    unit_diagonal:
+        Treat the diagonal as implicit ones (the ``L`` factor convention).
+    """
+    L = _check_square(L)
+    n = L.shape[0]
+    x = np.array(b, dtype=np.float64, copy=True)
+    squeeze = x.ndim == 1
+    if squeeze:
+        x = x[:, None]
+    if x.shape[0] != n:
+        raise ValueError("rhs size mismatch")
+    indptr, indices, data = L.indptr, L.indices, L.data
+    for j in range(n):
+        lo, hi = indptr[j], indptr[j + 1]
+        rows = indices[lo:hi]
+        vals = data[lo:hi]
+        below = rows > j
+        if not unit_diagonal:
+            diag_mask = rows == j
+            if not diag_mask.any():
+                raise ReproError(f"zero diagonal at column {j}")
+            x[j] /= vals[diag_mask][0]
+        if below.any():
+            x[rows[below]] -= np.outer(vals[below], x[j])
+    return x[:, 0] if squeeze else x
+
+
+def sparse_upper_solve(U, b) -> np.ndarray:
+    """Solve ``U x = b`` for sparse upper-triangular ``U`` (CSC)."""
+    U = _check_square(U)
+    n = U.shape[0]
+    x = np.array(b, dtype=np.float64, copy=True)
+    squeeze = x.ndim == 1
+    if squeeze:
+        x = x[:, None]
+    if x.shape[0] != n:
+        raise ValueError("rhs size mismatch")
+    indptr, indices, data = U.indptr, U.indices, U.data
+    for j in range(n - 1, -1, -1):
+        lo, hi = indptr[j], indptr[j + 1]
+        rows = indices[lo:hi]
+        vals = data[lo:hi]
+        diag_mask = rows == j
+        if not diag_mask.any():
+            raise ReproError(f"zero diagonal at column {j}")
+        x[j] /= vals[diag_mask][0]
+        above = rows < j
+        if above.any():
+            x[rows[above]] -= np.outer(vals[above], x[j])
+    return x[:, 0] if squeeze else x
+
+
+def block_upper_solve(U, b, block: int) -> np.ndarray:
+    """Solve ``U x = b`` for *block* upper-triangular ``U`` with dense
+    ``block x block`` diagonal blocks (the ``U_K`` staircase of LU_CRTP,
+    whose diagonal blocks ``A11`` are full, not triangular).
+
+    Diagonal blocks are densified and solved with LAPACK; off-diagonal
+    coupling is applied sparsely.
+    """
+    U = _check_square(U)
+    n = U.shape[0]
+    x = np.array(b, dtype=np.float64, copy=True)
+    squeeze = x.ndim == 1
+    if squeeze:
+        x = x[:, None]
+    starts = list(range(0, n, block))
+    Ucsr = U.tocsr()
+    for s in reversed(starts):
+        e = min(s + block, n)
+        rhs = x[s:e].copy()
+        if e < n:
+            rhs -= Ucsr[s:e, e:] @ x[e:]
+        D = Ucsr[s:e, s:e].toarray()
+        try:
+            x[s:e] = np.linalg.solve(D, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise ReproError(f"singular diagonal block at {s}") from exc
+    return x[:, 0] if squeeze else x

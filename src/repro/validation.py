@@ -1,0 +1,108 @@
+"""Comprehensive result validation.
+
+``validate_result(result, A)`` re-derives every invariant a correct
+factorization must satisfy — factor structure, permutation validity,
+indicator/error agreement, tolerance attainment — and returns a structured
+report.  Intended for users integrating the library (one call in a CI
+pipeline asserts a solve is trustworthy) and reused by this repo's own
+integration tests.
+
+Densifies internally: meant for validation-sized problems, not production
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from .results import LUApproximation, QBApproximation, UBVApproximation
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_result`.
+
+    ``ok`` is True when every check passed; ``checks`` maps check names to
+    ``(passed, detail)`` tuples; ``failures`` lists the failing names.
+    """
+
+    checks: dict = field(default_factory=dict)
+
+    def add(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks[name] = (bool(passed), detail)
+
+    @property
+    def ok(self) -> bool:
+        return all(p for p, _ in self.checks.values())
+
+    @property
+    def failures(self) -> list[str]:
+        return [n for n, (p, _) in self.checks.items() if not p]
+
+    def summary(self) -> str:
+        lines = []
+        for name, (passed, detail) in self.checks.items():
+            mark = "PASS" if passed else "FAIL"
+            lines.append(f"[{mark}] {name}" + (f": {detail}" if detail else ""))
+        return "\n".join(lines)
+
+
+def validate_result(result, A, *, rtol: float = 1e-8) -> ValidationReport:
+    """Validate any solver result against its input matrix."""
+    rep = ValidationReport()
+    Ad = A.toarray() if sp.issparse(A) else np.asarray(A, dtype=float)
+    a_fro = np.linalg.norm(Ad)
+
+    # shared checks -------------------------------------------------------
+    rep.add("rank_consistent",
+            result.rank == result.left.shape[1] == result.right.shape[0]
+            if not isinstance(result, UBVApproximation)
+            else result.rank == result.U.shape[1],
+            f"rank={result.rank}")
+    err = result.error(A)
+    ind = result.relative_indicator()
+    if isinstance(result, LUApproximation) and result.threshold > 0:
+        bound = result.dropped_norm_bound() / max(a_fro, 1e-300) + rtol
+        rep.add("indicator_within_perturbation", abs(err - ind) <= bound,
+                f"|err-ind|={abs(err - ind):.2e} bound={bound:.2e}")
+    else:
+        rep.add("indicator_exact",
+                abs(err - ind) <= rtol * max(ind, 1e-12) + 1e-7,
+                f"err={err:.3e} ind={ind:.3e}")
+    if result.converged:
+        slack = 1.0 if not (isinstance(result, LUApproximation)
+                            and result.threshold > 0) else 1.5
+        rep.add("tolerance_met", err <= slack * result.tolerance
+                + result.dropped_norm_bound() / max(a_fro, 1e-300)
+                if isinstance(result, LUApproximation)
+                else err <= slack * result.tolerance + 1e-7,
+                f"err={err:.3e} tau={result.tolerance:g}")
+
+    # family-specific checks ------------------------------------------------
+    if isinstance(result, QBApproximation):
+        defect = result.orthogonality_defect()
+        rep.add("q_orthonormal", defect < 1e-8, f"defect={defect:.1e}")
+    elif isinstance(result, UBVApproximation):
+        for name, M in (("u_orthonormal", result.U), ("v_orthonormal",
+                                                      result.V)):
+            d = np.linalg.norm(M.T @ M - np.eye(M.shape[1]))
+            rep.add(name, d < 1e-7, f"defect={d:.1e}")
+    elif isinstance(result, LUApproximation):
+        m, n = Ad.shape
+        rep.add("row_perm_valid",
+                sorted(result.row_perm.tolist()) == list(range(m)))
+        rep.add("col_perm_valid",
+                sorted(result.col_perm.tolist()) == list(range(n)))
+        K = result.rank
+        Ld = result.L.toarray()
+        rep.add("l_unit_diagonal",
+                bool(np.allclose(np.diag(Ld[:K, :K]), 1.0)))
+        rep.add("l_block_lower",
+                bool(np.allclose(np.triu(Ld[:K, :K], k=1), 0.0)))
+        rep.add("factors_finite",
+                bool(np.all(np.isfinite(result.L.data))
+                     and np.all(np.isfinite(result.U.data))))
+    return rep

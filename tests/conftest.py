@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_sparse(rng):
+    """A 60x60 sparse matrix with exponentially graded singular values."""
+    from repro.matrices.generators import random_graded
+    return random_graded(60, 60, nnz_per_row=6, decay_rate=6.0, seed=5)
+
+
+@pytest.fixture
+def tall_sparse(rng):
+    """A 120x40 rectangular sparse matrix."""
+    from repro.matrices.generators import random_graded
+    return random_graded(120, 40, nnz_per_row=5, decay_rate=4.0, seed=6)
+
+
+@pytest.fixture
+def rank_deficient():
+    """Exactly rank-12 sparse 50x50 matrix."""
+    rng = np.random.default_rng(7)
+    X = sp.random(50, 12, density=0.5, random_state=rng,
+                  data_rvs=rng.standard_normal)
+    Y = sp.random(12, 50, density=0.5, random_state=rng,
+                  data_rvs=rng.standard_normal)
+    return (X @ Y).tocsc()
+
+
+def dense_of(A):
+    return A.toarray() if sp.issparse(A) else np.asarray(A, dtype=float)
+
+
+@pytest.fixture
+def assert_fro_close():
+    def _check(A, B, rtol=1e-10, msg=""):
+        A, B = dense_of(A), dense_of(B)
+        denom = max(np.linalg.norm(A), 1e-300)
+        assert np.linalg.norm(A - B) <= rtol * denom, msg
+    return _check

@@ -1,0 +1,121 @@
+"""Tests for repro.analysis (error, minrank, edf, tables, complexity)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import (
+    lu_crtp_flops,
+    lu_faster_than_randqb,
+    predicted_crossover_fill,
+    randqb_ei_flops,
+    randubv_flops,
+)
+from repro.analysis.edf import edf, edf_quantiles, fraction_above
+from repro.analysis.error import (
+    correct_digits,
+    exact_error,
+    nnz_ratio,
+    runtime_per_digit,
+)
+from repro.analysis.minrank import approx_minimum_rank_curve, minimum_rank_curve
+from repro.analysis.tables import format_cell, format_sci, render_table
+
+
+def test_correct_digits():
+    assert correct_digits(1e-3) == pytest.approx(3.0)
+    assert correct_digits(0.0) == np.inf
+
+
+def test_runtime_per_digit():
+    assert runtime_per_digit(6.0, 1e-3) == pytest.approx(2.0)
+    assert runtime_per_digit(6.0, 1.0) == np.inf
+
+
+def test_exact_error_and_nnz_ratio(small_sparse):
+    from repro import ilut_crtp, lu_crtp
+    lu = lu_crtp(small_sparse, k=8, tol=1e-2)
+    il = ilut_crtp(small_sparse, k=8, tol=1e-2, estimated_iterations=4)
+    assert exact_error(lu, small_sparse) < 1e-2
+    r = nnz_ratio(lu, il)
+    assert r > 0
+
+
+def test_minimum_rank_curve_monotone(small_sparse):
+    curve = minimum_rank_curve(small_sparse, [1e-1, 1e-2, 1e-3])
+    assert curve[1e-1] <= curve[1e-2] <= curve[1e-3]
+
+
+def test_approx_minrank_close_to_exact(small_sparse):
+    """Fig. 2's claim: the RandQB_EI-based approximation tracks the exact
+    minimum rank reasonably."""
+    tols = [1e-1, 1e-2]
+    exact = minimum_rank_curve(small_sparse, tols)
+    approx = approx_minimum_rank_curve(small_sparse, tols, k=8, power=2)
+    for tol in tols:
+        assert abs(approx[tol] - exact[tol]) <= max(4, 0.4 * exact[tol])
+        assert approx[tol] >= exact[tol] - 1  # can't beat Eckart-Young
+
+
+def test_edf():
+    fr, v = edf([3.0, 1.0, 2.0])
+    np.testing.assert_allclose(v, [1.0, 2.0, 3.0])
+    np.testing.assert_allclose(fr, [1 / 3, 2 / 3, 1.0])
+    fr0, v0 = edf([])
+    assert fr0.size == 0
+
+
+def test_edf_quantiles():
+    q = edf_quantiles(np.arange(101, dtype=float))
+    assert q[0.5] == pytest.approx(50.0)
+
+
+def test_fraction_above():
+    assert fraction_above([1.0, 2.0, 3.0, 4.0], 2.5) == pytest.approx(0.5)
+    assert fraction_above([], 1.0) == 0.0
+
+
+def test_format_sci():
+    assert format_sci(3.3e5) == "3.3e5"
+    assert format_sci(0) == "0"
+    assert format_sci(float("nan")) == "-"
+    assert format_sci(-1.5e-7) == "-1.5e-7"
+
+
+def test_format_cell():
+    assert format_cell(None) == "-"
+    assert format_cell(12) == "12"
+    assert format_cell("x") == "x"
+    assert format_cell(1.23456) == "1.23"
+    assert format_cell(1.2e9) == "1.2e9"
+
+
+def test_render_table_alignment():
+    txt = render_table(["a", "bbb"], [[1, 2.5], [333, None]], title="T")
+    lines = txt.splitlines()
+    assert lines[0] == "T"
+    assert "bbb" in lines[1]
+    assert all(len(l) == len(lines[1]) for l in lines[3:])
+
+
+def test_complexity_formulas_positive():
+    assert randqb_ei_flops(100, 100, 1000, 32, 4, p=1) > \
+        randqb_ei_flops(100, 100, 1000, 32, 4, p=0)
+    assert randubv_flops(100, 100, 1000, 32, 4) > 0
+    assert lu_crtp_flops(8, 5000, 4) > 0
+
+
+def test_crossover_predicate():
+    # Section IV: the bound grows with ibar*k; for long runs without fill LU
+    # wins, catastrophic fill always hands the win to RandQB
+    nnz_a = 10000
+    assert lu_faster_than_randqb(nnz_a, nnz_a, t=10, k=8, ibar=100)
+    assert not lu_faster_than_randqb(1000 * nnz_a, nnz_a, t=10, k=8,
+                                     ibar=100)
+    # short runs with small k: even modest fill loses (bound < nnz(A))
+    assert not lu_faster_than_randqb(nnz_a, nnz_a, t=10, k=8, ibar=4)
+
+
+def test_crossover_fill_grows_with_p():
+    f0 = predicted_crossover_fill(10000, 10, 8, 4, p=0)
+    f1 = predicted_crossover_fill(10000, 10, 8, 4, p=1)
+    assert f1 == pytest.approx(2 * f0)

@@ -1,0 +1,99 @@
+"""Tests for repro.linalg.bidiag_svd (one-sided Jacobi SVD)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.bidiag_svd import bidiagonal_svd, jacobi_svd, svd_any
+
+
+def check_svd(A, U, s, Vt, atol=1e-9):
+    n = len(s)
+    np.testing.assert_allclose((U * s) @ Vt, A, atol=atol)
+    np.testing.assert_allclose(U.T @ U, np.eye(n), atol=1e-9)
+    np.testing.assert_allclose(Vt @ Vt.T, np.eye(Vt.shape[0]), atol=1e-9)
+    assert np.all(np.diff(s) <= 1e-12)
+    assert np.all(s >= 0)
+
+
+def test_jacobi_matches_lapack(rng):
+    A = rng.standard_normal((20, 12))
+    U, s, Vt = jacobi_svd(A)
+    s_ref = np.linalg.svd(A, compute_uv=False)
+    np.testing.assert_allclose(s, s_ref, rtol=1e-10)
+    check_svd(A, U, s, Vt)
+
+
+def test_jacobi_graded_spectrum(rng):
+    Uq, _ = np.linalg.qr(rng.standard_normal((30, 10)))
+    Vq, _ = np.linalg.qr(rng.standard_normal((10, 10)))
+    sd = np.logspace(0, -10, 10)
+    A = Uq @ np.diag(sd) @ Vq.T
+    _, s, _ = jacobi_svd(A)
+    np.testing.assert_allclose(s, sd, rtol=1e-6)
+
+
+def test_jacobi_rank_deficient(rng):
+    A = rng.standard_normal((15, 3)) @ rng.standard_normal((3, 8))
+    U, s, Vt = jacobi_svd(A)
+    assert np.all(s[3:] < 1e-10 * s[0])
+    check_svd(A, U, s, Vt)
+
+
+def test_jacobi_zero_matrix():
+    U, s, Vt = jacobi_svd(np.zeros((6, 4)))
+    assert np.allclose(s, 0)
+    np.testing.assert_allclose(U.T @ U, np.eye(4), atol=1e-12)
+
+
+def test_jacobi_identity():
+    U, s, Vt = jacobi_svd(np.eye(5))
+    np.testing.assert_allclose(s, np.ones(5))
+
+
+def test_jacobi_requires_tall(rng):
+    with pytest.raises(ValueError):
+        jacobi_svd(rng.standard_normal((3, 7)))
+
+
+def test_jacobi_values_only(rng):
+    A = rng.standard_normal((10, 6))
+    _, s, _ = jacobi_svd(A, compute_uv=False)
+    np.testing.assert_allclose(s, np.linalg.svd(A, compute_uv=False),
+                               rtol=1e-10)
+
+
+def test_svd_any_wide(rng):
+    A = rng.standard_normal((5, 12))
+    U, s, Vt = svd_any(A)
+    np.testing.assert_allclose((U * s) @ Vt, A, atol=1e-9)
+    np.testing.assert_allclose(s, np.linalg.svd(A, compute_uv=False),
+                               rtol=1e-10)
+
+
+def test_bidiagonal_svd(rng):
+    d = rng.standard_normal(9)
+    e = rng.standard_normal(8)
+    U, s, Vt = bidiagonal_svd(d, e)
+    B = np.diag(d) + np.diag(e, 1)
+    np.testing.assert_allclose(s, np.linalg.svd(B, compute_uv=False),
+                               rtol=1e-9)
+    check_svd(B, U, s, Vt)
+
+
+def test_bidiagonal_graded():
+    d = np.logspace(0, -8, 12)
+    e = 0.5 * np.logspace(0, -8, 11)
+    _, s, _ = bidiagonal_svd(d, e, compute_uv=False)
+    B = np.diag(d) + np.diag(e, 1)
+    np.testing.assert_allclose(s, np.linalg.svd(B, compute_uv=False),
+                               rtol=1e-7)
+
+
+def test_bidiagonal_validates_lengths():
+    with pytest.raises(ValueError):
+        bidiagonal_svd(np.ones(4), np.ones(4))
+
+
+def test_bidiagonal_empty():
+    _, s, _ = bidiagonal_svd(np.zeros(0), np.zeros(0))
+    assert s.size == 0

@@ -1,0 +1,124 @@
+"""Tests for repro.analysis.bounds and repro.analysis.svcompare."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis.bounds import (
+    control_bound_satisfied,
+    effective_approximation_ratios,
+    exponential_bound_factor,
+    hoffman_wielandt_bound_holds,
+    perturbation_budget,
+    r11_lower_bounds_norm,
+    rank_safety_budget,
+    weyl_bound_holds,
+)
+from repro.analysis.svcompare import (
+    SVComparison,
+    compare_schur_spectrum,
+    indicator_vs_optimal,
+)
+
+
+def perturbed_pair(rng, m=30, n=25, scale=1e-3):
+    A = rng.standard_normal((m, n))
+    T = scale * rng.standard_normal((m, n))
+    s_a = np.linalg.svd(A, compute_uv=False)
+    s_at = np.linalg.svd(A + T, compute_uv=False)
+    return A, T, s_a, s_at
+
+
+def test_weyl_bound_on_random_perturbations(rng):
+    for scale in (1e-6, 1e-3, 1e-1):
+        _, T, s_a, s_at = perturbed_pair(rng, scale=scale)
+        assert weyl_bound_holds(s_a, s_at, np.linalg.norm(T, 2))
+
+
+def test_hoffman_wielandt_on_random_perturbations(rng):
+    for scale in (1e-6, 1e-2):
+        _, T, s_a, s_at = perturbed_pair(rng, scale=scale)
+        assert hoffman_wielandt_bound_holds(s_a, s_at, np.linalg.norm(T))
+
+
+def test_weyl_bound_detects_violation():
+    # a fabricated "perturbed" spectrum far from the original must fail
+    s_a = np.array([10.0, 5.0, 1.0])
+    s_fake = np.array([20.0, 5.0, 1.0])
+    assert not weyl_bound_holds(s_a, s_fake, t_norm2=1.0)
+
+
+def test_perturbation_budget_signs():
+    assert perturbation_budget(1e-2, 100.0, 0.5) == pytest.approx(0.5)
+    assert perturbation_budget(1e-3, 100.0, 0.5) < 0  # no budget exists
+
+
+def test_rank_safety_budget():
+    assert rank_safety_budget(1e-8) == 1e-8
+
+
+def test_control_bound():
+    assert control_bound_satisfied([0.01, 0.01], phi=0.5)
+    assert not control_bound_satisfied([0.5, 0.5], phi=0.5)
+    assert control_bound_satisfied([], phi=1.0)  # nothing dropped yet
+    assert not control_bound_satisfied([1.0], phi=0.0)
+
+
+def test_r11_bound_on_real_tournament(small_sparse):
+    from repro.pivoting.tournament import qr_tp
+    res = qr_tp(small_sparse, 8)
+    a2 = np.linalg.norm(small_sparse.toarray(), 2)
+    assert r11_lower_bounds_norm(res.r11_diag[0], a2)
+
+
+def test_effective_ratios_at_least_one_for_lu(small_sparse):
+    """Bound (16): sigma_j(Schur) >= sigma_{K+j}(A)."""
+    from repro import LU_CRTP
+    solver = LU_CRTP(k=8, tol=1e-8, max_rank=16)
+    res = solver.solve(small_sparse)
+    # recover the final Schur complement through the exact identity:
+    # P_r A P_c - L U has the Schur complement in its trailing block
+    Ad = small_sparse.toarray()[np.ix_(res.row_perm, res.col_perm)]
+    R = Ad - res.L.toarray() @ res.U.toarray()
+    schur = R[res.rank:, res.rank:]
+    s_schur = np.linalg.svd(schur, compute_uv=False)[:10]
+    s_a = np.linalg.svd(small_sparse.toarray(), compute_uv=False)
+    ratios = effective_approximation_ratios(s_schur, s_a, res.rank)
+    assert np.all(ratios >= 1.0 - 1e-6)
+
+
+def test_exponential_bound_factor_monotone():
+    f1 = exponential_bound_factor(100, 100, 8, 1)
+    f3 = exponential_bound_factor(100, 100, 8, 3)
+    assert f3 > f1 > 1.0
+
+
+def test_svcomparison_aggregates():
+    c = SVComparison(K=8, ratios=np.array([1.0, 2.0, 3.0]))
+    assert c.mean_ratio == pytest.approx(2.0)
+    assert c.max_ratio == pytest.approx(3.0)
+    assert c.is_effective(slack=5.0)
+    assert not c.is_effective(slack=1.5)
+    empty = SVComparison(K=0, ratios=np.zeros(0))
+    assert empty.mean_ratio == 1.0
+
+
+def test_compare_schur_spectrum_on_run(small_sparse):
+    from repro import LU_CRTP
+    res = LU_CRTP(k=8, tol=1e-8, max_rank=16).solve(small_sparse)
+    Ad = small_sparse.toarray()[np.ix_(res.row_perm, res.col_perm)]
+    schur = (Ad - res.L.toarray() @ res.U.toarray())[res.rank:, res.rank:]
+    comp = compare_schur_spectrum(small_sparse, res, schur)
+    assert comp.K == res.rank
+    assert comp.ratios.size > 0
+    assert comp.mean_ratio >= 1.0 - 1e-6
+    # §III-A: in practice LU_CRTP approximates effectively
+    assert comp.is_effective(slack=20.0)
+
+
+def test_indicator_vs_optimal(small_sparse):
+    from repro import randqb_ei
+    res = randqb_ei(small_sparse, k=8, tol=1e-2)
+    ratio = indicator_vs_optimal(res, small_sparse)
+    assert ratio >= 1.0 - 1e-9  # can't beat Eckart-Young
+    assert ratio < 50.0

@@ -1,0 +1,80 @@
+"""Tests for repro.linalg.cholqr (CholeskyQR family)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg.cholqr import cholqr, cholqr2, gram_r_factor
+
+
+def test_gram_r_factor_matches_qr(rng):
+    B = rng.standard_normal((50, 8))
+    R, clean = gram_r_factor(B)
+    assert clean
+    _, Rref = np.linalg.qr(B)
+    np.testing.assert_allclose(R.T @ R, B.T @ B, rtol=1e-10)
+    np.testing.assert_allclose(np.abs(np.diag(R)), np.abs(np.diag(Rref)),
+                               rtol=1e-8)
+
+
+def test_gram_r_factor_sparse(tall_sparse):
+    R, clean = gram_r_factor(tall_sparse)
+    assert clean
+    G = (tall_sparse.T @ tall_sparse).toarray()
+    np.testing.assert_allclose(R.T @ R, G, rtol=1e-10, atol=1e-12)
+
+
+def test_gram_r_factor_rank_deficient_fallback(rng):
+    B = rng.standard_normal((30, 4)) @ rng.standard_normal((4, 8))
+    R, clean = gram_r_factor(B)
+    assert not clean
+    # diag floored, triangular solves stay finite
+    assert np.all(np.abs(np.diag(R)) > 0)
+
+
+def test_gram_r_factor_empty():
+    R, clean = gram_r_factor(np.zeros((5, 0)))
+    assert R.shape == (0, 0)
+    assert clean
+
+
+def test_cholqr_orthogonal(rng):
+    B = rng.standard_normal((60, 6))
+    Q, R, clean = cholqr(B)
+    assert clean
+    np.testing.assert_allclose(Q @ R, B, atol=1e-10)
+    assert np.linalg.norm(Q.T @ Q - np.eye(6)) < 1e-8
+
+
+def test_cholqr2_tighter_orthogonality(rng):
+    # moderately ill-conditioned: single-pass degrades, two passes fix it
+    U, _ = np.linalg.qr(rng.standard_normal((200, 10)))
+    B = U @ np.diag(np.logspace(0, -6, 10))
+    Q1, _, _ = cholqr(B)
+    Q2, R2, clean = cholqr2(B)
+    assert clean
+    d1 = np.linalg.norm(Q1.T @ Q1 - np.eye(10))
+    d2 = np.linalg.norm(Q2.T @ Q2 - np.eye(10))
+    assert d2 < 1e-12
+    assert d2 <= d1
+    np.testing.assert_allclose(Q2 @ R2, B, atol=1e-9)
+
+
+def test_cholqr2_sparse_input(tall_sparse):
+    Q, R, clean = cholqr2(tall_sparse)
+    np.testing.assert_allclose(Q @ R, tall_sparse.toarray(), atol=1e-9)
+    assert np.linalg.norm(Q.T @ Q - np.eye(Q.shape[1])) < 1e-10
+
+
+def test_cholqr2_rank_deficient_falls_back(rank_deficient):
+    # 50x50 rank-12: Gram route must break down, dense fallback kicks in
+    Q, R, clean = cholqr2(rank_deficient[:, :20])
+    assert not clean
+    np.testing.assert_allclose(Q @ R, rank_deficient[:, :20].toarray(),
+                               atol=1e-9)
+
+
+def test_cholqr_zero_width():
+    Q, R, clean = cholqr(np.zeros((7, 0)))
+    assert Q.shape == (7, 0)
+    assert R.shape == (0, 0)

@@ -1,0 +1,136 @@
+"""Tests for repro.parallel.comm (thread-per-rank communicator)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CommunicatorError
+from repro.parallel.comm import run_spmd
+
+
+def test_bcast():
+    def prog(comm):
+        data = comm.bcast(np.arange(4) if comm.rank == 0 else None, root=0)
+        return data.sum()
+
+    out = run_spmd(4, prog)
+    assert out["results"] == [6] * 4
+
+
+def test_scatter_gather():
+    def prog(comm):
+        chunks = [np.full(2, r) for r in range(comm.nprocs)] \
+            if comm.rank == 0 else None
+        mine = comm.scatter(chunks, root=0)
+        assert np.all(mine == comm.rank)
+        back = comm.gather(mine.sum(), root=0)
+        if comm.rank == 0:
+            return back
+        assert back is None
+        return None
+
+    out = run_spmd(3, prog)
+    assert out["results"][0] == [0, 2, 4]
+
+
+def test_scatter_wrong_chunks():
+    def prog(comm):
+        comm.scatter([1, 2], root=0)  # wrong length on root
+
+    with pytest.raises(CommunicatorError):
+        run_spmd(3, prog)
+
+
+def test_allgather():
+    def prog(comm):
+        return comm.allgather(comm.rank ** 2)
+
+    out = run_spmd(4, prog)
+    for res in out["results"]:
+        assert res == [0, 1, 4, 9]
+
+
+def test_allreduce_sum():
+    def prog(comm):
+        return comm.allreduce_sum(np.ones(3) * (comm.rank + 1))
+
+    out = run_spmd(4, prog)
+    for res in out["results"]:
+        np.testing.assert_allclose(res, 10 * np.ones(3))
+
+
+def test_send_recv_ring():
+    def prog(comm):
+        nxt = (comm.rank + 1) % comm.nprocs
+        prev = (comm.rank - 1) % comm.nprocs
+        comm.send(comm.rank * 10, nxt)
+        got = comm.recv(prev)
+        return got
+
+    out = run_spmd(4, prog)
+    assert out["results"] == [30, 0, 10, 20]
+
+
+def test_send_invalid_rank():
+    def prog(comm):
+        comm.send(1, 99)
+
+    with pytest.raises(CommunicatorError):
+        run_spmd(2, prog)
+
+
+def test_clock_advances_with_charges():
+    def prog(comm):
+        comm.charge_flops(1e9)  # 0.2 s at default gamma
+        comm.barrier_sync()
+        return comm.clock()
+
+    out = run_spmd(2, prog)
+    assert out["elapsed"] > 0.1
+
+
+def test_collective_syncs_clocks():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.charge_flops(5e9)  # 1 s: rank 0 is the straggler
+        comm.allgather(1)
+        return comm.clock()
+
+    out = run_spmd(4, prog)
+    # all ranks leave the collective at >= the straggler's time
+    assert min(out["results"]) >= 0.99
+
+
+def test_kernel_attribution():
+    def prog(comm):
+        comm.kernel("alpha").charge_flops(1e9)
+        comm.kernel("beta").charge_flops(2e9)
+        return None
+
+    out = run_spmd(2, prog)
+    ks = out["kernel_seconds"]
+    assert ks["beta"] == pytest.approx(2 * ks["alpha"], rel=1e-6)
+
+
+def test_exception_propagates():
+    def prog(comm):
+        if comm.rank == 1:
+            raise RuntimeError("boom")
+        comm.allgather(1)
+
+    with pytest.raises(RuntimeError, match="boom"):
+        run_spmd(2, prog)
+
+
+def test_single_rank():
+    def prog(comm):
+        assert comm.allgather(7) == [7]
+        assert comm.bcast(3) == 3
+        return comm.allreduce_sum(np.array([1.0]))[0]
+
+    out = run_spmd(1, prog)
+    assert out["results"] == [1.0]
+
+
+def test_invalid_nprocs():
+    with pytest.raises(CommunicatorError):
+        run_spmd(0, lambda comm: None)

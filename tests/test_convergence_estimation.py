@@ -1,0 +1,102 @@
+"""Tests for repro.analysis.convergence (iteration prediction, decay)."""
+
+import numpy as np
+import pytest
+
+from repro import ILUT_CRTP, lu_crtp, randqb_ei
+from repro.analysis.convergence import (
+    decay_rate,
+    effective_rank_with_residual,
+    estimate_iterations,
+    iterations_to_reach,
+)
+
+
+@pytest.fixture(scope="module")
+def A_fast():
+    from repro.matrices.generators import random_graded
+    return random_graded(250, 250, nnz_per_row=10, decay_rate=9.0,
+                         value_spread=1.0, seed=12)
+
+
+def test_prediction_matches_lu_iterations(A_fast):
+    lu = lu_crtp(A_fast, k=16, tol=1e-2)
+    pred = estimate_iterations(A_fast, 16, 1e-2)
+    assert abs(pred - lu.iterations) <= max(2, 0.5 * lu.iterations)
+
+
+def test_prediction_matches_randqb_iterations(A_fast):
+    qb = randqb_ei(A_fast, k=16, tol=1e-2, power=1)
+    pred = estimate_iterations(A_fast, 16, 1e-2)
+    assert abs(pred - qb.iterations) <= max(2, 0.5 * qb.iterations)
+
+
+def test_prediction_scales_with_k(A_fast):
+    p8 = estimate_iterations(A_fast, 8, 1e-2)
+    p32 = estimate_iterations(A_fast, 32, 1e-2)
+    assert p8 > p32
+
+
+def test_prediction_grows_with_tighter_tol(A_fast):
+    loose = estimate_iterations(A_fast, 16, 1e-1)
+    tight = estimate_iterations(A_fast, 16, 1e-3)
+    assert tight >= loose
+
+
+def test_extrapolation_path(A_fast):
+    """Tolerance below the probe's resolution exercises the geometric
+    tail extrapolation."""
+    pred = estimate_iterations(A_fast, 16, 1e-4, probe_tol=1e-1)
+    assert 1 <= pred <= 250 / 16 + 2
+
+
+def test_auto_ilut_end_to_end(A_fast):
+    lu = lu_crtp(A_fast, k=16, tol=1e-2)
+    auto = ILUT_CRTP(k=16, tol=1e-2,
+                     estimated_iterations="auto").solve(A_fast)
+    assert auto.converged
+    assert auto.error(A_fast) < 1e-2
+    # thresholding actually effective with the predicted u
+    assert auto.factor_nnz() < lu.factor_nnz()
+    assert not auto.control_triggered
+
+
+def test_effective_rank_with_residual():
+    s = np.array([10.0, 1.0, 0.1])
+    a_fro = np.sqrt(np.sum(s ** 2) + 0.01)  # residual mass 0.1^2
+    r = effective_rank_with_residual(s, residual=0.1, a_fro=a_fro, tol=0.05)
+    assert r == 2  # tail {0.1} + residual 0.1 -> 0.141 < 0.05*10.05? no ->
+    # recompute: target = 0.05*10.05 = 0.502; tail at r=2 is
+    # sqrt(0.1^2 + 0.1^2) = 0.141 < 0.502 -> r=2; at r=1: sqrt(1.01+0.01)
+    # = 1.01 > 0.502
+
+
+def test_decay_rate_geometric():
+    from repro.history import ConvergenceHistory, IterationRecord
+    h = ConvergenceHistory()
+    for i, ind in enumerate([1.0, 0.5, 0.25, 0.125]):
+        h.append(IterationRecord(iteration=i + 1, rank=4 * (i + 1),
+                                 indicator=ind))
+    assert decay_rate(h) == pytest.approx(0.5, rel=1e-6)
+
+
+def test_iterations_to_reach():
+    from repro.history import ConvergenceHistory, IterationRecord
+    h = ConvergenceHistory()
+    for i, ind in enumerate([1.0, 0.5, 0.25]):
+        h.append(IterationRecord(iteration=i + 1, rank=4, indicator=ind))
+    assert iterations_to_reach(h, 0.25 / 8) == 3
+    assert iterations_to_reach(h, 1.0) == 0
+
+
+def test_iterations_to_reach_stalled():
+    from repro.history import ConvergenceHistory, IterationRecord
+    h = ConvergenceHistory()
+    for i in range(3):
+        h.append(IterationRecord(iteration=i + 1, rank=4, indicator=1.0))
+    assert iterations_to_reach(h, 0.1) >= int(1e8)
+
+
+def test_decay_rate_degenerate():
+    from repro.history import ConvergenceHistory
+    assert decay_rate(ConvergenceHistory()) == 1.0

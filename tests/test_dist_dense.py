@@ -1,0 +1,127 @@
+"""Tests for repro.parallel.dist_dense (2-D element-cyclic distribution)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DistributionError
+from repro.parallel.comm import run_spmd
+from repro.parallel.dist_dense import DistDense, ProcessGrid
+
+
+def test_grid_coords_roundtrip():
+    g = ProcessGrid(2, 3)
+    assert g.size == 6
+    for r in range(6):
+        i, j = g.coords(r)
+        assert g.rank_of(i, j) == r
+    with pytest.raises(DistributionError):
+        g.coords(6)
+    with pytest.raises(DistributionError):
+        ProcessGrid(0, 2)
+
+
+def test_square_ish():
+    assert ProcessGrid.square_ish(12) == ProcessGrid(3, 4)
+    assert ProcessGrid.square_ish(7) == ProcessGrid(1, 7)
+    assert ProcessGrid.square_ish(16) == ProcessGrid(4, 4)
+
+
+@pytest.mark.parametrize("pr,pc", [(1, 1), (2, 2), (2, 3)])
+def test_scatter_gather_roundtrip(rng, pr, pc):
+    A = rng.standard_normal((11, 7))
+    grid = ProcessGrid(pr, pc)
+
+    def prog(comm):
+        D = DistDense.from_global(comm, grid, A)
+        return D.to_global()
+
+    out = run_spmd(grid.size, prog)
+    for res in out["results"]:
+        np.testing.assert_allclose(res, A, atol=1e-14)
+
+
+def test_local_blocks_partition(rng):
+    A = rng.standard_normal((9, 8))
+    grid = ProcessGrid(2, 2)
+
+    def prog(comm):
+        D = DistDense.from_global(comm, grid, A)
+        return D.local.size
+
+    out = run_spmd(4, prog)
+    assert sum(out["results"]) == A.size
+
+
+@pytest.mark.parametrize("pr,pc", [(1, 2), (2, 2), (3, 2)])
+def test_gemm_replicated_matches_numpy(rng, pr, pc):
+    A = rng.standard_normal((10, 12))
+    B = rng.standard_normal((12, 4))
+    grid = ProcessGrid(pr, pc)
+
+    def prog(comm):
+        D = DistDense.from_global(comm, grid, A)
+        return D.gemm_replicated(B)
+
+    out = run_spmd(grid.size, prog)
+    for res in out["results"]:
+        np.testing.assert_allclose(res, A @ B, atol=1e-12)
+
+
+def test_gemm_shape_mismatch(rng):
+    A = rng.standard_normal((4, 5))
+    grid = ProcessGrid(1, 2)
+
+    def prog(comm):
+        D = DistDense.from_global(comm, grid, A)
+        D.gemm_replicated(np.zeros((4, 2)))
+
+    with pytest.raises(DistributionError):
+        run_spmd(2, prog)
+
+
+def test_fro_norm_and_row_sums(rng):
+    A = rng.standard_normal((8, 6))
+    grid = ProcessGrid(2, 2)
+
+    def prog(comm):
+        D = DistDense.from_global(comm, grid, A)
+        return D.fro_norm(), D.row_sums_of_squares()
+
+    out = run_spmd(4, prog)
+    for nrm, rows in out["results"]:
+        assert nrm == pytest.approx(np.linalg.norm(A))
+        np.testing.assert_allclose(rows, (A ** 2).sum(axis=1), atol=1e-12)
+
+
+def test_scale_add(rng):
+    A = rng.standard_normal((6, 6))
+    grid = ProcessGrid(2, 1)
+
+    def prog(comm):
+        D1 = DistDense.from_global(comm, grid, A)
+        D2 = DistDense.from_global(comm, grid, A)
+        D1.scale(2.0).add(D2)
+        return D1.to_global()
+
+    out = run_spmd(2, prog)
+    np.testing.assert_allclose(out["results"][0], 3 * A, atol=1e-13)
+
+
+def test_grid_comm_size_mismatch(rng):
+    A = rng.standard_normal((4, 4))
+
+    def prog(comm):
+        DistDense.from_global(comm, ProcessGrid(2, 2), A)
+
+    with pytest.raises(DistributionError):
+        run_spmd(2, prog)
+
+
+def test_wrong_local_shape(rng):
+    grid = ProcessGrid(1, 1)
+
+    def prog(comm):
+        DistDense(comm, grid, (4, 4), np.zeros((2, 2)))
+
+    with pytest.raises(DistributionError):
+        run_spmd(1, prog)

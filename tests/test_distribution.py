@@ -1,0 +1,77 @@
+"""Tests for repro.parallel.distribution."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import DistributionError
+from repro.parallel.distribution import (
+    block_cyclic_columns,
+    block_ranges,
+    cyclic_owner,
+    partition_cols_csc,
+    partition_rows_csr,
+    per_rank_nnz_cols,
+    per_rank_nnz_rows,
+)
+
+
+def test_block_ranges_cover():
+    r = block_ranges(10, 3)
+    assert r == [(0, 4), (4, 7), (7, 10)]
+    assert block_ranges(2, 4) == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+
+def test_block_ranges_invalid():
+    with pytest.raises(DistributionError):
+        block_ranges(5, 0)
+
+
+def test_cyclic_owner():
+    o = cyclic_owner(8, 2, 2)
+    np.testing.assert_array_equal(o, [0, 0, 1, 1, 0, 0, 1, 1])
+    with pytest.raises(DistributionError):
+        cyclic_owner(4, 2, 0)
+
+
+def test_block_cyclic_columns_partition():
+    sets = block_cyclic_columns(10, 3, 2)
+    allidx = np.sort(np.concatenate(sets))
+    np.testing.assert_array_equal(allidx, np.arange(10))
+
+
+def test_partition_rows_reassembles(small_sparse):
+    parts = partition_rows_csr(small_sparse, 4)
+    stacked = sp.vstack(parts)
+    np.testing.assert_allclose(stacked.toarray(), small_sparse.toarray())
+
+
+def test_partition_cols_reassembles(small_sparse):
+    parts, idx = partition_cols_csc(small_sparse, 3, block=4)
+    D = small_sparse.toarray()
+    for blk, ids in zip(parts, idx):
+        np.testing.assert_allclose(blk.toarray(), D[:, ids])
+    allidx = np.sort(np.concatenate(idx))
+    np.testing.assert_array_equal(allidx, np.arange(60))
+
+
+def test_per_rank_nnz_cols_matches_actual(small_sparse):
+    col_nnz = np.diff(small_sparse.tocsc().indptr)
+    parts, _ = partition_cols_csc(small_sparse, 4, block=8)
+    predicted = per_rank_nnz_cols(col_nnz, 4, 8)
+    actual = np.array([p.nnz for p in parts])
+    np.testing.assert_array_equal(predicted, actual)
+
+
+def test_per_rank_nnz_rows_matches_actual(small_sparse):
+    row_nnz = np.diff(small_sparse.tocsr().indptr)
+    parts = partition_rows_csr(small_sparse, 5)
+    predicted = per_rank_nnz_rows(row_nnz, 5)
+    actual = np.array([p.nnz for p in parts])
+    np.testing.assert_array_equal(predicted, actual)
+
+
+def test_more_ranks_than_items():
+    parts = partition_rows_csr(sp.identity(2, format="csr"), 5)
+    assert len(parts) == 5
+    assert sum(p.shape[0] for p in parts) == 2

@@ -1,0 +1,66 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the fast examples run in the default suite; the heavier studies are
+covered by the benchmark harness which exercises the same code paths.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    for token in ("RandQB_EI", "RandUBV", "LU_CRTP", "ILUT_CRTP",
+                  "apply() check"):
+        assert token in out
+    # every method converged
+    assert "NO" not in out
+
+
+def test_lowrank_solver_runs():
+    out = run_example("lowrank_solver.py")
+    assert "pseudo_solve residual" in out
+    assert "reloaded factors give identical solve: True" in out
+
+
+def test_graph_embedding_runs():
+    out = run_example("graph_embedding.py")
+    assert "Automatic embedding dimension" in out
+    assert "OK" in out
+
+
+@pytest.mark.parametrize("name", [
+    "circuit_model_reduction.py",
+    "fillin_and_thresholding.py",
+    "structural_min_rank.py",
+    "parallel_scaling_study.py",
+])
+def test_heavier_examples_importable(name):
+    """The heavier examples at least parse and expose main()."""
+    import ast
+    tree = ast.parse((EXAMPLES / name).read_text())
+    funcs = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    assert "main" in funcs
+
+
+def test_full_reproduction_runs(tmp_path):
+    import subprocess
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "full_reproduction.py")],
+        capture_output=True, text=True, timeout=400, cwd=tmp_path)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "Table II block" in proc.stdout
+    assert (tmp_path / "reproduction_report.md").exists()

@@ -1,0 +1,69 @@
+"""Tests for repro.core.fixed_rank (fixed-rank problem interface)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fixed_rank import fixed_rank_lu_crtp, fixed_rank_qb
+
+
+def test_qb_exact_rank(small_sparse):
+    res = fixed_rank_qb(small_sparse, 24, k=8)
+    assert res.rank == 24
+    assert res.converged
+    assert res.Q.shape == (60, 24)
+
+
+def test_qb_does_not_stop_early(rank_deficient):
+    """Even when the tolerance would be met at low rank, fixed-rank mode
+    keeps going to the requested rank."""
+    res = fixed_rank_qb(rank_deficient, 20, k=4)
+    assert res.rank == 20
+
+
+def test_qb_rank_capped_by_dims(small_sparse):
+    res = fixed_rank_qb(small_sparse, 500, k=16)
+    assert res.rank == 60
+
+
+def test_qb_one_shot_vs_blocked(small_sparse):
+    one = fixed_rank_qb(small_sparse, 16)
+    blocked = fixed_rank_qb(small_sparse, 16, k=4)
+    assert one.rank == blocked.rank == 16
+    # both capture the dominant subspace comparably
+    e1 = one.error(small_sparse)
+    e2 = blocked.error(small_sparse)
+    assert abs(e1 - e2) < 0.5 * max(e1, e2) + 1e-6
+
+
+def test_qb_error_decreases_with_rank(small_sparse):
+    errs = [fixed_rank_qb(small_sparse, r, k=8).error(small_sparse)
+            for r in (8, 24, 40)]
+    assert errs[0] > errs[1] > errs[2]
+
+
+def test_lu_exact_rank(small_sparse):
+    res = fixed_rank_lu_crtp(small_sparse, 24, k=8)
+    assert res.rank == 24
+    assert res.converged
+    assert res.L.shape == (60, 24)
+    # indicator still exact in fixed-rank mode
+    assert res.error(small_sparse) == pytest.approx(
+        res.relative_indicator(), rel=1e-8)
+
+
+def test_lu_near_optimal_error(small_sparse):
+    """Fixed-rank LU_CRTP error within a polynomial factor of Eckart-Young
+    (the rank-revealing guarantee of [10])."""
+    rank = 16
+    res = fixed_rank_lu_crtp(small_sparse, rank, k=8)
+    s = np.linalg.svd(small_sparse.toarray(), compute_uv=False)
+    optimal = np.sqrt(np.sum(s[rank:] ** 2))
+    achieved = res.error(small_sparse) * res.a_fro
+    assert achieved <= 30 * optimal + 1e-12
+
+
+def test_invalid_rank(small_sparse):
+    with pytest.raises(ValueError):
+        fixed_rank_qb(small_sparse, 0)
+    with pytest.raises(ValueError):
+        fixed_rank_lu_crtp(small_sparse, -3)

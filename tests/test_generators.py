@@ -1,0 +1,125 @@
+"""Tests for repro.matrices.generators and repro.matrices.spectra."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices.generators import (
+    circuit_network,
+    convection_diffusion,
+    economic_flow,
+    grid_stiffness,
+    kahan_matrix,
+    random_graded,
+)
+from repro.matrices.spectra import (
+    effective_rank,
+    graded_weights,
+    numerical_rank,
+    spectrum_summary,
+)
+
+
+def test_grid_stiffness_spd():
+    A = grid_stiffness(6, 7, seed=0)
+    assert A.shape == (42, 42)
+    D = A.toarray()
+    np.testing.assert_allclose(D, D.T, atol=1e-12)
+    w = np.linalg.eigvalsh(D)
+    assert np.all(w > 0)
+
+
+def test_grid_stiffness_deterministic():
+    A = grid_stiffness(5, 5, seed=3)
+    B = grid_stiffness(5, 5, seed=3)
+    assert (A != B).nnz == 0
+
+
+def test_convection_diffusion_nonsymmetric():
+    A = convection_diffusion(6, 6, peclet=20.0, seed=1)
+    D = A.toarray()
+    assert not np.allclose(D, D.T)
+    assert A.shape == (36, 36)
+
+
+def test_random_graded_shape_and_nnz():
+    A = random_graded(50, 40, nnz_per_row=5, seed=2)
+    assert A.shape == (50, 40)
+    assert A.nnz <= 250
+    assert A.nnz >= 200  # duplicates possible but rare
+
+
+def test_random_graded_decay_controls_spectrum():
+    fast = random_graded(80, 80, nnz_per_row=6, decay_rate=12.0, seed=4)
+    slow = random_graded(80, 80, nnz_per_row=6, decay_rate=1.0, seed=4)
+    rf = effective_rank(np.linalg.svd(fast.toarray(), compute_uv=False), 1e-2)
+    rs = effective_rank(np.linalg.svd(slow.toarray(), compute_uv=False), 1e-2)
+    assert rf < rs
+
+
+def test_circuit_network_hubs_create_gap():
+    """Hub scaling concentrates Frobenius mass in few directions (the M4
+    one-iteration regime)."""
+    hubby = circuit_network(200, hubs=20, hub_scale=300.0, seed=5)
+    plain = circuit_network(200, hubs=0, seed=5)
+    s_h = np.linalg.svd(hubby.toarray(), compute_uv=False)
+    s_p = np.linalg.svd(plain.toarray(), compute_uv=False)
+    assert effective_rank(s_h, 1e-1) < effective_rank(s_p, 1e-1)
+
+
+def test_economic_flow_structure():
+    A = economic_flow(120, sectors=6, seed=6)
+    assert A.shape == (120, 120)
+    assert A.nnz > 0
+    # slow algebraic decay: 1e-3 needs a large share of n
+    s = np.linalg.svd(A.toarray(), compute_uv=False)
+    assert effective_rank(s, 1e-3) > 0.3 * 120
+
+
+def test_kahan_matrix_is_rrqr_adversary():
+    K = kahan_matrix(30, theta=1.2)
+    D = K.toarray()
+    assert np.allclose(D, np.triu(D))
+    s = np.linalg.svd(D, compute_uv=False)
+    # hidden small singular value: far below the smallest diagonal entry
+    assert s[-1] < 0.1 * abs(D[-1, -1])
+
+
+def test_graded_weights_shapes():
+    for kind in ("exponential", "algebraic", "step", "flat"):
+        w = graded_weights(20, kind, 4.0)
+        assert w.shape == (20,)
+        assert np.all(np.diff(w) <= 1e-12)
+    with pytest.raises(ValueError):
+        graded_weights(10, "bogus")
+
+
+def test_effective_rank_basics():
+    s = np.array([10.0, 1.0, 0.1, 0.01])
+    assert effective_rank(s, 0.5) == 1
+    assert effective_rank(s, 1e-6) == 4
+    assert effective_rank(np.zeros(3), 0.1) == 0
+
+
+def test_effective_rank_is_tight():
+    s = np.array([1.0, 0.5, 0.25])
+    r = effective_rank(s, 0.6)
+    tail = np.sqrt(np.sum(s[r:] ** 2))
+    assert tail < 0.6 * np.linalg.norm(s)
+    if r > 0:
+        tail_prev = np.sqrt(np.sum(s[r - 1:] ** 2))
+        assert tail_prev >= 0.6 * np.linalg.norm(s)
+
+
+def test_numerical_rank():
+    s = np.array([1.0, 1e-3, 1e-15])
+    assert numerical_rank(s) == 2
+    assert numerical_rank(np.zeros(2)) == 0
+
+
+def test_spectrum_summary_keys():
+    s = np.logspace(0, -8, 30)
+    d = spectrum_summary(s)
+    assert d["sigma_max"] == 1.0
+    assert d["numerical_rank"] == 30
+    assert d["rank_for_1e-1"] <= d["rank_for_1e-3"]

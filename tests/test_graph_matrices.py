@@ -1,0 +1,84 @@
+"""Tests for repro.matrices.graph."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices.graph import (
+    bipartite_interaction,
+    normalized_laplacian,
+    scale_free_adjacency,
+    small_world_adjacency,
+)
+
+
+def test_scale_free_structure():
+    A = scale_free_adjacency(200, m_edges=3, seed=1)
+    assert A.shape == (200, 200)
+    D = A.toarray()
+    np.testing.assert_allclose(D, D.T)  # undirected
+    deg = (D != 0).sum(axis=1)
+    # scale-free: max degree far above median
+    assert deg.max() > 5 * np.median(deg)
+
+
+def test_scale_free_unweighted():
+    A = scale_free_adjacency(100, weighted=False, seed=2)
+    assert set(np.unique(A.data)) == {1.0}
+
+
+def test_small_world_structure():
+    A = small_world_adjacency(150, k_ring=6, p_rewire=0.05, seed=3)
+    deg = (A.toarray() != 0).sum(axis=1)
+    # narrow degree distribution (ring-like)
+    assert deg.max() <= 12
+
+
+def test_spectral_decay_contrast():
+    """Scale-free adjacency decays faster than small-world (hub mass)."""
+    from repro.matrices.spectra import effective_rank
+    sf = scale_free_adjacency(300, seed=4)
+    sw = small_world_adjacency(300, seed=4)
+    s_sf = np.linalg.svd(sf.toarray(), compute_uv=False)
+    s_sw = np.linalg.svd(sw.toarray(), compute_uv=False)
+    assert effective_rank(s_sf, 0.3) < effective_rank(s_sw, 0.3)
+
+
+def test_normalized_laplacian_spectrum():
+    A = scale_free_adjacency(120, seed=5)
+    L = normalized_laplacian(A)
+    w = np.linalg.eigvalsh(L.toarray())
+    assert w.min() > -1e-8
+    assert w.max() < 2.0 + 1e-8
+
+
+def test_normalized_laplacian_isolated_nodes():
+    A = sp.csc_matrix((5, 5))
+    L = normalized_laplacian(A)
+    np.testing.assert_allclose(L.toarray(), np.eye(5))
+
+
+def test_bipartite_interaction_shape():
+    R = bipartite_interaction(80, 30, interactions_per_user=5, seed=6)
+    assert R.shape == (80, 30)
+    row_nnz = np.diff(R.tocsr().indptr)
+    assert np.all(row_nnz <= 5)
+    assert np.all(row_nnz >= 1)
+
+
+def test_bipartite_popularity_skew():
+    R = bipartite_interaction(300, 100, interactions_per_user=6,
+                              popularity_decay=1.5, seed=7)
+    col_nnz = np.diff(R.tocsc().indptr)
+    # early (popular) items collect far more interactions
+    assert col_nnz[:10].sum() > 3 * col_nnz[-50:].sum()
+
+
+def test_solvers_work_on_graph_matrices():
+    from repro import ilut_crtp, randqb_ei
+    A = scale_free_adjacency(200, seed=8)
+    qb = randqb_ei(A, k=16, tol=3e-1)
+    assert qb.converged
+    il = ilut_crtp(A, k=16, tol=3e-1, estimated_iterations=5)
+    assert il.converged
+    assert il.error(A) < 3e-1

@@ -1,0 +1,133 @@
+"""Integration tests: cross-method agreement and headline paper claims.
+
+These run all four fixed-precision methods on the same matrices with the
+same uniform termination criteria (the paper's methodological core) and
+assert the qualitative results of Section VI at test scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ilut_crtp, lu_crtp, randqb_ei, randubv
+from repro.matrices.generators import circuit_network, random_graded
+from repro.matrices.suite import suite_matrix
+
+
+@pytest.fixture(scope="module")
+def fill_heavy():
+    """M2-like: scattered pattern, exponential decay, heavy fill."""
+    return random_graded(200, 200, nnz_per_row=10, decay_rate=8.0, seed=77)
+
+
+@pytest.fixture(scope="module")
+def low_fill():
+    """M4-like: hub-dominated circuit, low fill, huge leading gap."""
+    return circuit_network(250, avg_degree=4.0, hubs=20, hub_scale=200.0,
+                           seed=78)
+
+
+def run_all(A, k=8, tol=1e-2):
+    lu = lu_crtp(A, k=k, tol=tol)
+    return {
+        "randqb": randqb_ei(A, k=k, tol=tol, power=1),
+        "ubv": randubv(A, k=k, tol=tol),
+        "lu": lu,
+        "ilut": ilut_crtp(A, k=k, tol=tol,
+                          estimated_iterations=max(lu.iterations, 1)),
+    }
+
+
+def test_all_methods_reach_tolerance(fill_heavy):
+    res = run_all(fill_heavy)
+    for name, r in res.items():
+        assert r.converged, name
+        assert r.error(fill_heavy) < 1e-2, name
+
+
+def test_uniform_termination_ranks_comparable(fill_heavy):
+    """With uniform criteria, achieved ranks agree within ~2 blocks (the
+    Table II its columns track each other)."""
+    res = run_all(fill_heavy)
+    ranks = {n: r.rank for n, r in res.items()}
+    rmin, rmax = min(ranks.values()), max(ranks.values())
+    assert rmax - rmin <= 4 * 8, ranks
+
+
+def test_ilut_reduces_nnz_under_fill(fill_heavy):
+    res = run_all(fill_heavy)
+    assert res["ilut"].factor_nnz() < res["lu"].factor_nnz()
+
+
+def test_low_fill_circuit_cheap_for_deterministic(low_fill):
+    """M4 regime: tau=0.1 within very few iterations for every method, LU
+    Schur complements stay sparse."""
+    res = run_all(low_fill, k=32, tol=1e-1)
+    assert res["lu"].iterations <= 3
+    assert res["randqb"].iterations <= 3
+    max_density = max(r.schur_density for r in res["lu"].history)
+    assert max_density < 0.3
+
+
+def test_fillin_progression_monotone_regimes(fill_heavy, low_fill):
+    """Fig. 1 right: fill-heavy matrices densify across iterations; the
+    circuit analogue does not."""
+    lu_heavy = lu_crtp(fill_heavy, k=8, tol=1e-2)
+    lu_light = lu_crtp(low_fill, k=32, tol=1e-1)
+    assert max(r.schur_density for r in lu_heavy.history) > \
+        3 * max(r.schur_density for r in lu_light.history)
+
+
+def test_indicator_exactness_all_methods(fill_heavy):
+    res = run_all(fill_heavy)
+    for name in ("randqb", "ubv", "lu"):
+        r = res[name]
+        assert r.error(fill_heavy) == pytest.approx(
+            r.relative_indicator(), rel=1e-3), name
+    # ILUT's estimator (26) only estimates; gap bounded by ||T||
+    il = res["ilut"]
+    gap = abs(il.error(fill_heavy) - il.relative_indicator()) * il.a_fro
+    assert gap <= il.dropped_norm_bound() + 1e-9
+
+
+def test_suite_m2_analogue_ilut_speedup():
+    """Table II M2 rows: ILUT_CRTP much cheaper than LU_CRTP when fill-in is
+    heavy; nnz ratio well above 1."""
+    A = suite_matrix("M2", scale=0.35)
+    lu = lu_crtp(A, k=16, tol=1e-2)
+    il = ilut_crtp(A, k=16, tol=1e-2,
+                   estimated_iterations=max(lu.iterations, 1))
+    assert il.converged
+    ratio = lu.factor_nnz() / il.factor_nnz()
+    assert ratio > 1.5
+    # thresholding pays for itself; 1.2x slack absorbs wall-clock noise
+    # when the suite runs under load (the work reduction itself is asserted
+    # through the nnz ratio above and the Schur-flop trace below)
+    assert il.elapsed < lu.elapsed * 1.2
+    lu_flops = sum(r.extra["trace"]["schur_flops"] for r in lu.history)
+    il_flops = sum(r.extra["trace"]["schur_flops"] for r in il.history)
+    assert il_flops < lu_flops
+
+
+def test_randqb_power_tradeoff(fill_heavy):
+    """Table II: p=1 needs fewer iterations than p=0; p=2 costs more time
+    per iteration (the runtime trade-off the paper reports)."""
+    r0 = randqb_ei(fill_heavy, k=8, tol=1e-2, power=0)
+    r1 = randqb_ei(fill_heavy, k=8, tol=1e-2, power=1)
+    assert r1.iterations <= r0.iterations
+    t0 = r0.elapsed / r0.iterations
+    t2 = randqb_ei(fill_heavy, k=8, tol=1e-2, power=2).elapsed
+    # p=2 per-iteration cost exceeds p=0 per-iteration cost
+    r2 = randqb_ei(fill_heavy, k=8, tol=1e-2, power=2)
+    assert r2.elapsed / r2.iterations > t0
+
+
+def test_loss_of_orthogonality_stays_small(fill_heavy):
+    """§VI-B: ||Q^T Q - I||_inf in 1e-15..1e-13 range over the iterations."""
+    res = randqb_ei(fill_heavy, k=8, tol=1e-2)
+    assert res.orthogonality_defect() < 1e-12
+
+
+def test_ubv_fewer_iterations_than_p0(fill_heavy):
+    qb0 = randqb_ei(fill_heavy, k=8, tol=1e-2, power=0)
+    ubv = randubv(fill_heavy, k=8, tol=1e-2)
+    assert ubv.iterations <= qb0.iterations

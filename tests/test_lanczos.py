@@ -1,0 +1,68 @@
+"""Tests for repro.linalg.lanczos (Golub-Kahan-Lanczos SVD)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.linalg.lanczos import golub_kahan_svd, singular_values
+
+
+def test_matches_dense_svd(rng):
+    A = rng.standard_normal((60, 40))
+    U, s, Vt = golub_kahan_svd(A, 5)
+    s_ref = np.linalg.svd(A, compute_uv=False)[:5]
+    np.testing.assert_allclose(s, s_ref, rtol=1e-8)
+    # triplets reconstruct the dominant subspace
+    np.testing.assert_allclose(A @ Vt.T, U * s, atol=1e-6)
+
+
+def test_matches_scipy_svds_on_sparse(small_sparse):
+    U, s, Vt = golub_kahan_svd(small_sparse, 6)
+    s_ref = np.sort(spla.svds(small_sparse, k=6,
+                              return_singular_vectors=False))[::-1]
+    np.testing.assert_allclose(s, s_ref, rtol=1e-6)
+
+
+def test_orthonormal_factors(rng):
+    A = rng.standard_normal((50, 50))
+    U, s, Vt = golub_kahan_svd(A, 8)
+    assert np.linalg.norm(U.T @ U - np.eye(8)) < 1e-8
+    assert np.linalg.norm(Vt @ Vt.T - np.eye(8)) < 1e-8
+
+
+def test_descending_order(rng):
+    A = rng.standard_normal((30, 30))
+    s = singular_values(A, 10)
+    assert np.all(np.diff(s) <= 1e-12)
+
+
+def test_low_rank_input(rank_deficient):
+    # rank-12 matrix: requesting more triplets pads with zeros
+    U, s, Vt = golub_kahan_svd(rank_deficient, 20)
+    assert s.shape == (20,)
+    assert np.all(s[:12] > 0)
+    assert np.all(s[13:] < 1e-8 * s[0])
+
+
+def test_zero_matrix():
+    A = sp.csc_matrix((10, 8))
+    U, s, Vt = golub_kahan_svd(A, 3)
+    assert np.allclose(s, 0)
+    assert U.shape == (10, 3)
+    assert Vt.shape == (3, 8)
+
+
+def test_invalid_k(rng):
+    with pytest.raises(ValueError):
+        golub_kahan_svd(rng.standard_normal((5, 5)), 0)
+    with pytest.raises(ValueError):
+        golub_kahan_svd(rng.standard_normal((5, 5)), 6)
+
+
+def test_rectangular_orientations(rng):
+    for shape in ((40, 15), (15, 40)):
+        A = rng.standard_normal(shape)
+        _, s, _ = golub_kahan_svd(A, 4)
+        ref = np.linalg.svd(A, compute_uv=False)[:4]
+        np.testing.assert_allclose(s, ref, rtol=1e-8)

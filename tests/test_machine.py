@@ -1,0 +1,81 @@
+"""Tests for repro.parallel.machine (cost model)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.machine import CollectiveCosts, MachineModel
+
+
+@pytest.fixture
+def mm():
+    return MachineModel(gamma_flop=1e-9, gamma_mem=1e-10, alpha=1e-6,
+                        beta=1e-9)
+
+
+def test_flops_and_mem(mm):
+    assert mm.flops(1e6) == pytest.approx(1e-3)
+    assert mm.mem(1e6) == pytest.approx(1e-4)
+    assert mm.flops(-5) == 0.0
+
+
+def test_p2p(mm):
+    c = mm.collectives
+    assert c.p2p(1000) == pytest.approx(1e-6 + 1e-6)
+    assert c.p2p(0) == pytest.approx(1e-6)
+
+
+def test_bcast_log_scaling(mm):
+    c = mm.collectives
+    assert c.bcast(100, 1) == 0.0
+    t2 = c.bcast(100, 2)
+    t8 = c.bcast(100, 8)
+    assert t8 == pytest.approx(3 * t2)
+
+
+def test_allgather_bandwidth_term(mm):
+    c = mm.collectives
+    # large message: bandwidth dominates, (P-1)/P -> 1
+    big = c.allgather(1e9, 1024)
+    assert big == pytest.approx(1e9 * 1e-9 * 1023 / 1024, rel=1e-2)
+    assert c.allgather(100, 1) == 0.0
+
+
+def test_allreduce_twice_allgather_bandwidth(mm):
+    c = mm.collectives
+    ag = c.allgather(1e8, 64)
+    ar = c.allreduce(1e8, 64)
+    assert ar > ag  # 2x bandwidth + 2x latency
+
+
+def test_scatter_gather_symmetric(mm):
+    c = mm.collectives
+    assert c.scatter(1e6, 16) == c.gather(1e6, 16)
+
+
+def test_non_power_of_two(mm):
+    c = mm.collectives
+    # ceil(log2(5)) = 3 rounds
+    assert c.bcast(0, 5) == pytest.approx(3 * 1e-6)
+
+
+def test_costs_monotone_in_procs(mm):
+    c = mm.collectives
+    vals = [c.allreduce(1e4, p) for p in (2, 4, 8, 16, 64)]
+    assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+
+def test_default_model_sane():
+    m = MachineModel()
+    assert 0 < m.gamma_flop < 1e-8
+    assert m.alpha > m.beta  # latency >> per-byte cost
+
+
+def test_presets():
+    eth = MachineModel.ethernet_cluster()
+    hpc = MachineModel.hpc_cluster()
+    shm = MachineModel.shared_memory()
+    assert eth.alpha > hpc.alpha > shm.alpha
+    # ethernet saturates collectives much earlier
+    c_eth = eth.collectives.allreduce(1e6, 64)
+    c_shm = shm.collectives.allreduce(1e6, 64)
+    assert c_eth > c_shm

@@ -1,0 +1,127 @@
+"""Tests for repro.matrices.mmio (Matrix Market I/O)."""
+
+import io
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import MatrixFormatError
+from repro.matrices.mmio import read_matrix_market, write_matrix_market
+
+
+def test_roundtrip(small_sparse, tmp_path):
+    path = tmp_path / "a.mtx"
+    write_matrix_market(small_sparse, path, comment="test matrix")
+    B = read_matrix_market(path)
+    assert (small_sparse != B).nnz == 0
+
+
+def test_roundtrip_stringio(small_sparse):
+    buf = io.StringIO()
+    write_matrix_market(small_sparse, buf)
+    buf.seek(0)
+    B = read_matrix_market(buf)
+    np.testing.assert_allclose(B.toarray(), small_sparse.toarray())
+
+
+def test_roundtrip_exact_values(tmp_path):
+    A = sp.csc_matrix(np.array([[1.0 / 3.0, 0.0], [0.0, -2.725e-15]]))
+    buf = io.StringIO()
+    write_matrix_market(A, buf)
+    buf.seek(0)
+    B = read_matrix_market(buf)
+    np.testing.assert_array_equal(B.toarray(), A.toarray())  # repr roundtrip
+
+
+def test_read_symmetric():
+    text = """%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+3 2 -1.0
+3 3 2.0
+"""
+    A = read_matrix_market(io.StringIO(text)).toarray()
+    np.testing.assert_allclose(A, A.T)
+    assert A[0, 1] == -1.0 and A[1, 0] == -1.0
+
+
+def test_read_skew_symmetric():
+    text = """%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 5.0
+"""
+    A = read_matrix_market(io.StringIO(text)).toarray()
+    assert A[1, 0] == 5.0
+    assert A[0, 1] == -5.0
+
+
+def test_read_pattern():
+    text = """%%MatrixMarket matrix coordinate pattern general
+2 3 2
+1 2
+2 3
+"""
+    A = read_matrix_market(io.StringIO(text)).toarray()
+    assert A[0, 1] == 1.0 and A[1, 2] == 1.0
+    assert A.sum() == 2.0
+
+
+def test_read_integer_field():
+    text = """%%MatrixMarket matrix coordinate integer general
+2 2 1
+1 1 7
+"""
+    A = read_matrix_market(io.StringIO(text))
+    assert A[0, 0] == 7.0
+
+
+def test_bad_header():
+    with pytest.raises(MatrixFormatError):
+        read_matrix_market(io.StringIO("not a header\n1 1 0\n"))
+    with pytest.raises(MatrixFormatError):
+        read_matrix_market(io.StringIO(
+            "%%MatrixMarket matrix array real general\n"))
+
+
+def test_bad_field():
+    with pytest.raises(MatrixFormatError):
+        read_matrix_market(io.StringIO(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"))
+
+
+def test_truncated_file():
+    text = """%%MatrixMarket matrix coordinate real general
+3 3 2
+1 1 1.0
+"""
+    with pytest.raises(MatrixFormatError, match="truncated"):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_out_of_range_index():
+    text = """%%MatrixMarket matrix coordinate real general
+2 2 1
+3 1 1.0
+"""
+    with pytest.raises(MatrixFormatError, match="out of range"):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_bad_size_line():
+    text = "%%MatrixMarket matrix coordinate real general\nfoo bar\n"
+    with pytest.raises(MatrixFormatError):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_duplicates_summed():
+    text = """%%MatrixMarket matrix coordinate real general
+2 2 2
+1 1 1.5
+1 1 2.5
+"""
+    A = read_matrix_market(io.StringIO(text))
+    assert A[0, 0] == 4.0
+    assert A.nnz == 1

@@ -1,0 +1,72 @@
+"""Tests for repro.linalg.norms."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg.norms import (
+    column_norms_sq,
+    fro_norm,
+    fro_norm_sq,
+    row_norms_sq,
+    spectral_norm_estimate,
+)
+
+
+def test_fro_norm_dense_matches_numpy(rng):
+    A = rng.standard_normal((13, 7))
+    assert fro_norm(A) == pytest.approx(np.linalg.norm(A))
+    assert fro_norm_sq(A) == pytest.approx(np.linalg.norm(A) ** 2)
+
+
+def test_fro_norm_sparse_only_touches_stored(small_sparse):
+    assert fro_norm(small_sparse) == pytest.approx(
+        np.linalg.norm(small_sparse.toarray()))
+
+
+def test_fro_norm_ignores_explicit_zeros():
+    A = sp.csc_matrix(np.array([[1.0, 0.0], [0.0, 2.0]]))
+    A.data[0] = 1.0
+    B = A.copy()
+    B.data = np.append(B.data, 0.0)  # not a valid way; use construction
+    A2 = sp.csc_matrix((np.array([1.0, 2.0, 0.0]),
+                        (np.array([0, 1, 0]), np.array([0, 1, 1]))),
+                       shape=(2, 2))
+    assert fro_norm(A2) == pytest.approx(np.sqrt(5.0))
+
+
+def test_fro_norm_empty():
+    assert fro_norm(sp.csc_matrix((5, 5))) == 0.0
+    assert fro_norm(np.zeros((3, 0))) == 0.0
+
+
+def test_spectral_estimate_close_to_true(rng):
+    A = rng.standard_normal((40, 30))
+    true = np.linalg.norm(A, 2)
+    est = spectral_norm_estimate(A, iters=200, tol=1e-12)
+    assert est == pytest.approx(true, rel=1e-6)
+    assert est <= true + 1e-8  # power iteration is a lower bound
+
+
+def test_spectral_estimate_sparse(small_sparse):
+    true = np.linalg.norm(small_sparse.toarray(), 2)
+    est = spectral_norm_estimate(small_sparse, iters=300)
+    assert est == pytest.approx(true, rel=1e-4)
+
+
+def test_spectral_estimate_zero_matrix():
+    assert spectral_norm_estimate(sp.csc_matrix((8, 8))) == 0.0
+
+
+def test_column_and_row_norms(small_sparse):
+    D = small_sparse.toarray()
+    np.testing.assert_allclose(column_norms_sq(small_sparse),
+                               (D ** 2).sum(axis=0), rtol=1e-12)
+    np.testing.assert_allclose(row_norms_sq(small_sparse),
+                               (D ** 2).sum(axis=1), rtol=1e-12)
+
+
+def test_column_norms_dense(rng):
+    A = rng.standard_normal((9, 4))
+    np.testing.assert_allclose(column_norms_sq(A), (A ** 2).sum(axis=0))
+    np.testing.assert_allclose(row_norms_sq(A), (A ** 2).sum(axis=1))

@@ -1,0 +1,72 @@
+"""Tests for the parallel RandUBV (§VI-B future work implemented)."""
+
+import numpy as np
+import pytest
+
+from repro import randubv
+from repro.parallel import run_spmd, simulate_randubv, spmd_randubv
+
+
+@pytest.fixture(scope="module")
+def A120():
+    from repro.matrices.generators import random_graded
+    return random_graded(120, 120, nnz_per_row=7, decay_rate=7.0, seed=21)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_spmd_randubv_converges(A120, nprocs):
+    out = run_spmd(nprocs, spmd_randubv, A120, k=8, tol=1e-2, seed=0)
+    Uloc, B, V, K, conv = out["results"][0]
+    assert conv
+    U = np.vstack([r[0] for r in out["results"]])
+    D = A120.toarray()
+    err = np.linalg.norm(D - U @ B @ V.T) / np.linalg.norm(D)
+    assert err < 1e-2
+    # orthonormal factors
+    assert np.linalg.norm(U.T @ U - np.eye(U.shape[1])) < 1e-8
+    assert np.linalg.norm(V.T @ V - np.eye(V.shape[1])) < 1e-8
+
+
+def test_spmd_matches_sequential_rank(A120):
+    seq = randubv(A120, k=8, tol=1e-2, seed=0)
+    out = run_spmd(4, spmd_randubv, A120, k=8, tol=1e-2, seed=0)
+    _, _, _, K, _ = out["results"][0]
+    assert K == seq.rank  # same RNG stream
+
+
+def test_spmd_b_replicated(A120):
+    out = run_spmd(3, spmd_randubv, A120, k=8, tol=1e-1, seed=0)
+    B0 = out["results"][0][1]
+    for r in out["results"][1:]:
+        np.testing.assert_allclose(r[1], B0, atol=1e-12)
+
+
+def test_perfmodel_report(A120):
+    seq = randubv(A120, k=8, tol=1e-2, seed=0)
+    rep = simulate_randubv(seq, A120, 8, k=8)
+    assert rep.algorithm == "RandUBV"
+    assert rep.iterations == seq.iterations
+    for kernel in ("spmm", "tsqr", "reorth_v"):
+        assert kernel in rep.kernel_seconds
+    assert rep.total_seconds > 0
+
+
+def test_perfmodel_comparable_to_randqb_p0(A120):
+    """Section IV: RandUBV ~ RandQB_EI(p=0) per-iteration work."""
+    from repro import randqb_ei
+    from repro.parallel import simulate_randqb_ei
+    seq_ubv = randubv(A120, k=8, tol=1e-2, seed=0)
+    seq_qb = randqb_ei(A120, k=8, tol=1e-2, power=0, seed=0)
+    t_ubv = simulate_randubv(seq_ubv, A120, 4, k=8).total_seconds \
+        / max(seq_ubv.iterations, 1)
+    t_qb = simulate_randqb_ei(seq_qb, A120, 4, k=8,
+                              power=0).total_seconds \
+        / max(seq_qb.iterations, 1)
+    assert 0.2 < t_ubv / t_qb < 5.0
+
+
+def test_perfmodel_scales_initially(A120):
+    seq = randubv(A120, k=8, tol=1e-2, seed=0)
+    t1 = simulate_randubv(seq, A120, 1, k=8).total_seconds
+    t4 = simulate_randubv(seq, A120, 4, k=8).total_seconds
+    assert t4 < t1

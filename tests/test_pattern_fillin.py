@@ -1,0 +1,65 @@
+"""Tests for repro.sparse.pattern and repro.sparse.fillin."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.fillin import FillInTracker
+from repro.sparse.pattern import (
+    ata_pattern_degrees,
+    boolean_pattern,
+    column_counts,
+    rows_of_columns,
+)
+
+
+def test_boolean_pattern():
+    A = sp.csc_matrix(np.array([[1.5, 0.0], [-2.0, 3.0]]))
+    P = boolean_pattern(A)
+    np.testing.assert_array_equal(P.toarray(), [[1, 0], [1, 1]])
+
+
+def test_ata_degrees_matches_explicit(small_sparse):
+    deg = ata_pattern_degrees(small_sparse)
+    G = (small_sparse.T @ small_sparse).toarray() != 0
+    np.fill_diagonal(G, False)
+    np.testing.assert_array_equal(deg, G.sum(axis=1))
+
+
+def test_column_counts(small_sparse):
+    cc = column_counts(small_sparse)
+    np.testing.assert_array_equal(
+        cc, (small_sparse.toarray() != 0).sum(axis=0))
+
+
+def test_rows_of_columns():
+    A = sp.csc_matrix(np.array([[1.0, 0.0], [1.0, 2.0], [0.0, 3.0]]))
+    rows = rows_of_columns(A)
+    np.testing.assert_array_equal(rows[0], [0, 1])
+    np.testing.assert_array_equal(rows[1], [1, 2])
+
+
+def test_fillin_tracker_sequence():
+    t = FillInTracker.for_matrix(sp.identity(10, format="csc"))
+    assert t.initial_nnz == 10
+    denser = sp.csc_matrix(np.ones((8, 8)))
+    t.observe(denser)
+    assert t.max_density == 1.0
+    assert t.max_nnz_ratio == pytest.approx(6.4)
+    assert len(t.growth_factors) == 1
+    assert t.growth_factors[0] == pytest.approx(6.4)
+
+
+def test_fillin_tracker_summary():
+    t = FillInTracker.for_matrix(sp.identity(4, format="csc"))
+    s = t.summary()
+    assert s["iterations"] == 1
+    assert s["max_density"] == pytest.approx(0.25)
+    assert s["final_nnz"] == 4
+
+
+def test_fillin_tracker_empty():
+    t = FillInTracker()
+    assert t.max_density == 0.0
+    assert t.max_nnz_ratio == 0.0
+    assert t.summary()["final_nnz"] == 0

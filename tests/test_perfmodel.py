@@ -1,0 +1,159 @@
+"""Tests for repro.parallel.perfmodel (trace-replay performance model)."""
+
+import numpy as np
+import pytest
+
+from repro import ilut_crtp, lu_crtp, randqb_ei
+from repro.parallel.machine import MachineModel
+from repro.parallel.perfmodel import (
+    simulate_ilut_crtp,
+    simulate_lu_crtp,
+    simulate_randqb_ei,
+    strong_scaling,
+)
+from repro.parallel.report import ScalingCurve, speedup_table
+
+
+@pytest.fixture(scope="module")
+def problem():
+    from repro.matrices.generators import random_graded
+    A = random_graded(300, 300, nnz_per_row=8, decay_rate=8.0, seed=31)
+    lu = lu_crtp(A, k=16, tol=1e-2)
+    il = ilut_crtp(A, k=16, tol=1e-2,
+                   estimated_iterations=max(lu.iterations, 1))
+    qb = randqb_ei(A, k=16, tol=1e-2)
+    return A, lu, il, qb
+
+
+def test_lu_report_structure(problem):
+    A, lu, _, _ = problem
+    rep = simulate_lu_crtp(lu, 8)
+    assert rep.nprocs == 8
+    assert rep.iterations == lu.iterations
+    assert rep.total_seconds > 0
+    for kernel in ("col_qr_tp", "sparse_qr", "row_qr_tp", "permute_rows",
+                   "solve", "schur"):
+        assert kernel in rep.kernel_seconds
+
+
+def test_lu_initial_scaling(problem):
+    """T(P) decreases over the first doublings (the Fig. 4 rising part)."""
+    _, lu, _, _ = problem
+    t1 = simulate_lu_crtp(lu, 1).total_seconds
+    t4 = simulate_lu_crtp(lu, 4).total_seconds
+    assert t4 < t1
+
+
+def test_lu_scaling_saturates(problem):
+    """At very large P the log(P) global stage dominates and speedup
+    flattens/declines (Fig. 4 'the deterministic methods do not scale
+    anymore')."""
+    _, lu, _, _ = problem
+    times = [simulate_lu_crtp(lu, p).total_seconds
+             for p in (1, 4, 16, 64, 256, 1024, 4096)]
+    best = int(np.argmin(times))
+    assert best < 6  # the optimum is NOT at the largest P
+    assert times[-1] > times[best]
+
+
+def test_ilut_faster_than_lu_on_fill_heavy(problem):
+    """ILUT's (smaller) trace must yield lower modeled time (the Fig. 5
+    LU-vs-ILUT gap and the Table II speedups)."""
+    _, lu, il, _ = problem
+    for p in (4, 64):
+        t_lu = simulate_lu_crtp(lu, p).total_seconds
+        t_il = simulate_ilut_crtp(il, p).total_seconds
+        assert t_il < t_lu
+
+
+def test_ilut_has_threshold_kernel(problem):
+    _, _, il, _ = problem
+    rep = simulate_ilut_crtp(il, 8)
+    assert "threshold" in rep.kernel_seconds
+
+
+def test_randqb_report(problem):
+    A, _, _, qb = problem
+    rep = simulate_randqb_ei(qb, A, 8, k=16, power=0)
+    assert rep.iterations == qb.iterations
+    for kernel in ("spmm", "tsqr", "bk_update"):
+        assert kernel in rep.kernel_seconds
+
+
+def test_randqb_power_costs_more(problem):
+    A, _, _, qb = problem
+    t0 = simulate_randqb_ei(qb, A, 8, k=16, power=0).total_seconds
+    t2 = simulate_randqb_ei(qb, A, 8, k=16, power=2).total_seconds
+    assert t2 > 1.5 * t0  # cost roughly proportional to p+1 (Section IV)
+
+
+def test_randqb_scales_further_than_lu(problem):
+    """The paper's central scaling observation: RandQB_EI keeps scaling at
+    process counts where LU_CRTP has saturated."""
+    A, lu, _, qb = problem
+    lu_curve = ScalingCurve.from_reports(
+        "lu", strong_scaling(lambda p: simulate_lu_crtp(lu, p),
+                             [1, 4, 16, 64, 256, 1024]))
+    qb_curve = ScalingCurve.from_reports(
+        "qb", strong_scaling(lambda p: simulate_randqb_ei(qb, A, p, k=16),
+                             [1, 4, 16, 64, 256, 1024]))
+    assert qb_curve.saturation_nprocs() >= lu_curve.saturation_nprocs()
+
+
+def test_machine_model_scales_times(problem):
+    _, lu, _, _ = problem
+    slow = MachineModel(gamma_flop=2e-9)
+    fast = MachineModel(gamma_flop=2e-10)
+    ts = simulate_lu_crtp(lu, 4, machine=slow).total_seconds
+    tf = simulate_lu_crtp(lu, 4, machine=fast).total_seconds
+    assert ts > tf
+
+
+def test_scaling_curve_helpers(problem):
+    _, lu, _, _ = problem
+    reports = strong_scaling(lambda p: simulate_lu_crtp(lu, p), [1, 2, 4])
+    curve = ScalingCurve.from_reports("LU_CRTP", reports)
+    assert curve.speedups[0] == pytest.approx(1.0)
+    assert len(curve.efficiency) == 3
+    txt = speedup_table([curve])
+    assert "LU_CRTP" in txt and "np" in txt
+
+
+def test_speedup_table_mismatched_sweeps():
+    c1 = ScalingCurve("a", [1, 2], [2.0, 1.0])
+    c2 = ScalingCurve("b", [1, 4], [2.0, 1.0])
+    with pytest.raises(ValueError):
+        speedup_table([c1, c2])
+
+
+def test_dominant_kernel_is_col_tournament_at_small_p(problem):
+    """Fig. 5: 'Applying QR_TP on the columns of the input dominates the
+    cost of LU_CRTP' (at small np)."""
+    _, lu, _, _ = problem
+    rep = simulate_lu_crtp(lu, 4)
+    assert rep.dominant_kernel() in ("col_qr_tp", "schur")
+
+
+def test_machine_presets_change_saturation(problem):
+    """Ethernet-grade communication pulls the LU saturation point earlier
+    than the HPC preset (the docs/parallel_model.md claim)."""
+    from repro.parallel.machine import MachineModel
+    from repro.parallel.report import ScalingCurve
+    _, lu, _, _ = problem
+    ps = [1, 2, 4, 8, 16, 32, 64]
+
+    def curve(machine):
+        reports = [simulate_lu_crtp(lu, p, machine=machine) for p in ps]
+        return ScalingCurve.from_reports("lu", reports)
+
+    hpc = curve(MachineModel.hpc_cluster())
+    eth = curve(MachineModel.ethernet_cluster())
+    assert eth.saturation_nprocs() <= hpc.saturation_nprocs()
+
+
+def test_report_dominant_kernel(problem):
+    _, lu, _, _ = problem
+    rep = simulate_lu_crtp(lu, 4)
+    dom = rep.dominant_kernel()
+    assert dom in rep.kernel_seconds
+    assert rep.kernel_seconds[dom] == max(rep.kernel_seconds.values())

@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Strategy helpers generate small random sparse matrices with varied shapes,
+densities and magnitude ranges; properties assert the algebraic identities
+every solver and kernel must satisfy regardless of input.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg.norms import fro_norm, fro_norm_sq
+from repro.linalg.orth import orth
+from repro.linalg.qrcp import qrcp
+from repro.linalg.tsqr import tsqr
+from repro.sparse.thresholding import drop_small, drop_sorted_budget
+from repro.sparse.utils import density, ensure_csc
+
+
+@st.composite
+def sparse_matrices(draw, max_dim=24):
+    m = draw(st.integers(2, max_dim))
+    n = draw(st.integers(2, max_dim))
+    seed = draw(st.integers(0, 2 ** 16))
+    dens = draw(st.floats(0.05, 0.6))
+    scale = draw(st.sampled_from([1e-6, 1.0, 1e6]))
+    rng = np.random.default_rng(seed)
+    A = sp.random(m, n, density=dens, random_state=rng,
+                  data_rvs=rng.standard_normal) * scale
+    return A.tocsc()
+
+
+@st.composite
+def dense_tall(draw):
+    m = draw(st.integers(4, 40))
+    c = draw(st.integers(1, min(m, 8)))
+    seed = draw(st.integers(0, 2 ** 16))
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((m, c))
+
+
+@given(sparse_matrices())
+@settings(max_examples=40, deadline=None)
+def test_fro_norm_matches_dense(A):
+    assert abs(fro_norm(A) - np.linalg.norm(A.toarray())) \
+        <= 1e-9 * max(fro_norm(A), 1e-300)
+
+
+@given(sparse_matrices(), st.floats(0.0, 2.0))
+@settings(max_examples=40, deadline=None)
+def test_thresholding_mass_conservation(A, mu_frac):
+    """||A||^2 == ||thresholded||^2 + ||dropped||^2 for any threshold."""
+    mu = mu_frac * (np.max(np.abs(A.data)) if A.nnz else 1.0)
+    res = drop_small(A, mu)
+    lhs = fro_norm_sq(A)
+    rhs = fro_norm_sq(res.matrix) + res.dropped_norm_sq
+    assert abs(lhs - rhs) <= 1e-9 * max(lhs, 1e-300)
+    # every surviving entry is >= mu in magnitude
+    if res.matrix.nnz and mu > 0:
+        assert np.min(np.abs(res.matrix.data)) >= mu
+
+
+@given(sparse_matrices(), st.floats(0.01, 10.0))
+@settings(max_examples=30, deadline=None)
+def test_budget_drop_never_exceeds_phi(A, phi_scale):
+    phi = phi_scale * fro_norm(A) / 10
+    res = drop_sorted_budget(A, phi, 0.0)
+    assert np.sqrt(res.dropped_norm_sq) < phi or res.dropped_nnz == 0
+
+
+@given(dense_tall())
+@settings(max_examples=40, deadline=None)
+def test_orth_always_orthonormal(Y):
+    Q = orth(Y)
+    c = Q.shape[1]
+    assert np.linalg.norm(Q.T @ Q - np.eye(c)) < 1e-8
+
+
+@given(dense_tall())
+@settings(max_examples=40, deadline=None)
+def test_qrcp_reconstruction_property(A):
+    Q, R, piv = qrcp(A)
+    assert np.linalg.norm(A[:, piv] - Q @ R) <= \
+        1e-9 * max(np.linalg.norm(A), 1e-300)
+    d = np.abs(np.diag(R))
+    assert np.all(d[:-1] >= d[1:] - 1e-9 * max(d[0], 1e-300))
+
+
+@given(dense_tall(), st.integers(2, 6))
+@settings(max_examples=30, deadline=None)
+def test_tsqr_any_blocking(A, blk_mult):
+    c = A.shape[1]
+    if A.shape[0] < c:
+        return
+    Q, R = tsqr(A, block_rows=max(c, blk_mult))
+    assert np.linalg.norm(Q @ R - A) <= 1e-8 * max(np.linalg.norm(A), 1e-300)
+
+
+@given(sparse_matrices(max_dim=20), st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_tournament_perm_property(A, k):
+    from repro.pivoting.tournament import qr_tp
+    res = qr_tp(A, k)
+    n = A.shape[1]
+    assert sorted(res.perm.tolist()) == list(range(n))
+    assert res.winners.size == min(k, n)
+
+
+@given(sparse_matrices(max_dim=20))
+@settings(max_examples=20, deadline=None)
+def test_colamd_permutation_property(A):
+    from repro.ordering.colamd import colamd
+    p = colamd(A)
+    assert sorted(p.tolist()) == list(range(A.shape[1]))
+
+
+@given(sparse_matrices(max_dim=16))
+@settings(max_examples=15, deadline=None)
+def test_lu_crtp_indicator_equals_error(A):
+    """The load-bearing identity of the paper's LU_CRTP adaptation:
+    indicator (9) == true permuted error, for arbitrary inputs."""
+    from repro import lu_crtp
+    res = lu_crtp(A, k=4, tol=0.5, max_rank=min(A.shape))
+    if res.rank == 0:
+        return
+    true = res.error(A)
+    rel = res.relative_indicator()
+    assert abs(true - rel) <= 1e-6 * max(rel, 1e-9) + 1e-9
+
+
+@given(sparse_matrices(max_dim=16), st.integers(0, 1))
+@settings(max_examples=15, deadline=None)
+def test_randqb_indicator_never_underestimates_grossly(A, p):
+    from repro import randqb_ei
+    res = randqb_ei(A, k=4, tol=0.5, power=p, max_rank=min(A.shape))
+    true = res.error(A)
+    rel = res.relative_indicator()
+    # identity holds up to cancellation at machine-precision level
+    assert abs(true - rel) <= 1e-6 + 1e-4 * max(true, rel)
+
+
+@given(sparse_matrices())
+@settings(max_examples=30, deadline=None)
+def test_density_bounds(A):
+    d = density(A)
+    assert 0.0 <= d <= 1.0
+
+
+@given(st.integers(1, 50), st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_block_ranges_partition(n, p):
+    from repro.parallel.distribution import block_ranges
+    r = block_ranges(n, p)
+    assert r[0][0] == 0 and r[-1][1] == n
+    for (a, b), (c, d) in zip(r, r[1:]):
+        assert b == c
+    sizes = [hi - lo for lo, hi in r]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(dense_tall())
+@settings(max_examples=30, deadline=None)
+def test_cholqr2_reconstruction_property(B):
+    from repro.linalg.cholqr import cholqr2
+    Q, R, _ = cholqr2(B)
+    assert np.linalg.norm(Q @ R - B) <= 1e-7 * max(np.linalg.norm(B), 1e-300)
+
+
+@given(dense_tall())
+@settings(max_examples=20, deadline=None)
+def test_jacobi_svd_property(A):
+    from repro.linalg.bidiag_svd import jacobi_svd
+    U, s, Vt = jacobi_svd(A)
+    ref = np.linalg.svd(A, compute_uv=False)
+    assert np.allclose(s, ref, atol=1e-8 * max(ref[0] if len(ref) else 1.0,
+                                               1e-300))
+
+
+@given(dense_tall(), st.integers(2, 16))
+@settings(max_examples=20, deadline=None)
+def test_blocked_qr_property(A, block):
+    from repro.linalg.wy import blocked_qr
+    Q, R = blocked_qr(A, block=block)
+    assert np.linalg.norm(Q @ R - A) <= 1e-8 * max(np.linalg.norm(A), 1e-300)
+    p = Q.shape[1]
+    assert np.linalg.norm(Q.T @ Q - np.eye(p)) < 1e-8
+
+
+@given(sparse_matrices(max_dim=20))
+@settings(max_examples=20, deadline=None)
+def test_mmio_roundtrip_property(A):
+    import io
+    from repro.matrices.mmio import read_matrix_market, write_matrix_market
+    buf = io.StringIO()
+    write_matrix_market(A, buf)
+    buf.seek(0)
+    B = read_matrix_market(buf)
+    assert (A != B).nnz == 0
+
+
+@given(sparse_matrices(max_dim=18), st.integers(1, 5))
+@settings(max_examples=15, deadline=None)
+def test_fixed_rank_qb_rank_property(A, rank):
+    from repro.core.fixed_rank import fixed_rank_qb
+    r = min(rank, min(A.shape))
+    res = fixed_rank_qb(A, r, k=max(r // 2, 1))
+    assert res.rank == r

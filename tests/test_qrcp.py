@@ -1,0 +1,117 @@
+"""Tests for repro.linalg.qrcp (Householder QR, QRCP, strong RRQR)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.qrcp import _qrcp_native, householder_qr, qrcp, strong_rrqr
+from repro.linalg.triangular import solve_upper
+
+
+def graded(rng, m, n, cond=1e8):
+    U, _ = np.linalg.qr(rng.standard_normal((m, n)))
+    V, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    s = np.logspace(0, -np.log10(cond), n)
+    return U @ np.diag(s) @ V.T
+
+
+def test_householder_qr_reconstruction(rng):
+    A = rng.standard_normal((25, 10))
+    Q, R = householder_qr(A)
+    np.testing.assert_allclose(Q @ R, A, atol=1e-12)
+    assert np.linalg.norm(Q.T @ Q - np.eye(10)) < 1e-12
+    assert np.allclose(R, np.triu(R))
+
+
+def test_householder_qr_wide(rng):
+    A = rng.standard_normal((6, 14))
+    Q, R = householder_qr(A)
+    assert Q.shape == (6, 6)
+    assert R.shape == (6, 14)
+    np.testing.assert_allclose(Q @ R, A, atol=1e-12)
+
+
+@pytest.mark.parametrize("engine", ["lapack", "native"])
+def test_qrcp_reconstruction_and_monotone_diag(rng, engine):
+    A = graded(rng, 30, 12)
+    Q, R, piv = qrcp(A, engine=engine)
+    np.testing.assert_allclose(Q @ R, A[:, piv], atol=1e-10)
+    d = np.abs(np.diag(R))
+    assert np.all(d[:-1] >= d[1:] - 1e-12)
+
+
+def test_qrcp_native_matches_lapack_pivots(rng):
+    A = graded(rng, 40, 10, cond=1e6)
+    _, _, piv_l = qrcp(A, engine="lapack")
+    _, _, piv_n = qrcp(A, engine="native")
+    np.testing.assert_array_equal(piv_l, piv_n)
+
+
+def test_qrcp_truncated_native(rng):
+    A = graded(rng, 30, 12)
+    Q, R, piv = qrcp(A, k=5, engine="native")
+    assert Q.shape == (30, 5)
+    assert R.shape == (5, 12)
+    # leading 5 columns exactly reproduced
+    np.testing.assert_allclose(Q @ R[:, :5], A[:, piv[:5]], atol=1e-10)
+
+
+def test_qrcp_want_q_false(rng):
+    A = graded(rng, 20, 8)
+    Qn, R, piv = qrcp(A, want_q=False)
+    assert Qn is None
+    Q2, R2, piv2 = qrcp(A)
+    np.testing.assert_array_equal(piv, piv2)
+    np.testing.assert_allclose(np.abs(R), np.abs(R2), atol=1e-10)
+
+
+def test_qrcp_rank_deficient(rng):
+    A = rng.standard_normal((20, 4)) @ rng.standard_normal((4, 10))
+    Q, R, piv = qrcp(A)
+    d = np.abs(np.diag(R))
+    assert np.all(d[4:] < 1e-10 * d[0])
+    np.testing.assert_allclose(Q @ R, A[:, piv], atol=1e-10)
+
+
+def test_qrcp_zero_matrix():
+    A = np.zeros((8, 5))
+    Q, R, piv = qrcp(A)
+    assert np.allclose(R, 0)
+    assert sorted(piv.tolist()) == list(range(5))
+
+
+def test_qrcp_pivot_reveals_dominant_column(rng):
+    A = rng.standard_normal((15, 6))
+    A[:, 3] *= 100.0
+    _, _, piv = qrcp(A)
+    assert piv[0] == 3
+
+
+def test_strong_rrqr_bounded_interaction(rng):
+    # Kahan-like matrix: classical QRCP pivots are fine but strong RRQR
+    # must certify |R11^{-1} R12| <= f
+    from repro.matrices.generators import kahan_matrix
+    A = kahan_matrix(40, theta=1.25).toarray()
+    k = 10
+    Q, R, piv = strong_rrqr(A, k, f=2.0)
+    np.testing.assert_allclose(Q @ R, A[:, piv], atol=1e-9)
+    W = solve_upper(R[:k, :k], R[:k, k:])
+    assert np.max(np.abs(W)) <= 2.0 + 1e-8
+
+
+def test_strong_rrqr_k_equals_n(rng):
+    A = rng.standard_normal((12, 6))
+    Q, R, piv = strong_rrqr(A, 6)
+    np.testing.assert_allclose(Q @ R, A[:, piv], atol=1e-10)
+
+
+def test_strong_rrqr_invalid_k():
+    with pytest.raises(ValueError):
+        strong_rrqr(np.eye(4), 0)
+
+
+def test_strong_rrqr_detects_rank(rng):
+    A = rng.standard_normal((30, 5)) @ rng.standard_normal((5, 20))
+    Q, R, piv = strong_rrqr(A, 5, f=2.0)
+    d = np.abs(np.diag(R))
+    assert d[4] > 1e-8 * d[0]
+    assert np.all(d[5:] < 1e-8 * d[0])

@@ -1,0 +1,113 @@
+"""Tests for repro.linalg.random_gen (sketching operators)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg.random_gen import (
+    SketchKind,
+    gaussian,
+    make_sketch,
+    rademacher,
+    sparse_sign,
+)
+
+
+def test_gaussian_shape_and_moments(rng):
+    O = gaussian(2000, 3, rng)
+    assert O.shape == (2000, 3)
+    assert abs(O.mean()) < 0.05
+    assert O.std() == pytest.approx(1.0, abs=0.05)
+
+
+def test_rademacher_entries(rng):
+    O = rademacher(50, 4, rng)
+    assert set(np.unique(O)) <= {-1.0, 1.0}
+
+
+def test_sparse_sign_structure(rng):
+    O = sparse_sign(100, 8, rng, density_rows=8)
+    assert sp.issparse(O)
+    assert O.shape == (100, 8)
+    col_nnz = np.diff(O.tocsc().indptr)
+    assert np.all(col_nnz == 8)
+
+
+def test_sparse_sign_small_n(rng):
+    O = sparse_sign(4, 3, rng, density_rows=8)  # zeta clamped to n
+    assert np.all(np.diff(O.tocsc().indptr) == 4)
+
+
+def test_make_sketch_dispatch(rng):
+    for kind in SketchKind:
+        O = make_sketch(kind, 30, 5, rng)
+        assert O.shape == (30, 5)
+    O = make_sketch("gaussian", 10, 2, rng)
+    assert O.shape == (10, 2)
+
+
+def test_make_sketch_unknown(rng):
+    with pytest.raises(ValueError):
+        make_sketch("bogus", 10, 2, rng)
+
+
+def test_sketch_preserves_norms_statistically(rng):
+    """E||A Omega||_F^2 = k ||A||_F^2 / ... sketches are isotropic."""
+    A = rng.standard_normal((20, 200))
+    a2 = np.linalg.norm(A) ** 2
+    for kind in (SketchKind.GAUSSIAN, SketchKind.RADEMACHER):
+        vals = []
+        for seed in range(20):
+            O = make_sketch(kind, 200, 10, np.random.default_rng(seed))
+            vals.append(np.linalg.norm(A @ O) ** 2 / 10)
+        assert np.mean(vals) == pytest.approx(a2, rel=0.2)
+
+
+def test_fwht_matches_explicit_hadamard(rng):
+    from repro.linalg.random_gen import fwht
+    n = 16
+    H = np.array([[1.0]])
+    while H.shape[0] < n:
+        H = np.block([[H, H], [H, -H]])
+    x = rng.standard_normal((n, 3))
+    np.testing.assert_allclose(fwht(x), H @ x, atol=1e-12)
+
+
+def test_fwht_orthogonality(rng):
+    from repro.linalg.random_gen import fwht
+    x = rng.standard_normal(32)
+    y = fwht(x) / np.sqrt(32)
+    assert np.linalg.norm(y) == pytest.approx(np.linalg.norm(x))
+
+
+def test_fwht_requires_power_of_two(rng):
+    from repro.linalg.random_gen import fwht
+    with pytest.raises(ValueError):
+        fwht(rng.standard_normal(12))
+
+
+def test_srht_shape_and_isotropy():
+    from repro.linalg.random_gen import srht
+    acc = np.zeros((12, 12))
+    trials = 200
+    for s in range(trials):
+        O = srht(12, 6, np.random.default_rng(s))
+        assert O.shape == (12, 6)
+        acc += O @ O.T / trials
+    assert np.linalg.norm(acc - np.eye(12)) / np.sqrt(12) < 0.2
+
+
+def test_srht_non_power_of_two_n():
+    from repro.linalg.random_gen import srht
+    O = srht(13, 4, np.random.default_rng(0))
+    assert O.shape == (13, 4)
+    assert np.all(np.isfinite(O))
+
+
+def test_srht_in_randqb():
+    from repro import randqb_ei
+    from repro.matrices.generators import random_graded
+    A = random_graded(100, 100, nnz_per_row=6, decay_rate=8.0, seed=2)
+    res = randqb_ei(A, k=8, tol=1e-2, sketch="srht")
+    assert res.converged
+    assert res.error(A) < 1e-2

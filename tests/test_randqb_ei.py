@@ -1,0 +1,130 @@
+"""Tests for repro.core.randqb_ei (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro import RandQB_EI, randqb_ei
+from repro.exceptions import ToleranceTooSmallError
+
+
+def test_converges_and_indicator_is_exact(small_sparse):
+    res = randqb_ei(small_sparse, k=8, tol=1e-2)
+    assert res.converged
+    assert res.relative_indicator() < 1e-2
+    # indicator (4) equals the true Frobenius error
+    assert res.error(small_sparse) == pytest.approx(
+        res.relative_indicator(), rel=1e-6)
+
+
+def test_rank_is_multiple_of_block(small_sparse):
+    res = randqb_ei(small_sparse, k=8, tol=1e-2)
+    assert res.rank % 8 == 0
+    assert res.rank == res.iterations * 8
+
+
+def test_q_orthonormal(small_sparse):
+    res = randqb_ei(small_sparse, k=8, tol=1e-2)
+    assert res.orthogonality_defect() < 1e-10
+
+
+def test_b_equals_qta(small_sparse):
+    res = randqb_ei(small_sparse, k=8, tol=1e-2)
+    np.testing.assert_allclose(res.B, res.Q.T @ small_sparse.toarray(),
+                               atol=1e-8)
+
+
+def test_power_scheme_reduces_iterations(rng):
+    """p >= 1 needs at most as many iterations as p = 0 (Table II trend)."""
+    from repro.matrices.generators import random_graded
+    A = random_graded(150, 150, nnz_per_row=8, decay_rate=3.0, seed=1)
+    its = {}
+    for p in (0, 1, 2):
+        its[p] = randqb_ei(A, k=8, tol=1e-2, power=p).iterations
+    assert its[1] <= its[0]
+    assert its[2] <= its[1] + 1  # p=2 may tie p=1
+
+
+def test_history_indicator_monotone(small_sparse):
+    res = randqb_ei(small_sparse, k=4, tol=1e-2)
+    ind = res.history.indicators
+    assert all(a >= b - 1e-9 for a, b in zip(ind, ind[1:]))
+
+
+def test_seed_reproducibility(small_sparse):
+    r1 = randqb_ei(small_sparse, k=8, tol=1e-2, seed=11)
+    r2 = randqb_ei(small_sparse, k=8, tol=1e-2, seed=11)
+    np.testing.assert_array_equal(r1.Q, r2.Q)
+    r3 = randqb_ei(small_sparse, k=8, tol=1e-2, seed=12)
+    assert not np.array_equal(r1.Q, r3.Q)
+
+
+def test_dense_input(rng):
+    A = rng.standard_normal((40, 30)) @ np.diag(np.logspace(0, -4, 30))
+    res = randqb_ei(A, k=5, tol=1e-2)
+    assert res.converged
+    assert res.error(A) < 1e-2
+
+
+def test_rectangular_both_ways(rng):
+    from repro.matrices.generators import random_graded
+    for shape in ((100, 40), (40, 100)):
+        A = random_graded(*shape, nnz_per_row=5, decay_rate=5.0, seed=2)
+        res = randqb_ei(A, k=6, tol=1e-2)
+        assert res.converged
+        assert res.Q.shape[0] == shape[0]
+        assert res.B.shape[1] == shape[1]
+
+
+def test_tolerance_floor_enforced(small_sparse):
+    with pytest.raises(ToleranceTooSmallError):
+        randqb_ei(small_sparse, k=8, tol=1e-9)
+    res = randqb_ei(small_sparse, k=8, tol=1e-9,
+                    allow_unsafe_tolerance=True, max_rank=16)
+    assert not res.converged
+
+
+def test_max_rank_cap(small_sparse):
+    res = randqb_ei(small_sparse, k=8, tol=1e-6, max_rank=16)
+    assert res.rank <= 16
+    assert not res.converged
+
+
+def test_raise_on_failure(small_sparse):
+    from repro.exceptions import ConvergenceError
+    with pytest.raises(ConvergenceError):
+        randqb_ei(small_sparse, k=8, tol=1e-6, max_rank=8,
+                  raise_on_failure=True)
+
+
+def test_rank_never_exceeds_min_dim(rank_deficient):
+    res = randqb_ei(rank_deficient, k=16, tol=1e-3)
+    assert res.rank <= 50
+    assert res.converged
+
+
+def test_to_svd(small_sparse):
+    res = randqb_ei(small_sparse, k=8, tol=1e-2)
+    U, s, Vt = res.to_svd()
+    approx = (U * s) @ Vt
+    np.testing.assert_allclose(approx, res.Q @ res.B, atol=1e-8)
+    assert np.all(np.diff(s) <= 1e-12)
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        RandQB_EI(k=0)
+    with pytest.raises(ValueError):
+        RandQB_EI(power=5)
+
+
+def test_sparse_sign_sketch(small_sparse):
+    res = randqb_ei(small_sparse, k=8, tol=1e-2, sketch="sparse_sign")
+    assert res.converged
+    assert res.error(small_sparse) < 1e-2
+
+
+def test_apply_matches_reconstruct(small_sparse, rng):
+    res = randqb_ei(small_sparse, k=8, tol=1e-2)
+    x = rng.standard_normal(60)
+    np.testing.assert_allclose(res.apply(x), res.reconstruct() @ x,
+                               atol=1e-8)

@@ -1,0 +1,86 @@
+"""Tests for repro.core.randubv (block Golub-Kahan comparator)."""
+
+import numpy as np
+import pytest
+
+from repro import RandUBV, randubv
+from repro.exceptions import ToleranceTooSmallError
+
+
+def test_converges_and_indicator_matches_error(small_sparse):
+    res = randubv(small_sparse, k=8, tol=1e-2)
+    assert res.converged
+    assert res.relative_indicator() < 1e-2
+    assert res.error(small_sparse) == pytest.approx(
+        res.relative_indicator(), rel=1e-4)
+
+
+def test_factors_orthonormal(small_sparse):
+    res = randubv(small_sparse, k=8, tol=1e-2)
+    K = res.U.shape[1]
+    nV = res.V.shape[1]
+    assert np.linalg.norm(res.U.T @ res.U - np.eye(K)) < 1e-8
+    assert np.linalg.norm(res.V.T @ res.V - np.eye(nV)) < 1e-8
+
+
+def test_b_is_block_bidiagonal(small_sparse):
+    res = RandUBV(k=4, tol=1e-2).solve(small_sparse)
+    B = res.Bmat
+    k = 4
+    nb = B.shape[0] // k
+    for i in range(nb):
+        for j in range(B.shape[1] // k):
+            blk = B[i * k:(i + 1) * k, j * k:(j + 1) * k]
+            if j < i or j > i + 1:
+                assert np.allclose(blk, 0.0), (i, j)
+
+
+def test_b_equals_ut_a_v(small_sparse):
+    res = randubv(small_sparse, k=8, tol=1e-2)
+    Bref = res.U.T @ small_sparse.toarray() @ res.V
+    np.testing.assert_allclose(res.Bmat, Bref, atol=1e-7)
+
+
+def test_fewer_or_equal_iterations_than_randqb_p0(rng):
+    """The Table II trend: its_UBV <= its_p0 (UBV's two-sided products act
+    like a half power iteration)."""
+    from repro import randqb_ei
+    from repro.matrices.generators import random_graded
+    A = random_graded(150, 150, nnz_per_row=8, decay_rate=3.0, seed=4)
+    ubv = randubv(A, k=8, tol=1e-2)
+    qb0 = randqb_ei(A, k=8, tol=1e-2, power=0)
+    assert ubv.iterations <= qb0.iterations
+
+
+def test_seed_reproducibility(small_sparse):
+    r1 = randubv(small_sparse, k=8, tol=1e-2, seed=3)
+    r2 = randubv(small_sparse, k=8, tol=1e-2, seed=3)
+    np.testing.assert_array_equal(r1.U, r2.U)
+
+
+def test_rectangular(rng):
+    from repro.matrices.generators import random_graded
+    A = random_graded(90, 50, nnz_per_row=5, decay_rate=5.0, seed=8)
+    res = randubv(A, k=6, tol=1e-2)
+    assert res.converged
+    assert res.error(A) < 1e-2
+
+
+def test_tolerance_floor(small_sparse):
+    with pytest.raises(ToleranceTooSmallError):
+        randubv(small_sparse, k=8, tol=1e-9)
+
+
+def test_max_rank_cap(small_sparse):
+    res = randubv(small_sparse, k=8, tol=1e-6, max_rank=16)
+    assert res.rank <= 16
+
+
+def test_invalid_k():
+    with pytest.raises(ValueError):
+        RandUBV(k=0)
+
+
+def test_factor_nnz_counts_all_three(small_sparse):
+    res = randubv(small_sparse, k=8, tol=1e-2)
+    assert res.factor_nnz() == res.U.size + res.Bmat.size + res.V.size

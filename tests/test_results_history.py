@@ -1,0 +1,90 @@
+"""Tests for repro.results and repro.history containers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.history import ConvergenceHistory, IterationRecord
+from repro.results import LUApproximation, QBApproximation
+
+
+def test_iteration_record_density():
+    r = IterationRecord(iteration=1, rank=8, indicator=0.5,
+                        schur_nnz=50, schur_shape=(10, 10))
+    assert r.schur_density == pytest.approx(0.5)
+    r0 = IterationRecord(iteration=1, rank=8, indicator=0.5)
+    assert r0.schur_density == 0.0
+
+
+def test_history_accessors():
+    h = ConvergenceHistory()
+    for i in range(3):
+        h.append(IterationRecord(iteration=i + 1, rank=(i + 1) * 4,
+                                 indicator=1.0 / (i + 1),
+                                 schur_nnz=10 * (i + 1),
+                                 schur_shape=(10, 10),
+                                 dropped_nnz=i))
+    assert len(h) == 3
+    assert h.iterations == 3
+    assert h.final_rank == 12
+    assert h.indicators == [1.0, 0.5, pytest.approx(1 / 3)]
+    assert h.max_schur_density == pytest.approx(0.3)
+    assert h.total_dropped_nnz == 3
+    assert h[1].rank == 8
+    assert [r.iteration for r in h] == [1, 2, 3]
+
+
+def test_qb_result_interface(rng):
+    Q, _ = np.linalg.qr(rng.standard_normal((20, 5)))
+    A = rng.standard_normal((20, 15))
+    B = Q.T @ A
+    res = QBApproximation(rank=5, tolerance=1e-2, indicator=1.0,
+                          a_fro=np.linalg.norm(A), converged=True, Q=Q, B=B)
+    assert res.left is Q
+    assert res.right is B
+    assert res.factor_nnz() == Q.size + B.size
+    np.testing.assert_allclose(res.reconstruct(), Q @ B)
+    x = rng.standard_normal(15)
+    np.testing.assert_allclose(res.apply(x), Q @ (B @ x))
+
+
+def test_relative_indicator_zero_norm():
+    res = QBApproximation(rank=0, tolerance=1e-2, indicator=0.0, a_fro=0.0,
+                          converged=True, Q=np.zeros((3, 0)),
+                          B=np.zeros((0, 3)))
+    assert res.relative_indicator() == 0.0
+
+
+def test_lu_result_error_uses_permutations(small_sparse):
+    from repro import lu_crtp
+    res = lu_crtp(small_sparse, k=8, tol=1e-2)
+    # error() permutes A before comparing; an unpermuted comparison would be
+    # wildly larger
+    Ad = small_sparse.toarray()
+    raw = np.linalg.norm(Ad - res.reconstruct()) / np.linalg.norm(Ad)
+    assert res.error(small_sparse) < raw or np.allclose(
+        res.row_perm, np.arange(60))
+
+
+def test_lu_permutation_matrices_orthogonal(small_sparse):
+    from repro import lu_crtp
+    res = lu_crtp(small_sparse, k=8, tol=1e-2)
+    Pr, Pc = res.permutation_matrices()
+    I1 = (Pr @ Pr.T).toarray()
+    I2 = (Pc @ Pc.T).toarray()
+    np.testing.assert_allclose(I1, np.eye(60))
+    np.testing.assert_allclose(I2, np.eye(60))
+
+
+def test_solver_callbacks_fire_once_per_iteration(small_sparse):
+    """The per-iteration callback hook receives every history record, in
+    order, for all four solvers."""
+    from repro import ILUT_CRTP, LU_CRTP, RandQB_EI, RandUBV
+    for solver_cls, kwargs in (
+            (RandQB_EI, {}), (RandUBV, {}), (LU_CRTP, {}),
+            (ILUT_CRTP, {"estimated_iterations": 3})):
+        seen = []
+        res = solver_cls(k=8, tol=1e-1, callback=seen.append,
+                         **kwargs).solve(small_sparse)
+        assert len(seen) == res.iterations, solver_cls.__name__
+        assert [r.rank for r in seen] == [r.rank for r in res.history]

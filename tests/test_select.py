@@ -1,0 +1,95 @@
+"""Tests for repro.pivoting.select (one tournament match)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.pivoting.select import SelectionResult, select_columns, selection_flops
+
+
+def graded_block(rng, m=50, c=10, cond=1e6):
+    U, _ = np.linalg.qr(rng.standard_normal((m, c)))
+    V, _ = np.linalg.qr(rng.standard_normal((c, c)))
+    s = np.logspace(0, -np.log10(cond), c)
+    return U @ np.diag(s) @ V.T
+
+
+def test_gram_and_dense_agree(rng):
+    B = graded_block(rng, cond=1e4)
+    Bs = sp.csc_matrix(B)
+    g = select_columns(Bs, 4, method="gram")
+    d = select_columns(Bs, 4, method="dense")
+    assert set(g.winners.tolist()) == set(d.winners.tolist())
+
+
+def test_winners_capture_dominant_columns(rng):
+    B = rng.standard_normal((40, 8))
+    B[:, 2] *= 1000
+    B[:, 6] *= 500
+    sel = select_columns(sp.csc_matrix(B), 2)
+    assert set(sel.winners.tolist()) == {2, 6}
+
+
+def test_selection_quality_vs_svd(rng):
+    """Selected columns approximate the dominant subspace: the residual of
+    projecting onto them is within a modest factor of the optimal."""
+    B = graded_block(rng, m=60, c=12, cond=1e8)
+    k = 4
+    sel = select_columns(sp.csc_matrix(B), k)
+    C = B[:, sel.winners]
+    Q, _ = np.linalg.qr(C)
+    resid = np.linalg.norm(B - Q @ (Q.T @ B), 2)
+    s = np.linalg.svd(B, compute_uv=False)
+    assert resid <= 20 * s[k]  # RRQR guarantee up to a polynomial factor
+
+
+def test_k_larger_than_width(rng):
+    B = sp.csc_matrix(rng.standard_normal((10, 3)))
+    sel = select_columns(B, 7)
+    assert sel.k == 3
+    assert sorted(sel.winners.tolist()) == [0, 1, 2]
+
+
+def test_empty_block():
+    sel = select_columns(sp.csc_matrix((5, 0)), 3)
+    assert sel.k == 0
+    assert sel.order.size == 0
+
+
+def test_rank_deficient_uses_fallback(rank_deficient):
+    B = rank_deficient[:, :30]  # rank <= 12 < 30 columns
+    sel = select_columns(B, 10)
+    assert sel.used_fallback
+    assert sel.winners.size == 10
+
+
+def test_r_diag_estimates_two_norm(rng):
+    B = graded_block(rng)
+    sel = select_columns(sp.csc_matrix(B), 3)
+    two_norm = np.linalg.norm(B, 2)
+    # bound (23): R(1,1) <= ||B||_2, and for QRCP >= ||B||_2 / sqrt(c)
+    assert sel.r_diag[0] <= two_norm + 1e-9
+    assert sel.r_diag[0] >= two_norm / np.sqrt(B.shape[1]) - 1e-9
+
+
+def test_strong_selection(rng):
+    B = graded_block(rng)
+    sel = select_columns(sp.csc_matrix(B), 4, strong=True)
+    assert sel.winners.size == 4
+
+
+def test_dense_input_accepted(rng):
+    B = rng.standard_normal((20, 6))
+    sel = select_columns(B, 3)
+    assert sel.winners.size == 3
+
+
+def test_invalid_method(rng):
+    with pytest.raises(ValueError):
+        select_columns(np.eye(4), 2, method="bogus")
+
+
+def test_selection_flops_positive():
+    assert selection_flops(100, 8) > 0
+    assert selection_flops(100, 8, method="dense") > 0
+    assert selection_flops(0, 1) > 0

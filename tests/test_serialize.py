@@ -1,0 +1,66 @@
+"""Tests for repro.serialize (result persistence)."""
+
+import numpy as np
+import pytest
+
+from repro import ilut_crtp, lu_crtp, randqb_ei, randubv
+from repro.serialize import load_result, save_result
+
+
+def roundtrip(result, tmp_path):
+    path = tmp_path / "res.npz"
+    save_result(result, path)
+    return load_result(path)
+
+
+def test_qb_roundtrip(small_sparse, tmp_path):
+    res = randqb_ei(small_sparse, k=8, tol=1e-2)
+    back = roundtrip(res, tmp_path)
+    np.testing.assert_array_equal(back.Q, res.Q)
+    np.testing.assert_array_equal(back.B, res.B)
+    assert back.rank == res.rank
+    assert back.converged == res.converged
+    assert back.indicator == res.indicator
+    assert back.history.iterations == res.history.iterations
+    assert back.error(small_sparse) == pytest.approx(res.error(small_sparse))
+
+
+def test_ubv_roundtrip(small_sparse, tmp_path):
+    res = randubv(small_sparse, k=8, tol=1e-2)
+    back = roundtrip(res, tmp_path)
+    np.testing.assert_array_equal(back.U, res.U)
+    np.testing.assert_array_equal(back.Bmat, res.Bmat)
+    np.testing.assert_array_equal(back.V, res.V)
+
+
+def test_lu_roundtrip(small_sparse, tmp_path):
+    res = lu_crtp(small_sparse, k=8, tol=1e-2)
+    back = roundtrip(res, tmp_path)
+    np.testing.assert_allclose(back.L.toarray(), res.L.toarray())
+    np.testing.assert_allclose(back.U.toarray(), res.U.toarray())
+    np.testing.assert_array_equal(back.row_perm, res.row_perm)
+    np.testing.assert_array_equal(back.col_perm, res.col_perm)
+    assert back.error(small_sparse) == pytest.approx(res.error(small_sparse))
+
+
+def test_ilut_roundtrip_metadata(small_sparse, tmp_path):
+    res = ilut_crtp(small_sparse, k=8, tol=1e-2, estimated_iterations=4)
+    back = roundtrip(res, tmp_path)
+    assert back.threshold == res.threshold
+    assert back.dropped_norm == res.dropped_norm
+    assert back.control_triggered == res.control_triggered
+    drops = [r.dropped_nnz for r in back.history]
+    assert drops == [r.dropped_nnz for r in res.history]
+
+
+def test_history_round_trips(small_sparse, tmp_path):
+    res = lu_crtp(small_sparse, k=8, tol=1e-2)
+    back = roundtrip(res, tmp_path)
+    for a, b in zip(res.history, back.history):
+        assert a.indicator == b.indicator
+        assert a.schur_shape == b.schur_shape
+
+
+def test_unknown_type_raises(tmp_path):
+    with pytest.raises(TypeError):
+        save_result(object(), tmp_path / "x.npz")

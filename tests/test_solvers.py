@@ -1,0 +1,102 @@
+"""Tests for repro.solvers (CGLS and LU-accelerated solves)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import lu_crtp
+from repro.solvers import KrylovResult, cgls, lowrank_accelerated_solve
+
+
+def well_conditioned(rng, m=60, n=40):
+    A = rng.standard_normal((m, n))
+    return sp.csc_matrix(A + 0.0)
+
+
+def test_cgls_consistent_square(rng):
+    A = well_conditioned(rng, 30, 30)
+    x_true = rng.standard_normal(30)
+    b = A @ x_true
+    res = cgls(A, b, tol=1e-12)
+    assert res.converged
+    np.testing.assert_allclose(res.x, x_true, atol=1e-6)
+
+
+def test_cgls_least_squares(rng):
+    A = well_conditioned(rng, 80, 30)
+    b = rng.standard_normal(80)
+    res = cgls(A, b, tol=1e-12)
+    ref = np.linalg.lstsq(A.toarray(), b, rcond=None)[0]
+    np.testing.assert_allclose(res.x, ref, atol=1e-6)
+
+
+def test_cgls_min_norm_on_rank_deficient(rank_deficient):
+    rng = np.random.default_rng(3)
+    b = np.asarray(rank_deficient @ rng.standard_normal(50))
+    res = cgls(rank_deficient, b, tol=1e-10)
+    ref = np.linalg.lstsq(rank_deficient.toarray(), b, rcond=None)[0]
+    np.testing.assert_allclose(res.x, ref, atol=1e-5)
+
+
+def test_cgls_residual_history_decreases(rng):
+    A = well_conditioned(rng)
+    b = rng.standard_normal(60)
+    res = cgls(A, b, tol=1e-10)
+    r = res.residuals
+    assert r[-1] < r[0]
+
+
+def test_cgls_zero_rhs(rng):
+    A = well_conditioned(rng)
+    res = cgls(A, np.zeros(60))
+    assert res.converged
+    assert res.iterations == 0
+    np.testing.assert_allclose(res.x, 0.0)
+
+
+def test_cgls_max_iter_cap(rng):
+    A = well_conditioned(rng)
+    b = rng.standard_normal(60)
+    res = cgls(A, b, tol=1e-14, max_iter=2)
+    assert res.iterations <= 2
+
+
+def test_cgls_warm_start(rng):
+    A = well_conditioned(rng, 40, 40)
+    x_true = rng.standard_normal(40)
+    b = A @ x_true
+    cold = cgls(A, b, tol=1e-10)
+    warm = cgls(A, b, tol=1e-10, x0=x_true + 1e-6)
+    assert warm.iterations <= cold.iterations
+
+
+def test_lowrank_accelerated_solve(rng):
+    """Deflating with the truncated LU pseudo-solution cuts iterations on
+    an ill-conditioned graded matrix."""
+    from repro.matrices.generators import random_graded
+    A = random_graded(150, 150, nnz_per_row=8, decay_rate=10.0, seed=5)
+    b = np.asarray(A @ rng.standard_normal(150))
+    lu = lu_crtp(A, k=16, tol=1e-6)
+    plain = cgls(A, b, tol=1e-6, max_iter=400)
+    accel = lowrank_accelerated_solve(A, b, lu, tol=1e-6, max_iter=400)
+    assert accel.iterations <= plain.iterations
+    resid = np.linalg.norm(A @ accel.x - b) / np.linalg.norm(b)
+    assert resid < 1e-4
+
+
+def test_right_preconditioned_path(rng):
+    from repro.core.apply import as_preconditioner
+    from repro.matrices.generators import random_graded
+    A = random_graded(100, 100, nnz_per_row=8, decay_rate=8.0, seed=6)
+    lu = lu_crtp(A, k=16, tol=1e-8)
+    M = as_preconditioner(lu)
+    b = np.asarray(A @ rng.standard_normal(100))
+    res = cgls(A, b, tol=1e-8, right_inverse=M, max_iter=50)
+    resid = np.linalg.norm(A @ res.x - b) / np.linalg.norm(b)
+    assert resid < 1e-5
+
+
+def test_result_dataclass():
+    r = KrylovResult(x=np.zeros(2), converged=True, iterations=3,
+                     residuals=[0.1])
+    assert r.iterations == 3

@@ -1,0 +1,140 @@
+"""Tests for repro.sparse.ops (permutations, splits, factor assembly)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.ops import (
+    assemble_L_global,
+    assemble_truncated_L,
+    assemble_truncated_U,
+    assemble_U_global,
+    extract_columns,
+    hstack_factors,
+    permute,
+    permute_cols,
+    permute_rows,
+    split_2x2,
+    vstack_factors,
+)
+
+
+def test_permute_rows(small_sparse, rng):
+    perm = rng.permutation(60)
+    P = permute_rows(small_sparse, perm)
+    np.testing.assert_allclose(P.toarray(), small_sparse.toarray()[perm])
+
+
+def test_permute_cols(small_sparse, rng):
+    perm = rng.permutation(60)
+    P = permute_cols(small_sparse, perm)
+    np.testing.assert_allclose(P.toarray(), small_sparse.toarray()[:, perm])
+
+
+def test_permute_both(small_sparse, rng):
+    rp, cp = rng.permutation(60), rng.permutation(60)
+    P = permute(small_sparse, rp, cp)
+    np.testing.assert_allclose(P.toarray(),
+                               small_sparse.toarray()[np.ix_(rp, cp)])
+
+
+def test_permute_none_is_identity(small_sparse):
+    P = permute(small_sparse, None, None)
+    np.testing.assert_allclose(P.toarray(), small_sparse.toarray())
+
+
+def test_split_2x2(small_sparse):
+    A11, A12, A21, A22 = split_2x2(small_sparse, 13)
+    D = small_sparse.toarray()
+    np.testing.assert_allclose(A11.toarray(), D[:13, :13])
+    np.testing.assert_allclose(A12.toarray(), D[:13, 13:])
+    np.testing.assert_allclose(A21.toarray(), D[13:, :13])
+    np.testing.assert_allclose(A22.toarray(), D[13:, 13:])
+
+
+def test_split_invalid_k(small_sparse):
+    with pytest.raises(ValueError):
+        split_2x2(small_sparse, 0)
+    with pytest.raises(ValueError):
+        split_2x2(small_sparse, 61)
+
+
+def test_extract_columns(small_sparse):
+    cols = np.array([5, 2, 40])
+    B = extract_columns(small_sparse, cols)
+    np.testing.assert_allclose(B.toarray(), small_sparse.toarray()[:, cols])
+
+
+def test_hstack_vstack(rng):
+    A = sp.random(6, 3, density=0.5, random_state=np.random.default_rng(0))
+    B = sp.random(6, 2, density=0.5, random_state=np.random.default_rng(1))
+    H = hstack_factors([A, B])
+    assert H.shape == (6, 5)
+    V = vstack_factors([A.T, B.T])
+    assert V.shape == (5, 6)
+    np.testing.assert_allclose(H.toarray(), V.T.toarray())
+
+
+def test_stack_empty_raises():
+    with pytest.raises(ValueError):
+        hstack_factors([])
+    with pytest.raises(ValueError):
+        vstack_factors([])
+
+
+def test_assemble_truncated_L_staircase():
+    # two blocks: (5x2) then (3x2) -> L is 5x4, block 2 starts at row 2
+    b1 = sp.csc_matrix(np.arange(10, dtype=float).reshape(5, 2))
+    b2 = sp.csc_matrix(np.ones((3, 2)))
+    L = assemble_truncated_L([b1, b2], 5)
+    assert L.shape == (5, 4)
+    D = L.toarray()
+    np.testing.assert_allclose(D[:, :2], b1.toarray())
+    np.testing.assert_allclose(D[2:, 2:], b2.toarray())
+    assert np.all(D[:2, 2:] == 0)
+
+
+def test_assemble_truncated_U_staircase():
+    b1 = sp.csr_matrix(np.arange(10, dtype=float).reshape(2, 5))
+    b2 = sp.csr_matrix(np.ones((2, 3)))
+    U = assemble_truncated_U([b1, b2], 5)
+    assert U.shape == (4, 5)
+    D = U.toarray()
+    np.testing.assert_allclose(D[:2], b1.toarray())
+    np.testing.assert_allclose(D[2:, 2:], b2.toarray())
+
+
+def test_assemble_L_global_with_reordering():
+    """Rows recorded under original ids land at final positions."""
+    m = 5
+    # one block spanning rows of a 5-row matrix, created when the active
+    # rows (by original id) were [4, 0, 2, 1, 3]
+    blk = sp.csc_matrix(np.array([[1.0], [2.0], [3.0], [4.0], [5.0]]))
+    ids = np.array([4, 0, 2, 1, 3])
+    final_perm = np.array([4, 1, 0, 2, 3])  # final row order by original id
+    L = assemble_L_global([blk], [ids], final_perm, m)
+    # entry with value v was recorded for original row ids[i]; its final row
+    # is where that id sits in final_perm
+    D = L.toarray()[:, 0]
+    for v, oid in zip([1, 2, 3, 4, 5], ids):
+        final_row = int(np.flatnonzero(final_perm == oid)[0])
+        assert D[final_row] == v
+
+
+def test_assemble_U_global_with_reordering():
+    n = 4
+    blk = sp.csr_matrix(np.array([[1.0, 2.0, 3.0, 4.0]]))
+    ids = np.array([2, 0, 3, 1])
+    final_perm = np.array([2, 3, 0, 1])
+    U = assemble_U_global([blk], [ids], final_perm, n)
+    D = U.toarray()[0]
+    for v, oid in zip([1, 2, 3, 4], ids):
+        final_col = int(np.flatnonzero(final_perm == oid)[0])
+        assert D[final_col] == v
+
+
+def test_assemble_global_empty():
+    L = assemble_L_global([], [], np.arange(6), 6)
+    assert L.shape == (6, 0)
+    U = assemble_U_global([], [], np.arange(6), 6)
+    assert U.shape == (0, 6)

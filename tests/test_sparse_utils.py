@@ -1,0 +1,65 @@
+"""Tests for repro.sparse.utils."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.utils import (
+    density,
+    drop_explicit_zeros,
+    ensure_csc,
+    ensure_csr,
+    nnz_of,
+    sparsity_summary,
+)
+
+
+def test_ensure_csc_from_dense():
+    A = ensure_csc(np.eye(3))
+    assert sp.issparse(A) and A.format == "csc"
+    assert A.dtype == np.float64
+
+
+def test_ensure_csc_idempotent(small_sparse):
+    A = ensure_csc(small_sparse)
+    B = ensure_csc(A)
+    assert B.format == "csc"
+
+
+def test_ensure_csr_from_coo(small_sparse):
+    A = ensure_csr(small_sparse.tocoo())
+    assert A.format == "csr"
+
+
+def test_ensure_casts_dtype():
+    A = sp.csc_matrix(np.eye(3, dtype=np.float32))
+    assert ensure_csc(A).dtype == np.float64
+
+
+def test_drop_explicit_zeros():
+    A = sp.csc_matrix((np.array([1.0, 0.0, 2e-15, 3.0]),
+                       (np.array([0, 1, 2, 0]), np.array([0, 1, 2, 2]))),
+                      shape=(3, 3))
+    B = drop_explicit_zeros(A.copy())
+    assert B.nnz == 3  # exact zero removed, 2e-15 kept
+    C = drop_explicit_zeros(A.copy(), tol=1e-12)
+    assert C.nnz == 2
+
+
+def test_nnz_of():
+    assert nnz_of(sp.identity(4, format="csc")) == 4
+    assert nnz_of(np.zeros((2, 3))) == 6  # dense = stored count
+
+
+def test_density():
+    A = sp.identity(10, format="csc")
+    assert density(A) == pytest.approx(0.1)
+    assert density(sp.csc_matrix((0, 5))) == 0.0
+
+
+def test_sparsity_summary(small_sparse):
+    s = sparsity_summary(small_sparse)
+    assert s["shape"] == (60, 60)
+    assert s["nnz"] == small_sparse.nnz
+    assert 0 < s["density"] < 1
+    assert s["max_row_nnz"] >= s["avg_row_nnz"]

@@ -1,0 +1,82 @@
+"""Tests for repro.parallel.spmd — executable parallel solvers vs sequential."""
+
+import numpy as np
+import pytest
+
+from repro import lu_crtp, randqb_ei
+from repro.parallel.comm import run_spmd
+from repro.parallel.spmd import spmd_lu_crtp, spmd_randqb_ei
+
+
+@pytest.fixture
+def A120():
+    from repro.matrices.generators import random_graded
+    return random_graded(120, 120, nnz_per_row=7, decay_rate=7.0, seed=21)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_spmd_randqb_matches_sequential_rank(A120, nprocs):
+    seq = randqb_ei(A120, k=8, tol=1e-2, seed=0)
+    out = run_spmd(nprocs, spmd_randqb_ei, A120, k=8, tol=1e-2, seed=0)
+    Qloc, B, K, conv = out["results"][0]
+    assert conv
+    assert K == seq.rank  # same RNG stream -> same iteration count
+
+
+def test_spmd_randqb_factorization_quality(A120):
+    out = run_spmd(4, spmd_randqb_ei, A120, k=8, tol=1e-2, seed=0)
+    Q = np.vstack([r[0] for r in out["results"]])
+    B = out["results"][0][1]
+    err = np.linalg.norm(A120.toarray() - Q @ B) / np.linalg.norm(
+        A120.toarray())
+    assert err < 1e-2
+    assert np.linalg.norm(Q.T @ Q - np.eye(Q.shape[1])) < 1e-8
+
+
+def test_spmd_randqb_b_replicated(A120):
+    out = run_spmd(3, spmd_randqb_ei, A120, k=8, tol=1e-1, seed=0)
+    B0 = out["results"][0][1]
+    for r in out["results"][1:]:
+        np.testing.assert_allclose(r[1], B0, atol=1e-12)
+
+
+def test_spmd_randqb_power(A120):
+    out = run_spmd(2, spmd_randqb_ei, A120, k=8, tol=1e-2, seed=0, power=1)
+    Q = np.vstack([r[0] for r in out["results"]])
+    B = out["results"][0][1]
+    err = np.linalg.norm(A120.toarray() - Q @ B) / np.linalg.norm(
+        A120.toarray())
+    assert err < 1e-2
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_spmd_lu_converges(A120, nprocs):
+    out = run_spmd(nprocs, spmd_lu_crtp, A120, k=8, tol=1e-2)
+    K, conv, rel = out["results"][0]
+    assert conv
+    assert rel < 1e-2
+    # all ranks agree
+    for r in out["results"]:
+        assert r == out["results"][0]
+
+
+def test_spmd_lu_rank_close_to_sequential(A120):
+    seq = lu_crtp(A120, k=8, tol=1e-2, use_colamd=False)
+    out = run_spmd(4, spmd_lu_crtp, A120, k=8, tol=1e-2)
+    K, conv, _ = out["results"][0]
+    # different leaf boundaries can shift pivots; ranks stay within a block
+    # or two of the sequential run
+    assert abs(K - seq.rank) <= 2 * 8
+
+
+def test_spmd_lu_with_threshold(A120):
+    out = run_spmd(2, spmd_lu_crtp, A120, k=8, tol=1e-2, threshold=1e-6)
+    K, conv, rel = out["results"][0]
+    assert conv
+    assert rel < 1e-2
+
+
+def test_spmd_clock_positive(A120):
+    out = run_spmd(2, spmd_lu_crtp, A120, k=8, tol=1e-1)
+    assert out["elapsed"] > 0
+    assert out["kernel_seconds"]  # at least one kernel attributed

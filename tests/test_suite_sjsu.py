@@ -1,0 +1,96 @@
+"""Tests for repro.matrices.suite and repro.matrices.sjsu."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.sjsu import sjsu_collection
+from repro.matrices.suite import suite_entries, suite_matrix
+
+
+def test_suite_has_six_entries():
+    entries = suite_entries()
+    assert [e.label for e in entries] == ["M1", "M2", "M3", "M4", "M5", "M6"]
+    names = {e.paper_name for e in entries}
+    assert "raefsky3" in names and "circuit5M_dc" in names
+
+
+def test_suite_matrix_lookup():
+    A = suite_matrix("M1")
+    assert A.shape[0] == A.shape[1]
+    assert A.nnz > 0
+    B = suite_matrix("m1")  # case-insensitive
+    assert (A != B).nnz == 0
+
+
+def test_suite_matrix_unknown():
+    with pytest.raises(KeyError):
+        suite_matrix("M9")
+
+
+def test_suite_scale():
+    small = suite_matrix("M3", scale=0.25)
+    full = suite_matrix("M3")
+    assert small.shape[0] < full.shape[0]
+
+
+def test_suite_deterministic():
+    A = suite_matrix("M2")
+    B = suite_matrix("M2")
+    assert (A != B).nnz == 0
+
+
+def test_m4_has_one_iteration_regime():
+    """The rajat23 analogue converges at tau=0.1 within very few blocks."""
+    from repro import randqb_ei
+    A = suite_matrix("M4", scale=0.5)
+    res = randqb_ei(A, k=32, tol=1e-1)
+    assert res.iterations <= 4
+
+
+def test_sjsu_collection_size_and_diversity():
+    cases = sjsu_collection()
+    assert len(cases) >= 100
+    kinds = {c.kind for c in cases}
+    assert {"graded", "lowrank", "grid", "kahan", "circuit",
+            "diagonal", "integer"} <= kinds
+
+
+def test_sjsu_unique_names():
+    cases = sjsu_collection()
+    names = [c.name for c in cases]
+    assert len(names) == len(set(names))
+
+
+def test_sjsu_skip_flags():
+    cases = sjsu_collection()
+    skipped = [c for c in cases if c.skip_reason]
+    assert skipped  # diagonal + integer classes flagged
+    assert all(c.kind in ("diagonal", "integer") for c in skipped)
+    no_skip = sjsu_collection(include_skipped=False)
+    assert all(not c.skip_reason for c in no_skip)
+
+
+def test_sjsu_numerical_rank_cached():
+    cases = sjsu_collection(max_cases=5)
+    c = cases[0]
+    r1 = c.numerical_rank
+    r2 = c.numerical_rank
+    assert r1 == r2
+    assert 0 < r1 <= min(c.shape)
+
+
+def test_sjsu_lowrank_cases_are_rank_deficient():
+    cases = [c for c in sjsu_collection() if c.kind == "lowrank"]
+    assert cases
+    for c in cases[:3]:
+        assert c.numerical_rank < min(c.shape)
+
+
+def test_sjsu_max_cases():
+    assert len(sjsu_collection(max_cases=7)) == 7
+
+
+def test_sjsu_matrices_sparse():
+    for c in sjsu_collection(max_cases=20):
+        assert c.matrix.format == "csc"
+        assert c.matrix.nnz > 0

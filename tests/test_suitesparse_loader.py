@@ -1,0 +1,51 @@
+"""Tests for repro.matrices.suitesparse (real-matrix loader)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.mmio import write_matrix_market
+from repro.matrices.suitesparse import (
+    available_real_matrices,
+    load_paper_matrix,
+    paper_matrix_path,
+)
+
+
+def test_fallback_to_analogue(monkeypatch):
+    monkeypatch.delenv("REPRO_SUITESPARSE_DIR", raising=False)
+    A = load_paper_matrix("M3", scale=0.25)
+    assert A.shape[0] > 0  # analogue came back
+
+
+def test_no_fallback_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_paper_matrix("M1", root=tmp_path, fallback=False)
+
+
+def test_loads_real_file_when_present(tmp_path):
+    from repro.matrices.generators import random_graded
+    real = random_graded(30, 30, nnz_per_row=4, seed=1)
+    write_matrix_market(real, tmp_path / "raefsky3.mtx")
+    A = load_paper_matrix("M2", root=tmp_path)
+    assert A.shape == (30, 30)
+    assert (A != real).nnz == 0
+
+
+def test_env_var_root(tmp_path, monkeypatch):
+    from repro.matrices.generators import random_graded
+    write_matrix_market(random_graded(20, 20, nnz_per_row=3, seed=2),
+                        tmp_path / "bcsstk18.mtx")
+    monkeypatch.setenv("REPRO_SUITESPARSE_DIR", str(tmp_path))
+    A = load_paper_matrix("M1")
+    assert A.shape == (20, 20)
+    assert available_real_matrices() == ["M1"]
+
+
+def test_paper_matrix_path_unknown_label(tmp_path):
+    with pytest.raises(KeyError):
+        paper_matrix_path("M99", tmp_path)
+
+
+def test_paper_matrix_path_none_without_root(monkeypatch):
+    monkeypatch.delenv("REPRO_SUITESPARSE_DIR", raising=False)
+    assert paper_matrix_path("M1") is None

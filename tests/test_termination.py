@@ -1,0 +1,78 @@
+"""Tests for repro.core.termination (uniform stopping criteria)."""
+
+import numpy as np
+import pytest
+
+from repro.core.termination import (
+    INDICATOR_DOUBLE_PRECISION_FLOOR,
+    RandErrorIndicator,
+    check_tolerance,
+)
+from repro.exceptions import ToleranceTooSmallError
+
+
+def test_check_tolerance_valid():
+    check_tolerance(1e-3, randomized=True)
+    check_tolerance(1e-12, randomized=False)  # deterministic has no floor
+
+
+def test_check_tolerance_range():
+    with pytest.raises(ValueError):
+        check_tolerance(0.0, randomized=False)
+    with pytest.raises(ValueError):
+        check_tolerance(1.5, randomized=True)
+
+
+def test_randomized_floor_raises():
+    with pytest.raises(ToleranceTooSmallError):
+        check_tolerance(1e-8, randomized=True)
+
+
+def test_randomized_floor_warns_when_allowed():
+    with pytest.warns(RuntimeWarning):
+        check_tolerance(1e-8, randomized=True, allow_unsafe=True)
+
+
+def test_floor_value_matches_paper():
+    assert INDICATOR_DOUBLE_PRECISION_FLOOR == pytest.approx(2.1e-7)
+
+
+def test_indicator_exactness(rng):
+    """E^2 = ||A||_F^2 - sum ||B_k||_F^2 equals the true error for an
+    orthonormal-Q QB factorization (Theorem of Yu/Gu/Li)."""
+    A = rng.standard_normal((30, 20))
+    Q, _ = np.linalg.qr(rng.standard_normal((30, 8)))
+    B = Q.T @ A
+    ind = RandErrorIndicator(np.linalg.norm(A) ** 2)
+    val = ind.update(B)
+    true = np.linalg.norm(A - Q @ B)
+    assert val == pytest.approx(true, rel=1e-10)
+
+
+def test_indicator_incremental_blocks(rng):
+    A = rng.standard_normal((25, 25))
+    ind = RandErrorIndicator(np.linalg.norm(A) ** 2)
+    Qfull, _ = np.linalg.qr(A)
+    for j in range(0, 25, 5):
+        Qk = Qfull[:, j:j + 5]
+        ind.update(Qk.T @ A)
+    assert ind.value < 1e-6 * np.linalg.norm(A)
+
+
+def test_indicator_clamps_negative():
+    ind = RandErrorIndicator(1.0)
+    ind.update(np.array([[1.1]]))  # over-subtracts
+    assert ind.value == 0.0
+    assert ind.underflowed
+
+
+def test_indicator_converged():
+    ind = RandErrorIndicator(100.0)
+    assert not ind.converged(0.5)
+    ind.update(np.sqrt(99.99) * np.ones((1, 1)))
+    assert ind.converged(0.5)
+
+
+def test_indicator_rejects_negative_norm():
+    with pytest.raises(ValueError):
+        RandErrorIndicator(-1.0)

@@ -1,0 +1,72 @@
+"""Demonstration of Theorem 3 (Yu/Gu/Li): the randomized indicator's
+double-precision floor.
+
+The paper stresses that indicator (4) "fails in double precision floating
+point arithmetic for tau < 2.1e-7" — while the deterministic indicator (9)
+keeps working.  These tests demonstrate both halves of the claim on
+concrete matrices, justifying the library's ToleranceTooSmallError guard.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import lu_crtp, randqb_ei
+from repro.core.termination import RandErrorIndicator
+
+
+def exactly_lowrank(rng, m=80, rank=12):
+    X = rng.standard_normal((m, rank))
+    Y = rng.standard_normal((rank, m))
+    return sp.csc_matrix(X @ Y)
+
+
+def test_indicator_unreliable_below_floor(rng):
+    """Once the true error sits below ~sqrt(eps)*||A||, the subtraction in
+    (4) is pure cancellation noise: the indicator's value differs from the
+    true error by more than the tolerance it would be tested against."""
+    A = exactly_lowrank(rng)
+    tau = 1e-9
+    res = randqb_ei(A, k=4, tol=tau, allow_unsafe_tolerance=True,
+                    max_rank=40)
+    true_rel = res.error(A)
+    ind_rel = res.relative_indicator()
+    # the two disagree at the tau scale (either could be the larger)
+    assert abs(true_rel - ind_rel) > tau / 10 or res.history[-1].indicator \
+        == 0.0
+
+
+def test_indicator_underflow_flag(rng):
+    """Driving the accumulator past zero sets the underflow flag — the
+    mechanism behind Theorem 3."""
+    A = exactly_lowrank(rng, m=40, rank=5)
+    a2 = float(np.sum(A.toarray() ** 2))
+    ind = RandErrorIndicator(a2)
+    # subtract the exact decomposition, then one more epsilon-scale block:
+    # round-off makes the running value negative
+    Q, _ = np.linalg.qr(A.toarray())
+    ind.update(Q[:, :5].T @ A.toarray())
+    ind.update(np.full((1, 1), 1e-4 * np.sqrt(a2)))
+    assert ind.underflowed
+    assert ind.value == 0.0
+
+
+def test_deterministic_indicator_survives_tiny_tolerances(rng):
+    """Indicator (9) has no floor: LU_CRTP resolves tau = 1e-12 on an
+    exactly low-rank matrix, and its indicator still equals the true
+    error."""
+    A = exactly_lowrank(rng)
+    res = lu_crtp(A, k=4, tol=1e-12)
+    assert res.converged
+    assert res.error(A) == pytest.approx(res.relative_indicator(),
+                                         abs=1e-12)
+    assert res.relative_indicator() < 1e-12
+
+
+def test_floor_constant_guards_default_api(small_sparse):
+    from repro.exceptions import ToleranceTooSmallError
+    with pytest.raises(ToleranceTooSmallError):
+        randqb_ei(small_sparse, k=8, tol=2.0e-8)
+    # exactly at the floor is allowed
+    res = randqb_ei(small_sparse, k=8, tol=2.2e-7, max_rank=16)
+    assert res.rank <= 16

@@ -1,0 +1,91 @@
+"""Tests for repro.sparse.thresholding (ILUT dropping policies)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.thresholding import drop_small, drop_sorted_budget
+
+
+def matrix_with_values(vals):
+    vals = np.asarray(vals, dtype=float)
+    n = len(vals)
+    return sp.csc_matrix((vals, (np.arange(n), np.arange(n))), shape=(n, n))
+
+
+def test_drop_small_basic():
+    A = matrix_with_values([5.0, 0.1, -0.01, 3.0, -0.2])
+    res = drop_small(A, 0.15)
+    assert res.dropped_nnz == 2  # 0.1 and -0.01
+    assert res.dropped_norm_sq == pytest.approx(0.1 ** 2 + 0.01 ** 2)
+    assert res.dropped_max == pytest.approx(0.1)
+    assert res.matrix.nnz == 3
+
+
+def test_drop_small_strict_inequality():
+    A = matrix_with_values([0.5, 1.0])
+    res = drop_small(A, 0.5)  # |a| < mu is strict: 0.5 survives
+    assert res.dropped_nnz == 0
+
+
+def test_drop_small_noop():
+    A = matrix_with_values([1.0, 2.0])
+    res = drop_small(A, 0.0)
+    assert res.dropped_nnz == 0
+    assert res.matrix.nnz == 2
+
+
+def test_drop_small_does_not_mutate_input():
+    A = matrix_with_values([1.0, 0.001])
+    nnz0 = A.nnz
+    drop_small(A, 0.1)
+    assert A.nnz == nnz0
+
+
+def test_drop_small_perturbation_identity():
+    """||A||_F^2 == ||A_thresholded||_F^2 + ||T~||_F^2 exactly."""
+    rng = np.random.default_rng(3)
+    A = sp.random(40, 40, density=0.2, random_state=rng,
+                  data_rvs=rng.standard_normal).tocsc()
+    res = drop_small(A, 0.3)
+    lhs = np.dot(A.data, A.data)
+    rhs = np.dot(res.matrix.data, res.matrix.data) + res.dropped_norm_sq
+    assert lhs == pytest.approx(rhs, rel=1e-12)
+
+
+def test_drop_sorted_budget_respects_phi():
+    A = matrix_with_values([1.0, 0.4, 0.3, 0.2, 0.1])
+    phi = 0.38  # budget_sq = 0.1444: can drop 0.1 (0.01) + 0.2 (0.05) +
+    # 0.3 would make 0.14 <= 0.1444 -> allowed; +0.4 would blow it
+    res = drop_sorted_budget(A, phi, 0.0)
+    assert res.dropped_nnz == 3
+    assert np.sqrt(res.dropped_norm_sq) < phi
+
+
+def test_drop_sorted_budget_spent_budget():
+    A = matrix_with_values([0.1, 0.2])
+    res = drop_sorted_budget(A, phi=0.2, spent_sq=0.2 ** 2)
+    assert res.dropped_nnz == 0
+
+
+def test_drop_sorted_budget_cap():
+    A = matrix_with_values([10.0, 0.5, 0.01])
+    # only entries below cap participate, regardless of budget
+    res = drop_sorted_budget(A, phi=100.0, spent_sq=0.0, cap=0.1)
+    assert res.dropped_nnz == 1
+    assert res.matrix.nnz == 2
+
+
+def test_drop_sorted_budget_drops_smallest_first():
+    A = matrix_with_values([0.3, 0.1, 0.2])
+    res = drop_sorted_budget(A, phi=0.15, spent_sq=0.0)
+    # budget_sq = 0.0225: 0.1^2 = 0.01 ok; +0.2^2 = 0.05 too much
+    assert res.dropped_nnz == 1
+    remaining = sorted(np.abs(res.matrix.data))
+    assert remaining == [pytest.approx(0.2), pytest.approx(0.3)]
+
+
+def test_empty_matrix():
+    A = sp.csc_matrix((4, 4))
+    assert drop_small(A, 1.0).dropped_nnz == 0
+    assert drop_sorted_budget(A, 1.0, 0.0).dropped_nnz == 0

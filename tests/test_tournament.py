@@ -1,0 +1,114 @@
+"""Tests for repro.pivoting.tournament (QR_TP)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.pivoting.tournament import qr_tp, qr_tp_rows
+
+
+def graded_sparse(rng, m=80, n=64, cond=1e6):
+    from repro.matrices.generators import random_graded
+    return random_graded(m, n, nnz_per_row=6, decay_rate=np.log(cond), seed=9)
+
+
+def test_perm_is_permutation(small_sparse):
+    res = qr_tp(small_sparse, 8)
+    assert sorted(res.perm.tolist()) == list(range(60))
+    np.testing.assert_array_equal(res.perm[:8], res.winners)
+
+
+def test_single_leaf_case(rng):
+    A = sp.csc_matrix(rng.standard_normal((20, 10)))
+    res = qr_tp(A, 8)  # leaf_cols = 16 >= 10: single match
+    assert res.winners.size == 8
+    assert len(res.stats.leaf_matches) == 1
+    assert res.stats.rounds == 0
+
+
+@pytest.mark.parametrize("tree", ["binary", "flat"])
+def test_tournament_selects_quality_columns(rng, tree):
+    """Tournament winners span the dominant subspace within the RRQR factor."""
+    A = graded_sparse(rng)
+    k = 8
+    res = qr_tp(A, k, tree=tree)
+    D = A.toarray()
+    C = D[:, res.winners]
+    Q, _ = np.linalg.qr(C)
+    resid = np.linalg.norm(D - Q @ (Q.T @ D), 2)
+    s = np.linalg.svd(D, compute_uv=False)
+    assert resid <= 50 * s[k]
+
+
+def test_binary_and_flat_similar_quality(rng):
+    A = graded_sparse(rng)
+    k = 6
+    D = A.toarray()
+    s = np.linalg.svd(D, compute_uv=False)
+
+    def resid(winners):
+        Q, _ = np.linalg.qr(D[:, winners])
+        return np.linalg.norm(D - Q @ (Q.T @ D), 2)
+
+    rb = resid(qr_tp(A, k, tree="binary").winners)
+    rf = resid(qr_tp(A, k, tree="flat").winners)
+    assert rb <= 50 * s[k] and rf <= 50 * s[k]
+
+
+def test_dominant_column_always_wins(rng):
+    A = rng.standard_normal((30, 40))
+    A[:, 17] *= 1e4
+    res = qr_tp(sp.csc_matrix(A), 4)
+    assert 17 in set(res.winners.tolist())
+
+
+def test_stats_stage_structure(rng):
+    A = graded_sparse(rng, n=64)
+    res = qr_tp(A, 4, leaf_cols=8, tree="binary")  # 8 leaves -> 3 rounds
+    assert len(res.stats.leaf_matches) == 8
+    assert res.stats.rounds == 3
+    assert res.stats.total_flops > 0
+    assert res.stats.stage_flops("leaf") > 0
+
+
+def test_flat_tree_rounds(rng):
+    A = graded_sparse(rng, n=64)
+    res = qr_tp(A, 4, leaf_cols=8, tree="flat")  # 8 leaves -> 7 acc matches
+    assert res.stats.rounds == 7
+
+
+def test_r11_diag_nonempty(small_sparse):
+    res = qr_tp(small_sparse, 8)
+    assert res.r11_diag.size >= 8
+    assert res.r11_diag[0] > 0
+
+
+def test_invalid_args(small_sparse):
+    with pytest.raises(ValueError):
+        qr_tp(small_sparse, 0)
+    with pytest.raises(ValueError):
+        qr_tp(small_sparse, 4, tree="ternary")
+
+
+def test_k_exceeding_columns(rng):
+    A = sp.csc_matrix(rng.standard_normal((10, 5)))
+    res = qr_tp(A, 9)
+    assert res.winners.size == 5
+
+
+def test_row_tournament_selects_dominant_rows(rng):
+    Q = rng.standard_normal((50, 6))
+    Q[13] *= 1e4
+    res = qr_tp_rows(Q, 3)
+    assert 13 in set(res.winners.tolist())
+    assert sorted(res.perm.tolist()) == list(range(50))
+
+
+def test_row_tournament_well_conditioned_pick(rng):
+    """Selected rows of an orthonormal Q give a well-conditioned Q11 —
+    the property LU_CRTP needs (Qbar11 invertible)."""
+    from repro.linalg.orth import orth
+    Q = orth(rng.standard_normal((100, 8)))
+    res = qr_tp_rows(Q, 8)
+    Q11 = Q[res.winners]
+    assert np.linalg.cond(Q11) < 1e3

@@ -1,0 +1,54 @@
+"""Tests for repro.linalg.triangular."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.triangular import solve_lower, solve_unit_lower, solve_upper
+
+
+@pytest.fixture
+def upper(rng):
+    R = np.triu(rng.standard_normal((8, 8))) + 4 * np.eye(8)
+    return R
+
+
+def test_solve_upper_matrix(rng, upper):
+    B = rng.standard_normal((8, 3))
+    X = solve_upper(upper, B)
+    np.testing.assert_allclose(upper @ X, B, atol=1e-10)
+
+
+def test_solve_upper_vector(rng, upper):
+    b = rng.standard_normal(8)
+    x = solve_upper(upper, b)
+    assert x.shape == (8,)
+    np.testing.assert_allclose(upper @ x, b, atol=1e-10)
+
+
+def test_solve_lower(rng):
+    L = np.tril(rng.standard_normal((6, 6))) + 3 * np.eye(6)
+    B = rng.standard_normal((6, 2))
+    X = solve_lower(L, B)
+    np.testing.assert_allclose(L @ X, B, atol=1e-10)
+
+
+def test_solve_unit_lower(rng):
+    L = np.tril(rng.standard_normal((7, 7)), k=-1) + np.eye(7)
+    b = rng.standard_normal(7)
+    x = solve_unit_lower(L, b)
+    np.testing.assert_allclose(L @ x, b, atol=1e-10)
+
+
+def test_solve_unit_lower_ignores_diagonal(rng):
+    L = np.tril(rng.standard_normal((5, 5)), k=-1) + np.eye(5)
+    L_bad_diag = L + np.diag(rng.standard_normal(5))  # garbage diagonal
+    b = rng.standard_normal(5)
+    np.testing.assert_allclose(solve_unit_lower(L_bad_diag, b),
+                               solve_unit_lower(L, b), atol=1e-12)
+
+
+def test_inputs_not_mutated(rng, upper):
+    B = rng.standard_normal((8, 2))
+    B0 = B.copy()
+    solve_upper(upper, B)
+    np.testing.assert_array_equal(B, B0)

@@ -1,0 +1,170 @@
+"""Tests for repro.sparse.trisolve and repro.core.apply."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import ilut_crtp, lu_crtp, randqb_ei, randubv
+from repro.core.apply import (
+    as_preconditioner,
+    pseudo_solve,
+    unit_lower_apply_inverse,
+)
+from repro.exceptions import ReproError
+from repro.sparse.trisolve import (
+    block_upper_solve,
+    sparse_lower_solve,
+    sparse_upper_solve,
+)
+
+
+# ---------------------------------------------------------------- trisolve
+def lower_tri(rng, n=12, density=0.4):
+    A = sp.random(n, n, density=density, random_state=rng,
+                  data_rvs=rng.standard_normal).toarray()
+    L = np.tril(A, k=-1) + np.diag(2.0 + rng.random(n))
+    return sp.csc_matrix(L)
+
+
+def test_sparse_lower_solve(rng):
+    L = lower_tri(rng)
+    b = rng.standard_normal(12)
+    x = sparse_lower_solve(L, b)
+    np.testing.assert_allclose(L @ x, b, atol=1e-10)
+
+
+def test_sparse_lower_solve_block_rhs(rng):
+    L = lower_tri(rng)
+    B = rng.standard_normal((12, 4))
+    X = sparse_lower_solve(L, B)
+    np.testing.assert_allclose(L @ X, B, atol=1e-10)
+
+
+def test_sparse_lower_unit_diagonal(rng):
+    Ld = np.tril(rng.standard_normal((8, 8)), k=-1) + np.eye(8)
+    L = sp.csc_matrix(Ld)
+    b = rng.standard_normal(8)
+    x = sparse_lower_solve(L, b, unit_diagonal=True)
+    np.testing.assert_allclose(Ld @ x, b, atol=1e-10)
+
+
+def test_sparse_upper_solve(rng):
+    U = lower_tri(rng).T.tocsc()
+    b = rng.standard_normal(12)
+    x = sparse_upper_solve(U, b)
+    np.testing.assert_allclose(U @ x, b, atol=1e-10)
+
+
+def test_zero_diagonal_raises(rng):
+    L = sp.csc_matrix(np.tril(rng.standard_normal((5, 5)), k=-1))
+    with pytest.raises(ReproError):
+        sparse_lower_solve(L, np.ones(5))
+
+
+def test_nonsquare_raises():
+    with pytest.raises(ValueError):
+        sparse_lower_solve(sp.csc_matrix((3, 4)), np.ones(3))
+
+
+def test_block_upper_solve(rng):
+    # block upper triangular with dense 3x3 diagonal blocks
+    n, blk = 9, 3
+    D = np.triu(rng.standard_normal((n, n)))
+    for s in range(0, n, blk):
+        D[s:s + blk, s:s + blk] = rng.standard_normal((blk, blk)) \
+            + 4 * np.eye(blk)
+    U = sp.csc_matrix(D)
+    b = rng.standard_normal(n)
+    x = block_upper_solve(U, b, block=blk)
+    np.testing.assert_allclose(D @ x, b, atol=1e-9)
+
+
+def test_block_upper_singular_raises(rng):
+    U = sp.csc_matrix(np.zeros((4, 4)))
+    with pytest.raises(ReproError):
+        block_upper_solve(U, np.ones(4), block=2)
+
+
+# ------------------------------------------------------------------- apply
+def test_qb_pseudo_solve_consistent(rank_deficient):
+    res = randqb_ei(rank_deficient, k=4, tol=1e-8,
+                    allow_unsafe_tolerance=True)
+    rng = np.random.default_rng(5)
+    x_true = rng.standard_normal(50)
+    b = rank_deficient @ x_true
+    x = pseudo_solve(res, np.asarray(b))
+    np.testing.assert_allclose(rank_deficient @ x, b, atol=1e-5)
+
+
+def test_ubv_pseudo_solve_consistent(rank_deficient):
+    res = randubv(rank_deficient, k=4, tol=1e-6, allow_unsafe_tolerance=True)
+    rng = np.random.default_rng(6)
+    b = rank_deficient @ rng.standard_normal(50)
+    x = pseudo_solve(res, np.asarray(b))
+    np.testing.assert_allclose(rank_deficient @ x, b, atol=1e-4)
+
+
+def test_lu_pseudo_solve_consistent(rank_deficient):
+    res = lu_crtp(rank_deficient, k=4, tol=1e-10)
+    rng = np.random.default_rng(7)
+    b = np.asarray(rank_deficient @ rng.standard_normal(50))
+    x = pseudo_solve(res, b)
+    resid = np.linalg.norm(rank_deficient @ x - b) / np.linalg.norm(b)
+    assert resid < 1e-6
+
+
+def test_lu_pseudo_solve_truncated(small_sparse):
+    """On a truncated factorization, the solve residual is bounded by the
+    truncation level (preconditioner quality)."""
+    res = ilut_crtp(small_sparse, k=8, tol=1e-3, estimated_iterations=6)
+    rng = np.random.default_rng(8)
+    b = np.asarray(small_sparse @ rng.standard_normal(60))
+    x = pseudo_solve(res, b)
+    resid = np.linalg.norm(small_sparse @ x - b) / np.linalg.norm(b)
+    assert resid < 0.2
+
+
+def test_preconditioner_operator(small_sparse):
+    res = lu_crtp(small_sparse, k=8, tol=1e-4)
+    M = as_preconditioner(res)
+    b = np.ones(60)
+    y = M @ b
+    assert y.shape == (60,)
+    assert np.all(np.isfinite(y))
+
+
+def test_preconditioner_accelerates_identity_limit(rank_deficient):
+    """On a (nearly) exactly factorized matrix, M^{-1} A ~ projector: the
+    residual after one application collapses."""
+    res = lu_crtp(rank_deficient, k=4, tol=1e-10)
+    M = as_preconditioner(res)
+    rng = np.random.default_rng(9)
+    x_true = np.asarray(rank_deficient @ rng.standard_normal(50))
+    x = M @ np.asarray(rank_deficient @ x_true)
+    np.testing.assert_allclose(rank_deficient @ x,
+                               rank_deficient @ x_true, atol=1e-5)
+
+
+def test_unit_lower_apply_inverse(small_sparse):
+    res = lu_crtp(small_sparse, k=8, tol=1e-2)
+    b = np.ones(60)
+    y = unit_lower_apply_inverse(res, b)
+    K = res.rank
+    L1 = res.L.tocsc()[:K, :K]
+    np.testing.assert_allclose(L1 @ y, b[:K], atol=1e-9)
+
+
+def test_pseudo_solve_unknown_type():
+    with pytest.raises(TypeError):
+        pseudo_solve(object(), np.ones(3))
+
+
+def test_preconditioner_rmatvec_is_transpose(rank_deficient, rng):
+    """<M b, x> == <b, M^T x> — the adjoint identity for the operator."""
+    res = lu_crtp(rank_deficient, k=4, tol=1e-10)
+    M = as_preconditioner(res)
+    b = rng.standard_normal(50)
+    x = rng.standard_normal(50)
+    lhs = float((M @ b) @ x)
+    rhs = float(b @ (M.T @ x))
+    assert lhs == pytest.approx(rhs, rel=1e-6, abs=1e-9)

@@ -1,0 +1,58 @@
+"""Tests for repro.linalg.tsqr."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.tsqr import tsqr
+
+
+@pytest.mark.parametrize("m,c,block", [(100, 5, 16), (64, 8, 8),
+                                       (1000, 3, 128), (37, 4, 10)])
+def test_tsqr_reconstruction(rng, m, c, block):
+    A = rng.standard_normal((m, c))
+    Q, R = tsqr(A, block_rows=block)
+    assert Q.shape == (m, c)
+    assert R.shape == (c, c)
+    np.testing.assert_allclose(Q @ R, A, atol=1e-10)
+    assert np.linalg.norm(Q.T @ Q - np.eye(c)) < 1e-12
+    assert np.allclose(R, np.triu(R))
+
+
+def test_tsqr_single_block_path(rng):
+    A = rng.standard_normal((20, 6))
+    Q, R = tsqr(A, block_rows=64)  # m <= block: direct QR
+    np.testing.assert_allclose(Q @ R, A, atol=1e-12)
+
+
+def test_tsqr_matches_direct_qr_up_to_signs(rng):
+    A = rng.standard_normal((300, 7))
+    Q, R = tsqr(A, block_rows=32)
+    Qd, Rd = np.linalg.qr(A, mode="reduced")
+    signs = np.sign(np.diag(R)) * np.sign(np.diag(Rd))
+    np.testing.assert_allclose(R, Rd * signs[:, None] if False else
+                               (signs[:, None] * Rd), atol=1e-10)
+
+
+def test_tsqr_odd_leaf_count(rng):
+    # 5 leaves: exercises the bye branch of the reduction tree
+    A = rng.standard_normal((5 * 13, 4))
+    Q, R = tsqr(A, block_rows=13)
+    np.testing.assert_allclose(Q @ R, A, atol=1e-10)
+
+
+def test_tsqr_requires_tall():
+    with pytest.raises(ValueError):
+        tsqr(np.zeros((3, 5)))
+
+
+def test_tsqr_zero_columns():
+    Q, R = tsqr(np.zeros((10, 0)))
+    assert Q.shape == (10, 0)
+    assert R.shape == (0, 0)
+
+
+def test_tsqr_rank_deficient(rng):
+    A = rng.standard_normal((200, 2)) @ rng.standard_normal((2, 6))
+    Q, R = tsqr(A, block_rows=32)
+    np.testing.assert_allclose(Q @ R, A, atol=1e-10)
+    assert np.linalg.norm(Q.T @ Q - np.eye(6)) < 1e-10

@@ -1,0 +1,53 @@
+"""Tests for repro.core.tsvd (TSVD reference)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.tsvd import eckart_young_error, spectrum, truncated_svd
+
+
+def test_truncated_svd_dense_path(rng):
+    A = rng.standard_normal((30, 20))
+    U, s, Vt = truncated_svd(A, 5)
+    ref = np.linalg.svd(A, compute_uv=False)[:5]
+    np.testing.assert_allclose(s, ref, rtol=1e-12)
+    assert U.shape == (30, 5)
+    assert Vt.shape == (5, 20)
+
+
+def test_truncated_svd_lanczos_path(small_sparse):
+    # force the Lanczos route with a tiny dense cutoff
+    U, s, Vt = truncated_svd(small_sparse, 4, dense_cutoff=10)
+    ref = np.linalg.svd(small_sparse.toarray(), compute_uv=False)[:4]
+    np.testing.assert_allclose(s, ref, rtol=1e-6)
+
+
+def test_truncated_svd_is_optimal(small_sparse):
+    """Eckart-Young: no solver can beat the TSVD error at equal rank."""
+    from repro import randqb_ei
+    k = 8
+    U, s, Vt = truncated_svd(small_sparse, k)
+    tsvd_err = np.linalg.norm(small_sparse.toarray() - (U * s) @ Vt)
+    res = randqb_ei(small_sparse, k=k, tol=1e-1, max_rank=k)
+    qb_err = np.linalg.norm(small_sparse.toarray() - res.Q @ res.B)
+    assert tsvd_err <= qb_err + 1e-9
+
+
+def test_truncated_svd_invalid_k(small_sparse):
+    with pytest.raises(ValueError):
+        truncated_svd(small_sparse, 0)
+
+
+def test_spectrum_full(small_sparse):
+    s = spectrum(small_sparse)
+    assert s.shape == (60,)
+    ref = np.linalg.svd(small_sparse.toarray(), compute_uv=False)
+    np.testing.assert_allclose(s, ref, rtol=1e-10)
+
+
+def test_eckart_young_error():
+    s = np.array([3.0, 2.0, 1.0])
+    assert eckart_young_error(s, 1) == pytest.approx(np.sqrt(5.0))
+    assert eckart_young_error(s, 3) == 0.0
+    assert eckart_young_error(s, 0) == pytest.approx(np.linalg.norm(s))

@@ -1,0 +1,69 @@
+"""Tests for repro.validation (user-facing result validator)."""
+
+import numpy as np
+import pytest
+
+from repro import ilut_crtp, lu_crtp, randqb_ei, randubv
+from repro.validation import ValidationReport, validate_result
+
+
+def test_qb_result_validates(small_sparse):
+    res = randqb_ei(small_sparse, k=8, tol=1e-2)
+    rep = validate_result(res, small_sparse)
+    assert rep.ok, rep.summary()
+    assert "q_orthonormal" in rep.checks
+
+
+def test_ubv_result_validates(small_sparse):
+    res = randubv(small_sparse, k=8, tol=1e-2)
+    rep = validate_result(res, small_sparse)
+    assert rep.ok, rep.summary()
+    assert "u_orthonormal" in rep.checks and "v_orthonormal" in rep.checks
+
+
+def test_lu_result_validates(small_sparse):
+    res = lu_crtp(small_sparse, k=8, tol=1e-2)
+    rep = validate_result(res, small_sparse)
+    assert rep.ok, rep.summary()
+    for name in ("row_perm_valid", "col_perm_valid", "l_unit_diagonal",
+                 "factors_finite"):
+        assert name in rep.checks
+
+
+def test_ilut_result_validates(small_sparse):
+    res = ilut_crtp(small_sparse, k=8, tol=1e-2, estimated_iterations=4)
+    rep = validate_result(res, small_sparse)
+    assert rep.ok, rep.summary()
+    assert "indicator_within_perturbation" in rep.checks
+
+
+def test_detects_corrupted_factors(small_sparse):
+    res = lu_crtp(small_sparse, k=8, tol=1e-2)
+    res.L = res.L.copy()
+    res.L.data[:] = res.L.data * 3.0  # corrupt
+    rep = validate_result(res, small_sparse)
+    assert not rep.ok
+    assert rep.failures
+
+
+def test_detects_corrupted_q(small_sparse):
+    res = randqb_ei(small_sparse, k=8, tol=1e-2)
+    res.Q = res.Q * 2.0
+    rep = validate_result(res, small_sparse)
+    assert "q_orthonormal" in rep.failures
+
+
+def test_summary_readable(small_sparse):
+    res = lu_crtp(small_sparse, k=8, tol=1e-2)
+    text = validate_result(res, small_sparse).summary()
+    assert "PASS" in text
+    assert "rank_consistent" in text
+
+
+def test_report_api():
+    rep = ValidationReport()
+    rep.add("a", True, "fine")
+    rep.add("b", False, "broken")
+    assert not rep.ok
+    assert rep.failures == ["b"]
+    assert "FAIL" in rep.summary()

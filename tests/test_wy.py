@@ -1,0 +1,67 @@
+"""Tests for repro.linalg.wy (blocked compact-WY Householder QR)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.wy import (
+    blocked_qr,
+    panel_qr,
+    wy_apply_left,
+    wy_apply_left_transpose,
+)
+
+
+def test_panel_qr_wy_identity(rng):
+    """Q = I - V T V^T is orthogonal and triangularizes the panel."""
+    A = rng.standard_normal((20, 6))
+    V, T, R = panel_qr(A)
+    Q = np.eye(20) - V @ T @ V.T
+    np.testing.assert_allclose(Q.T @ Q, np.eye(20), atol=1e-12)
+    QtA = Q.T @ A
+    np.testing.assert_allclose(QtA[:6], R, atol=1e-12)
+    np.testing.assert_allclose(QtA[6:], 0.0, atol=1e-12)
+
+
+def test_panel_qr_v_unit_lower(rng):
+    A = rng.standard_normal((10, 4))
+    V, T, _ = panel_qr(A)
+    np.testing.assert_allclose(np.diag(V[:4]), 1.0)
+    assert np.allclose(np.triu(V[:4], k=1), 0.0)
+    assert np.allclose(T, np.triu(T))
+
+
+def test_wy_apply_matches_explicit(rng):
+    A = rng.standard_normal((15, 5))
+    V, T, _ = panel_qr(A)
+    Q = np.eye(15) - V @ T @ V.T
+    C = rng.standard_normal((15, 7))
+    np.testing.assert_allclose(wy_apply_left(V, T, C), Q @ C, atol=1e-12)
+    np.testing.assert_allclose(wy_apply_left_transpose(V, T, C), Q.T @ C,
+                               atol=1e-12)
+
+
+@pytest.mark.parametrize("m,n,block", [(40, 24, 8), (50, 50, 16),
+                                       (30, 12, 5), (25, 10, 32)])
+def test_blocked_qr_reconstruction(rng, m, n, block):
+    A = rng.standard_normal((m, n))
+    Q, R = blocked_qr(A, block=block)
+    p = min(m, n)
+    assert Q.shape == (m, p)
+    assert R.shape == (p, n)
+    np.testing.assert_allclose(Q @ R, A, atol=1e-11)
+    np.testing.assert_allclose(Q.T @ Q, np.eye(p), atol=1e-12)
+    assert np.allclose(R, np.triu(R))
+
+
+def test_blocked_matches_numpy_up_to_signs(rng):
+    A = rng.standard_normal((30, 10))
+    Q, R = blocked_qr(A, block=4)
+    Qd, Rd = np.linalg.qr(A, mode="reduced")
+    signs = np.sign(np.diag(R) * np.diag(Rd))
+    np.testing.assert_allclose(R, signs[:, None] * Rd, atol=1e-10)
+
+
+def test_blocked_qr_graded(rng):
+    A = rng.standard_normal((40, 12)) @ np.diag(np.logspace(0, -10, 12))
+    Q, R = blocked_qr(A, block=4)
+    np.testing.assert_allclose(Q @ R, A, atol=1e-12)
