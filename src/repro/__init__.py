@@ -40,11 +40,16 @@ from .core import (
     randubv,
     truncated_svd,
 )
+from .core import RecoveryPolicy, RecoveryLog
 from .exceptions import (
     ReproError,
     ConvergenceError,
     RankDeficiencyBreakdown,
     ToleranceTooSmallError,
+    CommunicatorError,
+    RankFailure,
+    CommTimeoutError,
+    CheckpointError,
 )
 from .results import (
     LowRankApproximation,
@@ -69,6 +74,12 @@ __all__ = [
     "ConvergenceError",
     "RankDeficiencyBreakdown",
     "ToleranceTooSmallError",
+    "CommunicatorError",
+    "RankFailure",
+    "CommTimeoutError",
+    "CheckpointError",
+    "RecoveryPolicy",
+    "RecoveryLog",
     "LowRankApproximation",
     "QBApproximation",
     "UBVApproximation",

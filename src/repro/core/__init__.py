@@ -34,6 +34,7 @@ from .rsvd import AdaptiveRSVD, adaptive_rsvd
 from .tsvd import truncated_svd, spectrum
 from .fixed_rank import fixed_rank_qb, fixed_rank_lu_crtp
 from .apply import pseudo_solve, as_preconditioner
+from .recovery import RecoveryPolicy, RecoveryLog, RecoveryEvent
 from .termination import (
     RandErrorIndicator,
     check_tolerance,
@@ -64,6 +65,9 @@ __all__ = [
     "fixed_rank_lu_crtp",
     "pseudo_solve",
     "as_preconditioner",
+    "RecoveryPolicy",
+    "RecoveryLog",
+    "RecoveryEvent",
     "RandErrorIndicator",
     "check_tolerance",
     "INDICATOR_DOUBLE_PRECISION_FLOOR",

@@ -87,8 +87,17 @@ class ILUT_CRTP(LU_CRTP):
     phi_factor: float = 1.0
     aggressive: bool = False
 
-    def solve(self, A) -> LUApproximation:
-        """Run Algorithm 3 on ``A``."""
+    def solve(self, A, *, resume_from=None) -> LUApproximation:
+        """Run Algorithm 3 on ``A``.
+
+        ``resume_from`` restarts from a checkpoint of an earlier ILUT run
+        with the threshold-control state (``mu``, ``phi``, accumulated
+        perturbation mass) intact.  With a
+        :class:`repro.core.recovery.RecoveryPolicy` in ``self.recovery``,
+        a §III-A rank-deficiency breakdown is *recovered*: the last
+        threshold drop is undone and the run continues with exact LU_CRTP
+        iterations (thresholding disabled) instead of raising.
+        """
         check_tolerance(self.tol, randomized=False)
         t0 = time.perf_counter()
         A = ensure_csc(A)
@@ -103,7 +112,7 @@ class ILUT_CRTP(LU_CRTP):
         max_rank = min(self.max_rank or min(m, n), min(m, n))
 
         col_perm = np.arange(n, dtype=np.intp)
-        if self.use_colamd and A.nnz:
+        if self.use_colamd and A.nnz and resume_from is None:
             pre = colamd_preprocess(A)
             col_perm = col_perm[pre]
             A = permute_cols(A, pre)
@@ -125,8 +134,30 @@ class ILUT_CRTP(LU_CRTP):
         t_acc_sq = 0.0  # running sum of ||T~^(j)||_F^2
         control_triggered = False
         thresholding_on = True
+        recoveries = 0
+        last_pre_drop = None  # previous iteration's Schur before its drop
+        last_dropped_sq = 0.0
 
         i = 0
+        if resume_from is not None:
+            rs = self._restore(resume_from, "ilut_crtp")
+            (i, K, z, r11_first, active, row_perm, col_perm, Lblocks,
+             Ublocks, row_snaps, col_snaps, history) = rs
+            st = self._resumed_state
+            mu = st["mu"]
+            phi = float(st["phi"])
+            t_acc_sq = float(st["taccsq"])
+            thresholding_on = bool(st["thresholdingon"])
+            control_triggered = bool(st["controltriggered"])
+            last_pre_drop = st.get("lastpredrop")
+            last_dropped_sq = float(st.get("lastdroppedsq") or 0.0)
+            t0 = time.perf_counter() - history[-1].elapsed if len(history) \
+                else time.perf_counter()
+            if len(history) and history[-1].indicator < self.tol * a_fro:
+                converged = True
+                stop_reason = "tolerance"
+                max_rank = K  # already done: skip the loop below
+
         while K < max_rank:
             i += 1
             k_i = min(self.k, active.shape[0], active.shape[1], max_rank - K)
@@ -140,6 +171,35 @@ class ILUT_CRTP(LU_CRTP):
                 art = self._iteration(active, k_i, i, r11_first)
             except RankDeficiencyBreakdown as exc:
                 if thresholding_on and t_acc_sq > 0:
+                    if (self.recovery is not None
+                            and self.recovery.on_rank_deficiency
+                            == "fallback_exact"
+                            and recoveries < self.recovery.max_recoveries):
+                        # Graceful degradation: the paper's line-10 undo
+                        # (restore the pre-drop Schur complement, refund
+                        # its perturbation mass) and exact LU_CRTP for the
+                        # rest of the run.
+                        recoveries += 1
+                        undone = last_pre_drop is not None
+                        if undone:
+                            active = last_pre_drop
+                            t_acc_sq = max(t_acc_sq - last_dropped_sq, 0.0)
+                        thresholding_on = False
+                        control_triggered = True
+                        self.recovery.log.record(
+                            "ilut_undo_exact_fallback", iteration=i,
+                            detail="rank-deficiency breakdown: "
+                                   + ("undid last drop and "
+                                      if undone else "")
+                                   + "disabled thresholding (exact "
+                                     "LU_CRTP from here)",
+                            rank=K, undone_drop=undone,
+                            refunded_norm_sq=(last_dropped_sq
+                                              if undone else 0.0))
+                        last_pre_drop = None
+                        last_dropped_sq = 0.0
+                        i -= 1  # retry this block iteration
+                        continue
                     # Section III-A: thresholding may have destroyed rank
                     # K+1; surface the dedicated breakdown to the caller.
                     raise RankDeficiencyBreakdown(
@@ -177,6 +237,8 @@ class ILUT_CRTP(LU_CRTP):
 
             dropped_nnz = 0
             dropped_sq = 0.0
+            last_pre_drop = None
+            last_dropped_sq = 0.0
             if not done and thresholding_on and mu > 0:
                 # lines 8-10: threshold, account, control
                 if self.aggressive:
@@ -191,6 +253,10 @@ class ILUT_CRTP(LU_CRTP):
                     t_acc_sq += res.dropped_norm_sq
                     dropped_nnz = res.dropped_nnz
                     dropped_sq = res.dropped_norm_sq
+                    # keep the pre-drop Schur so a breakdown next iteration
+                    # can undo this drop (recovery policy / bound (20))
+                    last_pre_drop = schur
+                    last_dropped_sq = res.dropped_norm_sq
                     schur = res.matrix
 
             active = schur
@@ -207,6 +273,20 @@ class ILUT_CRTP(LU_CRTP):
                        "kernel_seconds": art.kernel_seconds}))
             if self.callback is not None:
                 self.callback(history[-1])
+            if self._checkpointing() \
+                    and i % max(self.checkpoint_every, 1) == 0:
+                state = self._lu_state_dict(
+                    "ilut_crtp", i, K, z, r11_first, active, row_perm,
+                    col_perm, Lblocks, Ublocks, row_snaps, col_snaps,
+                    history)
+                state.update(
+                    mu=float(mu or 0.0), phi=phi, taccsq=t_acc_sq,
+                    thresholdingon=thresholding_on,
+                    controltriggered=control_triggered,
+                    lastdroppedsq=last_dropped_sq)
+                if last_pre_drop is not None:
+                    state["lastpredrop"] = last_pre_drop.tocsc()
+                self._write_checkpoint(state)
             if done:
                 converged = True
                 stop_reason = "tolerance"

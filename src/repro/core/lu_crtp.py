@@ -141,6 +141,10 @@ class LU_CRTP:
     target_rank: int | None = None  # fixed-RANK mode (Grigori et al.'s
     # original problem): run to this rank, ignoring the tolerance test
     callback: object = None  # optional per-iteration hook: f(IterationRecord)
+    checkpoint_path: object = None
+    checkpoint_every: int = 1
+    checkpoint_callback: object = None
+    recovery: object = None  # optional repro.core.recovery.RecoveryPolicy
 
     def __post_init__(self):
         if self.k <= 0:
@@ -149,8 +153,29 @@ class LU_CRTP:
             raise ValueError(f"unknown l_formula {self.l_formula!r}")
 
     # ------------------------------------------------------------------
-    def solve(self, A) -> LUApproximation:
-        """Run Algorithm 2 on ``A``."""
+    def _checkpointing(self) -> bool:
+        return (self.checkpoint_path is not None
+                or self.checkpoint_callback is not None)
+
+    def _write_checkpoint(self, state: dict) -> None:
+        if self.checkpoint_callback is not None:
+            self.checkpoint_callback(state)
+        if self.checkpoint_path is not None:
+            from ..serialize import save_checkpoint
+            save_checkpoint(self.checkpoint_path, state)
+
+    def _recovery_log(self):
+        return None if self.recovery is None else self.recovery.log
+
+    # ------------------------------------------------------------------
+    def solve(self, A, *, resume_from=None) -> LUApproximation:
+        """Run Algorithm 2 on ``A``.
+
+        ``resume_from`` (checkpoint path or state dict) restarts from the
+        last completed block iteration: the accumulated factor blocks,
+        permutations, active Schur complement and indicator state are
+        restored, so the resumed run is identical to an uninterrupted one.
+        """
         check_tolerance(self.tol, randomized=False)
         t0 = time.perf_counter()
         A = ensure_csc(A)
@@ -161,7 +186,7 @@ class LU_CRTP:
             max_rank = min(self.target_rank, min(m, n))
 
         col_perm = np.arange(n, dtype=np.intp)
-        if self.use_colamd and A.nnz:
+        if self.use_colamd and A.nnz and resume_from is None:
             pre = colamd_preprocess(A)
             col_perm = col_perm[pre]
             A = permute_cols(A, pre)
@@ -180,6 +205,17 @@ class LU_CRTP:
         r11_first: float | None = None
 
         i = 0
+        if resume_from is not None:
+            st = self._restore(resume_from, "lu_crtp")
+            (i, K, z, r11_first, active, row_perm, col_perm, Lblocks,
+             Ublocks, row_snaps, col_snaps, history) = st
+            t0 = time.perf_counter() - history[-1].elapsed if len(history) \
+                else time.perf_counter()
+            if len(history) and history[-1].indicator < self.tol * a_fro \
+                    and self.target_rank is None:
+                converged = True
+                stop_reason = "tolerance"
+                max_rank = K  # already done: skip the loop below
         while K < max_rank:
             i += 1
             k_i = min(self.k, active.shape[0], active.shape[1], max_rank - K)
@@ -226,6 +262,12 @@ class LU_CRTP:
                        "kernel_seconds": art.kernel_seconds}))
             if self.callback is not None:
                 self.callback(history[-1])
+            if self._checkpointing() \
+                    and i % max(self.checkpoint_every, 1) == 0:
+                self._write_checkpoint(self._lu_state_dict(
+                    "lu_crtp", i, K, z, r11_first, active, row_perm,
+                    col_perm, Lblocks, Ublocks, row_snaps, col_snaps,
+                    history))
             if indicator < self.tol * a_fro and self.target_rank is None:
                 converged = True
                 stop_reason = "tolerance"
@@ -254,6 +296,45 @@ class LU_CRTP:
             L=L, U=U, row_perm=row_perm, col_perm=col_perm)
 
     # ------------------------------------------------------------------
+    def _lu_state_dict(self, kind: str, i: int, K: int, z: int,
+                       r11_first, active, row_perm, col_perm, Lblocks,
+                       Ublocks, row_snaps, col_snaps, history) -> dict:
+        """Complete mid-run state: enough to continue the driver loop as if
+        it had never stopped (per-iteration ``extra`` traces excepted)."""
+        from ..serialize import _history_payload
+        return {
+            "kind": kind, "iteration": i, "K": K, "z": z,
+            "r11first": r11_first, "active": active.tocsc(),
+            "rowperm": np.asarray(row_perm).copy(),
+            "colperm": np.asarray(col_perm).copy(),
+            "Lblocks": [b.tocsc() for b in Lblocks],
+            "Ublocks": [b.tocsr() for b in Ublocks],
+            "rowsnaps": [s.copy() for s in row_snaps],
+            "colsnaps": [s.copy() for s in col_snaps],
+            "history": _history_payload(history),
+        }
+
+    def _restore(self, resume_from, kind: str):
+        """Load and unpack a checkpoint written by :meth:`_lu_state_dict`."""
+        from ..exceptions import CheckpointError
+        from ..serialize import _history_from_payload, resolve_checkpoint
+        st = resolve_checkpoint(resume_from)
+        if st.get("kind") != kind:
+            raise CheckpointError(
+                f"checkpoint kind {st.get('kind')!r} is not {kind!r}")
+        self._resumed_state = st  # subclasses pick up their extra fields
+        r11_first = st["r11first"]
+        return (int(st["iteration"]), int(st["K"]), int(st["z"]),
+                None if r11_first is None else float(r11_first),
+                st["active"].tocsc(),
+                np.asarray(st["rowperm"], dtype=np.intp),
+                np.asarray(st["colperm"], dtype=np.intp),
+                list(st["Lblocks"]), list(st["Ublocks"]),
+                [np.asarray(s, dtype=np.intp) for s in st["rowsnaps"]],
+                [np.asarray(s, dtype=np.intp) for s in st["colsnaps"]],
+                _history_from_payload(st["history"]))
+
+    # ------------------------------------------------------------------
     def _iteration(self, active: sp.csc_matrix, k_i: int, i: int,
                    r11_first: float | None) -> IterationArtifacts:
         """Lines 4-12 of Algorithm 2 on the active matrix."""
@@ -273,7 +354,7 @@ class LU_CRTP:
             fqr = sparse_householder_qr(selected)
             Qk = fqr.explicit_q()
         else:
-            Qk, _Rk, _ = cholqr2(selected)
+            Qk, _Rk, _ = cholqr2(selected, recovery_log=self._recovery_log())
         kernel_seconds["sparse_qr"] = time.perf_counter() - t
 
         # line 7: row tournament on Q_k^T

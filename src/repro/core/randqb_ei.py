@@ -51,6 +51,15 @@ class RandQB_EI:
     allow_unsafe_tolerance:
         Permit ``tol`` below the indicator's double-precision floor
         (Theorem 3) with a warning instead of raising.
+    checkpoint_path / checkpoint_every / checkpoint_callback:
+        Fault-tolerance hooks: every ``checkpoint_every`` completed block
+        iterations the solver builds a state dict (factors so far, error
+        indicator state, RNG bit-generator state, history) and hands it to
+        ``checkpoint_callback`` and/or persists it to ``checkpoint_path``
+        via :func:`repro.serialize.save_checkpoint`.  A later
+        ``solve(A, resume_from=path_or_dict)`` restarts from the last
+        completed iteration with identical RNG draws, so the resumed run
+        reaches the same ``tau`` at the same rank as an uninterrupted one.
     """
 
     k: int = 32
@@ -66,6 +75,9 @@ class RandQB_EI:
     target_rank: int | None = None  # fixed-RANK mode: run to this rank,
     # ignoring the tolerance test (the RRF/fixed-rank problem class)
     callback: object = None  # optional per-iteration hook: f(IterationRecord)
+    checkpoint_path: object = None
+    checkpoint_every: int = 1
+    checkpoint_callback: object = None
     _rng: np.random.Generator = field(init=False, repr=False, default=None)
 
     def __post_init__(self):
@@ -74,8 +86,19 @@ class RandQB_EI:
         if not 0 <= self.power <= 3:
             raise ValueError("power parameter p must be in [0, 3]")
 
-    def solve(self, A) -> QBApproximation:
-        """Run Algorithm 1 on ``A`` and return the QB approximation."""
+    def _checkpoint(self, state: dict) -> None:
+        if self.checkpoint_callback is not None:
+            self.checkpoint_callback(state)
+        if self.checkpoint_path is not None:
+            from ..serialize import save_checkpoint
+            save_checkpoint(self.checkpoint_path, state)
+
+    def solve(self, A, *, resume_from=None) -> QBApproximation:
+        """Run Algorithm 1 on ``A`` and return the QB approximation.
+
+        ``resume_from`` restarts from a checkpoint (path or state dict)
+        written by an earlier run on the *same* matrix and parameters.
+        """
         check_tolerance(self.tol, randomized=True,
                         allow_unsafe=self.allow_unsafe_tolerance)
         t0 = time.perf_counter()
@@ -97,6 +120,30 @@ class RandQB_EI:
         converged = False
         extra_left = self.extra_iterations
         i = 0
+
+        if resume_from is not None:
+            from ..exceptions import CheckpointError
+            from ..serialize import _history_from_payload, resolve_checkpoint
+            st = resolve_checkpoint(resume_from)
+            if st.get("kind") != "randqb_ei":
+                raise CheckpointError(
+                    f"checkpoint kind {st.get('kind')!r} is not 'randqb_ei'")
+            K, i = int(st["K"]), int(st["iteration"])
+            extra_left = int(st["extra_left"])
+            indicator._e = float(st["e_sq"])
+            indicator.underflowed = bool(st["underflowed"])
+            rng.bit_generator.state = st["rng_state"]
+            history = _history_from_payload(st["history"])
+            cap = max(cap, K)
+            Q = np.zeros((m, cap))
+            B = np.zeros((cap, n))
+            Q[:, :K] = st["Q"]
+            B[:K] = st["B"]
+            t0 = time.perf_counter() - float(st["elapsed"])
+            if indicator.converged(self.tol) and self.target_rank is None \
+                    and extra_left <= 0:
+                converged = True
+                max_rank = K  # already done: skip the loop below
         while K < max_rank:
             i += 1
             k_i = min(self.k, max_rank - K)
@@ -145,6 +192,19 @@ class RandQB_EI:
                 factor_nnz=(m + n) * K))
             if self.callback is not None:
                 self.callback(history[-1])
+            if ((self.checkpoint_path is not None
+                 or self.checkpoint_callback is not None)
+                    and i % max(self.checkpoint_every, 1) == 0):
+                from ..serialize import _history_payload
+                self._checkpoint({
+                    "kind": "randqb_ei", "K": K, "iteration": i,
+                    "extra_left": extra_left, "e_sq": indicator._e,
+                    "underflowed": indicator.underflowed,
+                    "a_fro_sq": a_fro_sq,
+                    "rng_state": rng.bit_generator.state,
+                    "history": _history_payload(history),
+                    "Q": Q[:, :K].copy(), "B": B[:K].copy(),
+                    "elapsed": time.perf_counter() - t0})
             if indicator.converged(self.tol) and self.target_rank is None:
                 if extra_left <= 0:
                     converged = True

@@ -1,0 +1,130 @@
+"""Graceful numerical degradation policies for the solver drivers.
+
+Section III-A of the paper identifies the failure modes of the
+deterministic solvers: thresholding can destroy rank ``K + 1`` of the
+perturbed matrix (bound (20) violated) and break ILUT_CRTP, and a
+rank-deficient tall block breaks the Cholesky factorization inside
+CholeskyQR2.  The default library behavior is to *raise* the typed
+breakdown exceptions; a :class:`RecoveryPolicy` makes the solvers recover
+instead:
+
+- ``ILUT_CRTP`` on :class:`~repro.exceptions.RankDeficiencyBreakdown`
+  performs the paper's undo (restore the pre-drop Schur complement of the
+  previous iteration, refund its perturbation mass) and falls back to
+  *exact* LU_CRTP — thresholding disabled — for that iteration and the
+  rest of the run;
+- ``cholqr2`` on Cholesky breakdown falls back to a dense Householder QR
+  of the block (always succeeds).
+
+Every recovery action is appended to a structured :class:`RecoveryLog`, so
+a production deployment can alert on recovery *rates*, not just failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RecoveryEvent:
+    """One recovery action taken by a solver or kernel.
+
+    Attributes
+    ----------
+    action:
+        Machine-readable action tag, e.g. ``"ilut_undo_exact_fallback"``
+        or ``"cholqr_dense_fallback"``.
+    iteration:
+        Outer solver iteration during which the recovery ran (None for
+        kernels invoked outside a driver loop).
+    detail:
+        Human-readable one-liner for logs.
+    context:
+        Free-form structured payload (ranks, norms, thresholds...).
+    """
+
+    action: str
+    iteration: int | None = None
+    detail: str = ""
+    context: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        at = f" (iteration {self.iteration})" if self.iteration else ""
+        return f"[{self.action}]{at} {self.detail}"
+
+
+@dataclass
+class RecoveryLog:
+    """Append-only structured log of recovery actions."""
+
+    events: list[RecoveryEvent] = field(default_factory=list)
+
+    def record(self, action: str, *, iteration: int | None = None,
+               detail: str = "", **context) -> RecoveryEvent:
+        ev = RecoveryEvent(action=action, iteration=iteration,
+                           detail=detail, context=context)
+        self.events.append(ev)
+        return ev
+
+    def count(self, action: str | None = None) -> int:
+        if action is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.action == action)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def summary(self) -> str:
+        """One line per distinct action with its count."""
+        counts: dict[str, int] = {}
+        for e in self.events:
+            counts[e.action] = counts.get(e.action, 0) + 1
+        if not counts:
+            return "no recovery actions"
+        return "\n".join(f"{a}: {c}" for a, c in sorted(counts.items()))
+
+
+@dataclass
+class RecoveryPolicy:
+    """What the solvers do when a numerical breakdown occurs.
+
+    Parameters
+    ----------
+    on_rank_deficiency:
+        ``"fallback_exact"`` — ILUT_CRTP undoes the last threshold drop and
+        continues with thresholding disabled (exact LU_CRTP iterations);
+        ``"raise"`` — propagate :class:`RankDeficiencyBreakdown` (the
+        default library behavior without a policy).
+    on_cholesky_breakdown:
+        ``"dense_qr"`` — CholeskyQR2 falls back to dense Householder QR
+        (and logs it); ``"raise"`` is not offered because the fallback is
+        always numerically safe — the field exists to make the behavior
+        explicit and auditable.
+    max_recoveries:
+        Upper bound on ILUT undo/fallback recoveries per solve; exceeding
+        it re-raises the breakdown (prevents pathological retry loops).
+    log:
+        The structured log recoveries are appended to.  Pass a shared
+        instance to aggregate across solvers.
+    """
+
+    on_rank_deficiency: str = "fallback_exact"
+    on_cholesky_breakdown: str = "dense_qr"
+    max_recoveries: int = 4
+    log: RecoveryLog = field(default_factory=RecoveryLog)
+
+    def __post_init__(self):
+        if self.on_rank_deficiency not in ("fallback_exact", "raise"):
+            raise ValueError(
+                f"unknown on_rank_deficiency {self.on_rank_deficiency!r}")
+        if self.on_cholesky_breakdown != "dense_qr":
+            raise ValueError(
+                f"unknown on_cholesky_breakdown "
+                f"{self.on_cholesky_breakdown!r}")
+
+    @property
+    def events(self) -> list[RecoveryEvent]:
+        return self.log.events

@@ -59,5 +59,46 @@ class CommunicatorError(ReproError):
     """Misuse of the simulated communicator (mismatched collectives, bad rank)."""
 
 
+class RankFailure(CommunicatorError):
+    """A simulated rank died (injected crash) or a peer observed its death.
+
+    ``rank`` names the failed rank, ``superstep`` its communication step at
+    the time of death.  ``injected`` distinguishes the primary failure
+    raised *on* the crashing rank from the secondary failures healthy ranks
+    raise when they detect the dead participant (broken barrier, recv from
+    a dead source).
+    """
+
+    def __init__(self, message: str, *, rank: int | None = None,
+                 superstep: int | None = None, injected: bool = False):
+        super().__init__(message)
+        self.rank = rank
+        self.superstep = superstep
+        self.injected = injected
+
+
+class CommTimeoutError(CommunicatorError):
+    """A simulated ``recv`` (or retry sequence) exhausted its timeout.
+
+    Carries the route ``(src, dst, tag)`` and the configured ``timeout`` so
+    chaos tests can assert *which* message went missing.
+    """
+
+    def __init__(self, message: str, *, src: int | None = None,
+                 dst: int | None = None, tag: int | None = None,
+                 timeout: float | None = None, retries: int = 0):
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.timeout = timeout
+        self.retries = retries
+
+
+class CheckpointError(ReproError):
+    """A solver checkpoint could not be written, read, or applied
+    (e.g. resuming an SPMD run with a different process count)."""
+
+
 class MatrixFormatError(ReproError):
     """Malformed external matrix data (e.g. Matrix Market parsing failures)."""

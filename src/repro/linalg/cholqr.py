@@ -78,24 +78,34 @@ def cholqr(B) -> tuple[np.ndarray, np.ndarray, bool]:
     return Q, R, clean
 
 
-def cholqr2(B) -> tuple[np.ndarray, np.ndarray, bool]:
+def cholqr2(B, *, recovery_log=None) -> tuple[np.ndarray, np.ndarray, bool]:
     """CholeskyQR2: two CholeskyQR passes, giving ``Q`` orthonormal to
     machine precision for moderately conditioned ``B``.
 
     Returns ``(Q, R, clean)`` with ``R`` the product of both passes' factors.
     Falls back to a dense Householder QR when either pass reports breakdown,
-    so the returned basis is always usable.
+    so the returned basis is always usable.  When ``recovery_log`` (a
+    :class:`repro.core.recovery.RecoveryLog`, or anything with a
+    ``record(action, **kw)`` method) is given, every fallback is appended
+    to it as a structured ``"cholqr_dense_fallback"`` event.
     """
     Q1, R1, clean1 = cholqr(B)
     if not clean1:
-        return _dense_fallback(B)
+        return _dense_fallback(B, recovery_log, "first pass")
     Q2, R2, clean2 = cholqr(Q1)
     if not clean2:
-        return _dense_fallback(B)
+        return _dense_fallback(B, recovery_log, "second pass")
     return Q2, R2 @ R1, True
 
 
-def _dense_fallback(B) -> tuple[np.ndarray, np.ndarray, bool]:
+def _dense_fallback(B, recovery_log=None, which: str = ""
+                    ) -> tuple[np.ndarray, np.ndarray, bool]:
     Bd = B.toarray() if sp.issparse(B) else np.asarray(B, dtype=np.float64)
+    if recovery_log is not None:
+        recovery_log.record(
+            "cholqr_dense_fallback",
+            detail=f"Cholesky breakdown ({which}): dense Householder QR of "
+                   f"a {Bd.shape[0]}x{Bd.shape[1]} block",
+            shape=list(Bd.shape))
     Q, R = np.linalg.qr(Bd, mode="reduced")
     return Q, R, False

@@ -19,6 +19,14 @@ reproduced with a two-layer simulation (DESIGN.md §5):
 
 from .machine import MachineModel, CollectiveCosts
 from .comm import SimComm, run_spmd
+from .faults import (
+    FaultPlan,
+    FaultInjector,
+    RankCrash,
+    MessageDrop,
+    PayloadCorruption,
+    ClockSkewStall,
+)
 from .distribution import (
     block_ranges,
     cyclic_owner,
@@ -45,6 +53,12 @@ __all__ = [
     "CollectiveCosts",
     "SimComm",
     "run_spmd",
+    "FaultPlan",
+    "FaultInjector",
+    "RankCrash",
+    "MessageDrop",
+    "PayloadCorruption",
+    "ClockSkewStall",
     "block_ranges",
     "cyclic_owner",
     "block_cyclic_columns",

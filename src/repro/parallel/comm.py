@@ -26,8 +26,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..exceptions import CommunicatorError
+from ..exceptions import CommTimeoutError, CommunicatorError, RankFailure
+from .faults import DROP, FaultInjector, FaultPlan
 from .machine import MachineModel
+
+#: Default real-time bound on a blocking ``recv`` (seconds).  Finite so a
+#: misbehaving rank program fails the test suite instead of hanging it.
+DEFAULT_RECV_TIMEOUT = 30.0
+
+#: Default real-time bound on barrier waits inside collectives.
+DEFAULT_COLLECTIVE_TIMEOUT = 120.0
 
 
 @dataclass
@@ -43,6 +51,10 @@ class _SharedState:
     queues: dict = field(default_factory=dict)
     queues_lock: threading.Lock = field(default_factory=threading.Lock)
     kernel_times: dict = field(default_factory=dict)
+    injector: FaultInjector | None = None
+    recv_timeout: float = DEFAULT_RECV_TIMEOUT
+    collective_timeout: float = DEFAULT_COLLECTIVE_TIMEOUT
+    failed_ranks: dict = field(default_factory=dict)  # rank -> superstep
 
     def queue_for(self, src: int, dst: int, tag: int) -> queue.Queue:
         key = (src, dst, tag)
@@ -52,6 +64,13 @@ class _SharedState:
                 q = self.queues[key] = queue.Queue()
             return q
 
+    def mark_failed(self, rank: int, superstep: int) -> None:
+        self.failed_ranks.setdefault(rank, superstep)
+
+    def any_failed(self) -> int | None:
+        """Some failed rank (lowest), or None while everyone is alive."""
+        return min(self.failed_ranks) if self.failed_ranks else None
+
 
 class SimComm:
     """Per-rank handle of the simulated communicator."""
@@ -60,6 +79,31 @@ class SimComm:
         self.rank = rank
         self._state = state
         self._kernel: str | None = None
+        self._superstep = 0
+
+    @property
+    def superstep(self) -> int:
+        """Number of communication operations this rank has started."""
+        return self._superstep
+
+    def _step(self, op: str) -> None:
+        """Superstep accounting + fault-injection hook for one comm op.
+
+        Raises :class:`RankFailure` when the fault plan kills this rank
+        here; the failure is registered in shared state *before* raising so
+        peers blocked in ``recv`` detect the death promptly.
+        """
+        self._superstep += 1
+        inj = self._state.injector
+        if inj is None:
+            return
+        try:
+            stall = inj.before_op(self.rank, self._superstep, op)
+        except RankFailure:
+            self._state.mark_failed(self.rank, self._superstep)
+            raise
+        if stall:
+            self.charge(stall)
 
     # -- introspection ----------------------------------------------------
     @property
@@ -104,13 +148,19 @@ class SimComm:
     def _collective(self, deposit, combine, comm_cost: float):
         """Generic collective: every rank deposits, the barrier action runs
         ``combine`` once, everyone picks up the result and pays
-        ``comm_cost`` on a clock synchronized to the slowest participant."""
+        ``comm_cost`` on a clock synchronized to the slowest participant.
+
+        A participant that died (injected crash or any uncaught error)
+        breaks the barrier; survivors fail fast with a :class:`RankFailure`
+        naming the dead rank instead of hanging.
+        """
+        self._step("collective")
         state = self._state
         state.slot.setdefault("in", {})[self.rank] = deposit
         try:
-            idx = state.barrier.wait()
-        except threading.BrokenBarrierError as exc:  # pragma: no cover
-            raise CommunicatorError("collective aborted") from exc
+            idx = state.barrier.wait(timeout=state.collective_timeout)
+        except threading.BrokenBarrierError as exc:
+            raise self._collective_failure() from exc
         if idx == 0:
             # exactly one rank assembles the result and syncs the clocks
             with state.clock_lock:
@@ -118,10 +168,24 @@ class SimComm:
                 state.clocks[:] = tmax
             state.slot["out"] = combine(state.slot["in"])
             state.slot["in"] = {}
-        state.barrier.wait()
+        try:
+            state.barrier.wait(timeout=state.collective_timeout)
+        except threading.BrokenBarrierError as exc:
+            raise self._collective_failure() from exc
         result = state.slot["out"]
         self.charge(comm_cost)
         return result
+
+    def _collective_failure(self) -> CommunicatorError:
+        """Typed error for a broken collective: name the dead rank if the
+        break was caused by a failure, generic abort otherwise."""
+        dead = self._state.any_failed()
+        if dead is not None:
+            return RankFailure(
+                f"collective aborted on rank {self.rank}: rank {dead} died "
+                f"at superstep {self._state.failed_ranks[dead]}", rank=dead,
+                superstep=self._state.failed_ranks[dead])
+        return CommunicatorError("collective aborted")
 
     # -- collectives ---------------------------------------------------------
     def barrier_sync(self) -> None:
@@ -203,21 +267,69 @@ class SimComm:
     def send(self, obj, dst: int, tag: int = 0) -> None:
         if not 0 <= dst < self.nprocs:
             raise CommunicatorError(f"invalid destination rank {dst}")
+        self._step("send")
         costs = self._state.machine.collectives
         self.charge(costs.p2p(_payload_bytes(obj)))
+        inj = self._state.injector
+        if inj is not None:
+            obj = inj.filter_send(self.rank, dst, tag, obj)
+            if obj is DROP:
+                return  # lost on the wire: cost paid, nothing delivered
         self._state.queue_for(self.rank, dst, tag).put(
             (obj, self.clock()))
 
-    def recv(self, src: int, tag: int = 0):
+    def recv(self, src: int, tag: int = 0, *, timeout: float | None = None,
+             max_retries: int = 0, retry_backoff: float = 1e-3):
+        """Blocking receive with a finite timeout and bounded retries.
+
+        Parameters
+        ----------
+        timeout:
+            Real-time bound per attempt (seconds); defaults to the run's
+            ``recv_timeout`` (:func:`run_spmd`).  A missing message raises
+            :class:`CommTimeoutError` naming the route instead of blocking
+            pytest forever.
+        max_retries:
+            Additional wait rounds after the first attempt times out.
+        retry_backoff:
+            *Simulated* seconds charged to this rank's clock per retry,
+            doubling each round — the modeled cost of a retry protocol.
+
+        A ``recv`` from a rank known to have died fails fast with
+        :class:`RankFailure` regardless of the timeout.
+        """
         if not 0 <= src < self.nprocs:
             raise CommunicatorError(f"invalid source rank {src}")
-        obj, sent_at = self._state.queue_for(src, self.rank, tag).get(
-            timeout=60.0)
-        # receiving rank cannot proceed before the message existed
+        self._step("recv")
         state = self._state
-        with state.clock_lock:
-            state.clocks[self.rank] = max(state.clocks[self.rank], sent_at)
-        return obj
+        timeout = state.recv_timeout if timeout is None else float(timeout)
+        q = state.queue_for(src, self.rank, tag)
+        poll = min(0.02, max(timeout / 20.0, 1e-4))
+        for attempt in range(max_retries + 1):
+            waited = 0.0
+            while waited < timeout:
+                if src in state.failed_ranks:
+                    raise RankFailure(
+                        f"recv on rank {self.rank}: source rank {src} died "
+                        f"at superstep {state.failed_ranks[src]}", rank=src,
+                        superstep=state.failed_ranks[src])
+                try:
+                    obj, sent_at = q.get(timeout=poll)
+                except queue.Empty:
+                    waited += poll
+                    continue
+                # receiving rank cannot proceed before the message existed
+                with state.clock_lock:
+                    state.clocks[self.rank] = max(state.clocks[self.rank],
+                                                  sent_at)
+                return obj
+            if attempt < max_retries:
+                self.charge(retry_backoff * (2.0 ** attempt))
+        raise CommTimeoutError(
+            f"recv on rank {self.rank} from rank {src} (tag {tag}) timed "
+            f"out after {max_retries + 1} attempt(s) of {timeout:g}s",
+            src=src, dst=self.rank, tag=tag, timeout=timeout,
+            retries=max_retries)
 
 
 def _payload_bytes(obj) -> float:
@@ -235,20 +347,54 @@ def _payload_bytes(obj) -> float:
     return 64.0  # misc python objects: headers only
 
 
+def _error_priority(exc: BaseException) -> int:
+    """Rank the per-thread errors of one run so the most *causal* one is
+    re-raised: the injected crash first, then genuine program errors, then
+    the secondary failures healthy ranks observe (dead peer, lost message),
+    then generic aborted-collective noise."""
+    if isinstance(exc, RankFailure) and exc.injected:
+        return 0
+    if not isinstance(exc, CommunicatorError):
+        return 1
+    if isinstance(exc, RankFailure):
+        return 2
+    if isinstance(exc, CommTimeoutError):
+        return 3
+    return 4
+
+
 def run_spmd(nprocs: int, program, *args, machine: MachineModel | None = None,
+             fault_plan: FaultPlan | FaultInjector | None = None,
+             recv_timeout: float = DEFAULT_RECV_TIMEOUT,
+             collective_timeout: float = DEFAULT_COLLECTIVE_TIMEOUT,
              **kwargs) -> dict:
     """Run ``program(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
 
     Returns a dict with per-rank ``results``, the synchronized final
     ``clocks`` (modeled seconds) and per-kernel max-over-ranks times
     (``kernel_seconds``).  Exceptions on any rank abort the barrier and are
-    re-raised on the caller's thread.
+    re-raised on the caller's thread; with several failing ranks the most
+    causal error wins (injected crash > program error > observed failure).
+
+    Parameters
+    ----------
+    fault_plan:
+        Optional :class:`repro.parallel.faults.FaultPlan` (or a prebuilt
+        injector) consulted on every communication operation.
+    recv_timeout:
+        Default real-time bound for :meth:`SimComm.recv` (seconds).
+    collective_timeout:
+        Real-time bound on barrier waits inside collectives.
     """
     if nprocs <= 0:
         raise CommunicatorError("nprocs must be positive")
     machine = machine or MachineModel()
+    injector = fault_plan.build() if isinstance(fault_plan, FaultPlan) \
+        else fault_plan
     state = _SharedState(nprocs=nprocs, machine=machine,
-                         clocks=np.zeros(nprocs))
+                         clocks=np.zeros(nprocs), injector=injector,
+                         recv_timeout=float(recv_timeout),
+                         collective_timeout=float(collective_timeout))
     state.barrier = threading.Barrier(nprocs)
     results: list = [None] * nprocs
     errors: list = [None] * nprocs
@@ -259,6 +405,7 @@ def run_spmd(nprocs: int, program, *args, machine: MachineModel | None = None,
             results[rank] = program(comm, *args, **kwargs)
         except BaseException as exc:  # noqa: BLE001 - must cross threads
             errors[rank] = exc
+            state.mark_failed(rank, comm.superstep)
             state.barrier.abort()
 
     threads = [threading.Thread(target=runner, args=(r,), daemon=True)
@@ -267,15 +414,9 @@ def run_spmd(nprocs: int, program, *args, machine: MachineModel | None = None,
         t.start()
     for t in threads:
         t.join(timeout=300.0)
-    # surface the original failure, not the secondary aborted-collective
-    # errors other ranks observe when the barrier breaks
-    real = [e for e in errors
-            if e is not None and not isinstance(e, CommunicatorError)]
-    aborted = [e for e in errors if isinstance(e, CommunicatorError)]
-    if real:
-        raise real[0]
-    if aborted:
-        raise aborted[0]
+    raised = [e for e in errors if e is not None]
+    if raised:
+        raise min(raised, key=_error_priority)
 
     kernel_seconds: dict[str, float] = {}
     for (kname, _rank), secs in state.kernel_times.items():

@@ -1,0 +1,208 @@
+"""Deterministic fault injection for the simulated parallel runtime.
+
+The paper's headline results come from long runs at up to 4096 processes;
+at that scale rank crashes, lost messages and stragglers are facts of life.
+This module gives the thread-per-rank runtime (:mod:`repro.parallel.comm`)
+a *seeded, reproducible* fault model so chaos tests can assert two things:
+
+- **masked** faults (stalls, corrupted tournament candidates) leave the
+  factorization correct — ``||A - HW||_F < tau ||A||_F`` still holds;
+- **unmasked** faults (rank crash, dropped message) surface as *typed*
+  exceptions (:class:`repro.exceptions.RankFailure`,
+  :class:`repro.exceptions.CommTimeoutError`) naming the failing rank and
+  superstep, instead of deadlocking the run.
+
+A :class:`FaultPlan` is a declarative list of fault specs; ``plan.build()``
+produces the per-run :class:`FaultInjector` that :class:`~repro.parallel.
+comm.SimComm` consults from its ``send`` / ``recv`` / collective hooks.
+Every rank's communication operations are counted as *supersteps*; faults
+trigger when the owning rank's counter reaches the spec's superstep, which
+makes a plan deterministic for a fixed rank program.
+
+Example::
+
+    plan = FaultPlan([RankCrash(rank=1, superstep=40)], seed=0)
+    run_spmd(4, spmd_lu_crtp, A, fault_plan=plan)   # raises RankFailure
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import RankFailure
+
+#: Sentinel returned by :meth:`FaultInjector.filter_send` for dropped messages.
+DROP = object()
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """Kill ``rank`` when its superstep counter reaches ``superstep``.
+
+    The crashing rank raises :class:`RankFailure` (``injected=True``) at the
+    start of that communication operation; peers observe the death through
+    broken collectives or timed-out receives.
+    """
+
+    rank: int
+    superstep: int
+
+
+@dataclass(frozen=True)
+class MessageDrop:
+    """Silently discard sends on the route ``src -> dst``.
+
+    ``tag=None`` matches any tag; ``count`` bounds how many matching sends
+    are dropped (``count <= 0`` drops all of them).  The receiver sees the
+    loss as a :class:`CommTimeoutError` once its timeout expires.
+    """
+
+    src: int
+    dst: int
+    tag: int | None = None
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class PayloadCorruption:
+    """Perturb the floating-point payload of sends on ``src -> dst``.
+
+    Every float array found in the payload (dense ndarray, sparse ``data``,
+    recursively inside tuples/lists) gets seeded Gaussian noise of relative
+    magnitude ``scale`` added.  Integer arrays (global ids, index vectors)
+    are left intact so the fault perturbs *values*, not addressing —
+    the soft-error model, not a memory-safety one.
+    """
+
+    src: int
+    dst: int
+    tag: int | None = None
+    scale: float = 1e-3
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class ClockSkewStall:
+    """Charge ``seconds`` of simulated time to ``rank`` at ``superstep``.
+
+    Models a straggler (OS jitter, clock skew): purely a timing fault, the
+    numerics are untouched.  Collectives absorb it by synchronizing every
+    participant's clock to the slowest rank.
+    """
+
+    rank: int
+    superstep: int
+    seconds: float
+
+
+@dataclass
+class FaultPlan:
+    """Declarative, seeded description of the faults to inject in one run.
+
+    The plan itself is immutable configuration; :meth:`build` creates the
+    stateful per-run injector (drop/corruption counters, RNG streams), so
+    one plan can be reused across runs and always injects identically.
+    """
+
+    faults: list = field(default_factory=list)
+    seed: int = 0
+
+    def build(self) -> "FaultInjector":
+        return FaultInjector(self)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+
+class FaultInjector:
+    """Per-run live state of a :class:`FaultPlan`.
+
+    Thread-safety: crash/stall specs are keyed by rank and only consulted
+    from that rank's own thread; drop/corruption counters are keyed by the
+    *source* rank and only touched from the source's ``send`` — so no
+    locking is needed under the one-thread-per-rank execution model.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._crashes: dict[int, RankCrash] = {}
+        self._stalls: dict[tuple[int, int], ClockSkewStall] = {}
+        self._routes: list = []  # (spec, remaining_count, rng)
+        for i, spec in enumerate(plan.faults):
+            if isinstance(spec, RankCrash):
+                self._crashes[spec.rank] = spec
+            elif isinstance(spec, ClockSkewStall):
+                self._stalls[(spec.rank, spec.superstep)] = spec
+            elif isinstance(spec, (MessageDrop, PayloadCorruption)):
+                remaining = spec.count if spec.count > 0 else np.inf
+                rng = np.random.default_rng(
+                    np.random.SeedSequence([plan.seed, i]))
+                self._routes.append([spec, remaining, rng])
+            else:
+                raise TypeError(f"unknown fault spec {type(spec).__name__}")
+        self.injected: list[str] = []  # audit trail of triggered faults
+
+    # -- hooks consulted by SimComm ----------------------------------------
+    def before_op(self, rank: int, superstep: int, op: str) -> float:
+        """Called at the start of every communication op on ``rank``.
+
+        Returns extra simulated seconds to charge (clock-skew stall) and
+        raises :class:`RankFailure` when this op is the rank's death.
+        """
+        crash = self._crashes.get(rank)
+        if crash is not None and superstep >= crash.superstep:
+            self.injected.append(
+                f"crash rank={rank} superstep={superstep} op={op}")
+            raise RankFailure(
+                f"injected crash: rank {rank} died at superstep "
+                f"{superstep} ({op})", rank=rank, superstep=superstep,
+                injected=True)
+        stall = self._stalls.get((rank, superstep))
+        if stall is not None:
+            self.injected.append(
+                f"stall rank={rank} superstep={superstep} "
+                f"seconds={stall.seconds}")
+            return float(stall.seconds)
+        return 0.0
+
+    def filter_send(self, src: int, dst: int, tag: int, payload):
+        """Called from ``send``: returns the (possibly corrupted) payload,
+        or the :data:`DROP` sentinel when the message is to be lost."""
+        for entry in self._routes:
+            spec, remaining, rng = entry
+            if remaining <= 0 or spec.src != src or spec.dst != dst:
+                continue
+            if spec.tag is not None and spec.tag != tag:
+                continue
+            entry[1] = remaining - 1
+            if isinstance(spec, MessageDrop):
+                self.injected.append(f"drop {src}->{dst} tag={tag}")
+                return DROP
+            self.injected.append(f"corrupt {src}->{dst} tag={tag}")
+            payload = _corrupt(payload, spec.scale, rng)
+        return payload
+
+
+def _corrupt(obj, scale: float, rng: np.random.Generator):
+    """Deep-copy ``obj`` with seeded relative noise on every float array."""
+    if isinstance(obj, np.ndarray):
+        if not np.issubdtype(obj.dtype, np.floating):
+            return obj
+        amp = scale * (float(np.max(np.abs(obj))) if obj.size else 0.0)
+        return obj + amp * rng.standard_normal(obj.shape)
+    if sp.issparse(obj):
+        out = obj.copy()
+        if out.data.size and np.issubdtype(out.data.dtype, np.floating):
+            amp = scale * float(np.max(np.abs(out.data)))
+            out.data = out.data + amp * rng.standard_normal(out.data.shape)
+        return out
+    if isinstance(obj, tuple):
+        return tuple(_corrupt(o, scale, rng) for o in obj)
+    if isinstance(obj, list):
+        return [_corrupt(o, scale, rng) for o in obj]
+    if isinstance(obj, (float, np.floating)):
+        return float(obj) * (1.0 + scale * float(rng.standard_normal()))
+    return obj

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from ..exceptions import CommTimeoutError
 from ..pivoting.select import select_columns
 from ..pivoting.tournament import qr_tp
 from .comm import SimComm
@@ -141,7 +142,18 @@ def par_tournament_columns(comm: SimComm, local_block: sp.csc_matrix,
             if comm.rank % (2 * step) == 0:
                 partner = comm.rank + step
                 if partner < nprocs:
-                    other_ids, other_cols = comm.recv(partner, tag=t)
+                    try:
+                        other_ids, other_cols = comm.recv(partner, tag=t)
+                    except CommTimeoutError as exc:
+                        # name the tournament round so chaos tests (and CI
+                        # logs) show *where* in the reduction tree the
+                        # candidates went missing
+                        raise CommTimeoutError(
+                            f"tournament reduction round {t}: rank "
+                            f"{comm.rank} never received candidates from "
+                            f"rank {partner}", src=partner, dst=comm.rank,
+                            tag=t, timeout=exc.timeout,
+                            retries=exc.retries) from exc
                     merged = sp.hstack([cand_cols, other_cols], format="csc")
                     ids = np.concatenate([cand_ids, other_ids])
                     if merged.shape[1] > 0:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from ..exceptions import CheckpointError
 from ..linalg.norms import fro_norm_sq
 from ..linalg.orth import orth
 from ..sparse.utils import ensure_csc, ensure_csr
@@ -26,14 +27,50 @@ from .distribution import block_ranges, partition_cols_csc, partition_rows_csr
 from .kernels import par_qt_a, par_spmm_rowdist, par_tournament_columns, par_tsqr
 
 
+def _load_spmd_checkpoint(comm: SimComm, resume_from, kind: str) -> dict:
+    """Rank 0 reads the checkpoint, everyone gets it by broadcast, and the
+    stored process count must match (per-rank blocks are restored exactly
+    so the resumed run is bitwise-identical to an uninterrupted one)."""
+    from ..serialize import resolve_checkpoint
+    st = comm.bcast(
+        resolve_checkpoint(resume_from) if comm.rank == 0 else None, root=0)
+    if st.get("kind") != kind:
+        raise CheckpointError(
+            f"checkpoint kind {st.get('kind')!r} is not {kind!r}")
+    if int(st["nprocs"]) != comm.nprocs:
+        raise CheckpointError(
+            f"checkpoint was written by {st['nprocs']} ranks, cannot resume "
+            f"on {comm.nprocs}")
+    return st
+
+
+def _write_spmd_checkpoint(comm: SimComm, state: dict, checkpoint_path,
+                           checkpoint_callback) -> None:
+    """Rank 0 persists the (already gathered) state dict."""
+    if comm.rank != 0:
+        return
+    if checkpoint_callback is not None:
+        checkpoint_callback(state)
+    if checkpoint_path is not None:
+        from ..serialize import save_checkpoint
+        save_checkpoint(checkpoint_path, state)
+
+
 def spmd_randqb_ei(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
-                   power: int = 0, seed: int = 0, max_rank: int | None = None):
+                   power: int = 0, seed: int = 0, max_rank: int | None = None,
+                   checkpoint_path=None, checkpoint_every: int = 1,
+                   checkpoint_callback=None, resume_from=None):
     """Algorithm 1 as a rank program: ``A`` row-distributed, ``Omega`` and
     ``B_K`` replicated, ``Q_K`` row-distributed, orthogonalization via TSQR.
 
     Every rank returns ``(Q_local_rows, B, rank)``; ``B`` is replicated.
     Uses the same RNG stream as the sequential solver (drawn on rank 0 and
     broadcast), so results are bitwise-comparable modulo reduction order.
+
+    With ``checkpoint_path`` (or ``checkpoint_callback``), rank 0 persists
+    the gathered run state every ``checkpoint_every`` block iterations;
+    ``resume_from`` restarts a crashed run from the last checkpoint with
+    the per-rank ``Q`` blocks and the RNG stream restored exactly.
     """
     m, n = A.shape
     ranges = block_ranges(m, comm.nprocs)
@@ -50,7 +87,20 @@ def spmd_randqb_ei(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
     B = np.zeros((0, n))
     K = 0
     converged = False
-    while K < max_rank:
+    checkpointing = (checkpoint_path is not None
+                     or checkpoint_callback is not None)
+    if resume_from is not None:
+        st = _load_spmd_checkpoint(comm, resume_from, "spmd_randqb_ei")
+        K = int(st["K"])
+        E = float(st["E"])
+        converged = bool(st["converged"])
+        B = st["B"]
+        Qloc = st["Qblocks"][comm.rank]
+        if comm.rank == 0:
+            rng.bit_generator.state = st["rngstate"]
+    it = 0
+    while not converged and K < max_rank:
+        it += 1
         k_i = min(k, max_rank - K)
         Omega = comm.bcast(
             rng.standard_normal((n, k_i)) if comm.rank == 0 else None, root=0)
@@ -89,12 +139,24 @@ def spmd_randqb_ei(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
         E -= float(np.vdot(Bk, Bk).real)
         if np.sqrt(max(E, 0.0)) < tol * np.sqrt(a_fro_sq):
             converged = True
+        if checkpointing and it % max(checkpoint_every, 1) == 0:
+            qblocks = comm.gather(Qloc, root=0)
+            _write_spmd_checkpoint(comm, {
+                "kind": "spmd_randqb_ei", "nprocs": comm.nprocs, "K": K,
+                "E": E, "converged": converged, "afrosq": a_fro_sq,
+                "B": B, "Qblocks": qblocks,
+                "rngstate": rng.bit_generator.state
+                if comm.rank == 0 else None,
+            }, checkpoint_path, checkpoint_callback)
+        if converged:
             break
     return Qloc, B, K, converged
 
 
 def spmd_lu_crtp(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
-                 max_rank: int | None = None, threshold: float = 0.0):
+                 max_rank: int | None = None, threshold: float = 0.0,
+                 checkpoint_path=None, checkpoint_every: int = 1,
+                 checkpoint_callback=None, resume_from=None):
     """Algorithm 2 (Algorithm 3 when ``threshold > 0``) as a rank program.
 
     ``A^(i)`` lives in a block-cyclic column distribution; the column
@@ -106,24 +168,45 @@ def spmd_lu_crtp(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
     Every rank returns ``(achieved_rank, converged, rel_indicator)``;
     factors are validated through the indicator (the sequential solver is
     the reference for factor values).
+
+    With ``checkpoint_path`` (or ``checkpoint_callback``), rank 0 gathers
+    every rank's active block and persists the run state once per
+    ``checkpoint_every`` iterations; ``resume_from`` restores each rank's
+    exact block, so a run killed by a rank crash and re-launched on the
+    surviving state reaches the same ``tau`` at the same rank bound as an
+    uninterrupted run.
     """
     A = ensure_csc(A)
     m, n = A.shape
     max_rank = min(max_rank or min(m, n), min(m, n))
-    blocks, idx_sets = partition_cols_csc(A, comm.nprocs,
-                                          block=max(2 * k, 1))
-    local = blocks[comm.rank].tocsc()
-    local_ids = idx_sets[comm.rank].astype(np.intp)
+    checkpointing = (checkpoint_path is not None
+                     or checkpoint_callback is not None)
+    if resume_from is None:
+        blocks, idx_sets = partition_cols_csc(A, comm.nprocs,
+                                              block=max(2 * k, 1))
+        local = blocks[comm.rank].tocsc()
+        local_ids = idx_sets[comm.rank].astype(np.intp)
 
-    a_fro_sq = float(comm.allreduce_sum(
-        np.array([fro_norm_sq(local)]))[0])
+        a_fro_sq = float(comm.allreduce_sum(
+            np.array([fro_norm_sq(local)]))[0])
+        K = 0
+        converged = False
+        ind_sq = a_fro_sq
+        active_rows = np.arange(m)  # global rows still active, current order
+    else:
+        st = _load_spmd_checkpoint(comm, resume_from, "spmd_lu_crtp")
+        local = st["blocks"][comm.rank].tocsc()
+        local_ids = np.asarray(st["idsets"][comm.rank], dtype=np.intp)
+        a_fro_sq = float(st["afrosq"])
+        K = int(st["K"])
+        converged = bool(st["converged"])
+        ind_sq = float(st["indsq"])
+        active_rows = np.asarray(st["activerows"])
     a_fro = np.sqrt(a_fro_sq)
 
-    K = 0
-    converged = False
-    ind_sq = a_fro_sq
-    active_rows = np.arange(m)  # global rows still active, in current order
-    while K < max_rank:
+    it = 0
+    while not converged and K < max_rank:
+        it += 1
         total_cols = int(comm.allreduce_sum(
             np.array([local.shape[1]]))[0])
         k_i = min(k, len(active_rows), total_cols, max_rank - K)
@@ -215,6 +298,18 @@ def spmd_lu_crtp(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
             np.array([fro_norm_sq(local)]))[0])
         if np.sqrt(ind_sq) < tol * a_fro:
             converged = True
+        if checkpointing and it % max(checkpoint_every, 1) == 0:
+            gathered = comm.gather((local_ids, local), root=0)
+            _write_spmd_checkpoint(comm, {
+                "kind": "spmd_lu_crtp", "nprocs": comm.nprocs, "K": K,
+                "converged": converged, "indsq": ind_sq,
+                "afrosq": a_fro_sq, "activerows": active_rows,
+                "idsets": [np.asarray(g[0]) for g in gathered]
+                if comm.rank == 0 else None,
+                "blocks": [g[1].tocsc() for g in gathered]
+                if comm.rank == 0 else None,
+            }, checkpoint_path, checkpoint_callback)
+        if converged:
             break
         if len(active_rows) == 0 or total_cols - k_i == 0:
             break

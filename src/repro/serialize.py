@@ -1,9 +1,16 @@
-"""Save and load solver results (.npz archives).
+"""Save and load solver results and checkpoints (.npz archives).
 
 Factorizations of large matrices are expensive; downstream users want to
 compute once and reuse.  ``save_result``/``load_result`` round-trip the
 three result families (QB, UBV, LU) including permutations, convergence
 metadata and the per-iteration history.
+
+``save_checkpoint``/``load_checkpoint`` persist *mid-run* solver state: a
+flat dict whose values are numpy arrays, scipy sparse matrices, lists of
+either, or JSON-serializable scalars/dicts.  The fixed-precision drivers
+write one checkpoint per completed block iteration and can resume from the
+last one with the error-indicator state intact (see ``resume_from=`` on
+:class:`repro.core.randqb_ei.RandQB_EI` and friends).
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from pathlib import Path
 import numpy as np
 import scipy.sparse as sp
 
+from .exceptions import CheckpointError
 from .history import ConvergenceHistory, IterationRecord
 from .results import LUApproximation, QBApproximation, UBVApproximation
 
@@ -107,3 +115,119 @@ def load_result(path):
             dropped_norm=meta.get("dropped_norm", 0.0),
             control_triggered=meta.get("control_triggered", False),
             **common)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoints: generic state-dict persistence for the solver drivers.
+#
+# Layout of the .npz archive (format version 1):
+#   _ckpt_meta            JSON blob: {"version", "scalars": {...},
+#                         "sparse": {key: fmt}, "sparse_lists": {key:
+#                         [fmt, ...]}, "array_lists": {key: n}}
+#   a__<key>              plain ndarray entries
+#   s__<key>__{data,indices,indptr,shape}           sparse entries
+#   al__<key>__<i>        list-of-ndarray entries
+#   sl__<key>__<i>__{data,indices,indptr,shape}     list-of-sparse entries
+#
+# Keys therefore must not contain the "__" separator.
+# ---------------------------------------------------------------------------
+
+CHECKPOINT_VERSION = 1
+
+
+def _pack_sparse(arrays: dict, prefix: str, M) -> str:
+    fmt = "csc" if sp.issparse(M) and M.format == "csc" else "csr"
+    M = M.tocsc() if fmt == "csc" else M.tocsr()
+    arrays[f"{prefix}__data"] = M.data
+    arrays[f"{prefix}__indices"] = M.indices
+    arrays[f"{prefix}__indptr"] = M.indptr
+    arrays[f"{prefix}__shape"] = np.asarray(M.shape)
+    return fmt
+
+
+def _unpack_sparse(z, prefix: str, fmt: str):
+    cls = sp.csc_matrix if fmt == "csc" else sp.csr_matrix
+    return cls((z[f"{prefix}__data"], z[f"{prefix}__indices"],
+                z[f"{prefix}__indptr"]), shape=tuple(z[f"{prefix}__shape"]))
+
+
+def save_checkpoint(path, state: dict) -> None:
+    """Persist a solver-state dict to an ``.npz`` checkpoint.
+
+    Values may be numpy arrays, scipy sparse matrices, (possibly empty)
+    lists of either, or anything ``json.dumps`` accepts (ints, floats,
+    strings, dicts — e.g. an RNG bit-generator state).  The write is
+    atomic-ish: data goes to ``<path>.tmp`` first, then replaces ``path``,
+    so a crash mid-write never corrupts the previous checkpoint.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict = {"version": CHECKPOINT_VERSION, "scalars": {},
+                  "sparse": {}, "sparse_lists": {}, "array_lists": {}}
+    for key, val in state.items():
+        if "__" in key:
+            raise CheckpointError(
+                f"checkpoint key {key!r} must not contain '__'")
+        if isinstance(val, np.ndarray):
+            arrays[f"a__{key}"] = val
+        elif sp.issparse(val):
+            meta["sparse"][key] = _pack_sparse(arrays, f"s__{key}", val)
+        elif isinstance(val, list) and val and sp.issparse(val[0]):
+            meta["sparse_lists"][key] = [
+                _pack_sparse(arrays, f"sl__{key}__{i}", M)
+                for i, M in enumerate(val)]
+        elif isinstance(val, list) and val and isinstance(val[0], np.ndarray):
+            meta["array_lists"][key] = len(val)
+            for i, a in enumerate(val):
+                arrays[f"al__{key}__{i}"] = a
+        elif isinstance(val, list) and not val:
+            meta["array_lists"][key] = 0
+        else:
+            try:
+                json.dumps(val)
+            except TypeError as exc:
+                raise CheckpointError(
+                    f"checkpoint value for {key!r} is not serializable "
+                    f"({type(val).__name__})") from exc
+            meta["scalars"][key] = val
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    np.savez_compressed(
+        tmp, _ckpt_meta=np.frombuffer(json.dumps(meta).encode(),
+                                      dtype=np.uint8), **arrays)
+    # savez appends .npz to names without the suffix
+    written = tmp if tmp.exists() else tmp.with_name(tmp.name + ".npz")
+    written.replace(path)
+
+
+def load_checkpoint(path) -> dict:
+    """Load a state dict previously written by :func:`save_checkpoint`."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    state: dict = {}
+    with np.load(path, allow_pickle=False) as z:
+        meta = json.loads(bytes(z["_ckpt_meta"]).decode())
+        if meta.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {meta.get('version')!r}")
+        state.update(meta["scalars"])
+        for key, fmt in meta["sparse"].items():
+            state[key] = _unpack_sparse(z, f"s__{key}", fmt)
+        for key, fmts in meta["sparse_lists"].items():
+            state[key] = [_unpack_sparse(z, f"sl__{key}__{i}", fmt)
+                          for i, fmt in enumerate(fmts)]
+        for key, n in meta["array_lists"].items():
+            state[key] = [z[f"al__{key}__{i}"] for i in range(n)]
+        for name in z.files:
+            if name.startswith("a__"):
+                state[name[3:]] = z[name]
+    return state
+
+
+def resolve_checkpoint(resume_from) -> dict:
+    """Accept either a state dict (from a checkpoint callback) or a path."""
+    if resume_from is None:
+        raise CheckpointError("resume_from is None")
+    if isinstance(resume_from, dict):
+        return resume_from
+    return load_checkpoint(resume_from)

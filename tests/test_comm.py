@@ -1,10 +1,12 @@
 """Tests for repro.parallel.comm (thread-per-rank communicator)."""
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.exceptions import CommunicatorError
-from repro.parallel.comm import run_spmd
+from repro.exceptions import CommTimeoutError, CommunicatorError
+from repro.parallel.comm import DEFAULT_RECV_TIMEOUT, run_spmd
 
 
 def test_bcast():
@@ -134,3 +136,54 @@ def test_single_rank():
 def test_invalid_nprocs():
     with pytest.raises(CommunicatorError):
         run_spmd(0, lambda comm: None)
+
+
+def test_recv_invalid_src():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.recv(7)
+
+    with pytest.raises(CommunicatorError, match="invalid source"):
+        run_spmd(2, prog)
+
+
+def test_default_recv_timeout_is_finite():
+    assert np.isfinite(DEFAULT_RECV_TIMEOUT)
+
+
+def test_recv_times_out_instead_of_hanging():
+    def prog(comm):
+        if comm.rank == 1:
+            comm.recv(0)  # rank 0 never sends
+
+    start = time.perf_counter()
+    with pytest.raises(CommTimeoutError) as ei:
+        run_spmd(2, prog, recv_timeout=0.25)
+    assert time.perf_counter() - start < 30.0
+    assert (ei.value.src, ei.value.dst, ei.value.tag) == (0, 1, 0)
+    assert ei.value.timeout == pytest.approx(0.25)
+
+
+def test_recv_retries_charge_simulated_backoff():
+    def prog(comm):
+        if comm.rank != 0:
+            return None
+        try:
+            comm.recv(1, timeout=0.05, max_retries=2, retry_backoff=0.5)
+        except CommTimeoutError as exc:
+            assert exc.retries == 2
+            return comm.clock()
+        raise AssertionError("recv should have timed out")
+
+    out = run_spmd(2, prog)
+    # two retry rounds with doubling backoff: 0.5 + 1.0 simulated seconds
+    assert out["results"][0] == pytest.approx(1.5)
+
+
+def test_collective_with_missing_participant_aborts():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.allgather(1)  # rank 1 never joins the collective
+
+    with pytest.raises(CommunicatorError):
+        run_spmd(2, prog, collective_timeout=0.3)

@@ -4,6 +4,7 @@ Only the fast examples run in the default suite; the heavier studies are
 covered by the benchmark harness which exercises the same code paths.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -11,12 +12,26 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
+SRC = Path(__file__).parent.parent / "src"
+
+
+def example_env() -> dict:
+    """Environment with an absolute src/ on PYTHONPATH.
+
+    The suite is usually launched with a *relative* ``PYTHONPATH=src``,
+    which stops resolving as soon as a subprocess runs with a different
+    cwd — so always prepend the absolute path.
+    """
+    env = dict(os.environ)
+    prior = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = str(SRC) + (os.pathsep + prior if prior else "")
+    return env
 
 
 def run_example(name: str, timeout: int = 240) -> str:
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
-        capture_output=True, text=True, timeout=timeout)
+        capture_output=True, text=True, timeout=timeout, env=example_env())
     assert proc.returncode == 0, proc.stderr[-2000:]
     return proc.stdout
 
@@ -57,10 +72,10 @@ def test_heavier_examples_importable(name):
 
 
 def test_full_reproduction_runs(tmp_path):
-    import subprocess
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / "full_reproduction.py")],
-        capture_output=True, text=True, timeout=400, cwd=tmp_path)
+        capture_output=True, text=True, timeout=400, cwd=tmp_path,
+        env=example_env())
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert "Table II block" in proc.stdout
     assert (tmp_path / "reproduction_report.md").exists()

@@ -1,10 +1,18 @@
-"""Tests for repro.serialize (result persistence)."""
+"""Tests for repro.serialize (result and checkpoint persistence)."""
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro import ilut_crtp, lu_crtp, randqb_ei, randubv
-from repro.serialize import load_result, save_result
+from repro.exceptions import CheckpointError
+from repro.serialize import (
+    load_checkpoint,
+    load_result,
+    resolve_checkpoint,
+    save_checkpoint,
+    save_result,
+)
 
 
 def roundtrip(result, tmp_path):
@@ -64,3 +72,67 @@ def test_history_round_trips(small_sparse, tmp_path):
 def test_unknown_type_raises(tmp_path):
     with pytest.raises(TypeError):
         save_result(object(), tmp_path / "x.npz")
+
+
+# ---------------------------------------------------------------------------
+# Checkpoints
+# ---------------------------------------------------------------------------
+
+def test_checkpoint_roundtrip(tmp_path):
+    A = sp.random(8, 5, density=0.4, format="csc", random_state=0)
+    B = sp.random(4, 4, density=0.5, format="csr", random_state=1)
+    state = {
+        "kind": "demo", "iteration": 3, "ratio": 0.5, "flag": True,
+        "nothing": None, "rng": {"state": {"pos": 12, "key": [1, 2]}},
+        "vec": np.arange(6.0), "mat": A, "rowmat": B,
+        "alist": [np.ones(2), np.zeros(3)],
+        "slist": [A.tocsc(), B.tocsc()],
+        "empty": [],
+    }
+    path = tmp_path / "ck.npz"
+    save_checkpoint(path, state)
+    got = load_checkpoint(path)
+    assert got["kind"] == "demo"
+    assert got["iteration"] == 3
+    assert got["ratio"] == 0.5
+    assert got["flag"] is True
+    assert got["nothing"] is None
+    assert got["rng"] == state["rng"]
+    np.testing.assert_array_equal(got["vec"], state["vec"])
+    assert got["mat"].format == "csc"
+    assert got["rowmat"].format == "csr"  # storage format survives
+    np.testing.assert_array_equal(got["mat"].toarray(), A.toarray())
+    np.testing.assert_array_equal(got["rowmat"].toarray(), B.toarray())
+    assert len(got["alist"]) == 2
+    np.testing.assert_array_equal(got["alist"][0], np.ones(2))
+    np.testing.assert_array_equal(got["slist"][1].toarray(), B.toarray())
+    assert got["empty"] == []
+
+
+def test_checkpoint_overwrite_is_atomic(tmp_path):
+    path = tmp_path / "ck.npz"
+    save_checkpoint(path, {"kind": "demo", "step": 1})
+    save_checkpoint(path, {"kind": "demo", "step": 2})
+    assert load_checkpoint(path)["step"] == 2
+    assert list(tmp_path.glob("*.tmp*")) == []  # no half-written leftovers
+
+
+def test_checkpoint_key_and_value_validation(tmp_path):
+    with pytest.raises(CheckpointError, match="__"):
+        save_checkpoint(tmp_path / "x.npz", {"bad__key": 1})
+    with pytest.raises(CheckpointError, match="serializable"):
+        save_checkpoint(tmp_path / "x.npz", {"obj": object()})
+
+
+def test_checkpoint_missing_file(tmp_path):
+    with pytest.raises(CheckpointError):
+        load_checkpoint(tmp_path / "does-not-exist.npz")
+
+
+def test_resolve_checkpoint_dict_passthrough(tmp_path):
+    st = {"kind": "demo"}
+    assert resolve_checkpoint(st) is st
+    save_checkpoint(tmp_path / "ck.npz", st)
+    assert resolve_checkpoint(tmp_path / "ck.npz")["kind"] == "demo"
+    with pytest.raises(CheckpointError):
+        resolve_checkpoint(None)
