@@ -1,0 +1,288 @@
+"""Tracked micro-kernel benchmarks for the Schur-complement hot path.
+
+Measures the before/after cost of every kernel the optimization layer
+touches and serializes the results to ``BENCH_kernels.json`` at the repo
+root (the committed copy documents the speedups on the reference machine):
+
+- ``spgemm``            — vectorized-Gustavson multiply, fresh allocations
+                          vs a reused :class:`SpGEMMWorkspace`;
+- ``schur_update``      — reference permute + ``split_2x2`` + scipy ``@``
+                          vs the fused index-window ``permuted_blocks`` +
+                          ``csr_matmul_nosym`` route;
+- ``thresholding``      — copying :func:`drop_small` vs the fused
+                          mask-then-apply-in-place route;
+- ``tsqr``              — communication-avoiding tall-skinny QR (tracked
+                          for drift; not changed by the optimization);
+- ``lu_crtp_e2e`` / ``ilut_crtp_e2e`` — full solves on the fill-in-heavy
+                          M2 analogue, ``optimized=False`` vs ``True``.
+
+Every optimized route is bitwise-parity-checked against its reference in
+``tests/test_opt_parity.py``; this script only tracks *time*.
+
+Usage::
+
+    python benchmarks/bench_micro_kernels.py                # full, writes JSON
+    python benchmarks/bench_micro_kernels.py --quick        # CI smoke mode
+    python benchmarks/bench_micro_kernels.py --quick --check-regression
+
+``--check-regression`` exits nonzero when any optimized route measures
+more than 25% slower than its own reference route in the same run — a
+machine-independent gate that catches optimizations rotting into
+pessimizations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.ilut_crtp import ILUT_CRTP  # noqa: E402
+from repro.core.lu_crtp import LU_CRTP  # noqa: E402
+from repro.linalg.tsqr import tsqr  # noqa: E402
+from repro.sparse.ops import csr_matmul_nosym, permute, split_2x2  # noqa: E402
+from repro.sparse.spgemm import SpGEMMWorkspace, spgemm  # noqa: E402
+from repro.sparse.thresholding import (apply_threshold_mask,  # noqa: E402
+                                       drop_small, threshold_mask)
+from repro.sparse.window import permuted_blocks  # noqa: E402
+
+#: regression gate: optimized route may be at most this much slower than
+#: its reference route before the run fails
+REGRESSION_FACTOR = 1.25
+
+
+def _mintime(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _m2_analogue(n: int) -> sp.csc_matrix:
+    rng = np.random.default_rng(1)
+    A = sp.random(n, n, density=0.02, random_state=rng, format="csc")
+    return (A + sp.diags(np.linspace(1, 0.01, n), format="csc")).tocsc()
+
+
+def bench_spgemm(quick: bool, repeats: int) -> dict:
+    n = 400 if quick else 1200
+    rng = np.random.default_rng(2)
+    F = sp.random(n, 64, density=0.20, random_state=rng, format="csc")
+    A12 = sp.random(64, n, density=0.30, random_state=rng, format="csc")
+
+    before = _mintime(lambda: spgemm(F, A12), repeats)
+    ws = SpGEMMWorkspace()
+    spgemm(F, A12, workspace=ws)  # warm the buffers
+    after = _mintime(lambda: spgemm(F, A12, workspace=ws), repeats)
+    return {"before_s": before, "after_s": after,
+            "detail": f"F({n}x64, d=0.20) @ A12(64x{n}, d=0.30), "
+                      "fresh allocations vs reused workspace"}
+
+
+def bench_schur_update(quick: bool, repeats: int) -> dict:
+    n = 400 if quick else 900
+    k = 32
+    A = _m2_analogue(n)
+    rng = np.random.default_rng(3)
+    col_perm = rng.permutation(n)
+    row_perm = rng.permutation(n)
+    Fd = sp.random(n - k, k, density=0.25, random_state=rng, format="csr")
+
+    def reference():
+        P = permute(A, row_perm, col_perm).tocsc()
+        _, A12, _, A22 = split_2x2(P, k)
+        return (A22 - (Fd @ A12.tocsr())).tocsc()
+
+    def fused():
+        _, A12, _, A22 = permuted_blocks(A, col_perm, row_perm, k)
+        return (A22 - csr_matmul_nosym(Fd, A12)).tocsc()
+
+    ref = reference()
+    opt = fused()
+    assert abs(ref - opt).max() == 0.0, "schur routes disagree"
+    return {"before_s": _mintime(reference, repeats),
+            "after_s": _mintime(fused, repeats),
+            "detail": f"M2-analogue n={n}, k={k}: permute+split+scipy-@ vs "
+                      "index-window blocks + symbolic-free matmul"}
+
+
+def bench_thresholding(quick: bool, repeats: int) -> dict:
+    n = 300 if quick else 800
+    rng = np.random.default_rng(4)
+    S = sp.random(n, n, density=0.30, random_state=rng, format="csc")
+    mu = 0.3  # drops roughly a third of the uniform [0,1) entries
+
+    res = drop_small(S, mu)
+    mask, d_nnz, d_sq, _ = threshold_mask(S.copy(), mu)
+    assert d_nnz == res.dropped_nnz and d_sq == res.dropped_norm_sq
+
+    before = _mintime(lambda: drop_small(S, mu), repeats)
+
+    def fused():
+        # the copy stands in for the matrix the solver already owns; only
+        # the mask + apply passes are the fused route's real work
+        M = S.copy()
+        t0 = time.perf_counter()
+        mk, _, _, _ = threshold_mask(M, mu)
+        apply_threshold_mask(M, mk)
+        return time.perf_counter() - t0
+
+    after = min(fused() for _ in range(repeats))
+    return {"before_s": before, "after_s": after,
+            "detail": f"Schur-like {n}x{n} d=0.30, mu={mu}: copying "
+                      "drop_small vs fused mask+apply-in-place"}
+
+
+def bench_tsqr(quick: bool, repeats: int) -> dict:
+    m = 2000 if quick else 20000
+    rng = np.random.default_rng(5)
+    W = rng.standard_normal((m, 32))
+    t = _mintime(lambda: tsqr(W), repeats)
+    return {"before_s": t, "after_s": t,
+            "detail": f"{m}x32 dense block; unchanged kernel, tracked "
+                      "for drift"}
+
+
+def bench_e2e(cls, quick: bool, repeats: int, **kw) -> dict:
+    n = 400 if quick else 900
+    A = _m2_analogue(n)
+    max_rank = 128 if quick else 320
+    common = dict(k=32, tol=1e-6, max_rank=max_rank,
+                  raise_on_failure=False, **kw)
+    r_ref = cls(optimized=False, **common).solve(A)
+    r_opt = cls(optimized=True, **common).solve(A)
+    assert np.array_equal(r_ref.row_perm, r_opt.row_perm)
+    assert all(a.indicator == b.indicator
+               for a, b in zip(r_ref.history, r_opt.history))
+    before = _mintime(lambda: cls(optimized=False, **common).solve(A),
+                      repeats)
+    after = _mintime(lambda: cls(optimized=True, **common).solve(A),
+                     repeats)
+    return {"before_s": before, "after_s": after,
+            "detail": f"M2-analogue n={n}, k=32, max_rank={max_rank}; "
+                      "optimized=False vs True (pivots and indicator "
+                      "trajectories bitwise identical)"}
+
+
+_BASELINE_CODE = """
+import json, time
+import numpy as np, scipy.sparse as sp
+from repro.core.lu_crtp import LU_CRTP
+from repro.core.ilut_crtp import ILUT_CRTP
+n, max_rank, repeats = {n}, {max_rank}, {repeats}
+rng = np.random.default_rng(1)
+A = sp.random(n, n, density=0.02, random_state=rng, format="csc")
+A = (A + sp.diags(np.linspace(1, 0.01, n), format="csc")).tocsc()
+out = {{}}
+for name, s in (("lu_crtp_e2e", LU_CRTP(k=32, tol=1e-6, max_rank=max_rank,
+                                        raise_on_failure=False)),
+                ("ilut_crtp_e2e", ILUT_CRTP(k=32, tol=1e-6,
+                                            max_rank=max_rank,
+                                            raise_on_failure=False,
+                                            estimated_iterations=10))):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        s.solve(A)
+        best = min(best, time.perf_counter() - t0)
+    out[name] = best
+print(json.dumps(out))
+"""
+
+
+def measure_pre_pr_e2e(baseline_repo: str, quick: bool,
+                       repeats: int) -> dict:
+    """Run the e2e benches inside a pre-PR checkout (its own ``src`` on
+    ``PYTHONPATH``) and return ``{bench_name: min_seconds}``."""
+    n = 400 if quick else 900
+    max_rank = 128 if quick else 320
+    code = _BASELINE_CODE.format(n=n, max_rank=max_rank, repeats=repeats)
+    env = dict(os.environ, PYTHONPATH=str(Path(baseline_repo) / "src"))
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True, check=True)
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def run(quick: bool) -> dict:
+    repeats = 1 if quick else 3
+    benches = {
+        "spgemm": bench_spgemm(quick, max(repeats, 3)),
+        "schur_update": bench_schur_update(quick, max(repeats, 3)),
+        "thresholding": bench_thresholding(quick, max(repeats, 5)),
+        "tsqr": bench_tsqr(quick, max(repeats, 3)),
+        "lu_crtp_e2e": bench_e2e(LU_CRTP, quick, 1 if quick else 5),
+        "ilut_crtp_e2e": bench_e2e(ILUT_CRTP, quick, 1 if quick else 5,
+                                   estimated_iterations=10),
+    }
+    for entry in benches.values():
+        entry["speedup"] = (entry["before_s"] / entry["after_s"]
+                            if entry["after_s"] > 0 else float("inf"))
+    return {"config": {"quick": quick, "repeats": repeats},
+            "benches": benches}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small sizes / single repeats (CI smoke mode)")
+    ap.add_argument("--output", default=str(REPO_ROOT / "BENCH_kernels.json"),
+                    help="JSON output path")
+    ap.add_argument("--check-regression", action="store_true",
+                    help="exit nonzero if any optimized route is >25%% "
+                         "slower than its reference route")
+    ap.add_argument("--baseline-repo", default=None,
+                    help="path to a pre-PR checkout; also measures the "
+                         "e2e benches there and records pre_pr_before_s "
+                         "(the optimized=False route of the current tree "
+                         "still contains the shared-path optimizations)")
+    args = ap.parse_args(argv)
+
+    results = run(args.quick)
+    if args.baseline_repo:
+        pre = measure_pre_pr_e2e(args.baseline_repo, args.quick,
+                                 results["config"]["repeats"])
+        for name, seconds in pre.items():
+            entry = results["benches"][name]
+            entry["pre_pr_before_s"] = seconds
+            entry["speedup_vs_pre_pr"] = seconds / entry["after_s"]
+    out = Path(args.output)
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    width = max(len(k) for k in results["benches"])
+    for name, entry in results["benches"].items():
+        line = (f"{name:{width}s}  before={entry['before_s'] * 1e3:9.2f}ms  "
+                f"after={entry['after_s'] * 1e3:9.2f}ms  "
+                f"speedup={entry['speedup']:5.2f}x")
+        if "speedup_vs_pre_pr" in entry:
+            line += (f"  pre-PR={entry['pre_pr_before_s'] * 1e3:9.2f}ms "
+                     f"({entry['speedup_vs_pre_pr']:.2f}x)")
+        print(line)
+    print(f"wrote {out}")
+
+    if args.check_regression:
+        bad = [name for name, e in results["benches"].items()
+               if e["after_s"] > REGRESSION_FACTOR * e["before_s"]]
+        if bad:
+            print(f"REGRESSION: optimized route >{REGRESSION_FACTOR}x "
+                  f"slower than reference in: {', '.join(bad)}",
+                  file=sys.stderr)
+            return 1
+        print("regression check passed "
+              f"(after <= {REGRESSION_FACTOR} * before for every kernel)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

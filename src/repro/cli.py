@@ -52,6 +52,22 @@ def _summary_row(name: str, res) -> list:
             "yes" if res.converged else "NO"]
 
 
+def _print_perf_report() -> None:
+    from . import perf
+    from .analysis.tables import render_table
+    rep = perf.report()
+    rows = []
+    for name in sorted(rep["timers"]):
+        t = rep["timers"][name]
+        rows.append([name, t["calls"], f"{t['seconds']:.4f}",
+                     f"{t['mean_ms']:.3f}",
+                     f"{t['gflops_per_s']:.2f}" if "gflops_per_s" in t
+                     else "-"])
+    print(render_table(
+        ["kernel", "calls", "seconds", "mean[ms]", "gflop/s"], rows,
+        title="perf: per-kernel timings"))
+
+
 def cmd_info(args) -> int:
     from .analysis.tables import render_table
     from .matrices import suite_entries, suite_matrix
@@ -70,6 +86,10 @@ def cmd_solve(args) -> int:
     from .analysis.tables import render_table
     A = _load_matrix(args.matrix, args.scale)
     solver = _make_solver(args.method, args)
+    if args.perf:
+        from . import perf
+        perf.reset()
+        perf.enable()
     res = solver.solve(A)
     print(render_table(
         ["method", "rank", "iters", "time[s]", "factor nnz", "indicator",
@@ -77,6 +97,10 @@ def cmd_solve(args) -> int:
         [_summary_row(args.method, res)],
         title=f"{args.matrix}: {A.shape[0]}x{A.shape[1]}, nnz={A.nnz}, "
               f"tau={args.tol:g}, k={args.k}"))
+    if args.perf:
+        from . import perf
+        perf.disable()
+        _print_perf_report()
     if args.check:
         print(f"exact relative error: {res.error(A):.3e}")
     return 0 if res.converged else 1
@@ -177,6 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="randqb | ubv | lu | ilut")
     ps_.add_argument("--check", action="store_true",
                      help="also compute the exact (dense) error")
+    ps_.add_argument("--perf", action="store_true",
+                     help="record and print per-kernel perf timings")
     ps_.set_defaults(func=cmd_solve)
 
     pc = sub.add_parser("compare", help="run all four methods")

@@ -26,13 +26,15 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from .. import perf
 from ..exceptions import ConvergenceError, RankDeficiencyBreakdown
 from ..history import ConvergenceHistory, IterationRecord
 from ..linalg.norms import fro_norm
 from ..ordering.etree import colamd_preprocess
 from ..results import LUApproximation
 from ..sparse.ops import assemble_L_global, assemble_U_global, permute_cols
-from ..sparse.thresholding import drop_small, drop_sorted_budget
+from ..sparse.thresholding import (apply_threshold_mask, drop_small,
+                                   drop_sorted_budget, threshold_mask)
 from ..sparse.utils import ensure_csc
 from .lu_crtp import LU_CRTP, NUMERICAL_RANK_RTOL
 from .termination import check_tolerance
@@ -241,23 +243,50 @@ class ILUT_CRTP(LU_CRTP):
             last_dropped_sq = 0.0
             if not done and thresholding_on and mu > 0:
                 # lines 8-10: threshold, account, control
-                if self.aggressive:
-                    res = drop_sorted_budget(schur, phi, t_acc_sq, cap=phi)
+                if self.optimized and not self.aggressive:
+                    # Fused single-pass route: compute the mask and the
+                    # perturbation accounting first, check the line-10
+                    # control bound *before* committing, and only then
+                    # apply the drop in place.  A rejected drop costs no
+                    # copy; a pre-drop copy is kept only when recovery or
+                    # checkpointing can actually consume it.
+                    with perf.timer("threshold"):
+                        mask, d_nnz, d_sq, _ = threshold_mask(schur, mu)
+                        if np.sqrt(t_acc_sq + d_sq) >= phi:
+                            # line 10: reject and disable thresholding
+                            thresholding_on = False
+                            control_triggered = True
+                        else:
+                            t_acc_sq += d_sq
+                            dropped_nnz = d_nnz
+                            dropped_sq = d_sq
+                            if self.recovery is not None \
+                                    or self._checkpointing():
+                                # breakdown undo / checkpoint needs the
+                                # pre-drop Schur (bound (20))
+                                last_pre_drop = schur.copy()
+                                last_dropped_sq = d_sq
+                            schur = apply_threshold_mask(schur, mask)
                 else:
-                    res = drop_small(schur, mu)
-                if np.sqrt(t_acc_sq + res.dropped_norm_sq) >= phi:
-                    # line 10: undo and disable thresholding
-                    thresholding_on = False
-                    control_triggered = True
-                else:
-                    t_acc_sq += res.dropped_norm_sq
-                    dropped_nnz = res.dropped_nnz
-                    dropped_sq = res.dropped_norm_sq
-                    # keep the pre-drop Schur so a breakdown next iteration
-                    # can undo this drop (recovery policy / bound (20))
-                    last_pre_drop = schur
-                    last_dropped_sq = res.dropped_norm_sq
-                    schur = res.matrix
+                    if self.aggressive:
+                        res = drop_sorted_budget(schur, phi, t_acc_sq,
+                                                 cap=phi)
+                    else:
+                        res = drop_small(schur, mu)
+                    if np.sqrt(t_acc_sq + res.dropped_norm_sq) >= phi:
+                        # line 10: undo and disable thresholding
+                        thresholding_on = False
+                        control_triggered = True
+                    else:
+                        t_acc_sq += res.dropped_norm_sq
+                        dropped_nnz = res.dropped_nnz
+                        dropped_sq = res.dropped_norm_sq
+                        # keep the pre-drop Schur so a breakdown next
+                        # iteration can undo this drop (recovery policy /
+                        # bound (20))
+                        last_pre_drop = schur
+                        last_dropped_sq = res.dropped_norm_sq
+                        schur = res.matrix
 
             active = schur
             z += k_i

@@ -40,12 +40,20 @@ from ..results import LUApproximation
 from ..sparse.ops import (
     assemble_L_global,
     assemble_U_global,
+    csr_matmul_nosym,
     permute_cols,
     permute_rows,
     split_2x2,
 )
 from ..sparse.utils import drop_explicit_zeros, ensure_csc
+from ..sparse.window import (
+    csr_rows_to_dense,
+    dense_rows_to_csr,
+    extract_leading_columns,
+    permuted_blocks,
+)
 from .termination import check_tolerance
+from .. import perf
 
 #: Relative magnitude of |R(k,k)| vs |R(1,1)| below which the active matrix
 #: is declared numerically rank-deficient ("stop at the numerical rank", §VI-A).
@@ -138,6 +146,9 @@ class LU_CRTP:
     schur_engine: str = "scipy"
     discard_small_columns: float = 0.0
     qr_engine: str = "cholqr2"
+    optimized: bool = True  # fused permute/split + direct-CSR F assembly;
+    # False selects the reference per-iteration path (kept for parity tests
+    # and as the "before" side of the tracked micro-benchmarks)
     target_rank: int | None = None  # fixed-RANK mode (Grigori et al.'s
     # original problem): run to this rank, ignoring the tolerance test
     callback: object = None  # optional per-iteration hook: f(IterationRecord)
@@ -338,6 +349,109 @@ class LU_CRTP:
     def _iteration(self, active: sp.csc_matrix, k_i: int, i: int,
                    r11_first: float | None) -> IterationArtifacts:
         """Lines 4-12 of Algorithm 2 on the active matrix."""
+        if self.optimized:
+            return self._iteration_fast(active, k_i, i, r11_first)
+        return self._iteration_reference(active, k_i, i, r11_first)
+
+    def _iteration_fast(self, active: sp.csc_matrix, k_i: int, i: int,
+                        r11_first: float | None) -> IterationArtifacts:
+        """Index-window formulation of the block iteration.
+
+        Identical arithmetic to :meth:`_iteration_reference` — same pivots
+        (bitwise), same Schur complement values in the same canonical order
+        — but the active matrix is never materialized in permuted form:
+        the permutations stay index maps and every entry is routed straight
+        to its destination block (:func:`repro.sparse.window.permuted_blocks`).
+        ``F`` is assembled directly in CSR from the dense triangular-solve
+        result instead of through a ``lil_matrix``.
+        """
+        kernel_seconds: dict[str, float] = {}
+
+        # line 5: column tournament (optionally on a reduced candidate set)
+        t = time.perf_counter()
+        with perf.timer("col_qr_tp"):
+            col_tp = self._column_tournament(active, k_i)
+        kernel_seconds["col_qr_tp"] = time.perf_counter() - t
+
+        # line 6: sparse QR of the k selected columns (gathered directly —
+        # the fully permuted matrix is never built)
+        t = time.perf_counter()
+        with perf.timer("sparse_qr"):
+            selected = extract_leading_columns(active, col_tp.perm[:k_i])
+            if self.qr_engine == "householder":
+                from ..linalg.sparse_qr import sparse_householder_qr
+                fqr = sparse_householder_qr(selected)
+                Qk = fqr.explicit_q()
+            else:
+                Qk, _Rk, _ = cholqr2(selected,
+                                     recovery_log=self._recovery_log())
+        kernel_seconds["sparse_qr"] = time.perf_counter() - t
+
+        # line 7: row tournament on Q_k^T
+        t = time.perf_counter()
+        with perf.timer("row_qr_tp"):
+            row_tp = qr_tp_rows(Qk, k_i, tree=self.tree)
+        kernel_seconds["row_qr_tp"] = time.perf_counter() - t
+
+        # line 8: fused permutation + 2x2 split (the index-window pass)
+        t = time.perf_counter()
+        with perf.timer("permute_split"):
+            A11d, A12, A21, A22 = permuted_blocks(
+                active, col_tp.perm, row_tp.perm, k_i)
+        kernel_seconds["permute_rows"] = time.perf_counter() - t
+
+        # line 10/12: F = A21 A11^{-1} (or the orthogonal-formula variant)
+        t = time.perf_counter()
+        with perf.timer("solve_F"):
+            F = self._compute_F_fast(A11d, A21, Qk, row_tp.perm, k_i, i)
+        kernel_seconds["solve"] = time.perf_counter() - t
+
+        t = time.perf_counter()
+        f_colnnz = np.bincount(F.indices, minlength=k_i)
+        schur_flops = 2.0 * float(np.dot(f_colnnz, np.diff(A12.indptr)))
+        with perf.timer("schur"):
+            if self.schur_engine == "native":
+                from ..sparse.spgemm import SpGEMMWorkspace, spgemm
+                ws = getattr(self, "_spgemm_ws", None)
+                if ws is None:
+                    ws = self._spgemm_ws = SpGEMMWorkspace()
+                schur = (A22 - spgemm(F, A12, workspace=ws)).tocsc()
+            else:
+                schur = (A22 - csr_matmul_nosym(F, A12)).tocsc()
+            drop_explicit_zeros(schur, tol=self.zero_drop_tol)
+            perf.add_flops("schur", schur_flops)
+        kernel_seconds["schur"] = time.perf_counter() - t
+
+        Lk = sp.vstack([sp.identity(k_i, format="csc"), F], format="csc")
+        Uk = sp.hstack([sp.csr_matrix(A11d), A12], format="csr")
+
+        stats = {
+            "m_i": int(active.shape[0]),
+            "n_i": int(active.shape[1]),
+            "k_i": int(k_i),
+            "active_nnz": int(active.nnz),
+            "col_nnz": np.diff(active.indptr).astype(np.int64),
+            "sel_nnz": int(selected.nnz),
+            "f_rows": int(np.count_nonzero(np.diff(F.indptr))),
+            "f_nnz": int(F.nnz),
+            "a12_nnz": int(A12.nnz),
+            "schur_nnz": int(schur.nnz),
+            "schur_flops": schur_flops,
+            "tournament_flops": float(col_tp.stats.total_flops),
+        }
+        return IterationArtifacts(
+            Lk=Lk, Uk=Uk, schur=schur,
+            row_perm_local=row_tp.perm, col_perm_local=col_tp.perm,
+            r11_diag=col_tp.r11_diag, tournament_stats=col_tp.stats,
+            kernel_seconds=kernel_seconds, stats=stats)
+
+    def _iteration_reference(self, active: sp.csc_matrix, k_i: int, i: int,
+                             r11_first: float | None) -> IterationArtifacts:
+        """Pre-optimization per-iteration path (materialized permutations).
+
+        Retained as the parity oracle for the fast path and as the "before"
+        side of ``benchmarks/bench_micro_kernels.py``.
+        """
         kernel_seconds: dict[str, float] = {}
 
         # line 5: column tournament (optionally on a reduced candidate set)
@@ -489,6 +603,43 @@ class LU_CRTP:
         F.data[np.abs(F.data) < 1e-300] = 0.0
         F.eliminate_zeros()
         return F
+
+    def _compute_F_fast(self, A11d: np.ndarray, A21: sp.csr_matrix,
+                        Qk: np.ndarray, row_perm: np.ndarray, k_i: int,
+                        i: int) -> sp.csr_matrix:
+        """:meth:`_compute_F` with ``A21`` already CSR and the sparse
+        result assembled directly (no ``lil_matrix``).  Same values, same
+        canonical ordering, same breakdown conditions."""
+        formula = self.l_formula
+        if formula == "auto":
+            cond = np.linalg.cond(A11d)
+            formula = "orthogonal" if cond > 1e10 else "schur"
+
+        if formula == "orthogonal":
+            Qbar = Qk[row_perm]
+            Q11, Q21 = Qbar[:k_i], Qbar[k_i:]
+            try:
+                Fd = np.linalg.solve(Q11.T, Q21.T).T
+            except np.linalg.LinAlgError as exc:
+                raise RankDeficiencyBreakdown(
+                    "orthogonal pivot block singular", iteration=i) from exc
+            return dense_rows_to_csr(
+                Fd, np.arange(Fd.shape[0]), Fd.shape[0])
+
+        rows = np.flatnonzero(np.diff(A21.indptr))
+        mrest = A21.shape[0]
+        if rows.size == 0:
+            return sp.csr_matrix((mrest, k_i))
+        try:
+            # solve X A11 = A21[rows]  <=>  A11^T X^T = A21[rows]^T
+            Fsub = np.linalg.solve(A11d.T, csr_rows_to_dense(A21, rows).T).T
+        except np.linalg.LinAlgError as exc:
+            raise RankDeficiencyBreakdown(
+                "pivot block A11 numerically singular", iteration=i) from exc
+        if not np.all(np.isfinite(Fsub)):
+            raise RankDeficiencyBreakdown(
+                "pivot block A11 produced non-finite multipliers", iteration=i)
+        return dense_rows_to_csr(Fsub, rows, mrest)
 
 
 def lu_crtp(A, k: int = 32, tol: float = 1e-3, **kwargs) -> LUApproximation:

@@ -16,11 +16,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import perf
 from ..exceptions import ConvergenceError
 from ..history import ConvergenceHistory, IterationRecord
 from ..linalg.norms import fro_norm_sq
-from ..linalg.orth import orth, reorthogonalize
-from ..linalg.random_gen import SketchKind, make_sketch
+from ..linalg.orth import orth, reorth_workspace, reorthogonalize
+from ..linalg.random_gen import SketchKind, gaussian_batch, make_sketch
 from ..results import QBApproximation
 from .termination import RandErrorIndicator, check_tolerance
 
@@ -78,6 +79,9 @@ class RandQB_EI:
     checkpoint_path: object = None
     checkpoint_every: int = 1
     checkpoint_callback: object = None
+    optimized: bool = True  # batched sketches + in-place reorth; the
+    # consumed draws and every BLAS product are identical to the reference
+    # route, so Q/B and the indicator trajectory match bitwise
     _rng: np.random.Generator = field(init=False, repr=False, default=None)
 
     def __post_init__(self):
@@ -144,34 +148,70 @@ class RandQB_EI:
                     and extra_left <= 0:
                 converged = True
                 max_rank = K  # already done: skip the loop below
+        # Optimized sketching: pre-draw several full-size Gaussian blocks in
+        # one vectorized call.  ``gaussian_batch`` consumes the RNG stream
+        # exactly as the per-iteration draws would, so every Omega the loop
+        # *uses* is bitwise identical; only Gaussian sketches batch, and
+        # checkpointing runs disable it (a checkpoint must capture an RNG
+        # state that has not been advanced past unconsumed draws).
+        batch_sketch = (self.optimized
+                        and SketchKind(self.sketch) is SketchKind.GAUSSIAN
+                        and self.checkpoint_path is None
+                        and self.checkpoint_callback is None)
+        omega_queue: list[np.ndarray] = []
+        work = reorth_workspace(m, self.k) if self.optimized else None
+
         while K < max_rank:
             i += 1
             k_i = min(self.k, max_rank - K)
-            Omega = make_sketch(self.sketch, n, k_i, rng)
-            Omega = Omega.toarray() if hasattr(Omega, "toarray") else Omega
+            with perf.timer("sketch"):
+                if batch_sketch and k_i == self.k:
+                    if not omega_queue:
+                        b = max((max_rank - K) // self.k, 1)
+                        batch = gaussian_batch(n, self.k, min(b, 8), rng)
+                        omega_queue = list(batch[::-1])
+                    Omega = omega_queue.pop()
+                else:
+                    Omega = make_sketch(self.sketch, n, k_i, rng)
+                    Omega = Omega.toarray() \
+                        if hasattr(Omega, "toarray") else Omega
 
             # line 5: Qk = orth(A Omega - Q_K (B_K Omega))
-            Y = A @ Omega
-            if K > 0:
-                Y = Y - Q[:, :K] @ (B[:K] @ Omega)
-            Qk = orth(np.asarray(Y))
+            with perf.timer("project"):
+                Y = A @ Omega
+                if K > 0:
+                    if self.optimized:
+                        Y -= Q[:, :K] @ (B[:K] @ Omega)
+                    else:
+                        Y = Y - Q[:, :K] @ (B[:K] @ Omega)
+            with perf.timer("orth"):
+                Qk = orth(np.asarray(Y))
 
             # lines 6-9: power scheme with interleaved projections
             for _ in range(self.power):
-                Z = A.T @ Qk
-                if K > 0:
-                    Z = Z - B[:K].T @ (Q[:, :K].T @ Qk)
-                Qhat = orth(np.asarray(Z))
-                Y = A @ Qhat
-                if K > 0:
-                    Y = Y - Q[:, :K] @ (B[:K] @ Qhat)
-                Qk = orth(np.asarray(Y))
+                with perf.timer("project"):
+                    Z = A.T @ Qk
+                    if K > 0:
+                        Z = Z - B[:K].T @ (Q[:, :K].T @ Qk)
+                with perf.timer("orth"):
+                    Qhat = orth(np.asarray(Z))
+                with perf.timer("project"):
+                    Y = A @ Qhat
+                    if K > 0:
+                        if self.optimized:
+                            Y -= Q[:, :K] @ (B[:K] @ Qhat)
+                        else:
+                            Y = Y - Q[:, :K] @ (B[:K] @ Qhat)
+                with perf.timer("orth"):
+                    Qk = orth(np.asarray(Y))
 
             # line 10: re-orthogonalization against previous blocks
-            Qk = reorthogonalize(Qk, Q[:, :K] if K > 0 else None,
-                                 passes=self.reorth_passes)
+            with perf.timer("orth"):
+                Qk = reorthogonalize(Qk, Q[:, :K] if K > 0 else None,
+                                     passes=self.reorth_passes, work=work)
             # line 11
-            Bk = np.asarray(Qk.T @ A)
+            with perf.timer("project"):
+                Bk = np.asarray(Qk.T @ A)
             if hasattr(Bk, "toarray"):  # pragma: no cover - sparse edge
                 Bk = Bk.toarray()
 

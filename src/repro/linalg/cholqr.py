@@ -18,26 +18,106 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+try:  # scipy's C kernel, used directly to skip the symbolic sizing pass
+    from scipy.sparse import _sparsetools as _spt
+except ImportError:  # pragma: no cover - very old scipy
+    _spt = None
+
+from .. import perf
+
+
+def _cross_gram_kernel(B1: sp.csc_matrix, B2: sp.csc_matrix) -> np.ndarray:
+    """Dense ``B1^T B2`` via a direct ``csr_matmat`` call (no symbolic
+    pass; the CSC arrays of ``B1`` are the CSR arrays of ``B1^T``)."""
+    c1, c2 = B1.shape[1], B2.shape[1]
+    B2r = B2.tocsr()
+    if not B2r.has_sorted_indices:
+        B2r.sort_indices()
+    nnz_cap = c1 * c2
+    Cp = np.empty(c1 + 1, dtype=np.int64)
+    Cj = np.empty(nnz_cap, dtype=np.int64)
+    Cx = np.empty(nnz_cap, dtype=np.float64)
+    _spt.csr_matmat(
+        c1, c2,
+        B1.indptr.astype(np.int64, copy=False),
+        B1.indices.astype(np.int64, copy=False),
+        B1.data.astype(np.float64, copy=False),
+        B2r.indptr.astype(np.int64, copy=False),
+        B2r.indices.astype(np.int64, copy=False),
+        B2r.data.astype(np.float64, copy=False),
+        Cp, Cj, Cx)
+    C = np.zeros((c1, c2), dtype=np.float64)
+    nnz = Cp[c1]
+    rows = np.repeat(np.arange(c1), np.diff(Cp))
+    C[rows, Cj[:nnz]] = Cx[:nnz]
+    return C
+
+
+def _gram_sparse_fast(B: sp.csc_matrix) -> np.ndarray | None:
+    """Exact-order ``(B.T @ B).toarray()`` without the symbolic pass.
+
+    scipy's ``B.T @ B`` runs ``csr_matmat_maxnnz`` (a full symbolic
+    multiply) just to size the output, then the numeric ``csr_matmat``.
+    For the Gram matrix the output is at most ``c x c`` — tiny — so we
+    preallocate ``c*c`` slots and call the numeric kernel directly.  The
+    accumulation order inside ``csr_matmat`` is identical to scipy's
+    operator, which keeps tournament pivot selection bitwise-reproducible
+    against the reference path.
+    """
+    return _cross_gram_kernel(B, B)
+
 
 def _gram(B) -> np.ndarray:
     """Dense ``B^T B`` for sparse or dense ``B`` (result is tiny: c x c)."""
-    if sp.issparse(B):
-        G = (B.T @ B).toarray()
-    else:
-        B = np.asarray(B, dtype=np.float64)
-        G = B.T @ B
-    return np.asarray(G, dtype=np.float64)
+    with perf.timer("gram"):
+        if sp.issparse(B):
+            if _spt is not None and isinstance(B, sp.csc_matrix) \
+                    and B.dtype == np.float64:
+                G = _gram_sparse_fast(B)
+            else:
+                G = (B.T @ B).toarray()
+        else:
+            B = np.asarray(B, dtype=np.float64)
+            G = B.T @ B
+        G = np.asarray(G, dtype=np.float64)
+        perf.add_flops("gram", 2.0 * (B.nnz if sp.issparse(B) else B.size)
+                       * G.shape[0])
+    return G
 
 
-def gram_r_factor(B, *, jitter: float = 0.0) -> tuple[np.ndarray, bool]:
+def cross_gram(B1, B2) -> np.ndarray:
+    """Dense cross Gram block ``B1^T B2`` (``c1 x c2``), sparse operands.
+
+    Each entry accumulates ``sum_k B1[k, i] * B2[k, j]`` over ascending
+    ``k`` — the same per-entry order ``csr_matmat`` uses inside the full
+    Gram of ``[B1 | B2]``, so a parent tournament match can assemble its
+    Gram matrix from the children's diagonal blocks plus this cross term
+    and obtain a bitwise-identical matrix (products commute, the mirror
+    block is the exact transpose).
+    """
+    with perf.timer("gram"):
+        c1, c2 = B1.shape[1], B2.shape[1]
+        if _spt is not None and isinstance(B1, sp.csc_matrix) \
+                and isinstance(B2, sp.csc_matrix) \
+                and B1.dtype == np.float64 and B2.dtype == np.float64:
+            C = _cross_gram_kernel(B1, B2)
+        else:
+            C = np.asarray((B1.T @ B2).toarray(), dtype=np.float64)
+        perf.add_flops("gram", 2.0 * min(B1.nnz * c2, B2.nnz * c1))
+    return C
+
+
+def gram_r_factor(B, *, jitter: float = 0.0,
+                  gram: np.ndarray | None = None) -> tuple[np.ndarray, bool]:
     """Upper-triangular ``R`` with ``R^T R = B^T B`` via the Gram matrix.
 
     Returns ``(R, clean)`` where ``clean`` is False when a rank-deficiency
     fallback (eigenvalue square root) was used; in that case ``R`` is upper
     triangular with some (near-)zero diagonal entries replaced by tiny
-    positives so downstream triangular solves remain finite.
+    positives so downstream triangular solves remain finite.  A precomputed
+    ``gram`` matrix (``B^T B``) skips the Gram product entirely.
     """
-    G = _gram(B)
+    G = _gram(B) if gram is None else gram
     c = G.shape[0]
     if c == 0:
         return np.zeros((0, 0)), True

@@ -74,15 +74,33 @@ def _complete_basis(Q: np.ndarray, diag: np.ndarray, rcond: float) -> np.ndarray
 
 
 def reorthogonalize(Qk: np.ndarray, Qprev: np.ndarray | None,
-                    *, passes: int = 1) -> np.ndarray:
+                    *, passes: int = 1, work=None) -> np.ndarray:
     """Re-orthogonalize a new block against previously computed basis blocks.
 
     Implements line 10 of Algorithm 1:
     ``Q_k = orth(Q_k - Q_K (Q_K^T Q_k))``.  ``passes > 1`` applies the
     classical "twice is enough" refinement.
+
+    ``work`` (an ``(m, k)`` scratch array, e.g. from
+    :func:`reorth_workspace`) routes the projection through
+    ``np.matmul(..., out=work)`` and updates ``Qk`` in place — the same
+    BLAS products in the same order, so the values are bitwise identical
+    to the allocating route, without two fresh ``(m, k)`` temporaries per
+    pass.  The caller must own ``Qk`` (it is mutated).
     """
     if Qprev is None or Qprev.shape[1] == 0:
         return orth(Qk)
-    for _ in range(passes):
-        Qk = Qk - Qprev @ (Qprev.T @ Qk)
+    if work is not None:
+        proj = work[:Qk.shape[0], :Qk.shape[1]]
+        for _ in range(passes):
+            np.matmul(Qprev, Qprev.T @ Qk, out=proj)
+            Qk -= proj
+    else:
+        for _ in range(passes):
+            Qk = Qk - Qprev @ (Qprev.T @ Qk)
     return orth(Qk)
+
+
+def reorth_workspace(m: int, k: int) -> np.ndarray:
+    """Preallocated scratch for :func:`reorthogonalize`'s in-place route."""
+    return np.empty((m, k), dtype=np.float64)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from .. import perf
 from ..exceptions import CommTimeoutError
 from ..pivoting.select import select_columns
 from ..pivoting.tournament import qr_tp
@@ -40,8 +41,10 @@ def par_tsqr(comm: SimComm, local_rows: np.ndarray
     rows, c = local_rows.shape
     if rows < c:
         raise ValueError("each rank needs at least c rows for par_tsqr")
-    Qloc, Rloc = np.linalg.qr(local_rows, mode="reduced")
+    with perf.timer("tsqr"):
+        Qloc, Rloc = np.linalg.qr(local_rows, mode="reduced")
     comm.charge_flops(2.0 * rows * c * c)
+    perf.add_flops("tsqr", 2.0 * rows * c * c)
     rs = comm.allgather(Rloc)
 
     # fold the R factors pairwise, tracking the (c x c) transform each leaf's
@@ -75,8 +78,10 @@ def par_tsqr(comm: SimComm, local_rows: np.ndarray
             if bottom is not None:
                 expanded.append(bottom @ Fmat)
         factors = expanded
-    Qfinal = Qloc @ factors[comm.rank]
+    with perf.timer("tsqr"):
+        Qfinal = Qloc @ factors[comm.rank]
     comm.charge_flops(2.0 * rows * c * c)
+    perf.add_flops("tsqr", 2.0 * rows * c * c)
     return Qfinal, R
 
 
@@ -87,8 +92,10 @@ def par_spmm_rowdist(comm: SimComm, A_local: sp.csr_matrix,
     Returns the corresponding rows of ``A @ B``.
     """
     comm.kernel("spmm")
-    Y = A_local @ B
+    with perf.timer("spmm"):
+        Y = A_local @ B
     comm.charge_flops(2.0 * A_local.nnz * B.shape[1])
+    perf.add_flops("spmm", 2.0 * A_local.nnz * B.shape[1])
     return np.asarray(Y)
 
 
@@ -100,8 +107,10 @@ def par_qt_a(comm: SimComm, Q_local: np.ndarray, A_local: sp.csr_matrix
     ``Q^T`` and ``A`` contract against each other).
     """
     comm.kernel("gemm_qta")
-    part = np.asarray(Q_local.T @ A_local)
+    with perf.timer("gemm_qta"):
+        part = np.asarray(Q_local.T @ A_local)
     comm.charge_flops(2.0 * A_local.nnz * Q_local.shape[1])
+    perf.add_flops("gemm_qta", 2.0 * A_local.nnz * Q_local.shape[1])
     return comm.allreduce_sum(part)
 
 
@@ -127,10 +136,13 @@ def par_tournament_columns(comm: SimComm, local_block: sp.csc_matrix,
         cand_ids = np.zeros(0, dtype=np.intp)
         cand_cols = sp.csc_matrix((local_block.shape[0], 0))
     else:
-        res = qr_tp(local_block, min(k, nloc), method=method)
+        with perf.timer("col_qr_tp"):
+            res = qr_tp(local_block, min(k, nloc), method=method)
         comm.charge_flops(res.stats.total_flops)
+        perf.add_flops("col_qr_tp", res.stats.total_flops)
         cand_ids = np.asarray(local_ids, dtype=np.intp)[res.winners]
-        cand_cols = local_block[:, res.winners].tocsc()
+        # CSC column slicing already yields CSC — no conversion round-trip
+        cand_cols = local_block[:, res.winners]
         r_diag = res.r11_diag
 
     nprocs = comm.nprocs
@@ -157,11 +169,14 @@ def par_tournament_columns(comm: SimComm, local_block: sp.csc_matrix,
                     merged = sp.hstack([cand_cols, other_cols], format="csc")
                     ids = np.concatenate([cand_ids, other_ids])
                     if merged.shape[1] > 0:
-                        sel = select_columns(merged, min(k, merged.shape[1]),
-                                             method=method)
+                        with perf.timer("col_qr_tp"):
+                            sel = select_columns(merged,
+                                                 min(k, merged.shape[1]),
+                                                 method=method)
                         comm.charge_flops(sel.flops)
+                        perf.add_flops("col_qr_tp", sel.flops)
                         cand_ids = ids[sel.winners]
-                        cand_cols = merged[:, sel.winners].tocsc()
+                        cand_cols = merged[:, sel.winners]
                         r_diag = sel.r_diag
             else:
                 partner = comm.rank - step

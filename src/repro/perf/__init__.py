@@ -1,0 +1,40 @@
+"""Performance instrumentation layer (see :mod:`repro.perf.instrument`).
+
+Usage::
+
+    from repro import perf
+    perf.enable(); run_something(); print(perf.report())
+
+All entry points are re-exported here so call sites read
+``perf.timer("schur")`` / ``perf.add_flops("schur", n)``.
+"""
+
+from .instrument import (
+    KernelStat,
+    PerfRecorder,
+    add_bytes,
+    add_flops,
+    disable,
+    enable,
+    get_recorder,
+    incr,
+    is_enabled,
+    report,
+    reset,
+    timer,
+)
+
+__all__ = [
+    "KernelStat",
+    "PerfRecorder",
+    "add_bytes",
+    "add_flops",
+    "disable",
+    "enable",
+    "get_recorder",
+    "incr",
+    "is_enabled",
+    "report",
+    "reset",
+    "timer",
+]

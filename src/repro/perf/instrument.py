@@ -1,0 +1,197 @@
+"""Scoped timers and counters for the hot kernels.
+
+The fixed-precision solvers and the SPMD kernels are instrumented with a
+process-global :class:`PerfRecorder`: scoped timers (``with timer("schur")``)
+and monotonic counters (``add_flops``, ``add_bytes``, ``incr``).  The layer
+is **disabled by default** and designed so that a disabled call site costs
+one module-global check plus a no-op context manager — no dictionary
+lookups, no ``perf_counter`` calls — keeping the overhead on a full
+``lu_crtp`` solve well under the 5% budget.
+
+Enable it around a region of interest::
+
+    from repro import perf
+    perf.enable()
+    lu_crtp(A)
+    print(perf.report())   # per-kernel seconds, calls, flop/byte rates
+    perf.disable()
+
+``report()`` derives flop/s and byte/s rates wherever a kernel has both a
+timer and a matching counter, which is what ``benchmarks/
+bench_micro_kernels.py`` serializes into ``BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KernelStat:
+    """Aggregated statistics of one named timer."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    min_seconds: float = float("inf")
+    max_seconds: float = 0.0
+
+    def add(self, dt: float) -> None:
+        self.calls += 1
+        self.seconds += dt
+        if dt < self.min_seconds:
+            self.min_seconds = dt
+        if dt > self.max_seconds:
+            self.max_seconds = dt
+
+
+class _Timer:
+    """Scoped timer bound to one :class:`KernelStat` (re-entrant-safe by
+    being instantiated per ``with`` statement)."""
+
+    __slots__ = ("_stat", "_t0")
+
+    def __init__(self, stat: KernelStat):
+        self._stat = stat
+        self._t0 = 0.0
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._stat.add(time.perf_counter() - self._t0)
+        return False
+
+
+class _NoopTimer:
+    """Shared do-nothing context manager returned while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NOOP = _NoopTimer()
+
+
+@dataclass
+class PerfRecorder:
+    """Collects timers and counters; one per enabled region (usually the
+    module-global default)."""
+
+    timers: dict[str, KernelStat] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+
+    # -- recording -----------------------------------------------------
+    def timer(self, name: str) -> _Timer:
+        stat = self.timers.get(name)
+        if stat is None:
+            stat = self.timers[name] = KernelStat()
+        return _Timer(stat)
+
+    def incr(self, name: str, n: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + n
+
+    def add_flops(self, name: str, n: float) -> None:
+        self.incr(f"{name}.flops", n)
+
+    def add_bytes(self, name: str, n: float) -> None:
+        self.incr(f"{name}.bytes", n)
+
+    # -- reporting -----------------------------------------------------
+    def reset(self) -> None:
+        self.timers.clear()
+        self.counters.clear()
+
+    def report(self) -> dict:
+        """Structured snapshot: per-timer stats plus derived rates.
+
+        For a timer ``name`` with counters ``name.flops`` / ``name.bytes``
+        the report includes ``gflops_per_s`` / ``gbytes_per_s``.
+        """
+        out: dict = {"timers": {}, "counters": dict(self.counters)}
+        for name, st in self.timers.items():
+            entry = {
+                "calls": st.calls,
+                "seconds": st.seconds,
+                "mean_ms": 1e3 * st.seconds / st.calls if st.calls else 0.0,
+                "min_ms": 1e3 * st.min_seconds if st.calls else 0.0,
+                "max_ms": 1e3 * st.max_seconds,
+            }
+            flops = self.counters.get(f"{name}.flops")
+            if flops is not None:
+                entry["flops"] = flops
+                if st.seconds > 0:
+                    entry["gflops_per_s"] = flops / st.seconds / 1e9
+            nbytes = self.counters.get(f"{name}.bytes")
+            if nbytes is not None:
+                entry["bytes"] = nbytes
+                if st.seconds > 0:
+                    entry["gbytes_per_s"] = nbytes / st.seconds / 1e9
+            out["timers"][name] = entry
+        return out
+
+
+# ---------------------------------------------------------------------------
+# module-global switchboard — the form every instrumented call site uses
+# ---------------------------------------------------------------------------
+
+_recorder = PerfRecorder()
+_enabled = False
+
+
+def enable(recorder: PerfRecorder | None = None) -> PerfRecorder:
+    """Turn instrumentation on (optionally into a caller-owned recorder)."""
+    global _enabled, _recorder
+    if recorder is not None:
+        _recorder = recorder
+    _enabled = True
+    return _recorder
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def get_recorder() -> PerfRecorder:
+    return _recorder
+
+
+def reset() -> None:
+    _recorder.reset()
+
+
+def report() -> dict:
+    return _recorder.report()
+
+
+def timer(name: str):
+    """Scoped timer; a shared no-op object while disabled."""
+    if not _enabled:
+        return _NOOP
+    return _recorder.timer(name)
+
+
+def incr(name: str, n: float = 1.0) -> None:
+    if _enabled:
+        _recorder.incr(name, n)
+
+
+def add_flops(name: str, n: float) -> None:
+    if _enabled:
+        _recorder.add_flops(name, n)
+
+
+def add_bytes(name: str, n: float) -> None:
+    if _enabled:
+        _recorder.add_bytes(name, n)

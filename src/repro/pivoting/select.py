@@ -26,7 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-from ..linalg.cholqr import gram_r_factor
+from ..linalg.cholqr import _gram, gram_r_factor
 from ..linalg.qrcp import qrcp, strong_rrqr
 from ..sparse.utils import nnz_of
 
@@ -57,6 +57,7 @@ class SelectionResult:
     r_diag: np.ndarray
     used_fallback: bool
     flops: float
+    gram: np.ndarray | None = None
 
     @property
     def winners(self) -> np.ndarray:
@@ -78,7 +79,8 @@ def selection_flops(nnz: int, c: int, *, method: str = "gram") -> float:
 
 
 def select_columns(B, k: int, *, method: str = "gram", strong: bool = False,
-                   f: float = 2.0) -> SelectionResult:
+                   f: float = 2.0, gram: np.ndarray | None = None,
+                   keep_gram: bool = False) -> SelectionResult:
     """Select the ``k`` most linearly independent columns of ``B``.
 
     Parameters
@@ -92,6 +94,12 @@ def select_columns(B, k: int, *, method: str = "gram", strong: bool = False,
     strong:
         Apply Gu-Eisenstat swaps on top of QRCP pivots (strong RRQR) with
         bound ``f``.
+    gram:
+        Precomputed ``B^T B`` (``c x c``); skips the Gram product.  The
+        tournament driver assembles it from child matches' blocks.
+    keep_gram:
+        Return the Gram matrix on the result (``gram`` attribute) so the
+        caller can slice the winners' sub-Gram for the next round.
     """
     m, c = B.shape
     if c == 0:
@@ -104,8 +112,12 @@ def select_columns(B, k: int, *, method: str = "gram", strong: bool = False,
     dense_input = not sp.issparse(B)
     use_dense = method == "dense" or dense_input
     fallback = False
+    G = None
     if not use_dense:
-        R, clean = gram_r_factor(B)
+        if gram is None and keep_gram:
+            gram = _gram(B)
+        R, clean = gram_r_factor(B, gram=gram)
+        G = gram
         if clean:
             small, flops = R, selection_flops(nnz_of(B), c, method="gram")
         else:
@@ -121,4 +133,5 @@ def select_columns(B, k: int, *, method: str = "gram", strong: bool = False,
         _, Rf, piv = qrcp(small, want_q=False)
     r_diag = np.abs(np.diag(Rf))
     return SelectionResult(order=np.asarray(piv, dtype=np.intp), k=k,
-                           r_diag=r_diag, used_fallback=fallback, flops=flops)
+                           r_diag=r_diag, used_fallback=fallback, flops=flops,
+                           gram=G if keep_gram else None)

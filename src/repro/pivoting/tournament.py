@@ -21,8 +21,9 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from ..linalg.cholqr import cross_gram
 from ..sparse.ops import extract_columns
-from ..sparse.utils import nnz_of
+from ..sparse.utils import nnz_of, raw_csc
 from .select import select_columns
 
 
@@ -94,16 +95,65 @@ def _leaf_blocks(n: int, leaf_cols: int) -> list[np.ndarray]:
 
 
 def _match(A, cand: np.ndarray, k: int, stage: str, stats: TournamentStats,
-           *, method: str, strong: bool):
-    """Run one match among candidate columns ``cand`` of ``A``; returns the
-    winning global indices (pivot order) and the match's ``|diag(R)|``."""
-    block = extract_columns(A, cand) if sp.issparse(A) else np.asarray(A)[:, cand]
-    sel = select_columns(block, k, method=method, strong=strong)
+           *, method: str, strong: bool, block=None,
+           gram: np.ndarray | None = None, keep_gram: bool = False):
+    """Run one match among candidate columns ``cand`` of ``A``.
+
+    Returns ``(winning global indices, |diag(R)|, winner sub-Gram)``; the
+    sub-Gram is ``None`` unless ``keep_gram``.  ``block`` and ``gram`` let
+    the tournament driver supply the candidate block / its Gram matrix when
+    it can build them cheaper than from scratch.
+    """
+    if block is None:
+        block = extract_columns(A, cand) if sp.issparse(A) \
+            else np.asarray(A)[:, cand]
+    sel = select_columns(block, k, method=method, strong=strong,
+                         gram=gram, keep_gram=keep_gram)
     block_nnz = nnz_of(block)
     stats.record(MatchRecord(stage=stage, candidates=len(cand), nnz=block_nnz,
                              flops=sel.flops,
                              bytes_exchanged=16 * block_nnz))
-    return cand[sel.winners], sel.r_diag
+    G_win = None
+    if sel.gram is not None:
+        wl = sel.order[:sel.k]
+        G_win = sel.gram[np.ix_(wl, wl)]
+    return cand[sel.winners], sel.r_diag, G_win
+
+
+def _hstack_csc(B1: sp.csc_matrix, B2: sp.csc_matrix) -> sp.csc_matrix:
+    """Concatenate two canonical CSC blocks column-wise (entry-exact: the
+    result equals ``extract_columns(A, concat(cols1, cols2))`` bitwise)."""
+    idx_dtype = np.result_type(B1.indices.dtype, B2.indices.dtype)
+    indptr = np.concatenate([
+        B1.indptr.astype(idx_dtype, copy=False),
+        (B2.indptr[1:] + B1.indptr[-1]).astype(idx_dtype, copy=False)])
+    return raw_csc(
+        np.concatenate([B1.data, B2.data]),
+        np.concatenate([B1.indices.astype(idx_dtype, copy=False),
+                        B2.indices.astype(idx_dtype, copy=False)]),
+        indptr, (B1.shape[0], B1.shape[1] + B2.shape[1]))
+
+
+def _paired_match(A, w1, G1, w2, G2, k, stage, stats, *, method, strong):
+    """Non-leaf match between two winner sets, reusing the children's
+    sub-Gram blocks.
+
+    The parent Gram is ``[[G1, C], [C^T, G2]]`` with only the cross term
+    ``C = B1^T B2`` computed fresh: every Gram entry accumulates over
+    ascending row index independently of the other columns, so the
+    assembled matrix is bitwise identical to a from-scratch Gram of the
+    merged block — pivot choices are exactly reproducible.
+    """
+    cand = np.concatenate([w1, w2])
+    if G1 is None or G2 is None or not sp.issparse(A):
+        return _match(A, cand, k, stage, stats, method=method, strong=strong,
+                      keep_gram=sp.issparse(A) and method == "gram")
+    B1 = extract_columns(A, w1)
+    B2 = extract_columns(A, w2)
+    C = cross_gram(B1, B2)
+    G = np.block([[G1, C], [C.T, G2]])
+    return _match(A, cand, k, stage, stats, method=method, strong=strong,
+                  block=_hstack_csc(B1, B2), gram=G, keep_gram=True)
 
 
 def qr_tp(A, k: int, *, tree: str = "binary", leaf_cols: int | None = None,
@@ -136,42 +186,44 @@ def qr_tp(A, k: int, *, tree: str = "binary", leaf_cols: int | None = None,
     leaf_cols = leaf_cols or max(2 * k, 1)
 
     leaves = _leaf_blocks(n, leaf_cols)
-    contenders: list[np.ndarray] = []
+    # non-leaf matches reuse the children's winner sub-Grams (only the
+    # cross term is recomputed) — only meaningful for the sparse gram route
+    reuse = sp.issparse(A) and method == "gram"
+    contenders: list[tuple[np.ndarray, np.ndarray | None]] = []
     r_diag = np.zeros(0)
     for leaf in leaves:
+        win, r_diag, Gw = _match(A, leaf, k, "leaf", stats,
+                                 method=method, strong=strong,
+                                 keep_gram=reuse and len(leaves) > 1)
+        contenders.append((win, Gw))
         if len(leaves) == 1:
-            # single leaf: the leaf match IS the final match
-            win, r_diag = _match(A, leaf, k, "leaf", stats,
-                                 method=method, strong=strong)
-            contenders.append(win)
-            break
-        win, r_diag = _match(A, leaf, k, "leaf", stats,
-                             method=method, strong=strong)
-        contenders.append(win)
+            break  # single leaf: the leaf match IS the final match
 
     if tree == "flat":
-        acc = contenders[0]
-        for t, nxt in enumerate(contenders[1:], start=1):
-            cand = np.concatenate([acc, nxt])
-            acc, r_diag = _match(A, cand, k, f"round{t}", stats,
-                                 method=method, strong=strong)
+        acc, G_acc = contenders[0]
+        for t, (nxt, G_nxt) in enumerate(contenders[1:], start=1):
+            acc, r_diag, G_acc = _paired_match(
+                A, acc, G_acc, nxt, G_nxt, k, f"round{t}", stats,
+                method=method, strong=strong)
         winners = acc
     else:
         level = contenders
         t = 1
         while len(level) > 1:
-            nxt_level: list[np.ndarray] = []
+            nxt_level: list[tuple[np.ndarray, np.ndarray | None]] = []
             for i in range(0, len(level), 2):
                 if i + 1 < len(level):
-                    cand = np.concatenate([level[i], level[i + 1]])
-                    win, r_diag = _match(A, cand, k, f"round{t}", stats,
-                                         method=method, strong=strong)
-                    nxt_level.append(win)
+                    w1, G1 = level[i]
+                    w2, G2 = level[i + 1]
+                    win, r_diag, Gw = _paired_match(
+                        A, w1, G1, w2, G2, k, f"round{t}", stats,
+                        method=method, strong=strong)
+                    nxt_level.append((win, Gw))
                 else:
                     nxt_level.append(level[i])  # bye
             level = nxt_level
             t += 1
-        winners = level[0]
+        winners = level[0][0]
 
     perm = _winners_first(winners, n)
     return TournamentResult(perm=perm, winners=winners, r11_diag=r_diag,

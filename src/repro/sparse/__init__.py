@@ -7,9 +7,12 @@
 - :mod:`repro.sparse.pattern` — symbolic structure tools (A^T A pattern,
   column counts).
 - :mod:`repro.sparse.fillin` — fill-in tracking across Schur complements.
+- :mod:`repro.sparse.window` — fused index-window permute/split over the
+  running Schur complement (the optimized solver hot path).
 """
 
-from .utils import ensure_csc, ensure_csr, drop_explicit_zeros, density, nnz_of
+from .utils import (ensure_csc, ensure_csr, drop_explicit_zeros, density,
+                    nnz_of, raw_csc, raw_csr)
 from .ops import (
     permute_rows,
     permute_cols,
@@ -18,11 +21,15 @@ from .ops import (
     hstack_factors,
     vstack_factors,
     extract_columns,
+    csr_matmul_nosym,
 )
-from .thresholding import drop_small, drop_sorted_budget, DropResult
+from .thresholding import (drop_small, drop_sorted_budget, DropResult,
+                           apply_threshold_mask, threshold_mask)
 from .pattern import ata_pattern_degrees, column_counts
-from .spgemm import spgemm, spgemm_flops
+from .spgemm import SpGEMMWorkspace, spgemm, spgemm_flops
 from .fillin import FillInTracker
+from .window import (dense_rows_to_csr, extract_leading_columns,
+                     gather_positions, permuted_blocks)
 
 __all__ = [
     "ensure_csc",
@@ -30,6 +37,8 @@ __all__ = [
     "drop_explicit_zeros",
     "density",
     "nnz_of",
+    "raw_csc",
+    "raw_csr",
     "permute_rows",
     "permute_cols",
     "permute",
@@ -37,12 +46,20 @@ __all__ = [
     "hstack_factors",
     "vstack_factors",
     "extract_columns",
+    "csr_matmul_nosym",
     "drop_small",
     "drop_sorted_budget",
     "DropResult",
+    "apply_threshold_mask",
+    "threshold_mask",
     "ata_pattern_degrees",
     "column_counts",
+    "SpGEMMWorkspace",
     "spgemm",
     "spgemm_flops",
     "FillInTracker",
+    "dense_rows_to_csr",
+    "extract_leading_columns",
+    "gather_positions",
+    "permuted_blocks",
 ]

@@ -12,7 +12,12 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from .utils import ensure_csc, ensure_csr
+try:  # scipy's C kernel, used directly to skip the symbolic sizing pass
+    from scipy.sparse import _sparsetools as _spt
+except ImportError:  # pragma: no cover - very old scipy
+    _spt = None
+
+from .utils import ensure_csc, ensure_csr, raw_csr
 
 
 def permute_rows(A: sp.spmatrix, perm: np.ndarray) -> sp.csr_matrix:
@@ -54,9 +59,61 @@ def split_2x2(A: sp.spmatrix, k: int) -> tuple[sp.spmatrix, sp.spmatrix,
 
 
 def extract_columns(A: sp.spmatrix, cols: np.ndarray) -> sp.csc_matrix:
-    """Column gather ``A[:, cols]`` as CSC (tournament candidate exchange)."""
+    """Column gather ``A[:, cols]`` as CSC (tournament candidate exchange).
+
+    Contiguous ascending ranges — every tournament *leaf* block — take the
+    CSC slice fast path (one indptr offset + one data copy) instead of the
+    general fancy-index gather.
+    """
     A = ensure_csc(A)
-    return A[:, np.asarray(cols, dtype=np.intp)]
+    cols = np.asarray(cols, dtype=np.intp)
+    if cols.size > 1 and cols[-1] - cols[0] == cols.size - 1 \
+            and np.all(np.diff(cols) == 1):
+        return A[:, cols[0]:cols[-1] + 1]
+    return A[:, cols]
+
+
+#: do not preallocate more than this many candidate output entries; beyond
+#: it the symbolic sizing pass is cheaper than the wasted memory traffic
+_MATMUL_CAP = 32_000_000
+
+
+def csr_matmul_nosym(A: sp.csr_matrix, B: sp.csr_matrix) -> sp.csr_matrix:
+    """``A @ B`` for canonical CSR operands without the symbolic pass.
+
+    scipy's ``@`` runs ``csr_matmat_maxnnz`` — a full symbolic multiply —
+    just to size the output, then the numeric ``csr_matmat``.  Here the
+    output is preallocated at ``min(flop bound, m*n)`` slots and the numeric
+    kernel is called directly; the accumulation order is scipy's own, so
+    the values are bitwise identical to the operator.  Falls back to the
+    operator when the bound is too large to be worth the memory, or when
+    the private kernel is unavailable.  Like scipy's operator, the result
+    rows are *not* sorted by column.
+    """
+    m, _ = A.shape
+    n = B.shape[1]
+    if _spt is None or A.nnz == 0 or B.nnz == 0:
+        return A @ B
+    bound = int(np.diff(B.indptr)[A.indices].sum())
+    cap = min(bound, m * n)
+    if cap > _MATMUL_CAP:
+        return A @ B
+    idx_dtype = np.promote_types(A.indices.dtype, B.indices.dtype)
+    Ap = A.indptr.astype(idx_dtype, copy=False)
+    Aj = A.indices.astype(idx_dtype, copy=False)
+    Bp = B.indptr.astype(idx_dtype, copy=False)
+    Bj = B.indices.astype(idx_dtype, copy=False)
+    dt = np.result_type(A.dtype, B.dtype)
+    Ax = A.data.astype(dt, copy=False)
+    Bx = B.data.astype(dt, copy=False)
+    Cp = np.empty(m + 1, dtype=idx_dtype)
+    Cj = np.empty(cap, dtype=idx_dtype)
+    Cx = np.empty(cap, dtype=dt)
+    _spt.csr_matmat(m, n, Ap, Aj, Ax, Bp, Bj, Bx, Cp, Cj, Cx)
+    nnz = int(Cp[m])
+    # sorted_indices=None: rows are unsorted, same as scipy's operator —
+    # leave the lazy canonicality check in place for downstream consumers
+    return raw_csr(Cx[:nnz], Cj[:nnz], Cp, (m, n), sorted_indices=None)
 
 
 def hstack_factors(blocks: list) -> sp.csc_matrix:

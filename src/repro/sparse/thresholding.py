@@ -65,6 +65,41 @@ def drop_small(A: sp.spmatrix, mu: float) -> DropResult:
     return DropResult(A, int(mask.sum()), norm_sq, dmax)
 
 
+def threshold_mask(A: sp.spmatrix, mu: float
+                   ) -> tuple[np.ndarray | None, int, float, float]:
+    """Accounting of a ``mu``-threshold *without* applying it.
+
+    Returns ``(mask, dropped_nnz, dropped_norm_sq, dropped_max)`` where
+    ``mask`` flags the stored entries that a :func:`drop_small` call would
+    remove.  The numbers are computed on ``A``'s stored data in place —
+    bitwise identical to :func:`drop_small`'s accounting on the same
+    canonical matrix — so Algorithm 3's line-10 control bound can be
+    checked *before* committing the drop: the solver only then decides to
+    apply the mask (:func:`apply_threshold_mask`), keep a pre-drop copy for
+    recovery, or reject the drop entirely — the rejected case costs no copy
+    at all.
+    """
+    if mu <= 0.0 or A.nnz == 0:
+        return None, 0, 0.0, 0.0
+    mask = np.abs(A.data) < mu
+    dropped = A.data[mask]
+    norm_sq = float(np.dot(dropped, dropped))
+    dmax = float(np.max(np.abs(dropped))) if dropped.size else 0.0
+    return mask, int(mask.sum()), norm_sq, dmax
+
+
+def apply_threshold_mask(A: sp.spmatrix, mask: np.ndarray | None):
+    """Apply a mask from :func:`threshold_mask` to ``A`` *in place*.
+
+    Returns ``A`` (zeroed entries pruned), with the identical stored
+    pattern and values :func:`drop_small` would have produced on a copy.
+    """
+    if mask is not None:
+        A.data[mask] = 0.0
+    A.eliminate_zeros()
+    return A
+
+
 def drop_sorted_budget(A: sp.spmatrix, phi: float, spent_sq: float,
                        *, cap: float | None = None) -> DropResult:
     """Aggressive thresholding: drop smallest entries first while the running

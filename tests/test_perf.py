@@ -1,0 +1,139 @@
+"""Tests for repro.perf (kernel instrumentation layer)."""
+
+import time
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import perf
+from repro.perf import KernelStat, PerfRecorder
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_recorder():
+    perf.disable()
+    perf.reset()
+    yield
+    perf.disable()
+    perf.reset()
+
+
+def test_disabled_by_default_noop():
+    assert not perf.is_enabled()
+    with perf.timer("x"):
+        pass
+    perf.incr("c")
+    perf.add_flops("x", 100.0)
+    perf.add_bytes("x", 8.0)
+    rep = perf.report()
+    assert rep["timers"] == {} and rep["counters"] == {}
+
+
+def test_timer_records_calls_and_seconds():
+    perf.enable()
+    for _ in range(3):
+        with perf.timer("k"):
+            time.sleep(0.001)
+    rep = perf.report()
+    t = rep["timers"]["k"]
+    assert t["calls"] == 3
+    assert t["seconds"] >= 0.003
+    assert t["min_ms"] <= t["mean_ms"] <= t["max_ms"]
+
+
+def test_counters_and_derived_rates():
+    perf.enable()
+    with perf.timer("gemm"):
+        time.sleep(0.001)
+    perf.add_flops("gemm", 2e6)
+    perf.add_bytes("gemm", 1e6)
+    perf.incr("iterations")
+    perf.incr("iterations", 4)
+    rep = perf.report()
+    g = rep["timers"]["gemm"]
+    assert g["flops"] == 2e6 and g["bytes"] == 1e6
+    assert g["gflops_per_s"] > 0 and g["gbytes_per_s"] > 0
+    assert rep["counters"]["iterations"] == 5
+
+
+def test_reset_clears_everything():
+    perf.enable()
+    with perf.timer("a"):
+        pass
+    perf.incr("b")
+    perf.reset()
+    rep = perf.report()
+    assert rep["timers"] == {} and rep["counters"] == {}
+
+
+def test_caller_owned_recorder():
+    mine = PerfRecorder()
+    perf.enable(mine)
+    with perf.timer("k"):
+        pass
+    assert perf.get_recorder() is mine
+    assert mine.timers["k"].calls == 1
+
+
+def test_kernel_stat_min_max():
+    st = KernelStat()
+    st.add(0.5)
+    st.add(0.1)
+    st.add(0.9)
+    assert st.calls == 3
+    assert st.min_seconds == 0.1 and st.max_seconds == 0.9
+    assert st.seconds == pytest.approx(1.5)
+
+
+def test_solver_populates_timers():
+    from repro.core.lu_crtp import LU_CRTP
+    rng = np.random.default_rng(0)
+    A = sp.random(80, 80, density=0.1, random_state=rng, format="csc") \
+        + sp.diags(np.linspace(1, 0.1, 80), format="csc")
+    perf.enable()
+    LU_CRTP(k=8, tol=1e-2, raise_on_failure=False).solve(A.tocsc())
+    rep = perf.report()
+    assert rep["timers"], "instrumented solver recorded no timers"
+    for entry in rep["timers"].values():
+        assert entry["calls"] >= 1 and entry["seconds"] >= 0.0
+
+
+def test_disabled_overhead_under_5_percent():
+    """A disabled call site must stay within the 5% overhead budget.
+
+    Comparing two full solves is too noisy to pin 5%, so the bound is
+    computed directly: (number of instrumented events one solve fires)
+    x (measured cost of one disabled event) must be under 5% of the
+    solve's wall-clock time.
+    """
+    from repro.core.lu_crtp import LU_CRTP
+    rng = np.random.default_rng(3)
+    A = (sp.random(300, 300, density=0.02, random_state=rng, format="csc")
+         + sp.diags(np.linspace(1, 0.01, 300), format="csc")).tocsc()
+    solver = LU_CRTP(k=16, tol=1e-4, max_rank=96, raise_on_failure=False)
+    solver.solve(A)  # warm caches
+
+    # count instrumented events (timer scopes + counter bumps) per solve
+    rec = PerfRecorder()
+    perf.enable(rec)
+    solver.solve(A)
+    perf.disable()
+    events = sum(s.calls for s in rec.timers.values()) + len(rec.counters)
+    assert events > 0
+
+    t0 = time.perf_counter()
+    solver.solve(A)
+    solve_s = time.perf_counter() - t0
+
+    reps = 200_000
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        with perf.timer("x"):
+            pass
+        perf.add_flops("x", 1.0)
+    per_event = (time.perf_counter() - t0) / (2 * reps)
+
+    assert events * per_event < 0.05 * solve_s, (
+        f"{events} disabled events x {per_event * 1e9:.0f}ns "
+        f"vs {solve_s * 1e3:.1f}ms solve")

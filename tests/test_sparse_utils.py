@@ -10,6 +10,8 @@ from repro.sparse.utils import (
     ensure_csc,
     ensure_csr,
     nnz_of,
+    raw_csc,
+    raw_csr,
     sparsity_summary,
 )
 
@@ -34,6 +36,72 @@ def test_ensure_csr_from_coo(small_sparse):
 def test_ensure_casts_dtype():
     A = sp.csc_matrix(np.eye(3, dtype=np.float32))
     assert ensure_csc(A).dtype == np.float64
+
+
+def test_ensure_csc_is_true_noop_on_canonical_input(small_sparse):
+    """An already-canonical CSC must come back as the *same object* —
+    no conversion, no hidden copy (the hot-path contract)."""
+    A = small_sparse.tocsc()
+    A.sort_indices()
+    assert ensure_csc(A) is A
+    assert ensure_csc(A, dtype=None) is A
+
+
+def test_ensure_csr_is_true_noop_on_canonical_input(small_sparse):
+    A = small_sparse.tocsr()
+    A.sort_indices()
+    assert ensure_csr(A) is A
+    assert ensure_csr(A, dtype=None) is A
+
+
+def test_ensure_does_not_mutate_unsorted_input():
+    """Non-canonical inputs are normalized on a copy, never in place."""
+    A = sp.csc_matrix((np.array([1.0, 2.0]),
+                       np.array([2, 0]), np.array([0, 2, 2, 2])),
+                      shape=(3, 3))
+    A.has_sorted_indices = False
+    B = ensure_csc(A)
+    assert B is not A
+    assert B.has_sorted_indices
+    np.testing.assert_array_equal(A.indices, [2, 0])  # input untouched
+
+
+def test_ensure_dtype_none_preserves_dtype():
+    A32 = sp.csc_matrix(np.eye(3, dtype=np.float32))
+    assert ensure_csc(A32, dtype=None).dtype == np.float32
+    assert ensure_csr(A32.tocsr(), dtype=None).dtype == np.float32
+
+
+def test_raw_csr_wraps_without_copy(small_sparse):
+    A = small_sparse.tocsr()
+    A.sort_indices()
+    R = raw_csr(A.data, A.indices, A.indptr, A.shape)
+    assert R.format == "csr"
+    assert R.shape == A.shape
+    assert R.data is A.data and R.indices is A.indices
+    assert R.has_sorted_indices
+    assert abs(R - A).max() == 0.0
+
+
+def test_raw_csc_wraps_without_copy(small_sparse):
+    A = small_sparse.tocsc()
+    A.sort_indices()
+    C = raw_csc(A.data, A.indices, A.indptr, A.shape)
+    assert C.format == "csc"
+    assert C.data is A.data
+    assert abs(C - A).max() == 0.0
+
+
+def test_raw_csr_lazy_sorted_check():
+    """``sorted_indices=None`` leaves scipy's lazy canonicality check in
+    place: unsorted rows are detected (and sortable) on demand."""
+    data = np.array([1.0, 2.0])
+    indices = np.array([2, 0], dtype=np.int32)
+    indptr = np.array([0, 2], dtype=np.int32)
+    R = raw_csr(data, indices, indptr, (1, 3), sorted_indices=None)
+    assert not R.has_sorted_indices  # lazily computed, correctly False
+    R.sort_indices()
+    np.testing.assert_array_equal(R.indices, [0, 2])
 
 
 def test_drop_explicit_zeros():

@@ -5,7 +5,7 @@ import pytest
 import scipy.sparse as sp
 from hypothesis import given, settings, strategies as st
 
-from repro.sparse.spgemm import spgemm, spgemm_flops
+from repro.sparse.spgemm import SpGEMMWorkspace, spgemm, spgemm_flops
 
 
 def rand_sparse(m, n, density, seed):
@@ -101,3 +101,77 @@ def test_spgemm_large_random_stress():
     ref = A @ B
     assert abs(C - ref).max() < 1e-10
     assert flops == spgemm_flops(A, B)
+
+
+# -- workspace reuse ---------------------------------------------------------
+
+def test_workspace_matches_fresh_allocation():
+    ws = SpGEMMWorkspace()
+    rng = np.random.default_rng(20)
+    for trial in range(4):
+        m, k, n = rng.integers(10, 80, size=3)
+        A = sp.random(m, k, density=0.2, random_state=rng,
+                      data_rvs=rng.standard_normal).tocsc()
+        B = sp.random(k, n, density=0.2, random_state=rng,
+                      data_rvs=rng.standard_normal).tocsc()
+        fresh = spgemm(A, B)
+        reused = spgemm(A, B, workspace=ws)
+        assert fresh.nnz == reused.nnz
+        if fresh.nnz:
+            assert abs(fresh - reused).max() == 0.0
+
+
+def test_workspace_grows_monotonically():
+    ws = SpGEMMWorkspace()
+    rng = np.random.default_rng(21)
+    small = sp.random(10, 10, density=0.3, random_state=rng).tocsc()
+    spgemm(small, small, workspace=ws)
+    cap_small = ws.capacity
+    big = sp.random(200, 200, density=0.1, random_state=rng).tocsc()
+    spgemm(big, big, workspace=ws)
+    cap_big = ws.capacity
+    assert cap_big >= cap_small
+    # shrinking back down must not shrink the buffers
+    spgemm(small, small, workspace=ws)
+    assert ws.capacity == cap_big
+
+
+def test_workspace_flops_and_results_stable_across_reuse():
+    """Reusing buffers (possibly dirty from a prior product) never leaks
+    stale values or miscounts flops."""
+    ws = SpGEMMWorkspace()
+    rng = np.random.default_rng(22)
+    A = sp.random(60, 40, density=0.25, random_state=rng,
+                  data_rvs=rng.standard_normal).tocsc()
+    B = sp.random(40, 50, density=0.25, random_state=rng,
+                  data_rvs=rng.standard_normal).tocsc()
+    first, fl1 = spgemm(A, B, workspace=ws, return_flops=True)
+    second, fl2 = spgemm(A, B, workspace=ws, return_flops=True)
+    assert fl1 == fl2 == spgemm_flops(A, B)
+    assert abs(first - second).max() == 0.0
+
+
+@given(st.integers(0, 2 ** 16), st.floats(0.05, 0.5), st.floats(0.05, 0.5))
+@settings(max_examples=25, deadline=None)
+def test_property_workspace_matches_scipy(seed, da, db):
+    """Randomized ensembles through one long-lived workspace stay exact."""
+    rng = np.random.default_rng(seed)
+    m, k, n = rng.integers(1, 20, size=3)
+    A = sp.random(m, k, density=da, random_state=rng,
+                  data_rvs=rng.standard_normal).tocsc()
+    B = sp.random(k, n, density=db, random_state=rng,
+                  data_rvs=rng.standard_normal).tocsc()
+    ws = SpGEMMWorkspace()
+    C1, flops = spgemm(A, B, workspace=ws, return_flops=True)
+    C2 = spgemm(A, B, workspace=ws)  # second pass through warmed buffers
+    np.testing.assert_allclose(C1.toarray(), (A @ B).toarray(), atol=1e-10)
+    assert flops == spgemm_flops(A, B)
+    assert (C1 != C2).nnz == 0
+
+
+def test_spgemm_preserves_dtype():
+    A = sp.random(12, 12, density=0.4, format="csc",
+                  random_state=np.random.default_rng(23))
+    A32 = A.astype(np.float32)
+    C = spgemm(A32, A32)
+    assert C.dtype == np.float32
