@@ -1,0 +1,153 @@
+"""CI smoke check for the solve service.
+
+Exercises the serving layer end to end and asserts the metrics counters:
+
+1. an uncached solve (``cache: miss``),
+2. the identical request again (``cache: hit`` — no solver runs),
+3. a same-matrix burst behind a slow job, so the queued members are
+   drained as one batch (``cache: batched``), recording the cache
+   hit-rate the batching path produces.
+
+Two modes:
+
+- default — spawns ``python -m repro serve --port 0`` as a subprocess,
+  parses the announced ephemeral port and talks to it over TCP (the
+  deployment path the CI service-smoke job gates);
+- ``--in-process`` — the same workload against an in-process
+  :class:`~repro.service.ServiceClient` (no sockets; the cheap variant
+  the bench-smoke job runs to record the batching hit-rate).
+
+Usage::
+
+    python benchmarks/service_smoke.py [--in-process] [--output out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import SolverConfig                       # noqa: E402
+from repro.service import (                              # noqa: E402
+    MatrixSpec,
+    ServiceClient,
+    SolveRequest,
+)
+
+MATRIX = MatrixSpec(suite="M4", scale=0.5)
+SLOW_MATRIX = MatrixSpec(suite="M2", scale=0.5)
+
+
+def lu_request(tol=1e-2):
+    return SolveRequest(matrix=MATRIX, method="lu",
+                        config=SolverConfig(k=16, tol=tol))
+
+
+def run_workload(client: ServiceClient, wire: bool) -> dict:
+    def solve(req):
+        return client.solve(req.to_dict() if wire else req)
+
+    def submit(req):
+        return client.submit(req.to_dict() if wire else req)
+
+    first = solve(lu_request())
+    assert first["state"] == "done", first
+    assert first["cache"] == "miss", first
+    assert first["result"]["schema"] == "repro.result/v1", first
+    print(f"uncached solve: cache={first['cache']} "
+          f"rank={first['result']['rank']}")
+
+    again = solve(lu_request())
+    assert again["cache"] == "hit", again
+    assert again["result"]["rank"] == first["result"]["rank"]
+    print(f"cached solve  : cache={again['cache']}")
+
+    # batching: occupy the single worker with a slow job, then queue a
+    # same-group burst behind it — the burst drains as one batch
+    slow_id = submit(SolveRequest(matrix=SLOW_MATRIX, method="lu",
+                                  config=SolverConfig(k=8, tol=1e-2)))
+    burst = [submit(SolveRequest(matrix=MATRIX, method="randqb",
+                                 config=SolverConfig(k=16, tol=tol,
+                                                     power=1)))
+             for tol in (2e-1, 5e-2)]
+    statuses = [client.wait(j)["cache"] for j in [slow_id, *burst]]
+    print(f"burst         : cache={statuses}")
+    assert sorted(statuses[1:]) == ["batched", "miss"], statuses
+
+    m = client.metrics()
+    c = m["counters"]
+    assert m["schema"] == "repro.metrics/v1", m
+    assert c["completed"] == 5, c
+    assert c["cache_hits"] == 1, c
+    assert c["cache_misses"] == 4, c          # lu miss, slow, burst pair
+    assert c["batched"] == 1, c
+    assert c["failed"] == 0 and c["evicted"] == 0, c
+    assert m["cache"]["hit_rate"] > 0.0, m
+    print(f"metrics       : hit_rate={m['cache']['hit_rate']:.2f} "
+          f"batched={c['batched']} p95={m['latency']['p95'] * 1e3:.0f}ms")
+    return m
+
+
+def run_tcp() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1",
+         "--port", "0", "--workers", "1"],
+        cwd=REPO_ROOT, env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"listening on [\w.]+:(\d+)", line)
+        assert match, f"unexpected server banner: {line!r}"
+        port = int(match.group(1))
+        print(f"server up on port {port}")
+
+        client = ServiceClient.connect("127.0.0.1", port)
+        try:
+            return run_workload(client, wire=True)
+        finally:
+            client.close()   # sends the shutdown op
+    finally:
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            raise SystemExit("server did not shut down cleanly")
+
+
+def run_in_process() -> dict:
+    with ServiceClient(workers=1) as client:
+        return run_workload(client, wire=False)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--in-process", action="store_true",
+                        help="skip the subprocess/TCP layer")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the final metrics snapshot as JSON")
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    metrics = run_in_process() if args.in_process else run_tcp()
+    print(f"service smoke OK in {time.perf_counter() - t0:.1f}s")
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(metrics, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,7 @@ rank, runtime, factor storage and exact error.
 Run:  python examples/quickstart.py
 """
 
-from repro import ilut_crtp, lu_crtp, randqb_ei, randubv
+from repro.api import SolverConfig, make_solver
 from repro.analysis.tables import render_table
 from repro.matrices import random_graded
 
@@ -18,18 +18,19 @@ def main():
     # and heavy-tailed entry magnitudes (a "fluid dynamics"-like problem)
     A = random_graded(500, 500, nnz_per_row=12, decay_rate=8.0,
                       value_spread=1.5, two_sided=True, seed=0)
-    tol = 1e-2
-    k = 16
+    config = SolverConfig(k=16, tol=1e-2, power=1)
     print(f"Input: {A.shape[0]}x{A.shape[1]} sparse, nnz={A.nnz}, "
-          f"target relative error tau={tol:g}\n")
+          f"target relative error tau={config.tol:g}\n")
 
+    # one registry, one config shape: any alias ("qb", "randqb_ei", ...)
+    # resolves through repro.api.SOLVERS
     results = {}
-    results["RandQB_EI (p=1)"] = randqb_ei(A, k=k, tol=tol, power=1)
-    results["RandUBV"] = randubv(A, k=k, tol=tol)
-    lu = lu_crtp(A, k=k, tol=tol)
+    results["RandQB_EI (p=1)"] = make_solver("randqb", config).solve(A)
+    results["RandUBV"] = make_solver("ubv", config).solve(A)
+    lu = make_solver("lu", config).solve(A)
     results["LU_CRTP"] = lu
-    results["ILUT_CRTP"] = ilut_crtp(
-        A, k=k, tol=tol, estimated_iterations=max(lu.iterations, 1))
+    results["ILUT_CRTP"] = make_solver("ilut", config.replace(
+        estimated_iterations=max(lu.iterations, 1))).solve(A)
 
     rows = []
     for name, r in results.items():

@@ -41,6 +41,7 @@ from .core import (
     truncated_svd,
 )
 from .core import RecoveryPolicy, RecoveryLog
+from .api import SolverConfig, make_solver, resolve_method, SOLVERS
 from .exceptions import (
     ReproError,
     ConvergenceError,
@@ -50,12 +51,18 @@ from .exceptions import (
     RankFailure,
     CommTimeoutError,
     CheckpointError,
+    UnknownSolverError,
+    ServiceError,
+    QueueFullError,
+    JobTimeoutError,
+    JobFailedError,
 )
 from .results import (
     LowRankApproximation,
     QBApproximation,
     UBVApproximation,
     LUApproximation,
+    RESULT_SCHEMA,
 )
 
 __version__ = "1.0.0"
@@ -84,5 +91,15 @@ __all__ = [
     "QBApproximation",
     "UBVApproximation",
     "LUApproximation",
+    "RESULT_SCHEMA",
+    "SolverConfig",
+    "make_solver",
+    "resolve_method",
+    "SOLVERS",
+    "UnknownSolverError",
+    "ServiceError",
+    "QueueFullError",
+    "JobTimeoutError",
+    "JobFailedError",
     "__version__",
 ]

@@ -1,0 +1,37 @@
+"""Unified solver API: registry + canonical config + stable result schema.
+
+One table (:data:`SOLVERS`) resolves every accepted method spelling for
+the CLI, the solve service and the examples; one frozen
+:class:`SolverConfig` is the canonical constructor shape (and the cache
+identity of a factorization); :func:`make_solver` turns the pair into a
+ready solver instance::
+
+    from repro.api import SolverConfig, make_solver
+    solver = make_solver("ilut", SolverConfig(k=16, tol=1e-2,
+                                              estimated_iterations=8))
+    result = solver.solve(A)
+    payload = result.to_json()          # versioned "repro.result/v1" dict
+"""
+
+from ..results import RESULT_SCHEMA
+from .config import SolverConfig, constructor_kwargs
+from .registry import (
+    SOLVERS,
+    SolverSpec,
+    get_spec,
+    make_solver,
+    registered_methods,
+    resolve_method,
+)
+
+__all__ = [
+    "SOLVERS",
+    "SolverSpec",
+    "SolverConfig",
+    "RESULT_SCHEMA",
+    "constructor_kwargs",
+    "get_spec",
+    "make_solver",
+    "registered_methods",
+    "resolve_method",
+]

@@ -1,0 +1,163 @@
+"""Canonical solver configuration (:class:`SolverConfig`).
+
+Every fixed-precision solver historically grew its own constructor
+signature; the unified API narrows them to one frozen, hashable shape
+covering the parameters the paper varies (block size ``k``, tolerance
+``tau``, power ``p``, seed, the ILUT iteration estimate ``u``) plus the
+cross-cutting flags added by later PRs (``optimized`` parity routes,
+``checkpointing``).  Method-specific knobs (``l_formula``, ``mu``,
+``aggressive``, ...) pass through the ``extras`` mapping and are validated
+against the target solver's dataclass fields at construction time.
+
+``SolverConfig`` is also the *cache identity* of a factorization: the
+solve service keys its content-addressed cache on
+``(matrix fingerprint, method, config.cache_key())``.  ``cache_key``
+excludes ``tol`` (so a tighter-``tau`` factorization can satisfy a looser
+request — the τ-dominance rule), ``checkpointing`` (an execution detail)
+and ``optimized`` (the PR-2 parity contract pins optimized and reference
+routes to bitwise-identical results).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Fields that do not affect the produced factorization and are therefore
+#: excluded from :meth:`SolverConfig.cache_key`.
+_NON_IDENTITY_FIELDS = ("tol", "checkpointing", "optimized")
+
+
+def _freeze_extras(extras) -> tuple:
+    """Normalize an extras mapping to a sorted, hashable tuple of pairs."""
+    if extras is None:
+        return ()
+    if isinstance(extras, tuple):
+        items = list(extras)
+    else:
+        items = list(dict(extras).items())
+    for key, _ in items:
+        if not isinstance(key, str):
+            raise ValueError(f"extras keys must be strings, got {key!r}")
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Frozen, canonical configuration shared by all four methods.
+
+    Parameters
+    ----------
+    k:
+        Block size (rank added per outer iteration).
+    tol:
+        Relative tolerance ``tau`` on ``||A - H W||_F / ||A||_F``.
+    power:
+        Power-scheme parameter ``p`` (RandQB_EI only; ignored elsewhere).
+    seed:
+        RNG seed for the randomized methods (ignored by LU/ILUT).
+    estimated_iterations:
+        ILUT heuristic (24) iteration estimate ``u`` (positive int or
+        ``"auto"``); ignored by the other methods.
+    optimized:
+        Select the PR-2 optimized kernel routes (bitwise-identical results
+        by the parity contract).
+    checkpointing:
+        Ask the runtime (service / CLI) to attach per-iteration checkpoint
+        hooks; inert for solvers without checkpoint support (RandUBV).
+    max_rank:
+        Rank cap (``None`` = dimension-limited).
+    extras:
+        Method-specific passthrough options, e.g.
+        ``{"l_formula": "auto"}``; validated against the target solver.
+    """
+
+    k: int = 32
+    tol: float = 1e-2
+    power: int = 1
+    seed: int = 0
+    estimated_iterations: int | str = 10
+    optimized: bool = True
+    checkpointing: bool = False
+    max_rank: int | None = None
+    extras: tuple = field(default=())
+
+    def __post_init__(self):
+        object.__setattr__(self, "extras", _freeze_extras(self.extras))
+        if int(self.k) <= 0:
+            raise ValueError("block size k must be positive")
+        if not float(self.tol) > 0:
+            raise ValueError("tolerance tol must be positive")
+        if not 0 <= int(self.power) <= 3:
+            raise ValueError("power parameter p must be in [0, 3]")
+        u = self.estimated_iterations
+        if isinstance(u, str):
+            if u != "auto":
+                raise ValueError(
+                    "estimated_iterations must be a positive int or 'auto'")
+        elif int(u) <= 0:
+            raise ValueError("estimated_iterations must be positive")
+        if self.max_rank is not None and int(self.max_rank) <= 0:
+            raise ValueError("max_rank must be positive when given")
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form (``extras`` becomes a nested dict)."""
+        d = dataclasses.asdict(self)
+        d["extras"] = dict(self.extras)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SolverConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - names
+        if unknown:
+            raise ValueError(
+                f"unknown SolverConfig field(s): {sorted(unknown)}")
+        return cls(**d)
+
+    def replace(self, **changes) -> "SolverConfig":
+        """A copy with the given fields changed (config stays frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    def extras_dict(self) -> dict:
+        return dict(self.extras)
+
+    # -- cache identity ------------------------------------------------
+    def cache_key(self) -> str:
+        """Stable string identifying the factorization this config yields.
+
+        Excludes ``tol``/``checkpointing``/``optimized`` (see module
+        docstring); everything else is serialized as canonical JSON with
+        sorted keys so logically-equal configs collide.
+        """
+        d = self.to_dict()
+        for name in _NON_IDENTITY_FIELDS:
+            d.pop(name, None)
+        return json.dumps(d, sort_keys=True, separators=(",", ":"))
+
+
+def constructor_kwargs(solver_cls, config: SolverConfig) -> dict[str, Any]:
+    """Translate a :class:`SolverConfig` into ``solver_cls`` kwargs.
+
+    Canonical fields that the target dataclass does not declare are
+    silently dropped (``power`` for LU, ``seed`` for ILUT, ...); ``extras``
+    keys have no such tolerance — an extra that is not a field of
+    ``solver_cls`` raises ``ValueError`` since it was asked for by name.
+    """
+    accepted = {f.name for f in dataclasses.fields(solver_cls)}
+    kwargs: dict[str, Any] = {}
+    for name in ("k", "tol", "power", "seed", "estimated_iterations",
+                 "optimized", "max_rank"):
+        if name in accepted:
+            kwargs[name] = getattr(config, name)
+    for name, value in config.extras:
+        if name not in accepted:
+            raise ValueError(
+                f"{solver_cls.__name__} has no option {name!r} "
+                f"(valid extras: {sorted(accepted)})")
+        kwargs[name] = value
+    return kwargs

@@ -8,9 +8,12 @@ Commands
 - ``compare`` — run all four methods with uniform termination and print a
   side-by-side table.
 - ``scaling`` — modeled strong-scaling sweep for a matrix/method.
+- ``serve`` — run the async solve service on a TCP endpoint.
 
 Matrices are addressed either by suite label (``M1``..``M6``, with
-``--scale``) or by a Matrix Market file path.
+``--scale``) or by a Matrix Market file path.  Solver construction goes
+through the :mod:`repro.api` registry, so every alias the library accepts
+is valid for ``--method``.
 """
 
 from __future__ import annotations
@@ -29,27 +32,27 @@ def _load_matrix(spec: str, scale: float):
     return suite_matrix(spec, scale=scale)
 
 
+def _config_from_args(args):
+    from .api import SolverConfig
+    return SolverConfig(k=args.k, tol=args.tol, power=args.power,
+                        seed=args.seed,
+                        estimated_iterations=args.estimated_iterations)
+
+
 def _make_solver(method: str, args):
-    from .core import ILUT_CRTP, LU_CRTP, RandQB_EI, RandUBV
-    method = method.lower()
-    if method in ("randqb", "randqb_ei", "qb"):
-        return RandQB_EI(k=args.k, tol=args.tol, power=args.power,
-                         seed=args.seed)
-    if method in ("ubv", "randubv"):
-        return RandUBV(k=args.k, tol=args.tol, seed=args.seed)
-    if method in ("lu", "lu_crtp"):
-        return LU_CRTP(k=args.k, tol=args.tol)
-    if method in ("ilut", "ilut_crtp"):
-        return ILUT_CRTP(k=args.k, tol=args.tol,
-                         estimated_iterations=args.estimated_iterations)
-    raise SystemExit(f"unknown method {method!r} "
-                     "(choose randqb | ubv | lu | ilut)")
+    from .api import make_solver
+    from .exceptions import UnknownSolverError
+    try:
+        return make_solver(method, _config_from_args(args))
+    except UnknownSolverError as exc:
+        raise SystemExit(str(exc))
 
 
 def _summary_row(name: str, res) -> list:
-    return [name, res.rank, res.iterations, f"{res.elapsed:.3f}",
-            res.factor_nnz(), f"{res.relative_indicator():.2e}",
-            "yes" if res.converged else "NO"]
+    d = res.to_json(include_history=False)
+    return [name, d["rank"], d["iterations"], f"{d['elapsed']:.3f}",
+            d["factor_nnz"], f"{d['relative_indicator']:.2e}",
+            "yes" if d["converged"] else "NO"]
 
 
 def _print_perf_report() -> None:
@@ -108,18 +111,18 @@ def cmd_solve(args) -> int:
 
 def cmd_compare(args) -> int:
     from .analysis.tables import render_table
-    from .core import ILUT_CRTP, LU_CRTP, RandQB_EI, RandUBV
+    from .api import make_solver
     A = _load_matrix(args.matrix, args.scale)
+    config = _config_from_args(args)
     rows = []
-    qb = RandQB_EI(k=args.k, tol=args.tol, power=args.power,
-                   seed=args.seed).solve(A)
+    qb = make_solver("randqb", config).solve(A)
     rows.append(_summary_row(f"RandQB_EI p={args.power}", qb))
-    ubv = RandUBV(k=args.k, tol=args.tol, seed=args.seed).solve(A)
+    ubv = make_solver("ubv", config).solve(A)
     rows.append(_summary_row("RandUBV", ubv))
-    lu = LU_CRTP(k=args.k, tol=args.tol).solve(A)
+    lu = make_solver("lu", config).solve(A)
     rows.append(_summary_row("LU_CRTP", lu))
-    il = ILUT_CRTP(k=args.k, tol=args.tol,
-                   estimated_iterations=max(lu.iterations, 1)).solve(A)
+    il = make_solver("ilut", config.replace(
+        estimated_iterations=max(lu.iterations, 1))).solve(A)
     rows.append(_summary_row("ILUT_CRTP", il))
     print(render_table(
         ["method", "rank", "iters", "time[s]", "factor nnz", "indicator",
@@ -142,25 +145,25 @@ def cmd_scaling(args) -> int:
         speedup_table,
         strong_scaling,
     )
-    from .core import ILUT_CRTP, LU_CRTP, RandQB_EI, RandUBV
+    from .api import make_solver
     A = _load_matrix(args.matrix, args.scale)
+    config = _config_from_args(args)
     ps = [int(p) for p in args.nprocs.split(",")]
     curves = []
-    qb = RandQB_EI(k=args.k, tol=args.tol, power=args.power,
-                   seed=args.seed).solve(A)
+    qb = make_solver("randqb", config).solve(A)
     curves.append(ScalingCurve.from_reports(
         f"RandQB_EI p={args.power}", strong_scaling(
             lambda p: simulate_randqb_ei(qb, A, p, k=args.k,
                                          power=args.power), ps)))
-    ubv = RandUBV(k=args.k, tol=args.tol, seed=args.seed).solve(A)
+    ubv = make_solver("ubv", config).solve(A)
     curves.append(ScalingCurve.from_reports(
         "RandUBV", strong_scaling(
             lambda p: simulate_randubv(ubv, A, p, k=args.k), ps)))
-    lu = LU_CRTP(k=args.k, tol=args.tol).solve(A)
+    lu = make_solver("lu", config).solve(A)
     curves.append(ScalingCurve.from_reports(
         "LU_CRTP", strong_scaling(lambda p: simulate_lu_crtp(lu, p), ps)))
-    il = ILUT_CRTP(k=args.k, tol=args.tol,
-                   estimated_iterations=max(lu.iterations, 1)).solve(A)
+    il = make_solver("ilut", config.replace(
+        estimated_iterations=max(lu.iterations, 1))).solve(A)
     curves.append(ScalingCurve.from_reports(
         "ILUT_CRTP", strong_scaling(lambda p: simulate_ilut_crtp(il, p),
                                     ps)))
@@ -168,6 +171,14 @@ def cmd_scaling(args) -> int:
     for c in curves:
         print(f"{c.label:16s} saturates near np = {c.saturation_nprocs()}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    from .service import main_serve
+    return main_serve(args.host, args.port, workers=args.workers,
+                      queue_limit=args.queue_limit,
+                      cache_capacity=args.cache_size,
+                      default_timeout=args.job_timeout)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -214,6 +225,20 @@ def build_parser() -> argparse.ArgumentParser:
     psc.add_argument("--nprocs", default="1,4,16,64,256,1024",
                      help="comma-separated process counts")
     psc.set_defaults(func=cmd_scaling)
+
+    pv = sub.add_parser("serve", help="run the async solve service (TCP, "
+                                      "line-delimited JSON protocol)")
+    pv.add_argument("--host", default="127.0.0.1")
+    pv.add_argument("--port", type=int, default=7321)
+    pv.add_argument("--workers", type=int, default=2,
+                    help="concurrent solve workers")
+    pv.add_argument("--queue-limit", type=int, default=64,
+                    help="queue capacity before backpressure rejections")
+    pv.add_argument("--cache-size", type=int, default=64,
+                    help="factorization cache capacity (distinct keys)")
+    pv.add_argument("--job-timeout", type=float, default=None,
+                    help="default per-job timeout in seconds")
+    pv.set_defaults(func=cmd_serve)
     return p
 
 

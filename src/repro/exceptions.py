@@ -102,3 +102,50 @@ class CheckpointError(ReproError):
 
 class MatrixFormatError(ReproError):
     """Malformed external matrix data (e.g. Matrix Market parsing failures)."""
+
+
+class UnknownSolverError(ReproError, ValueError):
+    """A method name did not resolve through the :mod:`repro.api` registry."""
+
+
+class ServiceError(ReproError):
+    """Base class for solve-service failures (:mod:`repro.service`)."""
+
+
+class QueueFullError(ServiceError):
+    """Backpressure: the service job queue is at capacity.
+
+    Clients should retry with backoff; ``limit`` carries the configured
+    queue bound so callers can log/shed load intelligently.
+    """
+
+    def __init__(self, message: str, *, limit: int | None = None):
+        super().__init__(message)
+        self.limit = limit
+
+
+class JobTimeoutError(ServiceError):
+    """A solve job exceeded its per-job timeout and was evicted.
+
+    Mirrors :class:`CommTimeoutError`'s shape for the serving layer:
+    ``job_id`` names the evicted job, ``timeout`` the budget it blew, and
+    ``resumable`` whether a mid-flight checkpoint was captured (resubmit
+    with ``resume_from=job_id`` to continue from it).
+    """
+
+    def __init__(self, message: str, *, job_id: str | None = None,
+                 timeout: float | None = None, resumable: bool = False):
+        super().__init__(message)
+        self.job_id = job_id
+        self.timeout = timeout
+        self.resumable = resumable
+
+
+class JobFailedError(ServiceError):
+    """A solve job raised; carries the underlying error text and type."""
+
+    def __init__(self, message: str, *, job_id: str | None = None,
+                 error_type: str | None = None):
+        super().__init__(message)
+        self.job_id = job_id
+        self.error_type = error_type

@@ -65,6 +65,25 @@ class IterationRecord:
             return 0.0
         return self.schur_nnz / (r * c)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (the ``extra`` diagnostics are not
+        persisted — they may hold arrays and are re-derivable)."""
+        return {
+            "iteration": self.iteration, "rank": self.rank,
+            "indicator": self.indicator, "elapsed": self.elapsed,
+            "schur_nnz": self.schur_nnz,
+            "schur_shape": list(self.schur_shape),
+            "factor_nnz": self.factor_nnz,
+            "dropped_nnz": self.dropped_nnz,
+            "dropped_norm_sq": self.dropped_norm_sq,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "IterationRecord":
+        d = dict(d)
+        d["schur_shape"] = tuple(d.get("schur_shape", (0, 0)))
+        return cls(**d)
+
 
 @dataclass
 class ConvergenceHistory:
@@ -110,3 +129,16 @@ class ConvergenceHistory:
     @property
     def total_dropped_nnz(self) -> int:
         return sum(r.dropped_nnz for r in self.records)
+
+    def to_json_records(self) -> list[dict]:
+        """The per-iteration trace as a list of plain dicts — the
+        ``history`` field of the versioned result schema
+        (:meth:`repro.results.LowRankApproximation.to_json`)."""
+        return [r.to_dict() for r in self.records]
+
+    @classmethod
+    def from_json_records(cls, records: list[dict]) -> "ConvergenceHistory":
+        h = cls()
+        for d in records:
+            h.append(IterationRecord.from_dict(d))
+        return h

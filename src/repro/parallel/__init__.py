@@ -45,7 +45,7 @@ from .perfmodel import (
     strong_scaling,
 )
 from .report import ScalingCurve, speedup_table
-from .spmd import spmd_randqb_ei, spmd_lu_crtp, spmd_randubv
+from .spmd import spmd_randqb_ei, spmd_lu_crtp, spmd_randubv, run_spmd_solver
 from .dist_dense import ProcessGrid, DistDense
 
 __all__ = [
@@ -80,6 +80,7 @@ __all__ = [
     "spmd_randqb_ei",
     "spmd_lu_crtp",
     "spmd_randubv",
+    "run_spmd_solver",
     "ProcessGrid",
     "DistDense",
 ]

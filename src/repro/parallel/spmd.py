@@ -393,3 +393,72 @@ def _rank_in(ids: np.ndarray, reference: np.ndarray) -> np.ndarray:
     """Position of each id within the reference ordering."""
     pos = {int(v): i for i, v in enumerate(reference)}
     return np.array([pos[int(v)] for v in ids], dtype=np.intp)
+
+
+# ---------------------------------------------------------------------------
+# Front door for the serving layer: run a method through the SPMD runtime by
+# registry name and assemble a LowRankApproximation from the rank results.
+# ---------------------------------------------------------------------------
+
+def run_spmd_solver(method: str, A, nprocs: int, *, k: int = 16,
+                    tol: float = 1e-2, power: int = 0, seed: int = 0,
+                    max_rank: int | None = None, threshold: float = 0.0,
+                    **run_kwargs):
+    """Run one registered method on ``nprocs`` simulated ranks.
+
+    Dispatches through the :mod:`repro.api` registry (any alias works),
+    executes the matching rank program under :func:`repro.parallel.comm.
+    run_spmd` and assembles the distributed outputs into the same result
+    types the sequential solvers return:
+
+    - ``randqb`` → :class:`repro.results.QBApproximation` (``Q`` gathered
+      from the row-distributed blocks, ``B`` replicated),
+    - ``ubv`` → :class:`repro.results.UBVApproximation`,
+    - ``lu`` → a summary-only :class:`repro.results.LUApproximation`
+      (the SPMD LU program validates through the indicator and does not
+      ship factors back),
+    - ``ilut`` → the ``lu`` program with ``threshold > 0`` (Algorithm 3);
+      requires an explicit threshold since heuristic (24) needs the
+      sequential pre-run.
+
+    ``run_kwargs`` pass through to ``run_spmd`` (``machine=``,
+    ``fault_plan=``, ``recv_timeout=``, ...).
+    """
+    from ..api import resolve_method
+    from ..results import LUApproximation, QBApproximation, UBVApproximation
+    from .comm import run_spmd
+
+    name = resolve_method(method)
+    a_fro_sq = fro_norm_sq(A)
+    a_fro = float(np.sqrt(a_fro_sq))
+    if name == "randqb":
+        out = run_spmd(nprocs, spmd_randqb_ei, A, k=k, tol=tol, power=power,
+                       seed=seed, max_rank=max_rank, **run_kwargs)
+        Q = np.vstack([r[0] for r in out["results"]])
+        B = out["results"][0][1]
+        K, converged = out["results"][0][2], out["results"][0][3]
+        e_sq = max(a_fro_sq - float(np.vdot(B, B).real), 0.0)
+        return QBApproximation(rank=int(K), tolerance=tol,
+                               indicator=float(np.sqrt(e_sq)), a_fro=a_fro,
+                               converged=bool(converged), Q=Q, B=B)
+    if name == "ubv":
+        out = run_spmd(nprocs, spmd_randubv, A, k=k, tol=tol, seed=seed,
+                       max_rank=max_rank, **run_kwargs)
+        U = np.vstack([r[0] for r in out["results"]])
+        _, B, V, K, converged = out["results"][0]
+        e_sq = max(a_fro_sq - float(np.vdot(B, B).real), 0.0)
+        return UBVApproximation(rank=int(K), tolerance=tol,
+                                indicator=float(np.sqrt(e_sq)), a_fro=a_fro,
+                                converged=bool(converged), U=U, Bmat=B, V=V)
+    if name == "ilut" and not threshold > 0.0:
+        raise ValueError(
+            "the SPMD ILUT route needs an explicit threshold (mu); "
+            "heuristic (24) requires a sequential pre-run")
+    out = run_spmd(nprocs, spmd_lu_crtp, A, k=k, tol=tol, max_rank=max_rank,
+                   threshold=threshold, **run_kwargs)
+    K, converged, rel = out["results"][0]
+    res = LUApproximation(rank=int(K), tolerance=tol,
+                          indicator=float(rel) * a_fro, a_fro=a_fro,
+                          converged=bool(converged), threshold=threshold,
+                          factor_nnz_stored=0)
+    return res

@@ -23,9 +23,12 @@ from .instrument import (
     reset,
     timer,
 )
+from .stats import LatencyReservoir, percentile
 
 __all__ = [
     "KernelStat",
+    "LatencyReservoir",
+    "percentile",
     "PerfRecorder",
     "add_bytes",
     "add_flops",

@@ -1,0 +1,68 @@
+"""Latency statistics for the serving layer (p50/p95 snapshots).
+
+A tiny fixed-size ring buffer plus an interpolating percentile — enough to
+report tail latency from the solve service's metrics endpoint without
+keeping unbounded per-job history.  Kept in :mod:`repro.perf` so the
+service metrics and the kernel instrumentation share one package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def percentile(samples, q: float) -> float:
+    """Interpolated percentile ``q`` in [0, 100] of an iterable of floats.
+
+    Returns 0.0 for an empty sample set (a metrics snapshot of an idle
+    service must not raise).
+    """
+    xs = sorted(float(x) for x in samples)
+    if not xs:
+        return 0.0
+    if len(xs) == 1:
+        return xs[0]
+    pos = (len(xs) - 1) * (float(q) / 100.0)
+    lo = int(pos)
+    hi = min(lo + 1, len(xs) - 1)
+    frac = pos - lo
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+
+@dataclass
+class LatencyReservoir:
+    """Ring buffer of the most recent ``capacity`` latency samples."""
+
+    capacity: int = 512
+    _samples: list = field(default_factory=list, repr=False)
+    _next: int = field(default=0, repr=False)
+    _count: int = field(default=0, repr=False)
+
+    def record(self, seconds: float) -> None:
+        if len(self._samples) < self.capacity:
+            self._samples.append(float(seconds))
+        else:
+            self._samples[self._next] = float(seconds)
+            self._next = (self._next + 1) % self.capacity
+        self._count += 1
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total_recorded(self) -> int:
+        """All-time sample count (the buffer only retains the last
+        ``capacity`` of them)."""
+        return self._count
+
+    def snapshot(self) -> dict:
+        """Summary dict: count plus mean/p50/p95/max over the window."""
+        xs = self._samples
+        return {
+            "count": self._count,
+            "window": len(xs),
+            "mean": (sum(xs) / len(xs)) if xs else 0.0,
+            "p50": percentile(xs, 50.0),
+            "p95": percentile(xs, 95.0),
+            "max": max(xs) if xs else 0.0,
+        }

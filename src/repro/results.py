@@ -5,6 +5,14 @@ generic ``H @ W`` view of the paper's Section II: a left factor ``H`` of
 shape ``(m, K)`` and a right factor ``W`` of shape ``(K, n)`` such that
 ``H @ W`` approximates ``A`` (after row/column permutations for the
 deterministic methods).
+
+Every result also speaks the versioned JSON schema
+(``"repro.result/v1"``): :meth:`LowRankApproximation.to_json` emits the
+convergence summary (rank, iterations, elapsed, factor nnz, indicator
+trajectory) and :meth:`LowRankApproximation.from_json` reconstructs a
+*summary-only* result (factors are arrays and are persisted separately by
+:mod:`repro.serialize`).  The same schema backs ``.npz`` metadata, the
+solve-service responses and the CLI tables — one schema, three consumers.
 """
 
 from __future__ import annotations
@@ -15,6 +23,11 @@ import numpy as np
 import scipy.sparse as sp
 
 from .history import ConvergenceHistory
+
+
+#: Version tag of the JSON result schema.  Bump only with a migration path
+#: in :meth:`LowRankApproximation.from_json`.
+RESULT_SCHEMA = "repro.result/v1"
 
 
 def _nnz(mat) -> int:
@@ -54,6 +67,9 @@ class LowRankApproximation:
     converged: bool
     history: ConvergenceHistory = field(default_factory=ConvergenceHistory)
     elapsed: float = 0.0
+    # stored factor nnz for summary-only results reconstructed by
+    # ``from_json`` (their factor arrays live elsewhere)
+    factor_nnz_stored: int | None = None
 
     @property
     def iterations(self) -> int:
@@ -85,7 +101,73 @@ class LowRankApproximation:
 
     def factor_nnz(self) -> int:
         """Total stored entries of both factors (Table II ``ratio_NNZ`` input)."""
+        if self.is_summary_only():
+            return int(self.factor_nnz_stored or 0)
         return _nnz(self.left) + _nnz(self.right)
+
+    def is_summary_only(self) -> bool:
+        """True for results reconstructed from JSON without their factors."""
+        try:
+            return self.left is None
+        except NotImplementedError:
+            return True
+
+    # -- the versioned JSON schema -------------------------------------------
+    def to_json(self, *, include_history: bool = True) -> dict:
+        """Convergence summary under the ``repro.result/v1`` schema.
+
+        Factors are *not* included (they are dense/sparse arrays —
+        :mod:`repro.serialize` persists them); everything needed by the
+        CLI tables, the solve service and saved-result metadata is:
+        kind, rank, iterations, elapsed, factor nnz, convergence flags and
+        (optionally) the per-iteration indicator trajectory.
+        """
+        d = {
+            "schema": RESULT_SCHEMA,
+            "kind": KIND_OF.get(type(self), "generic"),
+            "rank": int(self.rank),
+            "iterations": int(self.iterations),
+            "tolerance": float(self.tolerance),
+            "indicator": float(self.indicator),
+            "relative_indicator": float(self.relative_indicator()),
+            "a_fro": float(self.a_fro),
+            "converged": bool(self.converged),
+            "elapsed": float(self.elapsed),
+            "factor_nnz": int(self.factor_nnz()),
+        }
+        if include_history:
+            d["history"] = self.history.to_json_records()
+        return d
+
+    @classmethod
+    def from_json(cls, d: dict) -> "LowRankApproximation":
+        """Reconstruct a summary-only result from :meth:`to_json` output.
+
+        Dispatches on ``d["kind"]`` to the matching subclass; the factor
+        attributes stay ``None`` and :meth:`factor_nnz` serves the stored
+        count.  Raises ``ValueError`` on an unknown schema version.
+        """
+        schema = d.get("schema", RESULT_SCHEMA)
+        if schema != RESULT_SCHEMA:
+            raise ValueError(f"unsupported result schema {schema!r}")
+        target = CLASS_OF.get(d.get("kind", "generic"))
+        if target is None:
+            raise ValueError(f"unknown result kind {d.get('kind')!r}")
+        common = dict(
+            rank=int(d["rank"]), tolerance=float(d["tolerance"]),
+            indicator=float(d["indicator"]), a_fro=float(d["a_fro"]),
+            converged=bool(d["converged"]),
+            elapsed=float(d.get("elapsed", 0.0)),
+            factor_nnz_stored=int(d.get("factor_nnz", 0)),
+            history=ConvergenceHistory.from_json_records(
+                d.get("history", [])))
+        extra = {}
+        if target is LUApproximation:
+            extra = dict(threshold=float(d.get("threshold", 0.0)),
+                         dropped_norm=float(d.get("dropped_norm", 0.0)),
+                         control_triggered=bool(
+                             d.get("control_triggered", False)))
+        return target(**common, **extra)
 
     def apply(self, x: np.ndarray) -> np.ndarray:
         """Compute ``(H @ W) @ x`` without forming the approximation."""
@@ -157,9 +239,13 @@ class UBVApproximation(LowRankApproximation):
 
     @property
     def right(self):
+        if self.U is None:
+            return None
         return self.Bmat @ self.V.T
 
     def factor_nnz(self) -> int:
+        if self.U is None:
+            return int(self.factor_nnz_stored or 0)
         return self.U.size + self.Bmat.size + self.V.size
 
 
@@ -193,6 +279,13 @@ class LUApproximation(LowRankApproximation):
     def _permuted(self, Ad: np.ndarray) -> np.ndarray:
         return Ad[np.ix_(self.row_perm, self.col_perm)]
 
+    def to_json(self, *, include_history: bool = True) -> dict:
+        d = super().to_json(include_history=include_history)
+        d.update(threshold=float(self.threshold),
+                 dropped_norm=float(self.dropped_norm),
+                 control_triggered=bool(self.control_triggered))
+        return d
+
     def dropped_norm_bound(self) -> float:
         """Triangle-inequality bound ``sum_j ||T~^(j)||_F >= ||T||_F`` on the
         accumulated perturbation.
@@ -217,3 +310,10 @@ class LUApproximation(LowRankApproximation):
         Pr = sp.csr_matrix((np.ones(m), (np.arange(m), self.row_perm)), shape=(m, m))
         Pc = sp.csr_matrix((np.ones(n), (self.col_perm, np.arange(n))), shape=(n, n))
         return Pr, Pc
+
+
+#: Schema ``kind`` tag per result class (and back).  Shared with
+#: :mod:`repro.serialize` so .npz archives and JSON payloads agree.
+KIND_OF = {QBApproximation: "qb", UBVApproximation: "ubv",
+           LUApproximation: "lu", LowRankApproximation: "generic"}
+CLASS_OF = {v: k for k, v in KIND_OF.items()}

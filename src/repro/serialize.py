@@ -22,48 +22,37 @@ import numpy as np
 import scipy.sparse as sp
 
 from .exceptions import CheckpointError
-from .history import ConvergenceHistory, IterationRecord
-from .results import LUApproximation, QBApproximation, UBVApproximation
-
-_KIND = {QBApproximation: "qb", UBVApproximation: "ubv",
-         LUApproximation: "lu"}
+from .history import ConvergenceHistory
+from .results import (
+    KIND_OF,
+    LUApproximation,
+    QBApproximation,
+    UBVApproximation,
+)
 
 
 def _history_payload(history: ConvergenceHistory) -> str:
-    recs = []
-    for r in history:
-        recs.append({
-            "iteration": r.iteration, "rank": r.rank,
-            "indicator": r.indicator, "elapsed": r.elapsed,
-            "schur_nnz": r.schur_nnz, "schur_shape": list(r.schur_shape),
-            "factor_nnz": r.factor_nnz, "dropped_nnz": r.dropped_nnz,
-            "dropped_norm_sq": r.dropped_norm_sq,
-        })
-    return json.dumps(recs)
+    """JSON-encode a history trace (shared with solver checkpoints)."""
+    return json.dumps(history.to_json_records())
 
 
 def _history_from_payload(payload: str) -> ConvergenceHistory:
-    h = ConvergenceHistory()
-    for d in json.loads(payload):
-        d["schur_shape"] = tuple(d["schur_shape"])
-        h.append(IterationRecord(**d))
-    return h
+    return ConvergenceHistory.from_json_records(json.loads(payload))
 
 
 def save_result(result, path) -> None:
     """Serialize a solver result to an ``.npz`` archive.
 
-    The per-iteration ``extra`` dicts (traces) are not persisted — they are
+    The ``_meta`` blob is the versioned summary schema
+    (:meth:`repro.results.LowRankApproximation.to_json`); the factor
+    arrays and the per-iteration history ride alongside.  The
+    ``extra`` dicts of the history records are not persisted — they are
     re-derivable by re-running and can be large.
     """
-    kind = _KIND.get(type(result))
-    if kind is None:
+    kind = KIND_OF.get(type(result))
+    if kind is None or kind == "generic":
         raise TypeError(f"cannot serialize {type(result).__name__}")
-    meta = {
-        "kind": kind, "rank": result.rank, "tolerance": result.tolerance,
-        "indicator": result.indicator, "a_fro": result.a_fro,
-        "converged": bool(result.converged), "elapsed": result.elapsed,
-    }
+    meta = result.to_json(include_history=False)
     arrays: dict[str, np.ndarray] = {}
     if kind == "qb":
         arrays["Q"] = result.Q
@@ -79,9 +68,6 @@ def save_result(result, path) -> None:
                       U_data=U.data, U_indices=U.indices, U_indptr=U.indptr,
                       L_shape=np.array(L.shape), U_shape=np.array(U.shape),
                       row_perm=result.row_perm, col_perm=result.col_perm)
-        meta.update(threshold=result.threshold,
-                    dropped_norm=result.dropped_norm,
-                    control_triggered=bool(result.control_triggered))
     np.savez_compressed(
         Path(path),
         _meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),

@@ -1,0 +1,56 @@
+"""Async solve service over the fixed-precision solvers (:mod:`repro`).
+
+The request-serving front end of the reproduction: solve jobs (matrix
+spec + method + tolerance) flow through a bounded priority queue onto a
+thread-pool of workers wrapping the registry solvers and the SPMD
+runtime, with a content-addressed factorization cache (τ-dominance
+reuse), same-matrix batching, cooperative per-job timeouts with
+checkpointed eviction, and a perf-backed metrics endpoint.
+
+Quick start (in-process)::
+
+    from repro.api import SolverConfig
+    from repro.service import MatrixSpec, ServiceClient, SolveRequest
+
+    with ServiceClient(workers=2) as client:
+        req = SolveRequest(matrix=MatrixSpec(suite="M4", scale=0.25),
+                           method="lu", config=SolverConfig(k=16, tol=1e-1))
+        first = client.solve(req)       # cache: "miss"
+        again = client.solve(req)       # cache: "hit" — no solve ran
+        print(client.metrics()["cache"]["hit_rate"])
+
+Over the wire: ``python -m repro serve --port 7321`` and
+``ServiceClient.connect(port=7321)``.
+"""
+
+from .cache import CacheEntry, FactorizationCache, matrix_fingerprint
+from .client import ServiceClient, main_serve, serve_tcp
+from .jobs import JobQueue
+from .metrics import ServiceMetrics
+from .runner import SolveService
+from .schema import (
+    METRICS_SCHEMA,
+    RESPONSE_SCHEMA,
+    JobRecord,
+    JobState,
+    MatrixSpec,
+    SolveRequest,
+)
+
+__all__ = [
+    "CacheEntry",
+    "FactorizationCache",
+    "JobQueue",
+    "JobRecord",
+    "JobState",
+    "MatrixSpec",
+    "METRICS_SCHEMA",
+    "RESPONSE_SCHEMA",
+    "ServiceClient",
+    "ServiceMetrics",
+    "SolveRequest",
+    "SolveService",
+    "main_serve",
+    "matrix_fingerprint",
+    "serve_tcp",
+]

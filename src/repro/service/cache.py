@@ -1,0 +1,144 @@
+"""Content-addressed factorization cache with τ-dominance reuse.
+
+Factorizations are the expensive artifact of this system; requests are
+cheap to describe.  The cache key is therefore *content-addressed*:
+
+    (matrix fingerprint, canonical method name, config.cache_key())
+
+where :func:`matrix_fingerprint` hashes the canonicalized CSR structure
+and values (not the spec that produced the matrix — two routes to the
+same matrix share cache entries) and
+:meth:`repro.api.config.SolverConfig.cache_key` excludes the tolerance.
+
+**τ-dominance rule.**  A fixed-precision factorization computed at a
+tighter tolerance ``τ' <= τ`` satisfies any looser request for the same
+key: the stored result converged below ``τ' * ||A||_F``, hence below
+``τ * ||A||_F``.  Lookups succeed on the tightest stored entry whose
+tolerance is at most the requested one; the per-key store keeps only the
+tightest converged entry (it dominates every looser one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def matrix_fingerprint(A) -> str:
+    """SHA-256 content hash of a matrix (canonical CSR form).
+
+    Dense inputs and every sparse format map to one canonical CSR with
+    sorted indices and summed duplicates, so logically-equal matrices
+    collide regardless of how they were assembled.
+    """
+    if sp.issparse(A):
+        M = A.tocsr(copy=True)
+        M.sum_duplicates()
+        M.sort_indices()
+        parts = (np.asarray(M.shape, dtype=np.int64), M.indptr.astype(
+            np.int64), M.indices.astype(np.int64), M.data.astype(np.float64))
+    else:
+        arr = np.ascontiguousarray(np.asarray(A, dtype=np.float64))
+        parts = (np.asarray(arr.shape, dtype=np.int64), arr)
+    h = hashlib.sha256()
+    for p in parts:
+        h.update(np.ascontiguousarray(p).tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """One cached factorization: the tightest-τ result for its key."""
+
+    tol: float
+    result: Any                 # live LowRankApproximation
+    result_json: dict
+    hits: int = 0
+
+
+@dataclass
+class FactorizationCache:
+    """LRU cache of factorizations keyed by matrix content + config.
+
+    ``capacity`` bounds the number of distinct keys; eviction is LRU on
+    lookup/store order.  Only *converged* results are stored — an
+    unconverged factorization satisfies no tolerance.
+    """
+
+    capacity: int = 64
+    _entries: "OrderedDict[tuple, CacheEntry]" = field(
+        default_factory=OrderedDict, repr=False)
+    hits: int = 0
+    dominated_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(fingerprint: str, method: str, config) -> tuple:
+        return (fingerprint, method, config.cache_key())
+
+    def lookup(self, fingerprint: str, method: str, config, tol: float):
+        """Return ``(entry, status)``; status is ``"hit"``, ``"dominated"``
+        (τ-dominance reuse at a strictly tighter stored τ) or ``None`` on
+        miss."""
+        key = self.key(fingerprint, method, config)
+        entry = self._entries.get(key)
+        if entry is None or entry.tol > float(tol):
+            self.misses += 1
+            return None, None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        if entry.tol < float(tol):
+            self.dominated_hits += 1
+            self.hits += 1
+            return entry, "dominated"
+        self.hits += 1
+        return entry, "hit"
+
+    def store(self, fingerprint: str, method: str, config, tol: float,
+              result, result_json: dict) -> bool:
+        """Insert a converged factorization; returns True if stored.
+
+        A stored entry is replaced only by a strictly tighter one (the
+        tighter τ dominates); looser results are dropped as redundant.
+        """
+        if not getattr(result, "converged", False):
+            return False
+        key = self.key(fingerprint, method, config)
+        existing = self._entries.get(key)
+        if existing is not None and existing.tol <= float(tol):
+            self._entries.move_to_end(key)
+            return False
+        self._entries[key] = CacheEntry(tol=float(tol), result=result,
+                                        result_json=result_json)
+        self._entries.move_to_end(key)
+        self.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "dominated_hits": self.dominated_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }

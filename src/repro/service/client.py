@@ -1,0 +1,226 @@
+"""Clients and the line-JSON transport of the solve service.
+
+Two ways to talk to a :class:`~repro.service.runner.SolveService`:
+
+- **In-process** — ``ServiceClient()`` spins the service's asyncio loop
+  on a background thread and exposes blocking ``submit / wait / solve /
+  metrics`` calls.  This is the mode the tests and library users run:
+  no sockets, no subprocesses.
+- **TCP** — ``python -m repro serve`` binds :func:`serve_tcp`
+  (stdlib ``asyncio.start_server``) speaking one JSON object per line:
+
+  .. code-block:: text
+
+      → {"op": "solve", "request": {...SolveRequest.to_dict()...}}
+      ← {"ok": true, "response": {...repro.solve/v1...}}
+      → {"op": "metrics"}
+      ← {"ok": true, "response": {...repro.metrics/v1...}}
+
+  ``ServiceClient.connect(host, port)`` is the matching blocking client.
+
+Ops: ``solve`` (submit and wait), ``submit`` (returns the job id),
+``wait`` (by job id), ``metrics``, ``ping``, ``shutdown``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+
+from ..exceptions import QueueFullError, ServiceError
+from .runner import SolveService
+from .schema import SolveRequest
+
+
+class ServiceClient:
+    """Blocking facade over an in-process service or a TCP endpoint."""
+
+    def __init__(self, service: SolveService | None = None, **service_opts):
+        self._sock = None
+        self._sock_file = None
+        if service is None:
+            service = SolveService(**service_opts)
+        elif service_opts:
+            raise ValueError("pass either a service or service options")
+        self._service = service
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-service-loop",
+            daemon=True)
+        self._thread.start()
+        self._call(self._service.start())
+
+    # -- in-process plumbing -------------------------------------------
+    def _call(self, coro, timeout: float | None = None):
+        fut = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return fut.result(timeout)
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._request({"op": "shutdown"})
+            self._sock_file.close()
+            self._sock.close()
+            self._sock = None
+            return
+        if self._loop.is_running():
+            self._call(self._service.stop())
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            self._loop.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- TCP construction ----------------------------------------------
+    @classmethod
+    def connect(cls, host: str = "127.0.0.1", port: int = 7321,
+                timeout: float = 60.0) -> "ServiceClient":
+        """A client bound to a running ``python -m repro serve`` endpoint."""
+        client = cls.__new__(cls)
+        client._service = None
+        client._loop = None
+        client._thread = None
+        client._sock = socket.create_connection((host, port),
+                                                timeout=timeout)
+        client._sock_file = client._sock.makefile("rw", encoding="utf-8")
+        return client
+
+    def _request(self, payload: dict) -> dict:
+        self._sock_file.write(json.dumps(payload) + "\n")
+        self._sock_file.flush()
+        line = self._sock_file.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        reply = json.loads(line)
+        if not reply.get("ok"):
+            err = reply.get("error", "server error")
+            if reply.get("error_type") == "QueueFullError":
+                raise QueueFullError(err)
+            raise ServiceError(err)
+        return reply["response"]
+
+    # -- API -----------------------------------------------------------
+    @staticmethod
+    def _as_request(request) -> SolveRequest:
+        return (request if isinstance(request, SolveRequest)
+                else SolveRequest.from_dict(request))
+
+    def submit(self, request: SolveRequest | dict) -> str:
+        request = self._as_request(request)
+        if self._sock is not None:
+            return self._request(
+                {"op": "submit", "request": request.to_dict()})["job_id"]
+        return self._call(self._service.submit(request))
+
+    def wait(self, job_id: str, timeout: float | None = None) -> dict:
+        if self._sock is not None:
+            return self._request({"op": "wait", "job_id": job_id,
+                                  "timeout": timeout})
+        return self._call(self._service.wait(job_id, timeout))
+
+    def solve(self, request: SolveRequest | dict,
+              timeout: float | None = None) -> dict:
+        """Submit a job and block for its ``repro.solve/v1`` response."""
+        request = self._as_request(request)
+        if self._sock is not None:
+            return self._request({"op": "solve",
+                                  "request": request.to_dict(),
+                                  "timeout": timeout})
+        return self._call(self._service.solve(request, timeout))
+
+    def metrics(self) -> dict:
+        """The ``repro.metrics/v1`` snapshot."""
+        if self._sock is not None:
+            return self._request({"op": "metrics"})
+        return self._service.metrics_snapshot()
+
+    def checkpoint_for(self, job_id: str):
+        if self._sock is not None:
+            raise ServiceError(
+                "checkpoints are held server-side; resubmit with "
+                "resume_from=<job_id> instead")
+        return self._service.checkpoint_for(job_id)
+
+
+# ---------------------------------------------------------------------------
+# TCP server
+# ---------------------------------------------------------------------------
+
+async def _handle_connection(service: SolveService, stop_event: asyncio.Event,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                payload = json.loads(line)
+                reply = await _dispatch(service, stop_event, payload)
+                reply = {"ok": True, "response": reply}
+            except Exception as exc:  # noqa: BLE001 - wire boundary
+                reply = {"ok": False, "error": str(exc),
+                         "error_type": type(exc).__name__}
+            writer.write((json.dumps(reply) + "\n").encode())
+            await writer.drain()
+            if payload.get("op") == "shutdown":
+                break
+    finally:
+        writer.close()
+
+
+async def _dispatch(service: SolveService, stop_event: asyncio.Event,
+                    payload: dict) -> dict:
+    op = payload.get("op")
+    if op == "ping":
+        return {"pong": True}
+    if op == "metrics":
+        return service.metrics_snapshot()
+    if op == "submit":
+        req = SolveRequest.from_dict(payload["request"])
+        return {"job_id": await service.submit(req)}
+    if op == "wait":
+        return await service.wait(payload["job_id"],
+                                  payload.get("timeout"))
+    if op == "solve":
+        req = SolveRequest.from_dict(payload["request"])
+        return await service.solve(req, payload.get("timeout"))
+    if op == "shutdown":
+        stop_event.set()
+        return {"stopping": True}
+    raise ServiceError(f"unknown op {op!r}")
+
+
+async def serve_tcp(host: str = "127.0.0.1", port: int = 7321,
+                    *, ready_callback=None, **service_opts) -> None:
+    """Run the service on a TCP endpoint until a ``shutdown`` op arrives."""
+    stop_event = asyncio.Event()
+    async with SolveService(**service_opts) as service:
+        server = await asyncio.start_server(
+            lambda r, w: _handle_connection(service, stop_event, r, w),
+            host, port)
+        async with server:
+            if ready_callback is not None:
+                ready_callback(server)
+            await stop_event.wait()
+
+
+def main_serve(host: str, port: int, **service_opts) -> int:
+    """Blocking entry point for ``python -m repro serve``."""
+    def announce(server) -> None:
+        # resolve the bound port so --port 0 (ephemeral) is scriptable
+        actual = server.sockets[0].getsockname()[1]
+        print(f"repro service listening on {host}:{actual} "
+              f"(workers={service_opts.get('workers', 2)})", flush=True)
+
+    try:
+        asyncio.run(serve_tcp(host, port, ready_callback=announce,
+                              **service_opts))
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -1,0 +1,75 @@
+"""In-process priority job queue with backpressure and batch draining.
+
+A heap-backed asyncio queue: higher ``priority`` dequeues first, FIFO
+within a priority level.  Two properties the stdlib queues lack drive the
+custom implementation:
+
+- **Backpressure** — :meth:`JobQueue.put_nowait` raises
+  :class:`~repro.exceptions.QueueFullError` at capacity instead of
+  growing unboundedly; the service surfaces that to clients as a typed
+  overload signal (retry with backoff).
+- **Batch draining** — :meth:`JobQueue.drain_matching` removes every
+  queued job in the same batch group as a just-dequeued one, so a worker
+  can amortize a single sketch/pivot pass over all jobs that share a
+  matrix and config (they differ only in tolerance).
+
+Single-event-loop discipline: all methods must be called from the
+service's loop; no cross-thread use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from dataclasses import dataclass, field
+
+from ..exceptions import QueueFullError
+from .schema import JobRecord
+
+
+@dataclass
+class JobQueue:
+    """Bounded priority queue of :class:`~repro.service.schema.JobRecord`."""
+
+    limit: int = 64
+    _heap: list = field(default_factory=list, repr=False)
+    _seq: int = field(default=0, repr=False)
+    _ready: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+    rejected: int = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        return len(self._heap)
+
+    def put_nowait(self, job: JobRecord) -> None:
+        if len(self._heap) >= self.limit:
+            self.rejected += 1
+            raise QueueFullError(
+                f"job queue at capacity ({self.limit}); retry with backoff",
+                limit=self.limit)
+        heapq.heappush(self._heap,
+                       (-int(job.request.priority), self._seq, job))
+        self._seq += 1
+        self._ready.set()
+
+    async def get(self) -> JobRecord:
+        """Dequeue the highest-priority job, waiting if empty."""
+        while not self._heap:
+            self._ready.clear()
+            await self._ready.wait()
+        _, _, job = heapq.heappop(self._heap)
+        return job
+
+    def drain_matching(self, group) -> list[JobRecord]:
+        """Remove and return every queued job whose batch group equals
+        ``group`` (heap order among the rest is preserved)."""
+        matched = [job for _, _, job in self._heap
+                   if job.request.batch_group() == group]
+        if matched:
+            self._heap = [item for item in self._heap
+                          if item[2].request.batch_group() != group]
+            heapq.heapify(self._heap)
+        return matched

@@ -1,0 +1,51 @@
+"""Service metrics: counters + latency percentiles, perf-integrated.
+
+The service keeps its own always-on counters (a serving layer must be
+observable without enabling kernel instrumentation) and mirrors every
+increment into :mod:`repro.perf` under ``service.*`` names — so a
+``--perf`` run sees solver-kernel timings and serving counters in one
+report.  Latency quantiles come from the bounded reservoir in
+:mod:`repro.perf.stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import perf
+from ..perf.stats import LatencyReservoir
+from .schema import METRICS_SCHEMA
+
+_COUNTERS = (
+    "submitted", "completed", "failed", "evicted", "retries",
+    "batched", "rejected", "cache_hits", "cache_dominated_hits",
+    "cache_misses", "spmd_jobs",
+)
+
+
+@dataclass
+class ServiceMetrics:
+    """Always-on counters and latency reservoir for one service."""
+
+    counters: dict = field(
+        default_factory=lambda: {name: 0 for name in _COUNTERS})
+    latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+
+    def incr(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+        perf.incr(f"service.{name}", n)
+
+    def record_latency(self, seconds: float) -> None:
+        self.latency.record(seconds)
+
+    def snapshot(self, *, queue_depth: int = 0, running: int = 0,
+                 cache_stats: dict | None = None) -> dict:
+        """The metrics endpoint payload (``repro.metrics/v1``)."""
+        return {
+            "schema": METRICS_SCHEMA,
+            "queue_depth": queue_depth,
+            "running": running,
+            "counters": dict(self.counters),
+            "latency": self.latency.snapshot(),
+            "cache": dict(cache_stats or {}),
+        }

@@ -1,0 +1,352 @@
+"""The asyncio solve service: queue → workers → cache → response.
+
+:class:`SolveService` owns a bounded priority queue
+(:mod:`repro.service.jobs`), a pool of worker coroutines that run solver
+calls on a thread executor, the content-addressed factorization cache
+(:mod:`repro.service.cache`) and the metrics surface
+(:mod:`repro.service.metrics`).
+
+Scheduling pipeline per dequeue:
+
+1. **Batching** — every queued job in the same batch group (matrix +
+   method + config identity, any tolerance) is drained and rides along;
+   the group runs one factorization at its tightest tolerance.
+2. **Cache** — each job first consults the cache; τ-dominant entries
+   satisfy looser requests without solving.
+3. **Execution** — the remaining group solves once on the executor.
+   Per-job timeouts are enforced *cooperatively* at block-iteration
+   granularity (the same poll-and-deadline discipline as the simulated
+   communicator's ``recv`` from PR 1): the solver's checkpoint hook
+   captures state each iteration and raises once the deadline passes, so
+   an evicted job always leaves a resumable checkpoint behind
+   (``resume_from=job_id`` continues it).  Transient SPMD faults
+   (:class:`~repro.exceptions.RankFailure`,
+   :class:`~repro.exceptions.CommTimeoutError`) retry with the doubling
+   backoff of the comm layer.
+4. **Store + respond** — converged results enter the cache; every group
+   member gets the versioned result JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from .. import perf
+from ..exceptions import (
+    CommTimeoutError,
+    QueueFullError,
+    RankFailure,
+    ServiceError,
+)
+from .cache import FactorizationCache, matrix_fingerprint
+from .jobs import JobQueue
+from .metrics import ServiceMetrics
+from .schema import JobRecord, JobState, MatrixSpec, SolveRequest
+
+#: Exception types treated as transient (retried with doubling backoff).
+TRANSIENT_ERRORS = (RankFailure, CommTimeoutError)
+
+
+class _Evicted(Exception):
+    """Internal: a job's cooperative deadline fired mid-solve."""
+
+    def __init__(self, state: dict | None):
+        super().__init__("job deadline exceeded")
+        self.state = state
+
+
+class SolveService:
+    """Bounded async solve service over the fixed-precision solvers.
+
+    Parameters
+    ----------
+    workers:
+        Worker coroutines (and executor threads) running solves.
+    queue_limit:
+        Queue capacity; submissions beyond it raise
+        :class:`~repro.exceptions.QueueFullError` (backpressure).
+    cache_capacity:
+        Distinct factorization keys retained (LRU).
+    default_timeout:
+        Per-job budget in seconds applied when a request carries none.
+    max_retries / retry_backoff:
+        Retry policy for transient faults; backoff doubles per attempt.
+    batching:
+        Amortize one factorization over same-matrix jobs (default on).
+    """
+
+    def __init__(self, *, workers: int = 2, queue_limit: int = 64,
+                 cache_capacity: int = 64,
+                 default_timeout: float | None = None,
+                 max_retries: int = 1, retry_backoff: float = 0.05,
+                 batching: bool = True):
+        self.queue = JobQueue(limit=queue_limit)
+        self.cache = FactorizationCache(capacity=cache_capacity)
+        self.metrics = ServiceMetrics()
+        self.default_timeout = default_timeout
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.batching = bool(batching)
+        self.jobs: dict[str, JobRecord] = {}
+        self._checkpoints: dict[str, dict] = {}
+        self._workers_n = int(workers)
+        self._tasks: list[asyncio.Task] = []
+        self._executor: ThreadPoolExecutor | None = None
+        self._job_seq = 0
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        if self._tasks:
+            return
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._workers_n,
+            thread_name_prefix="repro-service")
+        self._tasks = [asyncio.create_task(self._worker())
+                       for _ in range(self._workers_n)]
+
+    async def stop(self) -> None:
+        for t in self._tasks:
+            t.cancel()
+        for t in self._tasks:
+            try:
+                await t
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "SolveService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- client surface ------------------------------------------------
+    async def submit(self, request: SolveRequest | dict) -> str:
+        """Enqueue a job; returns its id.  Raises
+        :class:`~repro.exceptions.QueueFullError` under backpressure."""
+        if isinstance(request, dict):
+            request = SolveRequest.from_dict(request)
+        self._job_seq += 1
+        job = JobRecord(job_id=f"job-{self._job_seq:06d}", request=request)
+        try:
+            self.queue.put_nowait(job)
+        except QueueFullError:
+            self.metrics.incr("rejected")
+            raise
+        self.jobs[job.job_id] = job
+        self.metrics.incr("submitted")
+        return job.job_id
+
+    async def wait(self, job_id: str, timeout: float | None = None) -> dict:
+        """Await a job's completion and return its response dict."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        await asyncio.wait_for(job.done.wait(), timeout)
+        return job.response()
+
+    async def solve(self, request: SolveRequest | dict,
+                    timeout: float | None = None) -> dict:
+        """Submit-and-wait convenience."""
+        return await self.wait(await self.submit(request), timeout)
+
+    def job(self, job_id: str) -> JobRecord:
+        return self.jobs[job_id]
+
+    def checkpoint_for(self, job_id: str) -> dict | None:
+        """The captured checkpoint of an evicted job (or None)."""
+        return self._checkpoints.get(job_id)
+
+    def metrics_snapshot(self) -> dict:
+        running = sum(1 for j in self.jobs.values()
+                      if j.state is JobState.RUNNING)
+        return self.metrics.snapshot(queue_depth=self.queue.depth,
+                                     running=running,
+                                     cache_stats=self.cache.stats())
+
+    # -- workers -------------------------------------------------------
+    async def _worker(self) -> None:
+        while True:
+            job = await self.queue.get()
+            batch = [job]
+            if self.batching:
+                batch.extend(
+                    self.queue.drain_matching(job.request.batch_group()))
+            try:
+                await self._run_batch(batch)
+            except asyncio.CancelledError:
+                for j in batch:
+                    if not j.done.is_set():
+                        self._fail(j, "service shutting down",
+                                   "CancelledError")
+                raise
+            except Exception as exc:  # noqa: BLE001 - workers must survive
+                for j in batch:
+                    if not j.done.is_set():
+                        self._fail(j, str(exc), type(exc).__name__)
+
+    async def _run_batch(self, batch: list[JobRecord]) -> None:
+        loop = asyncio.get_running_loop()
+        for j in batch:
+            j.state = JobState.RUNNING
+            j.started_at = time.monotonic()
+
+        req0 = batch[0].request
+        A, fp = await loop.run_in_executor(
+            self._executor, self._load_matrix, req0)
+
+        remaining: list[JobRecord] = []
+        for j in batch:
+            entry, status = self.cache.lookup(
+                fp, j.request.method, j.request.config,
+                j.request.config.tol)
+            if entry is not None:
+                j.cache_status = status
+                j.result = entry.result
+                j.result_json = entry.result_json
+                self.metrics.incr("cache_hits")
+                if status == "dominated":
+                    self.metrics.incr("cache_dominated_hits")
+                self._complete(j)
+            else:
+                self.metrics.incr("cache_misses")
+                remaining.append(j)
+        if not remaining:
+            return
+
+        lead = min(remaining, key=lambda j: j.request.config.tol)
+        for j in remaining:
+            if j is not lead:
+                self.metrics.incr("batched")
+
+        timeout = min((j.request.timeout or self.default_timeout
+                       for j in remaining
+                       if (j.request.timeout or self.default_timeout)),
+                      default=None)
+        attempt = 0
+        while True:
+            lead.attempts += 1
+            attempt += 1
+            try:
+                result = await loop.run_in_executor(
+                    self._executor, self._execute, lead, A, timeout)
+                break
+            except _Evicted as ev:
+                for j in remaining:
+                    if ev.state is not None:
+                        self._checkpoints[j.job_id] = ev.state
+                        j.checkpoint = ev.state
+                    j.error = (f"evicted: exceeded timeout "
+                               f"{timeout:g}s" if timeout else "evicted")
+                    j.error_type = "JobTimeoutError"
+                    self.metrics.incr("evicted")
+                    j.finish(JobState.EVICTED)
+                    if j.latency is not None:
+                        self.metrics.record_latency(j.latency)
+                return
+            except TRANSIENT_ERRORS as exc:
+                if attempt > self.max_retries:
+                    for j in remaining:
+                        self._fail(j, str(exc), type(exc).__name__)
+                    return
+                self.metrics.incr("retries")
+                await asyncio.sleep(
+                    self.retry_backoff * (2.0 ** (attempt - 1)))
+            except Exception as exc:  # noqa: BLE001
+                for j in remaining:
+                    self._fail(j, str(exc), type(exc).__name__)
+                return
+
+        result_json = result.to_json()
+        self.cache.store(fp, lead.request.method, lead.request.config,
+                         lead.request.config.tol, result, result_json)
+        for j in remaining:
+            j.result = result
+            j.result_json = result_json
+            j.cache_status = "miss" if j is lead else "batched"
+            self._complete(j)
+
+    # -- completion helpers --------------------------------------------
+    def _complete(self, job: JobRecord) -> None:
+        self.metrics.incr("completed")
+        job.finish(JobState.DONE)
+        if job.latency is not None:
+            self.metrics.record_latency(job.latency)
+
+    def _fail(self, job: JobRecord, message: str, error_type: str) -> None:
+        job.error = message
+        job.error_type = error_type
+        self.metrics.incr("failed")
+        job.finish(JobState.FAILED)
+        if job.latency is not None:
+            self.metrics.record_latency(job.latency)
+
+    # -- executor-side (thread) ----------------------------------------
+    def _load_matrix(self, request: SolveRequest):
+        with perf.timer("service.load"):
+            matrix = request.matrix
+            A = matrix.load() if isinstance(matrix, MatrixSpec) else matrix
+            return A, matrix_fingerprint(A)
+
+    def _execute(self, lead: JobRecord, A, timeout: float | None):
+        """Run the lead job's solve on the worker thread (cooperative
+        deadline via the solver's per-iteration hooks)."""
+        from ..api import get_spec, make_solver
+
+        req = lead.request
+        spec = get_spec(req.method)
+        deadline = (time.monotonic() + timeout) if timeout else None
+
+        if req.nprocs > 1:
+            return self._execute_spmd(req, A)
+
+        resume_state = None
+        if req.resume_from is not None:
+            resume_state = self._checkpoints.get(req.resume_from)
+            if resume_state is None:
+                raise ServiceError(
+                    f"no checkpoint for job {req.resume_from!r} "
+                    "(not evicted, expired, or never checkpointed)")
+
+        captured: dict = {}
+        hooks: dict = {}
+        want_checkpoints = (req.config.checkpointing
+                            or deadline is not None)
+        if want_checkpoints and spec.supports_checkpoint:
+            def checkpoint_cb(state: dict) -> None:
+                # state for the finished iteration is captured *before*
+                # the deadline test, so eviction is always resumable
+                captured["state"] = state
+                if deadline is not None and time.monotonic() > deadline:
+                    raise _Evicted(captured.get("state"))
+            hooks["checkpoint_callback"] = checkpoint_cb
+        elif deadline is not None:
+            def iteration_cb(_record) -> None:
+                if time.monotonic() > deadline:
+                    raise _Evicted(None)
+            hooks["callback"] = iteration_cb
+
+        solver = make_solver(req.method, req.config, **hooks)
+        with perf.timer("service.solve"):
+            if resume_state is not None and spec.supports_checkpoint:
+                return solver.solve(A, resume_from=resume_state)
+            return solver.solve(A)
+
+    def _execute_spmd(self, req: SolveRequest, A):
+        """Route a ``nprocs > 1`` job through the simulated SPMD runtime."""
+        from ..parallel import run_spmd_solver
+
+        self.metrics.incr("spmd_jobs")
+        cfg = req.config
+        extras = cfg.extras_dict()
+        with perf.timer("service.solve_spmd"):
+            return run_spmd_solver(
+                req.method, A, req.nprocs, k=cfg.k, tol=cfg.tol,
+                power=cfg.power, seed=cfg.seed, max_rank=cfg.max_rank,
+                threshold=float(extras.get("mu", 0.0) or 0.0))

@@ -1,0 +1,193 @@
+"""Job and response schemas of the solve service (JSON-serializable).
+
+Three shapes cross the service boundary:
+
+- :class:`MatrixSpec` — how a request names its input matrix: a suite
+  label (+ scale), a Matrix Market payload carried inline, a path on the
+  server, or (in-process only) a live scipy matrix.
+- :class:`SolveRequest` — matrix + method + :class:`~repro.api.config.
+  SolverConfig` + scheduling fields (priority, timeout, nprocs,
+  resume_from).
+- :class:`JobRecord` — the server-side lifecycle of one job; its
+  :meth:`JobRecord.response` is the wire response (``repro.solve/v1``)
+  embedding the versioned result schema of :mod:`repro.results`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import io
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..api import SolverConfig, resolve_method
+
+RESPONSE_SCHEMA = "repro.solve/v1"
+METRICS_SCHEMA = "repro.metrics/v1"
+
+
+class JobState(str, enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    EVICTED = "evicted"      # per-job timeout hit; may carry a checkpoint
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """Where a solve job's matrix comes from (exactly one source set)."""
+
+    suite: str | None = None      # suite label "M1".."M6" / sjsu name
+    scale: float = 1.0
+    mmio: str | None = None       # inline Matrix Market text payload
+    path: str | None = None       # server-side file path
+
+    def __post_init__(self):
+        set_count = sum(x is not None for x in
+                        (self.suite, self.mmio, self.path))
+        if set_count != 1:
+            raise ValueError(
+                "MatrixSpec needs exactly one of suite / mmio / path")
+
+    def load(self):
+        """Materialize the scipy sparse matrix this spec names."""
+        from ..matrices import read_matrix_market, suite_matrix
+        if self.suite is not None:
+            return suite_matrix(self.suite, scale=self.scale)
+        if self.mmio is not None:
+            return read_matrix_market(io.StringIO(self.mmio))
+        return read_matrix_market(self.path)
+
+    def to_dict(self) -> dict:
+        d: dict = {}
+        if self.suite is not None:
+            d["suite"] = self.suite
+            d["scale"] = self.scale
+        if self.mmio is not None:
+            d["mmio"] = self.mmio
+        if self.path is not None:
+            d["path"] = self.path
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MatrixSpec":
+        return cls(suite=d.get("suite"), scale=float(d.get("scale", 1.0)),
+                   mmio=d.get("mmio"), path=d.get("path"))
+
+
+@dataclass
+class SolveRequest:
+    """One solve job as submitted by a client.
+
+    ``matrix`` is a :class:`MatrixSpec` or (in-process only) a live
+    matrix object; ``method`` is any registry alias; ``priority`` is
+    higher-runs-first; ``timeout`` the per-job budget in seconds
+    (cooperatively enforced at block-iteration granularity);
+    ``nprocs > 1`` routes the job through the SPMD runtime;
+    ``resume_from`` names an evicted job whose checkpoint to continue.
+    """
+
+    matrix: Any
+    method: str = "ilut"
+    config: SolverConfig = field(default_factory=SolverConfig)
+    priority: int = 0
+    timeout: float | None = None
+    nprocs: int = 1
+    resume_from: str | None = None
+
+    def __post_init__(self):
+        self.method = resolve_method(self.method)
+        if isinstance(self.matrix, dict):
+            self.matrix = MatrixSpec.from_dict(self.matrix)
+        if isinstance(self.config, dict):
+            self.config = SolverConfig.from_dict(self.config)
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if self.timeout is not None and not self.timeout > 0:
+            raise ValueError("timeout must be positive when given")
+
+    def batch_group(self):
+        """Jobs with equal groups share a factorization pass (batching).
+
+        Matrix identity + method + config cache identity + SPMD layout;
+        ``tol`` is deliberately absent — the batch runs once at the
+        tightest tolerance of its members.
+        """
+        matrix_id = (self.matrix if isinstance(self.matrix, MatrixSpec)
+                     else id(self.matrix))
+        return (matrix_id, self.method, self.config.cache_key(),
+                self.nprocs)
+
+    def to_dict(self) -> dict:
+        if not isinstance(self.matrix, MatrixSpec):
+            raise TypeError(
+                "only MatrixSpec-backed requests are wire-serializable")
+        return {
+            "matrix": self.matrix.to_dict(),
+            "method": self.method,
+            "config": self.config.to_dict(),
+            "priority": self.priority,
+            "timeout": self.timeout,
+            "nprocs": self.nprocs,
+            "resume_from": self.resume_from,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SolveRequest":
+        return cls(matrix=MatrixSpec.from_dict(d["matrix"]),
+                   method=d.get("method", "ilut"),
+                   config=SolverConfig.from_dict(d.get("config", {})),
+                   priority=int(d.get("priority", 0)),
+                   timeout=d.get("timeout"),
+                   nprocs=int(d.get("nprocs", 1)),
+                   resume_from=d.get("resume_from"))
+
+
+@dataclass
+class JobRecord:
+    """Server-side lifecycle of one submitted job."""
+
+    job_id: str
+    request: SolveRequest
+    state: JobState = JobState.PENDING
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: float | None = None
+    finished_at: float | None = None
+    cache_status: str | None = None   # "miss" | "hit" | "dominated" | "batched"
+    result_json: dict | None = None
+    result: Any = None                # in-process: the live result object
+    error: str | None = None
+    error_type: str | None = None
+    checkpoint: dict | None = None    # captured mid-flight state (eviction)
+    attempts: int = 0
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def latency(self) -> float | None:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def finish(self, state: JobState) -> None:
+        self.state = state
+        self.finished_at = time.monotonic()
+        self.done.set()
+
+    def response(self) -> dict:
+        """The wire response for this job (``repro.solve/v1``)."""
+        return {
+            "schema": RESPONSE_SCHEMA,
+            "job_id": self.job_id,
+            "state": self.state.value,
+            "method": self.request.method,
+            "cache": self.cache_status,
+            "latency": self.latency,
+            "attempts": self.attempts,
+            "resumable": self.checkpoint is not None,
+            "result": self.result_json,
+            "error": self.error,
+            "error_type": self.error_type,
+        }

@@ -37,6 +37,17 @@ class KrylovResult:
     iterations: int
     residuals: list = field(default_factory=list)
 
+    def to_json(self) -> dict:
+        """Versioned summary (``repro.krylov/v1``) mirroring the result
+        schema of :mod:`repro.results` — the solution vector itself is
+        excluded (arrays travel separately, as with factorizations)."""
+        return {
+            "schema": "repro.krylov/v1",
+            "converged": bool(self.converged),
+            "iterations": int(self.iterations),
+            "residuals": [float(r) for r in self.residuals],
+        }
+
 
 def cgls(A, b: np.ndarray, *, tol: float = 1e-8, max_iter: int | None = None,
          x0: np.ndarray | None = None, right_inverse=None) -> KrylovResult:

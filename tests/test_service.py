@@ -1,0 +1,271 @@
+"""End-to-end tests for the asyncio solve service (all in-process)."""
+
+import asyncio
+import threading
+
+import pytest
+import scipy.sparse as sp
+
+from repro.api import SolverConfig
+from repro.exceptions import QueueFullError
+from repro.service import (
+    METRICS_SCHEMA,
+    RESPONSE_SCHEMA,
+    JobQueue,
+    JobRecord,
+    MatrixSpec,
+    ServiceClient,
+    SolveRequest,
+    SolveService,
+    matrix_fingerprint,
+    serve_tcp,
+)
+
+M4 = MatrixSpec(suite="M4", scale=0.5)
+TINY_MMIO = """%%MatrixMarket matrix coordinate real general
+4 4 6
+1 1 4.0
+2 2 3.0
+3 3 2.0
+4 4 1.0
+1 2 0.5
+2 1 0.5
+"""
+
+
+def lu_request(tol=1e-2, **kw):
+    return SolveRequest(matrix=M4, method="lu",
+                        config=SolverConfig(k=16, tol=tol), **kw)
+
+
+# -- wire schemas -----------------------------------------------------------
+
+def test_request_wire_roundtrip():
+    req = lu_request(priority=3, timeout=2.5, nprocs=2)
+    back = SolveRequest.from_dict(req.to_dict())
+    assert back.matrix == req.matrix
+    assert back.method == "lu"
+    assert back.config == req.config
+    assert (back.priority, back.timeout, back.nprocs) == (3, 2.5, 2)
+
+
+def test_matrix_spec_exactly_one_source():
+    with pytest.raises(ValueError):
+        MatrixSpec()
+    with pytest.raises(ValueError):
+        MatrixSpec(suite="M1", mmio=TINY_MMIO)
+
+
+def test_matrix_spec_mmio_load():
+    A = MatrixSpec(mmio=TINY_MMIO).load()
+    assert A.shape == (4, 4) and A.nnz == 6
+
+
+def test_fingerprint_canonical():
+    A = sp.random(40, 30, density=0.1, random_state=0, format="csr")
+    assert matrix_fingerprint(A) == matrix_fingerprint(A.tocsc())
+    B = A.copy()
+    B.data[0] += 1.0
+    assert matrix_fingerprint(A) != matrix_fingerprint(B)
+
+
+def test_queue_priority_and_drain():
+    async def run():
+        q = JobQueue(limit=8)
+        recs = [JobRecord(job_id=f"j{i}", request=lu_request(priority=p))
+                for i, p in enumerate([0, 5, 1])]
+        for r in recs:
+            q.put_nowait(r)
+        first = await q.get()
+        assert first.job_id == "j1"  # highest priority first
+        assert [j.job_id for j in
+                q.drain_matching(first.request.batch_group())] == ["j2", "j0"]
+        assert q.depth == 0
+    asyncio.run(run())
+
+
+# -- cache: miss → hit → τ-dominance ---------------------------------------
+
+def test_smoke_miss_then_hit():
+    with ServiceClient(workers=1, cache_capacity=8) as client:
+        first = client.solve(lu_request())
+        assert first["schema"] == RESPONSE_SCHEMA
+        assert first["state"] == "done"
+        assert first["cache"] == "miss"
+        assert first["result"]["schema"] == "repro.result/v1"
+        assert first["result"]["converged"]
+
+        again = client.solve(lu_request())
+        assert again["cache"] == "hit"
+        assert again["result"]["rank"] == first["result"]["rank"]
+
+        m = client.metrics()
+        assert m["schema"] == METRICS_SCHEMA
+        assert m["counters"]["cache_hits"] == 1
+        assert m["counters"]["cache_misses"] == 1
+        assert m["cache"]["hit_rate"] == pytest.approx(0.5)
+        assert m["counters"]["completed"] == 2
+        assert m["latency"]["count"] == 2
+        assert m["latency"]["p95"] >= m["latency"]["p50"] >= 0.0
+
+
+def test_tau_dominance_reuse():
+    """A cached tighter factorization satisfies a looser request."""
+    with ServiceClient(workers=1) as client:
+        tight = client.solve(lu_request(tol=1e-3))
+        assert tight["cache"] == "miss"
+        loose = client.solve(lu_request(tol=1e-1))
+        assert loose["cache"] == "dominated"
+        assert loose["result"] == tight["result"]
+        # but a *tighter* request than the cached entry must re-solve
+        tighter = client.solve(lu_request(tol=1e-4))
+        assert tighter["cache"] == "miss"
+        counters = client.metrics()["counters"]
+        assert counters["cache_dominated_hits"] == 1
+
+
+# -- eviction + resume ------------------------------------------------------
+
+def test_timeout_evicts_with_resumable_checkpoint():
+    matrix = MatrixSpec(suite="M2", scale=0.5)
+
+    def req(**kw):
+        return SolveRequest(matrix=matrix, method="lu",
+                            config=SolverConfig(k=8, tol=1e-3), **kw)
+
+    with ServiceClient(workers=1) as client:
+        jid = client.submit(req(timeout=0.05))
+        resp = client.wait(jid)
+        assert resp["state"] == "evicted"
+        assert resp["resumable"] is True
+        assert resp["error_type"] == "JobTimeoutError"
+        state = client.checkpoint_for(jid)
+        assert state is not None and "K" in state
+        assert client.metrics()["counters"]["evicted"] == 1
+
+        resumed = client.solve(req(resume_from=jid))
+        assert resumed["state"] == "done"
+        assert resumed["result"]["converged"]
+        # the resumed run continues past the checkpointed rank
+        assert resumed["result"]["rank"] > state["K"]
+
+
+def test_resume_from_unknown_job_fails():
+    with ServiceClient(workers=1) as client:
+        resp = client.solve(lu_request(resume_from="job-999999"))
+        assert resp["state"] == "failed"
+        assert "no checkpoint" in resp["error"]
+
+
+# -- batching ---------------------------------------------------------------
+
+def test_batching_shares_one_factorization():
+    async def run():
+        svc = SolveService(workers=1, batching=True)
+        reqs = [SolveRequest(matrix=M4, method="randqb",
+                             config=SolverConfig(k=16, tol=tol, power=1))
+                for tol in (2e-1, 5e-2)]
+        # submit before starting workers so the jobs co-reside in the
+        # queue and are drained as one batch group
+        ids = [await svc.submit(r) for r in reqs]
+        async with svc:
+            resps = [await svc.wait(j, timeout=300) for j in ids]
+        return resps, svc.metrics_snapshot()
+
+    (loose, tight), m = asyncio.run(run())
+    # the batch ran once at the tightest tolerance; the looser job rode
+    # along without its own factorization
+    assert tight["cache"] == "miss"
+    assert loose["cache"] == "batched"
+    assert loose["result"] == tight["result"]
+    assert m["counters"]["batched"] == 1
+    assert m["counters"]["cache_misses"] == 2
+    assert m["counters"]["completed"] == 2
+
+
+def test_batching_disabled_runs_each_job():
+    async def run():
+        svc = SolveService(workers=1, batching=False, cache_capacity=0)
+        ids = [await svc.submit(lu_request()) for _ in range(2)]
+        async with svc:
+            return [await svc.wait(j, timeout=300) for j in ids], \
+                svc.metrics_snapshot()
+
+    resps, m = asyncio.run(run())
+    assert [r["cache"] for r in resps] == ["miss", "miss"]
+    assert m["counters"]["batched"] == 0
+
+
+# -- backpressure -----------------------------------------------------------
+
+def test_queue_full_backpressure():
+    async def run():
+        svc = SolveService(workers=1, queue_limit=2)  # not started
+        await svc.submit(lu_request())
+        await svc.submit(lu_request())
+        with pytest.raises(QueueFullError):
+            await svc.submit(lu_request())
+        return svc.metrics_snapshot()
+
+    m = asyncio.run(run())
+    assert m["counters"]["rejected"] == 1
+    assert m["queue_depth"] == 2
+
+
+# -- failures ---------------------------------------------------------------
+
+def test_bad_matrix_marks_job_failed():
+    bad = SolveRequest(matrix=MatrixSpec(path="/nonexistent/m.mtx"),
+                       method="lu", config=SolverConfig(k=8))
+    with ServiceClient(workers=1) as client:
+        resp = client.solve(bad)
+        assert resp["state"] == "failed"
+        assert resp["error"]
+        assert client.metrics()["counters"]["failed"] == 1
+        # the worker survives a failed job
+        ok = client.solve(lu_request())
+        assert ok["state"] == "done"
+
+
+# -- SPMD route -------------------------------------------------------------
+
+def test_spmd_job_through_service():
+    req = SolveRequest(matrix=M4, method="randqb", nprocs=2,
+                       config=SolverConfig(k=16, tol=1e-1, power=1))
+    with ServiceClient(workers=1) as client:
+        resp = client.solve(req)
+        assert resp["state"] == "done"
+        assert resp["result"]["converged"]
+        assert client.metrics()["counters"]["spmd_jobs"] == 1
+
+
+# -- TCP loopback -----------------------------------------------------------
+
+def test_tcp_loopback():
+    port_box = {}
+    ready = threading.Event()
+
+    def on_ready(server):
+        port_box["port"] = server.sockets[0].getsockname()[1]
+        ready.set()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(
+            serve_tcp("127.0.0.1", 0, ready_callback=on_ready, workers=1)),
+        daemon=True)
+    thread.start()
+    assert ready.wait(30), "server never came up"
+
+    client = ServiceClient.connect("127.0.0.1", port_box["port"])
+    try:
+        first = client.solve(lu_request().to_dict())
+        assert first["state"] == "done" and first["cache"] == "miss"
+        again = client.solve(lu_request().to_dict())
+        assert again["cache"] == "hit"
+        m = client.metrics()
+        assert m["schema"] == METRICS_SCHEMA
+        assert m["counters"]["cache_hits"] == 1
+    finally:
+        client.close()  # sends the shutdown op
+    thread.join(timeout=30)
+    assert not thread.is_alive()
