@@ -15,12 +15,17 @@ paper's:
 import pytest
 
 from repro.parallel import (
+    MachineModel,
     ScalingCurve,
+    comm_volume_table,
+    run_spmd,
     simulate_ilut_crtp,
     simulate_lu_crtp,
     simulate_randqb_ei,
     simulate_randubv,
     speedup_table,
+    spmd_lu_crtp,
+    spmd_randqb_ei,
     strong_scaling,
 )
 
@@ -75,3 +80,32 @@ def test_fig4_strong_scaling(benchmark, report, label):
     lu = solve_cached("lu", label, SCALE, k, tol)
     benchmark.pedantic(lambda: simulate_lu_crtp(lu, 256),
                        rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("prog,name", [(spmd_randqb_ei, "randqb_ei"),
+                                       (spmd_lu_crtp, "lu_crtp")])
+def test_fig4_comm_volume(benchmark, report, prog, name):
+    """Per-collective comm volume of the executed SPMD runs (M2, P=4).
+
+    The modeled curves above say how far each method scales; these
+    tables say where its communication volume actually goes — per
+    collective operation and per kernel, from the run's ledger.  The
+    ledger measures the transport algorithm actually used, so the flat
+    (hub) and binomial-tree/ring volumes differ while the modeled clock
+    stays bitwise identical (asserted below).
+    """
+    k, tol = CASES["M2"]
+    A = matrix("M2", SCALE)
+    p = 4
+    out = run_spmd(p, prog, A, k=k, tol=tol)
+    tree = run_spmd(p, prog, A, k=k, tol=tol, backend="procs",
+                    machine=MachineModel(comm_algo="tree"))
+    # the cost model is transport-independent: same modeled time
+    assert out["elapsed"] == tree["elapsed"]
+    report(f"Fig. 4 companion — {name} comm volume (M2 analogue, P={p}, "
+           f"k={k})\n\n" + comm_volume_table(out["comm"]) + "\n\n"
+           + comm_volume_table(out["comm"], by="kernel") + "\n\n"
+           + comm_volume_table(tree["comm"]),
+           f"fig4_comm_{name}.txt")
+    benchmark.pedantic(
+        lambda: run_spmd(p, prog, A, k=k, tol=tol), rounds=1, iterations=1)

@@ -27,7 +27,14 @@ class SolverSpec:
     aliases: tuple[str, ...]  # accepted spellings, lowercase
     supports_checkpoint: bool = True
     supports_spmd: bool = True
+    #: SPMD execution backends this method's rank program runs under.
+    #: Methods without an SPMD route keep the default and are never
+    #: dispatched to either.
+    spmd_backends: tuple[str, ...] = ("threads", "procs")
     description: str = ""
+
+    def supports_backend(self, backend: str) -> bool:
+        return self.supports_spmd and backend in self.spmd_backends
 
     def cls(self):
         """The implementing class (imported lazily — repro.core is heavy)."""

@@ -88,18 +88,34 @@ def cmd_info(args) -> int:
 def cmd_solve(args) -> int:
     from .analysis.tables import render_table
     A = _load_matrix(args.matrix, args.scale)
-    solver = _make_solver(args.method, args)
     if args.perf:
         from . import perf
         perf.reset()
         perf.enable()
-    res = solver.solve(A)
+    run_info: dict = {}
+    if args.nprocs > 1:
+        from .parallel import run_spmd_solver
+        res = run_spmd_solver(
+            args.method, A, args.nprocs, k=args.k, tol=args.tol,
+            power=args.power, seed=args.seed, backend=args.backend,
+            run_info=run_info)
+    else:
+        solver = _make_solver(args.method, args)
+        res = solver.solve(A)
     print(render_table(
         ["method", "rank", "iters", "time[s]", "factor nnz", "indicator",
          "converged"],
         [_summary_row(args.method, res)],
         title=f"{args.matrix}: {A.shape[0]}x{A.shape[1]}, nnz={A.nnz}, "
               f"tau={args.tol:g}, k={args.k}"))
+    if run_info:
+        comm = run_info.get("comm") or {}
+        print(f"SPMD: P={args.nprocs} backend={run_info.get('backend')} "
+              f"algo={comm.get('algo')} "
+              f"wall={run_info.get('wall_seconds', 0.0):.3f}s "
+              f"modeled={run_info.get('elapsed', 0.0):.3e}s "
+              f"comm={comm.get('bytes_sent', 0.0):.3e}B"
+              f"/{comm.get('msgs', 0)}msg")
     if args.perf:
         from . import perf
         perf.disable()
@@ -214,6 +230,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also compute the exact (dense) error")
     ps_.add_argument("--perf", action="store_true",
                      help="record and print per-kernel perf timings")
+    ps_.add_argument("--nprocs", type=int, default=1,
+                     help="run the SPMD route on this many ranks (>1)")
+    ps_.add_argument("--backend", default="threads",
+                     choices=("threads", "procs"),
+                     help="SPMD backend: threads (simulated, in-process) "
+                          "or procs (one OS process per rank)")
     ps_.set_defaults(func=cmd_solve)
 
     pc = sub.add_parser("compare", help="run all four methods")

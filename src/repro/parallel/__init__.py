@@ -18,7 +18,10 @@ reproduced with a two-layer simulation (DESIGN.md §5):
 """
 
 from .machine import MachineModel, CollectiveCosts
-from .comm import SimComm, run_spmd
+from .comm import BACKENDS, SimComm, run_spmd
+from .collectives import COMM_ALGOS, CommLedger, summarize_ledgers
+from .procs import ProcComm, run_spmd_procs
+from .shm import SharedMatrix, shm_segments
 from .faults import (
     FaultPlan,
     FaultInjector,
@@ -44,7 +47,7 @@ from .perfmodel import (
     simulate_randubv,
     strong_scaling,
 )
-from .report import ScalingCurve, speedup_table
+from .report import ScalingCurve, comm_volume_table, speedup_table
 from .spmd import spmd_randqb_ei, spmd_lu_crtp, spmd_randubv, run_spmd_solver
 from .dist_dense import ProcessGrid, DistDense
 
@@ -53,6 +56,14 @@ __all__ = [
     "CollectiveCosts",
     "SimComm",
     "run_spmd",
+    "BACKENDS",
+    "COMM_ALGOS",
+    "CommLedger",
+    "summarize_ledgers",
+    "ProcComm",
+    "run_spmd_procs",
+    "SharedMatrix",
+    "shm_segments",
     "FaultPlan",
     "FaultInjector",
     "RankCrash",
@@ -75,6 +86,7 @@ __all__ = [
     "simulate_randqb_ei",
     "strong_scaling",
     "ScalingCurve",
+    "comm_volume_table",
     "speedup_table",
     "simulate_randubv",
     "spmd_randqb_ei",

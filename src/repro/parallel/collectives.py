@@ -1,0 +1,285 @@
+"""Pluggable collective algorithms and the comm-volume ledger.
+
+Both SPMD backends (thread-per-rank in :mod:`repro.parallel.comm`,
+process-per-rank in :mod:`repro.parallel.procs`) account every byte they
+put on the wire in a :class:`CommLedger`, keyed by ``(kernel, op)``.  The
+ledger measures the *transport* algorithm actually used, while modeled
+clocks keep charging the :class:`~repro.parallel.machine.CollectiveCosts`
+formulas — so modeled and measured communication can be compared in one
+table (``benchmarks/bench_fig4_strong_scaling.py``).
+
+Three transport algorithms are selectable per
+:class:`~repro.parallel.machine.MachineModel` (``comm_algo``):
+
+- ``"flat"`` — every participant ships its contribution to a hub rank,
+  the hub combines in rank order and returns the result.  This is exactly
+  the barrier-action semantics of the thread backend, so flat is the
+  algorithm parity tests pin: results are *bitwise* identical across
+  backends (including the left-to-right reduction order of
+  ``allreduce_sum``).
+- ``"tree"`` — binomial-tree bcast/reduce/gather (``log2(P)`` rounds) and
+  a chunked ring allreduce (reduce-scatter + allgather, ``2 (P-1)`` steps
+  of ``n/P`` elements).  Numerically equivalent, not bitwise: pairwise /
+  ring summation orders differ from the flat left fold.
+
+The generic tree/ring implementations in this module run over any object
+exposing the small :class:`P2PChannel` protocol (``rank``, ``nprocs``,
+``coll_send`` / ``coll_recv``); the process backend is the only transport
+today, but the algorithms are transport-agnostic on purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Transport algorithms accepted by ``MachineModel.comm_algo``.
+COMM_ALGOS = ("flat", "tree")
+
+
+# ---------------------------------------------------------------------------
+# comm-volume ledger
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CommLedger:
+    """Bytes/messages one rank put on the wire, keyed by ``(kernel, op)``.
+
+    ``kernel`` is the :meth:`SimComm.kernel` label active at the time of
+    the operation (``"(unlabeled)"`` before the first label); ``op`` is the
+    communicator operation (``bcast`` / ``gather`` / ... / ``send``).
+    Only payload bytes are counted — framing headers and the tiny
+    clock-synchronization messages ride along for free, mirroring how the
+    cost model charges ``alpha`` per message rather than per header byte.
+    """
+
+    ops: dict = field(default_factory=dict)  # (kernel, op) -> [bytes, msgs]
+
+    def record(self, kernel: str | None, op: str, nbytes: float,
+               msgs: int = 1) -> None:
+        if msgs <= 0 and nbytes <= 0:
+            return
+        key = (kernel or "(unlabeled)", op)
+        entry = self.ops.get(key)
+        if entry is None:
+            entry = self.ops[key] = [0.0, 0]
+        entry[0] += max(float(nbytes), 0.0)
+        entry[1] += int(msgs)
+
+    def to_dict(self) -> dict:
+        """JSON-able form: ``{"kernel|op": [bytes, msgs]}``."""
+        return {f"{k}|{op}": [b, m] for (k, op), [b, m] in self.ops.items()}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CommLedger":
+        led = cls()
+        for key, (b, m) in d.items():
+            kernel, op = key.split("|", 1)
+            led.ops[(kernel, op)] = [float(b), int(m)]
+        return led
+
+
+def summarize_ledgers(ledgers: list[CommLedger], *, backend: str,
+                      algo: str) -> dict:
+    """Fold per-rank ledgers into the run-level ``comm`` report dict."""
+    by_op: dict[str, list] = {}
+    by_kernel: dict[str, list] = {}
+    total_b, total_m = 0.0, 0
+    for led in ledgers:
+        for (kernel, op), (b, m) in led.ops.items():
+            eo = by_op.setdefault(op, [0.0, 0])
+            eo[0] += b
+            eo[1] += m
+            ek = by_kernel.setdefault(kernel, [0.0, 0])
+            ek[0] += b
+            ek[1] += m
+            total_b += b
+            total_m += m
+    as_entry = lambda e: {"bytes_sent": e[0], "msgs": e[1]}  # noqa: E731
+    return {
+        "backend": backend,
+        "algo": algo,
+        "bytes_sent": total_b,
+        "msgs": total_m,
+        "by_op": {op: as_entry(e) for op, e in sorted(by_op.items())},
+        "by_kernel": {k: as_entry(e) for k, e in sorted(by_kernel.items())},
+    }
+
+
+def flat_hub_ledger(ledger: CommLedger, kernel: str | None, op: str,
+                    rank: int, nprocs: int, hub: int,
+                    deposit_bytes: float, return_bytes: float) -> None:
+    """Record one flat collective's traffic from ``rank``'s point of view.
+
+    Flat semantics: every non-hub rank ships its deposit to the hub (one
+    message); the hub ships the per-rank return payload back to each of the
+    ``P - 1`` others.  The thread backend calls this with the *modeled*
+    payload sizes (its barrier exchange moves no real bytes), the process
+    backend with the sizes it actually encoded — identical by construction.
+    """
+    if nprocs <= 1:
+        return
+    if rank == hub:
+        ledger.record(kernel, op, (nprocs - 1) * return_bytes, nprocs - 1)
+    else:
+        ledger.record(kernel, op, deposit_bytes, 1)
+
+
+# ---------------------------------------------------------------------------
+# tree / ring algorithms over a point-to-point channel
+# ---------------------------------------------------------------------------
+#
+# The channel contract (implemented by repro.parallel.procs.ProcComm):
+#
+#   ch.rank, ch.nprocs                       -- ints
+#   ch.coll_send(dst, payload)               -- ship one collective-internal
+#                                               message
+#   ch.coll_recv(src) -> payload             -- matching blocking receive
+#   ch.ledger_record(op, nbytes, msgs=1)     -- attribute wire traffic
+#   ch.payload_bytes(obj) -> float           -- modeled payload size (the
+#                                               same accounting the thread
+#                                               backend's ledger uses)
+#
+# Payloads are (clock, obj) tuples; clock folding (max) implements the
+# collective clock synchronization of the simulated machine: after any of
+# these algorithms every participant knows the global max entry clock.
+
+def _tree_rounds(nprocs: int) -> int:
+    r = 0
+    while (1 << r) < nprocs:
+        r += 1
+    return r
+
+
+def tree_gather(ch, op: str, clock: float, obj,
+                root: int = 0) -> tuple[float, list | None]:
+    """Binomial-tree gather to ``root``: returns ``(tmax, items)`` on the
+    root (``items`` rank-ordered) and ``(tmax_partial, None)`` elsewhere.
+
+    Non-root callers must still learn the global ``tmax``; pair with
+    :func:`tree_bcast` (as :func:`tree_exchange` does).
+    """
+    P = ch.nprocs
+    rel = (ch.rank - root) % P
+    items: dict[int, object] = {ch.rank: obj}
+    tmax = float(clock)
+    for t in range(_tree_rounds(P)):
+        step = 1 << t
+        if rel % (2 * step) == 0:
+            src_rel = rel + step
+            if src_rel < P:
+                child_clock, child_items = ch.coll_recv(
+                    (src_rel + root) % P)
+                tmax = max(tmax, child_clock)
+                items.update(child_items)
+        else:
+            parent = ((rel - step) + root) % P
+            ch.coll_send(parent, (tmax, items))
+            ch.ledger_record(op, ch.payload_bytes(list(items.values())), 1)
+            return tmax, None
+    return tmax, [items[r] for r in range(P)]
+
+
+def tree_bcast(ch, op: str, payload, root: int = 0):
+    """Binomial-tree broadcast of a ``(clock, data)`` pair from ``root``."""
+    P = ch.nprocs
+    rel = (ch.rank - root) % P
+    if rel != 0:
+        # receive from the parent: clear the lowest set bit of rel
+        step = rel & -rel
+        payload = ch.coll_recv(((rel - step) + root) % P)
+    # forward to children: rel + 2^t for t descending below own level
+    t = _tree_rounds(P) - 1
+    while t >= 0:
+        step = 1 << t
+        if rel % (2 * step) == 0 and rel + step < P:
+            ch.coll_send((rel + step + root) % P, payload)
+            ch.ledger_record(op, ch.payload_bytes(payload[1]), 1)
+        t -= 1
+    return payload
+
+
+def tree_exchange(ch, op: str, clock: float, deposit, combine,
+                  root: int = 0, result_for=None):
+    """Gather-up + bcast-down skeleton shared by the tree collectives.
+
+    ``combine(items)`` runs once on the root over the rank-ordered deposit
+    list; ``result_for(rank, combined)`` (default: identity) selects what
+    each rank receives on the way down.  Returns ``(tmax, result)``.
+    """
+    tmax, items = tree_gather(ch, op, clock, deposit, root)
+    if ch.rank == root:
+        combined = combine(items)
+        if result_for is None:
+            down = (tmax, combined)
+            down_all = [down] * ch.nprocs
+        else:
+            down_all = [(tmax, result_for(r, combined))
+                        for r in range(ch.nprocs)]
+        # per-destination payloads forbid a pure tree when they differ;
+        # result_for implies a direct hub fan-out (scatter semantics)
+        if result_for is None:
+            result = tree_bcast(ch, op, down, root)[1]
+            return tmax, result
+        for r in range(ch.nprocs):
+            if r != root:
+                ch.coll_send(r, down_all[r])
+                ch.ledger_record(op, ch.payload_bytes(down_all[r][1]), 1)
+        return tmax, down_all[root][1]
+    if result_for is None:
+        tmax, result = tree_bcast(ch, op, None, root)
+        return tmax, result
+    tmax, result = ch.coll_recv(root)
+    return tmax, result
+
+
+def ring_allreduce_sum(ch, op: str, clock: float,
+                       arr: np.ndarray) -> tuple[float, np.ndarray]:
+    """Chunked ring allreduce: reduce-scatter then allgather.
+
+    Splits the flattened array into ``P`` near-equal segments; after
+    ``P - 1`` reduce-scatter steps rank ``r`` owns the fully reduced
+    segment ``(r + 1) % P``, and ``P - 1`` allgather steps replicate all
+    segments.  The entry clock rides along and is max-folded, so after the
+    reduce-scatter phase every rank has seen every other rank's clock.
+
+    Requires an even ring (``P`` even) so the alternating send/recv parity
+    that keeps pipe-backed transports deadlock-free covers every link; the
+    caller falls back to the tree algorithm otherwise.
+    """
+    P = ch.nprocs
+    flat = np.ascontiguousarray(arr).reshape(-1)
+    bounds = np.linspace(0, flat.size, P + 1).astype(np.intp)
+    segs = [flat[bounds[i]:bounds[i + 1]].copy() for i in range(P)]
+    nxt, prv = (ch.rank + 1) % P, (ch.rank - 1) % P
+    tmax = float(clock)
+    send_first = ch.rank % 2 == 0
+
+    def swap(payload):
+        if send_first:
+            ch.coll_send(nxt, payload)
+            got = ch.coll_recv(prv)
+        else:
+            got = ch.coll_recv(prv)
+            ch.coll_send(nxt, payload)
+        ch.ledger_record(op, ch.payload_bytes(payload[1]), 1)
+        return got
+
+    # reduce-scatter: at step s, forward segment (rank - s) and fold the
+    # incoming segment (rank - s - 1) into the local partial
+    for s in range(P - 1):
+        out_seg = (ch.rank - s) % P
+        in_seg = (ch.rank - s - 1) % P
+        in_clock, in_data = swap((tmax, segs[out_seg]))
+        tmax = max(tmax, in_clock)
+        segs[in_seg] = segs[in_seg] + in_data
+    # allgather: circulate the reduced segments
+    for s in range(P - 1):
+        out_seg = (ch.rank + 1 - s) % P
+        in_seg = (ch.rank - s) % P
+        in_clock, in_data = swap((tmax, segs[out_seg]))
+        tmax = max(tmax, in_clock)
+        segs[in_seg] = in_data
+    out = np.concatenate(segs) if P > 1 else segs[0]
+    return tmax, out.reshape(np.asarray(arr).shape)

@@ -22,11 +22,13 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..exceptions import CommTimeoutError, CommunicatorError, RankFailure
+from .collectives import CommLedger, summarize_ledgers
 from .faults import DROP, FaultInjector, FaultPlan
 from .machine import MachineModel
 
@@ -36,6 +38,15 @@ DEFAULT_RECV_TIMEOUT = 30.0
 
 #: Default real-time bound on barrier waits inside collectives.
 DEFAULT_COLLECTIVE_TIMEOUT = 120.0
+
+#: Default real-time bound on joining the whole run (thread join / process
+#: wait).  A rank stuck past this raises :class:`CommTimeoutError` naming
+#: the stuck ranks and their supersteps instead of silently returning
+#: partial results.
+DEFAULT_JOIN_TIMEOUT = 300.0
+
+#: SPMD execution backends accepted by :func:`run_spmd`.
+BACKENDS = ("threads", "procs")
 
 
 @dataclass
@@ -55,6 +66,7 @@ class _SharedState:
     recv_timeout: float = DEFAULT_RECV_TIMEOUT
     collective_timeout: float = DEFAULT_COLLECTIVE_TIMEOUT
     failed_ranks: dict = field(default_factory=dict)  # rank -> superstep
+    ledgers: list = field(default_factory=list)  # per-rank CommLedger
 
     def queue_for(self, src: int, dst: int, tag: int) -> queue.Queue:
         key = (src, dst, tag)
@@ -80,6 +92,8 @@ class SimComm:
         self._state = state
         self._kernel: str | None = None
         self._superstep = 0
+        self.ledger = state.ledgers[rank] if rank < len(state.ledgers) \
+            else CommLedger()
 
     @property
     def superstep(self) -> int:
@@ -145,10 +159,19 @@ class SimComm:
         with self._state.clock_lock:
             pass  # barrier action already synced; this is a fence only
 
-    def _collective(self, deposit, combine, comm_cost: float):
+    def _collective(self, deposit, combine, comm_cost: float, *,
+                    op: str = "collective", root: int = 0,
+                    ledger_result=None):
         """Generic collective: every rank deposits, the barrier action runs
         ``combine`` once, everyone picks up the result and pays
         ``comm_cost`` on a clock synchronized to the slowest participant.
+
+        ``op`` / ``root`` / ``ledger_result`` only feed the comm-volume
+        ledger, which records what the flat hub exchange of the process
+        backend would put on the wire for this collective (the thread
+        backend moves no real bytes): non-hub ranks ship their deposit to
+        the hub, the hub ships ``ledger_result(r, result)`` (default: the
+        combined result) back to each of the others.
 
         A participant that died (injected crash or any uncaught error)
         breaks the barrier; survivors fail fast with a :class:`RankFailure`
@@ -173,6 +196,20 @@ class SimComm:
         except threading.BrokenBarrierError as exc:
             raise self._collective_failure() from exc
         result = state.slot["out"]
+        if self.nprocs > 1:
+            if self.rank == root:
+                total_out = 0.0
+                for r in range(self.nprocs):
+                    if r == root:
+                        continue
+                    out_r = result if ledger_result is None \
+                        else ledger_result(r, result)
+                    total_out += _payload_bytes(out_r)
+                self.ledger.record(self._kernel, op, total_out,
+                                   self.nprocs - 1)
+            else:
+                self.ledger.record(self._kernel, op,
+                                   _payload_bytes(deposit), 1)
         self.charge(comm_cost)
         return result
 
@@ -192,7 +229,7 @@ class SimComm:
         """Plain barrier (clock synchronization, latency-only cost)."""
         costs = self._state.machine.collectives
         self._collective(None, lambda d: None,
-                         costs.bcast(0, self.nprocs))
+                         costs.bcast(0, self.nprocs), op="barrier")
 
     def bcast(self, obj, root: int = 0):
         """Broadcast ``obj`` from ``root`` to all ranks."""
@@ -202,9 +239,8 @@ class SimComm:
         def combine(dep):
             return dep[root]
 
-        nbytes = _payload_bytes(obj) if self.rank == root else 0.0
         # every rank pays the same modeled bcast cost; size from root's view
-        out = self._collective(payload, combine, 0.0)
+        out = self._collective(payload, combine, 0.0, op="bcast", root=root)
         self.charge(costs.bcast(_payload_bytes(out), self.nprocs))
         return out
 
@@ -219,8 +255,11 @@ class SimComm:
         def combine(dep):
             return dep[root]
 
-        allc = self._collective(chunks if self.rank == root else None,
-                                combine, 0.0)
+        allc = self._collective(
+            chunks if self.rank == root else None, combine, 0.0,
+            op="scatter", root=root,
+            ledger_result=lambda r, ac: (
+                ac[r], float(sum(_payload_bytes(c) for c in ac))))
         total = sum(_payload_bytes(c) for c in allc)
         self.charge(costs.scatter(total, self.nprocs))
         return allc[self.rank]
@@ -232,7 +271,10 @@ class SimComm:
         def combine(dep):
             return [dep[r] for r in range(self.nprocs)]
 
-        res = self._collective(obj, combine, 0.0)
+        res = self._collective(
+            obj, combine, 0.0, op="gather", root=root,
+            ledger_result=lambda r, out: (
+                None, float(sum(_payload_bytes(c) for c in out))))
         total = sum(_payload_bytes(c) for c in res)
         self.charge(costs.gather(total, self.nprocs))
         return res if self.rank == root else None
@@ -244,7 +286,7 @@ class SimComm:
         def combine(dep):
             return [dep[r] for r in range(self.nprocs)]
 
-        res = self._collective(obj, combine, 0.0)
+        res = self._collective(obj, combine, 0.0, op="allgather")
         total = sum(_payload_bytes(c) for c in res)
         self.charge(costs.allgather(total, self.nprocs))
         return res
@@ -259,7 +301,8 @@ class SimComm:
                 out = dep[r].copy() if out is None else out + dep[r]
             return out
 
-        res = self._collective(np.asarray(arr), combine, 0.0)
+        res = self._collective(np.asarray(arr), combine, 0.0,
+                               op="allreduce")
         self.charge(costs.allreduce(_payload_bytes(res), self.nprocs))
         return res.copy()
 
@@ -270,6 +313,7 @@ class SimComm:
         self._step("send")
         costs = self._state.machine.collectives
         self.charge(costs.p2p(_payload_bytes(obj)))
+        self.ledger.record(self._kernel, "send", _payload_bytes(obj), 1)
         inj = self._state.injector
         if inj is not None:
             obj = inj.filter_send(self.rank, dst, tag, obj)
@@ -339,7 +383,14 @@ def _payload_bytes(obj) -> float:
     if isinstance(obj, np.ndarray):
         return float(obj.nbytes)
     if hasattr(obj, "nnz") and hasattr(obj, "data"):  # scipy sparse
-        return float(obj.nnz * 16)  # value + index
+        # real wire size: the value array plus every index array the format
+        # carries (CSR/CSC: indices + indptr; COO: row + col; DIA: offsets)
+        total = float(obj.data.nbytes)
+        for name in ("indices", "indptr", "row", "col", "offsets"):
+            part = getattr(obj, name, None)
+            if part is not None:
+                total += float(part.nbytes)
+        return total
     if isinstance(obj, (list, tuple)):
         return float(sum(_payload_bytes(o) for o in obj))
     if isinstance(obj, (int, float, np.integer, np.floating)):
@@ -363,21 +414,48 @@ def _error_priority(exc: BaseException) -> int:
     return 4
 
 
+def _record_comm_perf(out: dict) -> None:
+    """Mirror a run's comm summary into the perf counters (when enabled)."""
+    from .. import perf
+    if not perf.is_enabled():
+        return
+    comm = out.get("comm") or {}
+    backend = out.get("backend", "threads")
+    perf.add_bytes(f"spmd.{backend}.comm", comm.get("bytes_sent", 0.0))
+    perf.incr(f"spmd.{backend}.comm.msgs", comm.get("msgs", 0))
+    for op, entry in (comm.get("by_op") or {}).items():
+        perf.add_bytes(f"spmd.{backend}.comm.{op}", entry["bytes_sent"])
+    if "wall_seconds" in out:
+        perf.incr(f"spmd.{backend}.wall_seconds", out["wall_seconds"])
+
+
 def run_spmd(nprocs: int, program, *args, machine: MachineModel | None = None,
              fault_plan: FaultPlan | FaultInjector | None = None,
              recv_timeout: float = DEFAULT_RECV_TIMEOUT,
              collective_timeout: float = DEFAULT_COLLECTIVE_TIMEOUT,
+             backend: str = "threads",
+             join_timeout: float = DEFAULT_JOIN_TIMEOUT,
+             mp_context: str | None = None,
              **kwargs) -> dict:
-    """Run ``program(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
+    """Run ``program(comm, *args, **kwargs)`` on ``nprocs`` SPMD ranks.
 
     Returns a dict with per-rank ``results``, the synchronized final
-    ``clocks`` (modeled seconds) and per-kernel max-over-ranks times
-    (``kernel_seconds``).  Exceptions on any rank abort the barrier and are
-    re-raised on the caller's thread; with several failing ranks the most
-    causal error wins (injected crash > program error > observed failure).
+    ``clocks`` (modeled seconds), per-kernel max-over-ranks times
+    (``kernel_seconds``), the comm-volume summary (``comm``), the real
+    ``wall_seconds`` and the ``backend`` used.  Exceptions on any rank
+    abort the run and are re-raised on the caller's thread; with several
+    failing ranks the most causal error wins (injected crash > program
+    error > observed failure).
 
     Parameters
     ----------
+    backend:
+        ``"threads"`` (default) runs one thread per rank in this process —
+        deterministic, cheap, but GIL-serialized.  ``"procs"`` runs one OS
+        process per rank with the input matrix shared read-only via
+        ``multiprocessing.shared_memory`` (see
+        :mod:`repro.parallel.procs`) — true multicore, numerically
+        identical, modeled clocks bitwise identical.
     fault_plan:
         Optional :class:`repro.parallel.faults.FaultPlan` (or a prebuilt
         injector) consulted on every communication operation.
@@ -385,22 +463,42 @@ def run_spmd(nprocs: int, program, *args, machine: MachineModel | None = None,
         Default real-time bound for :meth:`SimComm.recv` (seconds).
     collective_timeout:
         Real-time bound on barrier waits inside collectives.
+    join_timeout:
+        Real-time bound on the whole run; stuck ranks raise
+        :class:`CommTimeoutError` naming them and their supersteps.
+    mp_context:
+        Process start method for the procs backend (default ``fork``
+        where available); ignored by the thread backend.
     """
+    if backend not in BACKENDS:
+        raise CommunicatorError(
+            f"unknown SPMD backend {backend!r}; expected one of {BACKENDS}")
+    if backend == "procs":
+        from .procs import run_spmd_procs
+        out = run_spmd_procs(
+            nprocs, program, *args, machine=machine, fault_plan=fault_plan,
+            recv_timeout=recv_timeout, collective_timeout=collective_timeout,
+            join_timeout=join_timeout, mp_context=mp_context, **kwargs)
+        _record_comm_perf(out)
+        return out
     if nprocs <= 0:
         raise CommunicatorError("nprocs must be positive")
     machine = machine or MachineModel()
     injector = fault_plan.build() if isinstance(fault_plan, FaultPlan) \
         else fault_plan
+    t_wall = time.perf_counter()
     state = _SharedState(nprocs=nprocs, machine=machine,
                          clocks=np.zeros(nprocs), injector=injector,
                          recv_timeout=float(recv_timeout),
-                         collective_timeout=float(collective_timeout))
+                         collective_timeout=float(collective_timeout),
+                         ledgers=[CommLedger() for _ in range(nprocs)])
     state.barrier = threading.Barrier(nprocs)
     results: list = [None] * nprocs
     errors: list = [None] * nprocs
+    comms: list = [None] * nprocs
 
     def runner(rank: int):
-        comm = SimComm(rank, state)
+        comm = comms[rank] = SimComm(rank, state)
         try:
             results[rank] = program(comm, *args, **kwargs)
         except BaseException as exc:  # noqa: BLE001 - must cross threads
@@ -412,18 +510,34 @@ def run_spmd(nprocs: int, program, *args, machine: MachineModel | None = None,
                for r in range(nprocs)]
     for t in threads:
         t.start()
+    deadline = time.monotonic() + float(join_timeout)
     for t in threads:
-        t.join(timeout=300.0)
+        t.join(timeout=max(deadline - time.monotonic(), 0.0))
     raised = [e for e in errors if e is not None]
+    stuck = [r for r, t in enumerate(threads) if t.is_alive()]
+    if stuck and not raised:
+        detail = ", ".join(
+            f"rank {r} at superstep "
+            f"{comms[r].superstep if comms[r] is not None else 0}"
+            for r in stuck)
+        raise CommTimeoutError(
+            f"run_spmd: {len(stuck)} rank(s) failed to join within "
+            f"{join_timeout:g}s ({detail})", timeout=float(join_timeout))
     if raised:
         raise min(raised, key=_error_priority)
 
     kernel_seconds: dict[str, float] = {}
     for (kname, _rank), secs in state.kernel_times.items():
         kernel_seconds[kname] = max(kernel_seconds.get(kname, 0.0), secs)
-    return {
+    out = {
         "results": results,
         "clocks": state.clocks.copy(),
         "elapsed": float(np.max(state.clocks)),
         "kernel_seconds": kernel_seconds,
+        "comm": summarize_ledgers(state.ledgers, backend="threads",
+                                  algo="flat"),
+        "backend": "threads",
+        "wall_seconds": time.perf_counter() - t_wall,
     }
+    _record_comm_perf(out)
+    return out

@@ -88,3 +88,34 @@ def per_rank_nnz_rows(row_nnz: np.ndarray, nprocs: int) -> np.ndarray:
     for r, (lo, hi) in enumerate(block_ranges(len(row_nnz), nprocs)):
         out[r] = int(np.sum(row_nnz[lo:hi]))
     return out
+
+
+def own_row_block(A, nprocs: int, rank: int) -> sp.csr_matrix:
+    """This rank's contiguous row block of ``A`` as a zero-copy CSR view.
+
+    Equal in values to ``partition_rows_csr(A, nprocs)[rank]`` but builds
+    only the caller's block and copies none of the nnz arrays
+    (:func:`repro.sparse.window.csr_row_window`) — under the shm-backed
+    process backend every rank windows the *same* physical input.
+    """
+    from ..sparse.window import csr_row_window
+    A = ensure_csr(A)
+    lo, hi = block_ranges(A.shape[0], nprocs)[rank]
+    return csr_row_window(A, lo, hi)
+
+
+def own_col_block(A, nprocs: int, rank: int, *, block: int | None = None
+                  ) -> tuple[sp.csc_matrix, np.ndarray]:
+    """This rank's block-cyclic column set of ``A`` (CSC) plus the global
+    column indices — ``partition_cols_csc(A, nprocs, block=...)`` restricted
+    to one rank, without assembling the other ``nprocs - 1`` blocks.
+
+    Column gathers are non-contiguous, so the local block is a copy (scipy
+    fancy indexing), but only of this rank's ``~nnz / P`` share.
+    """
+    A = ensure_csc(A)
+    n = A.shape[1]
+    block = block or max(1, int(np.ceil(n / nprocs)))
+    owner = cyclic_owner(n, nprocs, block)
+    idx = np.flatnonzero(owner == rank)
+    return A[:, idx], idx

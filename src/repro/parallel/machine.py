@@ -37,12 +37,29 @@ class MachineModel:
         Message latency in seconds (default 2e-6, typical InfiniBand).
     beta:
         Seconds per byte on the wire (default 8.3e-10 = 12 Gbit/s).
+    comm_algo:
+        Collective *transport* algorithm of the process backend:
+        ``"flat"`` (hub exchange, bitwise-identical to the thread
+        backend's barrier semantics) or ``"tree"`` (binomial-tree
+        bcast/gather plus a chunked ring allreduce; numerically
+        equivalent, different rounding order).  Modeled clock charges use
+        the :class:`CollectiveCosts` formulas either way — the algorithm
+        only changes which bytes actually cross the wire, as accounted in
+        the comm-volume ledger.  The thread backend moves no real bytes,
+        so it ignores this field (its ledger always reports flat traffic).
     """
 
     gamma_flop: float = 2.0e-10
     gamma_mem: float = 1.25e-10
     alpha: float = 2.0e-6
     beta: float = 8.3e-10
+    comm_algo: str = "flat"
+
+    def __post_init__(self):
+        if self.comm_algo not in ("flat", "tree"):
+            raise ValueError(
+                f"unknown comm_algo {self.comm_algo!r}; expected 'flat' "
+                "or 'tree'")
 
     def flops(self, count: float) -> float:
         """Seconds to execute ``count`` flops on one process."""

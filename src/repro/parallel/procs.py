@@ -1,0 +1,645 @@
+"""Process-per-rank SPMD backend: true multicore execution.
+
+``run_spmd(..., backend="procs")`` lands here.  One OS process per rank
+runs the *same* rank programs as the thread backend, with three
+differences under the hood:
+
+- the input matrix is distributed zero-copy through
+  :mod:`repro.parallel.shm` (one shared segment, per-rank windows are
+  views);
+- rank-to-rank messages travel over per-route pipes using the pickle-free
+  numpy buffer transport (:mod:`repro.parallel.transport`);
+- collectives are *algorithms over p2p messages* — flat hub exchange
+  (bitwise-identical to the thread backend's barrier semantics, the
+  default) or binomial-tree / chunked-ring transports
+  (:mod:`repro.parallel.collectives`), selected by
+  ``MachineModel.comm_algo``.
+
+Modeled clocks charge exactly the formulas the thread backend charges, so
+``clocks`` / ``elapsed`` / ``kernel_seconds`` are bitwise identical across
+backends; ``wall_seconds`` is where the backends differ — this one scales
+with real cores.
+
+Failure handling: a dying rank stamps its superstep into a small shared
+control block before exiting, so peers blocked in ``recv`` or a
+collective fail fast with :class:`~repro.exceptions.RankFailure` instead
+of waiting out their timeouts; the parent re-raises the most causal error
+(same priority rule as the thread backend) and always unlinks every
+shared-memory segment on the way out.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .. import exceptions as _exc
+from ..exceptions import CommTimeoutError, CommunicatorError, RankFailure
+from . import transport
+from .collectives import (
+    CommLedger,
+    ring_allreduce_sum,
+    summarize_ledgers,
+    tree_exchange,
+)
+from .faults import DROP, FaultInjector, FaultPlan
+from .machine import MachineModel
+from .shm import attach_untracked, publish_args, resolve_args, _fresh_name
+
+#: Collective-internal messages use this negative tag space (user tags are
+#: >= 0); the per-collective sequence number keeps frames distinguishable
+#: in logs — correctness only needs per-route FIFO, which pipes guarantee.
+_COLL_TAG_BASE = -1
+
+
+class _CtrlBlock:
+    """Shared int64 control block: ``[failed_superstep x P, superstep x P]``.
+
+    Single-writer-per-slot (each rank writes only its own two slots), so no
+    locking is needed.  A value >= 0 in the first half marks the rank dead.
+    """
+
+    def __init__(self, nprocs: int, name: str | None = None):
+        self.owner = name is None
+        if self.owner:
+            self.shm = shared_memory.SharedMemory(
+                create=True, size=16 * nprocs, name=_fresh_name())
+            self.arr = np.frombuffer(self.shm.buf, dtype=np.int64)
+            self.arr[:] = -1
+        else:
+            self.shm = attach_untracked(name)
+            self.arr = np.frombuffer(self.shm.buf, dtype=np.int64)
+        self.nprocs = nprocs
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def mark_failed(self, rank: int, superstep: int) -> None:
+        if self.arr[rank] < 0:
+            self.arr[rank] = superstep
+
+    def failed(self) -> dict[int, int]:
+        half = self.arr[:self.nprocs]
+        return {int(r): int(half[r]) for r in np.flatnonzero(half >= 0)}
+
+    def heartbeat(self, rank: int, superstep: int) -> None:
+        self.arr[self.nprocs + rank] = superstep
+
+    def superstep_of(self, rank: int) -> int:
+        return int(self.arr[self.nprocs + rank])
+
+    def close(self) -> None:
+        arr, self.arr = self.arr, None
+        del arr
+        try:
+            self.shm.close()
+        except BufferError:
+            return
+        if self.owner:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+class ProcComm:
+    """Per-rank communicator of the process backend.
+
+    Implements the same surface as :class:`repro.parallel.comm.SimComm`
+    (the rank programs are backend-agnostic) with identical modeled-time
+    semantics; see the module docstring for the transport differences.
+    """
+
+    def __init__(self, rank: int, nprocs: int, machine: MachineModel,
+                 channels: dict, send_conns: dict, ctrl: _CtrlBlock,
+                 injector: FaultInjector | None,
+                 recv_timeout: float, collective_timeout: float):
+        self.rank = rank
+        self.nprocs = nprocs
+        self.machine = machine
+        self._channels = channels          # src -> transport.Channel
+        self._send_conns = send_conns      # dst -> Connection
+        self._ctrl = ctrl
+        self._injector = injector
+        self._recv_timeout = float(recv_timeout)
+        self._collective_timeout = float(collective_timeout)
+        self._clock = 0.0
+        self._kernel: str | None = None
+        self._superstep = 0
+        self._coll_seq = 0
+        self.kernel_times: dict = {}       # (kernel, rank) -> seconds
+        self.ledger = CommLedger()
+
+    # -- introspection (SimComm-compatible) -----------------------------
+    @property
+    def superstep(self) -> int:
+        return self._superstep
+
+    def clock(self) -> float:
+        return float(self._clock)
+
+    # -- simulated-time charging ----------------------------------------
+    def charge(self, seconds: float) -> None:
+        self._clock += max(seconds, 0.0)
+        if self._kernel is not None:
+            key = (self._kernel, self.rank)
+            self.kernel_times[key] = \
+                self.kernel_times.get(key, 0.0) + max(seconds, 0.0)
+
+    def charge_flops(self, count: float) -> None:
+        self.charge(self.machine.flops(count))
+
+    def charge_mem(self, nbytes: float) -> None:
+        self.charge(self.machine.mem(nbytes))
+
+    def kernel(self, name: str) -> "ProcComm":
+        self._kernel = name
+        return self
+
+    # -- fault / superstep hook (mirrors SimComm._step) ------------------
+    def _step(self, op: str) -> None:
+        self._superstep += 1
+        self._ctrl.heartbeat(self.rank, self._superstep)
+        inj = self._injector
+        if inj is None:
+            return
+        try:
+            stall = inj.before_op(self.rank, self._superstep, op)
+        except RankFailure:
+            self._ctrl.mark_failed(self.rank, self._superstep)
+            raise
+        if stall:
+            self.charge(stall)
+
+    # -- channel protocol used by the collective algorithms ---------------
+    def payload_bytes(self, obj) -> float:
+        from .comm import _payload_bytes
+        return _payload_bytes(obj)
+
+    def ledger_record(self, op: str, nbytes: float, msgs: int = 1) -> None:
+        self.ledger.record(self._kernel, op, nbytes, msgs)
+
+    def coll_send(self, dst: int, payload) -> int:
+        tag = _COLL_TAG_BASE - self._coll_seq
+        return self._raw_send(dst, tag, payload, clock=self._clock)
+
+    def coll_recv(self, src: int):
+        tag = _COLL_TAG_BASE - self._coll_seq
+        env, obj = self._raw_recv(src, tag, self._collective_timeout,
+                                  op="collective")
+        return obj
+
+    # -- raw transport ----------------------------------------------------
+    def _raw_send(self, dst: int, tag: int, obj, *, clock: float) -> int:
+        conn = self._send_conns[dst]
+        frame = transport.encode(
+            {"tag": tag, "clock": clock, "src": self.rank}, obj)
+        conn.send_bytes(frame)
+        return len(frame)
+
+    def _raw_recv(self, src: int, tag: int, timeout: float, *, op: str):
+        """One blocking receive attempt; raises on dead peer or timeout."""
+        ch = self._channels[src]
+
+        def dead_check():
+            failed = self._ctrl.failed()
+            if src in failed:
+                raise RankFailure(
+                    f"{op} on rank {self.rank}: source rank {src} died at "
+                    f"superstep {failed[src]}", rank=src,
+                    superstep=failed[src])
+
+        got = ch.recv(tag, dead_check, timeout)
+        if got is None:
+            failed = self._ctrl.failed()
+            if failed:
+                dead = min(failed)
+                raise RankFailure(
+                    f"{op} aborted on rank {self.rank}: rank {dead} died "
+                    f"at superstep {failed[dead]}", rank=dead,
+                    superstep=failed[dead])
+            raise CommTimeoutError(
+                f"{op} on rank {self.rank} from rank {src} (tag {tag}) "
+                f"timed out after {timeout:g}s", src=src, dst=self.rank,
+                tag=tag, timeout=timeout)
+        return got
+
+    # -- generic collective -----------------------------------------------
+    def _collective(self, deposit, combine, comm_cost: float, *, op: str,
+                    root: int = 0, result_for=None):
+        """Flat / tree dispatch with thread-backend clock semantics.
+
+        ``combine(dep_dict)`` runs once on the hub over ``{rank: deposit}``
+        (rank-ordered consumption keeps flat bitwise-identical to the
+        thread barrier action); ``result_for(rank, combined)`` selects
+        per-rank return payloads (scatter/gather), default: everyone gets
+        the combined value.
+        """
+        self._step("collective")
+        seq_guard = self._coll_seq
+        try:
+            if self.nprocs == 1:
+                tmax = self._clock
+                combined = combine({self.rank: deposit})
+                result = (combined if result_for is None
+                          else result_for(self.rank, combined))
+            elif self.machine.comm_algo == "tree":
+                tmax, result = tree_exchange(
+                    self, op, self._clock, deposit,
+                    lambda items: combine(dict(enumerate(items))),
+                    root=root, result_for=result_for)
+            else:
+                tmax, result = self._flat_exchange(
+                    deposit, combine, op=op, root=root,
+                    result_for=result_for)
+        finally:
+            assert self._coll_seq == seq_guard
+            self._coll_seq += 1
+        self._clock = max(self._clock, tmax) if self.nprocs == 1 else tmax
+        self.charge(comm_cost)
+        return result
+
+    def _flat_exchange(self, deposit, combine, *, op: str, root: int,
+                       result_for):
+        """Hub exchange replicating the thread backend's barrier action."""
+        P = self.nprocs
+        if self.rank == root:
+            dep = {root: deposit}
+            clocks = {root: self._clock}
+            for r in range(P):
+                if r == root:
+                    continue
+                env, obj = self._raw_recv(r, _COLL_TAG_BASE - self._coll_seq,
+                                          self._collective_timeout, op=op)
+                dep[r] = obj
+                clocks[r] = float(env["clock"])
+            tmax = max(clocks.values())
+            combined = combine(dep)
+            total_out = 0.0
+            for r in range(P):
+                if r == root:
+                    continue
+                out_r = (combined if result_for is None
+                         else result_for(r, combined))
+                self._raw_send(r, _COLL_TAG_BASE - self._coll_seq,
+                               out_r, clock=tmax)
+                total_out += self.payload_bytes(out_r)
+            self.ledger_record(op, total_out, P - 1)
+            return tmax, (combined if result_for is None
+                          else result_for(root, combined))
+        self._raw_send(root, _COLL_TAG_BASE - self._coll_seq, deposit,
+                       clock=self._clock)
+        self.ledger_record(op, self.payload_bytes(deposit), 1)
+        env, result = self._raw_recv(root, _COLL_TAG_BASE - self._coll_seq,
+                                     self._collective_timeout, op=op)
+        return float(env["clock"]), result
+
+    # -- collectives (SimComm-compatible surface) --------------------------
+    def barrier_sync(self) -> None:
+        costs = self.machine.collectives
+        self._collective(None, lambda d: None,
+                         costs.bcast(0, self.nprocs), op="barrier")
+
+    def bcast(self, obj, root: int = 0):
+        from .comm import _payload_bytes
+        costs = self.machine.collectives
+        payload = obj if self.rank == root else None
+        out = self._collective(payload, lambda dep: dep[root], 0.0,
+                               op="bcast", root=root)
+        self.charge(costs.bcast(_payload_bytes(out), self.nprocs))
+        return out
+
+    def scatter(self, chunks: list | None, root: int = 0):
+        if self.rank == root and (chunks is None
+                                  or len(chunks) != self.nprocs):
+            raise CommunicatorError(
+                "scatter needs exactly one chunk per rank at the root")
+        costs = self.machine.collectives
+        # each rank receives its own chunk plus the full modeled total
+        # (the thread backend charges the scatter cost on the total size)
+        chunk, total = self._collective(
+            chunks if self.rank == root else None,
+            lambda dep: dep[root], 0.0, op="scatter", root=root,
+            result_for=lambda r, allc: (allc[r], _total(allc)))
+        self.charge(costs.scatter(total, self.nprocs))
+        return chunk
+
+    def gather(self, obj, root: int = 0) -> list | None:
+        costs = self.machine.collectives
+
+        def combine(dep):
+            return [dep[r] for r in range(self.nprocs)]
+
+        res = self._collective(
+            obj, combine, 0.0, op="gather", root=root,
+            result_for=lambda r, combined: (combined, _total(combined))
+            if r == root else (None, _total(combined)))
+        res, total = res
+        self.charge(costs.gather(total, self.nprocs))
+        return res
+
+    def allgather(self, obj) -> list:
+        from .comm import _payload_bytes
+        costs = self.machine.collectives
+
+        def combine(dep):
+            return [dep[r] for r in range(self.nprocs)]
+
+        res = self._collective(obj, combine, 0.0, op="allgather")
+        total = sum(_payload_bytes(c) for c in res)
+        self.charge(costs.allgather(total, self.nprocs))
+        return res
+
+    def allreduce_sum(self, arr: np.ndarray) -> np.ndarray:
+        from .comm import _payload_bytes
+        costs = self.machine.collectives
+        arr = np.asarray(arr)
+        if (self.machine.comm_algo == "tree" and self.nprocs > 1
+                and self.nprocs % 2 == 0 and arr.size >= self.nprocs):
+            self._step("collective")
+            try:
+                tmax, res = ring_allreduce_sum(
+                    self, "allreduce", self._clock, arr)
+            finally:
+                self._coll_seq += 1
+            self._clock = tmax
+            self.charge(0.0)
+        else:
+            def combine(dep):
+                out = None
+                for r in range(self.nprocs):
+                    out = (dep[r].copy() if out is None
+                           else out + dep[r])
+                return out
+
+            res = self._collective(arr, combine, 0.0, op="allreduce")
+        self.charge(costs.allreduce(_payload_bytes(res), self.nprocs))
+        return res.copy()
+
+    # -- point to point -----------------------------------------------------
+    def send(self, obj, dst: int, tag: int = 0) -> None:
+        from .comm import _payload_bytes
+        if not 0 <= dst < self.nprocs:
+            raise CommunicatorError(f"invalid destination rank {dst}")
+        self._step("send")
+        costs = self.machine.collectives
+        self.charge(costs.p2p(_payload_bytes(obj)))
+        self.ledger_record("send", self.payload_bytes(obj), 1)
+        if self._injector is not None:
+            obj = self._injector.filter_send(self.rank, dst, tag, obj)
+            if obj is DROP:
+                return  # lost on the wire: cost paid, nothing delivered
+        self._raw_send(dst, tag, obj, clock=self._clock)
+
+    def recv(self, src: int, tag: int = 0, *, timeout: float | None = None,
+             max_retries: int = 0, retry_backoff: float = 1e-3):
+        if not 0 <= src < self.nprocs:
+            raise CommunicatorError(f"invalid source rank {src}")
+        self._step("recv")
+        timeout = self._recv_timeout if timeout is None else float(timeout)
+        for attempt in range(max_retries + 1):
+            try:
+                env, obj = self._raw_recv(src, tag, timeout, op="recv")
+            except CommTimeoutError:
+                if attempt < max_retries:
+                    self.charge(retry_backoff * (2.0 ** attempt))
+                    continue
+                raise CommTimeoutError(
+                    f"recv on rank {self.rank} from rank {src} (tag {tag}) "
+                    f"timed out after {max_retries + 1} attempt(s) of "
+                    f"{timeout:g}s", src=src, dst=self.rank, tag=tag,
+                    timeout=timeout, retries=max_retries) from None
+            self._clock = max(self._clock, float(env["clock"]))
+            return obj
+
+
+def _total(items: list) -> float:
+    from .comm import _payload_bytes
+    return float(sum(_payload_bytes(c) for c in items))
+
+
+# ---------------------------------------------------------------------------
+# child process entry
+# ---------------------------------------------------------------------------
+
+def _exc_to_wire(exc: BaseException) -> dict:
+    attrs = {k: v for k, v in getattr(exc, "__dict__", {}).items()
+             if isinstance(v, (int, float, str, bool, type(None)))}
+    return {"type": type(exc).__name__, "message": str(exc),
+            "attrs": attrs}
+
+
+def _exc_from_wire(d: dict, rank: int) -> BaseException:
+    cls = getattr(_exc, d["type"], None)
+    if cls is None:
+        import builtins
+        cls = getattr(builtins, d["type"], None)
+    if cls is not None and isinstance(cls, type) \
+            and issubclass(cls, BaseException):
+        try:
+            return cls(d["message"], **d["attrs"])
+        except TypeError:
+            try:
+                return cls(d["message"])
+            except TypeError:
+                pass
+    return CommunicatorError(
+        f"rank {rank} failed: {d['type']}: {d['message']}")
+
+
+def _rank_main(rank: int, nprocs: int, program, args: tuple, kwargs: dict,
+               machine: MachineModel, plan: FaultPlan | None,
+               recv_timeout: float, collective_timeout: float,
+               recv_conns: dict, send_conns: dict, result_conn,
+               ctrl_name: str) -> None:
+    attached = []
+    ctrl = None
+    comm = None
+    try:
+        ctrl = _CtrlBlock(nprocs, name=ctrl_name)
+        args, attached = resolve_args(args)
+        channels = {src: transport.Channel(conn)
+                    for src, conn in recv_conns.items()}
+        injector = plan.build() if plan is not None else None
+        comm = ProcComm(rank, nprocs, machine, channels, send_conns, ctrl,
+                        injector, recv_timeout, collective_timeout)
+        result = program(comm, *args, **kwargs)
+        payload = {
+            "result": result,
+            "clock": comm.clock(),
+            "kernel_times": {k: v for (k, _r), v
+                             in comm.kernel_times.items()},
+            "ledger": comm.ledger.to_dict(),
+            "superstep": comm.superstep,
+        }
+        result_conn.send_bytes(transport.encode({"kind": "ok"}, payload))
+    except BaseException as exc:  # noqa: BLE001 - must cross processes
+        if ctrl is not None:
+            ctrl.mark_failed(rank, comm.superstep if comm else 0)
+        try:
+            result_conn.send_bytes(
+                transport.encode({"kind": "err"}, _exc_to_wire(exc)))
+        except OSError:
+            pass
+    finally:
+        for h in attached:
+            h.close()
+        if ctrl is not None:
+            ctrl.close()
+        try:
+            result_conn.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# parent driver
+# ---------------------------------------------------------------------------
+
+def _default_context() -> mp.context.BaseContext:
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_spmd_procs(nprocs: int, program, *args,
+                   machine: MachineModel | None = None,
+                   fault_plan: FaultPlan | FaultInjector | None = None,
+                   recv_timeout: float = 30.0,
+                   collective_timeout: float = 120.0,
+                   join_timeout: float = 300.0,
+                   mp_context: str | None = None,
+                   **kwargs) -> dict:
+    """Run ``program`` on ``nprocs`` OS processes (see module docstring).
+
+    Called through :func:`repro.parallel.comm.run_spmd` with
+    ``backend="procs"``; the signature mirrors the thread path.  Extra
+    knobs: ``join_timeout`` bounds the whole run in real time,
+    ``mp_context`` overrides the start method (default ``fork`` where
+    available — rank startup is milliseconds; ``spawn`` re-imports the
+    library per rank).
+    """
+    from .comm import _error_priority
+
+    if nprocs <= 0:
+        raise CommunicatorError("nprocs must be positive")
+    for bad in ("checkpoint_callback",):
+        if kwargs.get(bad) is not None:
+            raise CommunicatorError(
+                f"{bad} is not supported by the procs backend (rank "
+                "processes cannot call back into the parent); use "
+                "checkpoint_path instead")
+    machine = machine or MachineModel()
+    plan = fault_plan.plan if isinstance(fault_plan, FaultInjector) \
+        else fault_plan
+    ctx = mp.get_context(mp_context) if mp_context else _default_context()
+
+    t_wall = time.perf_counter()
+    shm_args, published = publish_args(args)
+    ctrl = _CtrlBlock(nprocs)
+    procs: list = []
+    result_conns: list = []
+    all_conns: list = []
+    try:
+        # one half-duplex pipe per ordered rank pair + one result pipe/rank
+        route_r: dict[tuple[int, int], object] = {}
+        route_w: dict[tuple[int, int], object] = {}
+        for s in range(nprocs):
+            for d in range(nprocs):
+                if s == d:
+                    continue
+                r_conn, w_conn = ctx.Pipe(duplex=False)
+                route_r[(s, d)] = r_conn
+                route_w[(s, d)] = w_conn
+                all_conns.extend([r_conn, w_conn])
+        for rank in range(nprocs):
+            pr, pw = ctx.Pipe(duplex=False)
+            result_conns.append(pr)
+            all_conns.extend([pr, pw])
+            recv_conns = {s: route_r[(s, rank)]
+                          for s in range(nprocs) if s != rank}
+            send_conns = {d: route_w[(rank, d)]
+                          for d in range(nprocs) if d != rank}
+            p = ctx.Process(
+                target=_rank_main,
+                args=(rank, nprocs, program, shm_args, kwargs, machine,
+                      plan, float(recv_timeout), float(collective_timeout),
+                      recv_conns, send_conns, pw, ctrl.name),
+                daemon=True)
+            procs.append(p)
+        for p in procs:
+            p.start()
+
+        reports: list = [None] * nprocs
+        errors: list = [None] * nprocs
+        pending = set(range(nprocs))
+        deadline = time.monotonic() + float(join_timeout)
+        while pending:
+            progressed = False
+            for rank in list(pending):
+                conn = result_conns[rank]
+                if conn.poll(0.01):
+                    env, payload = transport.decode(conn.recv_bytes())
+                    if env["kind"] == "ok":
+                        reports[rank] = payload
+                    else:
+                        errors[rank] = _exc_from_wire(payload, rank)
+                    pending.discard(rank)
+                    progressed = True
+                elif procs[rank].exitcode is not None:
+                    # died without reporting (hard crash / kill)
+                    errors[rank] = RankFailure(
+                        f"rank {rank} process exited with code "
+                        f"{procs[rank].exitcode} without reporting",
+                        rank=rank, superstep=ctrl.superstep_of(rank))
+                    ctrl.mark_failed(rank, max(ctrl.superstep_of(rank), 0))
+                    pending.discard(rank)
+                    progressed = True
+            if pending and not progressed and time.monotonic() > deadline:
+                stuck = sorted(pending)
+                detail = ", ".join(
+                    f"rank {r} at superstep {ctrl.superstep_of(r)}"
+                    for r in stuck)
+                raise CommTimeoutError(
+                    f"procs backend: {len(stuck)} rank(s) still running "
+                    f"after join timeout {join_timeout:g}s ({detail})",
+                    timeout=float(join_timeout))
+        raised = [e for e in errors if e is not None]
+        if raised:
+            raise min(raised, key=_error_priority)
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            if p.pid is not None:
+                p.join(timeout=5.0)
+        for conn in all_conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for shared in published:
+            shared.close()
+        ctrl.close()
+
+    clocks = np.array([rep["clock"] for rep in reports])
+    kernel_seconds: dict[str, float] = {}
+    for rank, rep in enumerate(reports):
+        for kname, secs in rep["kernel_times"].items():
+            kernel_seconds[kname] = max(kernel_seconds.get(kname, 0.0),
+                                        secs)
+    ledgers = [CommLedger.from_dict(rep["ledger"]) for rep in reports]
+    return {
+        "results": [rep["result"] for rep in reports],
+        "clocks": clocks,
+        "elapsed": float(np.max(clocks)),
+        "kernel_seconds": kernel_seconds,
+        "comm": summarize_ledgers(ledgers, backend="procs",
+                                  algo=machine.comm_algo),
+        "backend": "procs",
+        "wall_seconds": time.perf_counter() - t_wall,
+    }

@@ -43,6 +43,39 @@ class ScalingCurve:
         return self.nprocs[-1]
 
 
+def _fmt_bytes(b: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(b) < 1024.0 or unit == "GiB":
+            return f"{b:.1f}{unit}" if unit != "B" else f"{b:.0f}B"
+        b /= 1024.0
+    return f"{b:.1f}GiB"  # pragma: no cover
+
+
+def comm_volume_table(comm: dict, *, by: str = "op") -> str:
+    """Render the per-collective (or per-kernel) comm-volume ledger.
+
+    ``comm`` is the ``"comm"`` dict of a :func:`~repro.parallel.comm.
+    run_spmd` result (see :func:`~repro.parallel.collectives.
+    summarize_ledgers`): totals plus ``by_op`` / ``by_kernel`` breakdowns
+    of bytes put on the wire and message count, summed over ranks.
+    """
+    if by not in ("op", "kernel"):
+        raise ValueError("by must be 'op' or 'kernel'")
+    rows = comm.get(f"by_{by}", {})
+    head = (by.rjust(14) + "bytes sent".rjust(14) + "msgs".rjust(8)
+            + "avg msg".rjust(12))
+    lines = [f"comm volume [backend={comm.get('backend', '?')} "
+             f"algo={comm.get('algo', '?')}]", head, "-" * len(head)]
+    for name, entry in rows.items():
+        b, m = entry["bytes_sent"], entry["msgs"]
+        avg = _fmt_bytes(b / m) if m else "-"
+        lines.append(f"{name:>14s}{_fmt_bytes(b):>14s}{m:8d}{avg:>12s}")
+    lines.append(f"{'total':>14s}"
+                 f"{_fmt_bytes(comm.get('bytes_sent', 0.0)):>14s}"
+                 f"{comm.get('msgs', 0):8d}{'':>12s}")
+    return "\n".join(lines)
+
+
 def speedup_table(curves: list[ScalingCurve]) -> str:
     """Render aligned text: one row per process count, one column per curve."""
     if not curves:

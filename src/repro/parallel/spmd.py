@@ -23,7 +23,7 @@ from ..linalg.norms import fro_norm_sq
 from ..linalg.orth import orth
 from ..sparse.utils import ensure_csc, ensure_csr
 from .comm import SimComm
-from .distribution import block_ranges, partition_cols_csc, partition_rows_csr
+from .distribution import block_ranges, own_col_block, own_row_block
 from .kernels import par_qt_a, par_spmm_rowdist, par_tournament_columns, par_tsqr
 
 
@@ -75,7 +75,7 @@ def spmd_randqb_ei(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
     m, n = A.shape
     ranges = block_ranges(m, comm.nprocs)
     lo, hi = ranges[comm.rank]
-    A_local = partition_rows_csr(A, comm.nprocs)[comm.rank]
+    A_local = own_row_block(A, comm.nprocs, comm.rank)
     max_rank = min(max_rank or min(m, n), min(m, n))
     rng = np.random.default_rng(seed) if comm.rank == 0 else None
 
@@ -182,10 +182,10 @@ def spmd_lu_crtp(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
     checkpointing = (checkpoint_path is not None
                      or checkpoint_callback is not None)
     if resume_from is None:
-        blocks, idx_sets = partition_cols_csc(A, comm.nprocs,
-                                              block=max(2 * k, 1))
-        local = blocks[comm.rank].tocsc()
-        local_ids = idx_sets[comm.rank].astype(np.intp)
+        local, local_ids = own_col_block(A, comm.nprocs, comm.rank,
+                                         block=max(2 * k, 1))
+        local = local.tocsc()
+        local_ids = local_ids.astype(np.intp)
 
         a_fro_sq = float(comm.allreduce_sum(
             np.array([fro_norm_sq(local)]))[0])
@@ -330,7 +330,7 @@ def spmd_randubv(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
     m, n = A.shape
     ranges = block_ranges(m, comm.nprocs)
     lo, hi = ranges[comm.rank]
-    A_local = partition_rows_csr(A, comm.nprocs)[comm.rank]
+    A_local = own_row_block(A, comm.nprocs, comm.rank)
     max_rank = min(max_rank or min(m, n), min(m, n))
     rng = np.random.default_rng(seed) if comm.rank == 0 else None
 
@@ -403,6 +403,7 @@ def _rank_in(ids: np.ndarray, reference: np.ndarray) -> np.ndarray:
 def run_spmd_solver(method: str, A, nprocs: int, *, k: int = 16,
                     tol: float = 1e-2, power: int = 0, seed: int = 0,
                     max_rank: int | None = None, threshold: float = 0.0,
+                    backend: str = "threads", run_info: dict | None = None,
                     **run_kwargs):
     """Run one registered method on ``nprocs`` simulated ranks.
 
@@ -421,6 +422,11 @@ def run_spmd_solver(method: str, A, nprocs: int, *, k: int = 16,
       requires an explicit threshold since heuristic (24) needs the
       sequential pre-run.
 
+    ``backend`` selects the SPMD execution backend (``"threads"`` or
+    ``"procs"``, see :func:`repro.parallel.comm.run_spmd`); when the caller
+    passes a ``run_info`` dict it is filled in place with the run's
+    metadata (``backend``, ``comm`` volume summary, ``wall_seconds``,
+    modeled ``elapsed`` and ``kernel_seconds``) for reporting.
     ``run_kwargs`` pass through to ``run_spmd`` (``machine=``,
     ``fault_plan=``, ``recv_timeout=``, ...).
     """
@@ -428,12 +434,20 @@ def run_spmd_solver(method: str, A, nprocs: int, *, k: int = 16,
     from ..results import LUApproximation, QBApproximation, UBVApproximation
     from .comm import run_spmd
 
+    def finish(out: dict):
+        if run_info is not None:
+            for key in ("backend", "comm", "wall_seconds", "elapsed",
+                        "kernel_seconds"):
+                run_info[key] = out.get(key)
+        return out
+
     name = resolve_method(method)
     a_fro_sq = fro_norm_sq(A)
     a_fro = float(np.sqrt(a_fro_sq))
     if name == "randqb":
-        out = run_spmd(nprocs, spmd_randqb_ei, A, k=k, tol=tol, power=power,
-                       seed=seed, max_rank=max_rank, **run_kwargs)
+        out = finish(run_spmd(nprocs, spmd_randqb_ei, A, k=k, tol=tol,
+                              power=power, seed=seed, max_rank=max_rank,
+                              backend=backend, **run_kwargs))
         Q = np.vstack([r[0] for r in out["results"]])
         B = out["results"][0][1]
         K, converged = out["results"][0][2], out["results"][0][3]
@@ -442,8 +456,9 @@ def run_spmd_solver(method: str, A, nprocs: int, *, k: int = 16,
                                indicator=float(np.sqrt(e_sq)), a_fro=a_fro,
                                converged=bool(converged), Q=Q, B=B)
     if name == "ubv":
-        out = run_spmd(nprocs, spmd_randubv, A, k=k, tol=tol, seed=seed,
-                       max_rank=max_rank, **run_kwargs)
+        out = finish(run_spmd(nprocs, spmd_randubv, A, k=k, tol=tol,
+                              seed=seed, max_rank=max_rank, backend=backend,
+                              **run_kwargs))
         U = np.vstack([r[0] for r in out["results"]])
         _, B, V, K, converged = out["results"][0]
         e_sq = max(a_fro_sq - float(np.vdot(B, B).real), 0.0)
@@ -454,8 +469,9 @@ def run_spmd_solver(method: str, A, nprocs: int, *, k: int = 16,
         raise ValueError(
             "the SPMD ILUT route needs an explicit threshold (mu); "
             "heuristic (24) requires a sequential pre-run")
-    out = run_spmd(nprocs, spmd_lu_crtp, A, k=k, tol=tol, max_rank=max_rank,
-                   threshold=threshold, **run_kwargs)
+    out = finish(run_spmd(nprocs, spmd_lu_crtp, A, k=k, tol=tol,
+                          max_rank=max_rank, threshold=threshold,
+                          backend=backend, **run_kwargs))
     K, converged, rel = out["results"][0]
     res = LUApproximation(rank=int(K), tolerance=tol,
                           indicator=float(rel) * a_fro, a_fro=a_fro,

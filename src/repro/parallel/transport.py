@@ -1,0 +1,213 @@
+"""Pickle-free numpy buffer transport for the process backend.
+
+Messages between rank processes are framed as a compact JSON header plus
+the raw bytes of every array in the payload:
+
+- ``ndarray`` — dtype/shape descriptor + one contiguous buffer;
+- scipy CSR/CSC — descriptor + the three raw arrays (``data`` |
+  ``indices`` | ``indptr``), reassembled with the validation-free raw
+  constructors on the receiving side;
+- ``None`` / ``bool`` / ``int`` / ``float`` / ``str`` — inline in the
+  header;
+- ``tuple`` / ``list`` / ``dict`` (str/int keys) — recursive;
+- anything else (checkpoint RNG state, numpy scalars, dataclasses) —
+  a pickle *fallback buffer*, used only for small control-plane values so
+  the hot numeric payloads never round-trip through pickle.
+
+Every frame also carries a routing envelope (tag, sender's simulated
+clock, superstep) so the receiving communicator can demultiplex by tag
+and synchronize its modeled clock exactly like the thread backend does.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+from collections import deque
+
+import numpy as np
+import scipy.sparse as sp
+
+_LEN = struct.Struct("<I")
+
+
+# ---------------------------------------------------------------------------
+# codec
+# ---------------------------------------------------------------------------
+
+def _describe(obj, buffers: list) -> dict | list | int | float | str | None:
+    """Build the JSON-able descriptor of ``obj``, appending raw buffers."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        buffers.append(arr)
+        return {"~": "nd", "d": arr.dtype.str,
+                "s": list(arr.shape), "b": len(buffers) - 1}
+    if isinstance(obj, (sp.csr_matrix, sp.csc_matrix)):
+        i = len(buffers)
+        buffers.extend([np.ascontiguousarray(obj.data),
+                        np.ascontiguousarray(obj.indices),
+                        np.ascontiguousarray(obj.indptr)])
+        return {"~": obj.format, "s": list(obj.shape), "b": i,
+                "d": [obj.data.dtype.str, obj.indices.dtype.str,
+                      obj.indptr.dtype.str],
+                "n": [int(obj.data.size), int(obj.indices.size),
+                      int(obj.indptr.size)],
+                "o": bool(obj.has_sorted_indices)}
+    if sp.issparse(obj):  # exotic formats: normalize once, keep the format
+        return {"~": "sp", "f": obj.format,
+                "v": _describe(obj.tocsr(), buffers)}
+    if isinstance(obj, tuple):
+        return {"~": "tu", "v": [_describe(o, buffers) for o in obj]}
+    if isinstance(obj, list):
+        return {"~": "li", "v": [_describe(o, buffers) for o in obj]}
+    if isinstance(obj, dict) and all(
+            isinstance(k, (str, int)) for k in obj):
+        return {"~": "di",
+                "k": [[k, _describe(v, buffers)] for k, v in obj.items()]}
+    buffers.append(np.frombuffer(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL), dtype=np.uint8))
+    return {"~": "pkl", "b": len(buffers) - 1}
+
+
+def _rebuild(desc, buffers: list):
+    if not isinstance(desc, dict):
+        return desc
+    kind = desc["~"]
+    if kind == "nd":
+        arr = np.frombuffer(buffers[desc["b"]], dtype=np.dtype(desc["d"]))
+        return arr.reshape(desc["s"]).copy()  # writable, owned
+    if kind in ("csr", "csc"):
+        from ..sparse.utils import raw_csc, raw_csr
+        i = desc["b"]
+        dts, ns = desc["d"], desc["n"]
+        data, indices, indptr = (
+            np.frombuffer(buffers[i + j], dtype=np.dtype(dts[j]),
+                          count=ns[j]).copy() for j in range(3))
+        ctor = raw_csr if kind == "csr" else raw_csc
+        return ctor(data, indices, indptr, tuple(desc["s"]),
+                    sorted_indices=bool(desc["o"]))
+    if kind == "sp":
+        return _rebuild(desc["v"], buffers).asformat(desc["f"])
+    if kind == "tu":
+        return tuple(_rebuild(v, buffers) for v in desc["v"])
+    if kind == "li":
+        return [_rebuild(v, buffers) for v in desc["v"]]
+    if kind == "di":
+        return {k: _rebuild(v, buffers) for k, v in desc["k"]}
+    if kind == "pkl":
+        return pickle.loads(bytes(buffers[desc["b"]]))
+    raise ValueError(f"unknown transport descriptor kind {kind!r}")
+
+
+def encode(envelope: dict, obj) -> bytes:
+    """Serialize ``obj`` under a routing ``envelope`` into one frame.
+
+    Frame layout: ``<u32 header_len> header_json buffer_0 buffer_1 ...``
+    with per-buffer byte lengths recorded in the header.
+    """
+    buffers: list[np.ndarray] = []
+    desc = _describe(obj, buffers)
+    header = dict(envelope)
+    header["payload"] = desc
+    header["lens"] = [int(b.nbytes) for b in buffers]
+    hj = json.dumps(header, separators=(",", ":")).encode()
+    parts = [_LEN.pack(len(hj)), hj]
+    parts.extend(memoryview(b).cast("B") for b in buffers)
+    return b"".join(parts)
+
+
+def decode(frame: bytes) -> tuple[dict, object]:
+    """Inverse of :func:`encode`: returns ``(envelope, obj)``."""
+    view = memoryview(frame)
+    (hlen,) = _LEN.unpack_from(view, 0)
+    header = json.loads(bytes(view[4:4 + hlen]).decode())
+    buffers = []
+    offset = 4 + hlen
+    for n in header.pop("lens"):
+        buffers.append(view[offset:offset + n])
+        offset += n
+    desc = header.pop("payload")
+    return header, _rebuild(desc, buffers)
+
+
+def payload_nbytes(obj) -> float:
+    """Raw payload bytes :func:`encode` will ship for ``obj`` (no header).
+
+    Used for the comm-volume ledger; matches the modeled
+    :func:`repro.parallel.comm._payload_bytes` for arrays and sparse
+    matrices by construction.
+    """
+    if obj is None or isinstance(obj, (bool, str)):
+        return 0.0
+    if isinstance(obj, (int, float)):
+        return 8.0
+    if isinstance(obj, np.ndarray):
+        return float(obj.nbytes)
+    if sp.issparse(obj):
+        total = float(obj.data.nbytes)
+        for name in ("indices", "indptr", "row", "col", "offsets"):
+            part = getattr(obj, name, None)
+            if part is not None:
+                total += float(part.nbytes)
+        return total
+    if isinstance(obj, (tuple, list)):
+        return float(sum(payload_nbytes(o) for o in obj))
+    if isinstance(obj, dict):
+        return float(sum(payload_nbytes(o) for o in obj.values()))
+    return 64.0
+
+
+# ---------------------------------------------------------------------------
+# per-route channels
+# ---------------------------------------------------------------------------
+
+class Channel:
+    """Tag-demultiplexed receiver over one ordered byte connection.
+
+    One channel wraps the ``src -> dst`` half-pipe: the writer side sends
+    framed messages (:func:`encode`), the reader side returns them by tag,
+    buffering out-of-order tags in per-tag deques (the connection itself is
+    FIFO, but a rank may post sends for future tags before the receiver
+    asks for them — e.g. tournament rounds).
+    """
+
+    def __init__(self, conn):
+        self.conn = conn
+        self._pending: dict[int, deque] = {}
+
+    def send(self, envelope: dict, obj) -> int:
+        frame = encode(envelope, obj)
+        self.conn.send_bytes(frame)
+        return len(frame)
+
+    def recv(self, tag: int, deadline_poll, timeout: float):
+        """Blocking receive of the next message with ``tag``.
+
+        ``deadline_poll()`` runs between poll slices (dead-peer checks);
+        returns ``None`` on timeout so the caller owns the error message.
+        """
+        q = self._pending.get(tag)
+        if q:
+            return q.popleft()
+        waited = 0.0
+        poll = min(0.02, max(timeout / 20.0, 1e-4))
+        while waited < timeout:
+            deadline_poll()
+            if self.conn.poll(poll):
+                env, obj = decode(self.conn.recv_bytes())
+                if env["tag"] == tag:
+                    return env, obj
+                self._pending.setdefault(env["tag"],
+                                         deque()).append((env, obj))
+                continue  # a buffered frame costs no wait budget
+            waited += poll
+        return None
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass

@@ -339,14 +339,22 @@ class SolveService:
             return solver.solve(A)
 
     def _execute_spmd(self, req: SolveRequest, A):
-        """Route a ``nprocs > 1`` job through the simulated SPMD runtime."""
+        """Route a ``nprocs > 1`` job through the SPMD runtime (thread or
+        process backend, per ``req.backend``)."""
+        from ..api import get_spec
         from ..parallel import run_spmd_solver
 
+        if not get_spec(req.method).supports_backend(req.backend):
+            raise ServiceError(
+                f"method {req.method!r} has no SPMD route on backend "
+                f"{req.backend!r}")
         self.metrics.incr("spmd_jobs")
+        self.metrics.incr(f"spmd_jobs_{req.backend}")
         cfg = req.config
         extras = cfg.extras_dict()
         with perf.timer("service.solve_spmd"):
             return run_spmd_solver(
                 req.method, A, req.nprocs, k=cfg.k, tol=cfg.tol,
                 power=cfg.power, seed=cfg.seed, max_rank=cfg.max_rank,
-                threshold=float(extras.get("mu", 0.0) or 0.0))
+                threshold=float(extras.get("mu", 0.0) or 0.0),
+                backend=req.backend)

@@ -86,7 +86,9 @@ class SolveRequest:
     matrix object; ``method`` is any registry alias; ``priority`` is
     higher-runs-first; ``timeout`` the per-job budget in seconds
     (cooperatively enforced at block-iteration granularity);
-    ``nprocs > 1`` routes the job through the SPMD runtime;
+    ``nprocs > 1`` routes the job through the SPMD runtime and
+    ``backend`` selects its execution backend (``"threads"`` in-process,
+    ``"procs"`` one OS process per rank — true multicore);
     ``resume_from`` names an evicted job whose checkpoint to continue.
     """
 
@@ -96,6 +98,7 @@ class SolveRequest:
     priority: int = 0
     timeout: float | None = None
     nprocs: int = 1
+    backend: str = "threads"
     resume_from: str | None = None
 
     def __post_init__(self):
@@ -106,6 +109,10 @@ class SolveRequest:
             self.config = SolverConfig.from_dict(self.config)
         if self.nprocs < 1:
             raise ValueError("nprocs must be >= 1")
+        if self.backend not in ("threads", "procs"):
+            raise ValueError(
+                f"unknown SPMD backend {self.backend!r} "
+                "(choose threads | procs)")
         if self.timeout is not None and not self.timeout > 0:
             raise ValueError("timeout must be positive when given")
 
@@ -119,7 +126,7 @@ class SolveRequest:
         matrix_id = (self.matrix if isinstance(self.matrix, MatrixSpec)
                      else id(self.matrix))
         return (matrix_id, self.method, self.config.cache_key(),
-                self.nprocs)
+                self.nprocs, self.backend)
 
     def to_dict(self) -> dict:
         if not isinstance(self.matrix, MatrixSpec):
@@ -132,6 +139,7 @@ class SolveRequest:
             "priority": self.priority,
             "timeout": self.timeout,
             "nprocs": self.nprocs,
+            "backend": self.backend,
             "resume_from": self.resume_from,
         }
 
@@ -143,6 +151,7 @@ class SolveRequest:
                    priority=int(d.get("priority", 0)),
                    timeout=d.get("timeout"),
                    nprocs=int(d.get("nprocs", 1)),
+                   backend=d.get("backend", "threads"),
                    resume_from=d.get("resume_from"))
 
 

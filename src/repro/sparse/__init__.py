@@ -28,8 +28,9 @@ from .thresholding import (drop_small, drop_sorted_budget, DropResult,
 from .pattern import ata_pattern_degrees, column_counts
 from .spgemm import SpGEMMWorkspace, spgemm, spgemm_flops
 from .fillin import FillInTracker
-from .window import (dense_rows_to_csr, extract_leading_columns,
-                     gather_positions, permuted_blocks)
+from .window import (csr_row_window, dense_rows_to_csr,
+                     extract_leading_columns, gather_positions,
+                     permuted_blocks)
 
 __all__ = [
     "ensure_csc",
@@ -58,6 +59,7 @@ __all__ = [
     "spgemm",
     "spgemm_flops",
     "FillInTracker",
+    "csr_row_window",
     "dense_rows_to_csr",
     "extract_leading_columns",
     "gather_positions",

@@ -192,3 +192,27 @@ def extract_leading_columns(active: sp.csc_matrix, cols: np.ndarray
     return raw_csc(active.data[pos], active.indices[pos].astype(idx_dtype),
                    indptr.astype(idx_dtype),
                    (active.shape[0], len(cols)))
+
+
+def csr_row_window(A: sp.csr_matrix, lo: int, hi: int) -> sp.csr_matrix:
+    """Zero-copy CSR view of the contiguous row range ``[lo, hi)``.
+
+    ``data`` and ``indices`` are slices (views) of ``A``'s arrays — nothing
+    is copied except the ``hi - lo + 1`` rebased ``indptr`` entries.  This
+    is how the SPMD rank programs take their local row block out of the
+    shared-memory input matrix: the values are bitwise identical to
+    ``A[lo:hi]`` while touching none of the nnz arrays, so P ranks hold one
+    copy of the input between them instead of two.
+
+    The view shares mutable state with ``A``; callers must treat it as
+    read-only (the shm-backed input already is).
+    """
+    if not 0 <= lo <= hi <= A.shape[0]:
+        raise ValueError(f"row window [{lo}, {hi}) out of bounds for "
+                         f"{A.shape[0]} rows")
+    start, stop = int(A.indptr[lo]), int(A.indptr[hi])
+    indptr = A.indptr[lo:hi + 1] - A.indptr[lo]
+    return raw_csr(A.data[start:stop], A.indices[start:stop],
+                   indptr.astype(A.indptr.dtype, copy=False),
+                   (hi - lo, A.shape[1]),
+                   sorted_indices=bool(A.has_sorted_indices))
