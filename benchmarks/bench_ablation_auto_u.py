@@ -34,7 +34,7 @@ def test_auto_u_vs_oracle(benchmark, report):
         oracle_u = max(lu.iterations, 1)
         auto_u = estimate_iterations(A, k, TOL)
 
-        def run(u):
+        def run(u, *, k=k, A=A):
             return ILUT_CRTP(k=k, tol=TOL,
                              estimated_iterations=u).solve(A)
 

@@ -8,7 +8,6 @@ Quantifies why the paper picks RandQB_EI as the randomized representative:
 - RandUBV matches RandQB_EI p=0 work with usually fewer iterations.
 """
 
-import numpy as np
 
 from repro import randqb_ei, randubv
 from repro.analysis.tables import render_table

@@ -7,7 +7,6 @@ sides of the bound (hub-circuit: low fill; fluid analogue: heavy fill), and
 the measured sequential runtimes must agree with the predicate.
 """
 
-import numpy as np
 
 from repro.analysis.complexity import (
     lu_faster_than_randqb,

@@ -7,7 +7,6 @@ The heuristic should sit near the knee — aggressive enough to kill the
 fill, conservative enough never to trip the control or miss the tolerance.
 """
 
-import numpy as np
 
 from repro import ILUT_CRTP, lu_crtp
 from repro.analysis.tables import render_table

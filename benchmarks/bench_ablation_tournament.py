@@ -11,7 +11,6 @@ Compares, at equal tolerance on the same matrix:
   fragile.
 """
 
-import numpy as np
 
 from repro import LU_CRTP
 from repro.analysis.tables import render_table

@@ -13,7 +13,6 @@ two COLAMD ablations, and report
   *more* nonzeros.
 """
 
-import numpy as np
 import pytest
 
 from repro import ILUT_CRTP, LU_CRTP

@@ -5,7 +5,6 @@ matrix after each iteration for the M2-M5 analogues (the paper's four
 curves), plus the ILUT-thresholded counterpart to show the reduction.
 """
 
-import pytest
 
 from repro.analysis.tables import render_table
 

@@ -8,7 +8,6 @@ flop counters of our implementations against them.
 
 from __future__ import annotations
 
-import numpy as np
 
 
 def randqb_ei_flops(m: int, n: int, nnz: int, K: int, ibar: int,

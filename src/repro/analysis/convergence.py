@@ -43,7 +43,6 @@ def estimate_iterations(A, k: int, tol: float, *, probe_k: int | None = None,
         spectrum estimate extrapolates below it).
     """
     from ..core.randqb_ei import RandQB_EI
-    from ..matrices.spectra import effective_rank
 
     m, n = A.shape
     probe_k = probe_k or max(2 * k, 32)

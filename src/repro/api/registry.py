@@ -12,7 +12,7 @@ still works through a deprecation shim that warns once per process.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..exceptions import UnknownSolverError
 from .config import SolverConfig, constructor_kwargs

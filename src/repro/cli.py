@@ -22,7 +22,6 @@ import argparse
 import sys
 from pathlib import Path
 
-import numpy as np
 
 
 def _load_matrix(spec: str, scale: float):

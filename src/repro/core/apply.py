@@ -21,7 +21,6 @@ zero, and a preconditioner-quality approximation otherwise.
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..results import LUApproximation, QBApproximation, UBVApproximation
 from ..sparse.trisolve import block_upper_solve, sparse_lower_solve

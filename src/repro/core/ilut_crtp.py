@@ -24,7 +24,6 @@ import time
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.sparse as sp
 
 from .. import perf
 from ..exceptions import ConvergenceError, RankDeficiencyBreakdown

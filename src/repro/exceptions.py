@@ -77,6 +77,31 @@ class RankFailure(CommunicatorError):
         self.injected = injected
 
 
+class CollectiveMismatchError(CommunicatorError):
+    """Ranks issued *different* collectives at the same logical step.
+
+    Raised by the ``REPRO_SANITIZE=1`` collective-fingerprint sanitizer
+    (:mod:`repro.parallel.sanitize`) when the combining rank observes two
+    ranks disagreeing on the ``(kernel, op, root, call-site)`` of the
+    current collective — the failure the SPMD001 lint rule flags
+    statically, caught at runtime instead of deadlocking or silently
+    mixing payloads.  ``rank_a``/``site_a`` name one agreeing rank and
+    its call site, ``rank_b``/``site_b`` the divergent rank.
+    """
+
+    def __init__(self, message: str, *, rank_a: int | None = None,
+                 op_a: str | None = None, site_a: str | None = None,
+                 rank_b: int | None = None, op_b: str | None = None,
+                 site_b: str | None = None):
+        super().__init__(message)
+        self.rank_a = rank_a
+        self.op_a = op_a
+        self.site_a = site_a
+        self.rank_b = rank_b
+        self.op_b = op_b
+        self.site_b = site_b
+
+
 class CommTimeoutError(CommunicatorError):
     """A simulated ``recv`` (or retry sequence) exhausted its timeout.
 

@@ -23,7 +23,8 @@ try:  # scipy's C kernel, used directly to skip the symbolic sizing pass
 except ImportError:  # pragma: no cover - very old scipy
     _spt = None
 
-from .. import perf
+# guarded scipy-internal import above keeps this below the try block
+from .. import perf  # noqa: E402
 
 
 def _cross_gram_kernel(B1: sp.csc_matrix, B2: sp.csc_matrix) -> np.ndarray:

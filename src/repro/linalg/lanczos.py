@@ -11,7 +11,6 @@ as a test oracle.
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 
 def _small_svd(B: np.ndarray, engine: str):

@@ -1,0 +1,42 @@
+"""SPMD correctness lint: an AST static-analysis pass for the repro repo.
+
+The paper's parallel kernels (Alg. 5-7) assume bulk-synchronous lockstep:
+every rank issues the same collectives in the same order, never mutates
+the distributed matrix windows it was handed, and the solver hot paths
+stay bitwise deterministic.  This package machine-checks those invariants
+instead of trusting convention:
+
+- **SPMD001** ``collective-order`` — collectives under rank-dependent
+  control flow (deadlock / payload-mixing hazard);
+- **SPMD002** ``shared-view-mutation`` — in-place writes through shared
+  distribution views (cross-rank data-race hazard);
+- **SPMD003** ``determinism`` — nondeterminism sources inside the
+  bitwise-parity-pinned hot paths.
+
+Run ``python -m repro.lint src/`` (exit 1 on findings), or use
+:func:`lint_paths` / :func:`lint_source` programmatically.  Suppress a
+reviewed finding with ``# repro: noqa[SPMD001]`` on the flagged line.
+The complementary *runtime* sanitizers (collective fingerprinting and
+read-only shared views, enabled by ``REPRO_SANITIZE=1``) live in
+:mod:`repro.parallel.sanitize`; see ``docs/static_analysis.md``.
+"""
+
+from .findings import Finding
+from .framework import (
+    LintRule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register,
+    suppressed_lines,
+)
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "suppressed_lines",
+]

@@ -1,0 +1,139 @@
+"""Shared AST helpers for the SPMD lint rules.
+
+The rules need three recurring ingredients:
+
+- *which functions are SPMD kernels* — rank programs and helpers that take
+  the communicator as their first parameter (``def f(comm, ...)`` or a
+  parameter annotated ``SimComm`` / ``ProcComm``);
+- *which expressions are rank-dependent* — anything that reads the calling
+  rank (``comm.rank``, ``self.rank``, a bare ``rank`` name), because a
+  branch taken on such a value is the one place SPMD lockstep can diverge;
+- *parent links* — stock :mod:`ast` has none, and the collective rule
+  reasons about the enclosing branches of a call.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+#: Collective entry points of both communicator backends
+#: (:class:`repro.parallel.comm.SimComm`,
+#: :class:`repro.parallel.procs.ProcComm`) and the generic algorithms in
+#: :mod:`repro.parallel.collectives`.  ``send``/``recv`` are deliberately
+#: absent: point-to-point calls are *expected* to be rank-dependent.
+COLLECTIVE_METHODS = frozenset({
+    "bcast", "scatter", "gather", "allgather", "allreduce_sum",
+    "barrier_sync", "tree_exchange", "tree_gather", "tree_bcast",
+    "ring_allreduce_sum",
+})
+
+#: Parameter annotations that mark a communicator argument.
+COMM_ANNOTATIONS = frozenset({"SimComm", "ProcComm"})
+
+#: Names that read the calling rank.
+RANK_NAMES = frozenset({"rank", "local_rank", "my_rank"})
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Set a ``.parent`` attribute on every node below ``tree``."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child.parent = node  # type: ignore[attr-defined]
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk the parent chain (requires :func:`attach_parents`)."""
+    cur = getattr(node, "parent", None)
+    while cur is not None:
+        yield cur
+        cur = getattr(cur, "parent", None)
+
+
+def _annotation_name(ann: ast.expr | None) -> str | None:
+    if isinstance(ann, ast.Name):
+        return ann.id
+    if isinstance(ann, ast.Attribute):
+        return ann.attr
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        return ann.value.split(".")[-1].strip('"')
+    return None
+
+
+def comm_param(func: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    """The communicator parameter name of an SPMD kernel, or ``None``.
+
+    A function qualifies when its first non-``self`` positional parameter
+    is named ``comm`` or is annotated with a communicator type.
+    """
+    args = func.args.posonlyargs + func.args.args
+    if args and args[0].arg in ("self", "cls"):
+        args = args[1:]
+    if not args:
+        return None
+    first = args[0]
+    if first.arg == "comm":
+        return first.arg
+    if _annotation_name(first.annotation) in COMM_ANNOTATIONS:
+        return first.arg
+    return None
+
+
+def functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function definition in the module, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def reads_rank(node: ast.AST) -> bool:
+    """Does this expression read the calling rank?
+
+    Matches ``<anything>.rank`` attribute access and bare names from
+    :data:`RANK_NAMES` — the ways rank programs in this repository (and
+    the fixtures) spell rank dependence.
+    """
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in RANK_NAMES:
+            return True
+        if isinstance(sub, ast.Name) and sub.id in RANK_NAMES:
+            return True
+    return False
+
+
+def call_name(call: ast.Call) -> str | None:
+    """Trailing name of the called object (``a.b.c()`` -> ``"c"``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def receiver_name(call: ast.Call) -> str | None:
+    """Base variable of a method call (``comm.bcast()`` -> ``"comm"``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id
+    return None
+
+
+def enclosing_function(node: ast.AST) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """Nearest function definition above ``node`` (needs parent links)."""
+    for anc in ancestors(node):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return anc
+    return None
+
+
+def base_name(expr: ast.expr) -> str | None:
+    """Root variable of a name / attribute / subscript chain.
+
+    ``x`` -> ``x``; ``x.data`` -> ``x``; ``x.data[i:j]`` -> ``x``.
+    """
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None

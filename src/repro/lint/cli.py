@@ -1,0 +1,68 @@
+"""Command-line front end: ``python -m repro.lint [paths...]``.
+
+Exit status: 0 — clean; 1 — findings; 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from .framework import all_rules, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="SPMD correctness lint for the repro codebase "
+                    "(collective order, shared-view mutation, "
+                    "determinism).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, rule in all_rules().items():
+            print(f"{code}  {rule.name}")
+            print(f"    {rule.rationale}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [c.strip().upper() for c in args.select.split(",")
+                  if c.strip()]
+    try:
+        findings = lint_paths(args.paths, select=select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [f.to_dict() for f in findings],
+            "count": len(findings),
+        }, indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+        n = len(findings)
+        print(f"repro.lint: {n} finding(s)" if n else "repro.lint: clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

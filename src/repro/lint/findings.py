@@ -1,0 +1,37 @@
+"""Finding records produced by the :mod:`repro.lint` checkers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Ordered by ``(path, line, col, code)`` so reports are stable across
+    runs and dict-iteration order never leaks into the output.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str = field(compare=False)
+    symbol: str = field(default="", compare=False)  # enclosing function
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+    def render(self) -> str:
+        """Human-readable one-liner (``path:line:col: CODE message``)."""
+        where = f"{self.path}:{self.line}:{self.col}"
+        sym = f" [{self.symbol}]" if self.symbol else ""
+        return f"{where}: {self.code} {self.message}{sym}"

@@ -1,0 +1,148 @@
+"""Checker framework for the :mod:`repro.lint` static-analysis pass.
+
+A *rule* is a subclass of :class:`LintRule` registered with
+:func:`register`; it receives a parsed module and yields
+:class:`~repro.lint.findings.Finding` records.  The framework owns
+everything rule-independent: file discovery, parsing, the rule registry,
+and suppression.
+
+Suppression syntax (checked on the *flagged* line)::
+
+    risky_call()  # repro: noqa[SPMD001]
+    risky_call()  # repro: noqa[SPMD001,SPMD003]
+    risky_call()  # repro: noqa          (suppresses every rule)
+
+The marker is deliberately distinct from ruff/flake8's bare ``# noqa`` so
+the two tools never swallow each other's suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from collections.abc import Iterable, Iterator, Sequence
+
+from .findings import Finding
+
+#: ``# repro: noqa`` / ``# repro: noqa[CODE, CODE2]`` (case-insensitive).
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9_,\s]+)\])?", re.IGNORECASE)
+
+
+class LintRule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`code` / :attr:`name` / :attr:`rationale` and
+    implement :meth:`check`.  One instance is created per linted file, so
+    rules may keep per-file state freely.
+    """
+
+    #: Unique rule code, e.g. ``"SPMD001"``.
+    code: str = ""
+    #: Short kebab-case name, e.g. ``"collective-order"``.
+    name: str = ""
+    #: One-paragraph rationale shown by ``--list-rules``.
+    rationale: str = ""
+
+    def check(self, tree: ast.Module, path: str,
+              source: str) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, node: ast.AST, message: str, *, path: str,
+                symbol: str = "") -> Finding:
+        """Build a finding anchored at ``node``'s location."""
+        return Finding(path=path, line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       code=self.code, message=message, symbol=symbol)
+
+
+_REGISTRY: dict[str, type[LintRule]] = {}
+
+
+def register(rule_cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if rule_cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    _REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> dict[str, type[LintRule]]:
+    """Registered rules keyed by code (import-order independent)."""
+    from . import rules  # noqa: F401 - importing registers the rules
+    return dict(sorted(_REGISTRY.items()))
+
+
+def suppressed_lines(source: str) -> dict[int, frozenset[str] | None]:
+    """Map 1-based line numbers to suppressed codes.
+
+    ``None`` means *all* codes are suppressed on that line (bare
+    ``# repro: noqa``); a frozenset limits the suppression to its codes.
+    """
+    out: dict[int, frozenset[str] | None] = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        if "noqa" not in line:
+            continue
+        m = _NOQA_RE.search(line)
+        if m is None:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[i] = None
+        else:
+            out[i] = frozenset(c.strip().upper() for c in codes.split(",")
+                               if c.strip())
+    return out
+
+
+def _is_suppressed(finding: Finding,
+                   noqa: dict[int, frozenset[str] | None]) -> bool:
+    entry = noqa.get(finding.line, frozenset())
+    return entry is None or finding.code in entry
+
+
+def lint_source(source: str, path: str = "<string>", *,
+                select: Sequence[str] | None = None) -> list[Finding]:
+    """Run the registered rules over one source string."""
+    rules = all_rules()
+    if select is not None:
+        unknown = set(select) - set(rules)
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+        rules = {c: r for c, r in rules.items() if c in select}
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1, code="SPMD000",
+                        message=f"syntax error: {exc.msg}")]
+    noqa = suppressed_lines(source)
+    findings: list[Finding] = []
+    for rule_cls in rules.values():
+        for f in rule_cls().check(tree, path, source):
+            if not _is_suppressed(f, noqa):
+                findings.append(f)
+    return sorted(findings)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files beneath them."""
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            yield from sorted(q for q in p.rglob("*.py") if q.is_file())
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(paths: Sequence[str | Path], *,
+               select: Sequence[str] | None = None) -> list[Finding]:
+    """Lint every python file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        source = file.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, str(file), select=select))
+    return sorted(findings)

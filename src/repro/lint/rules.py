@@ -1,0 +1,9 @@
+"""Rule-module aggregator: importing this registers every built-in rule.
+
+New rule modules must be added to the import list below (see
+``docs/static_analysis.md`` — "Adding a rule").
+"""
+
+from . import rules_collectives, rules_determinism, rules_sharedviews
+
+__all__ = ["rules_collectives", "rules_determinism", "rules_sharedviews"]

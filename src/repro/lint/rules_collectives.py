@@ -1,0 +1,195 @@
+"""SPMD001 — collective-order / deadlock discipline.
+
+The SPMD kernels of Alg. 5-7 are bulk-synchronous: *every* rank must issue
+the *same* collectives in the *same* order, or the run deadlocks (a rank
+waits in a barrier nobody else entered) or silently mixes payloads from
+different logical collectives.  The process backend turns these into real
+hangs over pipes; the thread backend into barrier timeouts.
+
+This rule flags, inside SPMD kernel functions (first parameter ``comm``):
+
+- a collective call lexically inside a rank-dependent ``if``/``while``
+  branch or ``if``-expression arm;
+- a collective call inside a ``for`` loop over a rank-dependent iterable
+  (data-dependent trip counts diverge across ranks);
+- an early ``return`` under a rank-dependent condition that skips a
+  collective issued later in the function;
+- a ``break`` under a rank-dependent condition inside a loop that issues
+  collectives.
+
+A genuinely symmetric pattern (both branches issue matching collectives)
+still diverges the *call sites* the runtime sanitizer fingerprints, so it
+is flagged too — restructure so the collective is issued unconditionally,
+or suppress with ``# repro: noqa[SPMD001]`` after review.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from .astutil import (
+    COLLECTIVE_METHODS,
+    attach_parents,
+    comm_param,
+    functions,
+    reads_rank,
+    receiver_name,
+)
+from .findings import Finding
+from .framework import LintRule, register
+
+
+def walk_scope(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested ``def``s.
+
+    Comprehensions execute inline and are included; nested function and
+    lambda bodies run on their own call schedule and are linted as their
+    own scopes.
+    """
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _child_field(parent: ast.AST, node: ast.AST) -> str | None:
+    """Name of the field of ``parent`` whose subtree contains ``node``."""
+    for name, value in ast.iter_fields(parent):
+        if value is node:
+            return name
+        if isinstance(value, list) and any(
+                n is node or _contains(n, node) for n in value
+                if isinstance(n, ast.AST)):
+            return name
+        if isinstance(value, ast.AST) and _contains(value, node):
+            return name
+    return None
+
+
+def _contains(root: ast.AST, node: ast.AST) -> bool:
+    return any(sub is node for sub in ast.walk(root))
+
+
+def _collective_calls(func: ast.AST, comm: str) -> list[tuple[ast.Call, str]]:
+    calls = []
+    for node in walk_scope(func):
+        if isinstance(node, ast.Call) and receiver_name(node) == comm:
+            op = node.func.attr  # receiver_name() implies Attribute
+            if op in COLLECTIVE_METHODS:
+                calls.append((node, op))
+    return calls
+
+
+def _divergent_ancestor(call: ast.Call,
+                        func: ast.AST) -> tuple[ast.AST, str] | None:
+    """Nearest rank-dependent branch/loop enclosing ``call``, if any.
+
+    Returns ``(ancestor, why)``; only branches whose *taken* side contains
+    the call count (a collective inside an ``if``'s test runs on every
+    rank and is fine).
+    """
+    node: ast.AST = call
+    cur = getattr(node, "parent", None)
+    while cur is not None and cur is not func:
+        if isinstance(cur, (ast.If, ast.While)):
+            field = _child_field(cur, node)
+            if field in ("body", "orelse") and reads_rank(cur.test):
+                kind = "while" if isinstance(cur, ast.While) else "if"
+                return cur, f"rank-dependent '{kind}' (line {cur.lineno})"
+        elif isinstance(cur, ast.IfExp):
+            field = _child_field(cur, node)
+            if field in ("body", "orelse") and reads_rank(cur.test):
+                return cur, (f"rank-dependent conditional expression "
+                             f"(line {cur.lineno})")
+        elif isinstance(cur, ast.For):
+            field = _child_field(cur, node)
+            if field in ("body", "orelse") and reads_rank(cur.iter):
+                return cur, (f"'for' loop over a rank-dependent iterable "
+                             f"(line {cur.lineno})")
+        node, cur = cur, getattr(cur, "parent", None)
+    return None
+
+
+def _rank_guarded(node: ast.AST, func: ast.AST) -> ast.AST | None:
+    """Nearest rank-dependent ``if`` whose taken side contains ``node``."""
+    prev: ast.AST = node
+    cur = getattr(node, "parent", None)
+    while cur is not None and cur is not func:
+        if isinstance(cur, (ast.If, ast.IfExp)):
+            field = _child_field(cur, prev)
+            if field in ("body", "orelse") and reads_rank(cur.test):
+                return cur
+        prev, cur = cur, getattr(cur, "parent", None)
+    return None
+
+
+def _enclosing_loop(node: ast.AST, func: ast.AST) -> ast.AST | None:
+    cur = getattr(node, "parent", None)
+    while cur is not None and cur is not func:
+        if isinstance(cur, (ast.For, ast.While)):
+            return cur
+        cur = getattr(cur, "parent", None)
+    return None
+
+
+@register
+class CollectiveOrderRule(LintRule):
+    code = "SPMD001"
+    name = "collective-order"
+    rationale = (
+        "Collectives issued under rank-dependent control flow break SPMD "
+        "lockstep: some ranks enter a collective others never issue, which "
+        "deadlocks the procs backend (pipes) and times out the thread "
+        "backend, or mixes payloads across logical collectives.")
+
+    def check(self, tree: ast.Module, path: str,
+              source: str) -> Iterable[Finding]:
+        attach_parents(tree)
+        for func in functions(tree):
+            comm = comm_param(func)
+            if comm is None:
+                continue
+            calls = _collective_calls(func, comm)
+            for call, op in calls:
+                hit = _divergent_ancestor(call, func)
+                if hit is not None:
+                    _, why = hit
+                    yield self.finding(
+                        call, f"collective '{op}' inside {why}: all ranks "
+                        f"must issue the same collectives in the same "
+                        f"order", path=path, symbol=func.name)
+            for node in walk_scope(func):
+                if isinstance(node, ast.Return):
+                    guard = _rank_guarded(node, func)
+                    if guard is None:
+                        continue
+                    later = [(c, op) for c, op in calls
+                             if c.lineno > node.lineno]
+                    if later:
+                        c, op = min(later, key=lambda x: x[0].lineno)
+                        yield self.finding(
+                            node, f"early return under rank-dependent "
+                            f"condition (line {guard.lineno}) skips "
+                            f"collective '{op}' at line {c.lineno}",
+                            path=path, symbol=func.name)
+                elif isinstance(node, ast.Break):
+                    guard = _rank_guarded(node, func)
+                    if guard is None:
+                        continue
+                    loop = _enclosing_loop(node, func)
+                    if loop is None:
+                        continue
+                    inside = [(c, op) for c, op in calls
+                              if _contains(loop, c)]
+                    if inside:
+                        c, op = min(inside, key=lambda x: x[0].lineno)
+                        yield self.finding(
+                            node, f"'break' under rank-dependent condition "
+                            f"(line {guard.lineno}) can skip collective "
+                            f"'{op}' at line {c.lineno}", path=path,
+                            symbol=func.name)

@@ -1,0 +1,216 @@
+"""SPMD002 — shared-view mutation discipline.
+
+Under the process backend the input matrix lives in one
+``multiprocessing.shared_memory`` segment; every rank's "local block" is a
+zero-copy *view* into the same physical pages
+(:func:`repro.sparse.window.csr_row_window`,
+:func:`repro.parallel.distribution.own_row_block`).  Under the thread
+backend the blocks alias the caller's matrix directly.  An in-place write
+through such a view therefore corrupts *every other rank's input* (and
+the caller's matrix) — the nastiest possible failure: no crash, just
+wrong factors.
+
+This rule taints variables assigned from the distribution/view
+constructors (``shm.attach`` / ``SharedMatrix.attach``,
+``csr_row_window``, ``own_row_block`` / ``own_col_block``, ``raw_csr`` /
+``raw_csc``) and flags in-place mutation through them:
+
+- augmented assignment (``x += ...``, ``x.data *= ...``);
+- element/slice assignment (``x[i, j] = ...``, ``x.data[mask] = 0``);
+- attribute assignment (``x.data = ...``);
+- mutating method calls (``.sort()``, ``.sort_indices()``,
+  ``.eliminate_zeros()``, ``.setdiag()``, ...);
+- ``out=`` arguments aiming a numpy ufunc at the view.
+
+Taint propagates through aliasing, ``.data/.indices/.indptr`` access,
+basic slices (views), and the scipy conversions that may return ``self``
+(``.tocsc()``/``.tocsr()``/``.asformat()``); fancy indexing and
+arithmetic produce fresh arrays and clear it.  Escape hatch:
+:func:`repro.sparse.window.copy_for_write` makes an explicitly writable
+deep copy.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from .astutil import base_name, call_name, functions
+from .findings import Finding
+from .framework import LintRule, register
+
+#: Calls whose result is (or may alias) a shared distribution view.
+VIEW_SOURCES = frozenset({
+    "attach", "csr_row_window", "own_row_block", "own_col_block",
+    "raw_csr", "raw_csc",
+})
+
+#: Methods that may return ``self`` or a view of the receiver.
+PROPAGATING_METHODS = frozenset({
+    "tocsc", "tocsr", "asformat", "transpose", "reshape", "view", "ravel",
+})
+
+#: Attributes that expose the underlying buffers of a sparse view.
+VIEW_ATTRS = frozenset({"data", "indices", "indptr", "T", "matrix"})
+
+#: In-place mutators on ndarrays / scipy matrices.
+MUTATING_METHODS = frozenset({
+    "sort", "sort_indices", "sum_duplicates", "eliminate_zeros",
+    "setdiag", "resize", "fill", "put", "prune", "partial_sort",
+})
+
+#: Explicit escape hatch: the result is a writable deep copy.
+CLEARING_CALLS = frozenset({"copy_for_write", "copy", "deepcopy", "array"})
+
+
+class _TaintScanner:
+    """Linear statement-order taint scan of one function body."""
+
+    def __init__(self, rule: LintRule, path: str, symbol: str):
+        self.rule = rule
+        self.path = path
+        self.symbol = symbol
+        self.tainted: set[str] = set()
+        self.findings: list[Finding] = []
+
+    # -- expression taint --------------------------------------------------
+    def expr_tainted(self, expr: ast.expr | None) -> bool:
+        if expr is None:
+            return False
+        if isinstance(expr, ast.Name):
+            return expr.id in self.tainted
+        if isinstance(expr, ast.Call):
+            name = call_name(expr)
+            if name in CLEARING_CALLS:
+                return False
+            if name in VIEW_SOURCES:
+                return True
+            if (name in PROPAGATING_METHODS
+                    and isinstance(expr.func, ast.Attribute)):
+                return self.expr_tainted(expr.func.value)
+            return False
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in VIEW_ATTRS:
+                return self.expr_tainted(expr.value)
+            return False
+        if isinstance(expr, ast.Subscript):
+            if not self.expr_tainted(expr.value):
+                return False
+            return _is_basic_slice(expr.slice)
+        if isinstance(expr, ast.IfExp):
+            return self.expr_tainted(expr.body) or self.expr_tainted(
+                expr.orelse)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return any(self.expr_tainted(e) for e in expr.elts)
+        return False
+
+    # -- statement walk ----------------------------------------------------
+    def run(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._block(func.body)
+
+    def _block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        self._scan_calls(stmt)
+        if isinstance(stmt, ast.Assign):
+            value_tainted = self.expr_tainted(stmt.value)
+            for target in stmt.targets:
+                self._assign_target(target, value_tainted, stmt)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign_target(stmt.target, self.expr_tainted(stmt.value),
+                                stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            name = base_name(stmt.target)
+            if name in self.tainted or self.expr_tainted(
+                    _strip_store(stmt.target)):
+                self._flag(stmt, f"in-place augmented assignment mutates "
+                           f"shared distribution view '{name}'")
+        elif isinstance(stmt, (ast.If, ast.For, ast.While)):
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._block(stmt.body)
+            for handler in stmt.handlers:
+                self._block(handler.body)
+            self._block(stmt.orelse)
+            self._block(stmt.finalbody)
+
+    def _assign_target(self, target: ast.expr, value_tainted: bool,
+                       stmt: ast.stmt) -> None:
+        if isinstance(target, ast.Name):
+            if value_tainted:
+                self.tainted.add(target.id)
+            else:
+                self.tainted.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign_target(elt, value_tainted, stmt)
+        elif isinstance(target, ast.Subscript):
+            if self.expr_tainted(target.value):
+                name = base_name(target)
+                self._flag(stmt, f"element assignment writes into shared "
+                           f"distribution view '{name}'")
+        elif isinstance(target, ast.Attribute):
+            if self.expr_tainted(target.value):
+                name = base_name(target)
+                self._flag(stmt, f"attribute assignment mutates shared "
+                           f"distribution view '{name}'")
+
+    def _scan_calls(self, stmt: ast.stmt) -> None:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if (name in MUTATING_METHODS
+                    and isinstance(node.func, ast.Attribute)
+                    and self.expr_tainted(node.func.value)):
+                base = base_name(node.func)
+                self._flag(node, f"call to mutating method '.{name}()' on "
+                           f"shared distribution view '{base}'")
+            for kw in node.keywords:
+                if kw.arg == "out" and self.expr_tainted(kw.value):
+                    base = base_name(kw.value)
+                    self._flag(node, f"'out=' aims an in-place operation "
+                               f"at shared distribution view '{base}'")
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(self.rule.finding(
+            node, message + " (use copy_for_write() for a private copy)",
+            path=self.path, symbol=self.symbol))
+
+
+def _is_basic_slice(sl: ast.expr) -> bool:
+    """Basic (view-producing) numpy indexing: slices and constant ints."""
+    if isinstance(sl, ast.Slice):
+        return True
+    if isinstance(sl, ast.Constant) and isinstance(sl.value, int):
+        return True
+    if isinstance(sl, ast.Tuple):
+        return all(_is_basic_slice(e) for e in sl.elts)
+    return False
+
+
+def _strip_store(expr: ast.expr) -> ast.expr:
+    """The read counterpart of an augmented-assignment target."""
+    return expr
+
+
+@register
+class SharedViewMutationRule(LintRule):
+    code = "SPMD002"
+    name = "shared-view-mutation"
+    rationale = (
+        "Per-rank matrix blocks are zero-copy views into shared memory "
+        "(procs backend) or the caller's matrix (thread backend); writing "
+        "through one corrupts every other rank's input without raising.")
+
+    def check(self, tree: ast.Module, path: str,
+              source: str) -> Iterable[Finding]:
+        for func in functions(tree):
+            scanner = _TaintScanner(self, path, func.name)
+            scanner.run(func)
+            yield from scanner.findings

@@ -21,7 +21,7 @@ M6     circuit5M_dc      circuit simulation       largest, hub-dominated
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 import scipy.sparse as sp
 

@@ -234,8 +234,8 @@ def tree_exchange(ch, op: str, clock: float, deposit, combine,
     return tmax, result
 
 
-def ring_allreduce_sum(ch, op: str, clock: float,
-                       arr: np.ndarray) -> tuple[float, np.ndarray]:
+def ring_allreduce_sum(ch, op: str, clock: float, arr: np.ndarray,
+                       fp: tuple | None = None) -> tuple[float, np.ndarray]:
     """Chunked ring allreduce: reduce-scatter then allgather.
 
     Splits the flattened array into ``P`` near-equal segments; after
@@ -247,6 +247,12 @@ def ring_allreduce_sum(ch, op: str, clock: float,
     Requires an even ring (``P`` even) so the alternating send/recv parity
     that keeps pipe-backed transports deadlock-free covers every link; the
     caller falls back to the tree algorithm otherwise.
+
+    ``fp`` (the ``REPRO_SANITIZE=1`` collective fingerprint) rides along
+    with every exchanged segment; each rank checks its predecessor's
+    fingerprint against its own and raises
+    :class:`~repro.exceptions.CollectiveMismatchError` on divergence.
+    The ledger only ever counts the segment bytes, fingerprint or not.
     """
     P = ch.nprocs
     flat = np.ascontiguousarray(arr).reshape(-1)
@@ -257,6 +263,8 @@ def ring_allreduce_sum(ch, op: str, clock: float,
     send_first = ch.rank % 2 == 0
 
     def swap(payload):
+        if fp is not None:
+            payload = payload + (fp,)
         if send_first:
             ch.coll_send(nxt, payload)
             got = ch.coll_recv(prv)
@@ -264,7 +272,11 @@ def ring_allreduce_sum(ch, op: str, clock: float,
             got = ch.coll_recv(prv)
             ch.coll_send(nxt, payload)
         ch.ledger_record(op, ch.payload_bytes(payload[1]), 1)
-        return got
+        if fp is not None and len(got) > 2:
+            from .sanitize import comparable, mismatch_error
+            if comparable(got[2]) != comparable(fp):
+                raise mismatch_error(prv, tuple(got[2]), ch.rank, tuple(fp))
+        return got[0], got[1]
 
     # reduce-scatter: at step s, forward segment (rank - s) and fold the
     # incoming segment (rank - s - 1) into the local partial

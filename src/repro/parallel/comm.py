@@ -27,7 +27,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..exceptions import CommTimeoutError, CommunicatorError, RankFailure
+from ..exceptions import (
+    CollectiveMismatchError,
+    CommTimeoutError,
+    CommunicatorError,
+    RankFailure,
+)
+from . import sanitize
 from .collectives import CommLedger, summarize_ledgers
 from .faults import DROP, FaultInjector, FaultPlan
 from .machine import MachineModel
@@ -67,6 +73,7 @@ class _SharedState:
     collective_timeout: float = DEFAULT_COLLECTIVE_TIMEOUT
     failed_ranks: dict = field(default_factory=dict)  # rank -> superstep
     ledgers: list = field(default_factory=list)  # per-rank CommLedger
+    sanitize_error: BaseException | None = None  # first sanitizer trip
 
     def queue_for(self, src: int, dst: int, tag: int) -> queue.Queue:
         key = (src, dst, tag)
@@ -176,10 +183,25 @@ class SimComm:
         A participant that died (injected crash or any uncaught error)
         breaks the barrier; survivors fail fast with a :class:`RankFailure`
         naming the dead rank instead of hanging.
+
+        Under ``REPRO_SANITIZE=1`` each deposit additionally carries a
+        ``(kernel, op, root, call-site)`` fingerprint; the combining rank
+        verifies all ranks issued the *same* collective and raises
+        :class:`~repro.exceptions.CollectiveMismatchError` otherwise (see
+        :mod:`repro.parallel.sanitize`).  The ledger keeps recording the
+        unwrapped payload sizes, so sanitized runs stay byte-identical.
         """
         self._step("collective")
         state = self._state
-        state.slot.setdefault("in", {})[self.rank] = deposit
+        entry, combine_fn = deposit, combine
+        if sanitize.enabled():
+            fp = sanitize.fingerprint(self._kernel, op, root)
+            entry = sanitize.wrap(fp, deposit)
+
+            def combine_fn(dep):
+                return combine(sanitize.check_fingerprints(dep))
+
+        state.slot.setdefault("in", {})[self.rank] = entry
         try:
             idx = state.barrier.wait(timeout=state.collective_timeout)
         except threading.BrokenBarrierError as exc:
@@ -189,7 +211,13 @@ class SimComm:
             with state.clock_lock:
                 tmax = float(np.max(state.clocks))
                 state.clocks[:] = tmax
-            state.slot["out"] = combine(state.slot["in"])
+            try:
+                state.slot["out"] = combine_fn(state.slot["in"])
+            except CollectiveMismatchError as exc:
+                # peers blocked on the second barrier should report the
+                # mismatch too, not a generic broken-barrier RankFailure
+                state.sanitize_error = exc
+                raise
             state.slot["in"] = {}
         try:
             state.barrier.wait(timeout=state.collective_timeout)
@@ -214,8 +242,11 @@ class SimComm:
         return result
 
     def _collective_failure(self) -> CommunicatorError:
-        """Typed error for a broken collective: name the dead rank if the
-        break was caused by a failure, generic abort otherwise."""
+        """Typed error for a broken collective: the sanitizer's mismatch if
+        one tripped, else name the dead rank if the break was caused by a
+        failure, generic abort otherwise."""
+        if self._state.sanitize_error is not None:
+            return self._state.sanitize_error
         dead = self._state.any_failed()
         if dead is not None:
             return RankFailure(
@@ -391,6 +422,10 @@ def _payload_bytes(obj) -> float:
             if part is not None:
                 total += float(part.nbytes)
         return total
+    if sanitize.is_wrapped(obj):
+        # sanitizer fingerprint wrappers are free on the ledger, so
+        # REPRO_SANITIZE=1 runs report byte-identical comm volumes
+        return _payload_bytes(obj[2])
     if isinstance(obj, (list, tuple)):
         return float(sum(_payload_bytes(o) for o in obj))
     if isinstance(obj, (int, float, np.integer, np.floating)):
@@ -400,18 +435,21 @@ def _payload_bytes(obj) -> float:
 
 def _error_priority(exc: BaseException) -> int:
     """Rank the per-thread errors of one run so the most *causal* one is
-    re-raised: the injected crash first, then genuine program errors, then
-    the secondary failures healthy ranks observe (dead peer, lost message),
-    then generic aborted-collective noise."""
+    re-raised: the injected crash first, then a sanitizer-detected
+    collective mismatch, then genuine program errors, then the secondary
+    failures healthy ranks observe (dead peer, lost message), then generic
+    aborted-collective noise."""
     if isinstance(exc, RankFailure) and exc.injected:
         return 0
-    if not isinstance(exc, CommunicatorError):
+    if isinstance(exc, CollectiveMismatchError):
         return 1
-    if isinstance(exc, RankFailure):
+    if not isinstance(exc, CommunicatorError):
         return 2
-    if isinstance(exc, CommTimeoutError):
+    if isinstance(exc, RankFailure):
         return 3
-    return 4
+    if isinstance(exc, CommTimeoutError):
+        return 4
+    return 5
 
 
 def _record_comm_perf(out: dict) -> None:

@@ -38,7 +38,7 @@ import numpy as np
 
 from .. import exceptions as _exc
 from ..exceptions import CommTimeoutError, CommunicatorError, RankFailure
-from . import transport
+from . import sanitize, transport
 from .collectives import (
     CommLedger,
     ring_allreduce_sum,
@@ -238,23 +238,36 @@ class ProcComm:
         thread barrier action); ``result_for(rank, combined)`` selects
         per-rank return payloads (scatter/gather), default: everyone gets
         the combined value.
+
+        Under ``REPRO_SANITIZE=1`` deposits ride the wire with a
+        ``(kernel, op, root, call-site)`` fingerprint the combining rank
+        verifies — see :mod:`repro.parallel.sanitize`.  The ledger treats
+        the wrapper as free, so sanitized ledgers stay byte-identical.
         """
         self._step("collective")
+        entry, combine_fn = deposit, combine
+        if sanitize.enabled():
+            fp = sanitize.fingerprint(self._kernel, op, root)
+            entry = sanitize.wrap(fp, deposit)
+
+            def combine_fn(dep):
+                return combine(sanitize.check_fingerprints(dep))
+
         seq_guard = self._coll_seq
         try:
             if self.nprocs == 1:
                 tmax = self._clock
-                combined = combine({self.rank: deposit})
+                combined = combine_fn({self.rank: entry})
                 result = (combined if result_for is None
                           else result_for(self.rank, combined))
             elif self.machine.comm_algo == "tree":
                 tmax, result = tree_exchange(
-                    self, op, self._clock, deposit,
-                    lambda items: combine(dict(enumerate(items))),
+                    self, op, self._clock, entry,
+                    lambda items: combine_fn(dict(enumerate(items))),
                     root=root, result_for=result_for)
             else:
                 tmax, result = self._flat_exchange(
-                    deposit, combine, op=op, root=root,
+                    entry, combine_fn, op=op, root=root,
                     result_for=result_for)
         finally:
             assert self._coll_seq == seq_guard
@@ -361,9 +374,11 @@ class ProcComm:
         if (self.machine.comm_algo == "tree" and self.nprocs > 1
                 and self.nprocs % 2 == 0 and arr.size >= self.nprocs):
             self._step("collective")
+            fp = (sanitize.fingerprint(self._kernel, "allreduce", 0)
+                  if sanitize.enabled() else None)
             try:
                 tmax, res = ring_allreduce_sum(
-                    self, "allreduce", self._clock, arr)
+                    self, "allreduce", self._clock, arr, fp=fp)
             finally:
                 self._coll_seq += 1
             self._clock = tmax
@@ -628,7 +643,7 @@ def run_spmd_procs(nprocs: int, program, *args,
 
     clocks = np.array([rep["clock"] for rep in reports])
     kernel_seconds: dict[str, float] = {}
-    for rank, rep in enumerate(reports):
+    for rep in reports:
         for kname, secs in rep["kernel_times"].items():
             kernel_seconds[kname] = max(kernel_seconds.get(kname, 0.0),
                                         secs)

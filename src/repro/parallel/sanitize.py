@@ -1,0 +1,144 @@
+"""Runtime SPMD sanitizers (opt-in via ``REPRO_SANITIZE=1``).
+
+The static pass in :mod:`repro.lint` catches divergence hazards it can
+*see*; this module catches the ones it can't, at the moment they happen,
+on both backends:
+
+**Collective fingerprinting** — every collective call carries a
+``(kernel, op, root, call-site)`` fingerprint.  The combining rank (the
+thread backend's barrier action, the procs backend's hub/tree root)
+verifies that *all* ranks issued the same collective from the same call
+site and raises :class:`~repro.exceptions.CollectiveMismatchError` naming
+the divergent rank and both call sites — instead of deadlocking, timing
+out, or silently mixing payloads from different logical collectives.
+
+**Read-only shared views** — the per-rank matrix windows
+(:func:`repro.sparse.window.csr_row_window`) get ``writeable=False``
+buffers, so an in-place write through a distributed view raises numpy's
+``ValueError: assignment destination is read-only`` at the faulting
+statement instead of corrupting the neighbor ranks' input.  (Shm-attached
+segments are read-only unconditionally.)  Escape hatch:
+:func:`repro.sparse.window.copy_for_write`.
+
+Both sanitizers are off by default (zero overhead beyond one env check
+per run) and enabled together by ``REPRO_SANITIZE=1`` — CI runs the
+tier-1 suite once in this mode.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+#: Environment variable that switches both sanitizers on.
+ENV_VAR = "REPRO_SANITIZE"
+
+_TRUTHY = frozenset({"1", "true", "on", "yes"})
+
+#: Files whose frames are skipped when locating a collective's call site
+#: (the communicator internals between the rank program and the check).
+#: Matched by exact basename — a suffix match would also swallow user
+#: files like ``test_sanitize.py``.
+_INTERNAL_FILES = frozenset({
+    "comm.py", "procs.py", "collectives.py", "sanitize.py",
+})
+
+#: First element of a fingerprint-wrapped deposit.  The comm-volume
+#: accounting (``repro.parallel.comm._payload_bytes``) treats a tuple
+#: starting with this tag as transparent — it sizes only the payload — so
+#: sanitized runs keep *byte-identical* ledgers (the BENCH regression gate
+#: and the thread/procs ledger-parity tests stay meaningful with
+#: ``REPRO_SANITIZE=1``).
+FP_TAG = "__repro_fp__"
+
+
+def enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` asks for sanitized runs.
+
+    Read from the environment on every call so tests can flip it with
+    ``monkeypatch.setenv`` and rank *processes* inherit it for free.
+    """
+    return os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def call_site() -> str:
+    """``file:line`` of the rank-program frame issuing a collective.
+
+    Walks the stack past the communicator internals; the file path is
+    trimmed to its last three components so fingerprints are stable
+    across checkouts (and identical between the thread and process
+    backends, which matter for cross-backend comparisons).
+    """
+    frame = sys._getframe(1)
+    while frame is not None:
+        fname = frame.f_code.co_filename
+        if os.path.basename(fname) not in _INTERNAL_FILES:
+            parts = fname.replace(os.sep, "/").split("/")
+            return "/".join(parts[-3:]) + f":{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>:0"
+
+
+def fingerprint(kernel: str | None, op: str, root: int) -> tuple:
+    """Fingerprint for one collective call (JSON/transport-safe tuple).
+
+    The kernel label is carried for diagnostics only — ranks may
+    legitimately be inside *differently labeled* cost-attribution regions
+    while issuing the same collective (labels are rank-local accounting,
+    not lockstep state), so equality checks cover ``(op, root, site)``
+    (see :func:`comparable`).
+    """
+    return (kernel or "", op, int(root), call_site())
+
+
+def comparable(fp: tuple) -> tuple:
+    """The lockstep-relevant part of a fingerprint: ``(op, root, site)``."""
+    return tuple(fp)[1:]
+
+
+def wrap(fp: tuple, payload) -> tuple:
+    """Attach ``fp`` to a collective deposit for the wire/slot exchange."""
+    return (FP_TAG, fp, payload)
+
+
+def is_wrapped(obj) -> bool:
+    """Whether ``obj`` is a fingerprint-wrapped deposit (:func:`wrap`)."""
+    return (isinstance(obj, (tuple, list)) and len(obj) == 3
+            and isinstance(obj[0], str) and obj[0] == FP_TAG)
+
+
+def check_fingerprints(deposits: dict) -> dict:
+    """Verify all ranks issued the same collective; unwrap the payloads.
+
+    ``deposits`` maps rank to :func:`wrap`-ped entries as produced by the
+    sanitized collective paths (``SimComm._collective`` /
+    ``ProcComm._collective``).  Returns ``{rank: payload}`` when the
+    fingerprints agree; raises
+    :class:`~repro.exceptions.CollectiveMismatchError` naming the lowest
+    agreeing rank and the first divergent rank otherwise.
+    """
+    ranks = sorted(deposits)
+    ref_rank = ranks[0]
+    ref_fp = tuple(deposits[ref_rank][1])
+    for r in ranks[1:]:
+        fp = tuple(deposits[r][1])
+        if comparable(fp) != comparable(ref_fp):
+            raise mismatch_error(ref_rank, ref_fp, r, fp)
+    return {r: deposits[r][2] for r in ranks}
+
+
+def mismatch_error(rank_a: int, fp_a: tuple, rank_b: int, fp_b: tuple):
+    """Build the typed error for two disagreeing collective fingerprints."""
+    from ..exceptions import CollectiveMismatchError
+
+    kern_a, op_a, root_a, site_a = fp_a
+    kern_b, op_b, root_b, site_b = fp_b
+    return CollectiveMismatchError(
+        f"collective mismatch: rank {rank_a} called "
+        f"'{op_a}' (root {root_a}, kernel {kern_a or '(unlabeled)'}) "
+        f"at {site_a}, but rank {rank_b} called "
+        f"'{op_b}' (root {root_b}, kernel {kern_b or '(unlabeled)'}) "
+        f"at {site_b}; all ranks must issue the same collectives in the "
+        f"same order",
+        rank_a=int(rank_a), op_a=str(op_a), site_a=str(site_a),
+        rank_b=int(rank_b), op_b=str(op_b), site_b=str(site_b))

@@ -21,7 +21,7 @@ import scipy.sparse as sp
 from ..exceptions import CheckpointError
 from ..linalg.norms import fro_norm_sq
 from ..linalg.orth import orth
-from ..sparse.utils import ensure_csc, ensure_csr
+from ..sparse.utils import ensure_csc
 from .comm import SimComm
 from .distribution import block_ranges, own_col_block, own_row_block
 from .kernels import par_qt_a, par_spmm_rowdist, par_tournament_columns, par_tsqr

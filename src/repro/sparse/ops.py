@@ -17,7 +17,8 @@ try:  # scipy's C kernel, used directly to skip the symbolic sizing pass
 except ImportError:  # pragma: no cover - very old scipy
     _spt = None
 
-from .utils import ensure_csc, ensure_csr, raw_csr
+# guarded scipy-internal import above keeps this below the try block
+from .utils import ensure_csc, ensure_csr, raw_csr  # noqa: E402
 
 
 def permute_rows(A: sp.spmatrix, perm: np.ndarray) -> sp.csr_matrix:

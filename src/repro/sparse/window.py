@@ -205,14 +205,47 @@ def csr_row_window(A: sp.csr_matrix, lo: int, hi: int) -> sp.csr_matrix:
     copy of the input between them instead of two.
 
     The view shares mutable state with ``A``; callers must treat it as
-    read-only (the shm-backed input already is).
+    read-only (the shm-backed input already is).  Under ``REPRO_SANITIZE=1``
+    the shared ``data``/``indices`` buffers are handed out with
+    ``writeable=False``, so an in-place write through the window raises at
+    the faulting statement instead of silently corrupting the neighbor
+    ranks' rows; take :func:`copy_for_write` when mutation is intended.
     """
     if not 0 <= lo <= hi <= A.shape[0]:
         raise ValueError(f"row window [{lo}, {hi}) out of bounds for "
                          f"{A.shape[0]} rows")
     start, stop = int(A.indptr[lo]), int(A.indptr[hi])
     indptr = A.indptr[lo:hi + 1] - A.indptr[lo]
-    return raw_csr(A.data[start:stop], A.indices[start:stop],
+    data = A.data[start:stop]
+    indices = A.indices[start:stop]
+    from ..parallel.sanitize import enabled as _sanitize_enabled
+    if _sanitize_enabled():
+        data.flags.writeable = False
+        indices.flags.writeable = False
+    return raw_csr(data, indices,
                    indptr.astype(A.indptr.dtype, copy=False),
                    (hi - lo, A.shape[1]),
                    sorted_indices=bool(A.has_sorted_indices))
+
+
+def copy_for_write(M):
+    """Deep, *writable* copy of a shared or zero-copy distribution view.
+
+    The sanitizer escape hatch: :func:`csr_row_window` windows and
+    shm-attached inputs (:mod:`repro.parallel.shm`) are read-only under
+    ``REPRO_SANITIZE=1`` — a rank program that legitimately needs to
+    mutate its local block takes ``copy_for_write(view)`` first, making
+    the rank-private ownership transfer explicit (and lint-visible:
+    SPMD002 treats it as clearing the shared-view taint).
+
+    Accepts scipy sparse matrices and numpy arrays; the copy owns fresh
+    writable buffers in both cases.
+    """
+    if sp.issparse(M):
+        out = M.copy()
+        for name in ("data", "indices", "indptr", "row", "col", "offsets"):
+            part = getattr(out, name, None)
+            if part is not None and not part.flags.writeable:
+                setattr(out, name, part.copy())
+        return out
+    return np.array(M, copy=True)

@@ -1,0 +1,72 @@
+"""SPMD001 fixtures — collective-order violations.
+
+Linted by ``tests/test_lint.py``; every line tagged ``# expect: CODE``
+must be flagged with exactly that code on exactly that line, and no
+other line may be flagged.  The functions here are never imported or
+executed (no ``test_`` prefix), so the undefined helper names are fine.
+"""
+
+
+def clean_kernel(comm, A):
+    total = comm.allreduce_sum(A.sum())
+    comm.barrier_sync()
+    return total
+
+
+def branch_collective(comm, A):
+    if comm.rank == 0:
+        comm.bcast(A, root=0)  # expect: SPMD001
+    return A
+
+
+def else_branch_collective(comm, A):
+    if comm.rank == 0:
+        prepped = A
+    else:
+        prepped = comm.bcast(None, root=0)  # expect: SPMD001
+    return prepped
+
+
+def while_collective(comm, n):
+    while comm.rank < n:
+        n = comm.allreduce_sum(n)  # expect: SPMD001
+    return n
+
+
+def loop_over_rank_iterable(comm, blocks):
+    for b in blocks[comm.rank:]:
+        comm.gather(b, root=0)  # expect: SPMD001
+
+
+def early_return_skips_collective(comm, A):
+    if comm.rank > 0:
+        return None  # expect: SPMD001
+    return comm.bcast(A, root=0)
+
+
+def rank_break_in_collective_loop(comm, chunks):
+    total = 0.0
+    for c in chunks:
+        if comm.rank == 1:
+            break  # expect: SPMD001
+        total += comm.allreduce_sum(c)
+    return total
+
+
+def collective_in_test_is_fine(comm, A):
+    if comm.allreduce_sum(A.nnz) > 0:
+        A = A * 2.0
+    return A
+
+
+def suppressed_branch_collective(comm, A):
+    if comm.rank == 0:
+        comm.bcast(A, root=0)  # repro: noqa[SPMD001]
+    return A
+
+
+def not_a_kernel(mesh, rank):
+    # first parameter is not a communicator: the rule skips this scope
+    if rank == 0:
+        mesh.bcast(mesh)
+    return mesh

@@ -1,0 +1,73 @@
+"""SPMD002 fixtures — shared-view mutation violations.
+
+Linted by ``tests/test_lint.py``; every line tagged ``# expect: CODE``
+must be flagged with exactly that code on exactly that line, and no
+other line may be flagged.  Never imported (no ``test_`` prefix), so
+the undefined names (``csr_row_window``, ``np``, ...) are fine.
+"""
+
+
+def clean_private_copy(shm, rank, nprocs):
+    block = csr_row_window(shm.matrix, rank, nprocs)
+    mine = copy_for_write(block)
+    mine.data *= 2.0
+    mine[0, 0] = 1.0
+    return mine
+
+
+def aug_assign_through_view(shm, rank, nprocs):
+    block = csr_row_window(shm.matrix, rank, nprocs)
+    block.data *= 2.0  # expect: SPMD002
+    return block
+
+
+def element_assign_through_attach(shm):
+    A = shm.attach()
+    A.data[0] = 0.0  # expect: SPMD002
+    return A
+
+
+def alias_and_slice_propagate_taint(M, rank, nprocs):
+    view = own_row_block(M, rank, nprocs)
+    alias = view
+    sub = alias.data[2:8]
+    sub[0] = 7.0  # expect: SPMD002
+    return sub
+
+
+def mutating_method_on_view(M, rank, nprocs):
+    view = own_row_block(M, rank, nprocs)
+    view.sort_indices()  # expect: SPMD002
+    return view
+
+
+def ufunc_out_into_view(M, rank, nprocs):
+    view = own_row_block(M, rank, nprocs)
+    np.multiply(view.data, 2.0, out=view.data)  # expect: SPMD002
+    return view
+
+
+def attribute_assign_on_view(M, rank, nprocs):
+    view = own_row_block(M, rank, nprocs)
+    view.data = np.zeros(3)  # expect: SPMD002
+    return view
+
+
+def arithmetic_clears_taint(M, rank, nprocs):
+    view = own_row_block(M, rank, nprocs)
+    fresh = view.data * 2.0
+    fresh[0] = 1.0
+    return fresh
+
+
+def reassignment_clears_taint(M, rank, nprocs):
+    block = own_row_block(M, rank, nprocs)
+    block = np.zeros(4)
+    block[0] = 1.0
+    return block
+
+
+def suppressed_mutation(M, rank, nprocs):
+    view = own_row_block(M, rank, nprocs)
+    view.data *= 0.5  # repro: noqa[SPMD002]
+    return view

@@ -1,0 +1,59 @@
+"""SPMD003 fixtures — determinism violations inside SPMD kernels.
+
+This file is *not* a hot-path module, so the rule only applies to
+functions whose first parameter is a communicator.  Linted by
+``tests/test_lint.py``; every line tagged ``# expect: CODE`` must be
+flagged with exactly that code on exactly that line, and no other line
+may be flagged.  Never imported (no ``test_`` prefix).
+"""
+
+
+def clean_kernel(comm, A, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(4)
+    t0 = time.perf_counter()  # elapsed-time reporting is fine
+    y = comm.allreduce_sum(x)
+    return y, time.perf_counter() - t0
+
+
+def wall_clock_kernel(comm, A):
+    t0 = time.time()  # expect: SPMD003
+    comm.barrier_sync()
+    return t0
+
+
+def legacy_global_rng_kernel(comm, n):
+    x = np.random.rand(n)  # expect: SPMD003
+    return comm.allreduce_sum(x)
+
+
+def unseeded_rng_kernel(comm):
+    return np.random.default_rng()  # expect: SPMD003
+
+
+def stdlib_random_kernel(comm, items):
+    pick = random.choice(items)  # expect: SPMD003
+    return comm.bcast(pick, root=0)
+
+
+def set_iteration_kernel(comm, cols):
+    for c in {1, 2, 3}:  # expect: SPMD003
+        cols.append(c)
+    comm.barrier_sync()
+    return cols
+
+
+def set_comprehension_kernel(comm, names):
+    out = [n for n in set(names)]  # expect: SPMD003
+    return comm.gather(out, root=0)
+
+
+def suppressed_kernel(comm):
+    stamp = time.time()  # repro: noqa[SPMD003]
+    comm.barrier_sync()
+    return stamp
+
+
+def helper_without_comm(items):
+    # not an SPMD kernel and not a hot-path module: unchecked
+    return random.choice(items)

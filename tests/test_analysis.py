@@ -94,7 +94,7 @@ def test_render_table_alignment():
     lines = txt.splitlines()
     assert lines[0] == "T"
     assert "bbb" in lines[1]
-    assert all(len(l) == len(lines[1]) for l in lines[3:])
+    assert all(len(ln) == len(lines[1]) for ln in lines[3:])
 
 
 def test_complexity_formulas_positive():

@@ -23,7 +23,6 @@ from repro.results import (
     LowRankApproximation,
     LUApproximation,
     QBApproximation,
-    UBVApproximation,
 )
 
 

@@ -2,10 +2,9 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.core.arrf import AdaptiveRangeFinder, adaptive_range_finder
-from repro.core.randqb_b import RandQB_b, randqb_b
+from repro.core.randqb_b import randqb_b
 from repro.core.rrf import randomized_qb, randomized_range_finder
 from repro.core.rsvd import AdaptiveRSVD, adaptive_rsvd
 

@@ -1,8 +1,6 @@
 """Tests for repro.linalg.cholqr (CholeskyQR family)."""
 
 import numpy as np
-import pytest
-import scipy.sparse as sp
 
 from repro.linalg.cholqr import cholqr, cholqr2, gram_r_factor
 

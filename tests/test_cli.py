@@ -1,9 +1,6 @@
 """Tests for the command-line interface."""
 
-import io
-import os
 
-import numpy as np
 import pytest
 
 from repro.cli import main

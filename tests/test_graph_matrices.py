@@ -1,7 +1,6 @@
 """Tests for repro.matrices.graph."""
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 
 from repro.matrices.graph import (

@@ -5,7 +5,6 @@ same uniform termination criteria (the paper's methodological core) and
 assert the qualitative results of Section VI at test scale.
 """
 
-import numpy as np
 import pytest
 
 from repro import ilut_crtp, lu_crtp, randqb_ei, randubv

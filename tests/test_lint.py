@@ -1,0 +1,209 @@
+"""Tests for the :mod:`repro.lint` static-analysis pass.
+
+The fixture files in ``tests/lint_fixtures/`` tag every expected
+violation with ``# expect: CODE`` on the offending line; the tests
+compare that tag set against the findings *exactly* (same codes, same
+lines, nothing extra), so both false negatives and false positives fail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.findings import Finding
+from repro.lint.framework import (
+    all_rules,
+    lint_paths,
+    lint_source,
+    suppressed_lines,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+REPO = Path(__file__).resolve().parents[1]
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(SPMD\d{3})")
+
+FIXTURE_FILES = (
+    "spmd001_collectives.py",
+    "spmd002_sharedviews.py",
+    "spmd003_determinism.py",
+)
+
+
+def expected_findings(path: Path) -> set[tuple[int, str]]:
+    out = set()
+    for i, line in enumerate(path.read_text().splitlines(), start=1):
+        m = _EXPECT_RE.search(line)
+        if m:
+            out.add((i, m.group(1)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# fixtures: exact codes and lines
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name,code", [
+    ("spmd001_collectives.py", "SPMD001"),
+    ("spmd002_sharedviews.py", "SPMD002"),
+    ("spmd003_determinism.py", "SPMD003"),
+])
+def test_fixture_exact_findings_with_select(name, code):
+    path = FIXTURES / name
+    expected = expected_findings(path)
+    assert expected, f"fixture {name} has no # expect tags"
+    findings = lint_paths([path], select=[code])
+    assert {(f.line, f.code) for f in findings} == expected
+
+
+@pytest.mark.parametrize("name", FIXTURE_FILES)
+def test_fixture_exact_findings_all_rules(name):
+    # running *every* rule over a fixture must add nothing beyond the tags
+    path = FIXTURES / name
+    findings = lint_paths([path])
+    assert {(f.line, f.code) for f in findings} == expected_findings(path)
+
+
+def test_fixture_findings_carry_symbol_and_message():
+    path = FIXTURES / "spmd001_collectives.py"
+    findings = lint_paths([path], select=["SPMD001"])
+    by_symbol = {f.symbol for f in findings}
+    assert "branch_collective" in by_symbol
+    assert "early_return_skips_collective" in by_symbol
+    early = [f for f in findings
+             if f.symbol == "early_return_skips_collective"]
+    assert "early return" in early[0].message
+    assert "bcast" in early[0].message
+
+
+# ---------------------------------------------------------------------------
+# suppression
+# ---------------------------------------------------------------------------
+
+_DIVERGENT = (
+    "def f(comm, A):\n"
+    "    if comm.rank == 0:\n"
+    "        comm.bcast(A, root=0){noqa}\n"
+    "    return A\n"
+)
+
+
+def test_noqa_named_code_suppresses():
+    src = _DIVERGENT.format(noqa="  # repro: noqa[SPMD001]")
+    assert lint_source(src) == []
+
+
+def test_noqa_wrong_code_does_not_suppress():
+    src = _DIVERGENT.format(noqa="  # repro: noqa[SPMD002]")
+    assert [f.code for f in lint_source(src)] == ["SPMD001"]
+
+
+def test_bare_noqa_suppresses_every_code():
+    src = _DIVERGENT.format(noqa="  # repro: noqa")
+    assert lint_source(src) == []
+
+
+def test_plain_flake8_noqa_does_not_suppress():
+    # the marker is deliberately namespaced; a bare flake8-style noqa
+    # must not swallow SPMD findings
+    src = _DIVERGENT.format(noqa="  # noqa")
+    assert [f.code for f in lint_source(src)] == ["SPMD001"]
+
+
+def test_suppressed_lines_parsing():
+    src = ("x = 1  # repro: noqa\n"
+           "y = 2  # repro: noqa[SPMD001, SPMD003]\n"
+           "z = 3\n")
+    lines = suppressed_lines(src)
+    assert lines[1] is None
+    assert lines[2] == frozenset({"SPMD001", "SPMD003"})
+    assert 3 not in lines
+
+
+# ---------------------------------------------------------------------------
+# framework
+# ---------------------------------------------------------------------------
+
+def test_registry_has_the_three_rules():
+    rules = all_rules()
+    assert list(rules) == ["SPMD001", "SPMD002", "SPMD003"]
+    for code, rule in rules.items():
+        assert rule.code == code
+        assert rule.name
+        assert rule.rationale
+
+
+def test_unknown_select_raises():
+    with pytest.raises(ValueError, match="SPMD999"):
+        lint_source("x = 1\n", select=["SPMD999"])
+
+
+def test_syntax_error_becomes_spmd000():
+    findings = lint_source("def f(:\n", path="broken.py")
+    assert len(findings) == 1
+    assert findings[0].code == "SPMD000"
+    assert findings[0].path == "broken.py"
+
+
+def test_findings_sorted_and_rendered():
+    f1 = Finding(path="a.py", line=2, col=1, code="SPMD001", message="m1")
+    f2 = Finding(path="a.py", line=1, col=1, code="SPMD002", message="m2",
+                 symbol="g")
+    assert sorted([f1, f2]) == [f2, f1]
+    assert f2.render() == "a.py:1:1: SPMD002 m2 [g]"
+    assert f1.to_dict()["code"] == "SPMD001"
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _run_cli(*args, cwd=REPO):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=cwd, capture_output=True, text=True, env=env, timeout=300)
+
+
+def test_cli_src_tree_is_clean():
+    proc = _run_cli("src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_cli_json_output_and_exit_code():
+    proc = _run_cli("--format", "json",
+                    str(FIXTURES / "spmd001_collectives.py"))
+    assert proc.returncode == 1
+    report = json.loads(proc.stdout)
+    assert report["count"] == len(report["findings"]) > 0
+    first = report["findings"][0]
+    assert set(first) == {"path", "line", "col", "code", "message", "symbol"}
+    assert first["code"].startswith("SPMD")
+
+
+def test_cli_select_restricts_rules():
+    proc = _run_cli("--select", "SPMD003",
+                    str(FIXTURES / "spmd001_collectives.py"))
+    assert proc.returncode == 0  # no SPMD003 findings in that fixture
+
+
+def test_cli_list_rules():
+    proc = _run_cli("--list-rules")
+    assert proc.returncode == 0
+    for code in ("SPMD001", "SPMD002", "SPMD003"):
+        assert code in proc.stdout
+
+
+def test_cli_unknown_rule_is_usage_error():
+    proc = _run_cli("--select", "NOPE001", "src")
+    assert proc.returncode == 2
+    assert "unknown rule" in proc.stderr

@@ -1,9 +1,8 @@
 """Tests for repro.parallel.machine (cost model)."""
 
-import numpy as np
 import pytest
 
-from repro.parallel.machine import CollectiveCosts, MachineModel
+from repro.parallel.machine import MachineModel
 
 
 @pytest.fixture

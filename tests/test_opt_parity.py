@@ -98,10 +98,10 @@ def test_permuted_blocks_matches_permute_split():
     A11r, A12r, A21r, A22r = split_2x2(P, k)
     A11d, A12, A21, A22 = permuted_blocks(A, cp, rp, k)
     np.testing.assert_array_equal(A11d, A11r.toarray())  # A11 comes back dense
-    for R, O in [(A12r, A12), (A21r, A21), (A22r, A22)]:
-        assert R.nnz == O.nnz
-        if R.nnz:
-            assert abs(R - O).max() == 0.0
+    for ref, opt in [(A12r, A12), (A21r, A21), (A22r, A22)]:
+        assert ref.nnz == opt.nnz
+        if ref.nnz:
+            assert abs(ref - opt).max() == 0.0
 
 
 def test_csr_matmul_nosym_matches_scipy():
@@ -181,7 +181,7 @@ def test_colamd_scan_and_heap_agree():
     import importlib
     colamd_mod = importlib.import_module("repro.ordering.colamd")
     rng = np.random.default_rng(10)
-    for trial in range(5):
+    for _trial in range(5):
         A = sp.random(60, 60, density=0.08, random_state=rng,
                       format="csc")
         p_scan = colamd_mod.colamd(A)

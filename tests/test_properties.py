@@ -14,7 +14,7 @@ from repro.linalg.orth import orth
 from repro.linalg.qrcp import qrcp
 from repro.linalg.tsqr import tsqr
 from repro.sparse.thresholding import drop_small, drop_sorted_budget
-from repro.sparse.utils import density, ensure_csc
+from repro.sparse.utils import density
 
 
 @st.composite
@@ -152,7 +152,7 @@ def test_block_ranges_partition(n, p):
     from repro.parallel.distribution import block_ranges
     r = block_ranges(n, p)
     assert r[0][0] == 0 and r[-1][1] == n
-    for (a, b), (c, d) in zip(r, r[1:]):
+    for (_, b), (c, _d) in zip(r, r[1:]):
         assert b == c
     sizes = [hi - lo for lo, hi in r]
     assert max(sizes) - min(sizes) <= 1

@@ -14,36 +14,36 @@ from repro.linalg.random_gen import (
 
 
 def test_gaussian_shape_and_moments(rng):
-    O = gaussian(2000, 3, rng)
-    assert O.shape == (2000, 3)
-    assert abs(O.mean()) < 0.05
-    assert O.std() == pytest.approx(1.0, abs=0.05)
+    Om = gaussian(2000, 3, rng)
+    assert Om.shape == (2000, 3)
+    assert abs(Om.mean()) < 0.05
+    assert Om.std() == pytest.approx(1.0, abs=0.05)
 
 
 def test_rademacher_entries(rng):
-    O = rademacher(50, 4, rng)
-    assert set(np.unique(O)) <= {-1.0, 1.0}
+    Om = rademacher(50, 4, rng)
+    assert set(np.unique(Om)) <= {-1.0, 1.0}
 
 
 def test_sparse_sign_structure(rng):
-    O = sparse_sign(100, 8, rng, density_rows=8)
-    assert sp.issparse(O)
-    assert O.shape == (100, 8)
-    col_nnz = np.diff(O.tocsc().indptr)
+    Om = sparse_sign(100, 8, rng, density_rows=8)
+    assert sp.issparse(Om)
+    assert Om.shape == (100, 8)
+    col_nnz = np.diff(Om.tocsc().indptr)
     assert np.all(col_nnz == 8)
 
 
 def test_sparse_sign_small_n(rng):
-    O = sparse_sign(4, 3, rng, density_rows=8)  # zeta clamped to n
-    assert np.all(np.diff(O.tocsc().indptr) == 4)
+    Om = sparse_sign(4, 3, rng, density_rows=8)  # zeta clamped to n
+    assert np.all(np.diff(Om.tocsc().indptr) == 4)
 
 
 def test_make_sketch_dispatch(rng):
     for kind in SketchKind:
-        O = make_sketch(kind, 30, 5, rng)
-        assert O.shape == (30, 5)
-    O = make_sketch("gaussian", 10, 2, rng)
-    assert O.shape == (10, 2)
+        Om = make_sketch(kind, 30, 5, rng)
+        assert Om.shape == (30, 5)
+    Om = make_sketch("gaussian", 10, 2, rng)
+    assert Om.shape == (10, 2)
 
 
 def test_make_sketch_unknown(rng):
@@ -58,8 +58,8 @@ def test_sketch_preserves_norms_statistically(rng):
     for kind in (SketchKind.GAUSSIAN, SketchKind.RADEMACHER):
         vals = []
         for seed in range(20):
-            O = make_sketch(kind, 200, 10, np.random.default_rng(seed))
-            vals.append(np.linalg.norm(A @ O) ** 2 / 10)
+            Om = make_sketch(kind, 200, 10, np.random.default_rng(seed))
+            vals.append(np.linalg.norm(A @ Om) ** 2 / 10)
         assert np.mean(vals) == pytest.approx(a2, rel=0.2)
 
 
@@ -91,17 +91,17 @@ def test_srht_shape_and_isotropy():
     acc = np.zeros((12, 12))
     trials = 200
     for s in range(trials):
-        O = srht(12, 6, np.random.default_rng(s))
-        assert O.shape == (12, 6)
-        acc += O @ O.T / trials
+        Om = srht(12, 6, np.random.default_rng(s))
+        assert Om.shape == (12, 6)
+        acc += Om @ Om.T / trials
     assert np.linalg.norm(acc - np.eye(12)) / np.sqrt(12) < 0.2
 
 
 def test_srht_non_power_of_two_n():
     from repro.linalg.random_gen import srht
-    O = srht(13, 4, np.random.default_rng(0))
-    assert O.shape == (13, 4)
-    assert np.all(np.isfinite(O))
+    Om = srht(13, 4, np.random.default_rng(0))
+    assert Om.shape == (13, 4)
+    assert np.all(np.isfinite(Om))
 
 
 def test_srht_in_randqb():

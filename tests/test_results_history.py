@@ -2,10 +2,9 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.history import ConvergenceHistory, IterationRecord
-from repro.results import LUApproximation, QBApproximation
+from repro.results import QBApproximation
 
 
 def test_iteration_record_density():

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.pivoting.select import SelectionResult, select_columns, selection_flops
+from repro.pivoting.select import select_columns, selection_flops
 
 
 def graded_block(rng, m=50, c=10, cond=1e6):

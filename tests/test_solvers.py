@@ -1,7 +1,6 @@
 """Tests for repro.solvers (CGLS and LU-accelerated solves)."""
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 
 from repro import lu_crtp

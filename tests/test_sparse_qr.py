@@ -1,7 +1,6 @@
 """Tests for repro.linalg.sparse_qr (left-looking sparse Householder QR)."""
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 
 from repro.linalg.sparse_qr import sparse_householder_qr

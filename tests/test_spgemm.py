@@ -108,7 +108,7 @@ def test_spgemm_large_random_stress():
 def test_workspace_matches_fresh_allocation():
     ws = SpGEMMWorkspace()
     rng = np.random.default_rng(20)
-    for trial in range(4):
+    for _trial in range(4):
         m, k, n = rng.integers(10, 80, size=3)
         A = sp.random(m, k, density=0.2, random_state=rng,
                       data_rvs=rng.standard_normal).tocsc()

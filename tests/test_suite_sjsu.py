@@ -1,6 +1,5 @@
 """Tests for repro.matrices.suite and repro.matrices.sjsu."""
 
-import numpy as np
 import pytest
 
 from repro.matrices.sjsu import sjsu_collection

@@ -1,6 +1,5 @@
 """Tests for repro.matrices.suitesparse (real-matrix loader)."""
 
-import numpy as np
 import pytest
 
 from repro.matrices.mmio import write_matrix_market

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.core.tsvd import eckart_young_error, spectrum, truncated_svd
 

@@ -1,7 +1,5 @@
 """Tests for repro.validation (user-facing result validator)."""
 
-import numpy as np
-import pytest
 
 from repro import ilut_crtp, lu_crtp, randqb_ei, randubv
 from repro.validation import ValidationReport, validate_result
