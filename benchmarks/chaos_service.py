@@ -1,0 +1,359 @@
+"""Tracked chaos benchmark: fault injection against the serving stack.
+
+One seeded session drives the four chaos modes of
+:class:`repro.service.chaos.ChaosDriver` against live components and
+serializes the outcome to ``BENCH_robustness.json`` at the repo root:
+
+- **worker_kill** — cancel a solve worker mid-flight; the supervisor
+  must restart it and the requeued job must still complete;
+- **overload** — saturate a tiny queue; everything beyond capacity must
+  shed with the typed :class:`~repro.exceptions.ServiceOverloadError`
+  (and every *accepted* job must still complete);
+- **sever** — hard-close the TCP socket under a client between
+  requests; the reconnecting client must recover and be served
+  idempotently from the content-addressed cache;
+- **cache_corruption** — damage spilled archives between service
+  restarts; the durable tier must quarantine them and recompute;
+- **rank_respawn** — crash an SPMD rank inside a ``backend="procs"``
+  run; respawn-from-checkpoint must absorb it with factors bitwise
+  identical to the fault-free run.
+
+The regression gate (``--check-regression``) is machine-independent and
+is exactly the survivability contract:
+
+- zero lost jobs (accepted but never resolved to a terminal state);
+- zero untyped errors (everything surfaced is in the service's typed
+  exception vocabulary);
+- respawn parity (post-crash factors bitwise equal to fault-free);
+- every injected cache corruption quarantined, with the follow-up
+  request recomputed successfully.
+
+Usage::
+
+    python benchmarks/chaos_service.py                       # writes JSON
+    python benchmarks/chaos_service.py --quick --check-regression
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import SolverConfig                         # noqa: E402
+from repro.exceptions import QueueFullError                # noqa: E402
+from repro.parallel.comm import run_spmd                   # noqa: E402
+from repro.parallel.faults import (                        # noqa: E402
+    CacheCorruption,
+    ConnectionSever,
+    FaultPlan,
+    RankCrashChaos,
+    WorkerKill,
+)
+from repro.parallel.shm import shm_segments                # noqa: E402
+from repro.parallel.spmd import spmd_randqb_ei             # noqa: E402
+from repro.service import (                                # noqa: E402
+    ChaosDriver,
+    DiskCacheTier,
+    MatrixSpec,
+    ServiceClient,
+    SolveRequest,
+    SolveService,
+    serve_tcp,
+)
+
+MATRIX = MatrixSpec(suite="M4", scale=0.5)
+SLOW_MATRIX = MatrixSpec(suite="M2", scale=0.5)
+
+#: The service's full typed error vocabulary; anything else a chaos
+#: session surfaces counts as an untyped error and fails the gate.
+TYPED_ERRORS = ("QueueFullError", "ServiceOverloadError",
+                "CircuitOpenError", "WorkerCrashError", "JobTimeoutError",
+                "ServiceError", "CancelledError")
+
+
+def lu_request(tol=1e-2, matrix=MATRIX, k=16, **kw):
+    return SolveRequest(matrix=matrix, method="lu",
+                        config=SolverConfig(k=k, tol=tol), **kw)
+
+
+def _observe(driver: ChaosDriver, resp: dict) -> None:
+    """Fold one terminal job response into the chaos report."""
+    if resp["state"] == "done":
+        driver.report.completed += 1
+    elif resp["error_type"] in TYPED_ERRORS or resp["state"] == "evicted":
+        driver.report.failed_typed += 1
+    else:
+        driver.report.untyped_errors += 1
+
+
+# ---------------------------------------------------------------------------
+# Phases
+# ---------------------------------------------------------------------------
+
+def phase_worker_kill(driver: ChaosDriver, kills: int) -> dict:
+    """Kill a worker mid-solve ``kills`` times; nothing may be lost."""
+    service = SolveService(workers=2, supervisor_interval=0.02,
+                           batching=False)
+    outcomes = []
+    with ServiceClient(service=service) as client:
+        for i in range(kills):
+            # distinct tolerances defeat the cache: every job really runs
+            jid = client.submit(lu_request(tol=1e-3 / (i + 1),
+                                           matrix=SLOW_MATRIX))
+            driver.report.accepted += 1
+            time.sleep(0.1)  # let a worker pick the job up
+            t0 = time.perf_counter()
+            driver.apply(WorkerKill(worker=i % 2), client=client)
+            resp = client.wait(jid, timeout=120)
+            driver.report.recovery_latencies.append(
+                time.perf_counter() - t0)
+            _observe(driver, resp)
+            outcomes.append(resp["state"])
+        counters = client.metrics()["counters"]
+    return {"kills": kills, "outcomes": outcomes,
+            "worker_restarts": counters["worker_restarts"],
+            "requeued": counters["requeued"]}
+
+
+def phase_overload(driver: ChaosDriver, burst: int) -> dict:
+    """Flood a queue of capacity 2; excess must shed typed."""
+    async def scenario():
+        async with SolveService(workers=1, queue_limit=2,
+                                batching=False) as svc:
+            orig = svc._execute
+
+            def slow_execute(lead, A, timeout):
+                time.sleep(0.2)
+                return orig(lead, A, timeout)
+            svc._execute = slow_execute
+
+            accepted, shed = [], 0
+            for i in range(burst):
+                try:
+                    accepted.append(await svc.submit(
+                        lu_request(tol=1e-2 / (i + 1))))
+                except QueueFullError as exc:
+                    shed += 1
+                    assert exc.retry_after > 0  # typed, actionable
+                await asyncio.sleep(0.01)
+            resps = [await svc.wait(j, timeout=120) for j in accepted]
+            return len(accepted), shed, resps
+    n_accepted, shed, resps = asyncio.run(scenario())
+    driver.report.accepted += n_accepted
+    driver.report.shed += shed
+    for r in resps:
+        _observe(driver, r)
+    return {"burst": burst, "accepted": n_accepted, "shed": shed,
+            "all_accepted_done": all(r["state"] == "done" for r in resps)}
+
+
+def phase_sever(driver: ChaosDriver, severs: int) -> dict:
+    """Cut the TCP connection between requests; the client recovers."""
+    port_box, ready = {}, threading.Event()
+
+    def on_ready(server):
+        port_box["port"] = server.sockets[0].getsockname()[1]
+        ready.set()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(serve_tcp(
+            "127.0.0.1", 0, ready_callback=on_ready, workers=1)),
+        daemon=True)
+    thread.start()
+    ready.wait(30)
+    client = ServiceClient.connect(
+        "127.0.0.1", port_box["port"], reconnect_retries=4,
+        reconnect_backoff=0.02, reconnect_seed=driver.seed)
+    served = 0
+    try:
+        driver.report.accepted += 1
+        _observe(driver, client.solve(lu_request().to_dict()))
+        for i in range(severs):
+            driver.apply(ConnectionSever(at_request=i + 1), client=client)
+            t0 = time.perf_counter()
+            driver.report.accepted += 1
+            resp = client.solve(lu_request().to_dict())
+            driver.report.recovery_latencies.append(
+                time.perf_counter() - t0)
+            _observe(driver, resp)
+            if resp["state"] == "done":
+                served += 1
+        reconnects = client.reconnects
+    finally:
+        client.close()
+    thread.join(timeout=30)
+    return {"severs": severs, "served_after_sever": served,
+            "reconnects": reconnects}
+
+
+def phase_cache_corruption(driver: ChaosDriver, count: int) -> dict:
+    """Corrupt spilled entries between restarts; quarantine + recompute."""
+    with tempfile.TemporaryDirectory(prefix="repro_chaos_") as tmp:
+        with ServiceClient(workers=1, cache_dir=tmp) as client:
+            # distinct k values → distinct cache keys → distinct entries
+            # (tolerance is excluded from the key by τ-dominance)
+            for i in range(count):
+                driver.report.accepted += 1
+                _observe(driver, client.solve(lu_request(k=16 + 4 * i)))
+
+        tier = DiskCacheTier(tmp)
+        spilled = tier.entry_count()
+        hit = driver.apply(CacheCorruption(kind="garbage", count=count),
+                           tier=tier)
+
+        recomputed = quarantined = 0
+        with ServiceClient(workers=1, cache_dir=tmp) as client:
+            for i in range(count):
+                driver.report.accepted += 1
+                resp = client.solve(lu_request(k=16 + 4 * i))
+                _observe(driver, resp)
+                if resp["state"] == "done" and resp["cache"] == "miss":
+                    recomputed += 1
+            quarantined = client.metrics()["cache"]["disk"]["corrupt"]
+    return {"spilled": spilled, "corrupted": len(hit),
+            "quarantined": quarantined, "recomputed": recomputed}
+
+
+def phase_rank_respawn(driver: ChaosDriver, nprocs: int) -> dict:
+    """Crash a rank in a procs run; respawn must restore bitwise parity."""
+    from repro.matrices.generators import random_graded
+    A = random_graded(120, 120, nnz_per_row=7, decay_rate=7.0, seed=21)
+    clean = run_spmd(nprocs, spmd_randqb_ei, A, k=8, tol=1e-2, seed=0,
+                     backend="procs")
+    plan = driver.apply(RankCrashChaos(rank=1, superstep=40))
+    assert isinstance(plan, FaultPlan)
+    with tempfile.TemporaryDirectory(prefix="repro_chaos_") as tmp:
+        t0 = time.perf_counter()
+        out = run_spmd(nprocs, spmd_randqb_ei, A, k=8, tol=1e-2, seed=0,
+                       backend="procs", fault_plan=plan,
+                       checkpoint_path=str(Path(tmp) / "ckpt.npz"),
+                       max_rank_restarts=2, recv_timeout=5.0,
+                       collective_timeout=20.0)
+        driver.report.recovery_latencies.append(time.perf_counter() - t0)
+    parity = all(
+        (np.array_equal(xa, xb) if isinstance(xa, np.ndarray) else xa == xb)
+        for ra, rb in zip(clean["results"], out["results"])
+        for xa, xb in zip(ra, rb))
+    return {"nprocs": nprocs, "restarts": out["restarts"],
+            "parity": parity, "shm_leaked": len(shm_segments())}
+
+
+# ---------------------------------------------------------------------------
+# Session
+# ---------------------------------------------------------------------------
+
+def run(quick: bool, seed: int) -> dict:
+    driver = ChaosDriver(seed=seed)
+    phases = {
+        "worker_kill": phase_worker_kill(driver, kills=1 if quick else 3),
+        "overload": phase_overload(driver, burst=6 if quick else 12),
+        "sever": phase_sever(driver, severs=1 if quick else 3),
+        "cache_corruption": phase_cache_corruption(
+            driver, count=1 if quick else 2),
+        "rank_respawn": phase_rank_respawn(driver, nprocs=4),
+    }
+    # lost = accepted jobs that never reached a terminal state; every
+    # phase above waits its accepted jobs to completion, so any gap in
+    # the tally *is* a loss
+    terminal = (driver.report.completed + driver.report.failed_typed
+                + driver.report.untyped_errors)
+    driver.report.lost = driver.report.accepted - terminal
+    return {
+        "config": {"quick": quick, "seed": seed},
+        "host": {"cpu_count": os.cpu_count(),
+                 "platform": platform.platform(),
+                 "python": platform.python_version()},
+        "chaos": driver.report.to_dict(),
+        "phases": phases,
+    }
+
+
+def check_regression(results: dict) -> list[str]:
+    """The survivability gates; returns a list of failure strings."""
+    bad = []
+    chaos, phases = results["chaos"], results["phases"]
+    if chaos["lost"] != 0:
+        bad.append(f"{chaos['lost']} accepted job(s) were lost "
+                   "(no terminal state)")
+    if chaos["untyped_errors"] != 0:
+        bad.append(f"{chaos['untyped_errors']} failure(s) surfaced "
+                   "outside the typed error vocabulary")
+    wk = phases["worker_kill"]
+    if any(s != "done" for s in wk["outcomes"]):
+        bad.append(f"worker-kill outcomes {wk['outcomes']}: a killed "
+                   "worker's job did not complete after requeue")
+    if not phases["overload"]["all_accepted_done"]:
+        bad.append("overload: an accepted job did not complete")
+    sv = phases["sever"]
+    if sv["served_after_sever"] != sv["severs"] or sv["reconnects"] < 1:
+        bad.append("sever: client did not recover every severed request")
+    cc = phases["cache_corruption"]
+    if cc["quarantined"] != cc["corrupted"] or cc["recomputed"] != \
+            cc["corrupted"]:
+        bad.append(f"cache corruption: {cc['corrupted']} damaged, "
+                   f"{cc['quarantined']} quarantined, "
+                   f"{cc['recomputed']} recomputed")
+    rr = phases["rank_respawn"]
+    if not rr["parity"] or rr["restarts"] < 1:
+        bad.append("rank respawn: no restart happened or the recovered "
+                   "factors diverged from the fault-free run")
+    if rr["shm_leaked"]:
+        bad.append(f"rank respawn leaked {rr['shm_leaked']} shm segment(s)")
+    return bad
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="one fault per mode (CI chaos-smoke mode)")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--output",
+                    default=str(REPO_ROOT / "BENCH_robustness.json"),
+                    help="JSON output path")
+    ap.add_argument("--check-regression", action="store_true",
+                    help="exit nonzero when any job is lost, any error "
+                         "is untyped, or respawn parity breaks")
+    args = ap.parse_args(argv)
+
+    results = run(args.quick, args.seed)
+    out = Path(args.output)
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    chaos = results["chaos"]
+    print(f"chaos session (seed={args.seed}): "
+          f"accepted={chaos['accepted']} completed={chaos['completed']} "
+          f"failed_typed={chaos['failed_typed']} shed={chaos['shed']} "
+          f"lost={chaos['lost']} untyped={chaos['untyped_errors']}")
+    for name, ph in results["phases"].items():
+        print(f"  {name}: {ph}")
+    lat = chaos["recovery_latency"]
+    print(f"  recovery latency: n={lat['count']} p50={lat['p50']:.3f}s "
+          f"max={lat['max']:.3f}s")
+    print(f"wrote {out}")
+
+    if args.check_regression:
+        bad = check_regression(results)
+        if bad:
+            for b in bad:
+                print(f"REGRESSION: {b}", file=sys.stderr)
+            return 1
+        print("regression check passed (zero lost jobs, typed errors "
+              "only, respawn parity)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -193,7 +193,11 @@ def cmd_serve(args) -> int:
     return main_serve(args.host, args.port, workers=args.workers,
                       queue_limit=args.queue_limit,
                       cache_capacity=args.cache_size,
-                      default_timeout=args.job_timeout)
+                      default_timeout=args.job_timeout,
+                      cache_dir=args.cache_dir,
+                      max_requeues=args.max_requeues,
+                      breaker_threshold=args.breaker_threshold,
+                      breaker_cooldown=args.breaker_cooldown)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -259,6 +263,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="factorization cache capacity (distinct keys)")
     pv.add_argument("--job-timeout", type=float, default=None,
                     help="default per-job timeout in seconds")
+    pv.add_argument("--cache-dir", default=None,
+                    help="directory for the durable cache tier (disk "
+                         "spill surviving restarts); default memory-only")
+    pv.add_argument("--max-requeues", type=int, default=2,
+                    help="times one job survives a worker crash before "
+                         "it fails with WorkerCrashError")
+    pv.add_argument("--breaker-threshold", type=int, default=5,
+                    help="consecutive failures per method that open its "
+                         "circuit breaker")
+    pv.add_argument("--breaker-cooldown", type=float, default=30.0,
+                    help="seconds before an open breaker admits probes")
     pv.set_defaults(func=cmd_serve)
     return p
 

@@ -149,6 +149,70 @@ class QueueFullError(ServiceError):
         self.limit = limit
 
 
+class ServiceOverloadError(QueueFullError):
+    """Typed overload shed: the service refused a submission.
+
+    Subclasses :class:`QueueFullError` so pre-existing backpressure
+    handlers keep working; adds ``retry_after`` — the server's estimate
+    (seconds) of when capacity will free up, surfaced through the TCP
+    protocol so remote clients can back off intelligently.
+    """
+
+    def __init__(self, message: str, *, limit: int | None = None,
+                 retry_after: float | None = None):
+        super().__init__(message, limit=limit)
+        self.retry_after = retry_after
+
+
+class CircuitOpenError(ServiceError):
+    """Per-solver circuit breaker is open: the method failed repeatedly
+    and the service is fast-failing its requests while it cools down.
+
+    ``method`` names the tripped solver, ``failures`` the consecutive
+    failure count that opened the breaker, ``retry_after`` the seconds
+    until the breaker next admits a half-open probe.
+    """
+
+    def __init__(self, message: str, *, method: str | None = None,
+                 failures: int | None = None,
+                 retry_after: float | None = None):
+        super().__init__(message)
+        self.method = method
+        self.failures = failures
+        self.retry_after = retry_after
+
+
+class WorkerCrashError(ServiceError):
+    """A solve worker died (or hung past its deadline grace) too many
+    times while holding this job; the supervisor gave up requeueing it.
+
+    ``job_id`` names the abandoned job, ``requeues`` how many recovery
+    attempts were made before the job was failed.
+    """
+
+    def __init__(self, message: str, *, job_id: str | None = None,
+                 requeues: int | None = None):
+        super().__init__(message)
+        self.job_id = job_id
+        self.requeues = requeues
+
+
+class CacheIntegrityError(ServiceError):
+    """A spilled cache entry failed its checksum or could not be read.
+
+    Never fatal to serving — the durable tier quarantines the entry and
+    treats the lookup as a miss — but raised by maintenance APIs
+    (``DiskCacheTier.verify``) so operators can audit the spill directory.
+    ``entry`` names the offending file, ``reason`` the failure.
+    """
+
+    def __init__(self, message: str, *, entry: str | None = None,
+                 reason: str | None = None):
+        super().__init__(message)
+        self.entry = entry
+        self.reason = reason
+
+
 class JobTimeoutError(ServiceError):
     """A solve job exceeded its per-job timeout and was evicted.
 

@@ -474,6 +474,7 @@ def run_spmd(nprocs: int, program, *args, machine: MachineModel | None = None,
              backend: str = "threads",
              join_timeout: float = DEFAULT_JOIN_TIMEOUT,
              mp_context: str | None = None,
+             max_rank_restarts: int = 0,
              **kwargs) -> dict:
     """Run ``program(comm, *args, **kwargs)`` on ``nprocs`` SPMD ranks.
 
@@ -507,6 +508,12 @@ def run_spmd(nprocs: int, program, *args, machine: MachineModel | None = None,
     mp_context:
         Process start method for the procs backend (default ``fork``
         where available); ignored by the thread backend.
+    max_rank_restarts:
+        Procs backend only: number of rank-respawn recovery rounds a
+        :class:`RankFailure` may trigger before it becomes fatal (see
+        :mod:`repro.parallel.procs`).  The thread backend shares one
+        address space with the failed rank and cannot respawn — asking
+        for restarts there is a :class:`CommunicatorError`.
     """
     if backend not in BACKENDS:
         raise CommunicatorError(
@@ -516,9 +523,14 @@ def run_spmd(nprocs: int, program, *args, machine: MachineModel | None = None,
         out = run_spmd_procs(
             nprocs, program, *args, machine=machine, fault_plan=fault_plan,
             recv_timeout=recv_timeout, collective_timeout=collective_timeout,
-            join_timeout=join_timeout, mp_context=mp_context, **kwargs)
+            join_timeout=join_timeout, mp_context=mp_context,
+            max_rank_restarts=max_rank_restarts, **kwargs)
         _record_comm_perf(out)
         return out
+    if int(max_rank_restarts) > 0:
+        raise CommunicatorError(
+            "max_rank_restarts requires backend='procs': thread ranks "
+            "share one address space and cannot be respawned")
     if nprocs <= 0:
         raise CommunicatorError("nprocs must be positive")
     machine = machine or MachineModel()

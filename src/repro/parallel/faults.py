@@ -98,6 +98,78 @@ class ClockSkewStall:
     seconds: float
 
 
+# ---------------------------------------------------------------------------
+# Service-level chaos specs.
+#
+# The same declarative, seeded style as the SPMD fault specs above, but
+# aimed at the serving layer: the specs below are consumed by
+# :class:`repro.service.chaos.ChaosDriver`, which applies them against a
+# live SolveService / TCP endpoint / durable cache directory.  They live
+# here so one module owns the whole fault vocabulary of the system.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """Kill (cancel) solve worker ``worker`` once the service has
+    dispatched at least ``after_jobs`` jobs.
+
+    Models a worker task dying mid-solve; the supervisor must detect the
+    death, restart the worker, and requeue its in-flight jobs without
+    losing any of them.
+    """
+
+    worker: int
+    after_jobs: int = 0
+
+
+@dataclass(frozen=True)
+class ConnectionSever:
+    """Sever the client's TCP connection just before request number
+    ``at_request`` (0-based, counted per chaos session) is issued.
+
+    Models a flaky network path; the reconnecting client must recover
+    with bounded jittered backoff and the request must still be served
+    (idempotently, via the content-addressed cache).
+    """
+
+    at_request: int
+
+
+@dataclass(frozen=True)
+class CacheCorruption:
+    """Corrupt spilled cache entries on disk.
+
+    ``kind`` is ``"truncate"`` (chop the archive short) or ``"garbage"``
+    (overwrite a byte range with seeded noise); ``count`` bounds how many
+    entries are hit.  The durable tier must quarantine the damaged
+    entries on next lookup instead of failing the request.
+    """
+
+    kind: str = "truncate"
+    count: int = 1
+
+    def __post_init__(self):
+        if self.kind not in ("truncate", "garbage"):
+            raise ValueError(
+                f"unknown cache corruption kind {self.kind!r} "
+                "(choose truncate | garbage)")
+
+
+@dataclass(frozen=True)
+class RankCrashChaos:
+    """Crash SPMD rank ``rank`` at ``superstep`` inside a service-routed
+    ``backend="procs"`` job — the service-level wrapper of
+    :class:`RankCrash`, recovered by rank respawn rather than job failure.
+    """
+
+    rank: int
+    superstep: int
+
+    def to_fault_plan(self, seed: int = 0) -> "FaultPlan":
+        return FaultPlan([RankCrash(self.rank, self.superstep)], seed=seed)
+
+
 @dataclass
 class FaultPlan:
     """Declarative, seeded description of the faults to inject in one run.
@@ -115,6 +187,21 @@ class FaultPlan:
 
     def __iter__(self):
         return iter(self.faults)
+
+    def without_crashes_for(self, ranks) -> "FaultPlan":
+        """A copy of this plan minus the :class:`RankCrash` specs of
+        ``ranks``.
+
+        Used by the procs backend's respawn protocol: a crash that already
+        fired must not fire again when the dead rank is respawned and the
+        cohort resumes from the last checkpoint (a real crash happens
+        once).  Message-level faults are kept — they model the channel,
+        not a single event on a single rank.
+        """
+        ranks = set(int(r) for r in ranks)
+        kept = [spec for spec in self.faults
+                if not (isinstance(spec, RankCrash) and spec.rank in ranks)]
+        return FaultPlan(faults=kept, seed=self.seed)
 
 
 class FaultInjector:

@@ -26,6 +26,30 @@ collective fail fast with :class:`~repro.exceptions.RankFailure` instead
 of waiting out their timeouts; the parent re-raises the most causal error
 (same priority rule as the thread backend) and always unlinks every
 shared-memory segment on the way out.
+
+**Rank respawn** (``max_rank_restarts > 0``): instead of killing the
+whole job on a :class:`RankFailure`, the parent runs a recovery round —
+
+1. survivors observe the death through the shared control block at their
+   next superstep (or mid-``recv``, via the dead-peer poll), unwind their
+   rank program, and *quiesce*: they report ``quiesced`` on the result
+   pipe and block on their command pipe;
+2. the parent respawns the dead rank's process, handing it the same
+   per-route pipe ends and shared-memory metadata (the input segments
+   are still published — the replacement re-attaches its views);
+3. every rank — survivors via a ``resume`` command, the replacement at
+   spawn — re-enters the rank program in a new *generation* with
+   ``resume_from`` pointing at the last checkpoint ``checkpoint_path``
+   wrote (or from scratch when none exists yet).  Stale frames from the
+   dead generation are dropped by the generation tag every envelope
+   carries, and fired :class:`~repro.parallel.faults.RankCrash` specs are
+   filtered out of the fault plan so an injected crash fires exactly
+   once.
+
+Because checkpoint resume is bitwise-identical (PR 1's contract), a
+respawned run's factors, pivots and indicators match the fault-free run
+exactly; modeled clocks restart from the resume point and therefore
+count post-recovery work only.
 """
 
 from __future__ import annotations
@@ -33,6 +57,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 from multiprocessing import shared_memory
+from pathlib import Path
 
 import numpy as np
 
@@ -47,7 +72,14 @@ from .collectives import (
 )
 from .faults import DROP, FaultInjector, FaultPlan
 from .machine import MachineModel
-from .shm import attach_untracked, publish_args, resolve_args, _fresh_name
+from .shm import (
+    attach_untracked,
+    publish_args,
+    register_owned,
+    resolve_args,
+    unregister_owned,
+    _fresh_name,
+)
 
 #: Collective-internal messages use this negative tag space (user tags are
 #: >= 0); the per-collective sequence number keeps frames distinguishable
@@ -67,6 +99,7 @@ class _CtrlBlock:
         if self.owner:
             self.shm = shared_memory.SharedMemory(
                 create=True, size=16 * nprocs, name=_fresh_name())
+            register_owned(self.shm.name)
             self.arr = np.frombuffer(self.shm.buf, dtype=np.int64)
             self.arr[:] = -1
         else:
@@ -92,6 +125,11 @@ class _CtrlBlock:
     def superstep_of(self, rank: int) -> int:
         return int(self.arr[self.nprocs + rank])
 
+    def reset(self) -> None:
+        """Clear failure flags and heartbeats for a new generation
+        (parent only, while every rank is quiesced or dead)."""
+        self.arr[:] = -1
+
     def close(self) -> None:
         arr, self.arr = self.arr, None
         del arr
@@ -104,6 +142,7 @@ class _CtrlBlock:
                 self.shm.unlink()
             except FileNotFoundError:
                 pass
+            unregister_owned(self.shm.name)
 
 
 class ProcComm:
@@ -117,7 +156,8 @@ class ProcComm:
     def __init__(self, rank: int, nprocs: int, machine: MachineModel,
                  channels: dict, send_conns: dict, ctrl: _CtrlBlock,
                  injector: FaultInjector | None,
-                 recv_timeout: float, collective_timeout: float):
+                 recv_timeout: float, collective_timeout: float,
+                 gen: int = 0):
         self.rank = rank
         self.nprocs = nprocs
         self.machine = machine
@@ -127,6 +167,7 @@ class ProcComm:
         self._injector = injector
         self._recv_timeout = float(recv_timeout)
         self._collective_timeout = float(collective_timeout)
+        self._gen = int(gen)               # respawn generation (envelopes)
         self._clock = 0.0
         self._kernel: str | None = None
         self._superstep = 0
@@ -197,21 +238,29 @@ class ProcComm:
     def _raw_send(self, dst: int, tag: int, obj, *, clock: float) -> int:
         conn = self._send_conns[dst]
         frame = transport.encode(
-            {"tag": tag, "clock": clock, "src": self.rank}, obj)
+            {"tag": tag, "clock": clock, "src": self.rank,
+             "gen": self._gen}, obj)
         conn.send_bytes(frame)
         return len(frame)
 
     def _raw_recv(self, src: int, tag: int, timeout: float, *, op: str):
-        """One blocking receive attempt; raises on dead peer or timeout."""
+        """One blocking receive attempt; raises on dead peer or timeout.
+
+        The dead-peer poll fails fast on *any* dead rank, not just the
+        source: a death anywhere dooms the current generation (every
+        collective spans all ranks), and prompt unwinding is what lets
+        survivors quiesce for respawn instead of waiting out timeouts.
+        """
         ch = self._channels[src]
 
         def dead_check():
             failed = self._ctrl.failed()
-            if src in failed:
+            if failed:
+                dead = src if src in failed else min(failed)
                 raise RankFailure(
-                    f"{op} on rank {self.rank}: source rank {src} died at "
-                    f"superstep {failed[src]}", rank=src,
-                    superstep=failed[src])
+                    f"{op} on rank {self.rank}: rank {dead} died at "
+                    f"superstep {failed[dead]}", rank=dead,
+                    superstep=failed[dead])
 
         got = ch.recv(tag, dead_check, timeout)
         if got is None:
@@ -466,38 +515,93 @@ def _exc_from_wire(d: dict, rank: int) -> BaseException:
         f"rank {rank} failed: {d['type']}: {d['message']}")
 
 
+def _await_command(cmd_conn) -> dict | None:
+    """Block on the command pipe until the parent speaks (or dies)."""
+    try:
+        while True:
+            if cmd_conn.poll(1.0):
+                return cmd_conn.recv()
+    except (EOFError, OSError):
+        return None  # parent gone: exit
+
+
 def _rank_main(rank: int, nprocs: int, program, args: tuple, kwargs: dict,
                machine: MachineModel, plan: FaultPlan | None,
                recv_timeout: float, collective_timeout: float,
-               recv_conns: dict, send_conns: dict, result_conn,
-               ctrl_name: str) -> None:
+               recv_conns: dict, send_conns: dict, result_conn, cmd_conn,
+               ctrl_name: str, start_gen: int, respawn: bool) -> None:
+    """Child entry: run ``program`` once per generation until told to exit.
+
+    Without respawn (``respawn=False``) this is one shot: run, report
+    ``ok`` or ``err``, exit.  With respawn, a rank that unwinds with a
+    *peer's* :class:`RankFailure` reports ``quiesced`` and blocks on the
+    command pipe; a ``resume`` command carries the next generation number,
+    the filtered fault plan, and the checkpoint to resume from.  A rank's
+    *own* death (injected crash, program error) is always fatal to the
+    process — the parent respawns a fresh one.
+    """
     attached = []
     ctrl = None
-    comm = None
     try:
         ctrl = _CtrlBlock(nprocs, name=ctrl_name)
         args, attached = resolve_args(args)
         channels = {src: transport.Channel(conn)
                     for src, conn in recv_conns.items()}
-        injector = plan.build() if plan is not None else None
-        comm = ProcComm(rank, nprocs, machine, channels, send_conns, ctrl,
-                        injector, recv_timeout, collective_timeout)
-        result = program(comm, *args, **kwargs)
-        payload = {
-            "result": result,
-            "clock": comm.clock(),
-            "kernel_times": {k: v for (k, _r), v
-                             in comm.kernel_times.items()},
-            "ledger": comm.ledger.to_dict(),
-            "superstep": comm.superstep,
-        }
-        result_conn.send_bytes(transport.encode({"kind": "ok"}, payload))
-    except BaseException as exc:  # noqa: BLE001 - must cross processes
+        gen = int(start_gen)
+        kwargs = dict(kwargs)
+        while True:
+            for ch in channels.values():
+                ch.set_generation(gen)
+            injector = plan.build() if plan is not None else None
+            comm = ProcComm(rank, nprocs, machine, channels, send_conns,
+                            ctrl, injector, recv_timeout,
+                            collective_timeout, gen=gen)
+            fatal = False
+            try:
+                result = program(comm, *args, **kwargs)
+                kind, payload = "ok", {
+                    "result": result,
+                    "clock": comm.clock(),
+                    "kernel_times": {k: v for (k, _r), v
+                                     in comm.kernel_times.items()},
+                    "ledger": comm.ledger.to_dict(),
+                    "superstep": comm.superstep,
+                }
+            except RankFailure as exc:
+                if (respawn and not exc.injected
+                        and exc.rank is not None and exc.rank != rank):
+                    # a peer died: unwound cleanly, park for the respawn
+                    kind, payload = "quiesced", {
+                        "superstep": comm.superstep,
+                        "cause_rank": int(exc.rank),
+                    }
+                else:
+                    ctrl.mark_failed(rank, comm.superstep)
+                    kind, payload, fatal = "err", _exc_to_wire(exc), True
+            except BaseException as exc:  # noqa: BLE001 - crosses processes
+                ctrl.mark_failed(rank, comm.superstep)
+                kind, payload, fatal = "err", _exc_to_wire(exc), True
+            try:
+                result_conn.send_bytes(
+                    transport.encode({"kind": kind, "gen": gen}, payload))
+            except OSError:
+                return
+            if fatal or not respawn:
+                return
+            cmd = _await_command(cmd_conn)
+            if cmd is None or cmd.get("op") != "resume":
+                return
+            gen = int(cmd["gen"])
+            plan = cmd.get("plan")
+            if cmd.get("resume_from") is not None:
+                kwargs["resume_from"] = cmd["resume_from"]
+    except BaseException as exc:  # noqa: BLE001 - setup failure
         if ctrl is not None:
-            ctrl.mark_failed(rank, comm.superstep if comm else 0)
+            ctrl.mark_failed(rank, 0)
         try:
             result_conn.send_bytes(
-                transport.encode({"kind": "err"}, _exc_to_wire(exc)))
+                transport.encode({"kind": "err", "gen": int(start_gen)},
+                                 _exc_to_wire(exc)))
         except OSError:
             pass
     finally:
@@ -505,10 +609,11 @@ def _rank_main(rank: int, nprocs: int, program, args: tuple, kwargs: dict,
             h.close()
         if ctrl is not None:
             ctrl.close()
-        try:
-            result_conn.close()
-        except OSError:
-            pass
+        for conn in (result_conn, cmd_conn):
+            try:
+                conn.close()
+            except OSError:
+                pass
 
 
 # ---------------------------------------------------------------------------
@@ -527,15 +632,29 @@ def run_spmd_procs(nprocs: int, program, *args,
                    collective_timeout: float = 120.0,
                    join_timeout: float = 300.0,
                    mp_context: str | None = None,
+                   max_rank_restarts: int = 0,
+                   quiesce_timeout: float = 30.0,
                    **kwargs) -> dict:
     """Run ``program`` on ``nprocs`` OS processes (see module docstring).
 
     Called through :func:`repro.parallel.comm.run_spmd` with
     ``backend="procs"``; the signature mirrors the thread path.  Extra
-    knobs: ``join_timeout`` bounds the whole run in real time,
+    knobs: ``join_timeout`` bounds each generation in real time,
     ``mp_context`` overrides the start method (default ``fork`` where
     available — rank startup is milliseconds; ``spawn`` re-imports the
     library per rank).
+
+    ``max_rank_restarts > 0`` enables rank respawn: up to that many
+    recovery rounds turn a :class:`RankFailure` into a respawn of the
+    dead rank(s) plus a cohort-wide resume from the last
+    ``checkpoint_path`` checkpoint (from scratch when none exists yet) —
+    see the module docstring for the protocol.  Program errors
+    (``ZeroDivisionError``, mismatched collectives, ...) are never
+    respawned: a deterministic bug would fail identically again.
+    ``quiesce_timeout`` bounds how long the parent waits for survivors to
+    notice a death and park; stragglers past it are terminated and
+    respawned too.  The returned dict reports the recovery count under
+    ``"restarts"``.
     """
     from .comm import _error_priority
 
@@ -547,6 +666,10 @@ def run_spmd_procs(nprocs: int, program, *args,
                 f"{bad} is not supported by the procs backend (rank "
                 "processes cannot call back into the parent); use "
                 "checkpoint_path instead")
+    max_rank_restarts = int(max_rank_restarts)
+    if max_rank_restarts < 0:
+        raise CommunicatorError("max_rank_restarts must be >= 0")
+    respawn = max_rank_restarts > 0
     machine = machine or MachineModel()
     plan = fault_plan.plan if isinstance(fault_plan, FaultInjector) \
         else fault_plan
@@ -555,11 +678,36 @@ def run_spmd_procs(nprocs: int, program, *args,
     t_wall = time.perf_counter()
     shm_args, published = publish_args(args)
     ctrl = _CtrlBlock(nprocs)
-    procs: list = []
-    result_conns: list = []
+    procs: list = [None] * nprocs
+    result_conns: list = [None] * nprocs
+    child_result_conns: list = [None] * nprocs
+    cmd_conns: list = [None] * nprocs
+    child_cmd_conns: list = [None] * nprocs
+    child_recv: list = [None] * nprocs
+    child_send: list = [None] * nprocs
     all_conns: list = []
+    restarts = 0
+    active_plan = plan
+
+    def spawn(rank: int, gen: int, extra_kwargs: dict | None) -> None:
+        p = ctx.Process(
+            target=_rank_main,
+            args=(rank, nprocs, program,
+                  shm_args, extra_kwargs or kwargs, machine, active_plan,
+                  float(recv_timeout), float(collective_timeout),
+                  child_recv[rank], child_send[rank],
+                  child_result_conns[rank], child_cmd_conns[rank],
+                  ctrl.name, gen, respawn),
+            daemon=True)
+        procs[rank] = p
+        p.start()
+
     try:
-        # one half-duplex pipe per ordered rank pair + one result pipe/rank
+        # one half-duplex pipe per ordered rank pair, plus a result pipe
+        # and a duplex command pipe per rank.  The parent keeps *both*
+        # ends of every pipe so a respawned process can be handed the
+        # exact same routes its predecessor used (works under fork and
+        # spawn alike).
         route_r: dict[tuple[int, int], object] = {}
         route_w: dict[tuple[int, int], object] = {}
         for s in range(nprocs):
@@ -572,65 +720,128 @@ def run_spmd_procs(nprocs: int, program, *args,
                 all_conns.extend([r_conn, w_conn])
         for rank in range(nprocs):
             pr, pw = ctx.Pipe(duplex=False)
-            result_conns.append(pr)
-            all_conns.extend([pr, pw])
-            recv_conns = {s: route_r[(s, rank)]
-                          for s in range(nprocs) if s != rank}
-            send_conns = {d: route_w[(rank, d)]
-                          for d in range(nprocs) if d != rank}
-            p = ctx.Process(
-                target=_rank_main,
-                args=(rank, nprocs, program, shm_args, kwargs, machine,
-                      plan, float(recv_timeout), float(collective_timeout),
-                      recv_conns, send_conns, pw, ctrl.name),
-                daemon=True)
-            procs.append(p)
-        for p in procs:
-            p.start()
+            cparent, cchild = ctx.Pipe(duplex=True)
+            result_conns[rank] = pr
+            child_result_conns[rank] = pw
+            cmd_conns[rank] = cparent
+            child_cmd_conns[rank] = cchild
+            all_conns.extend([pr, pw, cparent, cchild])
+            child_recv[rank] = {s: route_r[(s, rank)]
+                                for s in range(nprocs) if s != rank}
+            child_send[rank] = {d: route_w[(rank, d)]
+                                for d in range(nprocs) if d != rank}
+        gen = 0
+        for rank in range(nprocs):
+            spawn(rank, gen, None)
 
         reports: list = [None] * nprocs
-        errors: list = [None] * nprocs
-        pending = set(range(nprocs))
-        deadline = time.monotonic() + float(join_timeout)
-        while pending:
-            progressed = False
-            for rank in list(pending):
-                conn = result_conns[rank]
-                if conn.poll(0.01):
-                    env, payload = transport.decode(conn.recv_bytes())
-                    if env["kind"] == "ok":
-                        reports[rank] = payload
-                    else:
-                        errors[rank] = _exc_from_wire(payload, rank)
-                    pending.discard(rank)
-                    progressed = True
-                elif procs[rank].exitcode is not None:
-                    # died without reporting (hard crash / kill)
-                    errors[rank] = RankFailure(
-                        f"rank {rank} process exited with code "
-                        f"{procs[rank].exitcode} without reporting",
-                        rank=rank, superstep=ctrl.superstep_of(rank))
-                    ctrl.mark_failed(rank, max(ctrl.superstep_of(rank), 0))
-                    pending.discard(rank)
-                    progressed = True
-            if pending and not progressed and time.monotonic() > deadline:
-                stuck = sorted(pending)
-                detail = ", ".join(
-                    f"rank {r} at superstep {ctrl.superstep_of(r)}"
-                    for r in stuck)
-                raise CommTimeoutError(
-                    f"procs backend: {len(stuck)} rank(s) still running "
-                    f"after join timeout {join_timeout:g}s ({detail})",
-                    timeout=float(join_timeout))
-        raised = [e for e in errors if e is not None]
-        if raised:
-            raise min(raised, key=_error_priority)
+        while True:
+            # -- collect one generation: every rank reports or dies -----
+            status: dict[int, tuple[str, object]] = {}
+            pending = set(range(nprocs))
+            deadline = time.monotonic() + float(join_timeout)
+            quiesce_deadline = None
+            while pending:
+                progressed = False
+                for rank in list(pending):
+                    conn = result_conns[rank]
+                    if conn.poll(0.01):
+                        env, payload = transport.decode(conn.recv_bytes())
+                        if int(env.get("gen", 0)) != gen:
+                            progressed = True
+                            continue  # stale report from a dead generation
+                        kind = env["kind"]
+                        if kind == "err":
+                            status[rank] = (
+                                "err", _exc_from_wire(payload, rank))
+                        else:
+                            status[rank] = (kind, payload)
+                        pending.discard(rank)
+                        progressed = True
+                    elif procs[rank].exitcode is not None:
+                        # died without reporting (hard crash / kill)
+                        status[rank] = ("dead", RankFailure(
+                            f"rank {rank} process exited with code "
+                            f"{procs[rank].exitcode} without reporting",
+                            rank=rank, superstep=ctrl.superstep_of(rank)))
+                        ctrl.mark_failed(rank,
+                                         max(ctrl.superstep_of(rank), 0))
+                        pending.discard(rank)
+                        progressed = True
+                if pending and respawn and quiesce_deadline is None \
+                        and any(k in ("err", "dead")
+                                for k, _ in status.values()):
+                    quiesce_deadline = (time.monotonic()
+                                        + float(quiesce_timeout))
+                if pending and quiesce_deadline is not None \
+                        and time.monotonic() > quiesce_deadline:
+                    for rank in pending:  # straggler: respawn it too
+                        procs[rank].terminate()
+                    quiesce_deadline = time.monotonic() + 5.0
+                if pending and not progressed \
+                        and time.monotonic() > deadline:
+                    stuck = sorted(pending)
+                    detail = ", ".join(
+                        f"rank {r} at superstep {ctrl.superstep_of(r)}"
+                        for r in stuck)
+                    raise CommTimeoutError(
+                        f"procs backend: {len(stuck)} rank(s) still "
+                        f"running after join timeout {join_timeout:g}s "
+                        f"({detail})", timeout=float(join_timeout))
+
+            failed = {r: e for r, (k, e) in status.items()
+                      if k in ("err", "dead")}
+            if not failed:
+                if all(status[r][0] == "ok" for r in range(nprocs)):
+                    reports = [status[r][1] for r in range(nprocs)]
+                    break
+                # all-quiesced without a recorded death (e.g. a stale
+                # ctrl flag): treat as one more recovery round
+                failed = {}
+            causal = (min(failed.values(), key=_error_priority)
+                      if failed else None)
+            respawnable = respawn and all(
+                isinstance(e, RankFailure) for e in failed.values())
+            if not respawnable or restarts >= max_rank_restarts:
+                if causal is not None:
+                    raise causal
+                raise CommunicatorError(
+                    "procs backend: every rank quiesced but no failure "
+                    "was recorded")
+
+            # -- recovery round ----------------------------------------
+            restarts += 1
+            gen += 1
+            if active_plan is not None:
+                active_plan = active_plan.without_crashes_for(failed)
+            ckpt = kwargs.get("checkpoint_path")
+            resume = (str(ckpt) if ckpt is not None
+                      and Path(ckpt).exists() else None)
+            ctrl.reset()
+            resume_cmd = {"op": "resume", "gen": gen, "plan": active_plan,
+                          "resume_from": resume}
+            for rank in range(nprocs):
+                kind = status[rank][0]
+                if kind in ("ok", "quiesced") and procs[rank].is_alive():
+                    cmd_conns[rank].send(resume_cmd)
+                else:
+                    procs[rank].join(timeout=5.0)
+                    spawn(rank, gen,
+                          dict(kwargs, resume_from=resume) if resume
+                          else None)
+
+        if respawn:
+            for conn in cmd_conns:
+                try:
+                    conn.send({"op": "exit"})
+                except (OSError, BrokenPipeError):
+                    pass
     finally:
         for p in procs:
-            if p.is_alive():
+            if p is not None and p.is_alive():
                 p.terminate()
         for p in procs:
-            if p.pid is not None:
+            if p is not None and p.pid is not None:
                 p.join(timeout=5.0)
         for conn in all_conns:
             try:
@@ -656,5 +867,6 @@ def run_spmd_procs(nprocs: int, program, *args,
         "comm": summarize_ledgers(ledgers, backend="procs",
                                   algo=machine.comm_algo),
         "backend": "procs",
+        "restarts": restarts,
         "wall_seconds": time.perf_counter() - t_wall,
     }

@@ -24,6 +24,8 @@ Lifecycle (leak-freedom is an acceptance criterion, see
 
 from __future__ import annotations
 
+import atexit
+import os
 import secrets
 from multiprocessing import shared_memory
 from pathlib import Path
@@ -35,6 +37,56 @@ import scipy.sparse as sp
 SHM_PREFIX = "repro_spmd_"
 
 _SHM_DIR = Path("/dev/shm")
+
+#: Names of segments *owned* (created) by this process and not yet
+#: unlinked.  An ``atexit`` sweep unlinks whatever is left so abnormal
+#: parent death (unhandled exception past the run_spmd ``finally``,
+#: ``sys.exit`` mid-run) does not leak ``/dev/shm`` blocks.  Only the
+#: creating pid ever unlinks: forked children inherit the set but the
+#: guard below makes their sweep a no-op.
+_OWNED_SEGMENTS: set[str] = set()
+_OWNER_PID = os.getpid()
+
+
+def register_owned(name: str) -> None:
+    """Record a segment this process created (see :func:`cleanup_owned`)."""
+    global _OWNER_PID
+    if os.getpid() != _OWNER_PID:  # forked child re-registering fresh
+        _OWNED_SEGMENTS.clear()
+        _OWNER_PID = os.getpid()
+    _OWNED_SEGMENTS.add(name)
+
+
+def unregister_owned(name: str) -> None:
+    _OWNED_SEGMENTS.discard(name)
+
+
+def cleanup_owned() -> list[str]:
+    """Unlink every still-registered owned segment; returns their names.
+
+    Registered with :mod:`atexit`; also callable from tests and signal
+    handlers.  Safe to call repeatedly and from forked children (no-op:
+    children never own segments they did not create).
+    """
+    if os.getpid() != _OWNER_PID:
+        return []
+    cleaned = []
+    for name in sorted(_OWNED_SEGMENTS):
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        try:
+            seg.close()
+            seg.unlink()
+            cleaned.append(name)
+        except FileNotFoundError:  # pragma: no cover - raced another exit
+            pass
+    _OWNED_SEGMENTS.clear()
+    return cleaned
+
+
+atexit.register(cleanup_owned)
 
 
 def shm_segments() -> list[str]:
@@ -90,6 +142,7 @@ class SharedMatrix:
         total = sum(p.nbytes for p in parts)
         shm = shared_memory.SharedMemory(
             create=True, size=max(total, 1), name=_fresh_name())
+        register_owned(shm.name)
         meta = {"name": shm.name, "format": fmt,
                 "shape": tuple(int(s) for s in A.shape), "parts": []}
         offset = 0
@@ -145,6 +198,7 @@ class SharedMatrix:
                 self._shm.unlink()
             except FileNotFoundError:
                 pass
+            unregister_owned(self._shm.name)
 
     def __enter__(self) -> "SharedMatrix":
         return self

@@ -172,11 +172,31 @@ class Channel:
     buffering out-of-order tags in per-tag deques (the connection itself is
     FIFO, but a rank may post sends for future tags before the receiver
     asks for them — e.g. tournament rounds).
+
+    **Generations.**  The rank-respawn protocol re-runs rank programs over
+    the *same* pipes; frames a dead rank left in flight (or survivors sent
+    to it) must not leak into the resumed run.  Every envelope therefore
+    carries the sender's generation; :meth:`set_generation` advances the
+    receiver and purges buffered frames, and :meth:`recv` silently drops
+    any frame from an older generation.
     """
 
     def __init__(self, conn):
         self.conn = conn
+        self.generation = 0
         self._pending: dict[int, deque] = {}
+
+    def set_generation(self, gen: int) -> None:
+        """Enter generation ``gen``: buffered older-generation frames are
+        stale by definition and dropped."""
+        self.generation = int(gen)
+        for tag, q in list(self._pending.items()):
+            kept = deque((env, obj) for env, obj in q
+                         if env.get("gen", 0) >= self.generation)
+            if kept:
+                self._pending[tag] = kept
+            else:
+                del self._pending[tag]
 
     def send(self, envelope: dict, obj) -> int:
         frame = encode(envelope, obj)
@@ -198,6 +218,8 @@ class Channel:
             deadline_poll()
             if self.conn.poll(poll):
                 env, obj = decode(self.conn.recv_bytes())
+                if env.get("gen", 0) < self.generation:
+                    continue  # stale frame from before a respawn: drop
                 if env["tag"] == tag:
                     return env, obj
                 self._pending.setdefault(env["tag"],

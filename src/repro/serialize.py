@@ -16,6 +16,8 @@ last one with the error-indicator state intact (see ``resume_from=`` on
 from __future__ import annotations
 
 import json
+import os
+import secrets
 from pathlib import Path
 
 import numpy as np
@@ -29,6 +31,31 @@ from .results import (
     QBApproximation,
     UBVApproximation,
 )
+
+
+def _atomic_savez(path, **arrays) -> None:
+    """Write an ``.npz`` archive atomically: unique temp + fsync + replace.
+
+    A crash at any point leaves either the previous file or nothing —
+    never a torn archive.  The temp name ends in ``.npz`` (so numpy does
+    not append a suffix) and carries a random token (so two concurrent
+    writers — e.g. a checkpointing rank racing a respawned one — never
+    clobber each other's partial writes).
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.{secrets.token_hex(4)}.tmp.npz")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
 
 
 def _history_payload(history: ConvergenceHistory) -> str:
@@ -68,8 +95,8 @@ def save_result(result, path) -> None:
                       U_data=U.data, U_indices=U.indices, U_indptr=U.indptr,
                       L_shape=np.array(L.shape), U_shape=np.array(U.shape),
                       row_perm=result.row_perm, col_perm=result.col_perm)
-    np.savez_compressed(
-        Path(path),
+    _atomic_savez(
+        path,
         _meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
         _history=np.frombuffer(_history_payload(result.history).encode(),
                                dtype=np.uint8),
@@ -143,8 +170,10 @@ def save_checkpoint(path, state: dict) -> None:
     Values may be numpy arrays, scipy sparse matrices, (possibly empty)
     lists of either, or anything ``json.dumps`` accepts (ints, floats,
     strings, dicts — e.g. an RNG bit-generator state).  The write is
-    atomic-ish: data goes to ``<path>.tmp`` first, then replaces ``path``,
-    so a crash mid-write never corrupts the previous checkpoint.
+    atomic: data goes to a uniquely-named temp file in the same
+    directory, is fsynced, and then replaces ``path`` via ``os.replace``
+    — a crash mid-write can never leave a torn checkpoint that poisons a
+    later resume, and concurrent writers never corrupt each other.
     """
     arrays: dict[str, np.ndarray] = {}
     meta: dict = {"version": CHECKPOINT_VERSION, "scalars": {},
@@ -175,14 +204,9 @@ def save_checkpoint(path, state: dict) -> None:
                     f"checkpoint value for {key!r} is not serializable "
                     f"({type(val).__name__})") from exc
             meta["scalars"][key] = val
-    path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
-    np.savez_compressed(
-        tmp, _ckpt_meta=np.frombuffer(json.dumps(meta).encode(),
-                                      dtype=np.uint8), **arrays)
-    # savez appends .npz to names without the suffix
-    written = tmp if tmp.exists() else tmp.with_name(tmp.name + ".npz")
-    written.replace(path)
+    _atomic_savez(
+        path, _ckpt_meta=np.frombuffer(json.dumps(meta).encode(),
+                                       dtype=np.uint8), **arrays)
 
 
 def load_checkpoint(path) -> dict:

@@ -23,11 +23,17 @@ Over the wire: ``python -m repro serve --port 7321`` and
 ``ServiceClient.connect(port=7321)``.
 """
 
-from .cache import CacheEntry, FactorizationCache, matrix_fingerprint
+from .cache import (
+    CacheEntry,
+    DiskCacheTier,
+    FactorizationCache,
+    matrix_fingerprint,
+)
+from .chaos import ChaosDriver, ChaosReport
 from .client import ServiceClient, main_serve, serve_tcp
 from .jobs import JobQueue
 from .metrics import ServiceMetrics
-from .runner import SolveService
+from .runner import CircuitBreaker, SolveService
 from .schema import (
     METRICS_SCHEMA,
     RESPONSE_SCHEMA,
@@ -39,6 +45,10 @@ from .schema import (
 
 __all__ = [
     "CacheEntry",
+    "ChaosDriver",
+    "ChaosReport",
+    "CircuitBreaker",
+    "DiskCacheTier",
     "FactorizationCache",
     "JobQueue",
     "JobRecord",

@@ -1,0 +1,203 @@
+"""Service-level chaos driver: seeded fault injection for the serving path.
+
+The SPMD layer has had a deterministic fault model since PR 2
+(:mod:`repro.parallel.faults`); this module extends the same declarative,
+seeded style to the serving stack so the robustness claims are *tested*,
+not asserted:
+
+- :class:`~repro.parallel.faults.WorkerKill` — cancel a solve worker
+  task mid-flight; the supervisor must restart it and requeue its jobs
+  without losing any.
+- :class:`~repro.parallel.faults.ConnectionSever` — hard-close the TCP
+  socket under a client; the reconnecting client must recover with
+  bounded jittered backoff.
+- :class:`~repro.parallel.faults.CacheCorruption` — truncate or
+  overwrite spilled cache archives; the durable tier must quarantine
+  them and keep serving.
+- :class:`~repro.parallel.faults.RankCrashChaos` — crash an SPMD rank
+  inside a service-routed procs job; rank respawn must absorb it.
+
+:class:`ChaosDriver` is the toolbox applying those specs against live
+objects; :class:`ChaosReport` accumulates what happened so benchmarks
+(``benchmarks/chaos_service.py``) and tests can gate on *zero lost
+jobs* and *typed-errors-only* shedding.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ServiceError
+from ..parallel.faults import (
+    CacheCorruption,
+    ConnectionSever,
+    RankCrashChaos,
+    WorkerKill,
+)
+
+
+@dataclass
+class ChaosReport:
+    """Tally of injected faults and observed outcomes for one session.
+
+    *Lost* means accepted (submission returned a job id) but never
+    resolved to a terminal state — the one outcome a survivable service
+    must never produce.  Typed shedding (overload, open breaker) is
+    counted separately and is acceptable; ``untyped_errors`` counts
+    failures that surfaced as anything other than the service's typed
+    exception vocabulary.
+    """
+
+    accepted: int = 0
+    completed: int = 0
+    failed_typed: int = 0
+    shed: int = 0
+    lost: int = 0
+    untyped_errors: int = 0
+    worker_kills: int = 0
+    connection_severs: int = 0
+    cache_corruptions: int = 0
+    rank_crashes: int = 0
+    recovery_latencies: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        lat = sorted(self.recovery_latencies)
+        return {
+            "accepted": self.accepted,
+            "completed": self.completed,
+            "failed_typed": self.failed_typed,
+            "shed": self.shed,
+            "lost": self.lost,
+            "untyped_errors": self.untyped_errors,
+            "faults": {
+                "worker_kills": self.worker_kills,
+                "connection_severs": self.connection_severs,
+                "cache_corruptions": self.cache_corruptions,
+                "rank_crashes": self.rank_crashes,
+            },
+            "recovery_latency": {
+                "count": len(lat),
+                "max": (lat[-1] if lat else 0.0),
+                "p50": (lat[len(lat) // 2] if lat else 0.0),
+            },
+        }
+
+
+class ChaosDriver:
+    """Applies service-level chaos specs against live components.
+
+    Deterministic for a fixed ``seed``: corruption targets and byte
+    ranges come from one seeded RNG, kills land on explicit workers and
+    request indices.  The driver never reaches into components beyond
+    what a real operator-level fault could do (cancelling a task *is*
+    the asyncio analogue of ``kill -9`` on a worker; closing a socket is
+    a dropped connection; flipping bytes on disk is disk rot).
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(self.seed)
+        self.report = ChaosReport()
+
+    # -- worker kills --------------------------------------------------
+    async def kill_worker(self, service, worker: int) -> bool:
+        """Cancel worker task ``worker`` (no-op if already done)."""
+        tasks = service._tasks
+        if 0 <= worker < len(tasks) and not tasks[worker].done():
+            tasks[worker].cancel()
+            self.report.worker_kills += 1
+            return True
+        return False
+
+    def kill_worker_sync(self, client, worker: int,
+                         timeout: float = 5.0) -> bool:
+        """Kill a worker of an *in-process* ``ServiceClient``'s service."""
+        if client._service is None or client._loop is None:
+            raise ServiceError(
+                "worker kills need an in-process client (TCP clients "
+                "cannot reach the server's tasks)")
+        fut = asyncio.run_coroutine_threadsafe(
+            self.kill_worker(client._service, worker), client._loop)
+        return fut.result(timeout)
+
+    # -- connection severing -------------------------------------------
+    def sever_connection(self, client) -> None:
+        """Hard-close the TCP socket under a connected client."""
+        if client._sock is None:
+            raise ServiceError("sever_connection needs a TCP client")
+        try:
+            client._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            client._sock.close()
+        except OSError:
+            pass
+        self.report.connection_severs += 1
+
+    # -- cache corruption ----------------------------------------------
+    def corrupt_cache(self, tier, kind: str = "truncate",
+                      count: int = 1) -> list[str]:
+        """Damage up to ``count`` spilled archives; returns entry ids.
+
+        ``truncate`` chops each archive to half its bytes (a torn write
+        that bypassed the atomic rename — e.g. disk-level damage);
+        ``garbage`` overwrites a seeded byte range in place (bit rot).
+        Target selection is a seeded permutation of the sorted entry
+        list, so a fixed seed always damages the same entries.
+        """
+        if kind not in ("truncate", "garbage"):
+            raise ValueError(
+                f"unknown cache corruption kind {kind!r}")
+        archives = sorted(tier.entries_dir.glob("*.npz"))
+        if not archives:
+            return []
+        order = self.rng.permutation(len(archives))
+        hit = []
+        for idx in order[:max(int(count), 0)]:
+            npz = archives[int(idx)]
+            data = bytearray(npz.read_bytes())
+            if kind == "truncate":
+                npz.write_bytes(bytes(data[:max(1, len(data) // 2)]))
+            else:
+                span = max(8, len(data) // 16)
+                start = int(self.rng.integers(0, max(1, len(data) - span)))
+                data[start:start + span] = bytes(
+                    self.rng.integers(0, 256, size=span, dtype=np.uint8))
+                npz.write_bytes(bytes(data))
+            self.report.cache_corruptions += 1
+            hit.append(npz.stem)
+        return hit
+
+    # -- declarative dispatch ------------------------------------------
+    def apply(self, spec, *, client=None, service=None, tier=None):
+        """Apply one chaos spec from :mod:`repro.parallel.faults`.
+
+        The caller supplies whichever live components the spec needs;
+        :class:`RankCrashChaos` is not applied here — it converts to a
+        :class:`~repro.parallel.faults.FaultPlan` attached to the SPMD
+        run (``spec.to_fault_plan()``), and is only tallied.
+        """
+        if isinstance(spec, WorkerKill):
+            if client is not None:
+                return self.kill_worker_sync(client, spec.worker)
+            if service is None:
+                raise ServiceError("WorkerKill needs a client or service")
+            return self.kill_worker(service, spec.worker)
+        if isinstance(spec, ConnectionSever):
+            if client is None:
+                raise ServiceError("ConnectionSever needs a TCP client")
+            return self.sever_connection(client)
+        if isinstance(spec, CacheCorruption):
+            if tier is None:
+                raise ServiceError("CacheCorruption needs a DiskCacheTier")
+            return self.corrupt_cache(tier, kind=spec.kind,
+                                      count=spec.count)
+        if isinstance(spec, RankCrashChaos):
+            self.report.rank_crashes += 1
+            return spec.to_fault_plan(seed=self.seed)
+        raise TypeError(f"unknown chaos spec {type(spec).__name__}")

@@ -28,10 +28,26 @@ import asyncio
 import json
 import socket
 import threading
+import time
 
-from ..exceptions import QueueFullError, ServiceError
+import numpy as np
+
+from ..exceptions import (
+    CircuitOpenError,
+    QueueFullError,
+    ServiceError,
+    ServiceOverloadError,
+)
 from .runner import SolveService
 from .schema import SolveRequest
+
+#: Exceptions the TCP layer re-raises as their typed client-side class,
+#: reconstructing the retry metadata the server attached to the reply.
+_WIRE_ERRORS = {
+    "QueueFullError": QueueFullError,
+    "ServiceOverloadError": ServiceOverloadError,
+    "CircuitOpenError": CircuitOpenError,
+}
 
 
 class ServiceClient:
@@ -59,9 +75,11 @@ class ServiceClient:
 
     def close(self) -> None:
         if self._sock is not None:
-            self._request({"op": "shutdown"})
-            self._sock_file.close()
-            self._sock.close()
+            try:
+                self._request({"op": "shutdown"})
+            except ServiceError:
+                pass  # server already gone: nothing to shut down
+            self._drop_socket()
             self._sock = None
             return
         if self._loop.is_running():
@@ -79,29 +97,106 @@ class ServiceClient:
     # -- TCP construction ----------------------------------------------
     @classmethod
     def connect(cls, host: str = "127.0.0.1", port: int = 7321,
-                timeout: float = 60.0) -> "ServiceClient":
-        """A client bound to a running ``python -m repro serve`` endpoint."""
+                timeout: float = 60.0, *,
+                read_timeout: float | None = None,
+                reconnect_retries: int = 3,
+                reconnect_backoff: float = 0.05,
+                reconnect_seed: int = 0) -> "ServiceClient":
+        """A client bound to a running ``python -m repro serve`` endpoint.
+
+        ``timeout`` bounds connection establishment; ``read_timeout``
+        bounds each response wait (default: same as ``timeout``).  A
+        severed connection is transparently re-established up to
+        ``reconnect_retries`` times with seeded jittered doubling
+        backoff, and the in-flight request is resent — safe because
+        every service op is idempotent (solves are content-addressed
+        through the factorization cache; a resent solve hits it).
+        """
         client = cls.__new__(cls)
         client._service = None
         client._loop = None
         client._thread = None
-        client._sock = socket.create_connection((host, port),
-                                                timeout=timeout)
-        client._sock_file = client._sock.makefile("rw", encoding="utf-8")
+        client._addr = (host, port)
+        client._connect_timeout = float(timeout)
+        client._read_timeout = (float(read_timeout)
+                                if read_timeout is not None
+                                else float(timeout))
+        client._reconnect_retries = int(reconnect_retries)
+        client._reconnect_backoff = float(reconnect_backoff)
+        client._rng = np.random.default_rng(reconnect_seed)
+        client.reconnects = 0
+        client._open_socket()
         return client
 
+    def _open_socket(self) -> None:
+        self._sock = socket.create_connection(
+            self._addr, timeout=self._connect_timeout)
+        self._sock.settimeout(self._read_timeout)
+        self._sock_file = self._sock.makefile("rw", encoding="utf-8")
+
+    def _drop_socket(self) -> None:
+        for closer in (self._sock_file, self._sock):
+            try:
+                if closer is not None:
+                    closer.close()
+            except OSError:
+                pass
+        self._sock_file = None
+
+    def _reconnect(self, attempt: int) -> None:
+        """Bounded jittered-backoff re-dial after a severed connection."""
+        self._drop_socket()
+        delay = (self._reconnect_backoff * (2.0 ** attempt)
+                 * (1.0 + 0.25 * float(self._rng.random())))
+        time.sleep(delay)
+        self._open_socket()
+        self.reconnects += 1
+
+    @staticmethod
+    def _wire_error(reply: dict) -> ServiceError:
+        err = reply.get("error", "server error")
+        cls = _WIRE_ERRORS.get(reply.get("error_type"))
+        if cls is ServiceOverloadError:
+            return cls(err, limit=reply.get("limit"),
+                       retry_after=reply.get("retry_after"))
+        if cls is QueueFullError:
+            return cls(err, limit=reply.get("limit"))
+        if cls is CircuitOpenError:
+            return cls(err, method=reply.get("method"),
+                       failures=reply.get("failures"),
+                       retry_after=reply.get("retry_after"))
+        return ServiceError(err)
+
     def _request(self, payload: dict) -> dict:
-        self._sock_file.write(json.dumps(payload) + "\n")
-        self._sock_file.flush()
-        line = self._sock_file.readline()
-        if not line:
-            raise ServiceError("server closed the connection")
+        out = json.dumps(payload) + "\n"
+        budget = getattr(self, "_reconnect_retries", 0)
+        attempt = 0
+        while True:
+            try:
+                self._sock_file.write(out)
+                self._sock_file.flush()
+                line = self._sock_file.readline()
+            except socket.timeout:
+                raise ServiceError(
+                    f"timed out after {self._read_timeout:g}s waiting "
+                    "for a response") from None
+            except OSError as exc:
+                if attempt >= budget:
+                    raise ServiceError(
+                        f"connection lost: {exc}") from exc
+                self._reconnect(attempt)
+                attempt += 1
+                continue
+            if not line:
+                if attempt >= budget or payload.get("op") == "shutdown":
+                    raise ServiceError("server closed the connection")
+                self._reconnect(attempt)
+                attempt += 1
+                continue
+            break
         reply = json.loads(line)
         if not reply.get("ok"):
-            err = reply.get("error", "server error")
-            if reply.get("error_type") == "QueueFullError":
-                raise QueueFullError(err)
-            raise ServiceError(err)
+            raise self._wire_error(reply)
         return reply["response"]
 
     # -- API -----------------------------------------------------------
@@ -166,6 +261,11 @@ async def _handle_connection(service: SolveService, stop_event: asyncio.Event,
             except Exception as exc:  # noqa: BLE001 - wire boundary
                 reply = {"ok": False, "error": str(exc),
                          "error_type": type(exc).__name__}
+                # retry metadata for the typed overload/breaker errors
+                for attr in ("retry_after", "limit", "method", "failures"):
+                    value = getattr(exc, attr, None)
+                    if value is not None:
+                        reply[attr] = value
             writer.write((json.dumps(reply) + "\n").encode())
             await writer.drain()
             if payload.get("op") == "shutdown":

@@ -44,8 +44,15 @@ class JobQueue:
     def depth(self) -> int:
         return len(self._heap)
 
-    def put_nowait(self, job: JobRecord) -> None:
-        if len(self._heap) >= self.limit:
+    def put_nowait(self, job: JobRecord, *, force: bool = False) -> None:
+        """Enqueue ``job``; raises at capacity unless ``force``.
+
+        ``force=True`` is reserved for the supervisor requeueing jobs the
+        service already *accepted* (their worker died mid-solve): an
+        accepted job must never be lost to the capacity bound its own
+        admission already passed.
+        """
+        if not force and len(self._heap) >= self.limit:
             self.rejected += 1
             raise QueueFullError(
                 f"job queue at capacity ({self.limit}); retry with backoff",

@@ -20,6 +20,8 @@ _COUNTERS = (
     "submitted", "completed", "failed", "evicted", "retries",
     "batched", "rejected", "cache_hits", "cache_dominated_hits",
     "cache_misses", "spmd_jobs",
+    # robustness surface: overload shedding, breaker trips, supervisor
+    "shed", "breaker_open", "worker_restarts", "requeued", "hung_failed",
 )
 
 

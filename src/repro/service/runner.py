@@ -25,6 +25,23 @@ Scheduling pipeline per dequeue:
    backoff of the comm layer.
 4. **Store + respond** — converged results enter the cache; every group
    member gets the versioned result JSON.
+
+**Supervision.**  A supervisor coroutine watches the worker pool: a
+worker task that dies (cancellation by a chaos driver, an escaped bug in
+the dequeue loop) is restarted, and the jobs it held in flight are
+requeued *idempotently* — a job whose ``done`` event already fired is
+never re-run, a requeue bypasses the queue's capacity bound (the job was
+already admitted), and a job bounced more than ``max_requeues`` times is
+failed with a typed :class:`~repro.exceptions.WorkerCrashError` rather
+than ping-ponging forever.  Jobs stuck past their deadline plus a grace
+period (a solver with no cooperative hook) are failed as hung and their
+worker recycled.
+
+**Overload + circuit breaking.**  Submissions beyond queue capacity shed
+with :class:`~repro.exceptions.ServiceOverloadError` carrying a
+``retry_after`` estimate; a per-method circuit breaker fast-fails
+submissions for a solver that keeps failing, with a cooldown and
+half-open probes (:class:`~repro.exceptions.CircuitOpenError`).
 """
 
 from __future__ import annotations
@@ -32,15 +49,19 @@ from __future__ import annotations
 import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 
 from .. import perf
 from ..exceptions import (
+    CircuitOpenError,
     CommTimeoutError,
     QueueFullError,
     RankFailure,
     ServiceError,
+    ServiceOverloadError,
+    WorkerCrashError,
 )
-from .cache import FactorizationCache, matrix_fingerprint
+from .cache import DiskCacheTier, FactorizationCache, matrix_fingerprint
 from .jobs import JobQueue
 from .metrics import ServiceMetrics
 from .schema import JobRecord, JobState, MatrixSpec, SolveRequest
@@ -55,6 +76,46 @@ class _Evicted(Exception):
     def __init__(self, state: dict | None):
         super().__init__("job deadline exceeded")
         self.state = state
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-method consecutive-failure breaker (closed → open → half-open).
+
+    ``threshold`` consecutive execution failures open the breaker; while
+    open, :meth:`allow` fast-fails with
+    :class:`~repro.exceptions.CircuitOpenError` carrying the time until
+    the next half-open probe.  After ``cooldown`` seconds probes are
+    admitted; one success closes the breaker, one failure re-arms the
+    full cooldown.
+    """
+
+    threshold: int = 5
+    cooldown: float = 30.0
+    failures: int = 0
+    opened_at: float | None = None
+
+    def allow(self, method: str) -> None:
+        if self.failures < self.threshold or self.opened_at is None:
+            return
+        elapsed = time.monotonic() - self.opened_at
+        if elapsed < self.cooldown:
+            raise CircuitOpenError(
+                f"circuit open for method {method!r}: {self.failures} "
+                f"consecutive failures; retry in "
+                f"{self.cooldown - elapsed:.1f}s", method=method,
+                failures=self.failures,
+                retry_after=self.cooldown - elapsed)
+        # cooldown elapsed: half-open, admit the probe
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self.opened_at = time.monotonic()
 
 
 class SolveService:
@@ -75,38 +136,81 @@ class SolveService:
         Retry policy for transient faults; backoff doubles per attempt.
     batching:
         Amortize one factorization over same-matrix jobs (default on).
+    cache_dir:
+        Directory for the durable cache tier (write-through disk spill);
+        ``None`` (default) keeps the cache memory-only.
+    supervise:
+        Run the worker supervisor (default on).  ``supervisor_interval``
+        is its poll period; ``max_requeues`` bounds how many times one
+        job survives a worker death before it is failed with
+        :class:`~repro.exceptions.WorkerCrashError`; ``hang_grace`` is
+        the slack past a job's deadline before the supervisor declares
+        it hung.
+    breaker_threshold / breaker_cooldown:
+        Consecutive execution failures per method that open its circuit
+        breaker, and the cooldown before half-open probes.
     """
 
     def __init__(self, *, workers: int = 2, queue_limit: int = 64,
                  cache_capacity: int = 64,
                  default_timeout: float | None = None,
                  max_retries: int = 1, retry_backoff: float = 0.05,
-                 batching: bool = True):
+                 batching: bool = True,
+                 cache_dir=None,
+                 supervise: bool = True,
+                 supervisor_interval: float = 0.05,
+                 max_requeues: int = 2,
+                 hang_grace: float = 2.0,
+                 breaker_threshold: int = 5,
+                 breaker_cooldown: float = 30.0):
         self.queue = JobQueue(limit=queue_limit)
-        self.cache = FactorizationCache(capacity=cache_capacity)
+        disk = DiskCacheTier(cache_dir) if cache_dir is not None else None
+        self.cache = FactorizationCache(capacity=cache_capacity, disk=disk)
         self.metrics = ServiceMetrics()
         self.default_timeout = default_timeout
         self.max_retries = int(max_retries)
         self.retry_backoff = float(retry_backoff)
         self.batching = bool(batching)
+        self.supervise = bool(supervise)
+        self.supervisor_interval = float(supervisor_interval)
+        self.max_requeues = int(max_requeues)
+        self.hang_grace = float(hang_grace)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = float(breaker_cooldown)
         self.jobs: dict[str, JobRecord] = {}
         self._checkpoints: dict[str, dict] = {}
         self._workers_n = int(workers)
         self._tasks: list[asyncio.Task] = []
+        self._supervisor_task: asyncio.Task | None = None
+        self._inflight: dict[int, list[JobRecord]] = {}
+        self._requeues: dict[str, int] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._executor: ThreadPoolExecutor | None = None
+        self._stopping = False
         self._job_seq = 0
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> None:
         if self._tasks:
             return
+        self._stopping = False
         self._executor = ThreadPoolExecutor(
             max_workers=self._workers_n,
             thread_name_prefix="repro-service")
-        self._tasks = [asyncio.create_task(self._worker())
-                       for _ in range(self._workers_n)]
+        self._tasks = [asyncio.create_task(self._worker(i))
+                       for i in range(self._workers_n)]
+        if self.supervise:
+            self._supervisor_task = asyncio.create_task(self._supervise())
 
     async def stop(self) -> None:
+        self._stopping = True
+        if self._supervisor_task is not None:
+            self._supervisor_task.cancel()
+            try:
+                await self._supervisor_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._supervisor_task = None
         for t in self._tasks:
             t.cancel()
         for t in self._tasks:
@@ -115,6 +219,7 @@ class SolveService:
             except (asyncio.CancelledError, Exception):
                 pass
         self._tasks = []
+        self._inflight.clear()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -127,18 +232,49 @@ class SolveService:
         await self.stop()
 
     # -- client surface ------------------------------------------------
+    def _breaker(self, method: str) -> CircuitBreaker:
+        br = self._breakers.get(method)
+        if br is None:
+            br = self._breakers[method] = CircuitBreaker(
+                threshold=self.breaker_threshold,
+                cooldown=self.breaker_cooldown)
+        return br
+
+    def _retry_after_estimate(self) -> float:
+        """How long a shed client should wait: roughly one queue drain's
+        worth of median latencies per worker, floored at 100ms."""
+        lat = self.metrics.latency.snapshot()
+        p50 = float(lat.get("p50") or 0.0)
+        depth = max(self.queue.depth, 1)
+        return max(0.1, p50 * depth / max(self._workers_n, 1))
+
     async def submit(self, request: SolveRequest | dict) -> str:
-        """Enqueue a job; returns its id.  Raises
-        :class:`~repro.exceptions.QueueFullError` under backpressure."""
+        """Enqueue a job; returns its id.
+
+        Sheds with :class:`~repro.exceptions.ServiceOverloadError` (a
+        :class:`~repro.exceptions.QueueFullError` subclass carrying
+        ``retry_after``) when the queue is saturated, and fast-fails
+        with :class:`~repro.exceptions.CircuitOpenError` while the
+        method's breaker is open.
+        """
         if isinstance(request, dict):
             request = SolveRequest.from_dict(request)
+        try:
+            self._breaker(request.method).allow(request.method)
+        except CircuitOpenError:
+            self.metrics.incr("breaker_open")
+            raise
         self._job_seq += 1
         job = JobRecord(job_id=f"job-{self._job_seq:06d}", request=request)
         try:
             self.queue.put_nowait(job)
         except QueueFullError:
             self.metrics.incr("rejected")
-            raise
+            self.metrics.incr("shed")
+            raise ServiceOverloadError(
+                f"service overloaded: job queue at capacity "
+                f"({self.queue.limit})", limit=self.queue.limit,
+                retry_after=self._retry_after_estimate()) from None
         self.jobs[job.job_id] = job
         self.metrics.incr("submitted")
         return job.job_id
@@ -171,25 +307,89 @@ class SolveService:
                                      cache_stats=self.cache.stats())
 
     # -- workers -------------------------------------------------------
-    async def _worker(self) -> None:
+    async def _worker(self, index: int) -> None:
         while True:
+            self._inflight[index] = []
             job = await self.queue.get()
             batch = [job]
             if self.batching:
                 batch.extend(
                     self.queue.drain_matching(job.request.batch_group()))
+            self._inflight[index] = batch
             try:
                 await self._run_batch(batch)
             except asyncio.CancelledError:
-                for j in batch:
-                    if not j.done.is_set():
-                        self._fail(j, "service shutting down",
-                                   "CancelledError")
+                if self._stopping:
+                    for j in batch:
+                        if not j.done.is_set():
+                            self._fail(j, "service shutting down",
+                                       "CancelledError")
+                # else: killed mid-solve — the batch stays in
+                # ``_inflight`` so the supervisor requeues it
                 raise
             except Exception as exc:  # noqa: BLE001 - workers must survive
                 for j in batch:
                     if not j.done.is_set():
                         self._fail(j, str(exc), type(exc).__name__)
+            self._inflight[index] = []
+
+    # -- supervision ---------------------------------------------------
+    def _requeue(self, job: JobRecord) -> None:
+        """Idempotently put a crashed worker's job back on the queue."""
+        if job.done.is_set():
+            return  # completed before (or despite) the crash: nothing to do
+        count = self._requeues.get(job.job_id, 0) + 1
+        self._requeues[job.job_id] = count
+        if count > self.max_requeues:
+            err = WorkerCrashError(
+                f"job {job.job_id} lost its worker {count} times; "
+                "giving up", job_id=job.job_id, requeues=count - 1)
+            self._fail(job, str(err), "WorkerCrashError")
+            return
+        job.state = JobState.PENDING
+        job.started_at = None
+        self.metrics.incr("requeued")
+        # force: this job was already admitted once — the capacity bound
+        # must not turn a worker crash into job loss
+        self.queue.put_nowait(job, force=True)
+
+    def _effective_deadline(self, job: JobRecord) -> float | None:
+        timeout = job.request.timeout or self.default_timeout
+        if timeout is None or job.started_at is None:
+            return None
+        return job.started_at + float(timeout) + self.hang_grace
+
+    async def _supervise(self) -> None:
+        """Restart dead workers, requeue their jobs, reap hung jobs."""
+        while True:
+            await asyncio.sleep(self.supervisor_interval)
+            if self._stopping:
+                continue
+            now = time.monotonic()
+            for i, task in enumerate(self._tasks):
+                if task.done():
+                    for j in self._inflight.get(i, []):
+                        self._requeue(j)
+                    self._inflight[i] = []
+                    self.metrics.incr("worker_restarts")
+                    self._tasks[i] = asyncio.create_task(self._worker(i))
+                    continue
+                hung = [j for j in self._inflight.get(i, [])
+                        if j.state is JobState.RUNNING
+                        and not j.done.is_set()
+                        and (dl := self._effective_deadline(j)) is not None
+                        and now > dl]
+                if hung:
+                    # the solver ignored its cooperative deadline: fail
+                    # the jobs as hung and recycle the worker (next tick
+                    # restarts it; finished jobs are never requeued)
+                    for j in hung:
+                        self.metrics.incr("hung_failed")
+                        self._fail(
+                            j, f"job hung past its deadline by more than "
+                               f"{self.hang_grace:g}s grace",
+                            "JobTimeoutError")
+                    task.cancel()
 
     async def _run_batch(self, batch: list[JobRecord]) -> None:
         loop = asyncio.get_running_loop()
@@ -252,6 +452,7 @@ class SolveService:
                 return
             except TRANSIENT_ERRORS as exc:
                 if attempt > self.max_retries:
+                    self._breaker(lead.request.method).record_failure()
                     for j in remaining:
                         self._fail(j, str(exc), type(exc).__name__)
                     return
@@ -259,10 +460,12 @@ class SolveService:
                 await asyncio.sleep(
                     self.retry_backoff * (2.0 ** (attempt - 1)))
             except Exception as exc:  # noqa: BLE001
+                self._breaker(lead.request.method).record_failure()
                 for j in remaining:
                     self._fail(j, str(exc), type(exc).__name__)
                 return
 
+        self._breaker(lead.request.method).record_success()
         result_json = result.to_json()
         self.cache.store(fp, lead.request.method, lead.request.config,
                          lead.request.config.tol, result, result_json)
