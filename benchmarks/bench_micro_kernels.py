@@ -11,13 +11,24 @@ root (the committed copy documents the speedups on the reference machine):
                           ``csr_matmul_nosym`` route;
 - ``thresholding``      — copying :func:`drop_small` vs the fused
                           mask-then-apply-in-place route;
+- ``pivot_scan``        — the colamd packed-key argmin-consume loop
+                          (tracked per tier; no pre-optimization route);
 - ``tsqr``              — communication-avoiding tall-skinny QR (tracked
                           for drift; not changed by the optimization);
 - ``lu_crtp_e2e`` / ``ilut_crtp_e2e`` — full solves on the fill-in-heavy
                           M2 analogue, ``optimized=False`` vs ``True``.
 
+Schema v2: on hosts with a working C compiler each bench that has a
+native-tier kernel additionally records a ``tiers.native`` sub-entry —
+``after_s`` (native seconds), ``speedup`` (vs the bench's ``before_s``
+reference) and ``vs_pure`` (vs the pure optimized route).  ``before_s`` /
+``after_s`` / ``speedup`` keep their v1 meaning (pure-tier reference vs
+pure-tier optimized), so old tooling keeps working; hosts without a
+compiler simply omit the ``tiers`` columns.
+
 Every optimized route is bitwise-parity-checked against its reference in
-``tests/test_opt_parity.py``; this script only tracks *time*.
+``tests/test_opt_parity.py`` (and the native tier against the pure tier
+in ``tests/test_kernel_tiers.py``); this script only tracks *time*.
 
 Usage::
 
@@ -28,7 +39,11 @@ Usage::
 ``--check-regression`` exits nonzero when any optimized route measures
 more than 25% slower than its own reference route in the same run — a
 machine-independent gate that catches optimizations rotting into
-pessimizations.
+pessimizations.  The same gate applies per tier: a native kernel more
+than 25% slower than its pure counterpart fails the run.  When a
+previous ``BENCH_kernels.json`` exists it is also compared for drift
+(warnings only, never a failure — absolute times are machine-bound); a
+pre-tier v1 file is migrated in memory with a one-line note.
 """
 
 from __future__ import annotations
@@ -47,6 +62,7 @@ import scipy.sparse as sp
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import kernels  # noqa: E402
 from repro.core.ilut_crtp import ILUT_CRTP  # noqa: E402
 from repro.core.lu_crtp import LU_CRTP  # noqa: E402
 from repro.linalg.tsqr import tsqr  # noqa: E402
@@ -59,6 +75,23 @@ from repro.sparse.window import permuted_blocks  # noqa: E402
 #: regression gate: optimized route may be at most this much slower than
 #: its reference route before the run fails
 REGRESSION_FACTOR = 1.25
+
+#: results-file schema version: 2 = per-tier columns (``tiers.native``)
+SCHEMA_VERSION = 2
+
+
+def _add_native_tier(entry: dict, native_s: float) -> dict:
+    """Attach the native-tier columns to a bench entry (schema v2):
+    seconds, speedup vs the bench's reference route, and the ratio vs the
+    pure optimized route (what the per-tier regression gate checks)."""
+    entry.setdefault("tiers", {})["native"] = {
+        "after_s": native_s,
+        "speedup": (entry["before_s"] / native_s
+                    if native_s > 0 else float("inf")),
+        "vs_pure": (entry["after_s"] / native_s
+                    if native_s > 0 else float("inf")),
+    }
+    return entry
 
 
 def _mintime(fn, repeats: int) -> float:
@@ -76,7 +109,7 @@ def _m2_analogue(n: int) -> sp.csc_matrix:
     return (A + sp.diags(np.linspace(1, 0.01, n), format="csc")).tocsc()
 
 
-def bench_spgemm(quick: bool, repeats: int) -> dict:
+def bench_spgemm(quick: bool, repeats: int, native: bool) -> dict:
     n = 400 if quick else 1200
     rng = np.random.default_rng(2)
     F = sp.random(n, 64, density=0.20, random_state=rng, format="csc")
@@ -86,12 +119,25 @@ def bench_spgemm(quick: bool, repeats: int) -> dict:
     ws = SpGEMMWorkspace()
     spgemm(F, A12, workspace=ws)  # warm the buffers
     after = _mintime(lambda: spgemm(F, A12, workspace=ws), repeats)
-    return {"before_s": before, "after_s": after,
-            "detail": f"F({n}x64, d=0.20) @ A12(64x{n}, d=0.30), "
-                      "fresh allocations vs reused workspace"}
+    entry = {"before_s": before, "after_s": after,
+             "detail": f"F({n}x64, d=0.20) @ A12(64x{n}, d=0.30), "
+                       "fresh allocations vs reused workspace; native = "
+                       "C row-merge on the CSR operands"}
+    if native:
+        Fr, Ar = F.tocsr(), A12.tocsr()
+        ws2 = SpGEMMWorkspace()
+        C = kernels.spgemm_csr(Fr, Ar, tier="native", workspace=ws2)
+        ref = Fr @ Ar
+        assert (np.array_equal(C.indptr, ref.indptr)
+                and np.array_equal(C.indices, ref.indices)
+                and np.array_equal(C.data, ref.data)), "spgemm tiers disagree"
+        _add_native_tier(entry, _mintime(
+            lambda: kernels.spgemm_csr(Fr, Ar, tier="native", workspace=ws2),
+            repeats))
+    return entry
 
 
-def bench_schur_update(quick: bool, repeats: int) -> dict:
+def bench_schur_update(quick: bool, repeats: int, native: bool) -> dict:
     n = 400 if quick else 900
     k = 32
     A = _m2_analogue(n)
@@ -112,13 +158,27 @@ def bench_schur_update(quick: bool, repeats: int) -> dict:
     ref = reference()
     opt = fused()
     assert abs(ref - opt).max() == 0.0, "schur routes disagree"
-    return {"before_s": _mintime(reference, repeats),
-            "after_s": _mintime(fused, repeats),
-            "detail": f"M2-analogue n={n}, k={k}: permute+split+scipy-@ vs "
-                      "index-window blocks + symbolic-free matmul"}
+    entry = {"before_s": _mintime(reference, repeats),
+             "after_s": _mintime(fused, repeats),
+             "detail": f"M2-analogue n={n}, k={k}: permute+split+scipy-@ vs "
+                       "index-window blocks + symbolic-free matmul; native "
+                       "= C window scatter + C row-merge"}
+    if native:
+        ws2 = SpGEMMWorkspace()
+
+        def fused_native():
+            _, A12, _, A22 = kernels.permuted_blocks(
+                A, col_perm, row_perm, k, tier="native")
+            return (A22 - kernels.spgemm_csr(
+                Fd, A12, tier="native", workspace=ws2)).tocsc()
+
+        assert abs(ref - fused_native()).max() == 0.0, \
+            "native schur route disagrees"
+        _add_native_tier(entry, _mintime(fused_native, repeats))
+    return entry
 
 
-def bench_thresholding(quick: bool, repeats: int) -> dict:
+def bench_thresholding(quick: bool, repeats: int, native: bool) -> dict:
     n = 300 if quick else 800
     rng = np.random.default_rng(4)
     S = sp.random(n, n, density=0.30, random_state=rng, format="csc")
@@ -140,9 +200,61 @@ def bench_thresholding(quick: bool, repeats: int) -> dict:
         return time.perf_counter() - t0
 
     after = min(fused() for _ in range(repeats))
-    return {"before_s": before, "after_s": after,
-            "detail": f"Schur-like {n}x{n} d=0.30, mu={mu}: copying "
-                      "drop_small vs fused mask+apply-in-place"}
+    entry = {"before_s": before, "after_s": after,
+             "detail": f"Schur-like {n}x{n} d=0.30, mu={mu}: copying "
+                       "drop_small vs fused mask+apply-in-place; native = "
+                       "single-C-pass mask + in-place compaction"}
+    if native:
+        M0 = S.copy()
+        mk0, d_nnz0, d_sq0, _ = kernels.threshold_mask(M0, mu, tier="native")
+        assert d_nnz0 == res.dropped_nnz and d_sq0 == res.dropped_norm_sq
+
+        def fused_native():
+            M = S.copy()
+            t0 = time.perf_counter()
+            mk, _, _, _ = kernels.threshold_mask(M, mu, tier="native")
+            kernels.apply_threshold_mask(M, mk, tier="native")
+            return time.perf_counter() - t0
+
+        _add_native_tier(entry, min(fused_native() for _ in range(repeats)))
+    return entry
+
+
+def bench_pivot_scan(quick: bool, repeats: int, native: bool) -> dict:
+    """The colamd elimination loop's pivot selection: repeated first-minimum
+    argmin over a packed (degree, index) int64 key, retiring each winner
+    with a sentinel.  No pre-optimization route exists, so ``before_s`` ==
+    ``after_s`` (the pure np.argmin dispatch) and the native column carries
+    the comparison.  Sizes sit below the ``_PIVOT_SCAN_CAP`` crossover
+    (the regime the C scan actually serves; above it the native wrapper
+    delegates back to numpy's SIMD argmin)."""
+    n = 256 if quick else 512
+    rng = np.random.default_rng(6)
+    master = rng.integers(0, n * (n + 1), size=n, dtype=np.int64)
+    sent = np.iinfo(np.int64).max
+
+    def consume(tier: str) -> float:
+        key = master.copy()
+        t0 = time.perf_counter()
+        for _ in range(n):
+            kernels.pivot_argmin_consume(key, sent, tier=tier)
+        return time.perf_counter() - t0
+
+    key_p, key_n = master.copy(), master.copy()
+    order_p = [kernels.pivot_argmin_consume(key_p, sent, tier="pure")
+               for _ in range(n)]
+    t = min(consume("pure") for _ in range(repeats))
+    entry = {"before_s": t, "after_s": t,
+             "detail": f"{n} consuming argmin scans over an n={n} packed "
+                       "int64 key (colamd pivot loop); pure np.argmin "
+                       "dispatch, native = branchless two-phase C scan"}
+    if native:
+        order_n = [kernels.pivot_argmin_consume(key_n, sent, tier="native")
+                   for _ in range(n)]
+        assert order_p == order_n, "pivot tiers disagree"
+        _add_native_tier(entry, min(consume("native")
+                                    for _ in range(repeats)))
+    return entry
 
 
 def bench_tsqr(quick: bool, repeats: int) -> dict:
@@ -155,7 +267,8 @@ def bench_tsqr(quick: bool, repeats: int) -> dict:
                       "for drift"}
 
 
-def bench_e2e(cls, quick: bool, repeats: int, **kw) -> dict:
+def bench_e2e(cls, quick: bool, repeats: int, native: bool = False,
+              **kw) -> dict:
     n = 400 if quick else 900
     A = _m2_analogue(n)
     max_rank = 128 if quick else 320
@@ -170,10 +283,23 @@ def bench_e2e(cls, quick: bool, repeats: int, **kw) -> dict:
                       repeats)
     after = _mintime(lambda: cls(optimized=True, **common).solve(A),
                      repeats)
-    return {"before_s": before, "after_s": after,
-            "detail": f"M2-analogue n={n}, k=32, max_rank={max_rank}; "
-                      "optimized=False vs True (pivots and indicator "
-                      "trajectories bitwise identical)"}
+    entry = {"before_s": before, "after_s": after,
+             "detail": f"M2-analogue n={n}, k=32, max_rank={max_rank}; "
+                       "optimized=False vs True (pivots and indicator "
+                       "trajectories bitwise identical); native = "
+                       "optimized=True with kernel_tier='native'"}
+    if native:
+        # warm-up solve: excludes any one-time JIT build/load from timing
+        # and checks tier parity on this exact problem
+        r_nat = cls(optimized=True, kernel_tier="native",
+                    **common).solve(A)
+        assert np.array_equal(r_opt.row_perm, r_nat.row_perm)
+        assert all(a.indicator == b.indicator
+                   for a, b in zip(r_opt.history, r_nat.history))
+        _add_native_tier(entry, _mintime(
+            lambda: cls(optimized=True, kernel_tier="native",
+                        **common).solve(A), repeats))
+    return entry
 
 
 _BASELINE_CODE = """
@@ -217,20 +343,46 @@ def measure_pre_pr_e2e(baseline_repo: str, quick: bool,
 
 def run(quick: bool) -> dict:
     repeats = 1 if quick else 3
+    # one availability probe up front: triggers the one-time JIT build (if
+    # a compiler exists) so no timed region ever pays for compilation
+    native = kernels.native_available()
     benches = {
-        "spgemm": bench_spgemm(quick, max(repeats, 3)),
-        "schur_update": bench_schur_update(quick, max(repeats, 3)),
-        "thresholding": bench_thresholding(quick, max(repeats, 5)),
+        "spgemm": bench_spgemm(quick, max(repeats, 3), native),
+        "schur_update": bench_schur_update(quick, max(repeats, 3), native),
+        "thresholding": bench_thresholding(quick, max(repeats, 5), native),
+        "pivot_scan": bench_pivot_scan(quick, max(repeats, 5), native),
         "tsqr": bench_tsqr(quick, max(repeats, 3)),
-        "lu_crtp_e2e": bench_e2e(LU_CRTP, quick, 1 if quick else 5),
+        "lu_crtp_e2e": bench_e2e(LU_CRTP, quick, 1 if quick else 5,
+                                 native=native),
         "ilut_crtp_e2e": bench_e2e(ILUT_CRTP, quick, 1 if quick else 5,
+                                   native=native,
                                    estimated_iterations=10),
     }
     for entry in benches.values():
         entry["speedup"] = (entry["before_s"] / entry["after_s"]
                             if entry["after_s"] > 0 else float("inf"))
-    return {"config": {"quick": quick, "repeats": repeats},
+    return {"config": {"quick": quick, "repeats": repeats,
+                       "native_tier": native},
+            "schema_version": SCHEMA_VERSION,
             "benches": benches}
+
+
+def migrate_results(results: dict) -> dict:
+    """Normalize a loaded results file to schema v2 in memory.
+
+    v1 files (pre-kernel-tier) have no ``schema_version`` and no ``tiers``
+    sub-entries; they migrate losslessly — every recorded number was a
+    pure-tier measurement, so only the empty per-tier containers are added.
+    """
+    if results.get("schema_version", 1) >= SCHEMA_VERSION:
+        return results
+    print("note: migrating v1 (single-tier) results to schema "
+          f"v{SCHEMA_VERSION}; recorded columns become pure-tier entries")
+    results = dict(results, schema_version=SCHEMA_VERSION)
+    results["config"] = dict(results.get("config", {}), native_tier=False)
+    results["benches"] = {name: dict(entry, tiers=entry.get("tiers", {}))
+                          for name, entry in results["benches"].items()}
+    return results
 
 
 def main(argv=None) -> int:
@@ -249,6 +401,14 @@ def main(argv=None) -> int:
                          "still contains the shared-path optimizations)")
     args = ap.parse_args(argv)
 
+    out = Path(args.output)
+    prior = None
+    if args.check_regression and out.exists():
+        try:
+            prior = migrate_results(json.loads(out.read_text()))
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            print(f"note: ignoring unreadable prior {out}: {exc}")
+
     results = run(args.quick)
     if args.baseline_repo:
         pre = measure_pre_pr_e2e(args.baseline_repo, args.quick,
@@ -257,7 +417,6 @@ def main(argv=None) -> int:
             entry = results["benches"][name]
             entry["pre_pr_before_s"] = seconds
             entry["speedup_vs_pre_pr"] = seconds / entry["after_s"]
-    out = Path(args.output)
     out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
 
     width = max(len(k) for k in results["benches"])
@@ -265,6 +424,11 @@ def main(argv=None) -> int:
         line = (f"{name:{width}s}  before={entry['before_s'] * 1e3:9.2f}ms  "
                 f"after={entry['after_s'] * 1e3:9.2f}ms  "
                 f"speedup={entry['speedup']:5.2f}x")
+        nat = entry.get("tiers", {}).get("native")
+        if nat:
+            line += (f"  native={nat['after_s'] * 1e3:9.2f}ms "
+                     f"({nat['speedup']:.2f}x, {nat['vs_pure']:.2f}x "
+                     "vs pure)")
         if "speedup_vs_pre_pr" in entry:
             line += (f"  pre-PR={entry['pre_pr_before_s'] * 1e3:9.2f}ms "
                      f"({entry['speedup_vs_pre_pr']:.2f}x)")
@@ -274,13 +438,32 @@ def main(argv=None) -> int:
     if args.check_regression:
         bad = [name for name, e in results["benches"].items()
                if e["after_s"] > REGRESSION_FACTOR * e["before_s"]]
+        # per-tier gate on the microkernels only: the e2e native columns
+        # are noise-dominated at --quick scale (per-call dispatch overhead
+        # vs sub-millisecond windows), so they stay informational
+        bad += [f"{name}[native]"
+                for name, e in results["benches"].items()
+                if not name.endswith("_e2e")
+                and e.get("tiers", {}).get("native", {}).get("after_s", 0.0)
+                > REGRESSION_FACTOR * e["after_s"]]
         if bad:
             print(f"REGRESSION: optimized route >{REGRESSION_FACTOR}x "
                   f"slower than reference in: {', '.join(bad)}",
                   file=sys.stderr)
             return 1
+        # drift report vs the previously-committed results: informational
+        # only (absolute times are machine-bound, never a CI failure)
+        if prior is not None:
+            for name, entry in results["benches"].items():
+                old = prior["benches"].get(name)
+                if not old:
+                    continue
+                if entry["speedup"] < old["speedup"] / REGRESSION_FACTOR:
+                    print(f"drift: {name} speedup {entry['speedup']:.2f}x "
+                          f"(was {old['speedup']:.2f}x)")
         print("regression check passed "
-              f"(after <= {REGRESSION_FACTOR} * before for every kernel)")
+              f"(after <= {REGRESSION_FACTOR} * before for every kernel, "
+              "native <= pure * factor where measured)")
     return 0
 
 

@@ -69,6 +69,13 @@ class SolverConfig:
         hooks; inert for solvers without checkpoint support (RandUBV).
     max_rank:
         Rank cap (``None`` = dimension-limited).
+    kernel_tier:
+        Kernel tier request: ``"auto"`` (default), ``"pure"`` or
+        ``"native"``.  Tiers are bitwise-identical by the parity contract,
+        but the *request* is part of the cache identity: the raw request is
+        serialized into :meth:`cache_key` so provenance records which tier
+        was asked for (``auto`` resolution is environment-dependent and
+        recorded separately on the result).
     extras:
         Method-specific passthrough options, e.g.
         ``{"l_formula": "auto"}``; validated against the target solver.
@@ -82,6 +89,7 @@ class SolverConfig:
     optimized: bool = True
     checkpointing: bool = False
     max_rank: int | None = None
+    kernel_tier: str = "auto"
     extras: tuple = field(default=())
 
     def __post_init__(self):
@@ -101,6 +109,9 @@ class SolverConfig:
             raise ValueError("estimated_iterations must be positive")
         if self.max_rank is not None and int(self.max_rank) <= 0:
             raise ValueError("max_rank must be positive when given")
+        from ..kernels import validate_request
+        object.__setattr__(self, "kernel_tier",
+                           validate_request(self.kernel_tier))
 
     # -- serialization -------------------------------------------------
     def to_dict(self) -> dict:
@@ -151,7 +162,7 @@ def constructor_kwargs(solver_cls, config: SolverConfig) -> dict[str, Any]:
     accepted = {f.name for f in dataclasses.fields(solver_cls)}
     kwargs: dict[str, Any] = {}
     for name in ("k", "tol", "power", "seed", "estimated_iterations",
-                 "optimized", "max_rank"):
+                 "optimized", "max_rank", "kernel_tier"):
         if name in accepted:
             kwargs[name] = getattr(config, name)
     for name, value in config.extras:

@@ -35,7 +35,8 @@ def _config_from_args(args):
     from .api import SolverConfig
     return SolverConfig(k=args.k, tol=args.tol, power=args.power,
                         seed=args.seed,
-                        estimated_iterations=args.estimated_iterations)
+                        estimated_iterations=args.estimated_iterations,
+                        kernel_tier=getattr(args, "kernel_tier", "auto"))
 
 
 def _make_solver(method: str, args):
@@ -97,7 +98,7 @@ def cmd_solve(args) -> int:
         res = run_spmd_solver(
             args.method, A, args.nprocs, k=args.k, tol=args.tol,
             power=args.power, seed=args.seed, backend=args.backend,
-            run_info=run_info)
+            kernel_tier=args.kernel_tier, run_info=run_info)
     else:
         solver = _make_solver(args.method, args)
         res = solver.solve(A)
@@ -107,6 +108,8 @@ def cmd_solve(args) -> int:
         [_summary_row(args.method, res)],
         title=f"{args.matrix}: {A.shape[0]}x{A.shape[1]}, nnz={A.nnz}, "
               f"tau={args.tol:g}, k={args.k}"))
+    if getattr(res, "kernel_tier", None):
+        print(f"kernel tier: {res.kernel_tier}")
     if run_info:
         comm = run_info.get("comm") or {}
         print(f"SPMD: P={args.nprocs} backend={run_info.get('backend')} "
@@ -220,6 +223,11 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--seed", type=int, default=0)
         sp.add_argument("--estimated-iterations", type=int, default=10,
                         help="ILUT heuristic (24) iteration estimate u")
+        sp.add_argument("--kernel-tier", default="auto",
+                        choices=("auto", "pure", "native"),
+                        help="hot-path kernel tier: pure (NumPy/SciPy), "
+                             "native (JIT-built C, bitwise-identical) or "
+                             "auto (native iff already built)")
 
     pi = sub.add_parser("info", help="list suite matrices")
     pi.add_argument("--scale", type=float, default=1.0)

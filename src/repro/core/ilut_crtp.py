@@ -32,8 +32,7 @@ from ..linalg.norms import fro_norm
 from ..ordering.etree import colamd_preprocess
 from ..results import LUApproximation
 from ..sparse.ops import assemble_L_global, assemble_U_global, permute_cols
-from ..sparse.thresholding import (apply_threshold_mask, drop_small,
-                                   drop_sorted_budget, threshold_mask)
+from ..sparse.thresholding import drop_small, drop_sorted_budget
 from ..sparse.utils import ensure_csc
 from .lu_crtp import LU_CRTP, NUMERICAL_RANK_RTOL
 from .termination import check_tolerance
@@ -101,6 +100,7 @@ class ILUT_CRTP(LU_CRTP):
         """
         check_tolerance(self.tol, randomized=False)
         t0 = time.perf_counter()
+        tier = self._resolve_kernel_tier()
         A = ensure_csc(A)
         m, n = A.shape
         a_fro = fro_norm(A)
@@ -114,7 +114,7 @@ class ILUT_CRTP(LU_CRTP):
 
         col_perm = np.arange(n, dtype=np.intp)
         if self.use_colamd and A.nnz and resume_from is None:
-            pre = colamd_preprocess(A)
+            pre = colamd_preprocess(A, kernel_tier=tier)
             col_perm = col_perm[pre]
             A = permute_cols(A, pre)
         row_perm = np.arange(m, dtype=np.intp)
@@ -165,7 +165,7 @@ class ILUT_CRTP(LU_CRTP):
             if k_i <= 0:
                 break
             if self.colamd_every_iteration and i > 1 and active.nnz:
-                pre = colamd_preprocess(active)
+                pre = colamd_preprocess(active, kernel_tier=tier)
                 active = permute_cols(active, pre)
                 col_perm[z:] = col_perm[z:][pre]
             try:
@@ -249,8 +249,10 @@ class ILUT_CRTP(LU_CRTP):
                     # apply the drop in place.  A rejected drop costs no
                     # copy; a pre-drop copy is kept only when recovery or
                     # checkpointing can actually consume it.
+                    from .. import kernels
                     with perf.timer("threshold"):
-                        mask, d_nnz, d_sq, _ = threshold_mask(schur, mu)
+                        mask, d_nnz, d_sq, _ = kernels.threshold_mask(
+                            schur, mu, tier=tier)
                         if np.sqrt(t_acc_sq + d_sq) >= phi:
                             # line 10: reject and disable thresholding
                             thresholding_on = False
@@ -265,7 +267,8 @@ class ILUT_CRTP(LU_CRTP):
                                 # pre-drop Schur (bound (20))
                                 last_pre_drop = schur.copy()
                                 last_dropped_sq = d_sq
-                            schur = apply_threshold_mask(schur, mask)
+                            schur = kernels.apply_threshold_mask(
+                                schur, mask, tier=tier)
                 else:
                     if self.aggressive:
                         res = drop_sorted_budget(schur, phi, t_acc_sq,
@@ -336,7 +339,7 @@ class ILUT_CRTP(LU_CRTP):
         return LUApproximation(
             rank=K, tolerance=self.tol, indicator=final_ind, a_fro=a_fro,
             converged=converged, history=history,
-            elapsed=time.perf_counter() - t0,
+            elapsed=time.perf_counter() - t0, kernel_tier=tier,
             L=L, U=U, row_perm=row_perm, col_perm=col_perm,
             threshold=float(mu or 0.0), dropped_norm=float(np.sqrt(t_acc_sq)),
             control_triggered=control_triggered)

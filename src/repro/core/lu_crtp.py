@@ -40,7 +40,6 @@ from ..results import LUApproximation
 from ..sparse.ops import (
     assemble_L_global,
     assemble_U_global,
-    csr_matmul_nosym,
     permute_cols,
     permute_rows,
     split_2x2,
@@ -50,7 +49,6 @@ from ..sparse.window import (
     csr_rows_to_dense,
     dense_rows_to_csr,
     extract_leading_columns,
-    permuted_blocks,
 )
 from .termination import check_tolerance
 from .. import perf
@@ -129,6 +127,12 @@ class LU_CRTP:
         They remain in the matrix and in every Schur update, so the
         factorization and its error are unchanged — only pivot-search work
         shrinks.  ``0`` disables.
+    kernel_tier:
+        Kernel tier request (``"auto"``/``"pure"``/``"native"``) for the
+        hot-path kernels of the optimized route; see :mod:`repro.kernels`.
+        Both tiers produce bitwise-identical factorizations.  The
+        reference route (``optimized=False``) always runs pure — it *is*
+        the oracle the native tier is pinned against.
     """
 
     k: int = 32
@@ -146,6 +150,7 @@ class LU_CRTP:
     schur_engine: str = "scipy"
     discard_small_columns: float = 0.0
     qr_engine: str = "cholqr2"
+    kernel_tier: str = "auto"
     optimized: bool = True  # fused permute/split + direct-CSR F assembly;
     # False selects the reference per-iteration path (kept for parity tests
     # and as the "before" side of the tracked micro-benchmarks)
@@ -162,6 +167,17 @@ class LU_CRTP:
             raise ValueError("block size k must be positive")
         if self.l_formula not in ("schur", "orthogonal", "auto"):
             raise ValueError(f"unknown l_formula {self.l_formula!r}")
+        from ..kernels import validate_request
+        self.kernel_tier = validate_request(self.kernel_tier)
+
+    def _resolve_kernel_tier(self) -> str:
+        """Resolve the tier once per solve; the reference route is pinned
+        to pure (it is the parity oracle)."""
+        from ..kernels import record_tier, resolve_tier
+        tier = "pure" if not self.optimized \
+            else resolve_tier(self.kernel_tier)
+        self._kernel_tier_resolved = tier
+        return record_tier(tier)
 
     # ------------------------------------------------------------------
     def _checkpointing(self) -> bool:
@@ -189,6 +205,7 @@ class LU_CRTP:
         """
         check_tolerance(self.tol, randomized=False)
         t0 = time.perf_counter()
+        tier = self._resolve_kernel_tier()
         A = ensure_csc(A)
         m, n = A.shape
         a_fro = fro_norm(A)
@@ -198,7 +215,7 @@ class LU_CRTP:
 
         col_perm = np.arange(n, dtype=np.intp)
         if self.use_colamd and A.nnz and resume_from is None:
-            pre = colamd_preprocess(A)
+            pre = colamd_preprocess(A, kernel_tier=tier)
             col_perm = col_perm[pre]
             A = permute_cols(A, pre)
         row_perm = np.arange(m, dtype=np.intp)
@@ -233,7 +250,7 @@ class LU_CRTP:
             if k_i <= 0:
                 break
             if self.colamd_every_iteration and i > 1 and active.nnz:
-                pre = colamd_preprocess(active)
+                pre = colamd_preprocess(active, kernel_tier=tier)
                 active = permute_cols(active, pre)
                 col_perm[z:] = col_perm[z:][pre]
             try:
@@ -303,7 +320,7 @@ class LU_CRTP:
         return LUApproximation(
             rank=K, tolerance=self.tol, indicator=final_ind, a_fro=a_fro,
             converged=converged, history=history,
-            elapsed=time.perf_counter() - t0,
+            elapsed=time.perf_counter() - t0, kernel_tier=tier,
             L=L, U=U, row_perm=row_perm, col_perm=col_perm)
 
     # ------------------------------------------------------------------
@@ -364,7 +381,13 @@ class LU_CRTP:
         to its destination block (:func:`repro.sparse.window.permuted_blocks`).
         ``F`` is assembled directly in CSR from the dense triangular-solve
         result instead of through a ``lil_matrix``.
+
+        The window split and the ``F @ A12`` Schur product dispatch
+        through :mod:`repro.kernels` on the tier resolved in
+        :meth:`solve` (pure and native tiers are bitwise-identical).
         """
+        from .. import kernels
+        tier = getattr(self, "_kernel_tier_resolved", None) or "pure"
         kernel_seconds: dict[str, float] = {}
 
         # line 5: column tournament (optionally on a reduced candidate set)
@@ -396,8 +419,8 @@ class LU_CRTP:
         # line 8: fused permutation + 2x2 split (the index-window pass)
         t = time.perf_counter()
         with perf.timer("permute_split"):
-            A11d, A12, A21, A22 = permuted_blocks(
-                active, col_tp.perm, row_tp.perm, k_i)
+            A11d, A12, A21, A22 = kernels.permuted_blocks(
+                active, col_tp.perm, row_tp.perm, k_i, tier=tier)
         kernel_seconds["permute_rows"] = time.perf_counter() - t
 
         # line 10/12: F = A21 A11^{-1} (or the orthogonal-formula variant)
@@ -417,7 +440,7 @@ class LU_CRTP:
                     ws = self._spgemm_ws = SpGEMMWorkspace()
                 schur = (A22 - spgemm(F, A12, workspace=ws)).tocsc()
             else:
-                schur = (A22 - csr_matmul_nosym(F, A12)).tocsc()
+                schur = (A22 - kernels.spgemm_csr(F, A12, tier=tier)).tocsc()
             drop_explicit_zeros(schur, tol=self.zero_drop_tol)
             perf.add_flops("schur", schur_flops)
         kernel_seconds["schur"] = time.perf_counter() - t

@@ -79,6 +79,9 @@ class RandQB_EI:
     checkpoint_path: object = None
     checkpoint_every: int = 1
     checkpoint_callback: object = None
+    kernel_tier: str = "auto"  # kernel tier request; RandQB_EI's hot path
+    # is dense BLAS so both tiers run identical code — the resolved tier is
+    # still recorded on the result for uniform provenance
     optimized: bool = True  # batched sketches + in-place reorth; the
     # consumed draws and every BLAS product are identical to the reference
     # route, so Q/B and the indicator trajectory match bitwise
@@ -89,6 +92,8 @@ class RandQB_EI:
             raise ValueError("block size k must be positive")
         if not 0 <= self.power <= 3:
             raise ValueError("power parameter p must be in [0, 3]")
+        from ..kernels import validate_request
+        self.kernel_tier = validate_request(self.kernel_tier)
 
     def _checkpoint(self, state: dict) -> None:
         if self.checkpoint_callback is not None:
@@ -106,6 +111,9 @@ class RandQB_EI:
         check_tolerance(self.tol, randomized=True,
                         allow_unsafe=self.allow_unsafe_tolerance)
         t0 = time.perf_counter()
+        from ..kernels import record_tier, resolve_tier
+        tier = record_tier("pure" if not self.optimized
+                           else resolve_tier(self.kernel_tier))
         m, n = A.shape
         max_rank = min(self.max_rank or min(m, n), min(m, n))
         if self.target_rank is not None:
@@ -264,7 +272,7 @@ class RandQB_EI:
         return QBApproximation(
             rank=K, tolerance=self.tol, indicator=indicator.value,
             a_fro=a_fro, converged=converged, history=history,
-            elapsed=time.perf_counter() - t0,
+            elapsed=time.perf_counter() - t0, kernel_tier=tier,
             Q=Q[:, :K].copy(), B=B[:K].copy())
 
 

@@ -1,0 +1,44 @@
+"""Kernel tier registry: ``pure`` (NumPy/SciPy) vs ``native`` (JIT C).
+
+Public dispatch surface for the sparse hot-path kernels.  All call sites
+go through this package — never through :mod:`repro.kernels.native`
+directly (lint rule SPMD004) — so the pure fallback can never be
+bypassed and the bitwise-parity contract stays enforceable in one place.
+
+See :mod:`repro.kernels.tiers` for resolution semantics and
+``docs/performance.md`` ("Kernel tiers") for the user-facing story.
+"""
+
+from .tiers import (
+    TIER_ENV,
+    TIER_REQUESTS,
+    TIERS,
+    apply_threshold_mask,
+    available_tiers,
+    native_available,
+    permuted_blocks,
+    pivot_argmin_consume,
+    record_tier,
+    reset,
+    resolve_tier,
+    spgemm_csr,
+    threshold_mask,
+    validate_request,
+)
+
+__all__ = [
+    "TIERS",
+    "TIER_REQUESTS",
+    "TIER_ENV",
+    "available_tiers",
+    "native_available",
+    "resolve_tier",
+    "validate_request",
+    "record_tier",
+    "reset",
+    "spgemm_csr",
+    "threshold_mask",
+    "apply_threshold_mask",
+    "permuted_blocks",
+    "pivot_argmin_consume",
+]

@@ -1,0 +1,303 @@
+"""Native (compiled C) kernel tier: build, load, and ctypes bindings.
+
+Do not import this module directly from solver/runtime code — go through
+the dispatch layer (:mod:`repro.kernels`), which resolves the active tier
+and falls back to ``pure`` when no compiler is available.  Lint rule
+SPMD004 enforces that boundary.
+
+The shared library is built lazily by :mod:`repro.kernels.native.build`
+(source-hash-keyed cache, atomic, stdlib-only) and loaded once per
+process with :mod:`ctypes` — SPMD rank processes each perform their own
+lazy load of the cached ``.so`` on first dispatched call.
+
+Every wrapper below produces bitwise-identical results to its pure
+counterpart (see the parity pins in ``tests/test_kernel_tiers.py``):
+
+- :func:`spgemm_csr`       ≡ ``repro.sparse.ops.csr_matmul_nosym``
+- :func:`threshold_mask` / :func:`apply_threshold_mask`
+                           ≡ ``repro.sparse.thresholding`` pair
+- :func:`permuted_blocks`  ≡ ``repro.sparse.window.permuted_blocks``
+- :func:`pivot_argmin_consume` ≡ ``int(np.argmin(key))`` + sentinel store
+"""
+
+from __future__ import annotations
+
+import ctypes
+import threading
+
+import numpy as np
+
+from ...sparse.ops import _MATMUL_CAP
+from ...sparse.utils import raw_csr
+from . import build
+
+_lock = threading.Lock()
+_lib: ctypes.CDLL | None = None
+_load_attempted = False
+
+# raw (void*-typed) binding of the pivot scan plus a one-slot cache of the
+# last key array's data pointer: the colamd loop calls the scan thousands
+# of times on the *same* array, and ctypes ndpointer validation would cost
+# several times the scan itself.  The cached tuple holds a strong
+# reference to the array, so the identity test can never alias a
+# recycled object.
+_pivot_raw = None
+_pivot_cache: tuple | None = None
+
+
+def _ptr(dtype):
+    return np.ctypeslib.ndpointer(dtype=dtype, flags=("C_CONTIGUOUS",))
+
+
+def _bind(lib: ctypes.CDLL) -> None:
+    i64 = ctypes.c_int64
+    for suffix, idt in (("_i32", np.int32), ("_i64", np.int64)):
+        fn = getattr(lib, "rk_spgemm" + suffix)
+        fn.restype = i64
+        fn.argtypes = [i64, i64,
+                       _ptr(idt), _ptr(idt), _ptr(np.float64),
+                       _ptr(idt), _ptr(idt), _ptr(np.float64),
+                       _ptr(idt), _ptr(idt), _ptr(np.float64),
+                       _ptr(np.int64), _ptr(np.float64), _ptr(np.int64)]
+        fn = getattr(lib, "rk_thresh_apply" + suffix)
+        fn.restype = i64
+        fn.argtypes = [i64, _ptr(idt), _ptr(idt), _ptr(np.float64),
+                       _ptr(np.uint8)]
+        fn = getattr(lib, "rk_window_count" + suffix)
+        fn.restype = i64
+        fn.argtypes = [i64, i64, i64, _ptr(idt), _ptr(idt),
+                       _ptr(np.int64), _ptr(np.int64), _ptr(np.int64)]
+        fn = getattr(lib, "rk_window_fill" + suffix)
+        fn.restype = None
+        fn.argtypes = [i64, i64, i64, _ptr(idt), _ptr(idt),
+                       _ptr(np.float64), _ptr(np.int64), _ptr(np.int64),
+                       _ptr(np.int64),
+                       _ptr(idt), _ptr(idt), _ptr(np.float64),
+                       _ptr(idt), _ptr(idt), _ptr(np.float64)]
+    lib.rk_thresh_mask.restype = i64
+    lib.rk_thresh_mask.argtypes = [
+        _ptr(np.float64), i64, ctypes.c_double, _ptr(np.uint8),
+        _ptr(np.float64), ctypes.POINTER(ctypes.c_double)]
+    lib.rk_pivot_argmin_consume.restype = i64
+    lib.rk_pivot_argmin_consume.argtypes = [_ptr(np.int64), i64, i64]
+    global _pivot_raw
+    proto = ctypes.CFUNCTYPE(i64, ctypes.c_void_p, i64, i64)
+    _pivot_raw = proto(("rk_pivot_argmin_consume", lib))
+
+
+def load() -> ctypes.CDLL | None:
+    """Build (if needed) and load the kernel library; ``None`` if the host
+    cannot produce one.  Memoized per process; thread-safe."""
+    global _lib, _load_attempted
+    if _lib is not None or _load_attempted:
+        return _lib
+    with _lock:
+        if _lib is not None or _load_attempted:
+            return _lib
+        path = build.build_library()
+        lib = None
+        if path is not None:
+            try:
+                lib = ctypes.CDLL(str(path))
+                _bind(lib)
+            except OSError as exc:  # corrupt cache entry, missing symbol...
+                build.last_error = f"failed to load {path}: {exc}"
+                lib = None
+        _lib = lib
+        _load_attempted = True
+    return _lib
+
+
+def available() -> bool:
+    return load() is not None
+
+
+def cached_build_exists() -> bool:
+    """True when the ``.so`` for the current sources is already on disk —
+    a stat probe that never *runs* a compiler (the ``auto`` tier uses this
+    so it cannot trigger a build).  The compiler is still *discovered*
+    (PATH lookups only) because its path is part of the cache key."""
+    try:
+        return build.cached_library_path(
+            compiler=build.find_compiler()).exists()
+    except OSError:
+        return False
+
+
+def reset() -> None:
+    """Forget the memoized load (tests re-probe after monkeypatching)."""
+    global _lib, _load_attempted, _pivot_raw, _pivot_cache
+    with _lock:
+        _lib = None
+        _load_attempted = False
+        _pivot_raw = None
+        _pivot_cache = None
+
+
+def _idx_suffix(dtype) -> str:
+    return "_i32" if np.dtype(dtype) == np.int32 else "_i64"
+
+
+# ---------------------------------------------------------------------------
+# kernel wrappers (same contracts as the pure tier)
+# ---------------------------------------------------------------------------
+
+def spgemm_csr(A, B, workspace=None):
+    """``A @ B`` for canonical CSR operands — scipy-accumulation-order
+    row-merge in C, with all intermediates served from ``workspace``
+    (:class:`repro.sparse.spgemm.SpGEMMWorkspace`)."""
+    from ...sparse.spgemm import SpGEMMWorkspace
+
+    lib = load()
+    m = A.shape[0]
+    n = B.shape[1]
+    if lib is None or A.nnz == 0 or B.nnz == 0:
+        return A @ B
+    bound = int(np.diff(B.indptr)[A.indices].sum())
+    cap = min(bound, m * n)
+    if cap > _MATMUL_CAP:
+        return A @ B
+    idx_dtype = np.promote_types(A.indices.dtype, B.indices.dtype)
+    if np.dtype(idx_dtype) not in (np.dtype(np.int32), np.dtype(np.int64)):
+        return A @ B
+    dt = np.result_type(A.dtype, B.dtype)
+    if np.dtype(dt) != np.float64:
+        return A @ B
+    Ap = A.indptr.astype(idx_dtype, copy=False)
+    Aj = A.indices.astype(idx_dtype, copy=False)
+    Bp = B.indptr.astype(idx_dtype, copy=False)
+    Bj = B.indices.astype(idx_dtype, copy=False)
+    Ax = A.data.astype(dt, copy=False)
+    Bx = B.data.astype(dt, copy=False)
+    if workspace is None:
+        workspace = SpGEMMWorkspace()
+    mark, sums, touched = workspace.matmat_buffers(n)
+    Cp = np.empty(m + 1, dtype=idx_dtype)
+    Cj = np.empty(cap, dtype=idx_dtype)
+    Cx = np.empty(cap, dtype=np.float64)
+    fn = getattr(lib, "rk_spgemm" + _idx_suffix(idx_dtype))
+    nnz = int(fn(m, n, Ap, Aj, Ax, Bp, Bj, Bx, Cp, Cj, Cx,
+                 mark, sums, touched))
+    # sorted_indices=None matches the pure route (rows are emitted in
+    # scipy's reverse-insertion order, not sorted)
+    return raw_csr(Cx[:nnz], Cj[:nnz], Cp, (m, n), sorted_indices=None)
+
+
+def threshold_mask(A, mu: float):
+    """Fused single-pass mask + perturbation accounting (pure contract:
+    ``repro.sparse.thresholding.threshold_mask``)."""
+    lib = load()
+    if mu <= 0.0 or A.nnz == 0 or lib is None \
+            or A.data.dtype != np.float64:
+        from ...sparse import thresholding
+        return thresholding.threshold_mask(A, mu)
+    data = A.data
+    mask = np.empty(data.size, dtype=np.uint8)
+    dropped = np.empty(data.size, dtype=np.float64)
+    dmax = ctypes.c_double(0.0)
+    count = int(lib.rk_thresh_mask(data, data.size, float(mu), mask,
+                                   dropped, ctypes.byref(dmax)))
+    d = dropped[:count]
+    # the reduction runs through the same np.dot as the pure tier, on the
+    # same values in the same order — bitwise-identical statistic
+    norm_sq = float(np.dot(d, d))
+    return mask.view(bool), count, norm_sq, float(dmax.value)
+
+
+def apply_threshold_mask(A, mask):
+    """Apply a threshold mask in place and prune zeros (pure contract:
+    ``repro.sparse.thresholding.apply_threshold_mask``)."""
+    lib = load()
+    if mask is None or lib is None or A.data.dtype != np.float64 \
+            or A.indices.dtype != A.indptr.dtype \
+            or np.dtype(A.indices.dtype) not in (np.dtype(np.int32),
+                                                 np.dtype(np.int64)):
+        from ...sparse import thresholding
+        return thresholding.apply_threshold_mask(A, mask)
+    m8 = np.ascontiguousarray(mask, dtype=np.uint8)
+    fn = getattr(lib, "rk_thresh_apply" + _idx_suffix(A.indices.dtype))
+    n_outer = A.indptr.size - 1
+    nnz = int(fn(n_outer, A.indptr, A.indices, A.data, m8))
+    A.data = A.data[:nnz]
+    A.indices = A.indices[:nnz]
+    return A
+
+
+def _window_split(lib, active, cols, ipos, k, rowcount, idx_dtype):
+    """Split one permuted column window into top/bottom canonical CSR."""
+    m = active.shape[0]
+    ncols = cols.size
+    in_dtype = active.indices.dtype
+    suffix = _idx_suffix(in_dtype)
+    count = getattr(lib, "rk_window_count" + suffix)
+    fill = getattr(lib, "rk_window_fill" + suffix)
+    total = int((active.indptr[cols + 1] - active.indptr[cols]).sum())
+    top = int(count(m, k, ncols, active.indptr, active.indices, cols,
+                    ipos, rowcount))
+    bot = total - top
+    # the C instantiation types outputs like the inputs; downcast (always
+    # lossless: max(shape) bounds every index) to the canonical output
+    # dtype afterwards when they differ
+    Bp = np.empty(k + 1, dtype=in_dtype)
+    Bj = np.empty(top, dtype=in_dtype)
+    Bx = np.empty(top, dtype=np.float64)
+    Cp = np.empty(m - k + 1, dtype=in_dtype)
+    Cj = np.empty(bot, dtype=in_dtype)
+    Cx = np.empty(bot, dtype=np.float64)
+    fill(m, k, ncols, active.indptr, active.indices, active.data, cols,
+         ipos, rowcount, Bp, Bj, Bx, Cp, Cj, Cx)
+    return (raw_csr(Bx, Bj.astype(idx_dtype, copy=False),
+                    Bp.astype(idx_dtype, copy=False), (k, ncols)),
+            raw_csr(Cx, Cj.astype(idx_dtype, copy=False),
+                    Cp.astype(idx_dtype, copy=False), (m - k, ncols)))
+
+
+def permuted_blocks(active, col_perm, row_perm, k: int, rowcount=None):
+    """Fused permute + 2x2 split (pure contract:
+    ``repro.sparse.window.permuted_blocks``)."""
+    lib = load()
+    m, n = active.shape
+    if lib is None or active.data.dtype != np.float64 \
+            or active.indices.dtype != active.indptr.dtype \
+            or np.dtype(active.indices.dtype) not in (np.dtype(np.int32),
+                                                      np.dtype(np.int64)):
+        from ...sparse import window
+        return window.permuted_blocks(active, col_perm, row_perm, k)
+    if not 0 < k <= min(m, n):
+        raise ValueError(f"invalid split size k={k} for shape {active.shape}")
+    q = np.ascontiguousarray(col_perm, dtype=np.int64)
+    ipos = np.empty(m, dtype=np.int64)
+    ipos[np.asarray(row_perm, dtype=np.int64)] = np.arange(m, dtype=np.int64)
+    if rowcount is None or rowcount.size < m:
+        rowcount = np.empty(max(m, 1), dtype=np.int64)
+    idx_dtype = np.int32 if max(m, n) < 2**31 else np.int64
+
+    A11, A21 = _window_split(lib, active, q[:k], ipos, k, rowcount,
+                             idx_dtype)
+    A12, A22 = _window_split(lib, active, q[k:], ipos, k, rowcount,
+                             idx_dtype)
+    A11d = np.zeros((k, k), dtype=np.float64)
+    rows = np.repeat(np.arange(k, dtype=np.int64), np.diff(A11.indptr))
+    A11d[rows, A11.indices] = A11.data
+    return A11d, A12, A21, A22
+
+
+#: above this many keys numpy's SIMD argmin beats the C scan — both routes
+#: return the identical pivot, so crossing over is a pure perf guard
+_PIVOT_SCAN_CAP = 1024
+
+
+def pivot_argmin_consume(key: np.ndarray, sentinel: int) -> int:
+    """First-minimum argmin over an int64 key array; the winner's slot is
+    overwritten with ``sentinel`` (the colamd scan-route step)."""
+    global _pivot_cache
+    lib = load()
+    if lib is None or key.dtype != np.int64 or key.size == 0 \
+            or key.size > _PIVOT_SCAN_CAP or not key.flags.c_contiguous:
+        v = int(np.argmin(key))
+        key[v] = sentinel
+        return v
+    cache = _pivot_cache
+    if cache is None or cache[0] is not key:
+        _pivot_cache = cache = (key, key.ctypes.data)
+    return int(_pivot_raw(cache[1], key.size, int(sentinel)))

@@ -1,0 +1,158 @@
+"""Self-building JIT layer for the native kernel tier.
+
+Stdlib only (``subprocess`` + ``sysconfig`` + ``shutil``): at first use the
+``.c`` sources under ``src/`` are compiled into one shared library with
+whatever C compiler the host offers, cached under a directory keyed by the
+SHA-256 of the sources and compile command.  A changed source (or flag)
+changes the key, so stale builds are never loaded — they are simply left
+behind in the cache and rebuilt under the new key.  When no compiler
+exists the build step returns ``None`` and the tier registry reports
+``native`` unavailable; nothing in the tier-1 test suite ever triggers a
+compile (the default tier is resolved without one).
+
+The cache location is ``$REPRO_KERNEL_CACHE`` when set, else
+``$XDG_CACHE_HOME/repro/kernels`` (``~/.cache/repro/kernels``).  Builds
+are atomic (compile to a temp name, ``os.replace``), so concurrent ranks
+of the procs backend can race on a cold cache safely: every rank either
+finds the finished ``.so`` or produces an identical one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import sysconfig
+import tempfile
+from pathlib import Path
+
+#: Name of the produced shared library (per-hash directory disambiguates).
+LIB_NAME = "librepro_kernels.so"
+
+#: Portable optimization flags.  Deliberately conservative: no
+#: -ffast-math / -funsafe-math-optimizations — the bitwise-parity contract
+#: requires strict IEEE semantics in the exact source order.
+CFLAGS = ("-O3", "-fPIC", "-shared", "-std=c99", "-fvisibility=hidden")
+
+_SRC_DIR = Path(__file__).resolve().parent / "src"
+
+#: Last build failure (compiler stderr / exception text) for diagnostics;
+#: ``None`` after a successful or not-yet-attempted build.
+last_error: str | None = None
+
+
+def source_files(src_dir: Path | None = None) -> list[Path]:
+    """The translation units and headers that define the native tier,
+    sorted for a stable hash (``.c`` compiled, ``.h``/``.inc`` hashed)."""
+    root = Path(src_dir) if src_dir is not None else _SRC_DIR
+    return sorted(p for p in root.iterdir()
+                  if p.suffix in (".c", ".h", ".inc"))
+
+
+def find_compiler() -> str | None:
+    """Discover a usable C compiler executable.
+
+    Order: ``$CC``, the compiler CPython was built with (``sysconfig``),
+    then ``cc``/``gcc``/``clang`` on PATH.  Returns an absolute path, or
+    ``None`` when the host has no compiler (the pure tier then serves
+    everything).
+    """
+    candidates: list[str] = []
+    env_cc = os.environ.get("CC", "").split()
+    if env_cc:
+        candidates.append(env_cc[0])
+    py_cc = (sysconfig.get_config_var("CC") or "").split()
+    if py_cc:
+        candidates.append(py_cc[0])
+    candidates += ["cc", "gcc", "clang"]
+    for cand in candidates:
+        found = shutil.which(cand)
+        if found:
+            return found
+    return None
+
+
+def cache_root() -> Path:
+    """Build-cache directory (see module docstring)."""
+    env = os.environ.get("REPRO_KERNEL_CACHE")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME") or str(Path.home() / ".cache")
+    return Path(xdg) / "repro" / "kernels"
+
+
+def source_hash(sources: list[Path] | None = None,
+                compiler: str | None = None) -> str:
+    """SHA-256 over source names+contents and the compile configuration.
+
+    Any edit to a ``.c``/``.h``/``.inc`` file, a flag change, or a
+    different compiler yields a new hash — and therefore a fresh build
+    directory — which is what makes stale-cache reuse impossible.
+    """
+    h = hashlib.sha256()
+    for path in sources if sources is not None else source_files():
+        h.update(path.name.encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    h.update(" ".join(CFLAGS).encode())
+    h.update(b"\0")
+    h.update((compiler or "").encode())
+    return h.hexdigest()
+
+
+def cached_library_path(sources: list[Path] | None = None,
+                        cache_dir: Path | None = None,
+                        compiler: str | None = None) -> Path:
+    """Where the build for the current sources lives (existing or not)."""
+    root = Path(cache_dir) if cache_dir is not None else cache_root()
+    return root / source_hash(sources, compiler)[:16] / LIB_NAME
+
+
+def build_library(sources: list[Path] | None = None,
+                  cache_dir: Path | None = None,
+                  compiler: str | None = None) -> Path | None:
+    """Compile (or reuse) the native kernel library; ``None`` on failure.
+
+    The happy path on a warm cache is two ``stat`` calls — no compiler is
+    even looked up unless a build is actually needed.
+    """
+    global last_error
+    srcs = sources if sources is not None else source_files()
+    c_files = [p for p in srcs if p.suffix == ".c"]
+    if not c_files:
+        last_error = "no C sources found"
+        return None
+    cc = compiler or find_compiler()
+    out = cached_library_path(srcs, cache_dir, cc)
+    if out.exists():
+        return out
+    if cc is None:
+        last_error = "no C compiler on PATH (set $CC or install cc/gcc/clang)"
+        return None
+    out.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(out.parent))
+    os.close(fd)
+    cmd = [cc, *CFLAGS, "-o", tmp,
+           *[str(p) for p in c_files], "-lm"]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=120)
+        if proc.returncode != 0:
+            last_error = (f"{' '.join(cmd)} failed "
+                          f"(rc={proc.returncode}): {proc.stderr.strip()}")
+            return None
+        os.replace(tmp, out)  # atomic: concurrent builders never collide
+        tmp = None
+        last_error = None
+        return out
+    except (OSError, subprocess.SubprocessError) as exc:
+        last_error = f"native build failed: {exc}"
+        return None
+    finally:
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

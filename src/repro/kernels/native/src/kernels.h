@@ -1,0 +1,25 @@
+/* Shared declarations for the repro native kernel tier.
+ *
+ * Every kernel here is a bit-for-bit replication of the corresponding
+ * pure (NumPy/SciPy) route — same arithmetic, same accumulation order,
+ * same emission order — so the Python dispatch layer can swap tiers
+ * without perturbing a single ulp.  See docs/performance.md ("Kernel
+ * tiers") for the contract and tests/test_kernel_tiers.py for the pins.
+ *
+ * Index-generic kernels are instantiated twice (int32/int64 — scipy's
+ * two index dtypes) from the .inc bodies; value arrays are float64.
+ */
+#ifndef REPRO_KERNELS_H
+#define REPRO_KERNELS_H
+
+#include <stdint.h>
+#include <string.h>
+#include <math.h>
+
+#if defined(_WIN32)
+#define RK_EXPORT __declspec(dllexport)
+#else
+#define RK_EXPORT __attribute__((visibility("default")))
+#endif
+
+#endif /* REPRO_KERNELS_H */

@@ -1,0 +1,43 @@
+/* Tournament/colamd pivot argmin scan — native tier.
+ *
+ * The colamd scan route packs (degree, index) into one int64 key per
+ * column and repeatedly selects the first minimum, retiring the winner
+ * with a sentinel (ordering/colamd.py).  The pure route spends one
+ * np.argmin + one Python-level indexed store per pivot; this kernel fuses
+ * both into a single C call.
+ *
+ * Two-phase scan: a 4-way unrolled branchless min *value* reduction
+ * (independent conditional-move chains the CPU can run in parallel — a
+ * single compare-and-update chain is latency-bound), then a find-first
+ * pass for the index.  The first index holding the minimum value is
+ * exactly what np.argmin returns on ties, so the semantics match the
+ * pure route.
+ */
+#include "kernels.h"
+
+RK_EXPORT int64_t rk_pivot_argmin_consume(
+    int64_t *restrict key, int64_t n, int64_t sentinel)
+{
+    if (n <= 0)
+        return -1;
+    int64_t m0 = key[0], m1 = m0, m2 = m0, m3 = m0;
+    int64_t i = 1;
+    for (; i + 3 < n; i += 4) {
+        const int64_t a = key[i], b = key[i + 1];
+        const int64_t c = key[i + 2], d = key[i + 3];
+        m0 = a < m0 ? a : m0;
+        m1 = b < m1 ? b : m1;
+        m2 = c < m2 ? c : m2;
+        m3 = d < m3 ? d : m3;
+    }
+    for (; i < n; i++)
+        m0 = key[i] < m0 ? key[i] : m0;
+    m0 = m1 < m0 ? m1 : m0;
+    m0 = m2 < m0 ? m2 : m0;
+    m0 = m3 < m0 ? m3 : m0;
+    int64_t best = 0;
+    while (key[best] != m0)
+        best++;
+    key[best] = sentinel;
+    return best;
+}

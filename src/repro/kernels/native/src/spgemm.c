@@ -1,0 +1,18 @@
+/* SpGEMM (C = A @ B, canonical CSR operands) — native tier entry points.
+ *
+ * See spgemm_impl.inc for the algorithm; this translation unit only
+ * instantiates it for scipy's two index dtypes.
+ */
+#include "kernels.h"
+
+#define IDX int32_t
+#define FN(name) name##_i32
+#include "spgemm_impl.inc"
+#undef IDX
+#undef FN
+
+#define IDX int64_t
+#define FN(name) name##_i64
+#include "spgemm_impl.inc"
+#undef IDX
+#undef FN

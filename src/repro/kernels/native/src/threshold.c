@@ -1,0 +1,48 @@
+/* Fused ILUT mu-threshold kernels (Algorithm 3 line 8) — native tier.
+ *
+ * The pure route costs ~5 numpy passes per Schur complement (abs,
+ * compare, fancy-index gather, masked zero-fill, eliminate_zeros); the
+ * native route fuses the accounting into one pass and the apply+compact
+ * into another.  The perturbation norm ||T~||_F^2 is deliberately NOT
+ * reduced here: the kernel gathers the dropped values in stored order and
+ * the Python wrapper runs the same `np.dot(dropped, dropped)` on them as
+ * the pure route, so the reduction (BLAS, multi-accumulator) is the same
+ * code in both tiers and the statistic is bitwise-identical.
+ */
+#include "kernels.h"
+
+/* Single pass over the stored values: mask[i] = |data[i]| < mu (strict,
+ * matching drop_small), dropped values gathered in stored order, running
+ * max |.| of the dropped set written to *dmax.  Returns the drop count. */
+RK_EXPORT int64_t rk_thresh_mask(
+    const double *data, int64_t nnz, double mu,
+    unsigned char *mask, double *dropped, double *dmax)
+{
+    int64_t count = 0;
+    double mx = 0.0;
+    for (int64_t i = 0; i < nnz; i++) {
+        const double a = fabs(data[i]);
+        if (a < mu) {
+            mask[i] = 1;
+            dropped[count++] = data[i];
+            if (a > mx)
+                mx = a;
+        } else {
+            mask[i] = 0;
+        }
+    }
+    *dmax = mx;
+    return count;
+}
+
+#define IDX int32_t
+#define FN(name) name##_i32
+#include "threshold_impl.inc"
+#undef IDX
+#undef FN
+
+#define IDX int64_t
+#define FN(name) name##_i64
+#include "threshold_impl.inc"
+#undef IDX
+#undef FN

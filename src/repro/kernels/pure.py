@@ -1,0 +1,43 @@
+"""Pure tier: the existing NumPy/SciPy kernel routes, unchanged.
+
+These are thin bindings of the PR-2 optimized implementations onto the
+dispatch signatures of :mod:`repro.kernels` — the always-available
+fallback tier and the bitwise oracle the native tier is pinned against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import thresholding as _thresholding
+from ..sparse import window as _window
+from ..sparse.ops import csr_matmul_nosym
+
+
+def spgemm_csr(A, B, workspace=None):
+    """``A @ B`` on canonical CSR operands (scipy accumulation order).
+
+    ``workspace`` is accepted for signature parity with the native tier
+    and ignored: scipy's kernel owns its intermediates.
+    """
+    del workspace
+    return csr_matmul_nosym(A, B)
+
+
+def threshold_mask(A, mu: float):
+    return _thresholding.threshold_mask(A, mu)
+
+
+def apply_threshold_mask(A, mask):
+    return _thresholding.apply_threshold_mask(A, mask)
+
+
+def permuted_blocks(active, col_perm, row_perm, k: int, rowcount=None):
+    del rowcount
+    return _window.permuted_blocks(active, col_perm, row_perm, k)
+
+
+def pivot_argmin_consume(key: np.ndarray, sentinel: int) -> int:
+    v = int(np.argmin(key))
+    key[v] = sentinel
+    return v

@@ -1,0 +1,182 @@
+"""Kernel tier registry and dispatch.
+
+Two tiers serve the sparse hot-path kernels (row-merge SpGEMM, fused ILUT
+thresholding, the Schur index-window scatter/gather, and the pivot argmin
+scan):
+
+- ``pure``   — the existing NumPy/SciPy routes; always available and the
+  default, so ``PYTHONPATH=src pytest`` never gains a build step.
+- ``native`` — JIT-built C implementations (:mod:`repro.kernels.native`),
+  bitwise-identical to ``pure`` by the parity contract and registered
+  *unavailable* when the host has no C compiler.
+
+Tier requests are three-valued: ``"pure"``, ``"native"``, or ``"auto"``.
+``auto`` resolves to ``$REPRO_KERNEL_TIER`` when set, else to ``native``
+only when a cached build for the current sources already exists on disk
+(a stat probe — never a compile), else ``pure``.  An explicit ``native``
+request compiles on first use and falls back to ``pure`` (with a
+one-time warning) when that is impossible, so solves always succeed.
+
+Dispatch functions accept ``tier=`` as a resolved tier name or a request
+(``None`` means ``auto``).  Callers in solver loops resolve once per
+solve via :func:`resolve_tier` and pass the result down.  Per-call
+scratch (the window row-count buffer, the fallback SpGEMM workspace)
+is thread-local, so concurrent solves — and the per-rank calls of the
+threads SPMD backend — never share mutable kernel state.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+
+from .. import perf
+from . import native
+from . import pure
+
+#: Registered tiers, in fallback order.
+TIERS = ("pure", "native")
+
+#: Tier requests accepted by configs / CLI / dispatch.
+TIER_REQUESTS = ("auto",) + TIERS
+
+#: Environment override consulted by ``auto`` (CI's native-kernels job
+#: sets it to force the compiled tier under the whole test suite).
+TIER_ENV = "REPRO_KERNEL_TIER"
+
+_tl = threading.local()
+_warned_unavailable = False
+
+
+def _thread_state():
+    ws = getattr(_tl, "state", None)
+    if ws is None:
+        ws = _tl.state = {}
+    return ws
+
+
+def validate_request(request: str) -> str:
+    req = str(request).strip().lower()
+    if req not in TIER_REQUESTS:
+        raise ValueError(
+            f"unknown kernel tier {request!r} "
+            f"(choose {' | '.join(TIER_REQUESTS)})")
+    return req
+
+
+def native_available() -> bool:
+    """Whether the native tier can serve calls (builds on first probe)."""
+    return native.available()
+
+
+def available_tiers() -> tuple[str, ...]:
+    """The tiers that can actually serve calls right now.  Probing
+    availability may trigger the one-time native build."""
+    return TIERS if native_available() else ("pure",)
+
+
+def resolve_tier(request: str | None = None) -> str:
+    """Resolve a tier request to the tier that will actually run.
+
+    ``None``/``"auto"``: ``$REPRO_KERNEL_TIER`` when set (itself resolved
+    recursively, so ``auto`` in the environment is harmless), else
+    ``native`` if a cached build already exists, else ``pure``.
+    ``"native"``: build/load on first use; falls back to ``pure`` with a
+    one-time :class:`RuntimeWarning` when unavailable.
+    """
+    global _warned_unavailable
+    req = validate_request(request if request is not None else "auto")
+    if req == "auto":
+        env = os.environ.get(TIER_ENV, "").strip().lower()
+        if env and env != "auto":
+            req = validate_request(env)
+        else:
+            return "native" if native.cached_build_exists() else "pure"
+    if req == "native":
+        if native_available():
+            return "native"
+        if not _warned_unavailable:
+            _warned_unavailable = True
+            from .native import build
+            warnings.warn(
+                "kernel tier 'native' requested but unavailable "
+                f"({build.last_error or 'build not attempted'}); "
+                "falling back to 'pure'", RuntimeWarning, stacklevel=2)
+        return "pure"
+    return req
+
+
+def record_tier(tier: str) -> str:
+    """Count one solve on ``tier`` in the perf counters; returns ``tier``."""
+    perf.incr(f"kernel_tier.{tier}")
+    return tier
+
+
+def reset() -> None:
+    """Forget memoized tier state (tests re-probe after monkeypatching)."""
+    global _warned_unavailable
+    _warned_unavailable = False
+    native.reset()
+    _tl.state = {}
+
+
+def _impl(tier: str | None):
+    t = tier if tier in TIERS else resolve_tier(tier)
+    return (native, t) if t == "native" else (pure, t)
+
+
+# ---------------------------------------------------------------------------
+# dispatch surface (one function per registered kernel)
+# ---------------------------------------------------------------------------
+
+def spgemm_csr(A, B, *, tier: str | None = None, workspace=None):
+    """``A @ B`` on canonical CSR operands — scipy accumulation order,
+    bitwise-identical across tiers.  ``workspace`` (a
+    :class:`repro.sparse.spgemm.SpGEMMWorkspace`) lets the native tier
+    reuse its accumulator and output buffers across calls; when omitted a
+    thread-local workspace is used."""
+    mod, t = _impl(tier)
+    if t == "native" and workspace is None:
+        state = _thread_state()
+        workspace = state.get("spgemm_ws")
+        if workspace is None:
+            from ..sparse.spgemm import SpGEMMWorkspace
+            workspace = state["spgemm_ws"] = SpGEMMWorkspace()
+    return mod.spgemm_csr(A, B, workspace=workspace)
+
+
+def threshold_mask(A, mu: float, *, tier: str | None = None):
+    """Fused mu-threshold accounting pass (mask, count, ||T~||_F^2, max)."""
+    mod, _ = _impl(tier)
+    return mod.threshold_mask(A, mu)
+
+
+def apply_threshold_mask(A, mask, *, tier: str | None = None):
+    """Apply a threshold mask in place and prune zeros."""
+    mod, _ = _impl(tier)
+    return mod.apply_threshold_mask(A, mask)
+
+
+def permuted_blocks(active, col_perm, row_perm, k: int, *,
+                    tier: str | None = None):
+    """Fused permute + 2x2 split of the active matrix."""
+    mod, t = _impl(tier)
+    if t == "native":
+        import numpy as np
+        state = _thread_state()
+        rowcount = state.get("rowcount")
+        m = active.shape[0]
+        if rowcount is None or rowcount.size < m:
+            rowcount = state["rowcount"] = np.empty(
+                max(1024, 2 * m), dtype=np.int64)
+        return mod.permuted_blocks(active, col_perm, row_perm, k,
+                                   rowcount=rowcount)
+    return mod.permuted_blocks(active, col_perm, row_perm, k)
+
+
+def pivot_argmin_consume(key, sentinel: int, *,
+                         tier: str | None = None) -> int:
+    """First-minimum argmin over an int64 key; winner slot <- sentinel."""
+    mod, _ = _impl(tier)
+    return mod.pivot_argmin_consume(key, sentinel)

@@ -1,0 +1,83 @@
+"""SPMD004 — kernel-tier encapsulation.
+
+The native C kernels (:mod:`repro.kernels.native`) are reachable only
+through the tier registry (:mod:`repro.kernels` / ``repro.kernels.tiers``):
+the registry owns tier resolution, the pure fallback when no compiler
+exists, the one-time unavailability warning, and the thread-local scratch
+that keeps concurrent solves race-free.  A call site that imports
+``repro.kernels.native`` directly bypasses all four — it crashes on
+compiler-less hosts instead of degrading, and it sidesteps the
+bitwise-parity contract's single dispatch point.
+
+Flagged in every module outside ``repro/kernels/`` itself:
+
+- ``import repro.kernels.native`` (and submodules, e.g. ``...native.build``);
+- ``from repro.kernels.native import ...``;
+- ``from repro.kernels import native`` (and the relative spellings,
+  ``from ..kernels import native`` / ``from ..kernels.native import ...``).
+
+Tests are exempt by construction (the lint pass runs over ``src``), and
+the registry package itself may import its own tiers freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from collections.abc import Iterable
+
+from .findings import Finding
+from .framework import LintRule, register
+
+#: Directory whose modules form the tier registry and may import the
+#: native tier directly.
+REGISTRY_PARTS = ("repro", "kernels")
+
+_MESSAGE = ("direct import of repro.kernels.native bypasses the tier "
+            "registry (no pure fallback, no thread-local scratch); "
+            "dispatch through repro.kernels instead")
+
+
+def in_registry(path: str) -> bool:
+    parts = PurePath(path).parts
+    n = len(REGISTRY_PARTS)
+    return any(parts[i:i + n] == REGISTRY_PARTS
+               for i in range(len(parts) - n + 1))
+
+
+def _norm(module: str | None) -> tuple[str, ...]:
+    return tuple(part for part in (module or "").split(".") if part)
+
+
+@register
+class KernelTierRule(LintRule):
+    code = "SPMD004"
+    name = "kernel-tier-encapsulation"
+    rationale = (
+        "repro.kernels.native is an implementation detail of the tier "
+        "registry; importing it directly skips the pure fallback on "
+        "compiler-less hosts and the registry's thread-local scratch, "
+        "breaking the graceful-degradation and parity guarantees.")
+
+    def check(self, tree: ast.Module, path: str,
+              source: str) -> Iterable[Finding]:
+        if in_registry(path):
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    mod = _norm(alias.name)
+                    if "native" in mod and "kernels" in mod:
+                        yield self.finding(node, _MESSAGE, path=path,
+                                           symbol=alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                mod = _norm(node.module)
+                # absolute or relative path *into* the native package
+                if "kernels" in mod and "native" in mod:
+                    yield self.finding(node, _MESSAGE, path=path,
+                                       symbol=".".join(mod))
+                # `from ...kernels import native` (any relative depth)
+                elif mod[-1:] == ("kernels",) and any(
+                        alias.name == "native" for alias in node.names):
+                    yield self.finding(node, _MESSAGE, path=path,
+                                       symbol=".".join(mod) + ".native")

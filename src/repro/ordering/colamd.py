@@ -28,7 +28,8 @@ from ..sparse.utils import ensure_csc
 _SCAN_CUTOFF = 32768
 
 
-def colamd(A: sp.spmatrix, *, dense_row_frac: float = 0.5) -> np.ndarray:
+def colamd(A: sp.spmatrix, *, dense_row_frac: float = 0.5,
+           kernel_tier: str | None = None) -> np.ndarray:
     """Compute a COLAMD-style column permutation of ``A``.
 
     Parameters
@@ -39,6 +40,9 @@ def colamd(A: sp.spmatrix, *, dense_row_frac: float = 0.5) -> np.ndarray:
         Rows with more than ``dense_row_frac * n`` entries are ignored when
         building the quotient graph (they would couple almost all columns and
         only add noise to the degrees); they are standard to drop in COLAMD.
+    kernel_tier:
+        Kernel tier request for the pivot argmin scan (``None`` = auto);
+        both tiers select identical pivots.
 
     Returns
     -------
@@ -129,12 +133,12 @@ def colamd(A: sp.spmatrix, *, dense_row_frac: float = 0.5) -> np.ndarray:
     perm: list[int] = []
     heappop = heapq.heappop
     heappush = heapq.heappush
-    np_argmin = np.argmin
+    from ..kernels import pivot_argmin_consume, resolve_tier
+    tier = resolve_tier(kernel_tier) if use_scan else "pure"
 
     while len(perm) < n:
         if use_scan:
-            v = int(np_argmin(key))
-            key[v] = _SENT
+            v = pivot_argmin_consume(key, _SENT, tier=tier)
         else:
             d, v = heappop(heap)
             if eliminated[v] or d != degree[v]:

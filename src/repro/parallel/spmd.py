@@ -155,6 +155,7 @@ def spmd_randqb_ei(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
 
 def spmd_lu_crtp(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
                  max_rank: int | None = None, threshold: float = 0.0,
+                 kernel_tier: str | None = None,
                  checkpoint_path=None, checkpoint_every: int = 1,
                  checkpoint_callback=None, resume_from=None):
     """Algorithm 2 (Algorithm 3 when ``threshold > 0``) as a rank program.
@@ -179,6 +180,14 @@ def spmd_lu_crtp(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
     A = ensure_csc(A)
     m, n = A.shape
     max_rank = min(max_rank or min(m, n), min(m, n))
+    # Each rank resolves the tier itself: under the procs backend this is
+    # the lazy per-process load of the cached kernel .so, under the threads
+    # backend the memoized in-process handle.  Dispatch scratch is
+    # thread-local, so per-rank Schur products never share buffers.
+    from .. import kernels
+    tier = kernels.resolve_tier(kernel_tier)
+    if comm.rank == 0:
+        kernels.record_tier(tier)
     checkpointing = (checkpoint_path is not None
                      or checkpoint_callback is not None)
     if resume_from is None:
@@ -281,14 +290,15 @@ def spmd_lu_crtp(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
         comm.kernel("schur")
         keep = ~np.isin(local_ids, winner_ids)
         rest = local[:, np.flatnonzero(keep)]
-        A12_loc = rest[:k_i].tocsc()
+        A12_loc = rest[:k_i].tocsr()
         A22_loc = rest[k_i:].tocsc()
-        S_loc = (A22_loc - F @ A12_loc).tocsc()
+        S_loc = (A22_loc
+                 - kernels.spgemm_csr(F, A12_loc, tier=tier)).tocsc()
         S_loc.eliminate_zeros()
         comm.charge_flops(2.0 * F.nnz * max(A12_loc.nnz, 1) / max(k_i, 1))
         if threshold > 0 and S_loc.nnz:
-            S_loc.data[np.abs(S_loc.data) < threshold] = 0.0
-            S_loc.eliminate_zeros()
+            S_loc = kernels.apply_threshold_mask(
+                S_loc, np.abs(S_loc.data) < threshold, tier=tier)
         local = S_loc
         local_ids = local_ids[keep]
         active_rows = active_rows[k_i:]
@@ -403,7 +413,8 @@ def _rank_in(ids: np.ndarray, reference: np.ndarray) -> np.ndarray:
 def run_spmd_solver(method: str, A, nprocs: int, *, k: int = 16,
                     tol: float = 1e-2, power: int = 0, seed: int = 0,
                     max_rank: int | None = None, threshold: float = 0.0,
-                    backend: str = "threads", run_info: dict | None = None,
+                    backend: str = "threads", kernel_tier: str = "auto",
+                    run_info: dict | None = None,
                     **run_kwargs):
     """Run one registered method on ``nprocs`` simulated ranks.
 
@@ -471,10 +482,13 @@ def run_spmd_solver(method: str, A, nprocs: int, *, k: int = 16,
             "heuristic (24) requires a sequential pre-run")
     out = finish(run_spmd(nprocs, spmd_lu_crtp, A, k=k, tol=tol,
                           max_rank=max_rank, threshold=threshold,
+                          kernel_tier=kernel_tier,
                           backend=backend, **run_kwargs))
     K, converged, rel = out["results"][0]
+    from ..kernels import resolve_tier
     res = LUApproximation(rank=int(K), tolerance=tol,
                           indicator=float(rel) * a_fro, a_fro=a_fro,
                           converged=bool(converged), threshold=threshold,
-                          factor_nnz_stored=0)
+                          factor_nnz_stored=0,
+                          kernel_tier=resolve_tier(kernel_tier))
     return res

@@ -70,6 +70,9 @@ class LowRankApproximation:
     # stored factor nnz for summary-only results reconstructed by
     # ``from_json`` (their factor arrays live elsewhere)
     factor_nnz_stored: int | None = None
+    # resolved kernel tier the solve actually ran on ("pure"/"native");
+    # None for solvers predating tier dispatch or summary records without it
+    kernel_tier: str | None = None
 
     @property
     def iterations(self) -> int:
@@ -135,6 +138,8 @@ class LowRankApproximation:
             "elapsed": float(self.elapsed),
             "factor_nnz": int(self.factor_nnz()),
         }
+        if self.kernel_tier is not None:
+            d["kernel_tier"] = str(self.kernel_tier)
         if include_history:
             d["history"] = self.history.to_json_records()
         return d
@@ -159,6 +164,7 @@ class LowRankApproximation:
             converged=bool(d["converged"]),
             elapsed=float(d.get("elapsed", 0.0)),
             factor_nnz_stored=int(d.get("factor_nnz", 0)),
+            kernel_tier=d.get("kernel_tier"),
             history=ConvergenceHistory.from_json_records(
                 d.get("history", [])))
         extra = {}

@@ -61,13 +61,28 @@ class SpGEMMWorkspace:
         self._i64: list[np.ndarray] = []
         self._val: list[np.ndarray] = []
         self._val_dtype: np.dtype | None = None
+        # native-tier csr_matmat accumulator buffers (see matmat_buffers)
+        self._mm_acc_n = 0
+        self._mm_mark: np.ndarray | None = None
+        self._mm_sums: np.ndarray | None = None
+        self._mm_touched: np.ndarray | None = None
         if capacity > 0:
             self.reserve(capacity, np.dtype(np.float64))
+
+    @staticmethod
+    def _grow_cap(current: int, needed: int) -> int:
+        """Doubling growth schedule: never an exact-fit reallocation, so a
+        slowly-rising watermark costs O(log) reallocations, not one per
+        iteration."""
+        cap = max(2 * current, 1024)
+        while cap < needed:
+            cap *= 2
+        return cap
 
     def reserve(self, total: int, dtype: np.dtype) -> None:
         """Ensure capacity for ``total`` product terms of value ``dtype``."""
         if total > self.capacity:
-            new_cap = max(total, 2 * self.capacity, 1024)
+            new_cap = self._grow_cap(self.capacity, total)
             # slot / gather / key / scratch buffers (int64 covers any index)
             self._i64 = [np.empty(new_cap, dtype=np.int64) for _ in range(4)]
             self.capacity = new_cap
@@ -84,6 +99,27 @@ class SpGEMMWorkspace:
         self.reserve(total, dtype)
         b0, b1, b2, b3 = (buf[:total] for buf in self._i64)
         return b0, b1, b2, b3, self._val[0][:total], self._val[1][:total]
+
+    def matmat_buffers(self, n: int):
+        """Accumulator buffers for the native-tier row-merge SpGEMM
+        (:func:`repro.kernels.native.spgemm_csr`), grown geometrically and
+        reused across calls.
+
+        Returns ``(mark, sums, touched)`` where ``mark`` (int64, ≥ n) is
+        all ``-1`` — the kernel restores it before returning, so the
+        invariant holds across calls without re-initialization;
+        ``sums``/``touched`` are scratch with no entry invariant.  The
+        *output* arrays are allocated fresh per call (the result outlives
+        the workspace; a bound-sized ``np.empty`` is cheaper than copying
+        out of a reused buffer).
+        """
+        if self._mm_mark is None or self._mm_acc_n < n:
+            self._mm_acc_n = self._grow_cap(self._mm_acc_n, n)
+            self._mm_mark = np.full(self._mm_acc_n, -1, dtype=np.int64)
+            self._mm_sums = np.empty(self._mm_acc_n, dtype=np.float64)
+            self._mm_touched = np.empty(self._mm_acc_n, dtype=np.int64)
+            self.grown += 1
+        return (self._mm_mark, self._mm_sums, self._mm_touched)
 
 
 def _expand(A: sp.csc_matrix, B: sp.csc_matrix, workspace: SpGEMMWorkspace

@@ -1,0 +1,30 @@
+"""SPMD004 fixtures — direct native-tier imports outside the registry.
+
+This file does not live under ``repro/kernels/``, so every spelling of a
+``repro.kernels.native`` import must be flagged.  Linted by
+``tests/test_lint.py``; every line tagged ``# expect: CODE`` must be
+flagged with exactly that code on exactly that line, and no other line
+may be flagged.  Never imported (no ``test_`` prefix).
+"""
+
+import repro.kernels.native  # expect: SPMD004
+import repro.kernels.native.build as native_build  # expect: SPMD004
+from repro.kernels.native import spgemm_csr  # expect: SPMD004
+from repro.kernels.native.build import find_compiler  # expect: SPMD004
+from repro.kernels import native  # expect: SPMD004
+from ..kernels import native as native_mod  # expect: SPMD004
+from ..kernels.native import build  # expect: SPMD004
+
+# the dispatch surface is the sanctioned route
+from repro import kernels
+from repro.kernels import spgemm_csr as dispatch_spgemm
+from repro.kernels import tiers
+from repro.kernels.tiers import resolve_tier
+
+# suppression works like every other rule
+from repro.kernels import native as probed  # repro: noqa[SPMD004]
+
+
+def uses_dispatch(A, B):
+    tier = kernels.resolve_tier("auto")
+    return kernels.spgemm_csr(A, B, tier=tier)

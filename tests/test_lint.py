@@ -33,6 +33,7 @@ FIXTURE_FILES = (
     "spmd001_collectives.py",
     "spmd002_sharedviews.py",
     "spmd003_determinism.py",
+    "spmd004_kerneltier.py",
 )
 
 
@@ -53,6 +54,7 @@ def expected_findings(path: Path) -> set[tuple[int, str]]:
     ("spmd001_collectives.py", "SPMD001"),
     ("spmd002_sharedviews.py", "SPMD002"),
     ("spmd003_determinism.py", "SPMD003"),
+    ("spmd004_kerneltier.py", "SPMD004"),
 ])
 def test_fixture_exact_findings_with_select(name, code):
     path = FIXTURES / name
@@ -68,6 +70,16 @@ def test_fixture_exact_findings_all_rules(name):
     path = FIXTURES / name
     findings = lint_paths([path])
     assert {(f.line, f.code) for f in findings} == expected_findings(path)
+
+
+def test_kerneltier_registry_package_is_exempt():
+    src = "from repro.kernels import native\nfrom .native import build\n"
+    inside = lint_source(src, path="src/repro/kernels/tiers.py",
+                         select=["SPMD004"])
+    assert inside == []
+    outside = lint_source(src, path="src/repro/core/lu_crtp.py",
+                          select=["SPMD004"])
+    assert {f.line for f in outside} == {1}  # relative .native needs kernels
 
 
 def test_fixture_findings_carry_symbol_and_message():
@@ -130,9 +142,9 @@ def test_suppressed_lines_parsing():
 # framework
 # ---------------------------------------------------------------------------
 
-def test_registry_has_the_three_rules():
+def test_registry_has_the_four_rules():
     rules = all_rules()
-    assert list(rules) == ["SPMD001", "SPMD002", "SPMD003"]
+    assert list(rules) == ["SPMD001", "SPMD002", "SPMD003", "SPMD004"]
     for code, rule in rules.items():
         assert rule.code == code
         assert rule.name
@@ -199,7 +211,7 @@ def test_cli_select_restricts_rules():
 def test_cli_list_rules():
     proc = _run_cli("--list-rules")
     assert proc.returncode == 0
-    for code in ("SPMD001", "SPMD002", "SPMD003"):
+    for code in ("SPMD001", "SPMD002", "SPMD003", "SPMD004"):
         assert code in proc.stdout
 
 
