@@ -15,9 +15,9 @@ paper's:
 import pytest
 
 from repro.parallel import (
+    CommReport,
     MachineModel,
     ScalingCurve,
-    comm_volume_table,
     run_spmd,
     simulate_ilut_crtp,
     simulate_lu_crtp,
@@ -102,10 +102,11 @@ def test_fig4_comm_volume(benchmark, report, prog, name):
                     machine=MachineModel(comm_algo="tree"))
     # the cost model is transport-independent: same modeled time
     assert out["elapsed"] == tree["elapsed"]
+    flat_rep = CommReport.from_run(out)
     report(f"Fig. 4 companion — {name} comm volume (M2 analogue, P={p}, "
-           f"k={k})\n\n" + comm_volume_table(out["comm"]) + "\n\n"
-           + comm_volume_table(out["comm"], by="kernel") + "\n\n"
-           + comm_volume_table(tree["comm"]),
+           f"k={k})\n\n" + flat_rep.table() + "\n\n"
+           + flat_rep.table(by="kernel") + "\n\n"
+           + CommReport.from_run(tree).table(),
            f"fig4_comm_{name}.txt")
     benchmark.pedantic(
         lambda: run_spmd(p, prog, A, k=k, tol=tol), rounds=1, iterations=1)

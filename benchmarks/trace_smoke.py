@@ -1,0 +1,146 @@
+"""Comm-trace replay smoke + regression gate (``BENCH_trace.json``).
+
+Captures a P=4 ``repro.trace/v1`` trace of ``spmd_randqb_ei`` on the M2
+analogue (both backends), then gates the replay engine end to end:
+
+1. **bitwise replay** — ``replay_ledgers(trace)`` must reproduce the
+   live run's per-rank comm ledgers exactly, flat and tree/ring alike;
+2. **round trip** — a JSON dump/load of the trace must replay the same;
+3. **scale model** — ``replay_costs`` at P in {64, 1024} must match the
+   committed ``BENCH_trace.json`` byte and message counts exactly.
+   Modeled volume depends only on (trace, P, algo) — never on machine
+   coefficients or the host — so the pin is machine-independent: drift
+   means the transports' accounting or the replay scaling rules changed,
+   and the JSON must be regenerated *deliberately* (rerun without
+   ``--check-regression``).
+
+Usage::
+
+    python benchmarks/trace_smoke.py                      # rewrite JSON
+    python benchmarks/trace_smoke.py --check-regression   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.parallel import (  # noqa: E402
+    MachineModel,
+    replay_costs,
+    replay_ledgers,
+)
+from repro.parallel.comm import run_spmd  # noqa: E402
+from repro.parallel.spmd import spmd_randqb_ei  # noqa: E402
+from repro.trace import CommTrace  # noqa: E402
+
+BENCH_PATH = REPO_ROOT / "BENCH_trace.json"
+CAPTURE_P = 4
+REPLAY_PS = (64, 1024)
+#: (name, backend, comm_algo) capture cases; flat pins the thread-parity
+#: transport, tree exercises the binomial/ring accounting.
+CASES = (("threads_flat", "threads", "flat"),
+         ("procs_tree", "procs", "tree"))
+
+
+def _m2_analogue(n: int = 360) -> sp.csr_matrix:
+    rng = np.random.default_rng(1)
+    A = sp.random(n, n, density=0.02, random_state=rng, format="csc")
+    return (A + sp.diags(np.linspace(1, 0.01, n), format="csc")).tocsr()
+
+
+def _capture(A, backend: str, algo: str) -> dict:
+    machine = MachineModel(comm_algo=algo) if algo != "flat" else None
+    return run_spmd(CAPTURE_P, spmd_randqb_ei, A, k=8, tol=1e-2, seed=0,
+                    backend=backend, machine=machine, trace=True)
+
+
+def _assert_bitwise(out: dict, label: str) -> None:
+    live = out["ledgers"]
+    for trace in (out["trace"],
+                  CommTrace.from_json(out["trace"].to_json())):
+        replayed = [led.to_dict() for led in replay_ledgers(trace)]
+        if replayed != live:
+            raise SystemExit(
+                f"REGRESSION[{label}]: trace replay is not bitwise equal "
+                f"to the live comm ledgers")
+
+
+def _modeled(trace) -> dict:
+    entry = {}
+    for P in REPLAY_PS:
+        rep = replay_costs(trace, nprocs=P)
+        entry[str(P)] = {"bytes": float(rep.bytes_total),
+                         "msgs": int(rep.msgs_total)}
+    return entry
+
+
+def run(check: bool) -> int:
+    A = _m2_analogue()
+    results = {}
+    for label, backend, algo in CASES:
+        out = _capture(A, backend, algo)
+        _assert_bitwise(out, label)
+        results[label] = {
+            "backend": backend, "algo": out["trace"].algo,
+            "capture_nprocs": CAPTURE_P,
+            "n_events": out["trace"].n_events,
+            "live_bytes": float(out["comm"]["bytes_sent"]),
+            "live_msgs": int(out["comm"]["msgs"]),
+            "modeled": _modeled(out["trace"]),
+        }
+        print(f"{label}: captured {results[label]['n_events']} events, "
+              f"live volume {results[label]['live_bytes']:.3e}B "
+              f"(bitwise replay OK)")
+
+    doc = {"schema": "repro.bench_trace/v1", "capture_nprocs": CAPTURE_P,
+           "replay_ps": list(REPLAY_PS), "results": results}
+
+    if not check:
+        BENCH_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True)
+                              + "\n")
+        print(f"wrote {BENCH_PATH}")
+        return 0
+
+    committed = json.loads(BENCH_PATH.read_text())
+    failures = []
+    for label in results:
+        want = committed["results"].get(label, {}).get("modeled", {})
+        got = results[label]["modeled"]
+        for P in map(str, REPLAY_PS):
+            for field in ("bytes", "msgs"):
+                w, g = want.get(P, {}).get(field), got[P][field]
+                if w != g:
+                    failures.append(
+                        f"{label} P={P} modeled {field}: committed {w} "
+                        f"!= measured {g}")
+    if failures:
+        print("REGRESSION: modeled comm volume drifted from "
+              "BENCH_trace.json:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"gate OK: modeled volume at P={list(REPLAY_PS)} matches "
+          f"BENCH_trace.json for {len(results)} capture cases")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--check-regression", action="store_true",
+                    help="compare against the committed BENCH_trace.json "
+                         "instead of rewriting it")
+    args = ap.parse_args()
+    return run(check=args.check_regression)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

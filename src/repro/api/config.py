@@ -26,8 +26,11 @@ from dataclasses import dataclass, field
 from typing import Any
 
 #: Fields that do not affect the produced factorization and are therefore
-#: excluded from :meth:`SolverConfig.cache_key`.
-_NON_IDENTITY_FIELDS = ("tol", "checkpointing", "optimized")
+#: excluded from :meth:`SolverConfig.cache_key`.  ``machine`` is handled
+#: separately: only its ``comm_algo`` can change results (tree/ring
+#: transports reorder floating-point reductions on the procs backend), so
+#: only that field enters the key — and only when it is not ``"flat"``.
+_NON_IDENTITY_FIELDS = ("tol", "checkpointing", "optimized", "trace")
 
 
 def _freeze_extras(extras) -> tuple:
@@ -76,6 +79,20 @@ class SolverConfig:
         serialized into :meth:`cache_key` so provenance records which tier
         was asked for (``auto`` resolution is environment-dependent and
         recorded separately on the result).
+    machine:
+        Simulated machine for SPMD runs: ``None`` (the default model), a
+        preset name from :data:`repro.parallel.machine.MACHINE_PRESETS`
+        (``"ib-cluster"``, ``"ethernet-cluster"``, ...), a coefficient
+        mapping (``{"alpha": 5e-5, "comm_algo": "tree"}``) or a built
+        :class:`~repro.parallel.machine.MachineModel`.  Normalized to a
+        ``MachineModel`` at construction.  Only ``comm_algo`` enters
+        :meth:`cache_key` (and only when not ``"flat"``): cost
+        coefficients never change the factorization, but tree/ring
+        transports reorder floating-point reductions.
+    trace:
+        Capture a ``repro.trace/v1`` communication trace during SPMD
+        runs (see :mod:`repro.trace`).  An execution detail, excluded
+        from the cache identity.
     extras:
         Method-specific passthrough options, e.g.
         ``{"l_formula": "auto"}``; validated against the target solver.
@@ -90,6 +107,8 @@ class SolverConfig:
     checkpointing: bool = False
     max_rank: int | None = None
     kernel_tier: str = "auto"
+    machine: Any = None
+    trace: bool = False
     extras: tuple = field(default=())
 
     def __post_init__(self):
@@ -112,12 +131,20 @@ class SolverConfig:
         from ..kernels import validate_request
         object.__setattr__(self, "kernel_tier",
                            validate_request(self.kernel_tier))
+        if self.machine is not None:
+            from ..parallel.machine import MachineModel
+            object.__setattr__(self, "machine",
+                               MachineModel.from_spec(self.machine))
+        object.__setattr__(self, "trace", bool(self.trace))
 
     # -- serialization -------------------------------------------------
     def to_dict(self) -> dict:
-        """Plain-dict form (``extras`` becomes a nested dict)."""
+        """Plain-dict form (``extras`` and ``machine`` become nested
+        dicts; round-trips through :meth:`from_dict`)."""
         d = dataclasses.asdict(self)
         d["extras"] = dict(self.extras)
+        if self.machine is not None:
+            d["machine"] = self.machine.to_dict()
         return d
 
     @classmethod
@@ -141,13 +168,20 @@ class SolverConfig:
     def cache_key(self) -> str:
         """Stable string identifying the factorization this config yields.
 
-        Excludes ``tol``/``checkpointing``/``optimized`` (see module
-        docstring); everything else is serialized as canonical JSON with
-        sorted keys so logically-equal configs collide.
+        Excludes ``tol``/``checkpointing``/``optimized``/``trace`` (see
+        module docstring); everything else is serialized as canonical
+        JSON with sorted keys so logically-equal configs collide.  Of the
+        ``machine`` only a non-``"flat"`` ``comm_algo`` is identity: cost
+        coefficients shape modeled clocks, never the factorization, but
+        the tree/ring transports reorder floating-point reductions on
+        the procs backend.
         """
         d = self.to_dict()
         for name in _NON_IDENTITY_FIELDS:
             d.pop(name, None)
+        d.pop("machine", None)
+        if self.machine is not None and self.machine.comm_algo != "flat":
+            d["comm_algo"] = self.machine.comm_algo
         return json.dumps(d, sort_keys=True, separators=(",", ":"))
 
 

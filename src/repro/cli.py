@@ -8,6 +8,8 @@ Commands
 - ``compare`` — run all four methods with uniform termination and print a
   side-by-side table.
 - ``scaling`` — modeled strong-scaling sweep for a matrix/method.
+- ``trace`` — replay / extrapolate / diff captured ``repro.trace/v1``
+  communication traces (capture one with ``solve --nprocs P --trace``).
 - ``serve`` — run the async solve service on a TCP endpoint.
 
 Matrices are addressed either by suite label (``M1``..``M6``, with
@@ -31,12 +33,28 @@ def _load_matrix(spec: str, scale: float):
     return suite_matrix(spec, scale=scale)
 
 
+def _parse_machine(spec: str | None):
+    """CLI machine spec: a preset name (``ib-cluster``) or a JSON dict
+    of coefficient overrides (``'{"alpha": 5e-5}'``); ``None`` passes
+    through (the default model)."""
+    if spec is None:
+        return None
+    spec = spec.strip()
+    if spec.startswith("{"):
+        import json
+        return json.loads(spec)
+    return spec
+
+
 def _config_from_args(args):
     from .api import SolverConfig
     return SolverConfig(k=args.k, tol=args.tol, power=args.power,
                         seed=args.seed,
                         estimated_iterations=args.estimated_iterations,
-                        kernel_tier=getattr(args, "kernel_tier", "auto"))
+                        kernel_tier=getattr(args, "kernel_tier", "auto"),
+                        machine=_parse_machine(
+                            getattr(args, "machine", None)),
+                        trace=bool(getattr(args, "trace", None)))
 
 
 def _make_solver(method: str, args):
@@ -94,12 +112,17 @@ def cmd_solve(args) -> int:
         perf.enable()
     run_info: dict = {}
     if args.nprocs > 1:
-        from .parallel import run_spmd_solver
+        from .parallel import MachineModel, run_spmd_solver
+        machine = MachineModel.from_spec(_parse_machine(args.machine))
         res = run_spmd_solver(
             args.method, A, args.nprocs, k=args.k, tol=args.tol,
             power=args.power, seed=args.seed, backend=args.backend,
-            kernel_tier=args.kernel_tier, run_info=run_info)
+            kernel_tier=args.kernel_tier, run_info=run_info,
+            machine=machine, trace=args.trace is not None)
     else:
+        if args.trace is not None:
+            raise SystemExit(
+                "--trace captures SPMD communication; it needs --nprocs > 1")
         solver = _make_solver(args.method, args)
         res = solver.solve(A)
     print(render_table(
@@ -118,6 +141,10 @@ def cmd_solve(args) -> int:
               f"modeled={run_info.get('elapsed', 0.0):.3e}s "
               f"comm={comm.get('bytes_sent', 0.0):.3e}B"
               f"/{comm.get('msgs', 0)}msg")
+        if args.trace is not None and run_info.get("trace") is not None:
+            run_info["trace"].dump(args.trace)
+            print(f"trace written to {args.trace} "
+                  f"({run_info['trace'].n_events} events, P={args.nprocs})")
     if args.perf:
         from . import perf
         perf.disable()
@@ -191,6 +218,50 @@ def cmd_scaling(args) -> int:
     return 0
 
 
+def cmd_trace_replay(args) -> int:
+    from .parallel import CommReport, replay_costs, replay_transport
+    from .trace import CommTrace
+    trace = CommTrace.load(args.trace)
+    print(f"trace: {args.trace} [P={trace.nprocs} backend={trace.backend} "
+          f"algo={trace.algo} events={trace.n_events}]")
+    if args.transport:
+        out = replay_transport(trace, backend=args.transport,
+                               machine=_parse_machine(args.machine))
+        print(CommReport.from_run(out).table())
+        return 0
+    rep = replay_costs(trace, nprocs=args.nprocs, algo=args.algo,
+                       machine=_parse_machine(args.machine))
+    print(rep.table())
+    return 0
+
+
+def cmd_trace_extrapolate(args) -> int:
+    from .parallel import extrapolate
+    from .trace import CommTrace
+    trace = CommTrace.load(args.trace)
+    ps = [int(p) for p in args.nprocs.split(",")]
+    rep = extrapolate(trace, ps, algo=args.algo,
+                      machine=_parse_machine(args.machine))
+    print(f"trace: {args.trace} [P={trace.nprocs} backend={trace.backend} "
+          f"algo={trace.algo}]")
+    print(rep.table())
+    return 0
+
+
+def cmd_trace_diff(args) -> int:
+    from .parallel import trace_diff
+    from .trace import CommTrace
+    a = CommTrace.load(args.trace_a)
+    b = CommTrace.load(args.trace_b)
+    res = trace_diff(a, b)
+    if res["equal"]:
+        print("traces are equivalent")
+        return 0
+    for line in res["differences"]:
+        print(line)
+    return 1
+
+
 def cmd_serve(args) -> int:
     from .service import main_serve
     return main_serve(args.host, args.port, workers=args.workers,
@@ -228,6 +299,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="hot-path kernel tier: pure (NumPy/SciPy), "
                              "native (JIT-built C, bitwise-identical) or "
                              "auto (native iff already built)")
+        sp.add_argument("--machine", default=None, metavar="SPEC",
+                        help="simulated machine for SPMD runs: a preset "
+                             "name (ib-cluster, ethernet-cluster, ...) or "
+                             "a JSON coefficient dict like "
+                             "'{\"alpha\": 5e-5, \"comm_algo\": \"tree\"}'")
 
     pi = sub.add_parser("info", help="list suite matrices")
     pi.add_argument("--scale", type=float, default=1.0)
@@ -247,6 +323,10 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("threads", "procs"),
                      help="SPMD backend: threads (simulated, in-process) "
                           "or procs (one OS process per rank)")
+    ps_.add_argument("--trace", default=None, metavar="PATH",
+                     help="capture a repro.trace/v1 communication trace "
+                          "of the SPMD run and write it to PATH "
+                          "(requires --nprocs > 1)")
     ps_.set_defaults(func=cmd_solve)
 
     pc = sub.add_parser("compare", help="run all four methods")
@@ -258,6 +338,47 @@ def build_parser() -> argparse.ArgumentParser:
     psc.add_argument("--nprocs", default="1,4,16,64,256,1024",
                      help="comma-separated process counts")
     psc.set_defaults(func=cmd_scaling)
+
+    pt = sub.add_parser(
+        "trace", help="replay / extrapolate / diff captured comm traces")
+    tsub = pt.add_subparsers(dest="trace_command", required=True)
+
+    def trace_common(sp):
+        sp.add_argument("--algo", default=None,
+                        choices=("flat", "tree", "ring"),
+                        help="model a different collective algorithm "
+                             "(default: the trace's recorded one)")
+        sp.add_argument("--machine", default=None, metavar="SPEC",
+                        help="cost model for the replay: preset name or "
+                             "JSON coefficient dict (default: the "
+                             "trace's captured machine)")
+
+    tr = tsub.add_parser(
+        "replay", help="model a trace's comm volume/time at any scale")
+    tr.add_argument("trace", help="path to a repro.trace/v1 JSON file")
+    tr.add_argument("--nprocs", type=int, default=None,
+                    help="target process count (default: the recorded one)")
+    trace_common(tr)
+    tr.add_argument("--transport", default=None,
+                    choices=("threads", "procs"),
+                    help="instead of modeling, re-drive the trace against "
+                         "a real backend at the recorded P and measure it")
+    tr.set_defaults(func=cmd_trace_replay)
+
+    te = tsub.add_parser(
+        "extrapolate",
+        help="Fig.4-style strong-scaling forecast from one trace")
+    te.add_argument("trace", help="path to a repro.trace/v1 JSON file")
+    te.add_argument("--nprocs", default="1,4,16,64,256,1024,4096",
+                    help="comma-separated target process counts")
+    trace_common(te)
+    te.set_defaults(func=cmd_trace_extrapolate)
+
+    td = tsub.add_parser(
+        "diff", help="structurally compare two traces (exit 1 on drift)")
+    td.add_argument("trace_a")
+    td.add_argument("trace_b")
+    td.set_defaults(func=cmd_trace_diff)
 
     pv = sub.add_parser("serve", help="run the async solve service (TCP, "
                                       "line-delimited JSON protocol)")

@@ -17,9 +17,9 @@ reproduced with a two-layer simulation (DESIGN.md §5):
    (Fig. 4) and kernel breakdowns (Figs. 5-6) come from this layer.
 """
 
-from .machine import MachineModel, CollectiveCosts
+from .machine import MACHINE_PRESETS, MachineModel, CollectiveCosts
 from .comm import BACKENDS, SimComm, run_spmd
-from .collectives import COMM_ALGOS, CommLedger, summarize_ledgers
+from .collectives import COMM_ALGOS, CommLedger
 from .procs import ProcComm, run_spmd_procs
 from .shm import SharedMatrix, shm_segments
 from .faults import (
@@ -47,12 +47,28 @@ from .perfmodel import (
     simulate_randubv,
     strong_scaling,
 )
-from .report import ScalingCurve, comm_volume_table, speedup_table
+from .report import (
+    CommReport,
+    ScalingCurve,
+    comm_volume_table,  # deprecated shim: use CommReport.table
+    speedup_table,
+    summarize_ledgers,  # deprecated shim: use CommReport.from_ledgers
+)
+from .replay import (
+    ExtrapolationReport,
+    ReplayReport,
+    extrapolate,
+    replay_costs,
+    replay_ledgers,
+    replay_transport,
+    trace_diff,
+)
 from .spmd import spmd_randqb_ei, spmd_lu_crtp, spmd_randubv, run_spmd_solver
 from .dist_dense import ProcessGrid, DistDense
 
 __all__ = [
     "MachineModel",
+    "MACHINE_PRESETS",
     "CollectiveCosts",
     "SimComm",
     "run_spmd",
@@ -86,8 +102,16 @@ __all__ = [
     "simulate_randqb_ei",
     "strong_scaling",
     "ScalingCurve",
+    "CommReport",
     "comm_volume_table",
     "speedup_table",
+    "ReplayReport",
+    "ExtrapolationReport",
+    "replay_ledgers",
+    "replay_costs",
+    "extrapolate",
+    "replay_transport",
+    "trace_diff",
     "simulate_randubv",
     "spmd_randqb_ei",
     "spmd_lu_crtp",

@@ -73,6 +73,7 @@ class _SharedState:
     collective_timeout: float = DEFAULT_COLLECTIVE_TIMEOUT
     failed_ranks: dict = field(default_factory=dict)  # rank -> superstep
     ledgers: list = field(default_factory=list)  # per-rank CommLedger
+    tracers: list | None = None  # per-rank CommTracer when tracing
     sanitize_error: BaseException | None = None  # first sanitizer trip
 
     def queue_for(self, src: int, dst: int, tag: int) -> queue.Queue:
@@ -101,6 +102,7 @@ class SimComm:
         self._superstep = 0
         self.ledger = state.ledgers[rank] if rank < len(state.ledgers) \
             else CommLedger()
+        self.tracer = state.tracers[rank] if state.tracers else None
 
     @property
     def superstep(self) -> int:
@@ -238,6 +240,20 @@ class SimComm:
             else:
                 self.ledger.record(self._kernel, op,
                                    _payload_bytes(deposit), 1)
+        if self.tracer is not None:
+            out_self = 0.0
+            if self.rank != root:
+                out_r = result if ledger_result is None \
+                    else ledger_result(self.rank, result)
+                out_self = _payload_bytes(out_r)
+            meta = None
+            if op == "allreduce" and isinstance(deposit, np.ndarray):
+                meta = {"numel": int(deposit.size),
+                        "itemsize": int(deposit.itemsize)}
+            self.tracer.collective(
+                op=op, root=root, kernel=self._kernel, algo="flat",
+                bytes_in=_payload_bytes(deposit), bytes_out=out_self,
+                site=sanitize.call_site(), meta=meta)
         self.charge(comm_cost)
         return result
 
@@ -345,6 +361,10 @@ class SimComm:
         costs = self._state.machine.collectives
         self.charge(costs.p2p(_payload_bytes(obj)))
         self.ledger.record(self._kernel, "send", _payload_bytes(obj), 1)
+        if self.tracer is not None:
+            self.tracer.send(dst=dst, tag=tag, kernel=self._kernel,
+                             nbytes=_payload_bytes(obj),
+                             site=sanitize.call_site())
         inj = self._state.injector
         if inj is not None:
             obj = inj.filter_send(self.rank, dst, tag, obj)
@@ -397,6 +417,10 @@ class SimComm:
                 with state.clock_lock:
                     state.clocks[self.rank] = max(state.clocks[self.rank],
                                                   sent_at)
+                if self.tracer is not None:
+                    self.tracer.recv(src=src, tag=tag, kernel=self._kernel,
+                                     nbytes=_payload_bytes(obj),
+                                     site=sanitize.call_site())
                 return obj
             if attempt < max_retries:
                 self.charge(retry_backoff * (2.0 ** attempt))
@@ -475,6 +499,7 @@ def run_spmd(nprocs: int, program, *args, machine: MachineModel | None = None,
              join_timeout: float = DEFAULT_JOIN_TIMEOUT,
              mp_context: str | None = None,
              max_rank_restarts: int = 0,
+             trace: bool = False,
              **kwargs) -> dict:
     """Run ``program(comm, *args, **kwargs)`` on ``nprocs`` SPMD ranks.
 
@@ -514,6 +539,14 @@ def run_spmd(nprocs: int, program, *args, machine: MachineModel | None = None,
         :mod:`repro.parallel.procs`).  The thread backend shares one
         address space with the failed rank and cannot respawn — asking
         for restarts there is a :class:`CommunicatorError`.
+    trace:
+        Capture a full communication trace: every collective and
+        point-to-point op on every rank, with payload sizes, call sites
+        and the transport algorithm used.  The trace is returned under
+        ``out["trace"]`` as a :class:`repro.trace.CommTrace` (dump it
+        with ``.dump(path)``), next to the per-rank ledger dicts under
+        ``out["ledgers"]``; replay and extrapolation live in
+        :mod:`repro.trace`.
     """
     if backend not in BACKENDS:
         raise CommunicatorError(
@@ -524,7 +557,7 @@ def run_spmd(nprocs: int, program, *args, machine: MachineModel | None = None,
             nprocs, program, *args, machine=machine, fault_plan=fault_plan,
             recv_timeout=recv_timeout, collective_timeout=collective_timeout,
             join_timeout=join_timeout, mp_context=mp_context,
-            max_rank_restarts=max_rank_restarts, **kwargs)
+            max_rank_restarts=max_rank_restarts, trace=trace, **kwargs)
         _record_comm_perf(out)
         return out
     if int(max_rank_restarts) > 0:
@@ -542,6 +575,9 @@ def run_spmd(nprocs: int, program, *args, machine: MachineModel | None = None,
                          recv_timeout=float(recv_timeout),
                          collective_timeout=float(collective_timeout),
                          ledgers=[CommLedger() for _ in range(nprocs)])
+    if trace:
+        from ..trace.capture import CommTracer
+        state.tracers = [CommTracer(r) for r in range(nprocs)]
     state.barrier = threading.Barrier(nprocs)
     results: list = [None] * nprocs
     errors: list = [None] * nprocs
@@ -589,5 +625,13 @@ def run_spmd(nprocs: int, program, *args, machine: MachineModel | None = None,
         "backend": "threads",
         "wall_seconds": time.perf_counter() - t_wall,
     }
+    if trace:
+        from ..trace.capture import assemble_trace
+        out["trace"] = assemble_trace(
+            [t.events for t in state.tracers],
+            nprocs=nprocs, backend="threads", algo="flat",
+            machine=machine, sanitized=sanitize.enabled(),
+            elapsed=out["elapsed"], kernel_seconds=kernel_seconds)
+        out["ledgers"] = [led.to_dict() for led in state.ledgers]
     _record_comm_perf(out)
     return out

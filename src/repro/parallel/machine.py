@@ -61,6 +61,45 @@ class MachineModel:
                 f"unknown comm_algo {self.comm_algo!r}; expected 'flat' "
                 "or 'tree'")
 
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form (the ``machine`` entry of configs and traces)."""
+        return {"gamma_flop": self.gamma_flop, "gamma_mem": self.gamma_mem,
+                "alpha": self.alpha, "beta": self.beta,
+                "comm_algo": self.comm_algo}
+
+    @classmethod
+    def from_spec(cls, spec) -> "MachineModel":
+        """Build a model from any accepted spec form.
+
+        ``spec`` may be ``None`` (the default model), an existing
+        :class:`MachineModel`, a preset name from :data:`MACHINE_PRESETS`
+        (``"hpc-cluster"`` / ``"ib-cluster"`` / ``"ethernet-cluster"`` /
+        ``"shared-memory"``, ...), or a mapping of coefficient overrides
+        (``{"alpha": 5e-5, "comm_algo": "tree"}``) — the form
+        :class:`repro.api.SolverConfig` and the CLI ``--machine`` flag
+        accept, so replay/extrapolation runs are reproducible from a
+        config JSON alone.
+        """
+        if spec is None:
+            return cls()
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, str):
+            preset = MACHINE_PRESETS.get(spec)
+            if preset is None:
+                raise ValueError(
+                    f"unknown machine preset {spec!r}; expected one of "
+                    f"{sorted(MACHINE_PRESETS)}")
+            return preset()
+        d = dict(spec)
+        names = {"gamma_flop", "gamma_mem", "alpha", "beta", "comm_algo"}
+        unknown = set(d) - names
+        if unknown:
+            raise ValueError(
+                f"unknown MachineModel field(s): {sorted(unknown)}")
+        return cls(**d)
+
     def flops(self, count: float) -> float:
         """Seconds to execute ``count`` flops on one process."""
         return self.gamma_flop * max(count, 0.0)
@@ -91,6 +130,17 @@ class MachineModel:
         """Single fat node: near-zero latency, memory-bus bandwidth.
         Collectives almost free; scaling limited by compute partitioning."""
         return cls(alpha=2.0e-7, beta=6.3e-11)
+
+
+#: Named machine presets accepted by :meth:`MachineModel.from_spec` (and
+#: therefore by ``SolverConfig(machine=...)`` and CLI ``--machine``).
+MACHINE_PRESETS = {
+    "hpc-cluster": MachineModel.hpc_cluster,
+    "ib-cluster": MachineModel.hpc_cluster,
+    "ethernet-cluster": MachineModel.ethernet_cluster,
+    "10gbe": MachineModel.ethernet_cluster,
+    "shared-memory": MachineModel.shared_memory,
+}
 
 
 @dataclass(frozen=True)

@@ -157,7 +157,7 @@ class ProcComm:
                  channels: dict, send_conns: dict, ctrl: _CtrlBlock,
                  injector: FaultInjector | None,
                  recv_timeout: float, collective_timeout: float,
-                 gen: int = 0):
+                 gen: int = 0, trace: bool = False):
         self.rank = rank
         self.nprocs = nprocs
         self.machine = machine
@@ -174,6 +174,11 @@ class ProcComm:
         self._coll_seq = 0
         self.kernel_times: dict = {}       # (kernel, rank) -> seconds
         self.ledger = CommLedger()
+        if trace:
+            from ..trace.capture import CommTracer
+            self.tracer = CommTracer(rank)
+        else:
+            self.tracer = None
 
     # -- introspection (SimComm-compatible) -----------------------------
     @property
@@ -322,6 +327,20 @@ class ProcComm:
             assert self._coll_seq == seq_guard
             self._coll_seq += 1
         self._clock = max(self._clock, tmax) if self.nprocs == 1 else tmax
+        if self.tracer is not None:
+            from .comm import _payload_bytes
+            algo = "tree" if (self.machine.comm_algo == "tree"
+                              and self.nprocs > 1) else "flat"
+            meta = None
+            if op == "allreduce" and isinstance(deposit, np.ndarray):
+                meta = {"numel": int(deposit.size),
+                        "itemsize": int(deposit.itemsize)}
+            self.tracer.collective(
+                op=op, root=root, kernel=self._kernel, algo=algo,
+                bytes_in=_payload_bytes(deposit),
+                bytes_out=(0.0 if self.rank == root
+                           else _payload_bytes(result)),
+                site=sanitize.call_site(), meta=meta)
         self.charge(comm_cost)
         return result
 
@@ -431,6 +450,13 @@ class ProcComm:
             finally:
                 self._coll_seq += 1
             self._clock = tmax
+            if self.tracer is not None:
+                self.tracer.collective(
+                    op="allreduce", root=0, kernel=self._kernel,
+                    algo="ring", bytes_in=_payload_bytes(arr),
+                    bytes_out=0.0, site=sanitize.call_site(),
+                    meta={"numel": int(arr.size),
+                          "itemsize": int(arr.itemsize)})
             self.charge(0.0)
         else:
             def combine(dep):
@@ -453,6 +479,10 @@ class ProcComm:
         costs = self.machine.collectives
         self.charge(costs.p2p(_payload_bytes(obj)))
         self.ledger_record("send", self.payload_bytes(obj), 1)
+        if self.tracer is not None:
+            self.tracer.send(dst=dst, tag=tag, kernel=self._kernel,
+                             nbytes=_payload_bytes(obj),
+                             site=sanitize.call_site())
         if self._injector is not None:
             obj = self._injector.filter_send(self.rank, dst, tag, obj)
             if obj is DROP:
@@ -478,6 +508,11 @@ class ProcComm:
                     f"{timeout:g}s", src=src, dst=self.rank, tag=tag,
                     timeout=timeout, retries=max_retries) from None
             self._clock = max(self._clock, float(env["clock"]))
+            if self.tracer is not None:
+                from .comm import _payload_bytes
+                self.tracer.recv(src=src, tag=tag, kernel=self._kernel,
+                                 nbytes=_payload_bytes(obj),
+                                 site=sanitize.call_site())
             return obj
 
 
@@ -529,7 +564,8 @@ def _rank_main(rank: int, nprocs: int, program, args: tuple, kwargs: dict,
                machine: MachineModel, plan: FaultPlan | None,
                recv_timeout: float, collective_timeout: float,
                recv_conns: dict, send_conns: dict, result_conn, cmd_conn,
-               ctrl_name: str, start_gen: int, respawn: bool) -> None:
+               ctrl_name: str, start_gen: int, respawn: bool,
+               trace: bool = False) -> None:
     """Child entry: run ``program`` once per generation until told to exit.
 
     Without respawn (``respawn=False``) this is one shot: run, report
@@ -555,7 +591,7 @@ def _rank_main(rank: int, nprocs: int, program, args: tuple, kwargs: dict,
             injector = plan.build() if plan is not None else None
             comm = ProcComm(rank, nprocs, machine, channels, send_conns,
                             ctrl, injector, recv_timeout,
-                            collective_timeout, gen=gen)
+                            collective_timeout, gen=gen, trace=trace)
             fatal = False
             try:
                 result = program(comm, *args, **kwargs)
@@ -567,6 +603,8 @@ def _rank_main(rank: int, nprocs: int, program, args: tuple, kwargs: dict,
                     "ledger": comm.ledger.to_dict(),
                     "superstep": comm.superstep,
                 }
+                if comm.tracer is not None:
+                    payload["trace"] = comm.tracer.to_wire()
             except RankFailure as exc:
                 if (respawn and not exc.injected
                         and exc.rank is not None and exc.rank != rank):
@@ -634,6 +672,7 @@ def run_spmd_procs(nprocs: int, program, *args,
                    mp_context: str | None = None,
                    max_rank_restarts: int = 0,
                    quiesce_timeout: float = 30.0,
+                   trace: bool = False,
                    **kwargs) -> dict:
     """Run ``program`` on ``nprocs`` OS processes (see module docstring).
 
@@ -697,7 +736,7 @@ def run_spmd_procs(nprocs: int, program, *args,
                   float(recv_timeout), float(collective_timeout),
                   child_recv[rank], child_send[rank],
                   child_result_conns[rank], child_cmd_conns[rank],
-                  ctrl.name, gen, respawn),
+                  ctrl.name, gen, respawn, bool(trace)),
             daemon=True)
         procs[rank] = p
         p.start()
@@ -859,7 +898,7 @@ def run_spmd_procs(nprocs: int, program, *args,
             kernel_seconds[kname] = max(kernel_seconds.get(kname, 0.0),
                                         secs)
     ledgers = [CommLedger.from_dict(rep["ledger"]) for rep in reports]
-    return {
+    out = {
         "results": [rep["result"] for rep in reports],
         "clocks": clocks,
         "elapsed": float(np.max(clocks)),
@@ -870,3 +909,12 @@ def run_spmd_procs(nprocs: int, program, *args,
         "restarts": restarts,
         "wall_seconds": time.perf_counter() - t_wall,
     }
+    if trace:
+        from ..trace.capture import assemble_trace
+        out["trace"] = assemble_trace(
+            [rep.get("trace") or [] for rep in reports],
+            nprocs=nprocs, backend="procs", algo=machine.comm_algo,
+            machine=machine, sanitized=sanitize.enabled(),
+            elapsed=out["elapsed"], kernel_seconds=kernel_seconds)
+        out["ledgers"] = [rep["ledger"] for rep in reports]
+    return out

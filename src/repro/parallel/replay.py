@@ -1,0 +1,670 @@
+"""Offline replay of captured comm traces (``repro.trace/v1``).
+
+Three levels of replay over a :class:`~repro.trace.schema.CommTrace`:
+
+1. :func:`replay_ledgers` — reconstruct the live run's per-rank
+   :class:`~repro.parallel.collectives.CommLedger` *bitwise* from the
+   trace alone, for all three transports (``flat`` hub, binomial
+   ``tree``, chunked ``ring``).  This is the correctness contract of the
+   trace schema: a trace carries exactly the payload sizes the ledger
+   accounting saw, and this module re-applies each transport's
+   accounting rules in the exact floating-point accumulation order the
+   live backends use.
+2. :func:`replay_costs` — model the trace's communication on *any*
+   process count and collective algorithm against a
+   :class:`~repro.parallel.machine.MachineModel`, producing a
+   per-(kernel, op) breakdown of modeled seconds / bytes / messages
+   (:class:`ReplayReport`).  Byte and message counts are machine- and
+   host-independent, which is what the CI trace gate pins.
+3. :func:`replay_transport` — drive the *real* process backend's
+   collectives with synthetic payloads of the recorded sizes, so the
+   transport layer itself (framing, pipes, tree/ring schedules) can be
+   exercised from a trace without the original problem data.
+
+:func:`extrapolate` builds on :func:`replay_costs` to produce a
+Fig. 4-style modeled strong-scaling table: the captured run's modeled
+elapsed time is split into compute + communication (the communication
+part is exactly what the live run charged through
+:class:`~repro.parallel.machine.CollectiveCosts`), compute is scaled by
+``P0 / P`` and communication re-modeled at each target ``P``.
+
+Scaling assumptions (documented here once, applied everywhere):
+
+- ``scatter`` / ``gather`` move *partitioned* data: the total payload is
+  held fixed and per-rank chunks shrink as ``1/P`` (strong scaling).
+- ``allgather`` / ``allreduce`` / ``bcast`` move *replicated* data: the
+  per-rank deposit keeps its recorded size at every ``P`` (this is what
+  the solver's Gram-matrix reductions do).
+- point-to-point traffic is kept exactly as recorded (its pattern at a
+  different ``P`` is unknowable from a trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .collectives import CommLedger
+from .machine import MachineModel
+
+# collectives whose hub ships per-rank payloads (scatter semantics); the
+# tree transport falls back to a direct root fan-out for these
+from ..trace.schema import PER_RANK_RESULT_OPS
+
+
+# ---------------------------------------------------------------------------
+# binomial-tree combinatorics (mirrors collectives.tree_gather/tree_bcast)
+# ---------------------------------------------------------------------------
+
+def _tree_rounds(nprocs: int) -> int:
+    r = 0
+    while (1 << r) < nprocs:
+        r += 1
+    return r
+
+
+def _child_rounds(rel: int, nprocs: int) -> int:
+    """Number of receive rounds ``rel`` completes before sending up.
+
+    The binomial gather has rank ``rel`` (relative to the root) receive
+    from ``rel + 2^t`` for ``t = 0 .. b-1`` where ``2^b`` is ``rel``'s
+    lowest set bit (the root, ``rel == 0``, runs every round).
+    """
+    if rel == 0:
+        return _tree_rounds(nprocs)
+    return (rel & -rel).bit_length() - 1
+
+
+def _subtree_order(rel: int, nprocs: int) -> list[int]:
+    """Relative ranks of ``rel``'s gather subtree, in the dict-insertion
+    order ``tree_gather`` accumulates them (self first, then each child
+    subtree in ascending round order).  This order is what fixes the
+    floating-point accumulation of the subtree payload sum, so ledger
+    replay reproduces the live sum bitwise."""
+    order = [rel]
+    for t in range(_child_rounds(rel, nprocs)):
+        child = rel + (1 << t)
+        if child < nprocs:
+            order.extend(_subtree_order(child, nprocs))
+    return order
+
+
+def _bcast_children(rel: int, nprocs: int) -> list[int]:
+    """Relative ranks ``rel`` forwards to in ``tree_bcast``, in send
+    order (descending rounds)."""
+    out = []
+    for t in range(_tree_rounds(nprocs) - 1, -1, -1):
+        step = 1 << t
+        if rel % (2 * step) == 0 and rel + step < nprocs:
+            out.append(rel + step)
+    return out
+
+
+def _ring_segment_bytes(numel: int, itemsize: int, nprocs: int) -> list[float]:
+    """Per-segment wire sizes of the chunked ring allreduce (the same
+    ``linspace`` split ``ring_allreduce_sum`` uses)."""
+    bounds = np.linspace(0, int(numel), nprocs + 1).astype(np.intp)
+    return [float((bounds[i + 1] - bounds[i]) * int(itemsize))
+            for i in range(nprocs)]
+
+
+# ---------------------------------------------------------------------------
+# level 1: bitwise ledger replay
+# ---------------------------------------------------------------------------
+
+def replay_ledgers(trace) -> list[CommLedger]:
+    """Reconstruct the live run's per-rank ledgers from a trace.
+
+    Walks every rank's event stream in order and re-applies the
+    accounting rules of the transport each event was tagged with.  The
+    result is *bitwise* equal to the ledgers of the run that produced
+    the trace — byte totals are floating-point sums whose accumulation
+    order is reproduced exactly (hub fold in ascending rank order,
+    binomial subtree sums in dict-insertion order, ring segments in
+    schedule order).
+
+    Raises :class:`ValueError` on an incomplete trace (a collective
+    group missing some rank: the run died mid-collective).
+    """
+    P = int(trace.nprocs)
+    groups = trace.collectives()
+    for seq, group in groups.items():
+        if len(group) != P:
+            missing = sorted(set(range(P)) - set(group))
+            raise ValueError(
+                f"incomplete trace: collective #{seq} is missing "
+                f"rank(s) {missing}")
+    ledgers = [CommLedger() for _ in range(P)]
+    for rank, stream in enumerate(trace.events):
+        led = ledgers[rank]
+        for e in stream:
+            if e.op == "send":
+                led.record(e.kernel, "send", e.bytes_in, 1)
+                continue
+            if e.op == "recv" or e.coll is None:
+                continue  # receives never record; stray events ignored
+            if P <= 1:
+                continue  # nothing crossed the wire
+            group = groups[e.coll]
+            if e.algo == "flat":
+                _replay_flat(led, e, group, rank, P)
+            elif e.algo == "tree":
+                _replay_tree(led, e, group, rank, P)
+            elif e.algo == "ring":
+                _replay_ring(led, e, rank, P)
+            else:
+                raise ValueError(f"unknown event algo {e.algo!r}")
+    return ledgers
+
+
+def _replay_flat(led: CommLedger, e, group: dict, rank: int, P: int) -> None:
+    """Flat hub accounting: non-hub ranks ship their deposit (1 msg), the
+    hub ships each rank's return payload back (P - 1 msgs, byte total
+    left-folded in ascending rank order — the live fold order)."""
+    if rank == e.root:
+        total_out = 0.0
+        for r in range(P):
+            if r != e.root:
+                total_out += group[r].bytes_out
+        led.record(e.kernel, e.op, total_out, P - 1)
+    else:
+        led.record(e.kernel, e.op, e.bytes_in, 1)
+
+
+def _replay_tree(led: CommLedger, e, group: dict, rank: int, P: int) -> None:
+    """Binomial-tree accounting (``tree_exchange``): every non-root rank
+    sends its gathered subtree up once; results come down either through
+    ``tree_bcast`` (shared result) or a direct root fan-out (per-rank
+    results: scatter/gather)."""
+    root = e.root
+    rel = (rank - root) % P
+
+    def bytes_in_of(rel_rank: int) -> float:
+        return group[(rel_rank + root) % P].bytes_in
+
+    if rel != 0:
+        # up phase: one send of the whole subtree's deposits, byte total
+        # folded in the subtree's dict-insertion order
+        subtotal = 0.0
+        for q in _subtree_order(rel, P):
+            subtotal += bytes_in_of(q)
+        led.record(e.kernel, e.op, subtotal, 1)
+    if e.op in PER_RANK_RESULT_OPS:
+        # down phase is a direct root fan-out of per-rank payloads
+        if rel == 0:
+            for r in range(P):
+                if r != root:
+                    led.record(e.kernel, e.op, group[r].bytes_out, 1)
+        return
+    # shared-result down phase: every forwarder records the result size
+    # once per child (all non-root ranks received the same payload)
+    result_bytes = group[(root + 1) % P].bytes_out
+    for _child in _bcast_children(rel, P):
+        led.record(e.kernel, e.op, result_bytes, 1)
+
+
+def _replay_ring(led: CommLedger, e, rank: int, P: int) -> None:
+    """Chunked ring allreduce accounting: ``P - 1`` reduce-scatter sends
+    then ``P - 1`` allgather sends, each of one array segment."""
+    meta = e.meta or {}
+    if "numel" not in meta or "itemsize" not in meta:
+        raise ValueError(
+            "ring allreduce event lacks numel/itemsize metadata; trace "
+            "was not captured by this library version")
+    seg = _ring_segment_bytes(meta["numel"], meta["itemsize"], P)
+    for s in range(P - 1):
+        led.record(e.kernel, e.op, seg[(rank - s) % P], 1)
+    for s in range(P - 1):
+        led.record(e.kernel, e.op, seg[(rank + 1 - s) % P], 1)
+
+
+# ---------------------------------------------------------------------------
+# level 2: cost modeling at arbitrary P / algorithm
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ReplayReport:
+    """Modeled communication of one trace at a target scale.
+
+    ``rows`` holds one entry per ``(kernel, op)`` pair:
+    ``{"kernel", "op", "count", "bytes", "msgs", "seconds"}`` where
+    ``bytes`` / ``msgs`` are total modeled wire traffic across all ranks
+    and ``seconds`` is the modeled time on the critical path (collectives
+    run in lockstep, so per-collective times add)."""
+
+    nprocs: int
+    algo: str
+    machine: dict = field(default_factory=dict)
+    rows: list = field(default_factory=list)
+
+    @property
+    def bytes_total(self) -> float:
+        return float(sum(r["bytes"] for r in self.rows))
+
+    @property
+    def msgs_total(self) -> int:
+        return int(sum(r["msgs"] for r in self.rows))
+
+    @property
+    def seconds_total(self) -> float:
+        return float(sum(r["seconds"] for r in self.rows))
+
+    def table(self) -> str:
+        """Human-readable per-(kernel, op) breakdown."""
+        from .report import _fmt_bytes
+        head = (f"modeled comm @ P={self.nprocs} algo={self.algo}\n"
+                f"{'kernel':<18} {'op':<10} {'count':>6} {'msgs':>8} "
+                f"{'volume':>10} {'seconds':>12}")
+        lines = [head, "-" * len(head.splitlines()[-1])]
+        for r in sorted(self.rows,
+                        key=lambda r: (r["kernel"], r["op"])):
+            lines.append(
+                f"{r['kernel']:<18} {r['op']:<10} {r['count']:>6d} "
+                f"{r['msgs']:>8d} {_fmt_bytes(r['bytes']):>10} "
+                f"{r['seconds']:>12.3e}")
+        lines.append(
+            f"{'total':<18} {'':<10} {'':>6} {self.msgs_total:>8d} "
+            f"{_fmt_bytes(self.bytes_total):>10} "
+            f"{self.seconds_total:>12.3e}")
+        return "\n".join(lines)
+
+
+def _tree_up_weight(nprocs: int) -> int:
+    """Sum of subtree sizes over all non-root ranks: how many deposit
+    copies cross the wire during a binomial gather of ``P`` ranks."""
+    return sum(len(_subtree_order(rel, nprocs))
+               for rel in range(1, nprocs))
+
+
+def _select_algo(op: str, algo: str, P: int, meta: dict | None) -> str:
+    """The transport a collective actually uses under ``algo`` at ``P``
+    (mirrors the live dispatch: tree mode upgrades allreduce to the ring
+    when the ring is even and the array is large enough)."""
+    if algo not in ("flat", "tree", "ring"):
+        raise ValueError(f"unknown algo {algo!r}")
+    if op == "allreduce" and algo in ("tree", "ring"):
+        numel = (meta or {}).get("numel", 0)
+        if P > 1 and P % 2 == 0 and numel >= P:
+            return "ring"
+        return "tree"
+    if algo == "ring":  # ring only exists for allreduce
+        return "tree"
+    return algo
+
+
+def _model_group(op: str, algo: str, P: int, costs, *,
+                 dep: float, result: float, total: float,
+                 meta: dict | None) -> tuple[float, int, float]:
+    """Modeled (bytes, msgs, seconds) of one collective at scale ``P``.
+
+    ``dep`` is the per-rank deposit size, ``result`` the shared result
+    size, ``total`` the combined payload of partitioned ops — all in
+    bytes, already adjusted to the target ``P`` by the caller."""
+    if P <= 1:
+        return 0.0, 0, 0.0
+    if algo == "ring":
+        numel = float((meta or {}).get("numel", dep / 8.0))
+        itemsize = float((meta or {}).get("itemsize", 8))
+        nbytes = numel * itemsize
+        volume = 2.0 * (P - 1) * nbytes  # P ranks x 2(P-1) segs of n/P
+        msgs = 2 * P * (P - 1)
+        secs = costs.allreduce(nbytes, P)
+        return volume, msgs, secs
+    if op in PER_RANK_RESULT_OPS:
+        # partitioned payloads: deposits up (gather) or chunks down
+        # (scatter) plus the tiny per-rank total stubs
+        up = total + 8.0 * (P - 1) if op == "gather" else 0.0
+        down = (total + 8.0 * (P - 1) if op == "scatter"
+                else 8.0 * (P - 1))
+        if algo == "tree" and op == "gather":
+            up = total / P * _tree_up_weight(P) + 8.0 * (P - 1)
+        volume = up + down
+        msgs = 2 * (P - 1)
+        secs = (costs.scatter(total, P) if op == "scatter"
+                else costs.gather(total, P))
+        if algo == "flat":
+            secs = msgs * costs.machine.alpha + volume * costs.machine.beta
+        return volume, msgs, secs
+    # shared-result ops: deposits up, one result copy per non-root down
+    up = dep * (_tree_up_weight(P) if algo == "tree" else (P - 1))
+    down = result * (P - 1)
+    volume = up + down
+    msgs = 2 * (P - 1)
+    if algo == "flat":
+        secs = msgs * costs.machine.alpha + volume * costs.machine.beta
+    elif op == "bcast" or op == "barrier":
+        secs = costs.bcast(result, P)
+    elif op == "allgather":
+        secs = costs.allgather(result, P)
+    elif op == "allreduce":
+        secs = costs.allreduce(dep, P)
+    else:
+        secs = costs.bcast(result, P)
+    return volume, msgs, secs
+
+
+def _group_params(group: dict, P0: int) -> dict:
+    """Scale-free byte parameters of one recorded collective group."""
+    root = next(iter(group.values())).root
+    dep_all = [group[r].bytes_in for r in sorted(group)]
+    nonroot_out = [group[r].bytes_out for r in sorted(group) if r != root]
+    mean_dep = float(np.mean(dep_all)) if dep_all else 0.0
+    return {
+        "root": root,
+        "dep": mean_dep,
+        "dep_root": float(group[root].bytes_in),
+        "result": float(np.mean(nonroot_out)) if nonroot_out else 0.0,
+        "total": float(sum(dep_all)),
+    }
+
+
+def replay_costs(trace, *, nprocs: int | None = None,
+                 algo: str | None = None,
+                 machine=None) -> ReplayReport:
+    """Model a trace's communication at a target scale.
+
+    Parameters
+    ----------
+    nprocs:
+        Target process count (default: the recorded one).  Byte sizes
+        follow the scaling assumptions in the module docstring.
+    algo:
+        Target collective algorithm (``"flat"`` / ``"tree"`` /
+        ``"ring"``; default: the recorded one).  ``"ring"`` means "ring
+        where possible" — only allreduce has a ring schedule.
+    machine:
+        Target machine (any :meth:`MachineModel.from_spec` form;
+        default: the machine captured in the trace).
+
+    Byte/message counts in the returned :class:`ReplayReport` depend
+    only on the trace, ``nprocs`` and ``algo`` — never on the machine —
+    so they are safe to pin in CI.
+    """
+    P0 = int(trace.nprocs)
+    P = int(nprocs) if nprocs is not None else P0
+    if P <= 0:
+        raise ValueError("nprocs must be positive")
+    target_algo = algo or trace.algo
+    model = (MachineModel.from_spec(machine) if machine is not None
+             else trace.machine_model())
+    costs = model.collectives
+    groups = trace.collectives()
+
+    acc: dict[tuple, dict] = {}
+
+    def add(kernel, op, nbytes, msgs, secs):
+        key = (kernel or "(unlabeled)", op)
+        row = acc.setdefault(key, {
+            "kernel": key[0], "op": op, "count": 0, "bytes": 0.0,
+            "msgs": 0, "seconds": 0.0})
+        row["count"] += 1
+        row["bytes"] += float(nbytes)
+        row["msgs"] += int(msgs)
+        row["seconds"] += float(secs)
+
+    for seq in sorted(groups):
+        group = groups[seq]
+        ev = group[min(group)]
+        params = _group_params(group, P0)
+        use = _select_algo(ev.op, target_algo, P, ev.meta)
+        dep = params["dep"]
+        result = params["result"]
+        total = params["total"]
+        if ev.op == "bcast":
+            # only the root deposits; the result is the root's payload
+            dep, result = 0.0, params["dep_root"]
+        elif ev.op == "allgather":
+            # the gathered result grows with the ring size
+            result = dep * P
+        elif ev.op == "scatter":
+            total = params["dep_root"]
+        kernel = group[params["root"]].kernel
+        nbytes, msgs, secs = _model_group(
+            ev.op, use, P, costs, dep=dep, result=result, total=total,
+            meta=ev.meta)
+        add(kernel, ev.op, nbytes, msgs, secs)
+
+    # point-to-point traffic: kept as recorded (pattern unknown at
+    # other P); recv events pair with sends and add nothing
+    for stream in trace.events:
+        for e in stream:
+            if e.op == "send":
+                add(e.kernel, "send", e.bytes_in, 1,
+                    costs.p2p(e.bytes_in))
+
+    return ReplayReport(nprocs=P, algo=target_algo,
+                        machine=model.to_dict(),
+                        rows=sorted(acc.values(),
+                                    key=lambda r: (r["kernel"], r["op"])))
+
+
+# ---------------------------------------------------------------------------
+# extrapolation (Fig. 4-style modeled strong scaling)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExtrapolationReport:
+    """Modeled strong-scaling forecast built from one captured trace.
+
+    ``rows``: one entry per target ``P`` —
+    ``{"nprocs", "compute_seconds", "comm_seconds", "total_seconds",
+    "speedup", "efficiency", "comm_bytes", "comm_msgs"}``.  ``speedup``
+    is relative to the captured run's modeled elapsed time at ``P0``.
+    """
+
+    base_nprocs: int
+    base_elapsed: float
+    compute_base: float
+    algo: str
+    machine: dict = field(default_factory=dict)
+    rows: list = field(default_factory=list)
+
+    def table(self) -> str:
+        """Fig. 4-style table: modeled time vs process count."""
+        from .report import _fmt_bytes
+        head = (f"modeled strong scaling from P={self.base_nprocs} "
+                f"capture (algo={self.algo})\n"
+                f"{'P':>6} {'compute':>12} {'comm':>12} {'total':>12} "
+                f"{'speedup':>9} {'eff':>6} {'volume':>10}")
+        lines = [head, "-" * len(head.splitlines()[-1])]
+        for r in self.rows:
+            lines.append(
+                f"{r['nprocs']:>6d} {r['compute_seconds']:>12.3e} "
+                f"{r['comm_seconds']:>12.3e} {r['total_seconds']:>12.3e} "
+                f"{r['speedup']:>9.2f} {r['efficiency']:>6.2f} "
+                f"{_fmt_bytes(r['comm_bytes']):>10}")
+        return "\n".join(lines)
+
+
+def extrapolate(trace, ps=(1, 4, 16, 64, 256, 1024, 4096), *,
+                algo: str | None = None,
+                machine=None) -> ExtrapolationReport:
+    """Forecast modeled run time at larger process counts from a trace.
+
+    The captured run's modeled elapsed time splits into compute +
+    communication: the communication part is re-derived from the trace
+    with :func:`replay_costs` at the *captured* scale and machine (the
+    live run charged exactly these
+    :class:`~repro.parallel.machine.CollectiveCosts` formulas), and the
+    remainder is compute.  Compute scales as ``P0 / P`` (perfect
+    partitioning — an optimistic bound, like the paper's Fig. 4 model);
+    communication is re-modeled at each target ``P``.
+    """
+    P0 = int(trace.nprocs)
+    base_model = (MachineModel.from_spec(machine) if machine is not None
+                  else trace.machine_model())
+    base = replay_costs(trace, nprocs=P0, algo=algo, machine=base_model)
+    compute_base = max(float(trace.elapsed) - base.seconds_total, 0.0)
+    rows = []
+    for P in ps:
+        rep = replay_costs(trace, nprocs=int(P), algo=algo,
+                           machine=base_model)
+        compute = compute_base * P0 / float(P)
+        total = compute + rep.seconds_total
+        rows.append({
+            "nprocs": int(P),
+            "compute_seconds": compute,
+            "comm_seconds": rep.seconds_total,
+            "total_seconds": total,
+            "comm_bytes": rep.bytes_total,
+            "comm_msgs": rep.msgs_total,
+        })
+    base_total = compute_base + base.seconds_total
+    for r in rows:
+        r["speedup"] = (base_total / r["total_seconds"]
+                        if r["total_seconds"] > 0 else float("inf"))
+        r["efficiency"] = r["speedup"] * P0 / r["nprocs"]
+    return ExtrapolationReport(
+        base_nprocs=P0, base_elapsed=float(trace.elapsed),
+        compute_base=compute_base, algo=algo or trace.algo,
+        machine=base_model.to_dict(), rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# trace comparison
+# ---------------------------------------------------------------------------
+
+def trace_diff(a, b, *, max_diffs: int = 20) -> dict:
+    """Structurally compare two traces.
+
+    Returns ``{"equal": bool, "differences": [str, ...]}``.  Compares
+    run metadata, then walks the aligned collective sequence comparing
+    ``(op, root, site, algo, bytes_in, bytes_out)`` per rank — the
+    call-site fingerprints are checkout-stable (see
+    :data:`repro.parallel.sanitize.SITE_TRIM_DEPTH`), so traces captured
+    in different clones compare equal.
+    """
+    diffs: list[str] = []
+
+    def note(msg: str) -> None:
+        if len(diffs) < max_diffs:
+            diffs.append(msg)
+
+    for attr in ("nprocs", "backend", "algo", "sanitized"):
+        va, vb = getattr(a, attr), getattr(b, attr)
+        if va != vb:
+            note(f"{attr}: {va!r} != {vb!r}")
+    ga, gb = a.collectives(), b.collectives()
+    if len(ga) != len(gb):
+        note(f"collective count: {len(ga)} != {len(gb)}")
+    for seq in sorted(set(ga) & set(gb)):
+        if len(diffs) >= max_diffs:
+            break
+        for rank in sorted(set(ga[seq]) | set(gb[seq])):
+            ea, eb = ga[seq].get(rank), gb[seq].get(rank)
+            if ea is None or eb is None:
+                note(f"collective #{seq}: rank {rank} present in "
+                     f"{'b' if ea is None else 'a'} only")
+                continue
+            for f in ("op", "root", "site", "algo", "bytes_in",
+                      "bytes_out"):
+                va, vb = getattr(ea, f), getattr(eb, f)
+                if va != vb:
+                    note(f"collective #{seq} rank {rank} {f}: "
+                         f"{va!r} != {vb!r}")
+    for rank in range(min(a.nprocs, b.nprocs)):
+        sa = [e for e in a.events[rank] if e.coll is None]
+        sb = [e for e in b.events[rank] if e.coll is None]
+        if len(sa) != len(sb):
+            note(f"rank {rank}: {len(sa)} p2p events != {len(sb)}")
+            continue
+        for i, (ea, eb) in enumerate(zip(sa, sb)):
+            if (ea.op, ea.root, ea.tag, ea.bytes_in, ea.bytes_out) != \
+                    (eb.op, eb.root, eb.tag, eb.bytes_in, eb.bytes_out):
+                note(f"rank {rank} p2p #{i}: "
+                     f"{ea.to_dict()} != {eb.to_dict()}")
+    return {"equal": not diffs, "differences": diffs}
+
+
+# ---------------------------------------------------------------------------
+# level 3: replay against the real transport
+# ---------------------------------------------------------------------------
+
+def _synthetic_payload(op: str, e) -> object:
+    """A zero payload of exactly the recorded wire size."""
+    if op == "allreduce" and e.meta:
+        dt = np.float32 if int(e.meta.get("itemsize", 8)) == 4 \
+            else np.float64
+        return np.zeros(int(e.meta["numel"]), dtype=dt)
+    return np.zeros(int(e.bytes_in), dtype=np.uint8)
+
+
+def _replay_program(comm, streams, groups):
+    """SPMD rank program that re-issues a trace's communication ops with
+    synthetic payloads of the recorded sizes."""
+    # each rank walks its own recorded stream — rank-dependent on
+    # purpose, but collectives still align because the capture was
+    # lockstep (every SPMD001 suppression below is this one fact)
+    rank = comm.rank
+    for e in streams[rank]:
+        kern = e.kernel
+        if kern is not None:
+            comm.kernel(kern)
+        if e.op == "send":
+            comm.send(np.zeros(int(e.bytes_in), dtype=np.uint8),
+                      e.root, tag=int(e.tag or 0))
+        elif e.op == "recv":
+            comm.recv(e.root, tag=int(e.tag or 0))
+        elif e.op == "barrier":
+            comm.barrier_sync()  # repro: noqa[SPMD001]
+        elif e.op == "bcast":
+            comm.bcast(_synthetic_payload("bcast", e)  # repro: noqa[SPMD001]
+                       if rank == e.root else None, root=e.root)
+        elif e.op == "scatter":
+            chunks = None
+            if rank == e.root:
+                group = groups[e.coll]
+                sizes = {r: max(int(group[r].bytes_out - 8.0), 0)
+                         for r in group if r != e.root}
+                own = max(int(e.bytes_in - sum(sizes.values())), 0)
+                sizes[e.root] = own
+                chunks = [np.zeros(sizes[r], dtype=np.uint8)
+                          for r in range(comm.nprocs)]
+            comm.scatter(chunks, root=e.root)  # repro: noqa[SPMD001]
+        elif e.op == "gather":
+            comm.gather(  # repro: noqa[SPMD001]
+                _synthetic_payload("gather", e), root=e.root)
+        elif e.op == "allgather":
+            comm.allgather(  # repro: noqa[SPMD001]
+                _synthetic_payload("allgather", e))
+        elif e.op == "allreduce":
+            comm.allreduce_sum(  # repro: noqa[SPMD001]
+                _synthetic_payload("allreduce", e))
+        else:
+            raise ValueError(f"cannot replay op {e.op!r}")
+    return len(streams[rank])
+
+
+def replay_transport(trace, *, backend: str = "procs",
+                     machine=None, trace_again: bool = False) -> dict:
+    """Re-execute a trace's communication against a real backend.
+
+    Spawns ``trace.nprocs`` ranks (the trace's payload schedule is
+    per-rank, so the count cannot change) and drives every recorded
+    collective and point-to-point op with synthetic zero payloads of the
+    recorded sizes.  Returns the backend's usual ``run_spmd`` output
+    dict — its fresh ``comm`` summary measures what the *real* transport
+    put on the wire for this schedule, which can be compared against the
+    trace's own ledgers (:func:`replay_ledgers`).
+
+    ``machine`` overrides the transport algorithm/coefficients (default:
+    the captured machine, so a flat-captured trace replays flat);
+    ``trace_again=True`` captures a trace of the replay itself.  The
+    thread backend only implements the flat transport, so a tree/ring
+    trace must replay on ``backend="procs"`` (or pass a flat machine,
+    accepting that the wire volume will differ from the capture).
+    """
+    from .comm import run_spmd
+
+    model = (MachineModel.from_spec(machine) if machine is not None
+             else trace.machine_model())
+    if backend == "threads" and model.comm_algo != "flat":
+        raise ValueError(
+            "the threads backend only implements the flat transport; "
+            "replay this trace with backend='procs' (or override "
+            "machine= with a flat model)")
+    groups = trace.collectives()
+    return run_spmd(int(trace.nprocs), _replay_program, trace.events,
+                    groups, machine=model, backend=backend,
+                    trace=bool(trace_again))

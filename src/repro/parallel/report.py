@@ -1,7 +1,16 @@
-"""Scaling-report containers and text rendering (Fig. 4 output)."""
+"""Scaling-report containers and text rendering (Fig. 4 output).
+
+:class:`CommReport` is the one entry point for communication-volume
+reporting: build it from a ``run_spmd`` output, raw per-rank ledgers, or
+a captured :class:`~repro.trace.schema.CommTrace` — the legacy
+free functions (``comm_volume_table``, ``summarize_ledgers`` as exported
+from :mod:`repro.parallel`) remain as deprecation shims that warn once
+per process.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -51,29 +60,132 @@ def _fmt_bytes(b: float) -> str:
     return f"{b:.1f}GiB"  # pragma: no cover
 
 
-def comm_volume_table(comm: dict, *, by: str = "op") -> str:
-    """Render the per-collective (or per-kernel) comm-volume ledger.
+@dataclass
+class CommReport:
+    """Unified communication-volume report.
 
-    ``comm`` is the ``"comm"`` dict of a :func:`~repro.parallel.comm.
-    run_spmd` result (see :func:`~repro.parallel.collectives.
-    summarize_ledgers`): totals plus ``by_op`` / ``by_kernel`` breakdowns
-    of bytes put on the wire and message count, summed over ranks.
+    Wraps the run-level ``comm`` summary dict (see
+    :func:`~repro.parallel.collectives.summarize_ledgers`) and renders
+    it; constructors accept every form communication data exists in:
+
+    - :meth:`from_run` — the output dict of ``run_spmd`` / a solver run,
+    - :meth:`from_ledgers` — raw per-rank
+      :class:`~repro.parallel.collectives.CommLedger` objects,
+    - :meth:`from_trace` — a captured ``repro.trace/v1``
+      :class:`~repro.trace.schema.CommTrace` (the per-rank ledgers are
+      reconstructed bitwise via
+      :func:`repro.parallel.replay.replay_ledgers`, so a trace-built
+      report equals the live run's report exactly).
     """
-    if by not in ("op", "kernel"):
-        raise ValueError("by must be 'op' or 'kernel'")
-    rows = comm.get(f"by_{by}", {})
-    head = (by.rjust(14) + "bytes sent".rjust(14) + "msgs".rjust(8)
-            + "avg msg".rjust(12))
-    lines = [f"comm volume [backend={comm.get('backend', '?')} "
-             f"algo={comm.get('algo', '?')}]", head, "-" * len(head)]
-    for name, entry in rows.items():
-        b, m = entry["bytes_sent"], entry["msgs"]
-        avg = _fmt_bytes(b / m) if m else "-"
-        lines.append(f"{name:>14s}{_fmt_bytes(b):>14s}{m:8d}{avg:>12s}")
-    lines.append(f"{'total':>14s}"
-                 f"{_fmt_bytes(comm.get('bytes_sent', 0.0)):>14s}"
-                 f"{comm.get('msgs', 0):8d}{'':>12s}")
-    return "\n".join(lines)
+
+    summary: dict
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_run(cls, out: dict) -> "CommReport":
+        """From a ``run_spmd`` / ``run_spmd_solver`` output dict."""
+        comm = out.get("comm") if isinstance(out, dict) else None
+        if comm is None:
+            raise ValueError("run output has no 'comm' summary")
+        return cls(dict(comm))
+
+    @classmethod
+    def from_ledgers(cls, ledgers, *, backend: str = "?",
+                     algo: str = "flat") -> "CommReport":
+        """From per-rank ledgers (``CommLedger`` objects or their
+        ``to_dict`` forms)."""
+        from .collectives import CommLedger, summarize_ledgers
+        fixed = [led if isinstance(led, CommLedger)
+                 else CommLedger.from_dict(led) for led in ledgers]
+        return cls(summarize_ledgers(fixed, backend=backend, algo=algo))
+
+    @classmethod
+    def from_trace(cls, trace) -> "CommReport":
+        """From a captured comm trace (bitwise-equal to the live run)."""
+        from .replay import replay_ledgers
+        return cls.from_ledgers(replay_ledgers(trace),
+                                backend=trace.backend, algo=trace.algo)
+
+    # -- accessors ------------------------------------------------------
+    @property
+    def bytes_sent(self) -> float:
+        return float(self.summary.get("bytes_sent", 0.0))
+
+    @property
+    def msgs(self) -> int:
+        return int(self.summary.get("msgs", 0))
+
+    @property
+    def by_op(self) -> dict:
+        return self.summary.get("by_op", {})
+
+    @property
+    def by_kernel(self) -> dict:
+        return self.summary.get("by_kernel", {})
+
+    def to_dict(self) -> dict:
+        return dict(self.summary)
+
+    # -- rendering ------------------------------------------------------
+    def table(self, by: str = "op") -> str:
+        """Aligned text table of the ``by_op`` / ``by_kernel`` breakdown."""
+        if by not in ("op", "kernel"):
+            raise ValueError("by must be 'op' or 'kernel'")
+        comm = self.summary
+        rows = comm.get(f"by_{by}", {})
+        head = (by.rjust(14) + "bytes sent".rjust(14) + "msgs".rjust(8)
+                + "avg msg".rjust(12))
+        lines = [f"comm volume [backend={comm.get('backend', '?')} "
+                 f"algo={comm.get('algo', '?')}]", head, "-" * len(head)]
+        for name, entry in rows.items():
+            b, m = entry["bytes_sent"], entry["msgs"]
+            avg = _fmt_bytes(b / m) if m else "-"
+            lines.append(f"{name:>14s}{_fmt_bytes(b):>14s}{m:8d}{avg:>12s}")
+        lines.append(f"{'total':>14s}"
+                     f"{_fmt_bytes(comm.get('bytes_sent', 0.0)):>14s}"
+                     f"{comm.get('msgs', 0):8d}{'':>12s}")
+        return "\n".join(lines)
+
+
+# -- deprecation shims (warn once per process) ------------------------------
+
+_warned_comm_volume_table = False
+_warned_summarize_ledgers = False
+
+
+def comm_volume_table(comm: dict, *, by: str = "op") -> str:
+    """Deprecated: use :meth:`CommReport.table`.
+
+    Retained as a once-warning shim so existing callers keep working;
+    delegates to ``CommReport(comm).table(by=by)``.
+    """
+    global _warned_comm_volume_table
+    if not _warned_comm_volume_table:
+        warnings.warn(
+            "comm_volume_table() is deprecated; use "
+            "repro.parallel.CommReport(comm).table(by=...) instead",
+            DeprecationWarning, stacklevel=2)
+        _warned_comm_volume_table = True
+    return CommReport(comm).table(by=by)
+
+
+def summarize_ledgers(ledgers, *, backend: str, algo: str) -> dict:
+    """Deprecated public alias: use :meth:`CommReport.from_ledgers`.
+
+    The aggregation itself lives in
+    :func:`repro.parallel.collectives.summarize_ledgers` (still used
+    internally); this shim covers callers that imported it through
+    ``repro.parallel`` and warns once per process.
+    """
+    global _warned_summarize_ledgers
+    if not _warned_summarize_ledgers:
+        warnings.warn(
+            "summarize_ledgers() is deprecated as a public API; use "
+            "repro.parallel.CommReport.from_ledgers(...).to_dict() "
+            "instead", DeprecationWarning, stacklevel=2)
+        _warned_summarize_ledgers = True
+    return CommReport.from_ledgers(ledgers, backend=backend,
+                                   algo=algo).to_dict()
 
 
 def speedup_table(curves: list[ScalingCurve]) -> str:

@@ -40,8 +40,16 @@ _TRUTHY = frozenset({"1", "true", "on", "yes"})
 #: Matched by exact basename — a suffix match would also swallow user
 #: files like ``test_sanitize.py``.
 _INTERNAL_FILES = frozenset({
-    "comm.py", "procs.py", "collectives.py", "sanitize.py",
+    "comm.py", "procs.py", "collectives.py", "sanitize.py", "replay.py",
 })
+
+#: Number of trailing path components kept in a call-site fingerprint.
+#: Three (``package/module/file.py``) is enough to disambiguate every
+#: module in this repo while staying stable across checkouts: two traces
+#: recorded in differently-rooted clones compare equal in ``trace diff``.
+#: Changing this invalidates cross-checkout comparison of stored
+#: ``repro.trace/v1`` files, so it is pinned by a test.
+SITE_TRIM_DEPTH = 3
 
 #: First element of a fingerprint-wrapped deposit.  The comm-volume
 #: accounting (``repro.parallel.comm._payload_bytes``) treats a tuple
@@ -74,7 +82,7 @@ def call_site() -> str:
         fname = frame.f_code.co_filename
         if os.path.basename(fname) not in _INTERNAL_FILES:
             parts = fname.replace(os.sep, "/").split("/")
-            return "/".join(parts[-3:]) + f":{frame.f_lineno}"
+            return "/".join(parts[-SITE_TRIM_DEPTH:]) + f":{frame.f_lineno}"
         frame = frame.f_back
     return "<unknown>:0"
 

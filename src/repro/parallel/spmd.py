@@ -437,9 +437,12 @@ def run_spmd_solver(method: str, A, nprocs: int, *, k: int = 16,
     ``"procs"``, see :func:`repro.parallel.comm.run_spmd`); when the caller
     passes a ``run_info`` dict it is filled in place with the run's
     metadata (``backend``, ``comm`` volume summary, ``wall_seconds``,
-    modeled ``elapsed`` and ``kernel_seconds``) for reporting.
-    ``run_kwargs`` pass through to ``run_spmd`` (``machine=``,
-    ``fault_plan=``, ``recv_timeout=``, ...).
+    modeled ``elapsed`` and ``kernel_seconds``) for reporting; with
+    ``trace=True`` it also carries the captured
+    :class:`repro.trace.CommTrace` under ``"trace"`` and the per-rank
+    ledger dicts under ``"ledgers"``.  ``run_kwargs`` pass through to
+    ``run_spmd`` (``machine=``, ``trace=``, ``fault_plan=``,
+    ``recv_timeout=``, ...).
     """
     from ..api import resolve_method
     from ..results import LUApproximation, QBApproximation, UBVApproximation
@@ -450,6 +453,9 @@ def run_spmd_solver(method: str, A, nprocs: int, *, k: int = 16,
             for key in ("backend", "comm", "wall_seconds", "elapsed",
                         "kernel_seconds"):
                 run_info[key] = out.get(key)
+            for key in ("trace", "ledgers"):
+                if key in out:
+                    run_info[key] = out[key]
         return out
 
     name = resolve_method(method)

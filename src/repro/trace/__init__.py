@@ -1,0 +1,59 @@
+"""Comm-trace capture, replay and extrapolation (``repro.trace/v1``).
+
+Public surface::
+
+    out = run_spmd(4, program, A, trace=True)      # capture
+    trace = out["trace"]                           # CommTrace
+    trace.dump("run.trace.json")                   # versioned JSON
+
+    from repro.trace import CommTrace, replay_costs, extrapolate
+    trace = CommTrace.load("run.trace.json")
+    replay_costs(trace, nprocs=1024, algo="tree")  # modeled offline
+    extrapolate(trace, ps=[4, 64, 1024, 4096])     # Fig. 4-style table
+
+The replay engine itself lives in :mod:`repro.parallel.replay` (it is an
+algorithm over the parallel layer's machine model and ledger types);
+this package holds the schema, the capture hooks' recorder, and the
+re-exports that make ``repro.trace`` the one import users need.
+"""
+
+from .schema import (
+    EVENT_ALGOS,
+    PER_RANK_RESULT_OPS,
+    TRACE_SCHEMA,
+    CommTrace,
+    TraceEvent,
+)
+from .capture import CommTracer, assemble_trace
+
+#: Names re-exported from :mod:`repro.parallel.replay`, resolved lazily
+#: (PEP 562) — the replay engine imports this package's schema, so an
+#: eager import here would be circular.
+_REPLAY_NAMES = frozenset({
+    "ExtrapolationReport", "ReplayReport", "extrapolate", "replay_costs",
+    "replay_ledgers", "replay_transport", "trace_diff",
+})
+
+
+def __getattr__(name: str):
+    if name in _REPLAY_NAMES:
+        from ..parallel import replay
+        return getattr(replay, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "EVENT_ALGOS",
+    "PER_RANK_RESULT_OPS",
+    "CommTrace",
+    "TraceEvent",
+    "CommTracer",
+    "assemble_trace",
+    "ReplayReport",
+    "ExtrapolationReport",
+    "replay_ledgers",
+    "replay_costs",
+    "extrapolate",
+    "replay_transport",
+    "trace_diff",
+]

@@ -1,0 +1,76 @@
+"""Per-rank comm-trace recorder (:class:`CommTracer`).
+
+One tracer per rank, created by ``run_spmd(..., trace=True)`` and
+attached to the backend communicator next to its
+:class:`~repro.parallel.collectives.CommLedger`.  The communicators call
+:meth:`collective` / :meth:`send` / :meth:`recv` at the *same* points
+their ledger accounting runs, passing the exact payload sizes the ledger
+saw — which is what lets :func:`repro.parallel.replay.replay_ledgers`
+reproduce the ledgers bitwise from the trace alone.
+
+Tracing is off by default (``tracer is None`` costs one check per
+operation); when on, the extra cost is one small
+:class:`~repro.trace.schema.TraceEvent` append plus the call-site walk
+the ``REPRO_SANITIZE`` fingerprints already pay.
+"""
+
+from __future__ import annotations
+
+from .schema import CommTrace, TraceEvent
+
+
+class CommTracer:
+    """Chronological event recorder for one rank."""
+
+    def __init__(self, rank: int):
+        self.rank = int(rank)
+        self.events: list[TraceEvent] = []
+        self._coll = 0
+
+    def collective(self, *, op: str, root: int, kernel: str | None,
+                   algo: str, bytes_in: float, bytes_out: float,
+                   site: str, meta: dict | None = None) -> None:
+        """Record one collective; assigns the lockstep sequence number."""
+        self.events.append(TraceEvent(
+            op=op, coll=self._coll, root=int(root), kernel=kernel,
+            site=site, algo=algo, bytes_in=float(bytes_in),
+            bytes_out=float(bytes_out), meta=meta))
+        self._coll += 1
+
+    def send(self, *, dst: int, tag: int, kernel: str | None,
+             nbytes: float, site: str) -> None:
+        self.events.append(TraceEvent(
+            op="send", root=int(dst), tag=int(tag), kernel=kernel,
+            site=site, bytes_in=float(nbytes)))
+
+    def recv(self, *, src: int, tag: int, kernel: str | None,
+             nbytes: float, site: str) -> None:
+        self.events.append(TraceEvent(
+            op="recv", root=int(src), tag=int(tag), kernel=kernel,
+            site=site, bytes_out=float(nbytes)))
+
+    def to_wire(self) -> list[dict]:
+        """Transport-safe form (plain dicts) for the procs backend."""
+        return [e.to_dict() for e in self.events]
+
+
+def assemble_trace(per_rank_events, *, nprocs: int, backend: str,
+                   algo: str, machine, sanitized: bool,
+                   elapsed: float = 0.0,
+                   kernel_seconds: dict | None = None) -> CommTrace:
+    """Build a :class:`CommTrace` from per-rank event streams.
+
+    ``per_rank_events[r]`` may be a list of :class:`TraceEvent` (thread
+    backend: the tracer objects live in-process) or of plain dicts (the
+    procs backend ships :meth:`CommTracer.to_wire` output).
+    """
+    streams = []
+    for stream in per_rank_events:
+        streams.append([e if isinstance(e, TraceEvent)
+                        else TraceEvent.from_dict(e) for e in stream])
+    return CommTrace(
+        nprocs=int(nprocs), backend=backend, algo=algo,
+        machine=machine.to_dict() if hasattr(machine, "to_dict")
+        else dict(machine or {}),
+        sanitized=bool(sanitized), elapsed=float(elapsed),
+        kernel_seconds=dict(kernel_seconds or {}), events=streams)

@@ -1,0 +1,209 @@
+"""Versioned ``repro.trace/v1`` schema for communication traces.
+
+A *comm trace* is the full per-rank record of every communication
+operation one SPMD run issued: collectives (op, root, kernel label,
+payload bytes in/out, transport algorithm, call-site fingerprint) and
+point-to-point sends/recvs.  It mirrors the ``repro.result/v1`` pattern:
+one frozen-ish container, ``to_json``/``from_json`` round-trips through
+plain dicts, a ``schema`` tag that is checked on load, and one writer
+(:meth:`CommTrace.dump`) shared by the runtime and the CLI.
+
+The trace is *sufficient* to reconstruct the live run's comm-volume
+ledgers bitwise (see :mod:`repro.parallel.replay`): the per-rank deposit
+and return payload sizes are recorded exactly as the ledger accounting
+saw them, and the transport algorithm actually used (``flat`` hub,
+binomial ``tree``, chunked ``ring``) is tagged per event, so replay can
+re-apply each algorithm's accounting rules — or model a *different*
+algorithm or process count offline.
+
+Capture is wired into both SPMD backends through
+:class:`~repro.trace.capture.CommTracer` (``run_spmd(..., trace=True)``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Version tag of the JSON trace schema.  Bump only with a migration path
+#: for stored traces (BENCH_trace.json, tests/data fixtures).
+TRACE_SCHEMA = "repro.trace/v1"
+
+#: Transport algorithms a trace event may be tagged with.  ``flat`` and
+#: ``tree`` match ``MachineModel.comm_algo``; ``ring`` marks the chunked
+#: ring allreduce the tree transport switches to when the ring is even
+#: and the array is large enough.
+EVENT_ALGOS = ("flat", "tree", "ring")
+
+#: Collective ops whose hub ships a *per-rank* payload back (scatter
+#: semantics) rather than one combined result to everyone.  Replay needs
+#: this distinction to reproduce the tree transport's direct fan-out.
+PER_RANK_RESULT_OPS = frozenset({"scatter", "gather"})
+
+
+@dataclass
+class TraceEvent:
+    """One communication operation from a single rank's point of view.
+
+    Attributes
+    ----------
+    op:
+        Communicator operation (``bcast`` / ``gather`` / ``scatter`` /
+        ``allgather`` / ``allreduce`` / ``barrier`` / ``send`` /
+        ``recv``).
+    coll:
+        Collective sequence number, aligned across ranks (collectives
+        are issued in lockstep); ``None`` for point-to-point events.
+    root:
+        Root rank of the collective (0 for symmetric ops); the peer rank
+        for ``send``/``recv`` events.
+    kernel:
+        The rank-local cost-attribution label active at the time
+        (``None`` before the first :meth:`SimComm.kernel` call).
+    site:
+        Call-site fingerprint ``pkg/mod/file.py:line`` — the same
+        checkout-stable form the ``REPRO_SANITIZE`` fingerprints use
+        (:func:`repro.parallel.sanitize.call_site`), so traces recorded
+        in different clones compare equal in ``trace diff``.
+    algo:
+        Transport algorithm that actually carried this event (``flat``,
+        ``tree`` or ``ring``).
+    bytes_in:
+        Payload bytes this rank deposited (modeled wire size, the same
+        accounting the comm ledger uses).
+    bytes_out:
+        Payload bytes the hub shipped *to this rank* (0.0 on the root,
+        which ships to others but not to itself).
+    tag:
+        User tag of ``send``/``recv`` events; ``None`` for collectives.
+    meta:
+        Op-specific extras; ``allreduce`` records ``{"numel", "itemsize"}``
+        so the ring transport's chunking can be replayed exactly.
+    """
+
+    op: str
+    coll: int | None = None
+    root: int = 0
+    kernel: str | None = None
+    site: str = ""
+    algo: str = "flat"
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
+    tag: int | None = None
+    meta: dict | None = None
+
+    def to_dict(self) -> dict:
+        d: dict = {"op": self.op, "root": int(self.root),
+                   "algo": self.algo, "site": self.site,
+                   "bytes_in": float(self.bytes_in),
+                   "bytes_out": float(self.bytes_out)}
+        if self.coll is not None:
+            d["coll"] = int(self.coll)
+        if self.kernel is not None:
+            d["kernel"] = self.kernel
+        if self.tag is not None:
+            d["tag"] = int(self.tag)
+        if self.meta:
+            d["meta"] = dict(self.meta)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceEvent":
+        return cls(op=d["op"], coll=d.get("coll"), root=int(d.get("root", 0)),
+                   kernel=d.get("kernel"), site=d.get("site", ""),
+                   algo=d.get("algo", "flat"),
+                   bytes_in=float(d.get("bytes_in", 0.0)),
+                   bytes_out=float(d.get("bytes_out", 0.0)),
+                   tag=d.get("tag"), meta=d.get("meta"))
+
+
+@dataclass
+class CommTrace:
+    """A full captured run: per-rank event streams plus run metadata.
+
+    ``events[r]`` is rank ``r``'s chronological stream.  ``machine`` is
+    the captured :class:`~repro.parallel.machine.MachineModel` as a plain
+    dict (so replay can rebuild the cost model the run was charged
+    against); ``elapsed`` / ``kernel_seconds`` are the run's modeled
+    clock outputs, kept so extrapolation can split compute from
+    communication.
+    """
+
+    nprocs: int
+    backend: str
+    algo: str
+    machine: dict = field(default_factory=dict)
+    sanitized: bool = False
+    elapsed: float = 0.0
+    kernel_seconds: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)  # list[list[TraceEvent]]
+
+    # -- introspection -------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        return sum(len(ev) for ev in self.events)
+
+    def collectives(self) -> dict[int, dict[int, TraceEvent]]:
+        """Group collective events as ``{coll_seq: {rank: event}}``.
+
+        Collectives run in lockstep, so the per-rank collective counters
+        align; a hole (some rank missing from a group) means the trace
+        was captured from a run that died mid-collective.
+        """
+        groups: dict[int, dict[int, TraceEvent]] = {}
+        for rank, stream in enumerate(self.events):
+            for e in stream:
+                if e.coll is not None:
+                    groups.setdefault(e.coll, {})[rank] = e
+        return groups
+
+    def machine_model(self):
+        """The captured machine model as a live ``MachineModel``."""
+        from ..parallel.machine import MachineModel
+        return MachineModel.from_spec(self.machine or None)
+
+    # -- the versioned JSON schema -------------------------------------
+    def to_json(self) -> dict:
+        """Plain-dict form under the ``repro.trace/v1`` schema."""
+        return {
+            "schema": TRACE_SCHEMA,
+            "nprocs": int(self.nprocs),
+            "backend": self.backend,
+            "algo": self.algo,
+            "machine": dict(self.machine),
+            "sanitized": bool(self.sanitized),
+            "elapsed": float(self.elapsed),
+            "kernel_seconds": {k: float(v)
+                               for k, v in self.kernel_seconds.items()},
+            "events": [[e.to_dict() for e in stream]
+                       for stream in self.events],
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "CommTrace":
+        """Inverse of :meth:`to_json`; rejects unknown schema versions."""
+        schema = d.get("schema", TRACE_SCHEMA)
+        if schema != TRACE_SCHEMA:
+            raise ValueError(f"unsupported trace schema {schema!r}")
+        return cls(
+            nprocs=int(d["nprocs"]), backend=d.get("backend", "threads"),
+            algo=d.get("algo", "flat"), machine=dict(d.get("machine") or {}),
+            sanitized=bool(d.get("sanitized", False)),
+            elapsed=float(d.get("elapsed", 0.0)),
+            kernel_seconds=dict(d.get("kernel_seconds") or {}),
+            events=[[TraceEvent.from_dict(e) for e in stream]
+                    for stream in d.get("events", [])])
+
+    # -- file I/O ------------------------------------------------------
+    def dump(self, path) -> Path:
+        """Write the trace as JSON; returns the resolved path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), sort_keys=True,
+                                   separators=(",", ":")) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "CommTrace":
+        """Read a trace written by :meth:`dump`."""
+        return cls.from_json(json.loads(Path(path).read_text()))

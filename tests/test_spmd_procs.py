@@ -21,7 +21,7 @@ from repro.exceptions import (
 from repro.parallel.comm import _payload_bytes, run_spmd
 from repro.parallel.faults import FaultPlan, RankCrash
 from repro.parallel.machine import MachineModel
-from repro.parallel.report import comm_volume_table
+from repro.parallel.report import CommReport, comm_volume_table
 from repro.parallel.shm import shm_segments
 from repro.parallel.spmd import spmd_lu_crtp, spmd_randqb_ei
 
@@ -136,15 +136,27 @@ def test_machine_model_rejects_unknown_algo():
         MachineModel(comm_algo="hypercube")
 
 
-def test_comm_volume_table_renders(A120):
+def test_comm_report_renders(A120):
     out = run_spmd(2, spmd_randqb_ei, A120, k=8, tol=1e-1, seed=0,
                    backend="procs")
-    txt = comm_volume_table(out["comm"])
+    rep = CommReport.from_run(out)
+    txt = rep.table()
     assert "backend=procs" in txt and "total" in txt
-    txt_k = comm_volume_table(out["comm"], by="kernel")
+    txt_k = rep.table(by="kernel")
     assert "kernel" in txt_k
     with pytest.raises(ValueError):
-        comm_volume_table(out["comm"], by="rank")
+        rep.table(by="rank")
+    # the legacy free function survives as a once-warning shim
+    import warnings
+
+    import repro.parallel.report as report_mod
+    report_mod._warned_comm_volume_table = False
+    with pytest.warns(DeprecationWarning, match="comm_volume_table"):
+        legacy = comm_volume_table(out["comm"])
+    assert legacy == txt
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # the shim warns only once
+        assert comm_volume_table(out["comm"]) == txt
 
 
 # ---------------------------------------------------------------------------
