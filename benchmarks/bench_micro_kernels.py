@@ -6,9 +6,17 @@ root (the committed copy documents the speedups on the reference machine):
 
 - ``spgemm``            — vectorized-Gustavson multiply, fresh allocations
                           vs a reused :class:`SpGEMMWorkspace`;
+- ``spgemm_parallel``   — the same product, OpenMP row-parallel native
+                          kernel at ``REPRO_KERNEL_THREADS=2`` (pure
+                          columns track the serial route for reference);
+- ``csr_to_csc``        — scipy ``tocsc()``/``tocsr()`` round trip vs the
+                          native counting-sort conversion;
+- ``permute_split``     — pure fused permute + 2x2 split vs the native
+                          window scatter (dense-A11 variant included);
 - ``schur_update``      — reference permute + ``split_2x2`` + scipy ``@``
                           vs the fused index-window ``permuted_blocks`` +
-                          ``csr_matmul_nosym`` route;
+                          ``csr_matmul_nosym`` route; native = the fully
+                          fused ``schur_update_csc`` dispatch;
 - ``thresholding``      — copying :func:`drop_small` vs the fused
                           mask-then-apply-in-place route;
 - ``pivot_scan``        — the colamd packed-key argmin-consume loop
@@ -16,7 +24,12 @@ root (the committed copy documents the speedups on the reference machine):
 - ``tsqr``              — communication-avoiding tall-skinny QR (tracked
                           for drift; not changed by the optimization);
 - ``lu_crtp_e2e`` / ``ilut_crtp_e2e`` — full solves on the fill-in-heavy
-                          M2 analogue, ``optimized=False`` vs ``True``.
+                          M2 analogue, ``optimized=False`` vs ``True``,
+                          both pinned to ``kernel_tier="pure"`` so the
+                          ``tiers.native`` column is a real pure-vs-native
+                          comparison (``auto`` would silently resolve to
+                          native on a warm-cache host and measure native
+                          against itself).
 
 Schema v2: on hosts with a working C compiler each bench that has a
 native-tier kernel additionally records a ``tiers.native`` sub-entry —
@@ -137,6 +150,109 @@ def bench_spgemm(quick: bool, repeats: int, native: bool) -> dict:
     return entry
 
 
+def bench_spgemm_parallel(quick: bool, repeats: int, native: bool) -> dict:
+    """OpenMP row-parallel SpGEMM against the serial pure route (the
+    per-row result is bitwise thread-count independent, so only time
+    changes).  Thread count is ``min(2, cpu_count)`` — oversubscribing a
+    single-core host only measures scheduler thrash, not the kernel."""
+    n = 400 if quick else 1200
+    rng = np.random.default_rng(7)
+    F = sp.random(n, 64, density=0.20, random_state=rng, format="csr")
+    A12 = sp.random(64, n, density=0.30, random_state=rng, format="csr")
+    F.sort_indices()
+    A12.sort_indices()
+
+    nthreads = min(2, os.cpu_count() or 1)
+    t_pure = _mintime(lambda: kernels.spgemm_csr(F, A12, tier="pure"),
+                      repeats)
+    entry = {"before_s": t_pure, "after_s": t_pure,
+             "detail": f"F({n}x64) @ A12(64x{n}); serial pure route on both "
+                       "columns, native = row-parallel kernel at "
+                       f"REPRO_KERNEL_THREADS={nthreads} (bitwise "
+                       "identical output)"}
+    if native:
+        # benches sit outside src/, so the SPMD004 encapsulation rule does
+        # not apply; the direct import is only for the OpenMP capability note
+        from repro.kernels.native import openmp_enabled
+        ws = SpGEMMWorkspace()
+        old = os.environ.get(kernels.THREADS_ENV)
+        os.environ[kernels.THREADS_ENV] = str(nthreads)
+        try:
+            C = kernels.spgemm_csr(F, A12, tier="native", workspace=ws)
+            ref = kernels.spgemm_csr(F, A12, tier="pure")
+            assert (np.array_equal(C.indptr, ref.indptr)
+                    and np.array_equal(C.indices, ref.indices)
+                    and np.array_equal(C.data, ref.data)), \
+                "parallel spgemm disagrees"
+            entry["detail"] += ("" if openmp_enabled()
+                                else "; OpenMP unavailable: serial native")
+            _add_native_tier(entry, _mintime(
+                lambda: kernels.spgemm_csr(F, A12, tier="native",
+                                           workspace=ws), repeats))
+        finally:
+            if old is None:
+                os.environ.pop(kernels.THREADS_ENV, None)
+            else:
+                os.environ[kernels.THREADS_ENV] = old
+    return entry
+
+
+def bench_csr_to_csc(quick: bool, repeats: int, native: bool) -> dict:
+    """The conversion tax itself: scipy's ``tocsc()`` vs the native
+    counting-sort kernel, on a Schur-complement-sized operand."""
+    n = 800 if quick else 1500
+    rng = np.random.default_rng(8)
+    A = sp.random(n, n, density=0.05, random_state=rng, format="csr")
+    A.sort_indices()
+
+    t_pure = _mintime(lambda: kernels.csr_to_csc(A, tier="pure"), repeats)
+    entry = {"before_s": t_pure, "after_s": t_pure,
+             "detail": f"{n}x{n} d=0.05 CSR->CSC; scipy counting sort on "
+                       "both columns, native = C counting sort (bitwise "
+                       "identical, same index dtypes)"}
+    if native:
+        got = kernels.csr_to_csc(A, tier="native")
+        ref = A.tocsc()
+        assert (np.array_equal(got.indptr, ref.indptr)
+                and np.array_equal(got.indices, ref.indices)
+                and np.array_equal(got.data, ref.data)), \
+            "conversion tiers disagree"
+        _add_native_tier(entry, _mintime(
+            lambda: kernels.csr_to_csc(A, tier="native"), repeats))
+    return entry
+
+
+def bench_permute_split(quick: bool, repeats: int, native: bool) -> dict:
+    """The fused permute + 2x2 split window pass on its own (the
+    ``schur_update`` bench measures it composed with the multiply).
+    Quick mode still uses n=800: below that the pure radix pass is a
+    sub-0.2ms blip and the gate would measure dispatch noise."""
+    n = 800 if quick else 1200
+    k = 32
+    A = _m2_analogue(n)
+    rng = np.random.default_rng(9)
+    col_perm = rng.permutation(n)
+    row_perm = rng.permutation(n)
+
+    t_pure = _mintime(
+        lambda: kernels.permuted_blocks(A, col_perm, row_perm, k,
+                                        tier="pure"), repeats)
+    entry = {"before_s": t_pure, "after_s": t_pure,
+             "detail": f"M2-analogue n={n}, k={k}; pure radix-sort window "
+                       "split on both columns, native = single C scatter "
+                       "pass (dense A11 written directly)"}
+    if native:
+        rp = kernels.permuted_blocks(A, col_perm, row_perm, k, tier="pure")
+        rn = kernels.permuted_blocks(A, col_perm, row_perm, k, tier="native")
+        assert np.array_equal(rp[0], rn[0]), "A11 blocks disagree"
+        for bp, bn in zip(rp[1:], rn[1:]):
+            assert (bp - bn).nnz == 0, "window tiers disagree"
+        _add_native_tier(entry, _mintime(
+            lambda: kernels.permuted_blocks(A, col_perm, row_perm, k,
+                                            tier="native"), repeats))
+    return entry
+
+
 def bench_schur_update(quick: bool, repeats: int, native: bool) -> dict:
     n = 400 if quick else 900
     k = 32
@@ -162,15 +278,16 @@ def bench_schur_update(quick: bool, repeats: int, native: bool) -> dict:
              "after_s": _mintime(fused, repeats),
              "detail": f"M2-analogue n={n}, k={k}: permute+split+scipy-@ vs "
                        "index-window blocks + symbolic-free matmul; native "
-                       "= C window scatter + C row-merge"}
+                       "= fused schur_update_csc (C window scatter + "
+                       "row-merge + one-pass diff/convert)"}
     if native:
         ws2 = SpGEMMWorkspace()
 
         def fused_native():
             _, A12, _, A22 = kernels.permuted_blocks(
                 A, col_perm, row_perm, k, tier="native")
-            return (A22 - kernels.spgemm_csr(
-                Fd, A12, tier="native", workspace=ws2)).tocsc()
+            return kernels.schur_update_csc(A22, Fd, A12, tol=None,
+                                            tier="native", workspace=ws2)
 
         assert abs(ref - fused_native()).max() == 0.0, \
             "native schur route disagrees"
@@ -274,20 +391,25 @@ def bench_e2e(cls, quick: bool, repeats: int, native: bool = False,
     max_rank = 128 if quick else 320
     common = dict(k=32, tol=1e-6, max_rank=max_rank,
                   raise_on_failure=False, **kw)
-    r_ref = cls(optimized=False, **common).solve(A)
-    r_opt = cls(optimized=True, **common).solve(A)
+    # pin the reference/optimized columns to the pure tier: with the
+    # default ``auto`` request a warm-cache host resolves to native and
+    # the ``tiers.native`` column would measure native against itself
+    pure = dict(common, kernel_tier="pure")
+    r_ref = cls(optimized=False, **pure).solve(A)
+    r_opt = cls(optimized=True, **pure).solve(A)
     assert np.array_equal(r_ref.row_perm, r_opt.row_perm)
     assert all(a.indicator == b.indicator
                for a, b in zip(r_ref.history, r_opt.history))
-    before = _mintime(lambda: cls(optimized=False, **common).solve(A),
+    before = _mintime(lambda: cls(optimized=False, **pure).solve(A),
                       repeats)
-    after = _mintime(lambda: cls(optimized=True, **common).solve(A),
+    after = _mintime(lambda: cls(optimized=True, **pure).solve(A),
                      repeats)
     entry = {"before_s": before, "after_s": after,
              "detail": f"M2-analogue n={n}, k=32, max_rank={max_rank}; "
-                       "optimized=False vs True (pivots and indicator "
-                       "trajectories bitwise identical); native = "
-                       "optimized=True with kernel_tier='native'"}
+                       "optimized=False vs True, both kernel_tier='pure' "
+                       "(pivots and indicator trajectories bitwise "
+                       "identical); native = optimized=True with "
+                       "kernel_tier='native'"}
     if native:
         # warm-up solve: excludes any one-time JIT build/load from timing
         # and checks tier parity on this exact problem
@@ -348,13 +470,19 @@ def run(quick: bool) -> dict:
     native = kernels.native_available()
     benches = {
         "spgemm": bench_spgemm(quick, max(repeats, 3), native),
+        "spgemm_parallel": bench_spgemm_parallel(quick, max(repeats, 3),
+                                                 native),
+        "csr_to_csc": bench_csr_to_csc(quick, max(repeats, 5), native),
+        "permute_split": bench_permute_split(quick, max(repeats, 5), native),
         "schur_update": bench_schur_update(quick, max(repeats, 3), native),
         "thresholding": bench_thresholding(quick, max(repeats, 5), native),
         "pivot_scan": bench_pivot_scan(quick, max(repeats, 5), native),
         "tsqr": bench_tsqr(quick, max(repeats, 3)),
-        "lu_crtp_e2e": bench_e2e(LU_CRTP, quick, 1 if quick else 5,
+        # e2e columns gate in CI (--min-native-e2e); 3 quick repeats keep
+        # the min-time stable enough for a >= 1.0 gate on shared runners
+        "lu_crtp_e2e": bench_e2e(LU_CRTP, quick, 3 if quick else 5,
                                  native=native),
-        "ilut_crtp_e2e": bench_e2e(ILUT_CRTP, quick, 1 if quick else 5,
+        "ilut_crtp_e2e": bench_e2e(ILUT_CRTP, quick, 3 if quick else 5,
                                    native=native,
                                    estimated_iterations=10),
     }
@@ -394,6 +522,11 @@ def main(argv=None) -> int:
     ap.add_argument("--check-regression", action="store_true",
                     help="exit nonzero if any optimized route is >25%% "
                          "slower than its reference route")
+    ap.add_argument("--min-native-e2e", type=float, default=None,
+                    metavar="RATIO",
+                    help="fail unless at least one *_e2e bench records "
+                         "tiers.native.vs_pure >= RATIO (skipped with a "
+                         "note when no native tier is available)")
     ap.add_argument("--baseline-repo", default=None,
                     help="path to a pre-PR checkout; also measures the "
                          "e2e benches there and records pre_pr_before_s "
@@ -464,6 +597,24 @@ def main(argv=None) -> int:
         print("regression check passed "
               f"(after <= {REGRESSION_FACTOR} * before for every kernel, "
               "native <= pure * factor where measured)")
+
+    if args.min_native_e2e is not None:
+        if not results["config"]["native_tier"]:
+            print("native e2e gate skipped: no native tier on this host")
+        else:
+            ratios = {name: e["tiers"]["native"]["vs_pure"]
+                      for name, e in results["benches"].items()
+                      if name.endswith("_e2e")
+                      and e.get("tiers", {}).get("native")}
+            best = max(ratios.values(), default=0.0)
+            if best < args.min_native_e2e:
+                print("NATIVE E2E GATE: best tiers.native.vs_pure "
+                      f"{best:.2f}x < required {args.min_native_e2e:.2f}x "
+                      f"({', '.join(f'{k}={v:.2f}x' for k, v in ratios.items())})",
+                      file=sys.stderr)
+                return 1
+            print(f"native e2e gate passed (best vs_pure {best:.2f}x >= "
+                  f"{args.min_native_e2e:.2f}x)")
     return 0
 
 

@@ -24,6 +24,27 @@ import numpy as np
 
 from ..results import LUApproximation, QBApproximation, UBVApproximation
 from ..sparse.trisolve import block_upper_solve, sparse_lower_solve
+from ..sparse.utils import ensure_csc, ensure_csr
+
+
+def _factor_csc(result, name: str):
+    """``result.L`` / ``result.U`` as canonical CSC, converted once per
+    result object and memoized on it.
+
+    Factor application is called per right-hand side — every Krylov
+    iteration when the result backs a preconditioner — and previously
+    re-ran ``tocsc()`` on the full factor each call.  The factors are
+    immutable once the solve returns, so the converted form is cached on
+    the result (``object.__setattr__`` keeps frozen result types happy).
+    """
+    cache = getattr(result, "_csc_cache", None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(result, "_csc_cache", cache)
+    M = cache.get(name)
+    if M is None:
+        M = cache[name] = ensure_csc(getattr(result, name), dtype=None)
+    return M
 
 
 def pseudo_solve(result, b: np.ndarray) -> np.ndarray:
@@ -71,7 +92,7 @@ def lu_left_apply(result: LUApproximation, bp: np.ndarray) -> np.ndarray:
     the normal equations are formed densely (cost ``O(nnz(L) K + K^3)``).
     """
     K = result.rank
-    L = result.L.tocsc()
+    L = _factor_csc(result, "L")
     Lt_b = np.asarray(L.T @ bp)
     G = np.asarray((L.T @ L).todense())
     return np.linalg.solve(G + 1e-14 * np.eye(K), Lt_b)
@@ -81,7 +102,7 @@ def lu_right_solve(result: LUApproximation, y: np.ndarray) -> np.ndarray:
     """Minimum-norm ``z`` with ``U z = y``: solve through the block-upper
     leading block ``U1 = U[:, :K]`` and zero-pad the free columns."""
     K = result.rank
-    U1 = result.U.tocsc()[:, :K]
+    U1 = _factor_csc(result, "U")[:, :K]
     # U1 is block upper triangular with dense diagonal blocks of the
     # factorization's block size; recover it from the history when present
     block = K
@@ -113,7 +134,7 @@ def as_preconditioner(result: LUApproximation):
         z = x[result.col_perm]                      # P_c^T x
         y = _u_plus_transpose(result, z[:K])        # (U^+)^T
         # (L^+)^T y = L (L^T L)^{-1} y  (G symmetric)
-        L = result.L.tocsc()
+        L = _factor_csc(result, "L")
         G = np.asarray((L.T @ L).todense())
         w = np.asarray(L @ np.linalg.solve(G + 1e-14 * np.eye(K), y))
         out = np.empty(m)
@@ -127,7 +148,7 @@ def _u_plus_transpose(result: LUApproximation, z: np.ndarray) -> np.ndarray:
     """``(U^+)^T z``: forward substitution on the block *lower* triangular
     ``U1^T`` (the transpose of the leading block staircase)."""
     K = result.rank
-    U1t = result.U.tocsc()[:, :K].T.tocsr()
+    U1t = ensure_csr(_factor_csc(result, "U")[:, :K].T, dtype=None)
     block = K
     if len(result.history):
         block = max(result.history[0].rank, 1)
@@ -149,5 +170,5 @@ def unit_lower_apply_inverse(result: LUApproximation,
     (exact when ``b`` lies in the range of the approximation's row space;
     the cheap choice for preconditioning)."""
     K = result.rank
-    L1 = result.L.tocsc()[:K, :K]
+    L1 = _factor_csc(result, "L")[:K, :K]
     return sparse_lower_solve(L1, np.asarray(b)[:K], unit_diagonal=False)

@@ -316,7 +316,8 @@ class ILUT_CRTP(LU_CRTP):
                     controltriggered=control_triggered,
                     lastdroppedsq=last_dropped_sq)
                 if last_pre_drop is not None:
-                    state["lastpredrop"] = last_pre_drop.tocsc()
+                    state["lastpredrop"] = ensure_csc(
+                        last_pre_drop, dtype=None)
                 self._write_checkpoint(state)
             if done:
                 converged = True

@@ -44,7 +44,7 @@ from ..sparse.ops import (
     permute_rows,
     split_2x2,
 )
-from ..sparse.utils import drop_explicit_zeros, ensure_csc
+from ..sparse.utils import drop_explicit_zeros, ensure_csc, ensure_csr
 from ..sparse.window import (
     csr_rows_to_dense,
     dense_rows_to_csr,
@@ -332,11 +332,11 @@ class LU_CRTP:
         from ..serialize import _history_payload
         return {
             "kind": kind, "iteration": i, "K": K, "z": z,
-            "r11first": r11_first, "active": active.tocsc(),
+            "r11first": r11_first, "active": ensure_csc(active, dtype=None),
             "rowperm": np.asarray(row_perm).copy(),
             "colperm": np.asarray(col_perm).copy(),
-            "Lblocks": [b.tocsc() for b in Lblocks],
-            "Ublocks": [b.tocsr() for b in Ublocks],
+            "Lblocks": [ensure_csc(b, dtype=None) for b in Lblocks],
+            "Ublocks": [ensure_csr(b, dtype=None) for b in Ublocks],
             "rowsnaps": [s.copy() for s in row_snaps],
             "colsnaps": [s.copy() for s in col_snaps],
             "history": _history_payload(history),
@@ -354,7 +354,7 @@ class LU_CRTP:
         r11_first = st["r11first"]
         return (int(st["iteration"]), int(st["K"]), int(st["z"]),
                 None if r11_first is None else float(r11_first),
-                st["active"].tocsc(),
+                ensure_csc(st["active"], dtype=None),
                 np.asarray(st["rowperm"], dtype=np.intp),
                 np.asarray(st["colperm"], dtype=np.intp),
                 list(st["Lblocks"]), list(st["Ublocks"]),
@@ -407,13 +407,14 @@ class LU_CRTP:
                 Qk = fqr.explicit_q()
             else:
                 Qk, _Rk, _ = cholqr2(selected,
-                                     recovery_log=self._recovery_log())
+                                     recovery_log=self._recovery_log(),
+                                     tier=tier)
         kernel_seconds["sparse_qr"] = time.perf_counter() - t
 
         # line 7: row tournament on Q_k^T
         t = time.perf_counter()
         with perf.timer("row_qr_tp"):
-            row_tp = qr_tp_rows(Qk, k_i, tree=self.tree)
+            row_tp = qr_tp_rows(Qk, k_i, tree=self.tree, tier=tier)
         kernel_seconds["row_qr_tp"] = time.perf_counter() - t
 
         # line 8: fused permutation + 2x2 split (the index-window pass)
@@ -438,10 +439,17 @@ class LU_CRTP:
                 ws = getattr(self, "_spgemm_ws", None)
                 if ws is None:
                     ws = self._spgemm_ws = SpGEMMWorkspace()
-                schur = (A22 - spgemm(F, A12, workspace=ws)).tocsc()
+                # dtype-preserving engine: the tier registry's float64
+                # contract does not apply here
+                prod = spgemm(F, A12, workspace=ws)
+                schur = (A22 - prod).tocsc()  # repro: noqa[SPMD004]
+                drop_explicit_zeros(schur, tol=self.zero_drop_tol)
             else:
-                schur = (A22 - kernels.spgemm_csr(F, A12, tier=tier)).tocsc()
-            drop_explicit_zeros(schur, tol=self.zero_drop_tol)
+                # one dispatch for multiply + subtract + convert + drop —
+                # the native tier fuses the chain, pure runs the exact
+                # composition this site used to spell out
+                schur = kernels.schur_update_csc(
+                    A22, F, A12, tol=self.zero_drop_tol, tier=tier)
             perf.add_flops("schur", schur_flops)
         kernel_seconds["schur"] = time.perf_counter() - t
 
@@ -513,11 +521,13 @@ class LU_CRTP:
         kernel_seconds["solve"] = time.perf_counter() - t
 
         t = time.perf_counter()
+        # reference route stays plain scipy on purpose: it is the oracle
+        # the optimized/native routes are pinned against
         if self.schur_engine == "native":
             from ..sparse.spgemm import spgemm
-            schur = (A22 - spgemm(F, A12)).tocsc()
+            schur = (A22 - spgemm(F, A12)).tocsc()  # repro: noqa[SPMD004]
         else:
-            schur = (A22 - F @ A12).tocsc()
+            schur = (A22 - F @ A12).tocsc()  # repro: noqa[SPMD004]
         drop_explicit_zeros(schur, tol=self.zero_drop_tol)
         kernel_seconds["schur"] = time.perf_counter() - t
 
@@ -527,8 +537,8 @@ class LU_CRTP:
         # Trace statistics consumed by the parallel performance model
         # (repro.parallel.perfmodel): enough to reconstruct per-rank flop and
         # byte counts for any process count without re-running.
-        Fc = F.tocsc()
-        A12r = A12.tocsr()
+        Fc = F.tocsc()  # repro: noqa[SPMD004]
+        A12r = A12.tocsr()  # repro: noqa[SPMD004]
         schur_flops = 2.0 * float(
             np.dot(np.diff(Fc.indptr), np.diff(A12r.indptr)))
         stats = {
@@ -555,10 +565,11 @@ class LU_CRTP:
     def _column_tournament(self, active: sp.csc_matrix, k_i: int):
         """QR_TP on the active matrix, optionally restricted to the
         candidate columns whose norm clears the discard threshold."""
+        tier = getattr(self, "_kernel_tier_resolved", None)
         if self.discard_small_columns <= 0.0:
             return qr_tp(active, k_i, tree=self.tree,
                          method=self.selection_method,
-                         strong=self.strong_rrqr)
+                         strong=self.strong_rrqr, tier=tier)
         from ..linalg.norms import column_norms_sq
         norms = column_norms_sq(active)
         cutoff = (self.discard_small_columns ** 2) * float(norms.max())
@@ -567,7 +578,8 @@ class LU_CRTP:
             cand = np.arange(active.shape[1])
         sub = active[:, cand]
         res = qr_tp(sub, k_i, tree=self.tree,
-                    method=self.selection_method, strong=self.strong_rrqr)
+                    method=self.selection_method, strong=self.strong_rrqr,
+                    tier=tier)
         winners = cand[res.winners]
         mask = np.zeros(active.shape[1], dtype=bool)
         mask[winners] = True
@@ -606,7 +618,7 @@ class LU_CRTP:
             Fs.eliminate_zeros()
             return Fs
 
-        A21r = A21.tocsr()
+        A21r = A21.tocsr()  # repro: noqa[SPMD004]
         rows = np.flatnonzero(np.diff(A21r.indptr))
         mrest = A21.shape[0]
         if rows.size == 0:
@@ -622,7 +634,7 @@ class LU_CRTP:
                 "pivot block A11 produced non-finite multipliers", iteration=i)
         F = sp.lil_matrix((mrest, k_i))
         F[rows] = Fsub
-        F = F.tocsr()
+        F = F.tocsr()  # repro: noqa[SPMD004]
         F.data[np.abs(F.data) < 1e-300] = 0.0
         F.eliminate_zeros()
         return F

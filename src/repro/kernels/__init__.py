@@ -10,17 +10,24 @@ See :mod:`repro.kernels.tiers` for resolution semantics and
 """
 
 from .tiers import (
+    THREADS_ENV,
     TIER_ENV,
     TIER_REQUESTS,
     TIERS,
     apply_threshold_mask,
     available_tiers,
+    csc_to_csr,
+    csr_to_csc,
+    gather_columns,
+    gram_csc,
+    kernel_threads,
     native_available,
     permuted_blocks,
     pivot_argmin_consume,
     record_tier,
     reset,
     resolve_tier,
+    schur_update_csc,
     spgemm_csr,
     threshold_mask,
     validate_request,
@@ -30,15 +37,22 @@ __all__ = [
     "TIERS",
     "TIER_REQUESTS",
     "TIER_ENV",
+    "THREADS_ENV",
     "available_tiers",
     "native_available",
     "resolve_tier",
     "validate_request",
     "record_tier",
     "reset",
+    "kernel_threads",
     "spgemm_csr",
     "threshold_mask",
     "apply_threshold_mask",
     "permuted_blocks",
     "pivot_argmin_consume",
+    "csr_to_csc",
+    "csc_to_csr",
+    "gather_columns",
+    "gram_csc",
+    "schur_update_csc",
 ]

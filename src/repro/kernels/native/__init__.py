@@ -14,22 +14,32 @@ Every wrapper below produces bitwise-identical results to its pure
 counterpart (see the parity pins in ``tests/test_kernel_tiers.py``):
 
 - :func:`spgemm_csr`       ≡ ``repro.sparse.ops.csr_matmul_nosym``
+  (``threads > 1`` selects the OpenMP row-parallel variant, which is
+  per-row-deterministic — identical bits at any thread count)
 - :func:`threshold_mask` / :func:`apply_threshold_mask`
                            ≡ ``repro.sparse.thresholding`` pair
 - :func:`permuted_blocks`  ≡ ``repro.sparse.window.permuted_blocks``
 - :func:`pivot_argmin_consume` ≡ ``int(np.argmin(key))`` + sentinel store
+- :func:`csr_to_csc` / :func:`csc_to_csr` ≡ scipy ``tocsc()``/``tocsr()``
+- :func:`gather_columns`   ≡ the general gather path of
+  ``repro.sparse.ops.extract_columns``
+- :func:`gram_csc`         ≡ ``repro.linalg.cholqr._cross_gram_kernel``
+- :func:`schur_diff_csc`   ≡ ``(A - C).tocsc()`` + ``drop_explicit_zeros``
 """
 
 from __future__ import annotations
 
 import ctypes
+import os
 import threading
 
 import numpy as np
 
 from ...sparse.ops import _MATMUL_CAP
-from ...sparse.utils import raw_csr
+from ...sparse.utils import raw_csc, raw_csr
 from . import build
+
+_INT32_MAX = np.iinfo(np.int32).max
 
 _lock = threading.Lock()
 _lib: ctypes.CDLL | None = None
@@ -74,6 +84,46 @@ def _bind(lib: ctypes.CDLL) -> None:
                        _ptr(np.int64),
                        _ptr(idt), _ptr(idt), _ptr(np.float64),
                        _ptr(idt), _ptr(idt), _ptr(np.float64)]
+        fn = getattr(lib, "rk_window_fill_topdense" + suffix)
+        fn.restype = None
+        fn.argtypes = [i64, i64, i64, _ptr(idt), _ptr(idt),
+                       _ptr(np.float64), _ptr(np.int64), _ptr(np.int64),
+                       _ptr(np.int64), _ptr(np.float64),
+                       _ptr(idt), _ptr(idt), _ptr(np.float64)]
+        fn = getattr(lib, "rk_csr_tocsc" + suffix)
+        fn.restype = None
+        fn.argtypes = [i64, i64,
+                       _ptr(idt), _ptr(idt), _ptr(np.float64),
+                       _ptr(idt), _ptr(idt), _ptr(np.float64)]
+        fn = getattr(lib, "rk_gather_cols" + suffix)
+        fn.restype = i64
+        fn.argtypes = [i64, _ptr(idt), _ptr(idt), _ptr(np.float64),
+                       _ptr(np.int64),
+                       _ptr(np.int64), _ptr(idt), _ptr(np.float64)]
+        fn = getattr(lib, "rk_gram" + suffix)
+        fn.restype = None
+        fn.argtypes = [i64, i64, i64,
+                       _ptr(idt), _ptr(idt), _ptr(np.float64),
+                       _ptr(idt), _ptr(idt), _ptr(np.float64),
+                       _ptr(np.float64), i64,
+                       _ptr(np.int64), _ptr(np.int64), _ptr(np.float64)]
+        fn = getattr(lib, "rk_schur_diff" + suffix)
+        fn.restype = i64
+        fn.argtypes = [i64, i64,
+                       _ptr(idt), _ptr(idt), _ptr(np.float64),
+                       _ptr(idt), _ptr(idt), _ptr(np.float64),
+                       _ptr(idt), _ptr(idt), _ptr(np.float64),
+                       _ptr(np.int64), _ptr(np.float64), ctypes.c_double]
+        fn = getattr(lib, "rk_spgemm_par" + suffix)
+        fn.restype = i64
+        fn.argtypes = [i64, i64, i64,
+                       _ptr(idt), _ptr(idt), _ptr(np.float64),
+                       _ptr(idt), _ptr(idt), _ptr(np.float64),
+                       _ptr(idt), _ptr(idt), _ptr(np.float64),
+                       _ptr(np.int64), _ptr(np.float64), _ptr(np.int64),
+                       _ptr(np.int64)]
+    lib.rk_openmp_enabled.restype = i64
+    lib.rk_openmp_enabled.argtypes = []
     lib.rk_thresh_mask.restype = i64
     lib.rk_thresh_mask.argtypes = [
         _ptr(np.float64), i64, ctypes.c_double, _ptr(np.uint8),
@@ -105,6 +155,8 @@ def load() -> ctypes.CDLL | None:
                 lib = None
         _lib = lib
         _load_attempted = True
+        if lib is not None:
+            _cache_probe.clear()  # a fresh build makes stale "no" answers wrong
     return _lib
 
 
@@ -112,16 +164,39 @@ def available() -> bool:
     return load() is not None
 
 
+def openmp_enabled() -> bool:
+    """True when the loaded library was built with OpenMP — i.e. when
+    ``$REPRO_KERNEL_THREADS > 1`` can actually fan the SpGEMM out."""
+    lib = load()
+    return lib is not None and bool(lib.rk_openmp_enabled())
+
+
+# env-keyed memo of the warm-cache stat probe: the probe re-hashes every C
+# source, and the ``auto`` tier consults it on every dispatched conversion.
+# Invalidation: reset() (tests) and a successful in-process build (load()).
+# A build finished by *another* process goes unseen until then — same
+# "resolved once" behaviour solver configs already have.
+_cache_probe: dict = {}
+
+
 def cached_build_exists() -> bool:
     """True when the ``.so`` for the current sources is already on disk —
     a stat probe that never *runs* a compiler (the ``auto`` tier uses this
     so it cannot trigger a build).  The compiler is still *discovered*
-    (PATH lookups only) because its path is part of the cache key."""
-    try:
-        return build.cached_library_path(
-            compiler=build.find_compiler()).exists()
-    except OSError:
-        return False
+    (PATH lookups only) because its path is part of the cache key.  Both
+    flag-set variants (OpenMP and serial) count as warm."""
+    key = (os.environ.get("REPRO_KERNEL_CACHE"),
+           os.environ.get("XDG_CACHE_HOME"),
+           os.environ.get("CC"))
+    hit = _cache_probe.get(key)
+    if hit is None:
+        try:
+            hit = any(p.exists() for p in build.cached_library_paths(
+                compiler=build.find_compiler()))
+        except OSError:
+            hit = False
+        _cache_probe[key] = hit
+    return hit
 
 
 def reset() -> None:
@@ -132,6 +207,7 @@ def reset() -> None:
         _load_attempted = False
         _pivot_raw = None
         _pivot_cache = None
+        _cache_probe.clear()
 
 
 def _idx_suffix(dtype) -> str:
@@ -142,10 +218,14 @@ def _idx_suffix(dtype) -> str:
 # kernel wrappers (same contracts as the pure tier)
 # ---------------------------------------------------------------------------
 
-def spgemm_csr(A, B, workspace=None):
+def spgemm_csr(A, B, workspace=None, threads: int = 1):
     """``A @ B`` for canonical CSR operands — scipy-accumulation-order
     row-merge in C, with all intermediates served from ``workspace``
-    (:class:`repro.sparse.spgemm.SpGEMMWorkspace`)."""
+    (:class:`repro.sparse.spgemm.SpGEMMWorkspace`).
+
+    ``threads > 1`` runs the OpenMP row-parallel variant when the library
+    was built with OpenMP (else the single-pass serial kernel — same
+    bits either way, since every row is computed by identical code)."""
     from ...sparse.spgemm import SpGEMMWorkspace
 
     lib = load()
@@ -171,13 +251,24 @@ def spgemm_csr(A, B, workspace=None):
     Bx = B.data.astype(dt, copy=False)
     if workspace is None:
         workspace = SpGEMMWorkspace()
-    mark, sums, touched = workspace.matmat_buffers(n)
+    nt = max(int(threads), 1)
+    if nt > 1 and not bool(lib.rk_openmp_enabled()):
+        nt = 1  # parallel kernel would run serial anyway; the single-pass
+        # serial kernel is strictly cheaper (no symbolic prepass)
     Cp = np.empty(m + 1, dtype=idx_dtype)
     Cj = np.empty(cap, dtype=idx_dtype)
     Cx = np.empty(cap, dtype=np.float64)
-    fn = getattr(lib, "rk_spgemm" + _idx_suffix(idx_dtype))
-    nnz = int(fn(m, n, Ap, Aj, Ax, Bp, Bj, Bx, Cp, Cj, Cx,
-                 mark, sums, touched))
+    if nt > 1:
+        mark, sums, touched = workspace.matmat_buffers(n, nt)
+        rownnz = workspace.row_scratch(m)
+        fn = getattr(lib, "rk_spgemm_par" + _idx_suffix(idx_dtype))
+        nnz = int(fn(m, n, nt, Ap, Aj, Ax, Bp, Bj, Bx, Cp, Cj, Cx,
+                     mark, sums, touched, rownnz))
+    else:
+        mark, sums, touched = workspace.matmat_buffers(n)
+        fn = getattr(lib, "rk_spgemm" + _idx_suffix(idx_dtype))
+        nnz = int(fn(m, n, Ap, Aj, Ax, Bp, Bj, Bx, Cp, Cj, Cx,
+                     mark, sums, touched))
     # sorted_indices=None matches the pure route (rows are emitted in
     # scipy's reverse-insertion order, not sorted)
     return raw_csr(Cx[:nnz], Cj[:nnz], Cp, (m, n), sorted_indices=None)
@@ -252,6 +343,29 @@ def _window_split(lib, active, cols, ipos, k, rowcount, idx_dtype):
                     Cp.astype(idx_dtype, copy=False), (m - k, ncols)))
 
 
+def _window_split_topdense(lib, active, cols, ipos, k, rowcount, idx_dtype):
+    """Split the pivot column window: top block straight to dense (it is
+    inverted immediately — see rk_window_fill_topdense), bottom to CSR."""
+    m = active.shape[0]
+    ncols = cols.size
+    in_dtype = active.indices.dtype
+    suffix = _idx_suffix(in_dtype)
+    count = getattr(lib, "rk_window_count" + suffix)
+    fill = getattr(lib, "rk_window_fill_topdense" + suffix)
+    total = int((active.indptr[cols + 1] - active.indptr[cols]).sum())
+    top = int(count(m, k, ncols, active.indptr, active.indices, cols,
+                    ipos, rowcount))
+    bot = total - top
+    D = np.empty((k, ncols), dtype=np.float64)
+    Cp = np.empty(m - k + 1, dtype=in_dtype)
+    Cj = np.empty(bot, dtype=in_dtype)
+    Cx = np.empty(bot, dtype=np.float64)
+    fill(m, k, ncols, active.indptr, active.indices, active.data, cols,
+         ipos, rowcount, D, Cp, Cj, Cx)
+    return D, raw_csr(Cx, Cj.astype(idx_dtype, copy=False),
+                      Cp.astype(idx_dtype, copy=False), (m - k, ncols))
+
+
 def permuted_blocks(active, col_perm, row_perm, k: int, rowcount=None):
     """Fused permute + 2x2 split (pure contract:
     ``repro.sparse.window.permuted_blocks``)."""
@@ -272,14 +386,199 @@ def permuted_blocks(active, col_perm, row_perm, k: int, rowcount=None):
         rowcount = np.empty(max(m, 1), dtype=np.int64)
     idx_dtype = np.int32 if max(m, n) < 2**31 else np.int64
 
-    A11, A21 = _window_split(lib, active, q[:k], ipos, k, rowcount,
-                             idx_dtype)
+    A11d, A21 = _window_split_topdense(lib, active, q[:k], ipos, k,
+                                       rowcount, idx_dtype)
     A12, A22 = _window_split(lib, active, q[k:], ipos, k, rowcount,
                              idx_dtype)
-    A11d = np.zeros((k, k), dtype=np.float64)
-    rows = np.repeat(np.arange(k, dtype=np.int64), np.diff(A11.indptr))
-    A11d[rows, A11.indices] = A11.data
     return A11d, A12, A21, A22
+
+
+# ---------------------------------------------------------------------------
+# CSR <-> CSC conversion (scipy tocsc/tocsr contract)
+# ---------------------------------------------------------------------------
+
+def _convert_arrays(lib, A, n_major, n_minor):
+    """Run the counting-sort conversion over ``A``'s raw arrays with
+    ``n_major`` outer slots (rows for CSR input, columns for CSC input).
+    Returns ``(Bp, Bi, Bx)`` or ``None`` when the input falls outside the
+    kernel contract (the caller then runs scipy's conversion)."""
+    if lib is None or A.data.dtype != np.float64:
+        return None
+    idx = A.indices.dtype
+    if A.indptr.dtype != idx or \
+            np.dtype(idx) not in (np.dtype(np.int32), np.dtype(np.int64)):
+        return None
+    nnz = int(A.indptr[-1])
+    # scipy's matrix-API conversions normalize the output index dtype
+    # through the validating constructor's contents check: int32 whenever
+    # both dimensions and the nnz fit, int64 otherwise — independent of
+    # the INPUT index dtype (a small-content int64 matrix comes back
+    # int32).  Pick the same dtype up front and cast the inputs to it
+    # (lossless by the very rule that chose it).
+    out_idx = np.int32 if max(n_major, n_minor, nnz) <= _INT32_MAX \
+        else np.int64
+    Ap = A.indptr.astype(out_idx, copy=False)
+    Aj = A.indices.astype(out_idx, copy=False)
+    Bp = np.empty(n_minor + 1, dtype=out_idx)
+    Bi = np.empty(nnz, dtype=out_idx)
+    Bx = np.empty(nnz, dtype=np.float64)
+    fn = getattr(lib, "rk_csr_tocsc" + _idx_suffix(out_idx))
+    fn(n_major, n_minor, Ap, Aj, A.data, Bp, Bi, Bx)
+    return Bp, Bi, Bx
+
+
+def csr_to_csc(A):
+    """CSR -> canonical CSC; scipy ``tocsc()`` contract (same counting
+    sort, same entry order, same index dtypes)."""
+    m, n = A.shape
+    arrays = _convert_arrays(load(), A, m, n)
+    if arrays is None:
+        return A.tocsc()
+    Bp, Bi, Bx = arrays
+    return raw_csc(Bx, Bi, Bp, (m, n), sorted_indices=True)
+
+
+def csc_to_csr(A):
+    """CSC -> canonical CSR; scipy ``tocsr()`` contract.  Same kernel as
+    :func:`csr_to_csc` with the roles of rows and columns transposed —
+    exactly how scipy's ``csc_tocsr`` delegates to ``csr_tocsc``."""
+    m, n = A.shape
+    arrays = _convert_arrays(load(), A, n, m)
+    if arrays is None:
+        return A.tocsr()
+    Bp, Bj, Bx = arrays
+    return raw_csr(Bx, Bj, Bp, (m, n), sorted_indices=True)
+
+
+# ---------------------------------------------------------------------------
+# column gather (CSC sub-panel extraction)
+# ---------------------------------------------------------------------------
+
+def gather_columns(A, cols):
+    """``A[:, cols]`` for canonical CSC ``A`` (pure contract: the general
+    gather path of ``repro.sparse.ops.extract_columns``) — one memcpy
+    pair per requested column instead of a materialized entry-position
+    array, same entries in the same stored order."""
+    lib = load()
+    m = A.shape[0]
+    if lib is None or A.data.dtype != np.float64 \
+            or A.indices.dtype != A.indptr.dtype \
+            or np.dtype(A.indices.dtype) not in (np.dtype(np.int32),
+                                                 np.dtype(np.int64)):
+        from ..pure import gather_columns as _pure_gather
+        return _pure_gather(A, cols)
+    cols64 = np.ascontiguousarray(cols, dtype=np.int64)
+    counts = A.indptr[cols64 + 1] - A.indptr[cols64]
+    nnz = int(counts.sum())
+    Bp = np.empty(cols64.size + 1, dtype=np.int64)
+    Bi = np.empty(nnz, dtype=A.indices.dtype)
+    Bx = np.empty(nnz, dtype=np.float64)
+    fn = getattr(lib, "rk_gather_cols" + _idx_suffix(A.indices.dtype))
+    fn(cols64.size, A.indptr, A.indices, A.data, cols64, Bp, Bi, Bx)
+    idx_dtype = np.int32 if m < _INT32_MAX + 1 else np.int64
+    return raw_csc(Bx, Bi.astype(idx_dtype, copy=False),
+                   Bp.astype(idx_dtype), (m, cols64.size))
+
+
+# ---------------------------------------------------------------------------
+# dense cross-Gram of CSC panels
+# ---------------------------------------------------------------------------
+
+def gram_csc(B1, B2, workspace=None):
+    """Dense ``B1.T @ B2`` for canonical CSC panels (pure contract:
+    ``repro.linalg.cholqr._cross_gram_kernel``), accumulating straight
+    out of an internal counting-sort transpose of ``B2`` instead of the
+    pure route's per-call ``tocsr`` + ``sort_indices`` + index upcasts."""
+    from ...sparse.spgemm import SpGEMMWorkspace
+
+    lib = load()
+    m, c1 = B1.shape
+    if lib is None or B2.shape[0] != m \
+            or B1.data.dtype != np.float64 or B2.data.dtype != np.float64 \
+            or B1.indices.dtype != B1.indptr.dtype \
+            or B2.indices.dtype != B2.indptr.dtype \
+            or B1.indices.dtype != B2.indices.dtype \
+            or np.dtype(B1.indices.dtype) not in (np.dtype(np.int32),
+                                                  np.dtype(np.int64)):
+        from ...linalg.cholqr import _cross_gram_kernel
+        return _cross_gram_kernel(B1, B2)
+    c2 = B2.shape[1]
+    nnz2 = int(B2.indptr[-1])
+    if workspace is None:
+        workspace = SpGEMMWorkspace()
+    tp, tj, tx = workspace.gram_buffers(m, nnz2)
+    C = np.empty((c1, c2), dtype=np.float64)
+    # self-Gram: B1^T B1 is exactly symmetric (IEEE multiplication is
+    # commutative and both triangles accumulate the same products in the
+    # same row order), so the kernel fills only the upper triangle and
+    # mirrors — half the multiply-add work, bit-identical output
+    sym = B1 is B2 or (B1.data is B2.data and B1.indices is B2.indices
+                       and B1.indptr is B2.indptr)
+    fn = getattr(lib, "rk_gram" + _idx_suffix(B1.indices.dtype))
+    fn(m, c1, c2, B1.indptr, B1.indices, B1.data,
+       B2.indptr, B2.indices, B2.data, C, int(sym), tp, tj, tx)
+    return C
+
+
+# ---------------------------------------------------------------------------
+# fused Schur difference
+# ---------------------------------------------------------------------------
+
+def schur_diff_csc(A, C, tol: float, workspace=None):
+    """``(A - C).tocsc()`` with the zero/threshold drop fused in; ``A``
+    and ``C`` are same-shape CSR (``C``'s rows may be unsorted — it is
+    typically SpGEMM output).  Composition contract: scipy's
+    ``csr_binop_csr`` subtraction, ``drop_explicit_zeros(..., tol)`` and
+    ``tocsc()`` — one pass plus one counting sort instead of three
+    materialized intermediates.  Returns ``None`` when the inputs fall
+    outside the kernel contract (the caller runs the pure composition)."""
+    from ...sparse.spgemm import SpGEMMWorkspace
+
+    lib = load()
+    m, n = A.shape
+    if lib is None or A.data.dtype != np.float64 \
+            or C.data.dtype != np.float64:
+        return None
+    for M in (A, C):
+        if M.indices.dtype != M.indptr.dtype or \
+                np.dtype(M.indices.dtype) not in (np.dtype(np.int32),
+                                                  np.dtype(np.int64)):
+            return None
+    bound = int(A.indptr[-1]) + int(C.indptr[-1])
+    if bound > _MATMUL_CAP:
+        return None
+    # scipy's binop computes at the common index dtype of the four input
+    # index arrays, but the final ``tocsc()`` re-normalizes through the
+    # validating constructor: int32 whenever both dimensions and the nnz
+    # fit (``bound <= _MATMUL_CAP`` already guarantees nnz fits), int64
+    # otherwise — independent of the binop intermediate's dtype.
+    idx = np.promote_types(A.indices.dtype, C.indices.dtype)
+    if np.dtype(idx) == np.dtype(np.int32) and max(bound, m) > _INT32_MAX:
+        return None
+    out_idx = np.dtype(np.int32) if max(m, n) <= _INT32_MAX \
+        else np.dtype(np.int64)
+    if workspace is None:
+        workspace = SpGEMMWorkspace()
+    mark, sums, _ = workspace.matmat_buffers(n)
+    Dp = np.empty(m + 1, dtype=idx)
+    Dj = np.empty(bound, dtype=idx)
+    Dx = np.empty(bound, dtype=np.float64)
+    fn = getattr(lib, "rk_schur_diff" + _idx_suffix(idx))
+    nnz = int(fn(m, n,
+                 A.indptr.astype(idx, copy=False),
+                 A.indices.astype(idx, copy=False), A.data,
+                 C.indptr.astype(idx, copy=False),
+                 C.indices.astype(idx, copy=False), C.data,
+                 Dp, Dj, Dx, mark, sums, float(tol)))
+    if np.dtype(idx) != out_idx:
+        Dp = Dp.astype(out_idx)
+        Dj = Dj[:nnz].astype(out_idx)
+    Sp = np.empty(n + 1, dtype=out_idx)
+    Si = np.empty(nnz, dtype=out_idx)
+    Sx = np.empty(nnz, dtype=np.float64)
+    conv = getattr(lib, "rk_csr_tocsc" + _idx_suffix(out_idx))
+    conv(m, n, Dp, Dj, Dx, Sp, Si, Sx)
+    return raw_csc(Sx, Si, Sp, (m, n), sorted_indices=True)
 
 
 #: above this many keys numpy's SIMD argmin beats the C scan — both routes

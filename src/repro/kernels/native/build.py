@@ -35,6 +35,18 @@ LIB_NAME = "librepro_kernels.so"
 #: requires strict IEEE semantics in the exact source order.
 CFLAGS = ("-O3", "-fPIC", "-shared", "-std=c99", "-fvisibility=hidden")
 
+#: Preferred flag set: same as CFLAGS plus OpenMP, which the row-parallel
+#: SpGEMM uses for its rank-local threads.  Builds try this first and fall
+#: back to the serial CFLAGS when the toolchain lacks OpenMP support (old
+#: clang without libomp, musl cc, ...); the kernels guard every pragma with
+#: ``#ifdef _OPENMP`` and run identical per-row code serially, so which
+#: variant got built never changes results — only whether
+#: ``$REPRO_KERNEL_THREADS > 1`` can actually fan out.
+CFLAGS_OPENMP = CFLAGS + ("-fopenmp",)
+
+#: Flag sets in build preference order.
+FLAG_SETS = (CFLAGS_OPENMP, CFLAGS)
+
 _SRC_DIR = Path(__file__).resolve().parent / "src"
 
 #: Last build failure (compiler stderr / exception text) for diagnostics;
@@ -83,7 +95,8 @@ def cache_root() -> Path:
 
 
 def source_hash(sources: list[Path] | None = None,
-                compiler: str | None = None) -> str:
+                compiler: str | None = None,
+                cflags: tuple[str, ...] = CFLAGS_OPENMP) -> str:
     """SHA-256 over source names+contents and the compile configuration.
 
     Any edit to a ``.c``/``.h``/``.inc`` file, a flag change, or a
@@ -96,7 +109,7 @@ def source_hash(sources: list[Path] | None = None,
         h.update(b"\0")
         h.update(path.read_bytes())
         h.update(b"\0")
-    h.update(" ".join(CFLAGS).encode())
+    h.update(" ".join(cflags).encode())
     h.update(b"\0")
     h.update((compiler or "").encode())
     return h.hexdigest()
@@ -104,10 +117,25 @@ def source_hash(sources: list[Path] | None = None,
 
 def cached_library_path(sources: list[Path] | None = None,
                         cache_dir: Path | None = None,
-                        compiler: str | None = None) -> Path:
+                        compiler: str | None = None,
+                        cflags: tuple[str, ...] = CFLAGS_OPENMP) -> Path:
     """Where the build for the current sources lives (existing or not)."""
     root = Path(cache_dir) if cache_dir is not None else cache_root()
-    return root / source_hash(sources, compiler)[:16] / LIB_NAME
+    return root / source_hash(sources, compiler, cflags)[:16] / LIB_NAME
+
+
+def cached_library_paths(sources: list[Path] | None = None,
+                         cache_dir: Path | None = None,
+                         compiler: str | None = None) -> list[Path]:
+    """Candidate cache locations, one per flag set in preference order.
+
+    A warm-cache probe must stat every candidate: a host whose toolchain
+    lacks OpenMP caches under the serial-flag hash, and the ``auto`` tier
+    should still find that build without ever invoking a compiler.
+    """
+    srcs = sources if sources is not None else source_files()
+    return [cached_library_path(srcs, cache_dir, compiler, fl)
+            for fl in FLAG_SETS]
 
 
 def build_library(sources: list[Path] | None = None,
@@ -125,16 +153,30 @@ def build_library(sources: list[Path] | None = None,
         last_error = "no C sources found"
         return None
     cc = compiler or find_compiler()
-    out = cached_library_path(srcs, cache_dir, cc)
-    if out.exists():
-        return out
+    for flags in FLAG_SETS:
+        out = cached_library_path(srcs, cache_dir, cc, flags)
+        if out.exists():
+            return out
     if cc is None:
         last_error = "no C compiler on PATH (set $CC or install cc/gcc/clang)"
         return None
+    for flags in FLAG_SETS:
+        out = _compile(cc, flags, c_files,
+                       cached_library_path(srcs, cache_dir, cc, flags))
+        if out is not None:
+            last_error = None
+            return out
+    return None
+
+
+def _compile(cc: str, cflags: tuple[str, ...], c_files: list[Path],
+             out: Path) -> Path | None:
+    """One compile attempt with one flag set; records ``last_error``."""
+    global last_error
     out.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(out.parent))
     os.close(fd)
-    cmd = [cc, *CFLAGS, "-o", tmp,
+    cmd = [cc, *cflags, "-o", tmp,
            *[str(p) for p in c_files], "-lm"]
     try:
         proc = subprocess.run(cmd, capture_output=True, text=True,
@@ -145,7 +187,6 @@ def build_library(sources: list[Path] | None = None,
             return None
         os.replace(tmp, out)  # atomic: concurrent builders never collide
         tmp = None
-        last_error = None
         return out
     except (OSError, subprocess.SubprocessError) as exc:
         last_error = f"native build failed: {exc}"

@@ -1,0 +1,18 @@
+/* Column gather (CSC sub-panel extraction) — native tier entry points.
+ *
+ * See gather_impl.inc for the algorithm; this translation unit only
+ * instantiates it for scipy's two index dtypes.
+ */
+#include "kernels.h"
+
+#define IDX int32_t
+#define FN(name) name##_i32
+#include "gather_impl.inc"
+#undef IDX
+#undef FN
+
+#define IDX int64_t
+#define FN(name) name##_i64
+#include "gather_impl.inc"
+#undef IDX
+#undef FN

@@ -1,0 +1,19 @@
+/* Dense cross-Gram of sparse panels (C = B1^T @ B2, CSC operands) —
+ * native tier entry points.
+ *
+ * See gram_impl.inc for the algorithm; this translation unit only
+ * instantiates it for scipy's two index dtypes.
+ */
+#include "kernels.h"
+
+#define IDX int32_t
+#define FN(name) name##_i32
+#include "gram_impl.inc"
+#undef IDX
+#undef FN
+
+#define IDX int64_t
+#define FN(name) name##_i64
+#include "gram_impl.inc"
+#undef IDX
+#undef FN

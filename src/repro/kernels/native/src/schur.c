@@ -1,0 +1,19 @@
+/* Fused Schur difference (D = A22 - C, CSR operands) — native tier
+ * entry points.
+ *
+ * See schur_impl.inc for the algorithm; this translation unit only
+ * instantiates it for scipy's two index dtypes.
+ */
+#include "kernels.h"
+
+#define IDX int32_t
+#define FN(name) name##_i32
+#include "schur_impl.inc"
+#undef IDX
+#undef FN
+
+#define IDX int64_t
+#define FN(name) name##_i64
+#include "schur_impl.inc"
+#undef IDX
+#undef FN

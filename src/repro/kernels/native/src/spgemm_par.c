@@ -1,0 +1,40 @@
+/* Row-parallel SpGEMM (C = A @ B, canonical CSR operands) — native
+ * tier entry points.
+ *
+ * See spgemm_par_impl.inc for the algorithm; this translation unit
+ * instantiates it for scipy's two index dtypes and exports the OpenMP
+ * capability probe.  The library is compiled with -fopenmp when the
+ * host toolchain supports it and silently without it otherwise (see
+ * kernels/native/build.py); in the latter case the kernels below run
+ * the identical per-row code serially, so results never depend on how
+ * the library was built.
+ */
+#include "kernels.h"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+/* 1 when this library was built with OpenMP support, else 0.  The
+ * Python wrapper uses this to fall back to the single-pass serial
+ * kernel when parallelism is requested but unavailable. */
+RK_EXPORT int64_t rk_openmp_enabled(void)
+{
+#ifdef _OPENMP
+    return 1;
+#else
+    return 0;
+#endif
+}
+
+#define IDX int32_t
+#define FN(name) name##_i32
+#include "spgemm_par_impl.inc"
+#undef IDX
+#undef FN
+
+#define IDX int64_t
+#define FN(name) name##_i64
+#include "spgemm_par_impl.inc"
+#undef IDX
+#undef FN

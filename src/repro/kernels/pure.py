@@ -12,16 +12,66 @@ import numpy as np
 from ..sparse import thresholding as _thresholding
 from ..sparse import window as _window
 from ..sparse.ops import csr_matmul_nosym
+from ..sparse.utils import drop_explicit_zeros
 
 
-def spgemm_csr(A, B, workspace=None):
+def spgemm_csr(A, B, workspace=None, threads: int = 1):
     """``A @ B`` on canonical CSR operands (scipy accumulation order).
 
-    ``workspace`` is accepted for signature parity with the native tier
-    and ignored: scipy's kernel owns its intermediates.
+    ``workspace`` and ``threads`` are accepted for signature parity with
+    the native tier and ignored: scipy's kernel owns its intermediates
+    and runs serially.
     """
-    del workspace
+    del workspace, threads
     return csr_matmul_nosym(A, B)
+
+
+def csr_to_csc(A):
+    """CSR -> canonical CSC (scipy's counting sort)."""
+    return A.tocsc()
+
+
+def csc_to_csr(A):
+    """CSC -> canonical CSR (scipy's counting sort)."""
+    return A.tocsr()
+
+
+def gather_columns(A, cols):
+    """``A[:, cols]`` of a canonical CSC matrix — the vectorized
+    position-gather route (``gather_positions`` + validation-free
+    assembly) the optimized solvers ran before this entry point
+    existed."""
+    from ..sparse.utils import raw_csc
+    cols = np.asarray(cols)
+    pos, counts = _window.gather_positions(A.indptr, cols.astype(np.int64))
+    idx_dtype = np.int32 if A.shape[0] < 2**31 else np.int64
+    indptr = np.zeros(cols.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return raw_csc(A.data[pos],
+                   A.indices[pos].astype(idx_dtype, copy=False),
+                   indptr.astype(idx_dtype),
+                   (A.shape[0], cols.size))
+
+
+def gram_csc(B1, B2, workspace=None):
+    """Dense ``B1.T @ B2`` of canonical float64 CSC panels (the PR-2
+    ``_cross_gram_kernel`` route)."""
+    del workspace
+    from ..linalg.cholqr import _cross_gram_kernel
+    return _cross_gram_kernel(B1, B2)
+
+
+def schur_update_csc(A22, F, A12, tol: float | None = None,
+                     workspace=None, threads: int = 1):
+    """The Schur-complement update ``(A22 - F @ A12).tocsc()`` with the
+    explicit-zero drop applied when ``tol`` is not ``None`` — exactly the
+    optimized-route composition the solvers ran before this entry point
+    existed."""
+    del workspace, threads
+    schur = (A22 - csr_matmul_nosym(F, A12)).tocsc()
+    if tol is not None:
+        drop_explicit_zeros(schur, tol=tol)
+    return schur
 
 
 def threshold_mask(A, mu: float):

@@ -1,7 +1,9 @@
 """Kernel tier registry and dispatch.
 
-Two tiers serve the sparse hot-path kernels (row-merge SpGEMM, fused ILUT
-thresholding, the Schur index-window scatter/gather, and the pivot argmin
+Two tiers serve the sparse hot-path kernels (row-merge SpGEMM — serial
+and OpenMP row-parallel — fused ILUT thresholding, the Schur index-window
+scatter/gather, CSR<->CSC conversion, the tournament column gather, the
+dense panel cross-Gram, the fused Schur difference, and the pivot argmin
 scan):
 
 - ``pure``   — the existing NumPy/SciPy routes; always available and the
@@ -29,6 +31,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 import warnings
 
 from .. import perf
@@ -45,8 +48,27 @@ TIER_REQUESTS = ("auto",) + TIERS
 #: sets it to force the compiled tier under the whole test suite).
 TIER_ENV = "REPRO_KERNEL_TIER"
 
+#: Rank-local thread count of the OpenMP parallel SpGEMM.  Parsed fresh
+#: per dispatched call (an env read — the SPMD procs backend pins it to 1
+#: in each rank process so P ranks never oversubscribe P cores).  The
+#: result is bitwise-independent of this value: every output row is
+#: computed by the identical per-row code at any thread count.
+THREADS_ENV = "REPRO_KERNEL_THREADS"
+
 _tl = threading.local()
 _warned_unavailable = False
+
+
+def kernel_threads() -> int:
+    """The rank-local SpGEMM thread count from ``$REPRO_KERNEL_THREADS``
+    (default and floor 1; non-numeric values read as 1)."""
+    raw = os.environ.get(THREADS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(int(raw), 1)
+    except ValueError:
+        return 1
 
 
 def _thread_state():
@@ -108,8 +130,15 @@ def resolve_tier(request: str | None = None) -> str:
 
 
 def record_tier(tier: str) -> str:
-    """Count one solve on ``tier`` in the perf counters; returns ``tier``."""
+    """Count one solve on ``tier`` in the perf counters; returns ``tier``.
+
+    Native solves also record the rank-local SpGEMM thread count as the
+    ``kernel_tier.threads`` gauge (last solve wins) — the provenance that
+    says what ``$REPRO_KERNEL_THREADS`` actually resolved to."""
     perf.incr(f"kernel_tier.{tier}")
+    if tier == "native" and perf.is_enabled():
+        perf.get_recorder().counters["kernel_tier.threads"] = \
+            float(kernel_threads())
     return tier
 
 
@@ -130,19 +159,31 @@ def _impl(tier: str | None):
 # dispatch surface (one function per registered kernel)
 # ---------------------------------------------------------------------------
 
+def _thread_workspace(workspace=None):
+    """The caller's workspace, or the thread-local shared one (created on
+    first use).  Thread-locality keeps concurrent solves — and the
+    per-rank calls of the threads SPMD backend — from sharing scratch."""
+    if workspace is not None:
+        return workspace
+    state = _thread_state()
+    ws = state.get("spgemm_ws")
+    if ws is None:
+        from ..sparse.spgemm import SpGEMMWorkspace
+        ws = state["spgemm_ws"] = SpGEMMWorkspace()
+    return ws
+
+
 def spgemm_csr(A, B, *, tier: str | None = None, workspace=None):
     """``A @ B`` on canonical CSR operands — scipy accumulation order,
-    bitwise-identical across tiers.  ``workspace`` (a
-    :class:`repro.sparse.spgemm.SpGEMMWorkspace`) lets the native tier
+    bitwise-identical across tiers (and across
+    ``$REPRO_KERNEL_THREADS`` values on the native tier).  ``workspace``
+    (a :class:`repro.sparse.spgemm.SpGEMMWorkspace`) lets the native tier
     reuse its accumulator and output buffers across calls; when omitted a
     thread-local workspace is used."""
     mod, t = _impl(tier)
-    if t == "native" and workspace is None:
-        state = _thread_state()
-        workspace = state.get("spgemm_ws")
-        if workspace is None:
-            from ..sparse.spgemm import SpGEMMWorkspace
-            workspace = state["spgemm_ws"] = SpGEMMWorkspace()
+    if t == "native":
+        return mod.spgemm_csr(A, B, workspace=_thread_workspace(workspace),
+                              threads=kernel_threads())
     return mod.spgemm_csr(A, B, workspace=workspace)
 
 
@@ -180,3 +221,73 @@ def pivot_argmin_consume(key, sentinel: int, *,
     """First-minimum argmin over an int64 key; winner slot <- sentinel."""
     mod, _ = _impl(tier)
     return mod.pivot_argmin_consume(key, sentinel)
+
+
+def _timed_convert(fn, A):
+    """Run one conversion, feeding the ``kernel_tier.convert_*`` counter
+    pair when perf recording is on (the timing ``perf_counter`` calls are
+    only paid while enabled, like every other instrumented site)."""
+    if not perf.is_enabled():
+        return fn(A)
+    t0 = time.perf_counter()
+    out = fn(A)
+    rec = perf.get_recorder()
+    rec.incr("kernel_tier.convert_calls")
+    rec.incr("kernel_tier.convert_seconds", time.perf_counter() - t0)
+    return out
+
+
+def csr_to_csc(A, *, tier: str | None = None):
+    """CSR -> canonical CSC; scipy ``tocsc()`` contract on both tiers
+    (same counting sort, same entry order, same index dtypes)."""
+    mod, _ = _impl(tier)
+    return _timed_convert(mod.csr_to_csc, A)
+
+
+def csc_to_csr(A, *, tier: str | None = None):
+    """CSC -> canonical CSR; scipy ``tocsr()`` contract on both tiers."""
+    mod, _ = _impl(tier)
+    return _timed_convert(mod.csc_to_csr, A)
+
+
+def gather_columns(A, cols, *, tier: str | None = None):
+    """Column gather ``A[:, cols]`` of a canonical CSC matrix (the
+    tournament candidate exchange) — identical entries in identical
+    stored order across tiers."""
+    mod, _ = _impl(tier)
+    return mod.gather_columns(A, cols)
+
+
+def gram_csc(B1, B2, *, tier: str | None = None, workspace=None):
+    """Dense ``B1.T @ B2`` of canonical float64 CSC panels — the panel
+    (cross-)Gram of the tournament QR selection, bitwise-identical
+    across tiers."""
+    mod, t = _impl(tier)
+    if t == "native":
+        return mod.gram_csc(B1, B2, workspace=_thread_workspace(workspace))
+    return mod.gram_csc(B1, B2)
+
+
+def schur_update_csc(A22, F, A12, *, tol: float | None = None,
+                     tier: str | None = None, workspace=None):
+    """The Schur-complement update ``(A22 - F @ A12).tocsc()`` with the
+    explicit-zero drop (``drop_explicit_zeros(..., tol)``) applied when
+    ``tol`` is not ``None`` — one dispatch for the multiply, subtract,
+    convert and drop chain so the native tier can fuse it (SpGEMM into
+    workspace, one-pass difference, one counting sort) instead of
+    materializing three scipy intermediates."""
+    mod, t = _impl(tier)
+    if t == "native":
+        ws = _thread_workspace(workspace)
+        C = mod.spgemm_csr(F, A12, workspace=ws, threads=kernel_threads())
+        S = mod.schur_diff_csc(A22, C, 0.0 if tol is None else tol,
+                               workspace=ws)
+        if S is not None:
+            return S
+        # inputs outside the fused kernel's contract: finish on scipy
+        from ..sparse.utils import drop_explicit_zeros
+        S = (A22 - C).tocsc()
+        if tol is not None:
+            drop_explicit_zeros(S, tol=tol)
+        return S
+    return mod.schur_update_csc(A22, F, A12, tol=tol)

@@ -68,13 +68,19 @@ def _gram_sparse_fast(B: sp.csc_matrix) -> np.ndarray | None:
     return _cross_gram_kernel(B, B)
 
 
-def _gram(B) -> np.ndarray:
-    """Dense ``B^T B`` for sparse or dense ``B`` (result is tiny: c x c)."""
+def _gram(B, *, tier: str | None = None) -> np.ndarray:
+    """Dense ``B^T B`` for sparse or dense ``B`` (result is tiny: c x c).
+
+    Sparse float64 CSC operands dispatch through the kernel tier registry
+    (:func:`repro.kernels.gram_csc`) — native C kernel when ``tier``
+    resolves to it, the ``csr_matmat`` route otherwise, bitwise-identical
+    either way."""
     with perf.timer("gram"):
         if sp.issparse(B):
             if _spt is not None and isinstance(B, sp.csc_matrix) \
                     and B.dtype == np.float64:
-                G = _gram_sparse_fast(B)
+                from .. import kernels
+                G = kernels.gram_csc(B, B, tier=tier)
             else:
                 G = (B.T @ B).toarray()
         else:
@@ -86,7 +92,7 @@ def _gram(B) -> np.ndarray:
     return G
 
 
-def cross_gram(B1, B2) -> np.ndarray:
+def cross_gram(B1, B2, *, tier: str | None = None) -> np.ndarray:
     """Dense cross Gram block ``B1^T B2`` (``c1 x c2``), sparse operands.
 
     Each entry accumulates ``sum_k B1[k, i] * B2[k, j]`` over ascending
@@ -101,7 +107,8 @@ def cross_gram(B1, B2) -> np.ndarray:
         if _spt is not None and isinstance(B1, sp.csc_matrix) \
                 and isinstance(B2, sp.csc_matrix) \
                 and B1.dtype == np.float64 and B2.dtype == np.float64:
-            C = _cross_gram_kernel(B1, B2)
+            from .. import kernels
+            C = kernels.gram_csc(B1, B2, tier=tier)
         else:
             C = np.asarray((B1.T @ B2).toarray(), dtype=np.float64)
         perf.add_flops("gram", 2.0 * min(B1.nnz * c2, B2.nnz * c1))
@@ -109,7 +116,8 @@ def cross_gram(B1, B2) -> np.ndarray:
 
 
 def gram_r_factor(B, *, jitter: float = 0.0,
-                  gram: np.ndarray | None = None) -> tuple[np.ndarray, bool]:
+                  gram: np.ndarray | None = None,
+                  tier: str | None = None) -> tuple[np.ndarray, bool]:
     """Upper-triangular ``R`` with ``R^T R = B^T B`` via the Gram matrix.
 
     Returns ``(R, clean)`` where ``clean`` is False when a rank-deficiency
@@ -118,7 +126,7 @@ def gram_r_factor(B, *, jitter: float = 0.0,
     positives so downstream triangular solves remain finite.  A precomputed
     ``gram`` matrix (``B^T B``) skips the Gram product entirely.
     """
-    G = _gram(B) if gram is None else gram
+    G = _gram(B, tier=tier) if gram is None else gram
     c = G.shape[0]
     if c == 0:
         return np.zeros((0, 0)), True
@@ -144,14 +152,15 @@ def gram_r_factor(B, *, jitter: float = 0.0,
     return Rf, False
 
 
-def cholqr(B) -> tuple[np.ndarray, np.ndarray, bool]:
+def cholqr(B, *, tier: str | None = None
+           ) -> tuple[np.ndarray, np.ndarray, bool]:
     """Single-pass CholeskyQR: ``B = Q R`` with dense ``Q``.
 
     Returns ``(Q, R, clean)``; ``Q`` is dense ``(m, c)``.  Orthogonality of
     ``Q`` degrades like ``cond(B)^2 * eps`` — use :func:`cholqr2` when the
     basis itself is consumed downstream.
     """
-    R, clean = gram_r_factor(B)
+    R, clean = gram_r_factor(B, tier=tier)
     Bd = B.toarray() if sp.issparse(B) else np.asarray(B, dtype=np.float64)
     if R.shape[0] == 0:
         return np.zeros((Bd.shape[0], 0)), R, clean
@@ -159,7 +168,8 @@ def cholqr(B) -> tuple[np.ndarray, np.ndarray, bool]:
     return Q, R, clean
 
 
-def cholqr2(B, *, recovery_log=None) -> tuple[np.ndarray, np.ndarray, bool]:
+def cholqr2(B, *, recovery_log=None, tier: str | None = None
+            ) -> tuple[np.ndarray, np.ndarray, bool]:
     """CholeskyQR2: two CholeskyQR passes, giving ``Q`` orthonormal to
     machine precision for moderately conditioned ``B``.
 
@@ -170,10 +180,10 @@ def cholqr2(B, *, recovery_log=None) -> tuple[np.ndarray, np.ndarray, bool]:
     ``record(action, **kw)`` method) is given, every fallback is appended
     to it as a structured ``"cholqr_dense_fallback"`` event.
     """
-    Q1, R1, clean1 = cholqr(B)
+    Q1, R1, clean1 = cholqr(B, tier=tier)
     if not clean1:
         return _dense_fallback(B, recovery_log, "first pass")
-    Q2, R2, clean2 = cholqr(Q1)
+    Q2, R2, clean2 = cholqr(Q1, tier=tier)
     if not clean2:
         return _dense_fallback(B, recovery_log, "second pass")
     return Q2, R2 @ R1, True

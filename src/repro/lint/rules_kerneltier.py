@@ -16,6 +16,16 @@ Flagged in every module outside ``repro/kernels/`` itself:
 - ``from repro.kernels import native`` (and the relative spellings,
   ``from ..kernels import native`` / ``from ..kernels.native import ...``).
 
+Additionally, inside ``repro/core/`` the rule flags direct format
+conversions — ``.tocsc()`` / ``.tocsr()`` method calls.  The solver hot
+paths must route conversions through ``ensure_csc`` / ``ensure_csr`` (or
+``repro.kernels.csr_to_csc`` / ``csc_to_csr``) so the native conversion
+kernel and the ``kernel_tier.convert_*`` perf counters see them; a bare
+``.tocsc()`` silently pays the scipy conversion tax the native tier was
+built to remove.  Audited sites where plain scipy is intentional (the
+reference oracle route, dtype-preserving engines) carry
+``# repro: noqa[SPMD004]``.
+
 Tests are exempt by construction (the lint pass runs over ``src``), and
 the registry package itself may import its own tiers freely.
 """
@@ -33,16 +43,30 @@ from .framework import LintRule, register
 #: native tier directly.
 REGISTRY_PARTS = ("repro", "kernels")
 
+#: Directory whose modules form the solver hot paths: direct format
+#: conversions there bypass the conversion kernel and its perf counters.
+CORE_PARTS = ("repro", "core")
+
 _MESSAGE = ("direct import of repro.kernels.native bypasses the tier "
             "registry (no pure fallback, no thread-local scratch); "
             "dispatch through repro.kernels instead")
 
+_CONVERT_MESSAGE = ("direct .{attr}() in repro/core/ bypasses the kernel-"
+                    "tier conversion (and its convert_* perf counters); "
+                    "use ensure_{fmt} / repro.kernels instead, or mark an "
+                    "audited scipy-on-purpose site with "
+                    "# repro: noqa[SPMD004]")
+
+
+def _under(path: str, anchor: tuple[str, ...]) -> bool:
+    parts = PurePath(path).parts
+    n = len(anchor)
+    return any(parts[i:i + n] == anchor
+               for i in range(len(parts) - n + 1))
+
 
 def in_registry(path: str) -> bool:
-    parts = PurePath(path).parts
-    n = len(REGISTRY_PARTS)
-    return any(parts[i:i + n] == REGISTRY_PARTS
-               for i in range(len(parts) - n + 1))
+    return _under(path, REGISTRY_PARTS)
 
 
 def _norm(module: str | None) -> tuple[str, ...]:
@@ -81,3 +105,11 @@ class KernelTierRule(LintRule):
                         alias.name == "native" for alias in node.names):
                     yield self.finding(node, _MESSAGE, path=path,
                                        symbol=".".join(mod) + ".native")
+            elif isinstance(node, ast.Call) and _under(path, CORE_PARTS) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in ("tocsc", "tocsr"):
+                fmt = "csc" if node.func.attr == "tocsc" else "csr"
+                yield self.finding(
+                    node, _CONVERT_MESSAGE.format(attr=node.func.attr,
+                                                  fmt=fmt),
+                    path=path, symbol=node.func.attr)

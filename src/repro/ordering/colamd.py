@@ -27,6 +27,12 @@ from ..sparse.utils import ensure_csc
 #: (O(n) per pivot but one C pass); beyond it the heap's O(log n) wins
 _SCAN_CUTOFF = 32768
 
+#: largest variable x element incidence table (in cells == bytes) kept as a
+#: dense boolean matrix; beyond it the per-variable adjacency falls back to
+#: append-only lists with lazy deletion.  Both representations feed the
+#: degree updates the same integers and emit the identical permutation.
+_ADJ_DENSE_CELLS = 2**25
+
 
 def colamd(A: sp.spmatrix, *, dense_row_frac: float = 0.5,
            kernel_tier: str | None = None) -> np.ndarray:
@@ -65,16 +71,40 @@ def colamd(A: sp.spmatrix, *, dense_row_frac: float = 0.5,
     # from shared rows), and the elimination process never creates them:
     # eliminating v only creates a new element.
     dense_cut = max(16, int(dense_row_frac * n))
-    element_vars: dict[int, np.ndarray] = {}
-    var_elems: list[list[int]] = [[] for _ in range(n)]
     indptr, indices = R.indptr, R.indices
-    for i in range(m):
-        cols = indices[indptr[i]:indptr[i + 1]]
-        if 0 < len(cols) <= dense_cut:
-            element_vars[i] = cols.astype(np.int64)  # sorted (CSR canonical)
-            for c in cols.tolist():
-                var_elems[c].append(i)
+    row_len = np.diff(indptr)
+    keep = (row_len > 0) & (row_len <= dense_cut)
+    rows_kept = np.flatnonzero(keep)
+    element_vars: dict[int, np.ndarray] = {
+        int(i): indices[indptr[i]:indptr[i + 1]].astype(np.int64)
+        for i in rows_kept.tolist()}  # members sorted (CSR canonical)
     next_element = m
+
+    # Variable -> live-element adjacency.  Every pivot consumes its row
+    # exactly once, so the structure only has to support "add element e
+    # covering these variables" and "collect the live elements of v".  For
+    # the sizes this library targets a dense boolean incidence table makes
+    # both one vectorized numpy pass (element ids are bounded by
+    # m initial rows + at most one created element per pivot); very large
+    # problems fall back to append-only lists with lazy deletion against
+    # ``elem_size``.  Same element sets either way, so the degree updates
+    # below see identical integers and the permutation is unchanged.
+    nel_cap = m + n
+    use_dense_adj = n * nel_cap <= _ADJ_DENSE_CELLS
+    var_elems: list[list[int]] = []
+    if use_dense_adj:
+        adj = np.zeros((n, nel_cap), dtype=bool)
+        live = np.zeros(nel_cap, dtype=bool)
+        entry_row = np.repeat(np.arange(m, dtype=np.int64), row_len)
+        emask = keep[entry_row]
+        adj[indices[emask], entry_row[emask]] = True
+        live[rows_kept] = True
+    else:
+        adj = live = None  # type: ignore[assignment]
+        var_elems = [[] for _ in range(n)]
+        for e, vs in element_vars.items():
+            for c in vs.tolist():
+                var_elems[c].append(e)
 
     # --- approximate degree ------------------------------------------------
     # AMD-style upper bound: sum of external element sizes,
@@ -92,9 +122,7 @@ def colamd(A: sp.spmatrix, *, dense_row_frac: float = 0.5,
     # identical sequence of (degree, variable) entries and emits an
     # identical permutation.
     elem_size: dict[int, int] = {e: len(vs) for e, vs in element_vars.items()}
-    # ``var_elems`` is append-only with lazy deletion (dead element ids are
-    # filtered against ``elem_size`` at the single point the list is
-    # consumed).  The per-batch degree updates are vectorized: every member
+    # The per-batch degree updates are vectorized: every member
     # occurrence of a dying element contributes ``-size_e`` to its
     # variable's ``sum_sizes`` and ``-1`` to its live adjacency count, both
     # accumulated with one ``bincount`` pass, then the merged element's
@@ -102,7 +130,6 @@ def colamd(A: sp.spmatrix, *, dense_row_frac: float = 0.5,
     # ones the scalar loop would produce, and the heap receives the same
     # multiset of (degree, variable) entries, so the emitted permutation is
     # identical.
-    var_elems_l: list[list[int]] = var_elems
     nelems = np.zeros(n, dtype=np.int64)
     sum_sizes = np.zeros(n, dtype=np.int64)
     for e, vs in element_vars.items():
@@ -146,9 +173,15 @@ def colamd(A: sp.spmatrix, *, dense_row_frac: float = 0.5,
         eliminated[v] = True
         perm.append(v)
 
-        # live elements adjacent to v (lazy filter of the append-only list)
-        dead = [e for e in var_elems_l[v] if e in elem_size]
-        var_elems_l[v] = []
+        # live elements adjacent to v
+        if use_dense_adj:
+            cand = np.flatnonzero(adj[v])
+            dead = cand[live[cand]].tolist()
+            live[dead] = False
+        else:
+            # lazy filter of the append-only list
+            dead = [e for e in var_elems[v] if e in elem_size]
+            var_elems[v] = []
         if not dead:
             continue
         # merge all elements adjacent to v into one new element (absorption)
@@ -188,6 +221,12 @@ def colamd(A: sp.spmatrix, *, dense_row_frac: float = 0.5,
         next_element += 1
         element_vars[e_new] = new_vars
         elem_size[e_new] = size_new
+        if use_dense_adj:
+            adj[new_vars, e_new] = True
+            live[e_new] = True
+        else:
+            for u in new_vars.tolist():
+                var_elems[u].append(e_new)
         if use_scan:
             degree[new_vars] = nd
             key[new_vars] = nd * stride + new_vars
@@ -197,6 +236,4 @@ def colamd(A: sp.spmatrix, *, dense_row_frac: float = 0.5,
             for du, u in zip(nd[changed].tolist(),
                              new_vars[changed].tolist()):
                 heappush(heap, (du, u))
-        for u in new_vars.tolist():
-            var_elems_l[u].append(e_new)
     return np.array(perm, dtype=np.intp)

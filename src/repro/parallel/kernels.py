@@ -116,7 +116,8 @@ def par_qt_a(comm: SimComm, Q_local: np.ndarray, A_local: sp.csr_matrix
 
 def par_tournament_columns(comm: SimComm, local_block: sp.csc_matrix,
                            local_ids: np.ndarray, k: int,
-                           *, method: str = "gram"
+                           *, method: str = "gram",
+                           tier: str | None = None
                            ) -> tuple[np.ndarray, np.ndarray]:
     """QR_TP over a block-cyclic column distribution (Section V).
 
@@ -137,7 +138,7 @@ def par_tournament_columns(comm: SimComm, local_block: sp.csc_matrix,
         cand_cols = sp.csc_matrix((local_block.shape[0], 0))
     else:
         with perf.timer("col_qr_tp"):
-            res = qr_tp(local_block, min(k, nloc), method=method)
+            res = qr_tp(local_block, min(k, nloc), method=method, tier=tier)
         comm.charge_flops(res.stats.total_flops)
         perf.add_flops("col_qr_tp", res.stats.total_flops)
         cand_ids = np.asarray(local_ids, dtype=np.intp)[res.winners]
@@ -172,7 +173,7 @@ def par_tournament_columns(comm: SimComm, local_block: sp.csc_matrix,
                         with perf.timer("col_qr_tp"):
                             sel = select_columns(merged,
                                                  min(k, merged.shape[1]),
-                                                 method=method)
+                                                 method=method, tier=tier)
                         comm.charge_flops(sel.flops)
                         perf.add_flops("col_qr_tp", sel.flops)
                         cand_ids = ids[sel.winners]

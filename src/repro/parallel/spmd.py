@@ -221,7 +221,8 @@ def spmd_lu_crtp(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
         k_i = min(k, len(active_rows), total_cols, max_rank - K)
         if k_i <= 0:
             break
-        winner_ids, _ = par_tournament_columns(comm, local, local_ids, k_i)
+        winner_ids, _ = par_tournament_columns(comm, local, local_ids, k_i,
+                                               tier=tier)
 
         # ship winning columns to rank 0 for the sparse QR
         mine = np.isin(local_ids, winner_ids)
@@ -233,7 +234,7 @@ def spmd_lu_crtp(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
             order = np.argsort(_rank_in(ids, winner_ids))
             sel = cols[:, order]
             from ..linalg.cholqr import cholqr2
-            Qk, _, _ = cholqr2(sel)
+            Qk, _, _ = cholqr2(sel, tier=tier)
             comm.kernel("sparse_qr")
             comm.charge_flops(4.0 * sel.nnz * k_i + 8.0 * k_i ** 3)
         else:
@@ -291,10 +292,12 @@ def spmd_lu_crtp(comm: SimComm, A, *, k: int = 16, tol: float = 1e-2,
         keep = ~np.isin(local_ids, winner_ids)
         rest = local[:, np.flatnonzero(keep)]
         A12_loc = rest[:k_i].tocsr()
-        A22_loc = rest[k_i:].tocsc()
-        S_loc = (A22_loc
-                 - kernels.spgemm_csr(F, A12_loc, tier=tier)).tocsc()
-        S_loc.eliminate_zeros()
+        A22_loc = rest[k_i:].tocsr()
+        # tol=0.0 is exactly the old ``.tocsc()`` + ``eliminate_zeros()``
+        # composition (drop_explicit_zeros with tol=0 only prunes stored
+        # zeros); the native tier fuses the whole chain
+        S_loc = kernels.schur_update_csc(A22_loc, F, A12_loc,
+                                         tol=0.0, tier=tier)
         comm.charge_flops(2.0 * F.nnz * max(A12_loc.nnz, 1) / max(k_i, 1))
         if threshold > 0 and S_loc.nnz:
             S_loc = kernels.apply_threshold_mask(

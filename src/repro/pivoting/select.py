@@ -80,7 +80,8 @@ def selection_flops(nnz: int, c: int, *, method: str = "gram") -> float:
 
 def select_columns(B, k: int, *, method: str = "gram", strong: bool = False,
                    f: float = 2.0, gram: np.ndarray | None = None,
-                   keep_gram: bool = False) -> SelectionResult:
+                   keep_gram: bool = False,
+                   tier: str | None = None) -> SelectionResult:
     """Select the ``k`` most linearly independent columns of ``B``.
 
     Parameters
@@ -100,6 +101,8 @@ def select_columns(B, k: int, *, method: str = "gram", strong: bool = False,
     keep_gram:
         Return the Gram matrix on the result (``gram`` attribute) so the
         caller can slice the winners' sub-Gram for the next round.
+    tier:
+        Kernel tier request for the Gram product (``repro.kernels``).
     """
     m, c = B.shape
     if c == 0:
@@ -115,8 +118,8 @@ def select_columns(B, k: int, *, method: str = "gram", strong: bool = False,
     G = None
     if not use_dense:
         if gram is None and keep_gram:
-            gram = _gram(B)
-        R, clean = gram_r_factor(B, gram=gram)
+            gram = _gram(B, tier=tier)
+        R, clean = gram_r_factor(B, gram=gram, tier=tier)
         G = gram
         if clean:
             small, flops = R, selection_flops(nnz_of(B), c, method="gram")

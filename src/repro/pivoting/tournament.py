@@ -96,7 +96,8 @@ def _leaf_blocks(n: int, leaf_cols: int) -> list[np.ndarray]:
 
 def _match(A, cand: np.ndarray, k: int, stage: str, stats: TournamentStats,
            *, method: str, strong: bool, block=None,
-           gram: np.ndarray | None = None, keep_gram: bool = False):
+           gram: np.ndarray | None = None, keep_gram: bool = False,
+           tier: str | None = None):
     """Run one match among candidate columns ``cand`` of ``A``.
 
     Returns ``(winning global indices, |diag(R)|, winner sub-Gram)``; the
@@ -105,10 +106,10 @@ def _match(A, cand: np.ndarray, k: int, stage: str, stats: TournamentStats,
     it can build them cheaper than from scratch.
     """
     if block is None:
-        block = extract_columns(A, cand) if sp.issparse(A) \
+        block = extract_columns(A, cand, tier=tier) if sp.issparse(A) \
             else np.asarray(A)[:, cand]
     sel = select_columns(block, k, method=method, strong=strong,
-                         gram=gram, keep_gram=keep_gram)
+                         gram=gram, keep_gram=keep_gram, tier=tier)
     block_nnz = nnz_of(block)
     stats.record(MatchRecord(stage=stage, candidates=len(cand), nnz=block_nnz,
                              flops=sel.flops,
@@ -134,7 +135,8 @@ def _hstack_csc(B1: sp.csc_matrix, B2: sp.csc_matrix) -> sp.csc_matrix:
         indptr, (B1.shape[0], B1.shape[1] + B2.shape[1]))
 
 
-def _paired_match(A, w1, G1, w2, G2, k, stage, stats, *, method, strong):
+def _paired_match(A, w1, G1, w2, G2, k, stage, stats, *, method, strong,
+                  tier=None):
     """Non-leaf match between two winner sets, reusing the children's
     sub-Gram blocks.
 
@@ -147,17 +149,20 @@ def _paired_match(A, w1, G1, w2, G2, k, stage, stats, *, method, strong):
     cand = np.concatenate([w1, w2])
     if G1 is None or G2 is None or not sp.issparse(A):
         return _match(A, cand, k, stage, stats, method=method, strong=strong,
-                      keep_gram=sp.issparse(A) and method == "gram")
-    B1 = extract_columns(A, w1)
-    B2 = extract_columns(A, w2)
-    C = cross_gram(B1, B2)
+                      keep_gram=sp.issparse(A) and method == "gram",
+                      tier=tier)
+    B1 = extract_columns(A, w1, tier=tier)
+    B2 = extract_columns(A, w2, tier=tier)
+    C = cross_gram(B1, B2, tier=tier)
     G = np.block([[G1, C], [C.T, G2]])
     return _match(A, cand, k, stage, stats, method=method, strong=strong,
-                  block=_hstack_csc(B1, B2), gram=G, keep_gram=True)
+                  block=_hstack_csc(B1, B2), gram=G, keep_gram=True,
+                  tier=tier)
 
 
 def qr_tp(A, k: int, *, tree: str = "binary", leaf_cols: int | None = None,
-          method: str = "gram", strong: bool = False) -> TournamentResult:
+          method: str = "gram", strong: bool = False,
+          tier: str | None = None) -> TournamentResult:
     """Tournament pivoting over the columns of ``A``.
 
     Parameters
@@ -175,6 +180,9 @@ def qr_tp(A, k: int, *, tree: str = "binary", leaf_cols: int | None = None,
         2k columns").
     method, strong:
         Passed through to :func:`repro.pivoting.select.select_columns`.
+    tier:
+        Kernel tier request threaded into every Gram product (matches and
+        cross terms); resolved once per solve by the callers.
     """
     m, n = A.shape
     if k <= 0:
@@ -194,7 +202,8 @@ def qr_tp(A, k: int, *, tree: str = "binary", leaf_cols: int | None = None,
     for leaf in leaves:
         win, r_diag, Gw = _match(A, leaf, k, "leaf", stats,
                                  method=method, strong=strong,
-                                 keep_gram=reuse and len(leaves) > 1)
+                                 keep_gram=reuse and len(leaves) > 1,
+                                 tier=tier)
         contenders.append((win, Gw))
         if len(leaves) == 1:
             break  # single leaf: the leaf match IS the final match
@@ -204,7 +213,7 @@ def qr_tp(A, k: int, *, tree: str = "binary", leaf_cols: int | None = None,
         for t, (nxt, G_nxt) in enumerate(contenders[1:], start=1):
             acc, r_diag, G_acc = _paired_match(
                 A, acc, G_acc, nxt, G_nxt, k, f"round{t}", stats,
-                method=method, strong=strong)
+                method=method, strong=strong, tier=tier)
         winners = acc
     else:
         level = contenders
@@ -217,7 +226,7 @@ def qr_tp(A, k: int, *, tree: str = "binary", leaf_cols: int | None = None,
                     w2, G2 = level[i + 1]
                     win, r_diag, Gw = _paired_match(
                         A, w1, G1, w2, G2, k, f"round{t}", stats,
-                        method=method, strong=strong)
+                        method=method, strong=strong, tier=tier)
                     nxt_level.append((win, Gw))
                 else:
                     nxt_level.append(level[i])  # bye
@@ -238,7 +247,8 @@ def _winners_first(winners: np.ndarray, n: int) -> np.ndarray:
 
 
 def qr_tp_rows(Q: np.ndarray, k: int, *, tree: str = "binary",
-               leaf_rows: int | None = None) -> TournamentResult:
+               leaf_rows: int | None = None,
+               tier: str | None = None) -> TournamentResult:
     """Row tournament: select the ``k`` most linearly independent *rows* of
     a dense tall block ``Q`` (Algorithm 2 line 7 runs QR_TP on ``Q_k^T``).
 
@@ -249,5 +259,6 @@ def qr_tp_rows(Q: np.ndarray, k: int, *, tree: str = "binary",
     Q = np.asarray(Q, dtype=np.float64)
     m, kc = Q.shape
     leaf_rows = leaf_rows or max(2 * k, 1)
-    res = qr_tp(Q.T, k, tree=tree, leaf_cols=leaf_rows, method="dense")
+    res = qr_tp(Q.T, k, tree=tree, leaf_cols=leaf_rows, method="dense",
+                tier=tier)
     return res

@@ -66,6 +66,15 @@ class SpGEMMWorkspace:
         self._mm_mark: np.ndarray | None = None
         self._mm_sums: np.ndarray | None = None
         self._mm_touched: np.ndarray | None = None
+        # per-row scratch of the parallel SpGEMM (see row_scratch)
+        self._row_n = 0
+        self._row_scratch: np.ndarray | None = None
+        # counting-sort transpose buffers of the gram kernel (gram_buffers)
+        self._gr_m = 0
+        self._gr_ptr: np.ndarray | None = None
+        self._gr_nnz = 0
+        self._gr_ind: np.ndarray | None = None
+        self._gr_val: np.ndarray | None = None
         if capacity > 0:
             self.reserve(capacity, np.dtype(np.float64))
 
@@ -100,26 +109,54 @@ class SpGEMMWorkspace:
         b0, b1, b2, b3 = (buf[:total] for buf in self._i64)
         return b0, b1, b2, b3, self._val[0][:total], self._val[1][:total]
 
-    def matmat_buffers(self, n: int):
+    def matmat_buffers(self, n: int, threads: int = 1):
         """Accumulator buffers for the native-tier row-merge SpGEMM
         (:func:`repro.kernels.native.spgemm_csr`), grown geometrically and
         reused across calls.
 
-        Returns ``(mark, sums, touched)`` where ``mark`` (int64, ≥ n) is
-        all ``-1`` — the kernel restores it before returning, so the
-        invariant holds across calls without re-initialization;
+        Returns ``(mark, sums, touched)`` where ``mark`` (int64, ≥
+        ``threads * n`` — one ``n``-sized accumulator slice per OpenMP
+        thread) is all ``-1`` — the kernels restore every slice they dirty
+        before returning, so the invariant holds across calls (and across
+        serial/parallel alternation) without re-initialization;
         ``sums``/``touched`` are scratch with no entry invariant.  The
         *output* arrays are allocated fresh per call (the result outlives
         the workspace; a bound-sized ``np.empty`` is cheaper than copying
         out of a reused buffer).
         """
-        if self._mm_mark is None or self._mm_acc_n < n:
-            self._mm_acc_n = self._grow_cap(self._mm_acc_n, n)
+        need = n * max(threads, 1)
+        if self._mm_mark is None or self._mm_acc_n < need:
+            self._mm_acc_n = self._grow_cap(self._mm_acc_n, need)
             self._mm_mark = np.full(self._mm_acc_n, -1, dtype=np.int64)
             self._mm_sums = np.empty(self._mm_acc_n, dtype=np.float64)
             self._mm_touched = np.empty(self._mm_acc_n, dtype=np.int64)
             self.grown += 1
         return (self._mm_mark, self._mm_sums, self._mm_touched)
+
+    def row_scratch(self, m: int) -> np.ndarray:
+        """Per-output-row int64 scratch (≥ m slots, no entry invariant)
+        for the parallel SpGEMM's bound/nnz bookkeeping."""
+        if self._row_scratch is None or self._row_n < m:
+            self._row_n = self._grow_cap(self._row_n, m)
+            self._row_scratch = np.empty(self._row_n, dtype=np.int64)
+            self.grown += 1
+        return self._row_scratch
+
+    def gram_buffers(self, m: int, nnz: int):
+        """Counting-sort transpose buffers of the native gram kernel
+        (:func:`repro.kernels.native.gram_csc`): ``(tp, tj, tx)`` with
+        ``tp`` int64 ≥ m and ``tj``/``tx`` int64/float64 ≥ nnz; scratch
+        with no entry invariant."""
+        if self._gr_ptr is None or self._gr_m < m:
+            self._gr_m = self._grow_cap(self._gr_m, m)
+            self._gr_ptr = np.empty(self._gr_m, dtype=np.int64)
+            self.grown += 1
+        if self._gr_ind is None or self._gr_nnz < nnz:
+            self._gr_nnz = self._grow_cap(self._gr_nnz, nnz)
+            self._gr_ind = np.empty(self._gr_nnz, dtype=np.int64)
+            self._gr_val = np.empty(self._gr_nnz, dtype=np.float64)
+            self.grown += 1
+        return (self._gr_ptr, self._gr_ind, self._gr_val)
 
 
 def _expand(A: sp.csc_matrix, B: sp.csc_matrix, workspace: SpGEMMWorkspace

@@ -18,6 +18,12 @@ def ensure_csc(A, *, dtype=np.float64) -> sp.csc_matrix:
         if (dtype is None or A.dtype == dtype) and A.has_sorted_indices:
             return A
         M = A
+    elif isinstance(A, sp.csr_matrix):
+        # the hot cross-format case: route through the kernel tier
+        # registry (native counting sort when available, scipy otherwise
+        # — bitwise-identical either way)
+        from .. import kernels
+        M = kernels.csr_to_csc(A)
     elif sp.issparse(A):
         M = A.tocsc()
     else:
@@ -42,6 +48,10 @@ def ensure_csr(A, *, dtype=np.float64) -> sp.csr_matrix:
         if (dtype is None or A.dtype == dtype) and A.has_sorted_indices:
             return A
         M = A
+    elif isinstance(A, sp.csc_matrix):
+        # kernel-tier conversion; see :func:`ensure_csc`
+        from .. import kernels
+        M = kernels.csc_to_csr(A)
     elif sp.issparse(A):
         M = A.tocsr()
     else:

@@ -391,6 +391,298 @@ def test_threadlocal_workspace_no_races():
     assert not failures
 
 
+# -- conversion kernels ------------------------------------------------------
+
+def _convert_cases():
+    rng = np.random.default_rng(7)
+    neg = sp.random(40, 60, density=0.15, random_state=rng, format="csr",
+                    data_rvs=rng.standard_normal)
+    neg.sum_duplicates()
+    neg.sort_indices()
+    neg.data[::3] = -0.0  # signed zeros must survive conversion bitwise
+    return [
+        sp.csr_matrix((10, 12)),                       # fully empty
+        sp.random(1, 200, density=0.3, random_state=rng,
+                  format="csr"),                       # single row
+        sp.random(64, 64, density=0.05, random_state=rng,
+                  format="csr"),                       # square
+        neg,                                           # +-0.0 data
+    ]
+
+
+@needs_native
+@pytest.mark.parametrize("case", range(4))
+def test_csr_csc_convert_parity(case):
+    A = _convert_cases()[case]
+    _assert_bitwise_csc(A.tocsc(), kernels.csr_to_csc(A, tier="native"))
+    Ac = A.tocsc()
+    _assert_bitwise_csr(Ac.tocsr(), kernels.csc_to_csr(Ac, tier="native"))
+
+
+@needs_native
+def test_convert_parity_int64_indices():
+    # scipy's matrix API downcasts the output index dtype to int32
+    # whenever shape and nnz fit, even for int64-indexed input; the
+    # native kernel must reproduce that
+    rng = np.random.default_rng(11)
+    A = sp.random(30, 50, density=0.2, random_state=rng, format="csr")
+    A.sort_indices()
+    A.indptr = A.indptr.astype(np.int64)
+    A.indices = A.indices.astype(np.int64)
+    got = kernels.csr_to_csc(A, tier="native")
+    ref = A.tocsc()
+    assert ref.indices.dtype == np.int32  # the downcast is real
+    _assert_bitwise_csc(ref, got)
+
+
+def _assert_bitwise_csc(C1, C2):
+    assert isinstance(C2, sp.csc_matrix)
+    assert C1.shape == C2.shape
+    assert C1.indptr.dtype == C2.indptr.dtype
+    assert C1.indices.dtype == C2.indices.dtype
+    assert np.array_equal(C1.indptr, C2.indptr)
+    assert np.array_equal(C1.indices, C2.indices)
+    assert np.array_equal(C1.data.view(np.uint64), C2.data.view(np.uint64))
+
+
+@needs_native
+def test_convert_perf_counters():
+    from repro import perf
+    A, _ = _pair(40, 30, seed=3)
+    perf.enable()
+    try:
+        kernels.csr_to_csc(A, tier="native")
+        counters = perf.get_recorder().counters
+        assert counters.get("kernel_tier.convert_calls", 0) >= 1
+        assert counters.get("kernel_tier.convert_seconds", 0) > 0
+        tiers.record_tier("native")
+        assert counters.get("kernel_tier.threads") == float(
+            kernels.kernel_threads())
+    finally:
+        perf.disable()
+
+
+def test_kernel_threads_env(monkeypatch):
+    monkeypatch.delenv(kernels.THREADS_ENV, raising=False)
+    assert kernels.kernel_threads() == 1
+    monkeypatch.setenv(kernels.THREADS_ENV, "4")
+    assert kernels.kernel_threads() == 4
+    monkeypatch.setenv(kernels.THREADS_ENV, "0")
+    assert kernels.kernel_threads() == 1  # floor
+    monkeypatch.setenv(kernels.THREADS_ENV, "lots")
+    assert kernels.kernel_threads() == 1  # non-numeric reads as 1
+
+
+# -- gram / fused Schur ------------------------------------------------------
+
+@needs_native
+@pytest.mark.parametrize("seed", range(3))
+def test_gram_parity(seed):
+    rng = np.random.default_rng(40 + seed)
+    B1 = sp.random(120, 9, density=0.2, random_state=rng,
+                   data_rvs=rng.standard_normal, format="csc")
+    B2 = sp.random(120, 7, density=0.25, random_state=rng,
+                   data_rvs=rng.standard_normal, format="csc")
+    B1.sort_indices()
+    B2.sort_indices()
+    ref = kernels.gram_csc(B1, B2, tier="pure")
+    got = kernels.gram_csc(B1, B2, tier="native")
+    assert np.array_equal(ref.view(np.uint64), got.view(np.uint64))
+    refs = kernels.gram_csc(B1, B1, tier="pure")
+    gots = kernels.gram_csc(B1, B1, tier="native")
+    assert np.array_equal(refs.view(np.uint64), gots.view(np.uint64))
+
+
+@needs_native
+def test_gram_symmetric_dense_panel_parity():
+    # self-Gram takes the upper-triangle + mirror fast path; a density-1
+    # panel additionally drives the contiguous full-workspace-row loop.
+    # Both must reproduce the pure route bit for bit, signed zeros and all.
+    rng = np.random.default_rng(44)
+    for density in (0.6, 1.0):
+        B = sp.random(90, 13, density=density, random_state=rng,
+                      data_rvs=rng.standard_normal, format="csc")
+        B.sort_indices()
+        if B.nnz > 3:
+            B.data[0] = 0.0
+            B.data[1] = -0.0
+        ref = kernels.gram_csc(B, B, tier="pure")
+        got = kernels.gram_csc(B, B, tier="native")
+        assert np.array_equal(ref.view(np.uint64), got.view(np.uint64))
+
+
+# -- column gather -----------------------------------------------------------
+
+@needs_native
+@pytest.mark.parametrize("seed", range(3))
+def test_gather_columns_parity(seed):
+    rng = np.random.default_rng(70 + seed)
+    A = sp.random(130, 40, density=0.15, random_state=rng,
+                  data_rvs=rng.standard_normal, format="csc")
+    A.sort_indices()
+    for cols in (rng.permutation(40)[:11],        # scattered
+                 np.array([5, 5, 0, 39]),          # duplicates
+                 np.arange(40)[::-1],              # reversed
+                 np.array([], dtype=np.intp)):     # empty
+        ref = kernels.gather_columns(A, cols, tier="pure")
+        got = kernels.gather_columns(A, cols, tier="native")
+        scipy_ref = A[:, np.asarray(cols, dtype=np.intp)]
+        assert got.shape == ref.shape == scipy_ref.shape
+        assert got.indices.dtype == ref.indices.dtype
+        assert got.indptr.dtype == ref.indptr.dtype
+        assert np.array_equal(got.indptr, ref.indptr)
+        assert np.array_equal(got.indices, ref.indices)
+        assert np.array_equal(got.data.view(np.uint64),
+                              ref.data.view(np.uint64))
+        assert np.array_equal(got.toarray(), scipy_ref.toarray())
+
+
+@needs_native
+def test_gather_columns_int64_indices_downcast():
+    # int64 input on a small matrix: both tiers emit the scipy dtype rule
+    # (int32 index arrays whenever the row count fits)
+    rng = np.random.default_rng(73)
+    A = sp.random(60, 20, density=0.3, random_state=rng,
+                  data_rvs=rng.standard_normal, format="csc")
+    A.sort_indices()
+    A.indices = A.indices.astype(np.int64)
+    A.indptr = A.indptr.astype(np.int64)
+    cols = rng.permutation(20)[:7]
+    ref = kernels.gather_columns(A, cols, tier="pure")
+    got = kernels.gather_columns(A, cols, tier="native")
+    assert ref.indices.dtype == got.indices.dtype == np.int32
+    assert np.array_equal(ref.indices, got.indices)
+    assert np.array_equal(ref.data, got.data)
+
+
+@needs_native
+def test_extract_columns_routes_through_tier():
+    # the non-contiguous path of extract_columns dispatches the registry;
+    # both tiers must agree with each other and with fancy indexing
+    from repro.sparse.ops import extract_columns
+    rng = np.random.default_rng(74)
+    A = sp.random(80, 30, density=0.2, random_state=rng,
+                  data_rvs=rng.standard_normal, format="csc")
+    A.sort_indices()
+    cols = np.array([20, 3, 17, 3, 29])
+    ref = extract_columns(A, cols, tier="pure")
+    got = extract_columns(A, cols, tier="native")
+    assert np.array_equal(ref.indptr, got.indptr)
+    assert np.array_equal(ref.indices, got.indices)
+    assert np.array_equal(ref.data.view(np.uint64),
+                          got.data.view(np.uint64))
+    assert np.array_equal(got.toarray(), A[:, cols].toarray())
+
+
+@needs_native
+@pytest.mark.parametrize("tol", [None, 0.0, 1e-2])
+def test_schur_update_parity(tol):
+    rng = np.random.default_rng(50)
+    m, n, r = 50, 45, 6
+    A22 = sp.random(m, n, density=0.12, random_state=rng,
+                    data_rvs=rng.standard_normal, format="csr")
+    F = sp.random(m, r, density=0.5, random_state=rng,
+                  data_rvs=rng.standard_normal, format="csr")
+    A12 = sp.random(r, n, density=0.5, random_state=rng,
+                    data_rvs=rng.standard_normal, format="csr")
+    for M in (A22, F, A12):
+        M.sort_indices()
+    ref = kernels.schur_update_csc(A22, F, A12, tol=tol, tier="pure")
+    got = kernels.schur_update_csc(A22, F, A12, tol=tol, tier="native")
+    _assert_bitwise_csc(ref, got)
+
+
+@needs_native
+def test_schur_update_exact_cancellation():
+    # plant entries of A22 equal to product entries so the difference
+    # cancels to exact zero — scipy's binop drops them, so must the kernel
+    rng = np.random.default_rng(51)
+    F, A12 = _pair(40, 12, seed=51, pow2=True)
+    from repro.sparse.ops import csr_matmul_nosym
+    C = csr_matmul_nosym(F, A12)
+    A22 = C.copy()
+    ref = kernels.schur_update_csc(A22, F, A12, tol=0.0, tier="pure")
+    got = kernels.schur_update_csc(A22, F, A12, tol=0.0, tier="native")
+    assert got.nnz == 0
+    _assert_bitwise_csc(ref, got)
+
+
+# -- OpenMP parallel SpGEMM --------------------------------------------------
+
+@needs_native
+@pytest.mark.parametrize("threads", ["1", "2", "8"])
+def test_spgemm_thread_count_independence(threads, monkeypatch):
+    monkeypatch.setenv(kernels.THREADS_ENV, threads)
+    A, B = _pair(90, 70, seed=60)
+    ref = sp.csr_matrix(pure.spgemm_csr(A, B))
+    got = sp.csr_matrix(kernels.spgemm_csr(A, B, tier="native"))
+    _assert_bitwise_csr(ref, got)
+
+
+@needs_native
+def test_parallel_spgemm_no_races(monkeypatch):
+    # 8 Python threads each running the OpenMP SpGEMM at 8 kernel threads
+    # through thread-local workspaces, mirroring the serial race test
+    monkeypatch.setenv(kernels.THREADS_ENV, "8")
+    cases = []
+    for seed in range(4):
+        A, B = _pair(50, 35, seed=70 + seed)
+        cases.append((A, B, sp.csr_matrix(pure.spgemm_csr(A, B))))
+    failures = []
+
+    def worker(idx):
+        A, B, ref = cases[idx % len(cases)]
+        for _ in range(25):
+            C = sp.csr_matrix(kernels.spgemm_csr(A, B, tier="native"))
+            if not (np.array_equal(C.indptr, ref.indptr)
+                    and np.array_equal(C.indices, ref.indices)
+                    and np.array_equal(C.data, ref.data)):
+                failures.append(idx)
+                return
+
+    workers = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+    assert not failures
+
+
+@needs_native
+def test_parallel_spgemm_restores_mark_invariant(monkeypatch):
+    monkeypatch.setenv(kernels.THREADS_ENV, "4")
+    A, B = _pair(60, 40, seed=15)
+    ws = SpGEMMWorkspace()
+    kernels.spgemm_csr(A, B, tier="native", workspace=ws)
+    assert (ws._mm_mark == -1).all()
+
+
+@needs_native
+def test_e2e_parity_across_thread_counts(monkeypatch):
+    A = _m2_analogue(150)
+    results = []
+    for threads in ("1", "2"):
+        monkeypatch.setenv(kernels.THREADS_ENV, threads)
+        results.append(LU_CRTP(k=8, tol=1e-6, max_rank=32,
+                               kernel_tier="native",
+                               raise_on_failure=False).solve(A))
+    _assert_same_lu(results[0], results[1])
+
+
+# -- factor-conversion caching (repro.core.apply) ----------------------------
+
+def test_apply_factor_conversion_cached():
+    from repro.core.apply import _factor_csc, pseudo_solve
+    A = _m2_analogue(80)
+    r = LU_CRTP(k=8, tol=1e-6, max_rank=24, raise_on_failure=False).solve(A)
+    L1 = _factor_csc(r, "L")
+    assert _factor_csc(r, "L") is L1  # second lookup hits the cache
+    b = np.ones(A.shape[0])
+    x1 = pseudo_solve(r, b)
+    x2 = pseudo_solve(r, b)  # cached factors: same object, same answer
+    assert np.array_equal(x1, x2)
+
+
 # -- end-to-end parity -------------------------------------------------------
 
 def _assert_same_lu(r1, r2):

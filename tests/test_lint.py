@@ -82,6 +82,21 @@ def test_kerneltier_registry_package_is_exempt():
     assert {f.line for f in outside} == {1}  # relative .native needs kernels
 
 
+def test_spmd004_flags_core_conversions():
+    src = ("def f(A):\n"
+           "    B = A.tocsc()\n"
+           "    C = A.tocsr()  # repro: noqa[SPMD004]\n"
+           "    return B, C\n")
+    core = lint_source(src, path="src/repro/core/apply.py",
+                       select=["SPMD004"])
+    assert {(f.line, f.symbol) for f in core} == {(2, "tocsc")}
+    assert "ensure_csc" in core[0].message
+    # conversions outside repro/core/ are not the rule's business
+    outside = lint_source(src, path="src/repro/sparse/utils.py",
+                          select=["SPMD004"])
+    assert outside == []
+
+
 def test_fixture_findings_carry_symbol_and_message():
     path = FIXTURES / "spmd001_collectives.py"
     findings = lint_paths([path], select=["SPMD001"])
