@@ -129,6 +129,28 @@ class MatrixFormatError(ReproError):
     """Malformed external matrix data (e.g. Matrix Market parsing failures)."""
 
 
+class KernelBuildError(ReproError):
+    """An *explicitly requested* native kernel build failed to compile.
+
+    Raised by :func:`repro.kernels.resolve_tier` when
+    ``kernel_tier='native'`` was requested explicitly, a C compiler was
+    found, and the compile still failed — silently falling back to
+    ``pure`` there would hide a real toolchain or source problem behind
+    a one-line warning.  ``auto`` requests and compiler-less hosts keep
+    the silent (warned) fallback, so solves on plain hosts never gain a
+    hard dependency on a C toolchain.
+
+    ``compiler`` is the executable that was invoked and ``stderr`` the
+    captured compiler diagnostics (also embedded in the message).
+    """
+
+    def __init__(self, message: str, *, compiler: str | None = None,
+                 stderr: str | None = None):
+        super().__init__(message)
+        self.compiler = compiler
+        self.stderr = stderr
+
+
 class UnknownSolverError(ReproError, ValueError):
     """A method name did not resolve through the :mod:`repro.api` registry."""
 

@@ -59,80 +59,122 @@ def _ptr(dtype):
     return np.ctypeslib.ndpointer(dtype=dtype, flags=("C_CONTIGUOUS",))
 
 
+#: Declarative ctypes contract for every exported symbol — the Python
+#: side of the ABI.  :func:`_bind` materializes it at load time, and the
+#: ``repro.lint`` KERN rules parse it *statically* (``ast`` — keep every
+#: value a literal) and cross-check it against the C prototypes in
+#: ``src/kernels.h``.
+#:
+#: Shape: ``name -> (restype, argtypes)``.  ``restype`` is a scalar
+#: token or ``None`` for ``void``.  Tokens: ``"i64"``/``"f64"`` scalars
+#: (``int64_t``/``double``); ``"i32*"``/``"i64*"``/``"f64*"``/``"u8*"``
+#: contiguous-ndarray pointers; ``"&f64"`` a ``ctypes.POINTER(c_double)``
+#: scalar out-param; ``"IDX*"`` the index dtype of the kernel's two
+#: instantiations (``name_i32``/``name_i64``).  Entries whose argtypes
+#: mention ``IDX`` bind both suffixed symbols; the rest bind ``name``
+#: as-is.
+_ABI: dict[str, tuple[str | None, tuple[str, ...]]] = {
+    "rk_openmp_enabled": ("i64", ()),
+    "rk_thresh_mask": ("i64", ("f64*", "i64", "f64", "u8*", "f64*", "&f64")),
+    "rk_pivot_argmin_consume": ("i64", ("i64*", "i64", "i64")),
+    "rk_spgemm": ("i64", ("i64", "i64",
+                          "IDX*", "IDX*", "f64*",
+                          "IDX*", "IDX*", "f64*",
+                          "IDX*", "IDX*", "f64*",
+                          "i64*", "f64*", "i64*")),
+    "rk_spgemm_par": ("i64", ("i64", "i64", "i64",
+                              "IDX*", "IDX*", "f64*",
+                              "IDX*", "IDX*", "f64*",
+                              "IDX*", "IDX*", "f64*",
+                              "i64*", "f64*", "i64*", "i64*")),
+    "rk_thresh_apply": ("i64", ("i64", "IDX*", "IDX*", "f64*", "u8*")),
+    "rk_window_count": ("i64", ("i64", "i64", "i64", "IDX*", "IDX*",
+                                "i64*", "i64*", "i64*")),
+    "rk_window_fill": (None, ("i64", "i64", "i64", "IDX*", "IDX*", "f64*",
+                              "i64*", "i64*", "i64*",
+                              "IDX*", "IDX*", "f64*",
+                              "IDX*", "IDX*", "f64*")),
+    "rk_window_fill_topdense": (None, ("i64", "i64", "i64",
+                                       "IDX*", "IDX*", "f64*",
+                                       "i64*", "i64*", "i64*", "f64*",
+                                       "IDX*", "IDX*", "f64*")),
+    "rk_csr_tocsc": (None, ("i64", "i64",
+                            "IDX*", "IDX*", "f64*",
+                            "IDX*", "IDX*", "f64*")),
+    "rk_gather_cols": ("i64", ("i64", "IDX*", "IDX*", "f64*", "i64*",
+                               "i64*", "IDX*", "f64*")),
+    "rk_gram": (None, ("i64", "i64", "i64",
+                       "IDX*", "IDX*", "f64*",
+                       "IDX*", "IDX*", "f64*",
+                       "f64*", "i64",
+                       "i64*", "i64*", "f64*")),
+    "rk_schur_diff": ("i64", ("i64", "i64",
+                              "IDX*", "IDX*", "f64*",
+                              "IDX*", "IDX*", "f64*",
+                              "IDX*", "IDX*", "f64*",
+                              "i64*", "f64*", "f64")),
+}
+
+_SCALAR_CTYPES = {"i64": ctypes.c_int64, "f64": ctypes.c_double}
+_PTR_DTYPES = {"i32": np.int32, "i64": np.int64,
+               "f64": np.float64, "u8": np.uint8}
+
+
+def _ctype(token: str, idx_dtype):
+    """One ``_ABI`` token to its ctypes argtype (``idx_dtype`` resolves
+    ``IDX`` for the current instantiation)."""
+    if token == "IDX*":
+        return _ptr(idx_dtype)
+    if token.startswith("&"):
+        return ctypes.POINTER(_SCALAR_CTYPES[token[1:]])
+    if token.endswith("*"):
+        return _ptr(_PTR_DTYPES[token[:-1]])
+    return _SCALAR_CTYPES[token]
+
+
+def abi_is_generic(argtypes: tuple[str, ...]) -> bool:
+    """Whether an ``_ABI`` entry describes an index-generic kernel
+    (bound as ``name_i32``/``name_i64``) or a single plain symbol."""
+    return any("IDX" in tok for tok in argtypes)
+
+
 def _bind(lib: ctypes.CDLL) -> None:
-    i64 = ctypes.c_int64
-    for suffix, idt in (("_i32", np.int32), ("_i64", np.int64)):
-        fn = getattr(lib, "rk_spgemm" + suffix)
-        fn.restype = i64
-        fn.argtypes = [i64, i64,
-                       _ptr(idt), _ptr(idt), _ptr(np.float64),
-                       _ptr(idt), _ptr(idt), _ptr(np.float64),
-                       _ptr(idt), _ptr(idt), _ptr(np.float64),
-                       _ptr(np.int64), _ptr(np.float64), _ptr(np.int64)]
-        fn = getattr(lib, "rk_thresh_apply" + suffix)
-        fn.restype = i64
-        fn.argtypes = [i64, _ptr(idt), _ptr(idt), _ptr(np.float64),
-                       _ptr(np.uint8)]
-        fn = getattr(lib, "rk_window_count" + suffix)
-        fn.restype = i64
-        fn.argtypes = [i64, i64, i64, _ptr(idt), _ptr(idt),
-                       _ptr(np.int64), _ptr(np.int64), _ptr(np.int64)]
-        fn = getattr(lib, "rk_window_fill" + suffix)
-        fn.restype = None
-        fn.argtypes = [i64, i64, i64, _ptr(idt), _ptr(idt),
-                       _ptr(np.float64), _ptr(np.int64), _ptr(np.int64),
-                       _ptr(np.int64),
-                       _ptr(idt), _ptr(idt), _ptr(np.float64),
-                       _ptr(idt), _ptr(idt), _ptr(np.float64)]
-        fn = getattr(lib, "rk_window_fill_topdense" + suffix)
-        fn.restype = None
-        fn.argtypes = [i64, i64, i64, _ptr(idt), _ptr(idt),
-                       _ptr(np.float64), _ptr(np.int64), _ptr(np.int64),
-                       _ptr(np.int64), _ptr(np.float64),
-                       _ptr(idt), _ptr(idt), _ptr(np.float64)]
-        fn = getattr(lib, "rk_csr_tocsc" + suffix)
-        fn.restype = None
-        fn.argtypes = [i64, i64,
-                       _ptr(idt), _ptr(idt), _ptr(np.float64),
-                       _ptr(idt), _ptr(idt), _ptr(np.float64)]
-        fn = getattr(lib, "rk_gather_cols" + suffix)
-        fn.restype = i64
-        fn.argtypes = [i64, _ptr(idt), _ptr(idt), _ptr(np.float64),
-                       _ptr(np.int64),
-                       _ptr(np.int64), _ptr(idt), _ptr(np.float64)]
-        fn = getattr(lib, "rk_gram" + suffix)
-        fn.restype = None
-        fn.argtypes = [i64, i64, i64,
-                       _ptr(idt), _ptr(idt), _ptr(np.float64),
-                       _ptr(idt), _ptr(idt), _ptr(np.float64),
-                       _ptr(np.float64), i64,
-                       _ptr(np.int64), _ptr(np.int64), _ptr(np.float64)]
-        fn = getattr(lib, "rk_schur_diff" + suffix)
-        fn.restype = i64
-        fn.argtypes = [i64, i64,
-                       _ptr(idt), _ptr(idt), _ptr(np.float64),
-                       _ptr(idt), _ptr(idt), _ptr(np.float64),
-                       _ptr(idt), _ptr(idt), _ptr(np.float64),
-                       _ptr(np.int64), _ptr(np.float64), ctypes.c_double]
-        fn = getattr(lib, "rk_spgemm_par" + suffix)
-        fn.restype = i64
-        fn.argtypes = [i64, i64, i64,
-                       _ptr(idt), _ptr(idt), _ptr(np.float64),
-                       _ptr(idt), _ptr(idt), _ptr(np.float64),
-                       _ptr(idt), _ptr(idt), _ptr(np.float64),
-                       _ptr(np.int64), _ptr(np.float64), _ptr(np.int64),
-                       _ptr(np.int64)]
-    lib.rk_openmp_enabled.restype = i64
-    lib.rk_openmp_enabled.argtypes = []
-    lib.rk_thresh_mask.restype = i64
-    lib.rk_thresh_mask.argtypes = [
-        _ptr(np.float64), i64, ctypes.c_double, _ptr(np.uint8),
-        _ptr(np.float64), ctypes.POINTER(ctypes.c_double)]
-    lib.rk_pivot_argmin_consume.restype = i64
-    lib.rk_pivot_argmin_consume.argtypes = [_ptr(np.int64), i64, i64]
+    for name, (res, args) in _ABI.items():
+        restype = None if res is None else _SCALAR_CTYPES[res]
+        if abi_is_generic(args):
+            variants = (("_i32", np.int32), ("_i64", np.int64))
+        else:
+            variants = (("", np.int64),)
+        for suffix, idt in variants:
+            fn = getattr(lib, name + suffix)
+            fn.restype = restype
+            fn.argtypes = [_ctype(tok, idt) for tok in args]
     global _pivot_raw
+    i64 = ctypes.c_int64
     proto = ctypes.CFUNCTYPE(i64, ctypes.c_void_p, i64, i64)
     _pivot_raw = proto(("rk_pivot_argmin_consume", lib))
+
+
+def _sanitize_load_error(path, profiles: tuple[str, ...]) -> str | None:
+    """Why the active sanitizer profile forbids dlopening ``path`` into
+    this interpreter, or ``None`` when loading is safe.
+
+    TSan's runtime cannot interpose an already-running uninstrumented
+    CPython (it crashes at initialization), and an ASan library whose
+    runtime is not already loaded *aborts the process* inside dlopen —
+    so both are refused up front instead of attempted.
+    """
+    if "tsan" in profiles:
+        return (f"tsan build {path} cannot be loaded into CPython; run the "
+                "race check through the native driver "
+                "(tests/test_kernel_sanitize.py)")
+    if "asan" in profiles:
+        preload = os.environ.get("LD_PRELOAD", "")
+        if "asan" not in preload:
+            return (f"asan build {path} needs the ASan runtime loaded "
+                    "first: eval \"$(python -m repro.kernels.native.build "
+                    "--sanitize-env)\" before starting python")
+    return None
 
 
 def load() -> ctypes.CDLL | None:
@@ -147,12 +189,16 @@ def load() -> ctypes.CDLL | None:
         path = build.build_library()
         lib = None
         if path is not None:
-            try:
-                lib = ctypes.CDLL(str(path))
-                _bind(lib)
-            except OSError as exc:  # corrupt cache entry, missing symbol...
-                build.last_error = f"failed to load {path}: {exc}"
-                lib = None
+            refusal = _sanitize_load_error(path, build.sanitize_profiles())
+            if refusal is not None:
+                build.last_error = refusal
+            else:
+                try:
+                    lib = ctypes.CDLL(str(path))
+                    _bind(lib)
+                except OSError as exc:  # corrupt cache entry, missing symbol
+                    build.last_error = f"failed to load {path}: {exc}"
+                    lib = None
         _lib = lib
         _load_attempted = True
         if lib is not None:
@@ -187,7 +233,8 @@ def cached_build_exists() -> bool:
     flag-set variants (OpenMP and serial) count as warm."""
     key = (os.environ.get("REPRO_KERNEL_CACHE"),
            os.environ.get("XDG_CACHE_HOME"),
-           os.environ.get("CC"))
+           os.environ.get("CC"),
+           os.environ.get(build.SANITIZE_ENV))
     hit = _cache_probe.get(key)
     if hit is None:
         try:

@@ -1,0 +1,12 @@
+"""``python -m repro.kernels.native`` — build/inspect helper CLI.
+
+Thin delegation to :func:`repro.kernels.native.build._main` (the
+``python -m repro.kernels.native.build`` form works too, but running a
+submodule of an already-imported package makes runpy warn; this entry
+point is quiet).
+"""
+
+from .build import _main
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

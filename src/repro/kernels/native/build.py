@@ -15,6 +15,18 @@ The cache location is ``$REPRO_KERNEL_CACHE`` when set, else
 are atomic (compile to a temp name, ``os.replace``), so concurrent ranks
 of the procs backend can race on a cold cache safely: every rank either
 finds the finished ``.so`` or produces an identical one.
+
+Sanitizer profiles: ``$REPRO_KERNEL_SANITIZE`` selects instrumented
+builds (``asan``, ``ubsan``, ``tsan``, or a comma list such as
+``asan,ubsan``).  The sanitizer flags are part of the compile command
+and therefore of the SHA-256 cache key, so instrumented and plain
+builds never collide.  Loading an instrumented library into an
+*uninstrumented* CPython needs loader support — see
+:func:`sanitizer_env` and ``python -m repro.kernels.native.build
+--sanitize-env`` — and TSan builds cannot be loaded into CPython at
+all (the interposed runtime crashes the interpreter); the race check
+drives them through a native harness instead
+(``tests/test_kernel_sanitize.py``).
 """
 
 from __future__ import annotations
@@ -47,11 +59,180 @@ CFLAGS_OPENMP = CFLAGS + ("-fopenmp",)
 #: Flag sets in build preference order.
 FLAG_SETS = (CFLAGS_OPENMP, CFLAGS)
 
+#: Environment knob selecting sanitizer-instrumented builds.
+SANITIZE_ENV = "REPRO_KERNEL_SANITIZE"
+
+#: Per-profile sanitizer flags, in canonical profile order.  ``asan`` and
+#: ``ubsan`` compose (``asan,ubsan``); ``tsan`` is exclusive — GCC/Clang
+#: refuse -fsanitize=thread combined with -fsanitize=address.
+SANITIZER_CFLAGS: dict[str, tuple[str, ...]] = {
+    "asan": ("-fsanitize=address",),
+    "ubsan": ("-fsanitize=undefined", "-fno-sanitize-recover=undefined"),
+    "tsan": ("-fsanitize=thread",),
+}
+
+#: Flags every instrumented build gets: frame pointers and debug info so
+#: sanitizer reports carry file:line instead of raw addresses.
+SANITIZE_COMMON_CFLAGS = ("-fno-omit-frame-pointer", "-g")
+
+#: Shared-runtime library names per profile, tried in order.  GCC links
+#: the shared runtime by default; Clang needs ``-shared-libasan`` (added
+#: by :func:`sanitize_cflags`) and ships the runtime under the
+#: ``libclang_rt`` name.
+SANITIZER_RUNTIMES: dict[str, tuple[str, ...]] = {
+    "asan": ("libasan.so", "libclang_rt.asan-x86_64.so"),
+    "tsan": ("libtsan.so", "libclang_rt.tsan-x86_64.so"),
+}
+
 _SRC_DIR = Path(__file__).resolve().parent / "src"
 
 #: Last build failure (compiler stderr / exception text) for diagnostics;
 #: ``None`` after a successful or not-yet-attempted build.
 last_error: str | None = None
+
+
+class BuildFailure:
+    """Structured record of the most recent *failed compile attempt*.
+
+    Distinguishes "a compiler ran and rejected the sources" (``compiler``
+    set, ``stderr`` carries its diagnostics) from "no compiler on the
+    host" (``last_failure`` stays ``None``; only ``last_error`` is set).
+    The tier resolver uses that distinction: an explicit ``native``
+    request raises :class:`repro.exceptions.KernelBuildError` for the
+    former and keeps the warned pure fallback for the latter.
+    """
+
+    __slots__ = ("message", "compiler", "stderr")
+
+    def __init__(self, message: str, compiler: str | None = None,
+                 stderr: str | None = None):
+        self.message = message
+        self.compiler = compiler
+        self.stderr = stderr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BuildFailure({self.message!r}, compiler={self.compiler!r})"
+
+
+#: Most recent failed compile attempt; ``None`` when no compile has
+#: failed (including "no compiler found" — see :class:`BuildFailure`).
+last_failure: BuildFailure | None = None
+
+
+def sanitize_profiles(raw: str | None = None) -> tuple[str, ...]:
+    """Parse ``$REPRO_KERNEL_SANITIZE`` into a canonical profile tuple.
+
+    Accepts a comma/space-separated subset of ``asan``/``ubsan``/``tsan``
+    (case-insensitive, duplicates collapsed, canonical order).  Raises
+    :class:`ValueError` for unknown names and for ``tsan`` combined with
+    another sanitizer — loud failure is right for an explicit debug
+    knob; a typo must not silently produce an uninstrumented build.
+    """
+    if raw is None:
+        raw = os.environ.get(SANITIZE_ENV, "")
+    names = {tok for tok in raw.replace(",", " ").lower().split() if tok}
+    if not names:
+        return ()
+    unknown = names - set(SANITIZER_CFLAGS)
+    if unknown:
+        raise ValueError(
+            f"unknown sanitizer profile(s) {sorted(unknown)!r} in "
+            f"${SANITIZE_ENV} (choose from {' | '.join(SANITIZER_CFLAGS)})")
+    if "tsan" in names and len(names) > 1:
+        raise ValueError(
+            f"${SANITIZE_ENV}: 'tsan' cannot be combined with other "
+            "sanitizers (the compilers reject -fsanitize=thread together "
+            "with address/undefined)")
+    return tuple(p for p in SANITIZER_CFLAGS if p in names)
+
+
+def _is_clang(compiler: str | None) -> bool:
+    return compiler is not None and "clang" in Path(compiler).name
+
+
+def sanitize_cflags(profiles: tuple[str, ...] | None = None,
+                    compiler: str | None = None) -> tuple[str, ...]:
+    """Extra compile flags for the active sanitizer profiles (``()`` when
+    uninstrumented).  ``compiler`` decides Clang-specific handling:
+    Clang defaults to a *static* ASan runtime, which cannot back a
+    dlopen'ed library — ``-shared-libasan`` switches it to the shared
+    runtime that :func:`sanitizer_env` preloads."""
+    profs = sanitize_profiles() if profiles is None else tuple(profiles)
+    if not profs:
+        return ()
+    flags: list[str] = []
+    for p in profs:
+        flags.extend(SANITIZER_CFLAGS[p])
+    if "asan" in profs and _is_clang(compiler):
+        flags.append("-shared-libasan")
+    return tuple(flags) + SANITIZE_COMMON_CFLAGS
+
+
+def flag_sets(compiler: str | None = None) -> tuple[tuple[str, ...], ...]:
+    """The flag sets a build will try, in preference order, with the
+    active sanitizer profile folded in.  Sanitizer flags are part of the
+    compile command and hence of :func:`source_hash` — an instrumented
+    build can never be served from (or poison) the plain cache."""
+    extra = sanitize_cflags(compiler=compiler)
+    if not extra:
+        return FLAG_SETS
+    return tuple(fs + extra for fs in FLAG_SETS)
+
+
+def sanitizer_runtime(profile: str,
+                      compiler: str | None = None) -> str | None:
+    """Absolute path of ``profile``'s shared runtime library, resolved
+    through the compiler's ``-print-file-name``; ``None`` when the
+    toolchain does not ship one (or there is no compiler)."""
+    names = SANITIZER_RUNTIMES.get(profile, ())
+    cc = compiler or find_compiler()
+    if cc is None or not names:
+        return None
+    for name in names:
+        try:
+            proc = subprocess.run([cc, f"-print-file-name={name}"],
+                                  capture_output=True, text=True, timeout=30)
+        except (OSError, subprocess.SubprocessError):
+            return None
+        out = proc.stdout.strip()
+        # an unknown library echoes back as the bare name
+        if proc.returncode == 0 and out and out != name:
+            path = Path(out)
+            if path.exists():
+                return str(path.resolve())
+    return None
+
+
+def sanitizer_env(profiles: tuple[str, ...] | None = None,
+                  compiler: str | None = None) -> dict[str, str]:
+    """Environment needed to *load* the active sanitized build into an
+    uninstrumented interpreter (CPython is not rebuilt with the
+    sanitizer; only the kernel ``.so`` is).
+
+    - ``asan``: the runtime must be initialized before any other
+      library, which for a dlopen'ed ``.so`` means ``LD_PRELOAD`` of
+      ``libasan.so``; leak checking is disabled because CPython
+      intentionally leaks interned objects at exit and would drown real
+      reports.
+    - ``ubsan``: nothing — ``libubsan`` is an ordinary ``DT_NEEDED``
+      dependency of the instrumented library and resolves at dlopen.
+    - ``tsan``: *no* environment makes this safe; the TSan runtime
+      cannot interpose an already-running CPython (it crashes at
+      preload).  Race checks run the instrumented library through a
+      native driver instead (``tests/test_kernel_sanitize.py``).
+    """
+    profs = sanitize_profiles() if profiles is None else tuple(profiles)
+    env: dict[str, str] = {}
+    if "asan" in profs:
+        runtime = sanitizer_runtime("asan", compiler)
+        if runtime:
+            prior = os.environ.get("LD_PRELOAD", "")
+            env["LD_PRELOAD"] = (runtime if not prior
+                                 else f"{runtime}:{prior}")
+        env["ASAN_OPTIONS"] = "detect_leaks=0:abort_on_error=1"
+    if "ubsan" in profs:
+        env.setdefault("UBSAN_OPTIONS", "print_stacktrace=1")
+    return env
 
 
 def source_files(src_dir: Path | None = None) -> list[Path]:
@@ -132,10 +313,11 @@ def cached_library_paths(sources: list[Path] | None = None,
     A warm-cache probe must stat every candidate: a host whose toolchain
     lacks OpenMP caches under the serial-flag hash, and the ``auto`` tier
     should still find that build without ever invoking a compiler.
+    Sanitizer profiles shift every candidate to its instrumented hash.
     """
     srcs = sources if sources is not None else source_files()
     return [cached_library_path(srcs, cache_dir, compiler, fl)
-            for fl in FLAG_SETS]
+            for fl in flag_sets(compiler)]
 
 
 def build_library(sources: list[Path] | None = None,
@@ -146,33 +328,38 @@ def build_library(sources: list[Path] | None = None,
     The happy path on a warm cache is two ``stat`` calls — no compiler is
     even looked up unless a build is actually needed.
     """
-    global last_error
+    global last_error, last_failure
     srcs = sources if sources is not None else source_files()
     c_files = [p for p in srcs if p.suffix == ".c"]
     if not c_files:
         last_error = "no C sources found"
         return None
     cc = compiler or find_compiler()
-    for flags in FLAG_SETS:
+    for flags in flag_sets(cc):
         out = cached_library_path(srcs, cache_dir, cc, flags)
         if out.exists():
+            last_failure = None
             return out
     if cc is None:
         last_error = "no C compiler on PATH (set $CC or install cc/gcc/clang)"
         return None
-    for flags in FLAG_SETS:
+    for flags in flag_sets(cc):
         out = _compile(cc, flags, c_files,
                        cached_library_path(srcs, cache_dir, cc, flags))
         if out is not None:
             last_error = None
+            last_failure = None
             return out
     return None
 
 
 def _compile(cc: str, cflags: tuple[str, ...], c_files: list[Path],
              out: Path) -> Path | None:
-    """One compile attempt with one flag set; records ``last_error``."""
-    global last_error
+    """One compile attempt with one flag set; records ``last_error`` and
+    ``last_failure`` and leaves no temp object (or empty hash directory)
+    behind on the failure paths."""
+    global last_error, last_failure
+    made_dir = not out.parent.exists()
     out.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(out.parent))
     os.close(fd)
@@ -182,14 +369,18 @@ def _compile(cc: str, cflags: tuple[str, ...], c_files: list[Path],
         proc = subprocess.run(cmd, capture_output=True, text=True,
                               timeout=120)
         if proc.returncode != 0:
+            stderr = proc.stderr.strip()
             last_error = (f"{' '.join(cmd)} failed "
-                          f"(rc={proc.returncode}): {proc.stderr.strip()}")
+                          f"(rc={proc.returncode}): {stderr}")
+            last_failure = BuildFailure(last_error, compiler=cc,
+                                        stderr=stderr)
             return None
         os.replace(tmp, out)  # atomic: concurrent builders never collide
         tmp = None
         return out
     except (OSError, subprocess.SubprocessError) as exc:
         last_error = f"native build failed: {exc}"
+        last_failure = BuildFailure(last_error, compiler=cc)
         return None
     finally:
         if tmp is not None:
@@ -197,3 +388,110 @@ def _compile(cc: str, cflags: tuple[str, ...], c_files: list[Path],
                 os.unlink(tmp)
             except OSError:
                 pass
+            if made_dir:
+                try:  # fresh dir we created and left empty: remove it too
+                    out.parent.rmdir()
+                except OSError:
+                    pass
+
+
+#: Native check harnesses (not part of the kernel library build — the
+#: ``checks/`` directory is outside :func:`source_files`'s scope).
+CHECKS_DIR = _SRC_DIR.parent / "checks"
+
+
+def race_driver_source() -> Path:
+    """The TSan race harness for the OpenMP SpGEMM (see the file's
+    comment block for why races need a native driver at all)."""
+    return CHECKS_DIR / "race_spgemm.c"
+
+
+def build_race_driver(kernel_lib: Path,
+                      compiler: str | None = None) -> Path | None:
+    """Compile the race driver against an already-built ``tsan``-profile
+    kernel library; returns the executable path or ``None`` (with
+    ``last_error`` recording why).
+
+    The driver itself is instrumented (``-fsanitize=thread``) and links
+    ``kernel_lib`` directly with an rpath, so running it needs no loader
+    environment — only ``TSAN_OPTIONS`` to pick report behaviour.
+    """
+    global last_error
+    cc = compiler or find_compiler()
+    if cc is None:
+        last_error = "no C compiler on PATH (set $CC or install cc/gcc/clang)"
+        return None
+    src = race_driver_source()
+    if not src.exists():
+        last_error = f"race driver source missing: {src}"
+        return None
+    out = Path(kernel_lib).parent / "race_spgemm"
+    fd, tmp = tempfile.mkstemp(dir=str(out.parent))
+    os.close(fd)
+    cmd = [cc, "-O2", "-g", "-std=c99", "-fopenmp", "-fsanitize=thread",
+           "-fno-omit-frame-pointer", "-o", tmp, str(src),
+           str(kernel_lib), f"-Wl,-rpath,{Path(kernel_lib).parent}", "-lm"]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=120)
+        if proc.returncode != 0:
+            last_error = (f"{' '.join(cmd)} failed "
+                          f"(rc={proc.returncode}): {proc.stderr.strip()}")
+            return None
+        os.chmod(tmp, 0o755)
+        os.replace(tmp, out)
+        tmp = None
+        return out
+    except (OSError, subprocess.SubprocessError) as exc:
+        last_error = f"race driver build failed: {exc}"
+        return None
+    finally:
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def _main(argv: list[str] | None = None) -> int:
+    """``python -m repro.kernels.native.build`` — build/inspect helper.
+
+    ``--sanitize-env`` prints ``export K=V`` lines for the active
+    ``$REPRO_KERNEL_SANITIZE`` profile (eval them before starting the
+    interpreter that should load an instrumented build).  ``--build``
+    forces a build now and prints the library path.  ``--cache-key``
+    prints the 16-hex cache key prefix for the current configuration —
+    CI uses it to prove sanitizer flags change the key.
+    """
+    import argparse
+    import shlex
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.kernels.native.build",
+        description="native kernel build helper")
+    ap.add_argument("--sanitize-env", action="store_true",
+                    help="print `export K=V` loader lines for the active "
+                         f"${SANITIZE_ENV} profile")
+    ap.add_argument("--build", action="store_true",
+                    help="build (or reuse) the library now; print its path")
+    ap.add_argument("--cache-key", action="store_true",
+                    help="print the cache key prefix for the current "
+                         "sources/compiler/flags")
+    args = ap.parse_args(argv)
+    cc = find_compiler()
+    if args.sanitize_env:
+        for key, val in sanitizer_env(compiler=cc).items():
+            print(f"export {key}={shlex.quote(val)}")
+    if args.cache_key:
+        print(source_hash(compiler=cc, cflags=flag_sets(cc)[0])[:16])
+    if args.build:
+        path = build_library()
+        if path is None:
+            print(f"build failed: {last_error}")
+            return 1
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(_main())

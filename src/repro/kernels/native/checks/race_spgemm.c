@@ -1,0 +1,157 @@
+/* TSan race driver for the OpenMP row-parallel SpGEMM.
+ *
+ * The TSan runtime cannot interpose an already-running uninstrumented
+ * CPython (preloading it crashes the interpreter), so the race check
+ * for rk_spgemm_par runs through this native harness instead: build the
+ * kernel library with REPRO_KERNEL_SANITIZE=tsan, compile this driver
+ * with -fsanitize=thread, link the two, and run it under
+ * TSAN_OPTIONS=halt_on_error=1.  Any data race between the per-thread
+ * workspace slices (mark/sums/touched), the shared rownnz/Cp/Cj/Cx
+ * output arrays, or the serial phases aborts the process with a TSan
+ * report; a clean exit 0 additionally certifies that the parallel
+ * result stayed bitwise identical to the serial kernel's.
+ *
+ * Driven by repro.kernels.native.build.build_race_driver() and
+ * tests/test_kernel_sanitize.py; see docs/static_analysis.md
+ * ("Native-tier analysis").
+ *
+ * Usage: race_spgemm [nthreads=8] [reps=3]
+ */
+#include <stdio.h>
+#include <stdlib.h>
+
+#include "../src/kernels.h"
+
+/* splitmix64: deterministic inputs without any libc rand() state. */
+static uint64_t rng_state = 0x243F6A8885A308D3ULL;
+
+static uint64_t rng_next(void)
+{
+    uint64_t z = (rng_state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+static double rng_unit(void)
+{
+    return (double)(rng_next() >> 11) / 9007199254740992.0;  /* [0, 1) */
+}
+
+/* Random canonical CSR (m x n, entry probability p, values in [-1, 1)).
+ * Worst-case allocation — the driver's shapes are a few hundred, so the
+ * dense bound is a couple of MB at most. */
+static void gen_csr(int64_t m, int64_t n, double p,
+                    int64_t **Ap_out, int64_t **Aj_out, double **Ax_out)
+{
+    int64_t *Ap = malloc((size_t)(m + 1) * sizeof(int64_t));
+    int64_t *Aj = malloc((size_t)(m * n) * sizeof(int64_t));
+    double *Ax = malloc((size_t)(m * n) * sizeof(double));
+    if (!Ap || !Aj || !Ax) {
+        fprintf(stderr, "race driver: allocation failed\n");
+        exit(3);
+    }
+    int64_t nnz = 0;
+    Ap[0] = 0;
+    for (int64_t i = 0; i < m; i++) {
+        for (int64_t j = 0; j < n; j++) {
+            if (rng_unit() < p) {
+                Aj[nnz] = j;
+                Ax[nnz] = 2.0 * rng_unit() - 1.0;
+                nnz++;
+            }
+        }
+        Ap[i + 1] = nnz;
+    }
+    *Ap_out = Ap;
+    *Aj_out = Aj;
+    *Ax_out = Ax;
+}
+
+/* Flop bound of C = A @ B capped at the dense size — the same Cj/Cx
+ * sizing rule the Python wrapper uses. */
+static int64_t spgemm_bound(int64_t n_row, int64_t n_col,
+                            const int64_t *Ap, const int64_t *Aj,
+                            const int64_t *Bp)
+{
+    int64_t bound = 0;
+    for (int64_t jj = 0; jj < Ap[n_row]; jj++)
+        bound += Bp[Aj[jj] + 1] - Bp[Aj[jj]];
+    const int64_t dense = n_row * n_col;
+    return bound < dense ? bound : dense;
+}
+
+static int run_rep(int64_t rep, int64_t nthreads)
+{
+    const int64_t n_row = 400, n_mid = 300, n_col = 350;
+    int64_t *Ap, *Aj, *Bp, *Bj;
+    double *Ax, *Bx;
+    gen_csr(n_row, n_mid, 0.03 + 0.01 * (double)(rep % 3), &Ap, &Aj, &Ax);
+    gen_csr(n_mid, n_col, 0.03, &Bp, &Bj, &Bx);
+
+    const int64_t cap = spgemm_bound(n_row, n_col, Ap, Aj, Bp);
+    const int64_t nt = nthreads < 1 ? 1 : nthreads;
+
+    /* serial reference (single n_col-sized workspace slices) */
+    int64_t *Rp = malloc((size_t)(n_row + 1) * sizeof(int64_t));
+    int64_t *Rj = malloc((size_t)(cap > 0 ? cap : 1) * sizeof(int64_t));
+    double *Rx = malloc((size_t)(cap > 0 ? cap : 1) * sizeof(double));
+    /* parallel output + nthreads-sliced workspaces */
+    int64_t *Cp = malloc((size_t)(n_row + 1) * sizeof(int64_t));
+    int64_t *Cj = malloc((size_t)(cap > 0 ? cap : 1) * sizeof(int64_t));
+    double *Cx = malloc((size_t)(cap > 0 ? cap : 1) * sizeof(double));
+    int64_t *mark = malloc((size_t)(nt * n_col) * sizeof(int64_t));
+    double *sums = malloc((size_t)(nt * n_col) * sizeof(double));
+    int64_t *touched = malloc((size_t)(nt * n_col) * sizeof(int64_t));
+    int64_t *rownnz = malloc((size_t)n_row * sizeof(int64_t));
+    if (!Rp || !Rj || !Rx || !Cp || !Cj || !Cx
+            || !mark || !sums || !touched || !rownnz) {
+        fprintf(stderr, "race driver: allocation failed\n");
+        exit(3);
+    }
+    memset(mark, 0xFF, (size_t)(nt * n_col) * sizeof(int64_t));
+
+    const int64_t ref_nnz = rk_spgemm_i64(
+        n_row, n_col, Ap, Aj, Ax, Bp, Bj, Bx,
+        Rp, Rj, Rx, mark, sums, touched);
+    const int64_t par_nnz = rk_spgemm_par_i64(
+        n_row, n_col, nt, Ap, Aj, Ax, Bp, Bj, Bx,
+        Cp, Cj, Cx, mark, sums, touched, rownnz);
+
+    int rc = 0;
+    if (par_nnz != ref_nnz
+            || memcmp(Cp, Rp, (size_t)(n_row + 1) * sizeof(int64_t)) != 0
+            || memcmp(Cj, Rj, (size_t)par_nnz * sizeof(int64_t)) != 0
+            || memcmp(Cx, Rx, (size_t)par_nnz * sizeof(double)) != 0) {
+        fprintf(stderr,
+                "race driver: rep %lld diverged from serial "
+                "(nnz %lld vs %lld)\n",
+                (long long)rep, (long long)par_nnz, (long long)ref_nnz);
+        rc = 2;
+    }
+
+    free(Ap); free(Aj); free(Ax);
+    free(Bp); free(Bj); free(Bx);
+    free(Rp); free(Rj); free(Rx);
+    free(Cp); free(Cj); free(Cx);
+    free(mark); free(sums); free(touched); free(rownnz);
+    return rc;
+}
+
+int main(int argc, char **argv)
+{
+    int64_t nthreads = argc > 1 ? strtoll(argv[1], NULL, 10) : 8;
+    int64_t reps = argc > 2 ? strtoll(argv[2], NULL, 10) : 3;
+    if (!rk_openmp_enabled())
+        fprintf(stderr, "race driver: library built without OpenMP — "
+                        "kernels run serially, race coverage is void\n");
+    for (int64_t rep = 0; rep < reps; rep++) {
+        const int rc = run_rep(rep, nthreads);
+        if (rc != 0)
+            return rc;
+    }
+    printf("race driver: OK (%lld reps, %lld threads, openmp=%lld)\n",
+           (long long)reps, (long long)nthreads,
+           (long long)rk_openmp_enabled());
+    return 0;
+}

@@ -22,4 +22,190 @@
 #define RK_EXPORT __attribute__((visibility("default")))
 #endif
 
+/* ThreadSanitizer happens-before annotations for the OpenMP fork/join
+ * edges.  GCC's libgomp is not TSan-instrumented, so the implicit
+ * barrier at the end of a `#pragma omp parallel` region is invisible to
+ * TSan and every write inside a region would be reported as racing with
+ * the serial code after it.  The annotations model exactly (and only)
+ * the synchronization the runtime really provides — a release by the
+ * forking thread at region entry, acquire by each worker; release by
+ * each worker at region exit, acquire by the joining thread — so races
+ * *between* workers inside a region stay fully detectable.  Two
+ * distinct tag addresses keep the entry and exit edges from creating
+ * spurious worker-to-worker orderings.  No-ops unless the library is
+ * built with -fsanitize=thread (REPRO_KERNEL_SANITIZE=tsan). */
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) && !defined(__SANITIZE_THREAD__)
+#define __SANITIZE_THREAD__ 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+void __tsan_acquire(void *addr);
+void __tsan_release(void *addr);
+#define RK_TSAN_ACQUIRE(p) __tsan_acquire(p)
+#define RK_TSAN_RELEASE(p) __tsan_release(p)
+/* The fork/join *wrapper* is excluded from TSan instrumentation: GCC
+ * materializes the region's capture struct on the forking thread's
+ * stack at the pragma itself — before any statement an annotation
+ * could precede — so the wrapper's compiler-generated writes are
+ * unorderable false positives.  Its serial phases are ordered by the
+ * region barriers (annotated above), and the per-row worker functions
+ * carrying the actual race surface stay fully instrumented.  The
+ * RK_TSAN_* annotations are explicit calls and still run inside an
+ * uninstrumented function. */
+#define RK_NO_TSAN __attribute__((no_sanitize_thread))
+#else
+#define RK_TSAN_ACQUIRE(p) ((void)(p))
+#define RK_TSAN_RELEASE(p) ((void)(p))
+#define RK_NO_TSAN
+#endif
+
+/* ---------------------------------------------------------------------
+ * Exported ABI.
+ *
+ * One prototype per exported symbol, in the exact types the ctypes
+ * bindings in kernels/native/__init__.py declare.  This block is the C
+ * side of the ABI contract: the compiler cross-checks each prototype
+ * against the macro-instantiated definition in the .c/.inc files, and
+ * `repro.lint` (rules KERN001–KERN003) parses it and cross-checks it
+ * against the Python `_ABI` table.  Keep it machine-readable: one
+ * symbol per `RK_EXPORT` prototype, fixed-width integer types only
+ * (int32_t/int64_t/unsigned char — never int/long/size_t), and no
+ * `restrict` qualifiers (those live on the definitions).
+ * ------------------------------------------------------------------ */
+
+/* Capability probe: 1 when the library was built with OpenMP, else 0. */
+RK_EXPORT int64_t rk_openmp_enabled(void);
+
+/* Fused ILUT mu-threshold accounting pass (threshold.c). */
+RK_EXPORT int64_t rk_thresh_mask(
+    const double *data, int64_t nnz, double mu,
+    unsigned char *mask, double *dropped, double *dmax);
+
+/* Tournament/colamd pivot argmin scan (pivot.c). */
+RK_EXPORT int64_t rk_pivot_argmin_consume(
+    int64_t *key, int64_t n, int64_t sentinel);
+
+/* Row-merge SpGEMM, C = A @ B on canonical CSR (spgemm_impl.inc). */
+RK_EXPORT int64_t rk_spgemm_i32(
+    int64_t n_row, int64_t n_col,
+    const int32_t *Ap, const int32_t *Aj, const double *Ax,
+    const int32_t *Bp, const int32_t *Bj, const double *Bx,
+    int32_t *Cp, int32_t *Cj, double *Cx,
+    int64_t *mark, double *sums, int64_t *touched);
+RK_EXPORT int64_t rk_spgemm_i64(
+    int64_t n_row, int64_t n_col,
+    const int64_t *Ap, const int64_t *Aj, const double *Ax,
+    const int64_t *Bp, const int64_t *Bj, const double *Bx,
+    int64_t *Cp, int64_t *Cj, double *Cx,
+    int64_t *mark, double *sums, int64_t *touched);
+
+/* OpenMP row-parallel SpGEMM (spgemm_par_impl.inc). */
+RK_EXPORT int64_t rk_spgemm_par_i32(
+    int64_t n_row, int64_t n_col, int64_t nthreads,
+    const int32_t *Ap, const int32_t *Aj, const double *Ax,
+    const int32_t *Bp, const int32_t *Bj, const double *Bx,
+    int32_t *Cp, int32_t *Cj, double *Cx,
+    int64_t *mark, double *sums, int64_t *touched, int64_t *rownnz);
+RK_EXPORT int64_t rk_spgemm_par_i64(
+    int64_t n_row, int64_t n_col, int64_t nthreads,
+    const int64_t *Ap, const int64_t *Aj, const double *Ax,
+    const int64_t *Bp, const int64_t *Bj, const double *Bx,
+    int64_t *Cp, int64_t *Cj, double *Cx,
+    int64_t *mark, double *sums, int64_t *touched, int64_t *rownnz);
+
+/* Fused ILUT mu-threshold apply+compact pass (threshold_impl.inc). */
+RK_EXPORT int64_t rk_thresh_apply_i32(
+    int64_t n_outer, int32_t *indptr, int32_t *indices, double *data,
+    const unsigned char *mask);
+RK_EXPORT int64_t rk_thresh_apply_i64(
+    int64_t n_outer, int64_t *indptr, int64_t *indices, double *data,
+    const unsigned char *mask);
+
+/* Schur index-window occupancy count (window_impl.inc). */
+RK_EXPORT int64_t rk_window_count_i32(
+    int64_t m, int64_t k, int64_t ncols,
+    const int32_t *Ap, const int32_t *Ai,
+    const int64_t *cols, const int64_t *ipos, int64_t *rowcount);
+RK_EXPORT int64_t rk_window_count_i64(
+    int64_t m, int64_t k, int64_t ncols,
+    const int64_t *Ap, const int64_t *Ai,
+    const int64_t *cols, const int64_t *ipos, int64_t *rowcount);
+
+/* Fused permute+split scatter, sparse top block (window_impl.inc). */
+RK_EXPORT void rk_window_fill_i32(
+    int64_t m, int64_t k, int64_t ncols,
+    const int32_t *Ap, const int32_t *Ai, const double *Ax,
+    const int64_t *cols, const int64_t *ipos, int64_t *rowcount,
+    int32_t *Bp, int32_t *Bj, double *Bx,
+    int32_t *Cp, int32_t *Cj, double *Cx);
+RK_EXPORT void rk_window_fill_i64(
+    int64_t m, int64_t k, int64_t ncols,
+    const int64_t *Ap, const int64_t *Ai, const double *Ax,
+    const int64_t *cols, const int64_t *ipos, int64_t *rowcount,
+    int64_t *Bp, int64_t *Bj, double *Bx,
+    int64_t *Cp, int64_t *Cj, double *Cx);
+
+/* Fused permute+split scatter, dense top block (window_impl.inc). */
+RK_EXPORT void rk_window_fill_topdense_i32(
+    int64_t m, int64_t k, int64_t ncols,
+    const int32_t *Ap, const int32_t *Ai, const double *Ax,
+    const int64_t *cols, const int64_t *ipos, int64_t *rowcount,
+    double *D, int32_t *Cp, int32_t *Cj, double *Cx);
+RK_EXPORT void rk_window_fill_topdense_i64(
+    int64_t m, int64_t k, int64_t ncols,
+    const int64_t *Ap, const int64_t *Ai, const double *Ax,
+    const int64_t *cols, const int64_t *ipos, int64_t *rowcount,
+    double *D, int64_t *Cp, int64_t *Cj, double *Cx);
+
+/* CSR -> CSC counting-sort conversion, scipy-bitwise (convert_impl.inc). */
+RK_EXPORT void rk_csr_tocsc_i32(
+    int64_t n_row, int64_t n_col,
+    const int32_t *Ap, const int32_t *Aj, const double *Ax,
+    int32_t *Bp, int32_t *Bi, double *Bx);
+RK_EXPORT void rk_csr_tocsc_i64(
+    int64_t n_row, int64_t n_col,
+    const int64_t *Ap, const int64_t *Aj, const double *Ax,
+    int64_t *Bp, int64_t *Bi, double *Bx);
+
+/* memcpy column gather from CSC (gather_impl.inc). */
+RK_EXPORT int64_t rk_gather_cols_i32(
+    int64_t ncols,
+    const int32_t *Ap, const int32_t *Ai, const double *Ax,
+    const int64_t *cols, int64_t *Bp, int32_t *Bi, double *Bx);
+RK_EXPORT int64_t rk_gather_cols_i64(
+    int64_t ncols,
+    const int64_t *Ap, const int64_t *Ai, const double *Ax,
+    const int64_t *cols, int64_t *Bp, int64_t *Bi, double *Bx);
+
+/* Half-work mirrored self-Gram / cross-Gram on CSC blocks
+ * (gram_impl.inc). */
+RK_EXPORT void rk_gram_i32(
+    int64_t m, int64_t c1, int64_t c2,
+    const int32_t *B1p, const int32_t *B1i, const double *B1x,
+    const int32_t *B2p, const int32_t *B2i, const double *B2x,
+    double *C, int64_t sym,
+    int64_t *tp, int64_t *tj, double *tx);
+RK_EXPORT void rk_gram_i64(
+    int64_t m, int64_t c1, int64_t c2,
+    const int64_t *B1p, const int64_t *B1i, const double *B1x,
+    const int64_t *B2p, const int64_t *B2i, const double *B2x,
+    double *C, int64_t sym,
+    int64_t *tp, int64_t *tj, double *tx);
+
+/* Fused Schur update difference, D = A - C with drop tol
+ * (schur_impl.inc). */
+RK_EXPORT int64_t rk_schur_diff_i32(
+    int64_t n_row, int64_t n_col,
+    const int32_t *Ap, const int32_t *Aj, const double *Ax,
+    const int32_t *Cp, const int32_t *Cj, const double *Cx,
+    int32_t *Dp, int32_t *Dj, double *Dx,
+    int64_t *mark, double *sums, double tol);
+RK_EXPORT int64_t rk_schur_diff_i64(
+    int64_t n_row, int64_t n_col,
+    const int64_t *Ap, const int64_t *Aj, const double *Ax,
+    const int64_t *Cp, const int64_t *Cj, const double *Cx,
+    int64_t *Dp, int64_t *Dj, double *Dx,
+    int64_t *mark, double *sums, double tol);
+
 #endif /* REPRO_KERNELS_H */

@@ -105,7 +105,11 @@ def resolve_tier(request: str | None = None) -> str:
     recursively, so ``auto`` in the environment is harmless), else
     ``native`` if a cached build already exists, else ``pure``.
     ``"native"``: build/load on first use; falls back to ``pure`` with a
-    one-time :class:`RuntimeWarning` when unavailable.
+    one-time :class:`RuntimeWarning` when unavailable — except when a C
+    compiler *was* found and the compile itself failed, which raises
+    :class:`repro.exceptions.KernelBuildError` with the compiler's
+    stderr: an explicit native request on a host with a toolchain should
+    never silently paper over broken sources or flags.
     """
     global _warned_unavailable
     req = validate_request(request if request is not None else "auto")
@@ -118,6 +122,14 @@ def resolve_tier(request: str | None = None) -> str:
     if req == "native":
         if native_available():
             return "native"
+        from .native import build as native_build
+        failure = native_build.last_failure
+        if failure is not None and failure.compiler is not None:
+            from ..exceptions import KernelBuildError
+            raise KernelBuildError(
+                "kernel tier 'native' was explicitly requested and a C "
+                f"compiler was found, but the build failed: {failure.message}",
+                compiler=failure.compiler, stderr=failure.stderr)
         if not _warned_unavailable:
             _warned_unavailable = True
             from .native import build

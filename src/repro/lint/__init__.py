@@ -11,11 +11,19 @@ instead of trusting convention:
 - **SPMD002** ``shared-view-mutation`` — in-place writes through shared
   distribution views (cross-rank data-race hazard);
 - **SPMD003** ``determinism`` — nondeterminism sources inside the
-  bitwise-parity-pinned hot paths.
+  bitwise-parity-pinned hot paths;
+- **SPMD004** ``kernel-tier-encapsulation`` — direct
+  ``repro.kernels.native`` imports outside the tier registry;
+- **KERN001-003** ``abi-*`` — drift between the native tier's ctypes
+  ``_ABI`` table and the C prototypes in ``kernels.h`` (coverage,
+  type kinds, 32/64-bit index width).
 
 Run ``python -m repro.lint src/`` (exit 1 on findings), or use
 :func:`lint_paths` / :func:`lint_source` programmatically.  Suppress a
 reviewed finding with ``# repro: noqa[SPMD001]`` on the flagged line.
+``python -m repro.lint --fuzz-kernels`` runs the complementary
+*differential* check: the pure-vs-native kernel fuzzer
+(:mod:`repro.kernels.fuzz`).
 The complementary *runtime* sanitizers (collective fingerprinting and
 read-only shared views, enabled by ``REPRO_SANITIZE=1``) live in
 :mod:`repro.parallel.sanitize`; see ``docs/static_analysis.md``.

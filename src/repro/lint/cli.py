@@ -1,6 +1,12 @@
 """Command-line front end: ``python -m repro.lint [paths...]``.
 
-Exit status: 0 — clean; 1 — findings; 2 — usage error.
+Besides the static pass, ``--fuzz-kernels`` runs the differential
+kernel fuzzer (:mod:`repro.kernels.fuzz`): seeded randomized inputs
+through every registry kernel on the ``pure`` and ``native`` tiers,
+asserting bitwise parity and saving minimized ``.npz`` reproducers for
+any divergence.
+
+Exit status: 0 — clean; 1 — findings/divergences; 2 — usage error.
 """
 
 from __future__ import annotations
@@ -28,7 +34,67 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: all)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    fuzz = parser.add_argument_group(
+        "kernel fuzzing", "differential pure-vs-native kernel fuzzing "
+                          "(skips the static pass)")
+    fuzz.add_argument("--fuzz-kernels", action="store_true",
+                      help="run the differential kernel fuzzer instead "
+                           "of linting")
+    fuzz.add_argument("--fuzz-cases", type=int, default=50, metavar="N",
+                      help="cases per kernel (default: 50)")
+    fuzz.add_argument("--fuzz-seed", type=int, default=0, metavar="S",
+                      help="base seed (default: 0)")
+    fuzz.add_argument("--fuzz-kernel", action="append", metavar="NAME",
+                      dest="fuzz_kernel",
+                      help="restrict to one kernel (repeatable; "
+                           "default: all)")
+    fuzz.add_argument("--fuzz-out", default="fuzz_failures",
+                      metavar="DIR",
+                      help="directory for minimized .npz reproducers "
+                           "(default: fuzz_failures)")
     return parser
+
+
+def _run_fuzz(args: argparse.Namespace) -> int:
+    from ..kernels import native_available
+    from ..kernels import fuzz as kernel_fuzz
+
+    if not native_available():
+        print("error: native kernel tier unavailable — differential "
+              "fuzzing needs both tiers (install a C compiler or fix "
+              "the build)", file=sys.stderr)
+        return 2
+    try:
+        reports = kernel_fuzz.fuzz_all(
+            cases=args.fuzz_cases, seed=args.fuzz_seed,
+            kernels=tuple(args.fuzz_kernel) if args.fuzz_kernel else None,
+            out_dir=args.fuzz_out, log=lambda msg: print(msg))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    failures = [f for rep in reports for f in rep.failures]
+    if args.format == "json":
+        print(json.dumps({
+            "reports": [{
+                "kernel": rep.kernel, "cases": rep.cases,
+                "failures": [{
+                    "case": f.spec.case, "seed": f.spec.seed,
+                    "message": f.message,
+                    "reproducer": str(f.reproducer) if f.reproducer
+                    else None,
+                } for f in rep.failures],
+            } for rep in reports],
+            "count": len(failures),
+        }, indent=2))
+    else:
+        for rep in reports:
+            state = ("ok" if rep.ok
+                     else f"{len(rep.failures)} DIVERGENCE(S)")
+            print(f"{rep.kernel}: {rep.cases} cases, {state}")
+        print(f"repro.lint --fuzz-kernels: "
+              f"{len(failures)} divergence(s)" if failures
+              else "repro.lint --fuzz-kernels: clean")
+    return 1 if failures else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -40,6 +106,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{code}  {rule.name}")
             print(f"    {rule.rationale}")
         return 0
+
+    if args.fuzz_kernels:
+        return _run_fuzz(args)
 
     select = None
     if args.select:

@@ -4,8 +4,8 @@ New rule modules must be added to the import list below (see
 ``docs/static_analysis.md`` — "Adding a rule").
 """
 
-from . import (rules_collectives, rules_determinism, rules_kerneltier,
-               rules_sharedviews)
+from . import (rules_collectives, rules_determinism, rules_kernelabi,
+               rules_kerneltier, rules_sharedviews)
 
-__all__ = ["rules_collectives", "rules_determinism", "rules_kerneltier",
-           "rules_sharedviews"]
+__all__ = ["rules_collectives", "rules_determinism", "rules_kernelabi",
+           "rules_kerneltier", "rules_sharedviews"]

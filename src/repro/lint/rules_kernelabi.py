@@ -1,0 +1,96 @@
+"""KERN001–KERN003 — native-kernel ABI contract.
+
+Every exported native kernel is declared twice: as an ``RK_EXPORT``
+prototype in ``kernels/native/src/kernels.h`` and as an entry in the
+``_ABI`` table of ``kernels/native/__init__.py``.  The C compiler checks
+the header against the definitions and ctypes materializes the table,
+but nothing checks the *pair* — a drifted argument silently reinterprets
+memory at the boundary.  These rules parse both sides statically
+(:mod:`repro.lint.kernel_abi`) and cross-check them on any linted module
+that defines a module-level ``_ABI`` dict (the header is expected at
+``<module dir>/src/kernels.h``, so test fixtures work anywhere):
+
+- **KERN001** (``abi-coverage``): structural breaks — unparseable
+  header declarations or non-literal ``_ABI`` entries, symbols exported
+  by the header but absent from the table (and vice versa), and arity
+  mismatches.
+- **KERN002** (``abi-types``): type-contract breaks — restype
+  mismatches, pointer-vs-scalar confusion, and element-kind mismatches
+  (``double*`` bound as an integer pointer).
+- **KERN003** (``abi-index-width``): integer width and signedness
+  drift — the int32/int64 index-dtype family is instantiated twice and
+  a crossed binding reads the wrong stride — plus any non-fixed-width C
+  type (``int``/``long``/``size_t``) in a prototype, which makes the
+  width platform-dependent.
+
+Findings anchor at the relevant ``_ABI`` entry's line, so a deliberate
+exception can carry ``# repro: noqa[KERN00x]`` on that entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from . import kernel_abi
+from .findings import Finding
+from .framework import LintRule, register
+
+
+class _AbiRule(LintRule):
+    """Shared driver: run the cross-check, keep one issue category."""
+
+    #: Which :class:`~repro.lint.kernel_abi.AbiIssue` category this rule
+    #: reports (subclasses set it).
+    category: str = ""
+
+    def check(self, tree: ast.Module, path: str,
+              source: str) -> Iterable[Finding]:
+        for issue in kernel_abi.analyze_module(tree, path):
+            if issue.category != self.category:
+                continue
+            yield Finding(path=path, line=issue.line or 1, col=1,
+                          code=self.code, message=issue.message,
+                          symbol=issue.symbol)
+
+
+@register
+class AbiCoverageRule(_AbiRule):
+    code = "KERN001"
+    name = "abi-coverage"
+    category = "coverage"
+    rationale = (
+        "Every RK_EXPORT prototype in kernels.h must have a matching "
+        "_ABI entry with the same arity (and vice versa); a symbol or "
+        "argument present on only one side means ctypes calls the C "
+        "function with the wrong frame — stack garbage in, memory "
+        "corruption out.  Also reports anything the header parser or "
+        "_ABI extractor cannot read: an unparseable contract is an "
+        "unchecked contract.")
+
+
+@register
+class AbiTypesRule(_AbiRule):
+    code = "KERN002"
+    name = "abi-types"
+    category = "types"
+    rationale = (
+        "Restype, pointer-ness, and element kind must agree between the "
+        "C prototype and the ctypes declaration.  A double* bound as "
+        "int64_t* (or a void return read as int64) reinterprets bits "
+        "rather than converting them, so results are silently wrong "
+        "instead of loudly crashing.")
+
+
+@register
+class AbiIndexWidthRule(_AbiRule):
+    code = "KERN003"
+    name = "abi-index-width"
+    category = "width"
+    rationale = (
+        "Index-generic kernels are instantiated for both int32 and "
+        "int64 (scipy's two index dtypes); binding one instantiation "
+        "with the other's width makes every pointer walk the wrong "
+        "stride.  Signedness drift (int8 vs uint8) and non-fixed-width "
+        "C types (int/long/size_t, whose width varies by platform) are "
+        "the same failure waiting for a different machine.")

@@ -64,7 +64,7 @@ def assemble_trace(per_rank_events, *, nprocs: int, backend: str,
     backend: the tracer objects live in-process) or of plain dicts (the
     procs backend ships :meth:`CommTracer.to_wire` output).
     """
-    streams = []
+    streams: list[list[TraceEvent]] = []
     for stream in per_rank_events:
         streams.append([e if isinstance(e, TraceEvent)
                         else TraceEvent.from_dict(e) for e in stream])

@@ -1,0 +1,7 @@
+# expect: KERN001 — rk_fix_orphan exported by kernels.h but unbound
+"""Coverage/arity drift fixture for KERN001."""
+
+_ABI = {
+    "rk_fix_axpy": ("i64", ("i64", "f64*", "f64*")),  # expect: KERN001
+    "rk_fix_ghost": ("i64", ("i64",)),  # expect: KERN001
+}

@@ -1,0 +1,13 @@
+/* Fixture header for KERN001: rk_fix_axpy has one more parameter than
+ * the _ABI entry declares; rk_fix_orphan is exported but never bound;
+ * rk_fix_ghost is bound but never declared. */
+#ifndef FIX_ARITY_H
+#define FIX_ARITY_H
+#include <stdint.h>
+#define RK_EXPORT __attribute__((visibility("default")))
+
+RK_EXPORT int64_t rk_fix_axpy(
+    int64_t n, const double *x, double *y, double alpha);
+RK_EXPORT void rk_fix_orphan(int64_t n, double *x);
+
+#endif

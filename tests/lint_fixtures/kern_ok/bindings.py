@@ -1,0 +1,6 @@
+"""Clean ABI fixture: _ABI matches src/kernels.h exactly (no findings)."""
+
+_ABI = {
+    "rk_fix_scale": ("i64", ("i64", "IDX*", "f64*", "f64")),
+    "rk_fix_mask": (None, ("i64", "u8*", "f64*")),
+}

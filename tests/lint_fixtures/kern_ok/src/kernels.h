@@ -1,0 +1,14 @@
+/* Fixture header for the KERN ABI rules — matches bindings.py exactly,
+ * so the kern_ok scenario must produce zero findings. */
+#ifndef FIX_OK_H
+#define FIX_OK_H
+#include <stdint.h>
+#define RK_EXPORT __attribute__((visibility("default")))
+
+RK_EXPORT int64_t rk_fix_scale_i32(
+    int64_t n, const int32_t *idx, double *x, double alpha);
+RK_EXPORT int64_t rk_fix_scale_i64(
+    int64_t n, const int64_t *idx, double *x, double alpha);
+RK_EXPORT void rk_fix_mask(int64_t n, unsigned char *mask, double *out);
+
+#endif

@@ -1,0 +1,11 @@
+"""Type-contract drift fixture for KERN002.
+
+``rk_fix_scatter`` reads a void C return as int64; ``rk_fix_dot`` binds
+a ``double*`` as an integer pointer and a ``double*`` out-param as a
+scalar.
+"""
+
+_ABI = {
+    "rk_fix_scatter": ("i64", ("i64", "i64*", "f64*")),  # expect: KERN002
+    "rk_fix_dot": ("i64", ("i64", "i64*", "f64*", "f64")),  # expect: KERN002
+}

@@ -1,0 +1,12 @@
+/* Fixture header for KERN002 — see bindings.py for the drift matrix. */
+#ifndef FIX_TYPES_H
+#define FIX_TYPES_H
+#include <stdint.h>
+#define RK_EXPORT __attribute__((visibility("default")))
+
+RK_EXPORT void rk_fix_scatter(
+    int64_t n, const int64_t *idx, double *x);
+RK_EXPORT int64_t rk_fix_dot(
+    int64_t n, const double *x, const double *y, double *out);
+
+#endif

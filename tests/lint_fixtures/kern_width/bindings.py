@@ -1,0 +1,12 @@
+"""Index-width/signedness drift fixture for KERN003.
+
+The header's ``rk_fix_gather_i32`` instantiation takes ``int64_t*``
+indices (a crossed-width instantiation); ``rk_fix_tag`` pairs a signed
+``signed char*`` with the unsigned ``u8*`` token and uses non-fixed-width
+``long`` for a count.
+"""
+
+_ABI = {
+    "rk_fix_gather": ("i64", ("i64", "IDX*", "f64*")),  # expect: KERN003
+    "rk_fix_tag": ("i64", ("i64", "u8*", "i64")),  # expect: KERN003
+}

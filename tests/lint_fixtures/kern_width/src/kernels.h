@@ -1,0 +1,16 @@
+/* Fixture header for KERN003 — the _i32 gather takes int64_t indices
+ * (width drift) and rk_fix_tag mixes signedness and a non-fixed-width
+ * `long`. */
+#ifndef FIX_WIDTH_H
+#define FIX_WIDTH_H
+#include <stdint.h>
+#define RK_EXPORT __attribute__((visibility("default")))
+
+RK_EXPORT int64_t rk_fix_gather_i32(
+    int64_t n, const int64_t *idx, double *x);
+RK_EXPORT int64_t rk_fix_gather_i64(
+    int64_t n, const int64_t *idx, double *x);
+RK_EXPORT int64_t rk_fix_tag(
+    int64_t n, signed char *tag, long stride);
+
+#endif

@@ -27,13 +27,19 @@ from repro.lint.framework import (
 
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 REPO = Path(__file__).resolve().parents[1]
-_EXPECT_RE = re.compile(r"#\s*expect:\s*(SPMD\d{3})")
+_EXPECT_RE = re.compile(r"#\s*expect:\s*((?:SPMD|KERN)\d{3})")
 
 FIXTURE_FILES = (
     "spmd001_collectives.py",
     "spmd002_sharedviews.py",
     "spmd003_determinism.py",
     "spmd004_kerneltier.py",
+    # KERN fixtures are directories: a bindings module plus the sibling
+    # src/kernels.h the ABI rules resolve by convention
+    "kern_ok/bindings.py",
+    "kern_arity/bindings.py",
+    "kern_types/bindings.py",
+    "kern_width/bindings.py",
 )
 
 
@@ -55,6 +61,9 @@ def expected_findings(path: Path) -> set[tuple[int, str]]:
     ("spmd002_sharedviews.py", "SPMD002"),
     ("spmd003_determinism.py", "SPMD003"),
     ("spmd004_kerneltier.py", "SPMD004"),
+    ("kern_arity/bindings.py", "KERN001"),
+    ("kern_types/bindings.py", "KERN002"),
+    ("kern_width/bindings.py", "KERN003"),
 ])
 def test_fixture_exact_findings_with_select(name, code):
     path = FIXTURES / name
@@ -110,6 +119,65 @@ def test_fixture_findings_carry_symbol_and_message():
 
 
 # ---------------------------------------------------------------------------
+# KERN ABI-contract rules
+# ---------------------------------------------------------------------------
+
+def test_kern_clean_fixture_has_no_findings():
+    assert lint_paths([FIXTURES / "kern_ok" / "bindings.py"]) == []
+
+
+def test_kern_rules_ignore_modules_without_abi_table():
+    # a module with no _ABI never triggers the family — even with no
+    # header anywhere near it
+    assert lint_source("x = 1\n", path="src/repro/core/apply.py",
+                       select=["KERN001", "KERN002", "KERN003"]) == []
+
+
+def test_kern_findings_name_the_exact_mismatch():
+    arity = lint_paths([FIXTURES / "kern_arity" / "bindings.py"],
+                       select=["KERN001"])
+    msgs = {f.symbol: f.message for f in arity}
+    assert "4 parameter(s), _ABI declares 3" in msgs["rk_fix_axpy"]
+    assert "absent from the _ABI table" in msgs["rk_fix_orphan"]
+    assert "no RK_EXPORT prototype" in msgs["rk_fix_ghost"]
+
+    width = lint_paths([FIXTURES / "kern_width" / "bindings.py"],
+                       select=["KERN003"])
+    gather = [f for f in width if f.symbol == "rk_fix_gather_i32"]
+    assert "int64_t (64-bit)" in gather[0].message
+    assert "i32* (32-bit)" in gather[0].message
+
+
+def test_kern_missing_header_is_kern001(tmp_path):
+    mod = tmp_path / "bindings.py"
+    mod.write_text('_ABI = {"rk_x": ("i64", ("i64",))}\n')
+    findings = lint_paths([mod])
+    assert [f.code for f in findings] == ["KERN001"]
+    assert "src/kernels.h" in findings[0].message
+
+
+def test_kern_noqa_suppresses_on_the_entry_line(tmp_path):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "kernels.h").write_text(
+        "#include <stdint.h>\n"
+        "#define RK_EXPORT\n"
+        "RK_EXPORT void rk_x(int64_t n, double *v);\n")
+    mod = tmp_path / "bindings.py"
+    mod.write_text(
+        '_ABI = {\n'
+        '    "rk_x": ("i64", ("i64", "f64*")),  # repro: noqa[KERN002]\n'
+        '}\n')
+    assert lint_paths([mod]) == []
+    # the suppression is per-code: the same drift under KERN001-only
+    # suppression still fires
+    mod.write_text(
+        '_ABI = {\n'
+        '    "rk_x": ("i64", ("i64", "f64*")),  # repro: noqa[KERN001]\n'
+        '}\n')
+    assert [f.code for f in lint_paths([mod])] == ["KERN002"]
+
+
+# ---------------------------------------------------------------------------
 # suppression
 # ---------------------------------------------------------------------------
 
@@ -157,9 +225,10 @@ def test_suppressed_lines_parsing():
 # framework
 # ---------------------------------------------------------------------------
 
-def test_registry_has_the_four_rules():
+def test_registry_has_the_seven_rules():
     rules = all_rules()
-    assert list(rules) == ["SPMD001", "SPMD002", "SPMD003", "SPMD004"]
+    assert list(rules) == ["KERN001", "KERN002", "KERN003",
+                           "SPMD001", "SPMD002", "SPMD003", "SPMD004"]
     for code, rule in rules.items():
         assert rule.code == code
         assert rule.name
@@ -226,8 +295,20 @@ def test_cli_select_restricts_rules():
 def test_cli_list_rules():
     proc = _run_cli("--list-rules")
     assert proc.returncode == 0
-    for code in ("SPMD001", "SPMD002", "SPMD003", "SPMD004"):
+    for code in ("SPMD001", "SPMD002", "SPMD003", "SPMD004",
+                 "KERN001", "KERN002", "KERN003"):
         assert code in proc.stdout
+
+
+def test_cli_json_output_for_kern_findings():
+    proc = _run_cli("--format", "json", "--select", "KERN002",
+                    str(FIXTURES / "kern_types" / "bindings.py"))
+    assert proc.returncode == 1
+    report = json.loads(proc.stdout)
+    assert report["count"] == len(report["findings"]) == 3
+    assert {f["code"] for f in report["findings"]} == {"KERN002"}
+    assert any("restype mismatch" in f["message"]
+               for f in report["findings"])
 
 
 def test_cli_unknown_rule_is_usage_error():
